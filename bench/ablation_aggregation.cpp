@@ -1,0 +1,114 @@
+// Ablation D — what Darshan's per-file aggregation costs (paper §IV-A).
+//
+// The paper's stated limitation: with DXT disabled, Darshan aggregates all
+// accesses between a file's open and close into one record. An application
+// that keeps its output open and appends periodically appears as a single
+// window spanning the run, so MOSAIC categorizes it write_steady — and the
+// paper estimates "the majority of these behaviors are, in fact, periodic"
+// (write_steady is 37% of executions; detected periodic only 8%).
+//
+// The generator can emit the DXT-level per-operation events alongside the
+// aggregated records, so this bench measures the estimate directly: it
+// categorizes every trace twice — from the aggregated records and from the
+// DXT ops — and reports how the steady/periodic split shifts.
+#include <cstdio>
+
+#include "core/pipeline.hpp"
+#include "report/tables.hpp"
+#include "sim/population.hpp"
+#include "util/cli.hpp"
+#include "util/strings.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mosaic;
+  util::CliParser cli("ablation_aggregation",
+                      "aggregated (Darshan) vs per-operation (DXT) view");
+  cli.add_option("traces", "population size", "8000");
+  cli.add_option("seed", "master seed", "20190410");
+  if (const auto status = cli.parse(argc, argv); !status.ok()) {
+    return status.error().code == util::ErrorCode::kNotFound ? 0 : 2;
+  }
+
+  sim::PopulationConfig config;
+  config.target_traces =
+      static_cast<std::size_t>(cli.get_int("traces").value_or(8000));
+  config.seed =
+      static_cast<std::uint64_t>(cli.get_int("seed").value_or(20190410));
+  config.emit_dxt = true;
+  const sim::Population population = sim::generate_population(config);
+
+  const core::Analyzer analyzer;
+  std::size_t analyzed = 0;
+  std::size_t agg_steady = 0;
+  std::size_t agg_periodic = 0;
+  std::size_t dxt_periodic = 0;
+  std::size_t steady_actually_periodic = 0;
+  std::size_t period_revealed_minute = 0;
+  std::size_t period_revealed_hour = 0;
+
+  for (const sim::LabeledTrace& labeled : population.traces) {
+    if (labeled.corrupted) continue;
+    ++analyzed;
+
+    // Aggregated (Darshan) view.
+    const core::TraceResult aggregated = analyzer.analyze(labeled.trace);
+    const bool is_steady =
+        aggregated.categories.contains(core::Category::kWriteSteady);
+    const bool is_periodic_agg =
+        aggregated.categories.contains(core::Category::kWritePeriodic);
+    if (is_steady) ++agg_steady;
+    if (is_periodic_agg) ++agg_periodic;
+
+    // DXT view: per-operation events, no aggregation.
+    std::vector<trace::IoOp> write_ops;
+    for (const trace::IoOp& op : labeled.dxt_ops) {
+      if (op.kind == trace::OpKind::kWrite) write_ops.push_back(op);
+    }
+    const core::KindAnalysis dxt =
+        analyzer.analyze_ops(std::move(write_ops), labeled.trace.meta.run_time);
+    const bool significant =
+        dxt.temporality.label != core::Temporality::kInsignificant;
+    const bool is_periodic_dxt = significant && dxt.periodicity.periodic;
+    if (is_periodic_dxt) ++dxt_periodic;
+
+    if (is_steady && !is_periodic_agg && is_periodic_dxt) {
+      ++steady_actually_periodic;
+      switch (dxt.periodicity.dominant().magnitude) {
+        case core::PeriodMagnitude::kMinute: ++period_revealed_minute; break;
+        case core::PeriodMagnitude::kHour: ++period_revealed_hour; break;
+        default: break;
+      }
+    }
+  }
+
+  std::printf(
+      "\n=== Ablation D — Darshan aggregation vs DXT-level operations ===\n"
+      "%zu valid executions, write side\n\n",
+      analyzed);
+
+  const auto pct = [&](std::size_t count, std::size_t denom) {
+    return util::format_percent(static_cast<double>(count) /
+                                static_cast<double>(std::max<std::size_t>(
+                                    denom, 1)));
+  };
+  report::TextTable table({"measurement", "value"});
+  table.add_row({"write_steady (aggregated view)", pct(agg_steady, analyzed)});
+  table.add_row(
+      {"write_periodic (aggregated view)", pct(agg_periodic, analyzed)});
+  table.add_row({"write_periodic (DXT view)", pct(dxt_periodic, analyzed)});
+  table.add_row({"steady traces revealed periodic by DXT",
+                 pct(steady_actually_periodic, agg_steady)});
+  std::fputs(table.render().c_str(), stdout);
+
+  std::printf(
+      "\nrevealed periods: %zu minute-scale, %zu hour-scale\n"
+      "\nreading: the paper conjectures that the majority of the 37%%\n"
+      "write_steady executions are actually periodic checkpointers whose\n"
+      "long-open files hide the period from (DXT-less) Darshan. With the\n"
+      "generator's DXT events the conjecture is measurable: the share of\n"
+      "steady traces that reclassify as periodic under per-operation data\n"
+      "is printed above. MOSAIC's categories are exactly as good as the\n"
+      "information boundary of its input traces.\n",
+      period_revealed_minute, period_revealed_hour);
+  return 0;
+}

@@ -1,0 +1,138 @@
+// Ablation B — Mean-Shift bandwidth sensitivity (paper §III-B3a).
+//
+// The paper sets the clustering thresholds empirically on one month of
+// traces and validates by sampling. This bench makes that trade-off visible:
+// it sweeps the bandwidth and reports precision/recall/F1 of periodic-write
+// detection against generator ground truth.
+#include <cstdio>
+
+#include "core/pipeline.hpp"
+#include "report/tables.hpp"
+#include "sim/population.hpp"
+#include "util/cli.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mosaic;
+  util::CliParser cli("ablation_bandwidth",
+                      "periodicity detection F1 vs Mean-Shift bandwidth");
+  cli.add_option("traces", "population size", "6000");
+  cli.add_option("seed", "master seed", "20190410");
+  if (const auto status = cli.parse(argc, argv); !status.ok()) {
+    return status.error().code == util::ErrorCode::kNotFound ? 0 : 2;
+  }
+
+  sim::PopulationConfig config;
+  config.target_traces =
+      static_cast<std::size_t>(cli.get_int("traces").value_or(6000));
+  config.seed = static_cast<std::uint64_t>(
+      cli.get_int("seed").value_or(20190410));
+  const sim::Population population = sim::generate_population(config);
+
+  // Pre-extract truth and the valid trace set once.
+  std::vector<const sim::LabeledTrace*> valid;
+  for (const sim::LabeledTrace& labeled : population.traces) {
+    if (!labeled.corrupted) valid.push_back(&labeled);
+  }
+
+  std::printf(
+      "\n=== Ablation B — Mean-Shift bandwidth vs periodic-write F1 ===\n"
+      "%zu valid traces; ground truth from the generator\n\n",
+      valid.size());
+
+  // Multi-pattern probe: two visible periodic write operations with
+  // distinct (period, volume) signatures in one trace. Large bandwidths
+  // glue their segments into one cluster whose raw-space spread then fails
+  // the CV guards — the detector goes blind exactly when it can no longer
+  // tell the patterns apart.
+  const auto separation_rate = [](double bandwidth) {
+    core::Thresholds thresholds;
+    thresholds.meanshift_bandwidth = bandwidth;
+    std::size_t separated = 0;
+    constexpr std::size_t kProbes = 40;
+    util::Rng probe_rng(4242);
+    for (std::size_t probe = 0; probe < kProbes; ++probe) {
+      std::vector<core::Segment> segments;
+      const double period_a = probe_rng.uniform(500.0, 700.0);
+      const double period_b = probe_rng.uniform(80.0, 140.0);
+      for (int i = 0; i < 9; ++i) {
+        segments.push_back({0.0, period_a + probe_rng.normal(0.0, 6.0), 5.0,
+                            8ull << 30});
+      }
+      for (int i = 0; i < 7; ++i) {
+        segments.push_back({0.0, period_b + probe_rng.normal(0.0, 2.0), 0.5,
+                            1ull << 26});
+      }
+      const core::PeriodicityResult result =
+          core::detect_periodicity(segments, thresholds);
+      bool found_a = false;
+      bool found_b = false;
+      for (const core::PeriodicGroup& group : result.groups) {
+        if (std::abs(group.period_seconds - period_a) < 0.15 * period_a) {
+          found_a = true;
+        }
+        if (std::abs(group.period_seconds - period_b) < 0.15 * period_b) {
+          found_b = true;
+        }
+      }
+      if (found_a && found_b) ++separated;
+    }
+    return static_cast<double>(separated) / static_cast<double>(kProbes);
+  };
+
+  report::TextTable table({"bandwidth", "precision", "recall", "F1",
+                           "detected", "2-pattern separation"});
+  for (const double bandwidth :
+       {0.01, 0.03, 0.06, 0.12, 0.25, 0.5, 1.0, 2.0}) {
+    core::Thresholds thresholds;
+    thresholds.meanshift_bandwidth = bandwidth;
+    const core::Analyzer analyzer(thresholds);
+
+    std::size_t true_positive = 0, false_positive = 0, false_negative = 0;
+    std::size_t detected = 0;
+    for (const sim::LabeledTrace* labeled : valid) {
+      const core::TraceResult result = analyzer.analyze(labeled->trace);
+      const bool predicted =
+          result.categories.contains(core::Category::kWritePeriodic);
+      const bool truth = labeled->truth.categories.contains(
+          core::Category::kWritePeriodic);
+      if (predicted) ++detected;
+      if (predicted && truth) ++true_positive;
+      if (predicted && !truth) ++false_positive;
+      if (!predicted && truth) ++false_negative;
+    }
+    const double precision =
+        true_positive + false_positive == 0
+            ? 1.0
+            : static_cast<double>(true_positive) /
+                  static_cast<double>(true_positive + false_positive);
+    const double recall =
+        true_positive + false_negative == 0
+            ? 1.0
+            : static_cast<double>(true_positive) /
+                  static_cast<double>(true_positive + false_negative);
+    const double f1 = precision + recall == 0.0
+                          ? 0.0
+                          : 2.0 * precision * recall / (precision + recall);
+    char row[6][24];
+    std::snprintf(row[0], sizeof row[0], "%.2f", bandwidth);
+    std::snprintf(row[1], sizeof row[1], "%.3f", precision);
+    std::snprintf(row[2], sizeof row[2], "%.3f", recall);
+    std::snprintf(row[3], sizeof row[3], "%.3f", f1);
+    std::snprintf(row[4], sizeof row[4], "%zu", detected);
+    std::snprintf(row[5], sizeof row[5], "%.0f%%",
+                  100.0 * separation_rate(bandwidth));
+    table.add_row({row[0], row[1], row[2], row[3], row[4], row[5]});
+  }
+  std::fputs(table.render().c_str(), stdout);
+  std::printf(
+      "\nreading: tiny bandwidths shatter jittered periods into singleton\n"
+      "clusters (recall loss on the population). Huge bandwidths raise\n"
+      "single-pattern recall but glue distinct periodic operations into one\n"
+      "cluster that the raw-space CV guards then reject — the 2-pattern\n"
+      "separation column collapses. The default (0.12) reproduces the\n"
+      "paper's empirical choice; the sweep also shows a 0.25-0.5 plateau\n"
+      "where single-pattern recall improves before separation breaks —\n"
+      "a candidate refinement the original tuning protocol (one month of\n"
+      "traces, manual verification) could not easily expose.\n");
+  return 0;
+}

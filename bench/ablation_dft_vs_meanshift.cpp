@@ -1,0 +1,297 @@
+// Ablation C — segmentation+Mean-Shift vs frequency techniques (paper §II-B,
+// §V). The paper notes DFT-based detection [Tarraf et al. 2024] "fails to
+// distinguish between two intricate periodic behaviors" and lists frequency
+// methods as future work. This bench runs both detectors over controlled
+// scenarios: clean single periods, jittered periods, two superposed periods
+// of the same kind, and aperiodic noise.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "cluster/fft.hpp"
+#include "core/merge.hpp"
+#include "core/periodicity.hpp"
+#include "core/segmentation.hpp"
+#include "core/pipeline.hpp"
+#include "report/tables.hpp"
+#include "sim/population.hpp"
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace mosaic;
+using trace::IoOp;
+
+struct Scenario {
+  const char* name;
+  std::vector<double> true_periods;  ///< empty = aperiodic
+  std::vector<IoOp> ops;
+  double runtime;
+};
+
+IoOp burst(double start, double duration, std::uint64_t bytes) {
+  return IoOp{.start = start, .end = start + duration, .bytes = bytes,
+              .rank = trace::kSharedRank, .kind = trace::OpKind::kWrite};
+}
+
+Scenario clean_period(util::Rng& rng, double period) {
+  Scenario s{"single period", {period}, {}, 0.0};
+  const double runtime = period * 20.0;
+  for (double t = period * 0.5; t + 10.0 < runtime; t += period) {
+    s.ops.push_back(burst(t, 5.0, 1ull << 30));
+  }
+  (void)rng;
+  s.runtime = runtime;
+  return s;
+}
+
+Scenario jittered_period(util::Rng& rng, double period, double jitter_frac) {
+  Scenario s{"jittered period", {period}, {}, period * 20.0};
+  for (double t = period * 0.5; t + 10.0 < s.runtime; t += period) {
+    s.ops.push_back(
+        burst(t + rng.normal(0.0, jitter_frac * period), 5.0, 1ull << 30));
+  }
+  return s;
+}
+
+Scenario two_periods(util::Rng& rng, double period_a, double period_b) {
+  Scenario s{"two superposed periods", {period_a, period_b}, {}, 0.0};
+  s.runtime = std::max(period_a, period_b) * 24.0;
+  for (double t = period_a * 0.5; t + 20.0 < s.runtime; t += period_a) {
+    s.ops.push_back(burst(t, 6.0, 4ull << 30));
+  }
+  for (double t = period_b * 0.25; t + 20.0 < s.runtime; t += period_b) {
+    s.ops.push_back(burst(t, 1.0, 64ull << 20));
+  }
+  (void)rng;
+  return s;
+}
+
+Scenario aperiodic(util::Rng& rng) {
+  Scenario s{"aperiodic (Poisson arrivals)", {}, {}, 12000.0};
+  double t = 50.0;
+  while (t + 20.0 < s.runtime) {
+    s.ops.push_back(burst(
+        t, rng.uniform(0.5, 8.0),
+        static_cast<std::uint64_t>(rng.uniform(1e6, 4e9))));
+    t += rng.exponential(1.0 / 400.0);
+  }
+  return s;
+}
+
+/// True when `found` matches some true period within 15%.
+bool matches_any(double found, const std::vector<double>& truths) {
+  for (const double truth : truths) {
+    if (std::abs(found - truth) < 0.15 * truth) return true;
+  }
+  return false;
+}
+
+struct Verdict {
+  bool correct_detection = false;  ///< right periodic/aperiodic call
+  std::size_t periods_recovered = 0;
+};
+
+Verdict run_meanshift(const Scenario& scenario) {
+  auto ops = scenario.ops;
+  std::sort(ops.begin(), ops.end(),
+            [](const IoOp& a, const IoOp& b) { return a.start < b.start; });
+  ops = core::merge_ops(std::move(ops), scenario.runtime);
+  const auto segments = core::segment_ops(ops);
+  const core::PeriodicityResult result = core::detect_periodicity(segments);
+
+  Verdict verdict;
+  if (scenario.true_periods.empty()) {
+    verdict.correct_detection = !result.periodic;
+    return verdict;
+  }
+  if (!result.periodic) return verdict;
+  verdict.correct_detection = true;
+  std::vector<bool> hit(scenario.true_periods.size(), false);
+  for (const core::PeriodicGroup& group : result.groups) {
+    for (std::size_t i = 0; i < scenario.true_periods.size(); ++i) {
+      if (std::abs(group.period_seconds - scenario.true_periods[i]) <
+          0.15 * scenario.true_periods[i]) {
+        hit[i] = true;
+      }
+    }
+  }
+  for (const bool h : hit) {
+    if (h) ++verdict.periods_recovered;
+  }
+  return verdict;
+}
+
+Verdict run_dft(const Scenario& scenario) {
+  // Volume time series at 1-second bins, the frequency method's input.
+  std::vector<std::pair<double, double>> samples;
+  for (const IoOp& op : scenario.ops) {
+    samples.emplace_back(op.start, static_cast<double>(op.bytes));
+  }
+  const auto series =
+      cluster::bin_series(samples, scenario.runtime, 1.0);
+  const cluster::DftPeriodicity result =
+      cluster::detect_periodicity_dft(series);
+
+  Verdict verdict;
+  if (scenario.true_periods.empty()) {
+    verdict.correct_detection = !result.periodic;
+    return verdict;
+  }
+  if (!result.periodic) return verdict;
+  verdict.correct_detection = true;
+  std::vector<bool> hit(scenario.true_periods.size(), false);
+  for (const cluster::SpectralPeak& peak : result.peaks) {
+    for (std::size_t i = 0; i < scenario.true_periods.size(); ++i) {
+      if (matches_any(peak.period_seconds, {scenario.true_periods[i]})) {
+        hit[i] = true;
+      }
+    }
+  }
+  for (const bool h : hit) {
+    if (h) ++verdict.periods_recovered;
+  }
+  return verdict;
+}
+
+}  // namespace
+
+/// Population-level comparison: periodic-write precision/recall of each
+/// backend against generator ground truth.
+void population_backend_comparison(std::uint64_t seed) {
+  sim::PopulationConfig config;
+  config.target_traces = 5000;
+  config.seed = seed;
+  const sim::Population population = sim::generate_population(config);
+
+  std::size_t valid = 0;
+  for (const sim::LabeledTrace& labeled : population.traces) {
+    if (!labeled.corrupted) ++valid;
+  }
+  std::printf("\npopulation-level backend comparison (periodic writes, %zu "
+              "valid traces):\n\n",
+              valid);
+  report::TextTable table({"backend", "precision", "recall"});
+  const std::pair<const char*, core::PeriodicityBackend> backends[] = {
+      {"mean-shift (paper)", core::PeriodicityBackend::kMeanShift},
+      {"frequency (SV)", core::PeriodicityBackend::kFrequency},
+      {"hybrid", core::PeriodicityBackend::kHybrid},
+  };
+  for (const auto& [name, backend] : backends) {
+    core::Thresholds thresholds;
+    thresholds.periodicity_backend = backend;
+    const core::Analyzer analyzer(thresholds);
+    std::size_t tp = 0, fp = 0, fn = 0;
+    for (const sim::LabeledTrace& labeled : population.traces) {
+      if (labeled.corrupted) continue;
+      const core::TraceResult result = analyzer.analyze(labeled.trace);
+      const bool predicted =
+          result.categories.contains(core::Category::kWritePeriodic);
+      const bool truth = labeled.truth.categories.contains(
+          core::Category::kWritePeriodic);
+      if (predicted && truth) ++tp;
+      if (predicted && !truth) ++fp;
+      if (!predicted && truth) ++fn;
+    }
+    const double precision =
+        tp + fp == 0 ? 1.0
+                     : static_cast<double>(tp) / static_cast<double>(tp + fp);
+    const double recall =
+        tp + fn == 0 ? 1.0
+                     : static_cast<double>(tp) / static_cast<double>(tp + fn);
+    char cells[2][16];
+    std::snprintf(cells[0], sizeof cells[0], "%.3f", precision);
+    std::snprintf(cells[1], sizeof cells[1], "%.3f", recall);
+    table.add_row({name, cells[0], cells[1]});
+  }
+  std::fputs(table.render().c_str(), stdout);
+}
+
+int main(int argc, char** argv) {
+  util::CliParser cli("ablation_dft_vs_meanshift",
+                      "segmentation+Mean-Shift vs DFT periodicity detection");
+  cli.add_option("trials", "trials per scenario", "100");
+  cli.add_option("seed", "RNG seed", "29");
+  if (const auto status = cli.parse(argc, argv); !status.ok()) {
+    return status.error().code == util::ErrorCode::kNotFound ? 0 : 2;
+  }
+  const auto trials =
+      static_cast<std::size_t>(cli.get_int("trials").value_or(100));
+  util::Rng rng(static_cast<std::uint64_t>(cli.get_int("seed").value_or(29)));
+
+  std::printf(
+      "\n=== Ablation C — Mean-Shift segmentation vs DFT (%zu trials/cell) "
+      "===\n\n",
+      trials);
+
+  struct Cell {
+    std::size_t ms_correct = 0, dft_correct = 0;
+    std::size_t ms_periods = 0, dft_periods = 0;
+    std::size_t expected_periods = 0;
+  };
+
+  const auto run_scenario = [&](auto make) {
+    Cell cell;
+    for (std::size_t trial = 0; trial < trials; ++trial) {
+      const Scenario scenario = make();
+      cell.expected_periods += scenario.true_periods.size();
+      const Verdict ms = run_meanshift(scenario);
+      const Verdict dft = run_dft(scenario);
+      if (ms.correct_detection) ++cell.ms_correct;
+      if (dft.correct_detection) ++cell.dft_correct;
+      cell.ms_periods += ms.periods_recovered;
+      cell.dft_periods += dft.periods_recovered;
+    }
+    return cell;
+  };
+
+  report::TextTable table({"scenario", "mean-shift detect", "dft detect",
+                           "mean-shift periods", "dft periods"});
+  const auto add_row = [&](const char* name, const Cell& cell) {
+    const auto pct = [&](std::size_t n, std::size_t d) {
+      char buffer[16];
+      std::snprintf(buffer, sizeof buffer, "%.0f%%",
+                    d == 0 ? 0.0
+                           : 100.0 * static_cast<double>(n) /
+                                 static_cast<double>(d));
+      return std::string(buffer);
+    };
+    table.add_row({name, pct(cell.ms_correct, trials),
+                   pct(cell.dft_correct, trials),
+                   pct(cell.ms_periods, cell.expected_periods),
+                   pct(cell.dft_periods, cell.expected_periods)});
+  };
+
+  add_row("clean single period", run_scenario([&] {
+            return clean_period(rng, rng.uniform(120.0, 900.0));
+          }));
+  add_row("jittered period (5%)", run_scenario([&] {
+            return jittered_period(rng, rng.uniform(120.0, 900.0), 0.05);
+          }));
+  add_row("two superposed periods", run_scenario([&] {
+            const double a = rng.uniform(400.0, 900.0);
+            return two_periods(rng, a, a * rng.uniform(0.22, 0.35));
+          }));
+  add_row("aperiodic", run_scenario([&] { return aperiodic(rng); }));
+  std::fputs(table.render().c_str(), stdout);
+
+  population_backend_comparison(
+      static_cast<std::uint64_t>(cli.get_int("seed").value_or(29)) ^
+      20190410u);
+
+  std::printf(
+      "\n'periods' counts distinct planted periods recovered. Readings:\n"
+      "  - jitter: both methods detect, but the frequency method loses\n"
+      "    period precision as phase noise smears the autocorrelation;\n"
+      "  - two superposed same-kind trains (the paper's 'intricate' case):\n"
+      "    both recover only the interleaved gap structure's dominant\n"
+      "    component — the light train drowns in the heavy one's\n"
+      "    volume-weighted signal for the DFT, and interleaving destroys\n"
+      "    the light train's inter-op gaps for the segmentation (MOSAIC\n"
+      "    handles the common real case, checkpoint + input cycling, by\n"
+      "    analyzing reads and writes as separate streams);\n"
+      "  - aperiodic: the CV guards and the significance gate keep both\n"
+      "    false-positive rates near zero.\n");
+  return 0;
+}

@@ -1,0 +1,165 @@
+// Ablation A — what the merging passes buy (paper §III-B2).
+//
+// The paper motivates concurrent-op merging and neighbor merging with rank
+// desynchronization: staggered per-rank windows must fuse back into one
+// logical operation or segmentation sees noise instead of a period. This
+// bench sweeps the desynchronization magnitude and reports the periodic-
+// detection rate with (a) both passes, (b) concurrent only, (c) none.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "core/merge.hpp"
+#include "core/periodicity.hpp"
+#include "core/segmentation.hpp"
+#include "report/tables.hpp"
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace mosaic;
+using trace::IoOp;
+
+/// Periodic bursts of `files` staggered ops each, desynchronized by sigma.
+std::vector<IoOp> desynchronized_checkpoint(double desync_sigma,
+                                            util::Rng& rng) {
+  std::vector<IoOp> ops;
+  constexpr int kBursts = 12;
+  constexpr int kFilesPerBurst = 8;
+  constexpr double kPeriod = 600.0;
+  for (int burst = 0; burst < kBursts; ++burst) {
+    const double base = 100.0 + burst * kPeriod;
+    for (int f = 0; f < kFilesPerBurst; ++f) {
+      const double stagger = std::abs(rng.normal(0.0, desync_sigma));
+      IoOp op;
+      op.start = base + stagger;
+      op.end = op.start + 4.0 + std::abs(rng.normal(0.0, desync_sigma * 0.5));
+      op.bytes = 1ull << 28;
+      op.rank = f;
+      op.kind = trace::OpKind::kWrite;
+      ops.push_back(op);
+    }
+  }
+  return ops;
+}
+
+enum class Mode { kFull, kConcurrentOnly, kNone };
+
+struct Outcome {
+  bool correct_period = false;  ///< some group recovered the planted 600 s
+  bool phantom = false;         ///< a group reported at an unplanted period
+  double volume_error = 1.0;    ///< relative error of the burst volume
+};
+
+Outcome evaluate(const std::vector<IoOp>& raw, Mode mode, double runtime) {
+  std::vector<IoOp> ops = raw;
+  std::sort(ops.begin(), ops.end(),
+            [](const IoOp& a, const IoOp& b) { return a.start < b.start; });
+  switch (mode) {
+    case Mode::kFull:
+      ops = core::merge_ops(std::move(ops), runtime);
+      break;
+    case Mode::kConcurrentOnly:
+      ops = core::merge_concurrent(std::move(ops));
+      break;
+    case Mode::kNone:
+      break;
+  }
+  const auto segments = core::segment_ops(ops);
+  const core::PeriodicityResult result = core::detect_periodicity(segments);
+
+  Outcome outcome;
+  constexpr double kTrueBurstBytes = 8.0 * static_cast<double>(1ull << 28);
+  for (const core::PeriodicGroup& group : result.groups) {
+    if (std::abs(group.period_seconds - 600.0) < 60.0) {
+      outcome.correct_period = true;
+      outcome.volume_error =
+          std::abs(group.mean_bytes - kTrueBurstBytes) / kTrueBurstBytes;
+    } else {
+      // Un-merged per-file ops masquerade as a fast periodic operation.
+      outcome.phantom = true;
+    }
+  }
+  return outcome;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::CliParser cli("ablation_merging",
+                      "periodicity detection vs rank desynchronization, "
+                      "with merging stages ablated");
+  cli.add_option("trials", "traces per configuration", "200");
+  cli.add_option("seed", "RNG seed", "11");
+  if (const auto status = cli.parse(argc, argv); !status.ok()) {
+    return status.error().code == util::ErrorCode::kNotFound ? 0 : 2;
+  }
+  const auto trials =
+      static_cast<std::size_t>(cli.get_int("trials").value_or(200));
+  util::Rng rng(
+      static_cast<std::uint64_t>(cli.get_int("seed").value_or(11)));
+
+  std::printf(
+      "\n=== Ablation A — merging passes vs rank desynchronization ===\n"
+      "periodic checkpoint, 8 files/burst, period 600 s; detection rate of\n"
+      "the correct period over %zu trials per cell\n\n",
+      trials);
+
+  report::TextTable table({"desync sigma (s)", "mode", "correct period",
+                           "phantom groups", "volume error"});
+  for (const double sigma : {0.0, 0.5, 1.0, 2.0, 5.0, 10.0}) {
+    struct Tally {
+      std::size_t correct = 0;
+      std::size_t phantoms = 0;
+      double volume_error = 0.0;
+    };
+    Tally tallies[3];
+    for (std::size_t trial = 0; trial < trials; ++trial) {
+      const auto ops = desynchronized_checkpoint(sigma, rng);
+      constexpr double kRuntime = 7500.0;
+      const Mode modes[3] = {Mode::kFull, Mode::kConcurrentOnly, Mode::kNone};
+      for (int m = 0; m < 3; ++m) {
+        const Outcome outcome = evaluate(ops, modes[m], kRuntime);
+        if (outcome.correct_period) {
+          ++tallies[m].correct;
+          tallies[m].volume_error += outcome.volume_error;
+        }
+        if (outcome.phantom) ++tallies[m].phantoms;
+      }
+    }
+    static constexpr const char* kModeNames[3] = {"full merging",
+                                                  "concurrent only",
+                                                  "no merging"};
+    for (int m = 0; m < 3; ++m) {
+      const auto pct = [&](std::size_t hits) {
+        char buffer[16];
+        std::snprintf(buffer, sizeof buffer, "%.0f%%",
+                      100.0 * static_cast<double>(hits) /
+                          static_cast<double>(trials));
+        return std::string(buffer);
+      };
+      char label[32];
+      std::snprintf(label, sizeof label, "%.1f", sigma);
+      char verr[32];
+      std::snprintf(verr, sizeof verr, "%.1f%%",
+                    tallies[m].correct == 0
+                        ? 0.0
+                        : 100.0 * tallies[m].volume_error /
+                              static_cast<double>(tallies[m].correct));
+      table.add_row({m == 0 ? label : "", kModeNames[m],
+                     pct(tallies[m].correct), pct(tallies[m].phantoms), verr});
+    }
+  }
+  std::fputs(table.render().c_str(), stdout);
+  std::printf(
+      "\nreading: the planted checkpoint moves 2 GiB per burst across 8\n"
+      "files. Without merging, each file's window is its own op: the 600 s\n"
+      "period often survives (inter-burst gaps still dominate, and the\n"
+      "raw-space CV guards discard the sub-second micro-segments), but the\n"
+      "per-burst volume is underestimated ~8x and, at low desync, the\n"
+      "micro-segments form phantom 'fast periodic' groups. Merging removes\n"
+      "the phantoms and restores exact volumes — the paper's stated reason\n"
+      "for the fusion passes (SIII-B2).\n");
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Reproduces paper Fig. 4: distribution of metadata-access categories.
+//
+// Paper (all runs): high_spike ~60%, multiple_spikes ~45.9%, high_density
+// just under 13%; the single-run shares are far lower, showing that a few
+// metadata-hungry applications are rerun very often.
+#include "bench_common.hpp"
+
+#include "report/tables.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mosaic;
+  const bench::BenchSetup setup = bench::parse_common_flags(
+      "fig4_metadata", "metadata category distribution (paper Fig. 4)", argc,
+      argv);
+  const bench::BenchData data = bench::run_pipeline(setup);
+  const report::CategoryDistribution distribution =
+      report::aggregate_categories(data.batch);
+
+  bench::print_header("Fig. 4 — Category distribution for metadata access");
+
+  using core::Category;
+  struct Entry {
+    const char* label;
+    Category category;
+    double paper_all_runs;  // read off the paper's figure/text
+  };
+  const Entry entries[] = {
+      {"metadata_high_spike", Category::kMetadataHighSpike, 0.60},
+      {"metadata_multiple_spikes", Category::kMetadataMultipleSpikes, 0.459},
+      {"metadata_high_density", Category::kMetadataHighDensity, 0.13},
+      {"metadata_insignificant_load", Category::kMetadataInsignificantLoad,
+       -1.0},
+  };
+
+  report::TextTable table({"category", "paper all-runs", "measured all-runs",
+                           "measured single-run"});
+  for (const Entry& entry : entries) {
+    table.add_row(
+        {entry.label,
+         entry.paper_all_runs < 0.0
+             ? std::string("n/a")
+             : util::format_percent(entry.paper_all_runs),
+         util::format_percent(distribution.weighted_fraction(entry.category)),
+         util::format_percent(distribution.single_fraction(entry.category))});
+  }
+  std::fputs(table.render().c_str(), stdout);
+
+  // ASCII bar rendering of the all-runs view, Fig. 4 style.
+  std::printf("\nall-runs distribution:\n");
+  for (const Entry& entry : entries) {
+    const double fraction = distribution.weighted_fraction(entry.category);
+    const int bars = static_cast<int>(fraction * 50.0);
+    std::printf("  %-28s |%-50.*s| %s\n", entry.label, bars,
+                "##################################################",
+                util::format_percent(fraction).c_str());
+  }
+
+  bench::print_footer(data);
+  return 0;
+}

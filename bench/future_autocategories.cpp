@@ -1,0 +1,153 @@
+// Future work — automatic category discovery (paper §V).
+//
+// "Category determination could be made more automatic using clustering
+// methods." This bench embeds every categorized trace as a feature vector
+// of its *measured* behavior (chunk profiles, volumes, periodicity
+// measurements, metadata rates — no category labels), clusters with
+// k-means, and measures how well the discovered structure matches the
+// hand-designed Table I categories via the adjusted Rand index plus a
+// cluster-majority alignment table.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "cluster/kmeans.hpp"
+#include "core/pipeline.hpp"
+#include "report/tables.hpp"
+#include "sim/population.hpp"
+#include "util/cli.hpp"
+#include "util/strings.hpp"
+
+namespace {
+
+using namespace mosaic;
+using core::Category;
+
+/// Embeds one categorized trace as a 14-dimensional behavior vector.
+std::vector<double> embed(const core::TraceResult& result) {
+  std::vector<double> features;
+  features.reserve(14);
+  const auto chunk_fractions = [&](const core::KindAnalysis& analysis) {
+    double total = 0.0;
+    for (const double v : analysis.temporality.chunk_bytes) total += v;
+    for (const double v : analysis.temporality.chunk_bytes) {
+      features.push_back(total > 0.0 ? v / total : 0.0);
+    }
+  };
+  chunk_fractions(result.read);
+  chunk_fractions(result.write);
+  features.push_back(std::log1p(static_cast<double>(result.bytes_read)));
+  features.push_back(std::log1p(static_cast<double>(result.bytes_written)));
+  features.push_back(
+      result.write.periodicity.periodic
+          ? std::log1p(result.write.periodicity.dominant().period_seconds)
+          : 0.0);
+  features.push_back(result.read.periodicity.periodic ? 1.0 : 0.0);
+  features.push_back(std::log1p(result.metadata.max_requests_per_second));
+  features.push_back(std::log1p(result.metadata.mean_requests_per_second));
+  return features;
+}
+
+/// Partition labels for the ARI comparison: the dominant temporality pair.
+std::size_t reference_partition(const core::TraceResult& result) {
+  const auto read = static_cast<std::size_t>(result.read.temporality.label);
+  const auto write = static_cast<std::size_t>(result.write.temporality.label);
+  return read * 8 + write;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::CliParser cli("future_autocategories",
+                      "unsupervised category discovery vs Table I rules");
+  cli.add_option("traces", "population size", "12000");
+  cli.add_option("clusters", "k for k-means", "8");
+  cli.add_option("seed", "master seed", "20190410");
+  if (const auto status = cli.parse(argc, argv); !status.ok()) {
+    return status.error().code == util::ErrorCode::kNotFound ? 0 : 2;
+  }
+
+  sim::PopulationConfig config;
+  config.target_traces =
+      static_cast<std::size_t>(cli.get_int("traces").value_or(12000));
+  config.seed =
+      static_cast<std::uint64_t>(cli.get_int("seed").value_or(20190410));
+  const core::BatchResult batch =
+      core::analyze_population(sim::to_traces(sim::generate_population(config)));
+
+  // Feature embedding (min-max scaled so no single feature dominates).
+  cluster::PointSet raw(14);
+  for (const core::TraceResult& result : batch.results) {
+    raw.add(embed(result));
+  }
+  const cluster::PointSet points = cluster::min_max_scale(raw);
+
+  cluster::KMeansConfig kmeans_config;
+  kmeans_config.k =
+      static_cast<std::size_t>(cli.get_int("clusters").value_or(8));
+  kmeans_config.seed = config.seed;
+  const cluster::KMeansResult clusters = cluster::k_means(points, kmeans_config);
+
+  // ARI against the rule-based temporality partition.
+  std::vector<std::size_t> reference;
+  reference.reserve(batch.results.size());
+  for (const core::TraceResult& result : batch.results) {
+    reference.push_back(reference_partition(result));
+  }
+  const double ari =
+      cluster::adjusted_rand_index(clusters.labels, reference);
+
+  std::printf(
+      "\n=== Future work — automatic category discovery (paper §V) ===\n"
+      "%zu categorized traces, %zu discovered clusters (k-means on measured "
+      "behavior)\n\n",
+      batch.results.size(), clusters.centroids.size());
+
+  // Alignment table: each cluster's dominant categories.
+  report::TextTable table(
+      {"cluster", "traces", "dominant categories (share within cluster)"});
+  for (std::size_t c = 0; c < clusters.centroids.size(); ++c) {
+    std::map<Category, std::size_t> counts;
+    std::size_t members = 0;
+    for (std::size_t i = 0; i < batch.results.size(); ++i) {
+      if (clusters.labels[i] != c) continue;
+      ++members;
+      for (const Category category : batch.results[i].categories.to_vector()) {
+        // Temporality + periodicity axes only (metadata would swamp the list).
+        if (core::category_axis(category) != core::CategoryAxis::kMetadata) {
+          ++counts[category];
+        }
+      }
+    }
+    if (members == 0) continue;
+    std::vector<std::pair<Category, std::size_t>> sorted(counts.begin(),
+                                                         counts.end());
+    std::sort(sorted.begin(), sorted.end(),
+              [](const auto& a, const auto& b) { return a.second > b.second; });
+    std::vector<std::string> top;
+    for (std::size_t t = 0; t < std::min<std::size_t>(3, sorted.size()); ++t) {
+      top.push_back(
+          std::string(core::category_name(sorted[t].first)) + " (" +
+          util::format_percent(static_cast<double>(sorted[t].second) /
+                               static_cast<double>(members)) +
+          ")");
+    }
+    table.add_row({"C" + std::to_string(c), std::to_string(members),
+                   util::join(top, ", ")});
+  }
+  std::fputs(table.render().c_str(), stdout);
+
+  std::printf(
+      "\nadjusted Rand index vs the rule-based (read, write) temporality\n"
+      "partition: %.3f\n"
+      "\nreading: an ARI well above 0 means the hand-designed Table I\n"
+      "categories correspond to real density structure in behavior space —\n"
+      "the rules are discoverable, supporting the paper's suggestion that\n"
+      "category determination could be automated. Clusters that blend\n"
+      "categories show where the rule boundaries are arbitrary (e.g. the\n"
+      "steady-CV threshold).\n",
+      ari);
+  return 0;
+}

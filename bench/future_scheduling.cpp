@@ -1,0 +1,258 @@
+// Future work — category-aware co-scheduling (the paper's motivation).
+//
+// The conclusion of the paper: "two jobs categorized as reading large
+// volumes of data at the start of execution could be scheduled so as not to
+// overlap". This bench closes that loop end to end: a queue of jobs is
+// paired onto shared storage allocations by three schedulers —
+//
+//   fifo      : pair jobs in arrival order (category-blind)
+//   random    : random pairing (category-blind baseline)
+//   category  : greedy pairing that avoids conflicting category pairs,
+//               and staggers the start of same-phase partners
+//
+// — and each pairing's aggregate I/O slowdown is measured with the fluid
+// interference simulation. The categories come from MOSAIC itself, so this
+// is precisely the scheduling loop the paper proposes.
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+#include <vector>
+
+#include "core/pipeline.hpp"
+#include "report/tables.hpp"
+#include "sim/interference.hpp"
+#include "sim/population.hpp"
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace mosaic;
+using core::Category;
+
+struct QueuedJob {
+  const trace::Trace* trace = nullptr;
+  core::CategorySet categories;
+  sim::JobLoad load;
+};
+
+/// Predicted conflict score of a pair, from categories alone (what a
+/// scheduler would know before running the jobs).
+double predicted_conflict(const QueuedJob& a, const QueuedJob& b) {
+  const auto both = [&](Category category) {
+    return a.categories.contains(category) && b.categories.contains(category);
+  };
+  double score = 0.0;
+  if (both(Category::kWriteSteady)) score += 3.0;
+  if (both(Category::kReadSteady)) score += 2.0;
+  if ((a.categories.contains(Category::kWriteSteady) &&
+       b.categories.contains(Category::kReadSteady)) ||
+      (b.categories.contains(Category::kWriteSteady) &&
+       a.categories.contains(Category::kReadSteady))) {
+    score += 2.0;
+  }
+  if (both(Category::kReadOnStart)) score += 1.5;
+  if (both(Category::kWritePeriodic)) score += 1.0;
+  const auto meta_heavy = [](const QueuedJob& job) {
+    return job.categories.contains(Category::kMetadataHighDensity);
+  };
+  if (meta_heavy(a) && meta_heavy(b)) score += 2.0;
+  return score;
+}
+
+/// Aligns a load's heaviest op at t = 0 (co-start semantics).
+sim::JobLoad aligned(const sim::JobLoad& raw) {
+  sim::JobLoad load = raw;
+  if (load.ops.empty()) return load;
+  double shift = load.ops.front().start;
+  std::uint64_t heaviest = 0;
+  for (const trace::IoOp& op : load.ops) {
+    if (op.bytes > heaviest) {
+      heaviest = op.bytes;
+      shift = op.start;
+    }
+  }
+  for (trace::IoOp& op : load.ops) {
+    op.start -= shift;
+    op.end -= shift;
+  }
+  for (trace::MetaEvent& event : load.metadata) event.time -= shift;
+  return load;
+}
+
+/// Shifts a load by `offset` seconds.
+void stagger(sim::JobLoad& load, double offset) {
+  for (trace::IoOp& op : load.ops) {
+    op.start += offset;
+    op.end += offset;
+  }
+  for (trace::MetaEvent& event : load.metadata) event.time += offset;
+}
+
+/// Total extra I/O seconds caused by co-scheduling this pairing.
+double evaluate_pairing(const std::vector<QueuedJob>& jobs,
+                        const std::vector<std::pair<std::size_t, std::size_t>>&
+                            pairs,
+                        bool stagger_same_phase) {
+  double extra = 0.0;
+  for (const auto& [i, j] : pairs) {
+    sim::JobLoad a = aligned(jobs[i].load);
+    sim::JobLoad b = aligned(jobs[j].load);
+    if (stagger_same_phase &&
+        jobs[i].categories.contains(Category::kReadOnStart) &&
+        jobs[j].categories.contains(Category::kReadOnStart)) {
+      // The paper's lever: do not overlap the two ingest phases.
+      stagger(b, 120.0);
+    }
+    const sim::InterferenceResult result = sim::simulate_pair(a, b);
+    extra += (result.a.shared_io_seconds - result.a.solo_io_seconds) +
+             (result.b.shared_io_seconds - result.b.solo_io_seconds);
+  }
+  return extra;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::CliParser cli("future_scheduling",
+                      "category-aware co-scheduling vs blind pairing");
+  cli.add_option("traces", "population size", "4000");
+  cli.add_option("queue", "jobs in the scheduling queue", "32");
+  cli.add_option("seed", "master seed", "20190410");
+  if (const auto status = cli.parse(argc, argv); !status.ok()) {
+    return status.error().code == util::ErrorCode::kNotFound ? 0 : 2;
+  }
+  const auto queue_size = static_cast<std::size_t>(
+      std::max<std::int64_t>(4, cli.get_int("queue").value_or(32)) / 2 * 2);
+
+  sim::PopulationConfig config;
+  config.target_traces =
+      static_cast<std::size_t>(cli.get_int("traces").value_or(4000));
+  config.seed =
+      static_cast<std::uint64_t>(cli.get_int("seed").value_or(20190410));
+  config.corruption_fraction = 0.0;
+  const sim::Population population = sim::generate_population(config);
+
+  const core::Analyzer analyzer;
+  util::Rng rng(config.seed ^ 0xFEEDu);
+  // Two queue compositions:
+  //  - mixed: active jobs plus some quiet filler (a typical backfill window;
+  //    the scheduler can hide active jobs behind quiet partners);
+  //  - saturated: active jobs only (conflict is unavoidable, the scheduler
+  //    can only choose the least bad pairings).
+  const auto build_queue = [&](bool active_only) {
+    std::vector<QueuedJob> queue;
+    for (const sim::LabeledTrace& labeled : population.traces) {
+      if (queue.size() >= queue_size) break;
+      const core::TraceResult result = analyzer.analyze(labeled.trace);
+      const bool active =
+          !result.categories.contains(Category::kReadInsignificant) ||
+          !result.categories.contains(Category::kWriteInsignificant);
+      if (active_only && !active) continue;
+      if (!active_only && !active && !rng.chance(0.15)) continue;
+      QueuedJob job;
+      job.trace = &labeled.trace;
+      job.categories = result.categories;
+      job.load = sim::job_load_from_trace(labeled.trace);
+      queue.push_back(std::move(job));
+    }
+    if (queue.size() % 2 == 1) queue.pop_back();
+    return queue;
+  };
+
+  const auto run_scenario = [&](const char* name,
+                                const std::vector<QueuedJob>& jobs) {
+    if (jobs.size() < 4) {
+      std::printf("%s: queue too small, skipped\n", name);
+      return;
+    }
+    // FIFO pairing: adjacent arrivals.
+    std::vector<std::pair<std::size_t, std::size_t>> fifo_pairs;
+    for (std::size_t i = 0; i + 1 < jobs.size(); i += 2) {
+      fifo_pairs.emplace_back(i, i + 1);
+    }
+
+    // Random pairing: mean over shuffles.
+    double random_extra = 0.0;
+    constexpr int kShuffles = 10;
+    {
+      std::vector<std::size_t> order(jobs.size());
+      std::iota(order.begin(), order.end(), 0u);
+      for (int s = 0; s < kShuffles; ++s) {
+        rng.shuffle(order);
+        std::vector<std::pair<std::size_t, std::size_t>> pairs;
+        for (std::size_t i = 0; i + 1 < order.size(); i += 2) {
+          pairs.emplace_back(order[i], order[i + 1]);
+        }
+        random_extra += evaluate_pairing(jobs, pairs, false);
+      }
+      random_extra /= kShuffles;
+    }
+
+    // Category-aware greedy matching: take the next unmatched job, give it
+    // its least-conflicting partner (by predicted category conflict).
+    std::vector<std::pair<std::size_t, std::size_t>> aware_pairs;
+    {
+      std::vector<bool> matched(jobs.size(), false);
+      for (std::size_t round = 0; round < jobs.size() / 2; ++round) {
+        std::size_t first = jobs.size();
+        for (std::size_t i = 0; i < jobs.size(); ++i) {
+          if (!matched[i]) {
+            first = i;
+            break;
+          }
+        }
+        if (first == jobs.size()) break;
+        matched[first] = true;
+        std::size_t best = jobs.size();
+        double best_score = 1e18;
+        for (std::size_t j = 0; j < jobs.size(); ++j) {
+          if (matched[j]) continue;
+          const double score = predicted_conflict(jobs[first], jobs[j]);
+          if (score < best_score) {
+            best_score = score;
+            best = j;
+          }
+        }
+        if (best == jobs.size()) break;
+        matched[best] = true;
+        aware_pairs.emplace_back(first, best);
+      }
+    }
+
+    const double fifo_extra = evaluate_pairing(jobs, fifo_pairs, false);
+    const double aware_extra = evaluate_pairing(jobs, aware_pairs, true);
+
+    std::printf("%s queue (%zu jobs):\n", name, jobs.size());
+    report::TextTable table(
+        {"scheduler", "aggregate extra I/O (s)", "vs FIFO"});
+    const auto row = [&](const char* scheduler, double extra) {
+      char cells[2][24];
+      std::snprintf(cells[0], sizeof cells[0], "%.1f", extra);
+      std::snprintf(cells[1], sizeof cells[1], "%+.0f%%",
+                    fifo_extra > 0.0
+                        ? 100.0 * (extra - fifo_extra) / fifo_extra
+                        : 0.0);
+      table.add_row({scheduler, cells[0], cells[1]});
+    };
+    row("fifo (category-blind)", fifo_extra);
+    row("random (category-blind)", random_extra);
+    row("category-aware greedy", aware_extra);
+    std::fputs(table.render().c_str(), stdout);
+    std::printf("\n");
+  };
+
+  std::printf(
+      "\n=== Future work — category-aware co-scheduling (paper's motivation) "
+      "===\n\n");
+  run_scenario("mixed backfill", build_queue(false));
+  run_scenario("saturated (active jobs only)", build_queue(true));
+
+  std::printf(
+      "\nreading: the category-aware scheduler separates steady streams,\n"
+      "avoids metadata-dense pairs, and staggers paired ingest phases —\n"
+      "using nothing but MOSAIC's categories, exactly the information the\n"
+      "paper argues a scheduler should consume. The reduction in aggregate\n"
+      "extra I/O time is the end-to-end payoff of the categorization.\n");
+  return 0;
+}

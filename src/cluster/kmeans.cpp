@@ -1,0 +1,156 @@
+#include "cluster/kmeans.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+namespace mosaic::cluster {
+
+namespace {
+
+/// One k-means run from a k-means++ seeding.
+KMeansResult run_once(const PointSet& points, std::size_t k,
+                      std::size_t max_iterations, double tol,
+                      util::Rng& rng) {
+  const std::size_t n = points.size();
+  const std::size_t dim = points.dim();
+
+  // k-means++ seeding: first centroid uniform, the rest proportional to the
+  // squared distance to the nearest chosen centroid.
+  std::vector<std::vector<double>> centroids;
+  centroids.reserve(k);
+  {
+    const auto first = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(n) - 1));
+    const auto p = points.point(first);
+    centroids.emplace_back(p.begin(), p.end());
+  }
+  std::vector<double> nearest_d2(n, 0.0);
+  while (centroids.size() < k) {
+    double total = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      double best = std::numeric_limits<double>::infinity();
+      for (const auto& centroid : centroids) {
+        best = std::min(best, squared_distance(points.point(i), centroid));
+      }
+      nearest_d2[i] = best;
+      total += best;
+    }
+    if (total <= 0.0) break;  // fewer distinct points than k
+    double target = rng.uniform() * total;
+    std::size_t chosen = n - 1;
+    for (std::size_t i = 0; i < n; ++i) {
+      target -= nearest_d2[i];
+      if (target <= 0.0) {
+        chosen = i;
+        break;
+      }
+    }
+    const auto p = points.point(chosen);
+    centroids.emplace_back(p.begin(), p.end());
+  }
+  const std::size_t actual_k = centroids.size();
+
+  // Lloyd iterations.
+  KMeansResult result;
+  result.labels.assign(n, 0);
+  std::vector<std::vector<double>> sums(actual_k, std::vector<double>(dim));
+  std::vector<std::size_t> counts(actual_k);
+  for (std::size_t iter = 0; iter < max_iterations; ++iter) {
+    // Assign.
+    for (std::size_t i = 0; i < n; ++i) {
+      double best = std::numeric_limits<double>::infinity();
+      std::size_t best_c = 0;
+      for (std::size_t c = 0; c < actual_k; ++c) {
+        const double d2 = squared_distance(points.point(i), centroids[c]);
+        if (d2 < best) {
+          best = d2;
+          best_c = c;
+        }
+      }
+      result.labels[i] = best_c;
+    }
+    // Update.
+    for (auto& sum : sums) std::fill(sum.begin(), sum.end(), 0.0);
+    std::fill(counts.begin(), counts.end(), 0u);
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto p = points.point(i);
+      auto& sum = sums[result.labels[i]];
+      for (std::size_t d = 0; d < dim; ++d) sum[d] += p[d];
+      ++counts[result.labels[i]];
+    }
+    double moved = 0.0;
+    for (std::size_t c = 0; c < actual_k; ++c) {
+      if (counts[c] == 0) continue;  // empty cluster keeps its centroid
+      for (std::size_t d = 0; d < dim; ++d) {
+        const double updated =
+            sums[c][d] / static_cast<double>(counts[c]);
+        const double delta = updated - centroids[c][d];
+        moved += delta * delta;
+        centroids[c][d] = updated;
+      }
+    }
+    if (moved < tol * tol) break;
+  }
+
+  result.centroids = std::move(centroids);
+  result.inertia = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    result.inertia +=
+        squared_distance(points.point(i), result.centroids[result.labels[i]]);
+  }
+  return result;
+}
+
+}  // namespace
+
+KMeansResult k_means(const PointSet& points, const KMeansConfig& config) {
+  KMeansResult best;
+  const std::size_t n = points.size();
+  if (n == 0) return best;
+  const std::size_t k = std::min(std::max<std::size_t>(config.k, 1), n);
+
+  util::Rng master(config.seed);
+  for (std::size_t restart = 0; restart < std::max<std::size_t>(
+                                              config.restarts, 1);
+       ++restart) {
+    util::Rng rng = master.fork(restart);
+    KMeansResult candidate = run_once(points, k, config.max_iterations,
+                                      config.convergence_tol, rng);
+    if (restart == 0 || candidate.inertia < best.inertia) {
+      best = std::move(candidate);
+    }
+  }
+  return best;
+}
+
+double adjusted_rand_index(std::span<const std::size_t> a,
+                           std::span<const std::size_t> b) {
+  MOSAIC_ASSERT(a.size() == b.size());
+  const std::size_t n = a.size();
+  if (n < 2) return 1.0;
+
+  // Contingency table.
+  std::map<std::pair<std::size_t, std::size_t>, double> joint;
+  std::map<std::size_t, double> rows;
+  std::map<std::size_t, double> cols;
+  for (std::size_t i = 0; i < n; ++i) {
+    joint[{a[i], b[i]}] += 1.0;
+    rows[a[i]] += 1.0;
+    cols[b[i]] += 1.0;
+  }
+  const auto choose2 = [](double m) { return m * (m - 1.0) / 2.0; };
+  double sum_joint = 0.0;
+  for (const auto& [key, count] : joint) sum_joint += choose2(count);
+  double sum_rows = 0.0;
+  for (const auto& [key, count] : rows) sum_rows += choose2(count);
+  double sum_cols = 0.0;
+  for (const auto& [key, count] : cols) sum_cols += choose2(count);
+  const double total = choose2(static_cast<double>(n));
+  const double expected = sum_rows * sum_cols / total;
+  const double maximum = 0.5 * (sum_rows + sum_cols);
+  if (maximum - expected == 0.0) return 1.0;  // both partitions trivial
+  return (sum_joint - expected) / (maximum - expected);
+}
+
+}  // namespace mosaic::cluster

@@ -1,0 +1,47 @@
+// k-means clustering (k-means++ seeding, Lloyd iterations).
+//
+// The paper's future work (§V) suggests making category determination "more
+// automatic using clustering methods". This is the substrate for that
+// experiment (bench/future_autocategories): traces are embedded as feature
+// vectors of their measured behavior and clustered without reference to the
+// hand-designed Table I rules; the alignment between discovered clusters and
+// assigned categories is then measured with the adjusted Rand index.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "cluster/meanshift.hpp"  // PointSet
+#include "util/rng.hpp"
+
+namespace mosaic::cluster {
+
+/// k-means configuration.
+struct KMeansConfig {
+  std::size_t k = 8;
+  std::size_t max_iterations = 100;
+  double convergence_tol = 1e-6;  ///< stop when centroids move less
+  std::uint64_t seed = 7;         ///< k-means++ seeding stream
+  std::size_t restarts = 4;       ///< keep the lowest-inertia run
+};
+
+/// Clustering result.
+struct KMeansResult {
+  std::vector<std::size_t> labels;              ///< cluster per point
+  std::vector<std::vector<double>> centroids;   ///< k centroids
+  double inertia = 0.0;  ///< sum of squared distances to assigned centroids
+};
+
+/// Runs k-means over `points`. k is clamped to the number of points; empty
+/// input yields an empty result.
+[[nodiscard]] KMeansResult k_means(const PointSet& points,
+                                   const KMeansConfig& config = {});
+
+/// Adjusted Rand index between two partitions of the same item set, in
+/// [-1, 1]; 1 means identical partitions, ~0 means chance agreement.
+/// Precondition: equal sizes.
+[[nodiscard]] double adjusted_rand_index(std::span<const std::size_t> a,
+                                         std::span<const std::size_t> b);
+
+}  // namespace mosaic::cluster

@@ -1,0 +1,200 @@
+#include "cluster/meanshift.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <numeric>
+
+namespace mosaic::cluster {
+
+PointSet::PointSet(std::size_t dim) : dim_(dim) { MOSAIC_ASSERT(dim >= 1); }
+
+void PointSet::add(std::span<const double> point) {
+  MOSAIC_ASSERT(point.size() == dim_);
+  data_.insert(data_.end(), point.begin(), point.end());
+}
+
+double squared_distance(std::span<const double> a,
+                        std::span<const double> b) noexcept {
+  MOSAIC_ASSERT(a.size() == b.size());
+  double sum = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    sum += d * d;
+  }
+  return sum;
+}
+
+PointSet min_max_scale(const PointSet& points) {
+  const std::size_t dim = points.dim();
+  const std::size_t n = points.size();
+  std::vector<double> lo(dim, std::numeric_limits<double>::infinity());
+  std::vector<double> hi(dim, -std::numeric_limits<double>::infinity());
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto p = points.point(i);
+    for (std::size_t d = 0; d < dim; ++d) {
+      lo[d] = std::min(lo[d], p[d]);
+      hi[d] = std::max(hi[d], p[d]);
+    }
+  }
+  PointSet scaled(dim);
+  std::vector<double> row(dim);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto p = points.point(i);
+    for (std::size_t d = 0; d < dim; ++d) {
+      const double range = hi[d] - lo[d];
+      row[d] = range > 0.0 ? (p[d] - lo[d]) / range : 0.0;
+    }
+    scaled.add(row);
+  }
+  return scaled;
+}
+
+namespace {
+
+/// Uniform-grid spatial index over the unit-scaled feature space. Cell size
+/// equals the query radius so a neighborhood scan touches 3^dim cells.
+class GridIndex {
+ public:
+  GridIndex(const PointSet& points, double cell)
+      : points_(points), cell_(std::max(cell, 1e-12)) {
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      cells_[key_of(points.point(i))].push_back(i);
+    }
+  }
+
+  /// Invokes `fn(index)` for every point within `radius` of `center`
+  /// (radius must be <= cell size for the 1-ring scan to be exhaustive).
+  template <typename Fn>
+  void for_neighbors(std::span<const double> center, double radius,
+                     Fn&& fn) const {
+    MOSAIC_ASSERT(radius <= cell_ * (1.0 + 1e-9));
+    const double r2 = radius * radius;
+    std::vector<std::int64_t> base = key_of(center);
+    std::vector<std::int64_t> probe(base.size());
+    // Enumerate the 3^dim neighboring cells via odometer increment.
+    const std::size_t dim = base.size();
+    std::vector<int> offset(dim, -1);
+    for (;;) {
+      for (std::size_t d = 0; d < dim; ++d) probe[d] = base[d] + offset[d];
+      if (const auto it = cells_.find(probe); it != cells_.end()) {
+        for (const std::size_t i : it->second) {
+          if (squared_distance(points_.point(i), center) <= r2) fn(i);
+        }
+      }
+      std::size_t d = 0;
+      while (d < dim && ++offset[d] > 1) {
+        offset[d] = -1;
+        ++d;
+      }
+      if (d == dim) break;
+    }
+  }
+
+ private:
+  [[nodiscard]] std::vector<std::int64_t> key_of(
+      std::span<const double> p) const {
+    std::vector<std::int64_t> key(p.size());
+    for (std::size_t d = 0; d < p.size(); ++d) {
+      key[d] = static_cast<std::int64_t>(std::floor(p[d] / cell_));
+    }
+    return key;
+  }
+
+  const PointSet& points_;
+  double cell_;
+  std::map<std::vector<std::int64_t>, std::vector<std::size_t>> cells_;
+};
+
+}  // namespace
+
+MeanShiftResult mean_shift(const PointSet& points,
+                           const MeanShiftConfig& config) {
+  MeanShiftResult result;
+  const std::size_t n = points.size();
+  if (n == 0) return result;
+  MOSAIC_ASSERT(config.bandwidth > 0.0);
+
+  const std::size_t dim = points.dim();
+  const double h = config.bandwidth;
+  // Gaussian support truncated at 3h; the grid cell must cover the largest
+  // query radius used.
+  const double support =
+      config.kernel == Kernel::kGaussian ? 3.0 * h : h;
+  const GridIndex index(points, support);
+
+  const double merge_radius =
+      config.mode_merge_radius > 0.0 ? config.mode_merge_radius : h / 2.0;
+
+  // Shift every point to its density mode.
+  std::vector<std::vector<double>> converged(n);
+  std::vector<double> current(dim);
+  std::vector<double> next(dim);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto seed = points.point(i);
+    current.assign(seed.begin(), seed.end());
+    for (std::size_t iter = 0; iter < config.max_iterations; ++iter) {
+      std::fill(next.begin(), next.end(), 0.0);
+      double weight_sum = 0.0;
+      index.for_neighbors(current, support, [&](std::size_t j) {
+        const auto q = points.point(j);
+        double w = 1.0;
+        if (config.kernel == Kernel::kGaussian) {
+          const double d2 = squared_distance(current, q);
+          w = std::exp(-d2 / (2.0 * h * h));
+        }
+        for (std::size_t d = 0; d < dim; ++d) next[d] += w * q[d];
+        weight_sum += w;
+      });
+      if (weight_sum <= 0.0) break;  // isolated point: already a mode
+      double shift2 = 0.0;
+      for (std::size_t d = 0; d < dim; ++d) {
+        next[d] /= weight_sum;
+        const double delta = next[d] - current[d];
+        shift2 += delta * delta;
+      }
+      current = next;
+      if (shift2 < config.convergence_tol * config.convergence_tol) break;
+    }
+    converged[i] = current;
+  }
+
+  // Merge converged modes within merge_radius into clusters.
+  const double merge2 = merge_radius * merge_radius;
+  std::vector<std::size_t> raw_label(n);
+  std::vector<std::vector<double>> modes;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::size_t assigned = modes.size();
+    for (std::size_t m = 0; m < modes.size(); ++m) {
+      if (squared_distance(converged[i], modes[m]) <= merge2) {
+        assigned = m;
+        break;
+      }
+    }
+    if (assigned == modes.size()) modes.push_back(converged[i]);
+    raw_label[i] = assigned;
+  }
+
+  // Renumber clusters by decreasing size (stable: ties keep first-seen order).
+  std::vector<std::size_t> sizes(modes.size(), 0);
+  for (const std::size_t label : raw_label) ++sizes[label];
+  std::vector<std::size_t> order(modes.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return sizes[a] > sizes[b];
+  });
+  std::vector<std::size_t> rank(modes.size());
+  for (std::size_t r = 0; r < order.size(); ++r) rank[order[r]] = r;
+
+  result.labels.resize(n);
+  for (std::size_t i = 0; i < n; ++i) result.labels[i] = rank[raw_label[i]];
+  result.modes.resize(modes.size());
+  result.cluster_sizes.resize(modes.size());
+  for (std::size_t m = 0; m < modes.size(); ++m) {
+    result.modes[rank[m]] = std::move(modes[m]);
+    result.cluster_sizes[rank[m]] = sizes[m];
+  }
+  return result;
+}
+
+}  // namespace mosaic::cluster

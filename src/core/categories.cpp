@@ -1,0 +1,104 @@
+#include "core/categories.hpp"
+
+#include <array>
+#include <bit>
+
+namespace mosaic::core {
+
+namespace {
+
+constexpr std::array<std::string_view, kCategoryCount> kNames = {
+    "read_on_start",
+    "read_on_end",
+    "read_after_start",
+    "read_before_end",
+    "read_after_start_before_end",
+    "read_steady",
+    "read_insignificant",
+    "read_unclassified",
+    "write_on_start",
+    "write_on_end",
+    "write_after_start",
+    "write_before_end",
+    "write_after_start_before_end",
+    "write_steady",
+    "write_insignificant",
+    "write_unclassified",
+    "read_periodic",
+    "read_periodic_second",
+    "read_periodic_minute",
+    "read_periodic_hour",
+    "read_periodic_day_or_more",
+    "read_periodic_low_busy_time",
+    "read_periodic_high_busy_time",
+    "write_periodic",
+    "write_periodic_second",
+    "write_periodic_minute",
+    "write_periodic_hour",
+    "write_periodic_day_or_more",
+    "write_periodic_low_busy_time",
+    "write_periodic_high_busy_time",
+    "metadata_high_spike",
+    "metadata_multiple_spikes",
+    "metadata_high_density",
+    "metadata_insignificant_load",
+};
+
+}  // namespace
+
+std::string_view category_name(Category category) noexcept {
+  const auto index = static_cast<std::size_t>(category);
+  MOSAIC_ASSERT(index < kCategoryCount);
+  return kNames[index];
+}
+
+std::optional<Category> category_from_name(std::string_view name) noexcept {
+  for (std::size_t i = 0; i < kCategoryCount; ++i) {
+    if (kNames[i] == name) return static_cast<Category>(i);
+  }
+  return std::nullopt;
+}
+
+CategoryAxis category_axis(Category category) noexcept {
+  const auto index = static_cast<std::size_t>(category);
+  if (index < 16) return CategoryAxis::kTemporality;
+  if (index < 30) return CategoryAxis::kPeriodicity;
+  return CategoryAxis::kMetadata;
+}
+
+std::size_t CategorySet::size() const noexcept {
+  return static_cast<std::size_t>(std::popcount(bits_));
+}
+
+std::vector<Category> CategorySet::to_vector() const {
+  std::vector<Category> out;
+  out.reserve(size());
+  for (std::size_t i = 0; i < kCategoryCount; ++i) {
+    const auto category = static_cast<Category>(i);
+    if (contains(category)) out.push_back(category);
+  }
+  return out;
+}
+
+std::vector<std::string> CategorySet::names() const {
+  std::vector<std::string> out;
+  out.reserve(size());
+  for (const Category category : to_vector()) {
+    out.emplace_back(category_name(category));
+  }
+  return out;
+}
+
+const std::vector<Category>& all_categories() {
+  static const std::vector<Category> categories = [] {
+    std::vector<Category> out;
+    out.reserve(kCategoryCount);
+    for (std::size_t i = 0; i < kCategoryCount; ++i) {
+      out.push_back(static_cast<Category>(i));
+    }
+    return out;
+  }();
+  return categories;
+}
+
+}  // namespace mosaic::core

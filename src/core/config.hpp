@@ -1,0 +1,37 @@
+// Threshold configuration I/O.
+//
+// The paper requires the categorization thresholds to be modifiable
+// (§III-A: "the above-mentioned threshold can be modified in MOSAIC to
+// extend or narrow the amount of I/O activities to categorize"). This
+// module round-trips the full Thresholds struct through JSON so deployments
+// can version their tuning alongside their data.
+#pragma once
+
+#include <string>
+
+#include "core/thresholds.hpp"
+#include "json/json.hpp"
+#include "util/error.hpp"
+
+namespace mosaic::core {
+
+/// Serializes every threshold to a flat JSON object (stable key names).
+[[nodiscard]] json::Value thresholds_to_json(const Thresholds& thresholds);
+
+/// Builds a Thresholds from JSON. Missing keys keep their defaults; unknown
+/// keys are an error (a typo must not silently fall back to a default).
+/// Values are validated for basic sanity (positivity, enum range).
+[[nodiscard]] util::Expected<Thresholds> thresholds_from_json(
+    const json::Value& value);
+
+/// File convenience wrappers.
+[[nodiscard]] util::Status write_thresholds_file(const Thresholds& thresholds,
+                                                 const std::string& path);
+[[nodiscard]] util::Expected<Thresholds> read_thresholds_file(
+    const std::string& path);
+
+/// Backend name mapping ("mean_shift", "frequency", "hybrid").
+[[nodiscard]] const char* periodicity_backend_name(
+    PeriodicityBackend backend) noexcept;
+
+}  // namespace mosaic::core

@@ -1,0 +1,75 @@
+#include "core/merge.hpp"
+
+#include <algorithm>
+
+namespace mosaic::core {
+
+using trace::IoOp;
+
+namespace {
+
+/// Folds `op` into `acc`: widens the window, sums bytes, demotes the rank to
+/// shared when sources disagree.
+void fold(IoOp& acc, const IoOp& op) {
+  acc.start = std::min(acc.start, op.start);
+  acc.end = std::max(acc.end, op.end);
+  acc.bytes += op.bytes;
+  if (acc.rank != op.rank) acc.rank = trace::kSharedRank;
+}
+
+}  // namespace
+
+std::vector<IoOp> merge_concurrent(std::vector<IoOp> ops) {
+  if (ops.size() <= 1) return ops;
+  std::sort(ops.begin(), ops.end(), [](const IoOp& a, const IoOp& b) {
+    if (a.start != b.start) return a.start < b.start;
+    return a.end < b.end;
+  });
+  std::vector<IoOp> merged;
+  merged.reserve(ops.size());
+  merged.push_back(ops.front());
+  for (std::size_t i = 1; i < ops.size(); ++i) {
+    IoOp& last = merged.back();
+    if (ops[i].start <= last.end) {
+      fold(last, ops[i]);
+    } else {
+      merged.push_back(ops[i]);
+    }
+  }
+  return merged;
+}
+
+std::vector<IoOp> merge_neighbors(std::vector<IoOp> ops, double total_runtime,
+                                  const Thresholds& thresholds) {
+  if (ops.size() <= 1) return ops;
+  const double runtime_gap =
+      thresholds.neighbor_gap_runtime_fraction * total_runtime;
+
+  std::vector<IoOp> merged;
+  merged.reserve(ops.size());
+  merged.push_back(ops.front());
+  for (std::size_t i = 1; i < ops.size(); ++i) {
+    IoOp& last = merged.back();
+    const IoOp& next = ops[i];
+    MOSAIC_ASSERT(next.start >= last.end);  // disjoint, sorted input
+    const double gap = next.start - last.end;
+    // The "nearby merged operation" is the running fusion on the left; using
+    // its (possibly already grown) duration mirrors the iterative behavior
+    // the paper describes for slowly sliding desynchronization.
+    const double op_gap = thresholds.neighbor_gap_op_fraction * last.duration();
+    if (gap < runtime_gap || gap < op_gap) {
+      fold(last, next);
+    } else {
+      merged.push_back(next);
+    }
+  }
+  return merged;
+}
+
+std::vector<IoOp> merge_ops(std::vector<IoOp> ops, double total_runtime,
+                            const Thresholds& thresholds) {
+  return merge_neighbors(merge_concurrent(std::move(ops)), total_runtime,
+                         thresholds);
+}
+
+}  // namespace mosaic::core

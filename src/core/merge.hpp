@@ -1,0 +1,39 @@
+// Pre-processing merges (paper §III-B2).
+//
+// (a) Concurrent operation merging: overlapping ops fuse into one. This
+//     absorbs process desynchronization (many ranks writing the same
+//     checkpoint slightly staggered) and cleans the trace for segmentation.
+// (b) Neighbor merging: nearly-adjacent ops fuse when the gap is negligible
+//     — under 0.1% of total execution time or under 1% of the neighbor's
+//     duration — catching ranks that drifted past the overlap point.
+//
+// Both passes conserve total bytes and the union of covered time.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/thresholds.hpp"
+#include "trace/trace.hpp"
+
+namespace mosaic::core {
+
+/// Fuses overlapping (or touching) operations. Input need not be sorted;
+/// output is sorted by start and pairwise disjoint. Bytes sum; the rank
+/// becomes kSharedRank when the merged ops came from different ranks.
+[[nodiscard]] std::vector<trace::IoOp> merge_concurrent(
+    std::vector<trace::IoOp> ops);
+
+/// Fuses near-adjacent operations per the gap rule. Precondition: ops sorted
+/// by start and pairwise disjoint (i.e. output of merge_concurrent).
+/// `total_runtime` is the job's wall-clock duration.
+[[nodiscard]] std::vector<trace::IoOp> merge_neighbors(
+    std::vector<trace::IoOp> ops, double total_runtime,
+    const Thresholds& thresholds = {});
+
+/// Convenience: both passes in order.
+[[nodiscard]] std::vector<trace::IoOp> merge_ops(
+    std::vector<trace::IoOp> ops, double total_runtime,
+    const Thresholds& thresholds = {});
+
+}  // namespace mosaic::core

@@ -1,0 +1,53 @@
+#include "core/metadata.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/stats.hpp"
+
+namespace mosaic::core {
+
+MetadataResult classify_metadata(std::span<const trace::MetaEvent> events,
+                                 double runtime, std::uint32_t nprocs,
+                                 const Thresholds& thresholds) {
+  MOSAIC_ASSERT(runtime > 0.0);
+  MetadataResult result;
+  for (const trace::MetaEvent& event : events) {
+    result.total_requests += event.requests;
+  }
+  result.mean_requests_per_second =
+      static_cast<double>(result.total_requests) / runtime;
+
+  // Below one request per rank the job barely touched the metadata server.
+  if (result.total_requests < nprocs) {
+    result.insignificant = true;
+    return result;
+  }
+  result.insignificant = false;
+
+  // Per-second request histogram.
+  const auto seconds =
+      static_cast<std::size_t>(std::max(1.0, std::ceil(runtime)));
+  util::Histogram histogram(0.0, static_cast<double>(seconds), seconds);
+  for (const trace::MetaEvent& event : events) {
+    histogram.add(event.time, static_cast<double>(event.requests));
+  }
+
+  for (std::size_t i = 0; i < histogram.bin_count(); ++i) {
+    const double requests = histogram.count(i);
+    result.max_requests_per_second =
+        std::max(result.max_requests_per_second, requests);
+    if (requests >= thresholds.spike_requests) ++result.spike_seconds;
+  }
+
+  result.high_spike =
+      result.max_requests_per_second >= thresholds.high_spike_requests;
+  result.multiple_spikes =
+      result.spike_seconds >= thresholds.multiple_spike_count;
+  result.high_density =
+      result.spike_seconds >= thresholds.multiple_spike_count &&
+      result.mean_requests_per_second >= thresholds.high_density_mean_requests;
+  return result;
+}
+
+}  // namespace mosaic::core

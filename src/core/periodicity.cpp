@@ -1,0 +1,167 @@
+#include "core/periodicity.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "cluster/fft.hpp"
+#include "cluster/meanshift.hpp"
+#include "util/stats.hpp"
+
+namespace mosaic::core {
+
+const char* period_magnitude_name(PeriodMagnitude m) noexcept {
+  switch (m) {
+    case PeriodMagnitude::kSecond: return "second";
+    case PeriodMagnitude::kMinute: return "minute";
+    case PeriodMagnitude::kHour: return "hour";
+    case PeriodMagnitude::kDayOrMore: return "day_or_more";
+  }
+  return "unknown";
+}
+
+PeriodMagnitude classify_period_magnitude(double period_seconds,
+                                          const Thresholds& thresholds) noexcept {
+  // Half-open downward: a period of exactly one minute/hour/day belongs to
+  // the larger bucket (an hourly checkpoint is periodic_hour).
+  if (period_seconds < thresholds.period_second_max) {
+    return PeriodMagnitude::kSecond;
+  }
+  if (period_seconds < thresholds.period_minute_max) {
+    return PeriodMagnitude::kMinute;
+  }
+  if (period_seconds < thresholds.period_hour_max) {
+    return PeriodMagnitude::kHour;
+  }
+  return PeriodMagnitude::kDayOrMore;
+}
+
+PeriodicityResult detect_periodicity(std::span<const Segment> segments,
+                                     const Thresholds& thresholds) {
+  PeriodicityResult result;
+  if (segments.size() < thresholds.min_group_size) return result;
+
+  // Feature embedding: (segment length, log1p(bytes)). The log tames the
+  // many-orders-of-magnitude spread of I/O volumes so that min-max scaling
+  // keeps both axes informative.
+  cluster::PointSet points(2);
+  for (const Segment& segment : segments) {
+    const double features[2] = {segment.length,
+                                std::log1p(static_cast<double>(segment.bytes))};
+    points.add(features);
+  }
+  const cluster::PointSet scaled = cluster::min_max_scale(points);
+
+  cluster::MeanShiftConfig config;
+  config.bandwidth = thresholds.meanshift_bandwidth;
+  const cluster::MeanShiftResult clusters = cluster::mean_shift(scaled, config);
+
+  // Evaluate each cluster of sufficient size as a periodic-group candidate.
+  for (std::size_t c = 0; c < clusters.cluster_sizes.size(); ++c) {
+    if (clusters.cluster_sizes[c] < thresholds.min_group_size) continue;
+
+    util::RunningStats durations;
+    util::RunningStats volumes;
+    util::RunningStats busy;
+    for (std::size_t i = 0; i < segments.size(); ++i) {
+      if (clusters.labels[i] != c) continue;
+      durations.add(segments[i].length);
+      volumes.add(static_cast<double>(segments[i].bytes));
+      busy.add(segments[i].busy_ratio());
+    }
+
+    // Min-max scaling is relative to the trace-wide range; one giant segment
+    // can compress unrelated durations into one cluster. The raw-space CV
+    // bounds reject such artifacts.
+    if (durations.coefficient_of_variation() > thresholds.group_duration_cv) {
+      continue;
+    }
+    if (volumes.coefficient_of_variation() > thresholds.group_volume_cv) {
+      continue;
+    }
+
+    PeriodicGroup group;
+    group.period_seconds = durations.mean();
+    group.mean_bytes = volumes.mean();
+    group.busy_ratio = busy.mean();
+    group.occurrences = durations.count();
+    group.magnitude = classify_period_magnitude(group.period_seconds, thresholds);
+    result.groups.push_back(group);
+  }
+
+  std::sort(result.groups.begin(), result.groups.end(),
+            [](const PeriodicGroup& a, const PeriodicGroup& b) {
+              return a.occurrences > b.occurrences;
+            });
+  result.periodic = !result.groups.empty();
+  return result;
+}
+
+PeriodicityResult detect_periodicity_frequency(
+    std::span<const trace::IoOp> merged_ops, double runtime,
+    const Thresholds& thresholds) {
+  PeriodicityResult result;
+  if (merged_ops.size() < thresholds.min_group_size + 1 || runtime <= 0.0) {
+    return result;
+  }
+
+  // Bin the activity into a volume-per-second signal; coarsen the bins for
+  // very long runs so the FFT stays bounded.
+  const double bin_seconds = std::max(
+      1.0, runtime / static_cast<double>(thresholds.frequency_max_bins));
+  std::vector<std::pair<double, double>> samples;
+  samples.reserve(merged_ops.size() * 2);
+  double total_bytes = 0.0;
+  double total_op_seconds = 0.0;
+  double first_start = runtime;
+  double last_start = 0.0;
+  for (const trace::IoOp& op : merged_ops) {
+    // Spread the op's bytes across its window at bin resolution so long
+    // transfers are not mistaken for instant spikes.
+    const auto spread = static_cast<std::size_t>(
+        std::max(1.0, std::ceil(op.duration() / bin_seconds)));
+    const double chunk =
+        static_cast<double>(op.bytes) / static_cast<double>(spread);
+    for (std::size_t i = 0; i < spread; ++i) {
+      samples.emplace_back(op.start + (static_cast<double>(i) + 0.5) *
+                                          op.duration() /
+                                          static_cast<double>(spread),
+                           chunk);
+    }
+    total_bytes += static_cast<double>(op.bytes);
+    total_op_seconds += op.duration();
+    first_start = std::min(first_start, op.start);
+    last_start = std::max(last_start, op.start);
+  }
+  const std::vector<double> series =
+      cluster::bin_series(samples, runtime, bin_seconds);
+
+  cluster::DftDetectorConfig config;
+  config.bin_seconds = bin_seconds;
+  config.min_score = thresholds.frequency_min_score;
+  const cluster::DftPeriodicity detected =
+      cluster::detect_periodicity_dft(series, config);
+  if (!detected.periodic) return result;
+
+  const double active_span = std::max(last_start - first_start, bin_seconds);
+  for (const cluster::SpectralPeak& peak : detected.peaks) {
+    if (peak.score < thresholds.frequency_min_score) continue;
+    PeriodicGroup group;
+    group.period_seconds = peak.period_seconds;
+    group.occurrences = static_cast<std::size_t>(
+        std::max(1.0, std::floor(active_span / peak.period_seconds)));
+    if (group.occurrences < thresholds.min_group_size) continue;
+    // The signal view cannot attribute volume per peak; apportion the trace
+    // totals across the occurrences (exact when one periodic op dominates).
+    group.mean_bytes = total_bytes / static_cast<double>(group.occurrences);
+    group.busy_ratio = std::clamp(
+        total_op_seconds / static_cast<double>(group.occurrences) /
+            group.period_seconds,
+        0.0, 1.0);
+    group.magnitude = classify_period_magnitude(group.period_seconds, thresholds);
+    result.groups.push_back(group);
+  }
+  result.periodic = !result.groups.empty();
+  return result;
+}
+
+}  // namespace mosaic::core

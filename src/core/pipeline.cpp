@@ -1,0 +1,158 @@
+#include "core/pipeline.hpp"
+
+#include "core/merge.hpp"
+#include "core/segmentation.hpp"
+
+namespace mosaic::core {
+
+namespace {
+
+/// Periodicity label block for one kind, gated on significance.
+void flatten_periodicity(CategorySet& out, trace::OpKind kind,
+                         const KindAnalysis& analysis,
+                         const Thresholds& thresholds) {
+  if (analysis.temporality.label == Temporality::kInsignificant) return;
+  const PeriodicityResult& periodicity = analysis.periodicity;
+  if (!periodicity.periodic) return;
+
+  const bool read = kind == trace::OpKind::kRead;
+  out.insert(read ? Category::kReadPeriodic : Category::kWritePeriodic);
+
+  // Categories are non-exclusive: a trace with two periodic operations of
+  // different magnitudes carries both magnitude labels.
+  for (const PeriodicGroup& group : periodicity.groups) {
+    switch (group.magnitude) {
+      case PeriodMagnitude::kSecond:
+        out.insert(read ? Category::kReadPeriodicSecond
+                        : Category::kWritePeriodicSecond);
+        break;
+      case PeriodMagnitude::kMinute:
+        out.insert(read ? Category::kReadPeriodicMinute
+                        : Category::kWritePeriodicMinute);
+        break;
+      case PeriodMagnitude::kHour:
+        out.insert(read ? Category::kReadPeriodicHour
+                        : Category::kWritePeriodicHour);
+        break;
+      case PeriodMagnitude::kDayOrMore:
+        out.insert(read ? Category::kReadPeriodicDayOrMore
+                        : Category::kWritePeriodicDayOrMore);
+        break;
+    }
+  }
+
+  // Busy time follows the dominant periodic operation.
+  const double busy = periodicity.dominant().busy_ratio;
+  if (busy >= thresholds.busy_ratio_split) {
+    out.insert(read ? Category::kReadPeriodicHighBusyTime
+                    : Category::kWritePeriodicHighBusyTime);
+  } else {
+    out.insert(read ? Category::kReadPeriodicLowBusyTime
+                    : Category::kWritePeriodicLowBusyTime);
+  }
+}
+
+}  // namespace
+
+CategorySet flatten_categories(const KindAnalysis& read,
+                               const KindAnalysis& write,
+                               const MetadataResult& metadata,
+                               const Thresholds& thresholds) {
+  CategorySet out;
+  out.insert(temporality_category(trace::OpKind::kRead, read.temporality.label));
+  out.insert(
+      temporality_category(trace::OpKind::kWrite, write.temporality.label));
+  flatten_periodicity(out, trace::OpKind::kRead, read, thresholds);
+  flatten_periodicity(out, trace::OpKind::kWrite, write, thresholds);
+
+  if (metadata.insignificant) {
+    out.insert(Category::kMetadataInsignificantLoad);
+  } else {
+    if (metadata.high_spike) out.insert(Category::kMetadataHighSpike);
+    if (metadata.multiple_spikes) out.insert(Category::kMetadataMultipleSpikes);
+    if (metadata.high_density) out.insert(Category::kMetadataHighDensity);
+  }
+  return out;
+}
+
+KindAnalysis Analyzer::analyze_ops(std::vector<trace::IoOp> ops,
+                                   double runtime) const {
+  KindAnalysis analysis;
+  analysis.raw_ops = ops.size();
+
+  ops = merge_ops(std::move(ops), runtime, thresholds_);
+  analysis.merged_ops = ops.size();
+
+  switch (thresholds_.periodicity_backend) {
+    case PeriodicityBackend::kMeanShift:
+      analysis.periodicity =
+          detect_periodicity(segment_ops(ops), thresholds_);
+      break;
+    case PeriodicityBackend::kFrequency:
+      analysis.periodicity =
+          detect_periodicity_frequency(ops, runtime, thresholds_);
+      break;
+    case PeriodicityBackend::kHybrid:
+      analysis.periodicity =
+          detect_periodicity(segment_ops(ops), thresholds_);
+      if (!analysis.periodicity.periodic) {
+        analysis.periodicity =
+            detect_periodicity_frequency(ops, runtime, thresholds_);
+      }
+      break;
+  }
+  analysis.temporality = classify_temporality(ops, runtime, thresholds_);
+  return analysis;
+}
+
+KindAnalysis Analyzer::analyze_kind(const trace::Trace& trace,
+                                    trace::OpKind kind) const {
+  return analyze_ops(trace::extract_ops(trace, kind, thresholds_.min_op_width),
+                     trace.meta.run_time);
+}
+
+TraceResult Analyzer::analyze(const trace::Trace& trace) const {
+  TraceResult result;
+  result.app_key = trace.app_key();
+  result.job_id = trace.meta.job_id;
+  result.runtime = trace.meta.run_time;
+  result.nprocs = trace.meta.nprocs;
+  result.bytes_read = trace.total_bytes_read();
+  result.bytes_written = trace.total_bytes_written();
+
+  result.read = analyze_kind(trace, trace::OpKind::kRead);
+  result.write = analyze_kind(trace, trace::OpKind::kWrite);
+  result.metadata =
+      classify_metadata(trace::metadata_timeline(trace), trace.meta.run_time,
+                        trace.meta.nprocs, thresholds_);
+  result.categories = flatten_categories(result.read, result.write,
+                                         result.metadata, thresholds_);
+  return result;
+}
+
+BatchResult analyze_population(std::vector<trace::Trace> traces,
+                               const Thresholds& thresholds,
+                               parallel::ThreadPool* pool) {
+  BatchResult batch;
+  PreprocessResult pre = preprocess(std::move(traces));
+  batch.preprocess = pre.stats;
+  batch.runs_per_app = std::move(pre.runs_per_app);
+
+  const Analyzer analyzer(thresholds);
+  batch.results.resize(pre.retained.size());
+  if (pool != nullptr) {
+    parallel::parallel_for(
+        *pool, pre.retained.size(), [&](std::size_t begin, std::size_t end) {
+          for (std::size_t i = begin; i < end; ++i) {
+            batch.results[i] = analyzer.analyze(pre.retained[i]);
+          }
+        });
+  } else {
+    for (std::size_t i = 0; i < pre.retained.size(); ++i) {
+      batch.results[i] = analyzer.analyze(pre.retained[i]);
+    }
+  }
+  return batch;
+}
+
+}  // namespace mosaic::core

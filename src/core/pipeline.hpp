@@ -1,0 +1,107 @@
+// The end-to-end MOSAIC pipeline (paper Fig. 1).
+//
+//   validity check + dedup  ->  per-kind merging  ->  segmentation +
+//   Mean-Shift periodicity  ->  4-chunk temporality  ->  metadata rules
+//   ->  category set
+//
+// Analyzer handles one trace; analyze_population drives the whole dataset,
+// optionally in parallel, and keeps the pre-processing funnel and the
+// runs-per-application weights needed by the reports.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/categories.hpp"
+#include "core/metadata.hpp"
+#include "core/periodicity.hpp"
+#include "core/preprocess.hpp"
+#include "core/temporality.hpp"
+#include "core/thresholds.hpp"
+#include "parallel/thread_pool.hpp"
+#include "trace/trace.hpp"
+
+namespace mosaic::core {
+
+/// Analysis of one op kind (read or write) of one trace.
+struct KindAnalysis {
+  TemporalityResult temporality;
+  PeriodicityResult periodicity;
+  std::size_t raw_ops = 0;     ///< ops extracted before merging
+  std::size_t merged_ops = 0;  ///< ops after both merge passes
+};
+
+/// Full categorization of one trace — what MOSAIC writes per trace to its
+/// JSON output (§III-B4).
+struct TraceResult {
+  std::string app_key;
+  std::uint64_t job_id = 0;
+  double runtime = 0.0;
+  std::uint32_t nprocs = 1;
+  std::uint64_t bytes_read = 0;
+  std::uint64_t bytes_written = 0;
+
+  KindAnalysis read;
+  KindAnalysis write;
+  MetadataResult metadata;
+
+  /// The flattened non-exclusive category set.
+  CategorySet categories;
+};
+
+/// Per-trace categorization engine. Stateless w.r.t. traces; safe to share
+/// across threads.
+class Analyzer {
+ public:
+  explicit Analyzer(Thresholds thresholds = {}) : thresholds_(thresholds) {}
+
+  /// Categorizes a single (valid) trace.
+  [[nodiscard]] TraceResult analyze(const trace::Trace& trace) const;
+
+  /// Runs the per-kind pipeline (merging, segmentation, periodicity,
+  /// temporality) on an explicit operation stream instead of a trace's
+  /// aggregated file records. This is the entry point for DXT-level data,
+  /// where per-operation events are available and aggregation has not
+  /// collapsed long-open files into single windows (paper SIV-A).
+  [[nodiscard]] KindAnalysis analyze_ops(std::vector<trace::IoOp> ops,
+                                         double runtime) const;
+
+  [[nodiscard]] const Thresholds& thresholds() const noexcept {
+    return thresholds_;
+  }
+
+ private:
+  [[nodiscard]] KindAnalysis analyze_kind(const trace::Trace& trace,
+                                          trace::OpKind kind) const;
+
+  Thresholds thresholds_;
+};
+
+/// Derives the flat category set from the per-axis results. Exposed for
+/// tests; Analyzer::analyze calls it internally. Periodicity categories are
+/// only assigned for kinds whose volume is significant, mirroring the
+/// paper's exclusion of non-I/O-intensive traces.
+[[nodiscard]] CategorySet flatten_categories(const KindAnalysis& read,
+                                             const KindAnalysis& write,
+                                             const MetadataResult& metadata,
+                                             const Thresholds& thresholds = {});
+
+/// Result of analyzing a whole trace population.
+struct BatchResult {
+  PreprocessStats preprocess;
+  /// Valid executions per application key; weights the all-runs statistics.
+  std::map<std::string, std::size_t> runs_per_app;
+  /// One result per retained (deduplicated) trace.
+  std::vector<TraceResult> results;
+};
+
+/// Pre-processes and categorizes a population. When `pool` is non-null the
+/// per-trace analyses run on it (the paper's Dispy role); results keep the
+/// deterministic input order either way.
+[[nodiscard]] BatchResult analyze_population(
+    std::vector<trace::Trace> traces, const Thresholds& thresholds = {},
+    parallel::ThreadPool* pool = nullptr);
+
+}  // namespace mosaic::core

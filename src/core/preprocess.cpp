@@ -1,0 +1,48 @@
+#include "core/preprocess.hpp"
+
+#include <algorithm>
+
+namespace mosaic::core {
+
+PreprocessResult preprocess(std::vector<trace::Trace> traces,
+                            double validity_slack_seconds) {
+  PreprocessResult result;
+  result.stats.input_traces = traces.size();
+
+  // Step 1: evict corrupted traces, keeping the index of the heaviest valid
+  // trace per application key as we go.
+  std::map<std::string, std::size_t> heaviest;  // app key -> index in traces
+  std::vector<bool> keep(traces.size(), false);
+  for (std::size_t i = 0; i < traces.size(); ++i) {
+    const trace::ValidityReport report =
+        validate(traces[i], validity_slack_seconds);
+    if (!report.valid()) {
+      ++result.stats.corrupted;
+      ++result.stats.corruption_breakdown[trace::corruption_kind_name(
+          report.kind)];
+      continue;
+    }
+    ++result.stats.valid;
+    const std::string key = traces[i].app_key();
+    ++result.runs_per_app[key];
+    const auto [slot, inserted] = heaviest.try_emplace(key, i);
+    if (!inserted &&
+        traces[i].total_bytes() > traces[slot->second].total_bytes()) {
+      slot->second = i;
+    }
+  }
+
+  // Step 2: retain the heaviest trace per application, in input order for
+  // reproducibility.
+  for (const auto& [key, index] : heaviest) keep[index] = true;
+  result.retained.reserve(heaviest.size());
+  for (std::size_t i = 0; i < traces.size(); ++i) {
+    if (keep[i]) result.retained.push_back(std::move(traces[i]));
+  }
+
+  result.stats.unique_applications = heaviest.size();
+  result.stats.retained = result.retained.size();
+  return result;
+}
+
+}  // namespace mosaic::core

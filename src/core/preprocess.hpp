@@ -1,0 +1,48 @@
+// Trace pre-processing (paper §III-B1, steps (1) of Fig. 1; evaluated in
+// Fig. 3).
+//
+// Two reductions run before categorization:
+//   1. Validity check — corrupted traces (e.g. deallocation recorded past the
+//      end of execution) are evicted. Blue Waters 2019: 32% evicted.
+//   2. Application dedup — all executions of the same application by the
+//      same user are assumed to share categories; only the heaviest (most
+//      I/O-intensive) trace per (user, app) is analyzed. Blue Waters 2019:
+//      8% of valid traces retained.
+// The runs-per-application map is kept so reports can re-weight single-run
+// results to the full execution set ("all runs" columns of Tables II/III).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "trace/trace.hpp"
+
+namespace mosaic::core {
+
+/// Funnel counters matching paper Fig. 3.
+struct PreprocessStats {
+  std::size_t input_traces = 0;
+  std::size_t corrupted = 0;        ///< evicted by the validity check
+  std::size_t valid = 0;            ///< input - corrupted
+  std::size_t unique_applications = 0;
+  std::size_t retained = 0;         ///< == unique_applications
+  /// Eviction reasons, keyed by CorruptionKind name.
+  std::map<std::string, std::size_t> corruption_breakdown;
+};
+
+/// Pre-processing output: the retained traces plus bookkeeping.
+struct PreprocessResult {
+  std::vector<trace::Trace> retained;
+  /// Valid executions per application key (user/app), including the retained
+  /// one. Drives the "all runs" weighting in reports.
+  std::map<std::string, std::size_t> runs_per_app;
+  PreprocessStats stats;
+};
+
+/// Runs both reductions. Consumes the input vector (traces are moved out).
+[[nodiscard]] PreprocessResult preprocess(std::vector<trace::Trace> traces,
+                                          double validity_slack_seconds = 1.0);
+
+}  // namespace mosaic::core

@@ -1,0 +1,140 @@
+#include "core/temporality.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/stats.hpp"
+
+namespace mosaic::core {
+
+const char* temporality_name(Temporality label) noexcept {
+  switch (label) {
+    case Temporality::kInsignificant: return "insignificant";
+    case Temporality::kOnStart: return "on_start";
+    case Temporality::kAfterStart: return "after_start";
+    case Temporality::kBeforeEnd: return "before_end";
+    case Temporality::kOnEnd: return "on_end";
+    case Temporality::kAfterStartBeforeEnd: return "after_start_before_end";
+    case Temporality::kSteady: return "steady";
+    case Temporality::kUnclassified: return "unclassified";
+  }
+  return "unknown";
+}
+
+Category temporality_category(trace::OpKind kind, Temporality label) noexcept {
+  const bool read = kind == trace::OpKind::kRead;
+  switch (label) {
+    case Temporality::kOnStart:
+      return read ? Category::kReadOnStart : Category::kWriteOnStart;
+    case Temporality::kOnEnd:
+      return read ? Category::kReadOnEnd : Category::kWriteOnEnd;
+    case Temporality::kAfterStart:
+      return read ? Category::kReadAfterStart : Category::kWriteAfterStart;
+    case Temporality::kBeforeEnd:
+      return read ? Category::kReadBeforeEnd : Category::kWriteBeforeEnd;
+    case Temporality::kAfterStartBeforeEnd:
+      return read ? Category::kReadAfterStartBeforeEnd
+                  : Category::kWriteAfterStartBeforeEnd;
+    case Temporality::kSteady:
+      return read ? Category::kReadSteady : Category::kWriteSteady;
+    case Temporality::kInsignificant:
+      return read ? Category::kReadInsignificant : Category::kWriteInsignificant;
+    case Temporality::kUnclassified:
+      return read ? Category::kReadUnclassified : Category::kWriteUnclassified;
+  }
+  return Category::kReadUnclassified;
+}
+
+std::vector<double> chunk_volumes(std::span<const trace::IoOp> ops,
+                                  double runtime, std::size_t chunks) {
+  MOSAIC_ASSERT(runtime > 0.0);
+  MOSAIC_ASSERT(chunks >= 1);
+  std::vector<double> volumes(chunks, 0.0);
+  const double chunk_len = runtime / static_cast<double>(chunks);
+  for (const trace::IoOp& op : ops) {
+    // Clamp the window into the job; corrupted inputs were evicted earlier,
+    // but the slack-tolerant validator admits small excursions.
+    const double start = std::clamp(op.start, 0.0, runtime);
+    const double end = std::clamp(op.end, 0.0, runtime);
+    const double duration = end - start;
+    if (duration <= 0.0) {
+      // Degenerate window: attribute everything to the containing chunk.
+      auto index = static_cast<std::size_t>(
+          std::min(start / chunk_len, static_cast<double>(chunks - 1)));
+      volumes[index] += static_cast<double>(op.bytes);
+      continue;
+    }
+    const auto first_chunk = static_cast<std::size_t>(
+        std::min(start / chunk_len, static_cast<double>(chunks - 1)));
+    const auto last_chunk = static_cast<std::size_t>(
+        std::min(end / chunk_len, static_cast<double>(chunks - 1)));
+    for (std::size_t c = first_chunk; c <= last_chunk; ++c) {
+      const double chunk_start = static_cast<double>(c) * chunk_len;
+      const double chunk_end = chunk_start + chunk_len;
+      const double overlap =
+          std::min(end, chunk_end) - std::max(start, chunk_start);
+      if (overlap <= 0.0) continue;
+      volumes[c] += static_cast<double>(op.bytes) * (overlap / duration);
+    }
+  }
+  return volumes;
+}
+
+Temporality classify_chunks(std::span<const double> chunks, double total_bytes,
+                            const Thresholds& thresholds) {
+  if (total_bytes < static_cast<double>(thresholds.min_bytes)) {
+    return Temporality::kInsignificant;
+  }
+  MOSAIC_ASSERT(chunks.size() >= 4);
+
+  if (util::coefficient_of_variation(chunks) < thresholds.steady_cv) {
+    return Temporality::kSteady;
+  }
+
+  // Single-chunk dominance: strictly more than `dominance_factor` times
+  // every other chunk.
+  const double factor = thresholds.dominance_factor;
+  for (std::size_t i = 0; i < chunks.size(); ++i) {
+    if (chunks[i] <= 0.0) continue;
+    bool dominates = true;
+    for (std::size_t j = 0; j < chunks.size(); ++j) {
+      if (j != i && chunks[i] <= factor * chunks[j]) {
+        dominates = false;
+        break;
+      }
+    }
+    if (!dominates) continue;
+    if (i == 0) return Temporality::kOnStart;
+    if (i == chunks.size() - 1) return Temporality::kOnEnd;
+    if (i == 1) return Temporality::kAfterStart;
+    if (i == chunks.size() - 2) return Temporality::kBeforeEnd;
+    // With more than four chunks an interior dominance maps to the middle
+    // label below.
+    return Temporality::kAfterStartBeforeEnd;
+  }
+
+  // Middle dominance: the interior chunks jointly outweigh the extremes.
+  double middle = 0.0;
+  for (std::size_t i = 1; i + 1 < chunks.size(); ++i) middle += chunks[i];
+  const double extremes = chunks.front() + chunks.back();
+  if (middle > factor * extremes) {
+    return Temporality::kAfterStartBeforeEnd;
+  }
+
+  return Temporality::kUnclassified;
+}
+
+TemporalityResult classify_temporality(std::span<const trace::IoOp> ops,
+                                       double runtime,
+                                       const Thresholds& thresholds) {
+  TemporalityResult result;
+  result.chunk_bytes = chunk_volumes(ops, runtime, thresholds.temporality_chunks);
+  for (const trace::IoOp& op : ops) {
+    result.total_bytes += static_cast<double>(op.bytes);
+  }
+  result.label =
+      classify_chunks(result.chunk_bytes, result.total_bytes, thresholds);
+  return result;
+}
+
+}  // namespace mosaic::core

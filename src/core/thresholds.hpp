@@ -1,0 +1,99 @@
+// Runtime-configurable thresholds of the MOSAIC classifiers.
+//
+// The paper sets these empirically on one month of Blue Waters traces and
+// validates them by sampling (§III-B3a); it explicitly requires that they be
+// modifiable to widen or narrow what gets categorized (§III-A). Defaults
+// below are the paper's published values where given, and the documented
+// empirical choices elsewhere.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace mosaic::core {
+
+/// Periodicity detection backend (paper SV lists signal-processing
+/// techniques as short-term future work; kFrequency implements them).
+enum class PeriodicityBackend : std::uint8_t {
+  kMeanShift,  ///< segmentation + Mean-Shift clustering (the paper's method)
+  kFrequency,  ///< FFT/autocorrelation over the binned activity signal
+  kHybrid,     ///< Mean-Shift first; frequency as a fallback when it is mute
+};
+
+struct Thresholds {
+  // --- Insignificance (§III-A) ---------------------------------------------
+  /// Reads or writes below this volume make the trace read_/write_
+  /// insignificant. Paper: 100 MB.
+  std::uint64_t min_bytes = 100ull * 1000 * 1000;
+
+  // --- Neighbor merging (§III-B2b) -----------------------------------------
+  /// Merge neighboring ops when the gap is below this fraction of the total
+  /// execution time. Paper: 0.1%.
+  double neighbor_gap_runtime_fraction = 0.001;
+  /// ... or below this fraction of the nearby merged op's duration. Paper: 1%.
+  double neighbor_gap_op_fraction = 0.01;
+
+  // --- Temporality (§III-B3b) ----------------------------------------------
+  /// Number of equal execution-time chunks. Paper: 4.
+  std::size_t temporality_chunks = 4;
+  /// A chunk dominates when it holds more than this factor times the bytes of
+  /// every other chunk. Paper: 2x.
+  double dominance_factor = 2.0;
+  /// Coefficient of variation across chunks below which behavior is steady.
+  /// Paper: 25%.
+  double steady_cv = 0.25;
+
+  // --- Periodicity (§III-B3a) ----------------------------------------------
+  /// Mean-Shift bandwidth in min-max-scaled (duration, log-volume) space.
+  /// Empirical (the paper refined it on one month of traces).
+  double meanshift_bandwidth = 0.12;
+  /// Minimum segments per group: the paper accepts groups "strictly greater
+  /// than 1".
+  std::size_t min_group_size = 2;
+  /// Post-clustering sanity bound: a periodic group's segment durations must
+  /// agree to this relative spread (CV). Guards against min-max scaling
+  /// collapsing unrelated durations when one giant segment stretches the
+  /// range. Empirical.
+  double group_duration_cv = 0.35;
+  /// Same bound for per-op volumes inside a group. Empirical.
+  double group_volume_cv = 0.5;
+  /// Busy-time ratio (op duration / period) at or above which the behavior is
+  /// periodic_high_busy_time; below is low. The paper observes 96% of
+  /// periodic writers below 25%.
+  double busy_ratio_split = 0.25;
+  /// Period magnitude bucket bounds, in seconds (half-open downward: a
+  /// period of exactly one hour is periodic_hour).
+  double period_second_max = 60.0;      ///< [0, 60)    -> periodic_second
+  double period_minute_max = 3600.0;    ///< [60, 1h)   -> periodic_minute
+  double period_hour_max = 86400.0;     ///< [1h, 24h)  -> periodic_hour
+                                        ///< beyond     -> periodic_day_or_more
+
+  // --- Metadata (§III-B3c) --------------------------------------------------
+  /// One-second burst above which a trace has metadata_high_spike. Paper: 250
+  /// requests in one second (derived from Mistral saturating near 3000 req/s).
+  double high_spike_requests = 250.0;
+  /// A "spike" is a second with at least this many requests. Paper: 50.
+  double spike_requests = 50.0;
+  /// Spike count needed for metadata_multiple_spikes and high_density. Paper: 5.
+  std::size_t multiple_spike_count = 5;
+  /// Average requests/second over the execution for high_density. Paper: 50.
+  double high_density_mean_requests = 50.0;
+  // Insignificant metadata load: fewer metadata ops than ranks (§III-A);
+  // the comparison is structural, no constant needed.
+
+  // --- Periodicity backend (paper SV future work) ---------------------------
+  /// Which detector drives the periodic categories.
+  PeriodicityBackend periodicity_backend = PeriodicityBackend::kMeanShift;
+  /// Minimum normalized autocorrelation confidence for the frequency
+  /// backend.
+  double frequency_min_score = 0.15;
+  /// Upper bound on the activity-series length for the frequency backend;
+  /// longer runs use coarser bins (bounds FFT cost per trace).
+  std::size_t frequency_max_bins = 4096;
+
+  // --- Op extraction --------------------------------------------------------
+  /// Zero-length access windows are widened to this duration (seconds).
+  double min_op_width = 1e-3;
+};
+
+}  // namespace mosaic::core

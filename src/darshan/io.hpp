@@ -1,0 +1,22 @@
+// Unified trace loading: dispatch by file extension plus directory scans.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "trace/trace.hpp"
+#include "util/error.hpp"
+
+namespace mosaic::darshan {
+
+/// Loads a trace from `path`: ".mbt" files decode as binary, everything else
+/// parses as darshan-parser text.
+[[nodiscard]] util::Expected<trace::Trace> read_trace_file(
+    const std::string& path);
+
+/// Lists trace files (".mbt", ".txt", ".darshan.txt") under `directory`,
+/// sorted lexicographically for reproducible processing order.
+[[nodiscard]] util::Expected<std::vector<std::string>> scan_trace_dir(
+    const std::string& directory);
+
+}  // namespace mosaic::darshan

@@ -1,0 +1,111 @@
+#include "report/accuracy.hpp"
+
+#include <algorithm>
+
+#include "util/rng.hpp"
+
+namespace mosaic::report {
+
+namespace {
+
+/// Bitmask of the category range [first, last] (inclusive).
+std::uint64_t range_mask(core::Category first, core::Category last) {
+  std::uint64_t mask = 0;
+  for (auto c = static_cast<unsigned>(first); c <= static_cast<unsigned>(last);
+       ++c) {
+    mask |= 1ull << c;
+  }
+  return mask;
+}
+
+/// Compares predicted and truth sets restricted to a category range.
+bool axis_matches(const core::CategorySet& predicted,
+                  const core::CategorySet& truth, std::uint64_t mask) {
+  return (predicted.raw() & mask) == (truth.raw() & mask);
+}
+
+}  // namespace
+
+std::map<std::uint64_t, const sim::LabeledTrace*> truth_index(
+    const std::vector<sim::LabeledTrace>& population) {
+  std::map<std::uint64_t, const sim::LabeledTrace*> index;
+  for (const sim::LabeledTrace& labeled : population) {
+    if (labeled.corrupted) continue;  // truth void for corrupted traces
+    index.emplace(labeled.trace.meta.job_id, &labeled);
+  }
+  return index;
+}
+
+AccuracyReport score_accuracy(
+    const std::vector<core::TraceResult>& results,
+    const std::map<std::uint64_t, const sim::LabeledTrace*>& truths) {
+  using core::Category;
+  const std::uint64_t read_temp_mask =
+      range_mask(Category::kReadOnStart, Category::kReadUnclassified);
+  const std::uint64_t write_temp_mask =
+      range_mask(Category::kWriteOnStart, Category::kWriteUnclassified);
+  const std::uint64_t read_periodic_mask =
+      range_mask(Category::kReadPeriodic, Category::kReadPeriodicHighBusyTime);
+  const std::uint64_t write_periodic_mask = range_mask(
+      Category::kWritePeriodic, Category::kWritePeriodicHighBusyTime);
+  const std::uint64_t metadata_mask = range_mask(
+      Category::kMetadataHighSpike, Category::kMetadataInsignificantLoad);
+
+  AccuracyReport report;
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto it = truths.find(results[i].job_id);
+    if (it == truths.end()) continue;
+    const core::CategorySet& predicted = results[i].categories;
+    const core::CategorySet& truth = it->second->truth.categories;
+
+    const bool rt = axis_matches(predicted, truth, read_temp_mask);
+    const bool wt = axis_matches(predicted, truth, write_temp_mask);
+    const bool rp = axis_matches(predicted, truth, read_periodic_mask);
+    const bool wp = axis_matches(predicted, truth, write_periodic_mask);
+    const bool md = axis_matches(predicted, truth, metadata_mask);
+
+    const auto tally = [](AxisAccuracy& axis, bool ok) {
+      ++axis.total;
+      if (ok) ++axis.correct;
+    };
+    tally(report.read_temporality, rt);
+    tally(report.write_temporality, wt);
+    tally(report.read_periodicity, rp);
+    tally(report.write_periodicity, wp);
+    tally(report.metadata, md);
+
+    const bool all_ok = rt && wt && rp && wp && md;
+    tally(report.overall, all_ok);
+    if (!all_ok) {
+      report.misclassified.push_back(i);
+      if (it->second->truth.ambiguous) ++report.errors_on_ambiguous;
+    }
+  }
+  return report;
+}
+
+AccuracyReport score_sampled_accuracy(
+    const std::vector<core::TraceResult>& results,
+    const std::map<std::uint64_t, const sim::LabeledTrace*>& truths,
+    std::size_t sample_size, std::uint64_t seed) {
+  if (results.size() <= sample_size) {
+    return score_accuracy(results, truths);
+  }
+  // Deterministic sample without replacement (partial Fisher-Yates over an
+  // index vector).
+  std::vector<std::size_t> indices(results.size());
+  for (std::size_t i = 0; i < indices.size(); ++i) indices[i] = i;
+  util::Rng rng(seed);
+  std::vector<core::TraceResult> sample;
+  sample.reserve(sample_size);
+  for (std::size_t k = 0; k < sample_size; ++k) {
+    const auto pick = static_cast<std::size_t>(rng.uniform_int(
+        static_cast<std::int64_t>(k),
+        static_cast<std::int64_t>(indices.size()) - 1));
+    std::swap(indices[k], indices[pick]);
+    sample.push_back(results[indices[k]]);
+  }
+  return score_accuracy(sample, truths);
+}
+
+}  // namespace mosaic::report

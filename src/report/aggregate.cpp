@@ -1,0 +1,68 @@
+#include "report/aggregate.hpp"
+
+namespace mosaic::report {
+
+using core::Category;
+using core::kCategoryCount;
+
+double CategoryDistribution::single_fraction(Category category) const noexcept {
+  if (trace_count == 0) return 0.0;
+  return static_cast<double>(single[static_cast<std::size_t>(category)]) /
+         static_cast<double>(trace_count);
+}
+
+double CategoryDistribution::weighted_fraction(
+    Category category) const noexcept {
+  if (run_count <= 0.0) return 0.0;
+  return weighted[static_cast<std::size_t>(category)] / run_count;
+}
+
+CategoryDistribution aggregate_categories(
+    const std::vector<core::TraceResult>& results,
+    const std::map<std::string, std::size_t>& runs_per_app) {
+  CategoryDistribution distribution;
+  distribution.trace_count = results.size();
+  for (const core::TraceResult& result : results) {
+    const auto it = runs_per_app.find(result.app_key);
+    const double runs =
+        it == runs_per_app.end() ? 1.0 : static_cast<double>(it->second);
+    distribution.run_count += runs;
+    for (std::size_t c = 0; c < kCategoryCount; ++c) {
+      if (result.categories.contains(static_cast<Category>(c))) {
+        ++distribution.single[c];
+        distribution.weighted[c] += runs;
+      }
+    }
+  }
+  return distribution;
+}
+
+CategoryDistribution aggregate_categories(const core::BatchResult& batch) {
+  return aggregate_categories(batch.results, batch.runs_per_app);
+}
+
+PeriodicBreakdown periodic_breakdown(const core::BatchResult& batch,
+                                     trace::OpKind kind) {
+  PeriodicBreakdown breakdown;
+  for (const core::TraceResult& result : batch.results) {
+    const core::KindAnalysis& analysis =
+        kind == trace::OpKind::kRead ? result.read : result.write;
+    // Match the pipeline's gating: insignificant kinds carry no periodicity.
+    if (!analysis.periodicity.periodic ||
+        analysis.temporality.label == core::Temporality::kInsignificant) {
+      continue;
+    }
+    const auto it = batch.runs_per_app.find(result.app_key);
+    const double runs =
+        it == batch.runs_per_app.end() ? 1.0 : static_cast<double>(it->second);
+    ++breakdown.periodic_traces;
+    breakdown.periodic_runs += runs;
+    const auto magnitude = static_cast<std::size_t>(
+        analysis.periodicity.dominant().magnitude);
+    ++breakdown.single[magnitude];
+    breakdown.weighted[magnitude] += runs;
+  }
+  return breakdown;
+}
+
+}  // namespace mosaic::report

@@ -1,0 +1,59 @@
+// Aggregate category statistics over a categorized population.
+//
+// The paper reports every distribution twice (paper §III-B4): over the
+// deduplicated single-run set (behavior of distinct applications) and over
+// all executions (load seen by the parallel file system). The all-runs view
+// re-weights each retained trace by the number of valid executions of its
+// application — MOSAIC's dedup assumes runs of an application share
+// categories, so the retained trace stands in for all of them.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/pipeline.hpp"
+
+namespace mosaic::report {
+
+/// Per-category counts over a population.
+struct CategoryDistribution {
+  /// Count of retained traces carrying each category (single-run view).
+  std::array<std::size_t, core::kCategoryCount> single{};
+  /// Run-weighted counts (all-runs view).
+  std::array<double, core::kCategoryCount> weighted{};
+  std::size_t trace_count = 0;   ///< retained traces
+  double run_count = 0.0;        ///< total valid executions represented
+
+  /// Fraction of retained traces with the category.
+  [[nodiscard]] double single_fraction(core::Category category) const noexcept;
+  /// Fraction of all executions with the category.
+  [[nodiscard]] double weighted_fraction(core::Category category) const noexcept;
+};
+
+/// Builds the distribution. `runs_per_app` comes from pre-processing; apps
+/// missing from it count as one run.
+[[nodiscard]] CategoryDistribution aggregate_categories(
+    const std::vector<core::TraceResult>& results,
+    const std::map<std::string, std::size_t>& runs_per_app);
+
+/// Convenience over a BatchResult.
+[[nodiscard]] CategoryDistribution aggregate_categories(
+    const core::BatchResult& batch);
+
+/// Period-magnitude breakdown of the periodic traces of one op kind
+/// (drives paper Table II's Min/Hour columns).
+struct PeriodicBreakdown {
+  /// Indexed by PeriodMagnitude. Single-run trace counts and run weights.
+  std::array<std::size_t, 4> single{};
+  std::array<double, 4> weighted{};
+  std::size_t periodic_traces = 0;
+  double periodic_runs = 0.0;
+};
+
+[[nodiscard]] PeriodicBreakdown periodic_breakdown(
+    const core::BatchResult& batch, trace::OpKind kind);
+
+}  // namespace mosaic::report

@@ -1,0 +1,68 @@
+#include "report/csv.hpp"
+
+#include <cstdio>
+#include <fstream>
+
+namespace mosaic::report {
+
+std::string csv_escape(std::string_view field) {
+  const bool needs_quotes =
+      field.find_first_of(",\"\n\r") != std::string_view::npos;
+  if (!needs_quotes) return std::string(field);
+  std::string out = "\"";
+  for (const char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+std::string distribution_to_csv(const CategoryDistribution& distribution) {
+  std::string out =
+      "category,single_run_fraction,all_runs_fraction,trace_count\n";
+  char line[160];
+  for (const core::Category category : core::all_categories()) {
+    std::snprintf(line, sizeof line, "%s,%.6f,%.6f,%zu\n",
+                  std::string(core::category_name(category)).c_str(),
+                  distribution.single_fraction(category),
+                  distribution.weighted_fraction(category),
+                  distribution.single[static_cast<std::size_t>(category)]);
+    out += line;
+  }
+  return out;
+}
+
+std::string matrix_to_csv(const CategoryMatrix& matrix) {
+  std::string out = "category";
+  for (const core::Category category : matrix.categories) {
+    out += ',';
+    out += csv_escape(core::category_name(category));
+  }
+  out += '\n';
+  char cell[32];
+  for (std::size_t i = 0; i < matrix.categories.size(); ++i) {
+    out += csv_escape(core::category_name(matrix.categories[i]));
+    for (std::size_t j = 0; j < matrix.categories.size(); ++j) {
+      std::snprintf(cell, sizeof cell, ",%.6f", matrix.values[i][j]);
+      out += cell;
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+util::Status write_text_to_file(const std::string& text,
+                                const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return util::Error{util::ErrorCode::kIoError, "cannot create " + path};
+  }
+  out.write(text.data(), static_cast<std::streamsize>(text.size()));
+  if (!out) {
+    return util::Error{util::ErrorCode::kIoError, "write failure on " + path};
+  }
+  return util::Status::success();
+}
+
+}  // namespace mosaic::report

@@ -1,0 +1,33 @@
+// CSV export of report artifacts, for plotting pipelines (gnuplot, pandas).
+//
+// The paper's figures are plots; the bench harness prints text tables, and
+// this module emits the same data as RFC 4180-style CSV so the figures can
+// be regenerated graphically.
+#pragma once
+
+#include <string>
+
+#include "report/aggregate.hpp"
+#include "report/jaccard.hpp"
+#include "util/error.hpp"
+
+namespace mosaic::report {
+
+/// Escapes one CSV field (quotes when it contains comma/quote/newline).
+[[nodiscard]] std::string csv_escape(std::string_view field);
+
+/// Category distribution as CSV: category,single_run_fraction,
+/// all_runs_fraction,trace_count. Categories nobody carries are included
+/// (zero rows) so downstream joins stay stable.
+[[nodiscard]] std::string distribution_to_csv(
+    const CategoryDistribution& distribution);
+
+/// A category matrix (Jaccard or conditional) as CSV with a header row and
+/// a label column.
+[[nodiscard]] std::string matrix_to_csv(const CategoryMatrix& matrix);
+
+/// Writes `text` to `path`.
+[[nodiscard]] util::Status write_text_to_file(const std::string& text,
+                                              const std::string& path);
+
+}  // namespace mosaic::report

@@ -1,0 +1,173 @@
+#include "report/jaccard.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace mosaic::report {
+
+using core::Category;
+using core::kCategoryCount;
+
+namespace {
+
+/// Pairwise co-occurrence counts, optionally run-weighted.
+struct Cooccurrence {
+  std::array<double, kCategoryCount> marginal{};
+  // Upper-triangular including diagonal, flattened.
+  std::vector<double> joint =
+      std::vector<double>(kCategoryCount * kCategoryCount, 0.0);
+  double total = 0.0;
+
+  [[nodiscard]] double pair(std::size_t a, std::size_t b) const {
+    return joint[a * kCategoryCount + b];
+  }
+};
+
+Cooccurrence count_cooccurrence(
+    const std::vector<core::TraceResult>& results,
+    const std::map<std::string, std::size_t>* runs_per_app) {
+  Cooccurrence counts;
+  for (const core::TraceResult& result : results) {
+    double weight = 1.0;
+    if (runs_per_app != nullptr) {
+      const auto it = runs_per_app->find(result.app_key);
+      if (it != runs_per_app->end()) weight = static_cast<double>(it->second);
+    }
+    counts.total += weight;
+    const std::vector<Category> present = result.categories.to_vector();
+    for (const Category a : present) {
+      const auto ia = static_cast<std::size_t>(a);
+      counts.marginal[ia] += weight;
+      for (const Category b : present) {
+        counts.joint[ia * kCategoryCount + static_cast<std::size_t>(b)] +=
+            weight;
+      }
+    }
+  }
+  return counts;
+}
+
+/// Categories with non-zero support, preserving enum order.
+std::vector<Category> present_categories(const Cooccurrence& counts) {
+  std::vector<Category> present;
+  for (std::size_t c = 0; c < kCategoryCount; ++c) {
+    if (counts.marginal[c] > 0.0) present.push_back(static_cast<Category>(c));
+  }
+  return present;
+}
+
+}  // namespace
+
+CategoryMatrix jaccard_matrix(
+    const std::vector<core::TraceResult>& results,
+    const std::map<std::string, std::size_t>* runs_per_app) {
+  const Cooccurrence counts = count_cooccurrence(results, runs_per_app);
+  CategoryMatrix matrix;
+  matrix.categories = present_categories(counts);
+  const std::size_t n = matrix.categories.size();
+  matrix.values.assign(n, std::vector<double>(n, 0.0));
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      const auto a = static_cast<std::size_t>(matrix.categories[i]);
+      const auto b = static_cast<std::size_t>(matrix.categories[j]);
+      const double intersection = counts.pair(a, b);
+      const double union_size =
+          counts.marginal[a] + counts.marginal[b] - intersection;
+      matrix.values[i][j] = union_size > 0.0 ? intersection / union_size : 0.0;
+    }
+  }
+  return matrix;
+}
+
+CategoryMatrix conditional_matrix(
+    const std::vector<core::TraceResult>& results,
+    const std::map<std::string, std::size_t>* runs_per_app) {
+  const Cooccurrence counts = count_cooccurrence(results, runs_per_app);
+  CategoryMatrix matrix;
+  matrix.categories = present_categories(counts);
+  const std::size_t n = matrix.categories.size();
+  matrix.values.assign(n, std::vector<double>(n, 0.0));
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto a = static_cast<std::size_t>(matrix.categories[i]);
+    if (counts.marginal[a] <= 0.0) continue;
+    for (std::size_t j = 0; j < n; ++j) {
+      const auto b = static_cast<std::size_t>(matrix.categories[j]);
+      matrix.values[i][j] = counts.pair(a, b) / counts.marginal[a];
+    }
+  }
+  return matrix;
+}
+
+std::string render_heatmap(const CategoryMatrix& matrix, double min_value) {
+  // Shade ramp from faint to solid.
+  static constexpr const char* kRamp[] = {".", ":", "-", "+", "*", "#", "@"};
+  constexpr std::size_t kRampSize = std::size(kRamp);
+
+  std::string out;
+  const std::size_t n = matrix.categories.size();
+
+  // Column key legend (indices keep rows narrow).
+  out += "columns:\n";
+  for (std::size_t j = 0; j < n; ++j) {
+    char head[64];
+    std::snprintf(head, sizeof head, "  [%2zu] %s\n", j,
+                  std::string(core::category_name(matrix.categories[j])).c_str());
+    out += head;
+  }
+  out += '\n';
+
+  for (std::size_t i = 0; i < n; ++i) {
+    char label[64];
+    std::snprintf(label, sizeof label, "[%2zu] %-30s ", i,
+                  std::string(core::category_name(matrix.categories[i])).c_str());
+    out += label;
+    for (std::size_t j = 0; j < n; ++j) {
+      const double value = matrix.values[i][j];
+      if (i == j) {
+        out += ' ';
+      } else if (value < min_value) {
+        out += ' ';
+      } else {
+        const auto shade = static_cast<std::size_t>(
+            std::min(value, 0.999) * static_cast<double>(kRampSize));
+        out += kRamp[shade];
+      }
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+std::string top_pairs(const CategoryMatrix& matrix, std::size_t count,
+                      bool symmetric) {
+  struct Entry {
+    std::size_t i, j;
+    double value;
+  };
+  std::vector<Entry> entries;
+  const std::size_t n = matrix.categories.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t j_begin = symmetric ? i + 1 : 0;
+    for (std::size_t j = j_begin; j < n; ++j) {
+      if (i == j) continue;
+      entries.push_back({i, j, matrix.values[i][j]});
+    }
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const Entry& a, const Entry& b) { return a.value > b.value; });
+  std::string out;
+  const char* arrow = symmetric ? "<->" : "=>";
+  for (std::size_t k = 0; k < std::min(count, entries.size()); ++k) {
+    char line[160];
+    std::snprintf(
+        line, sizeof line, "%-30s %s %-30s : %.2f\n",
+        std::string(core::category_name(matrix.categories[entries[k].i])).c_str(),
+        arrow,
+        std::string(core::category_name(matrix.categories[entries[k].j])).c_str(),
+        entries[k].value);
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace mosaic::report

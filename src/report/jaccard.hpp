@@ -1,0 +1,48 @@
+// Cross-category correlation via the Jaccard index (paper §III-B4, Fig. 5).
+//
+// For two categories A and B over a population of categorized traces,
+// J(A,B) = |traces with A and B| / |traces with A or B|. MOSAIC renders the
+// matrix as a heatmap to surface recurrent associations — e.g. read_on_start
+// with write_on_end (the read-compute-write motif) — that can inform
+// I/O-aware scheduling. A conditional-probability matrix P(B|A) accompanies
+// it because several of the paper's §IV-D bullets are conditionals.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/pipeline.hpp"
+
+namespace mosaic::report {
+
+/// A labeled square matrix over the categories present in the population.
+struct CategoryMatrix {
+  std::vector<core::Category> categories;     ///< row/column labels
+  std::vector<std::vector<double>> values;    ///< values[i][j]
+};
+
+/// Jaccard matrix over retained traces. When `runs_per_app` is non-null the
+/// counts are weighted by executions (all-runs view). Categories absent from
+/// every trace are dropped from the matrix.
+[[nodiscard]] CategoryMatrix jaccard_matrix(
+    const std::vector<core::TraceResult>& results,
+    const std::map<std::string, std::size_t>* runs_per_app = nullptr);
+
+/// Conditional matrix: values[i][j] = P(category j | category i).
+[[nodiscard]] CategoryMatrix conditional_matrix(
+    const std::vector<core::TraceResult>& results,
+    const std::map<std::string, std::size_t>* runs_per_app = nullptr);
+
+/// ASCII heatmap (shade characters per cell); values below `min_value`
+/// render blank, mirroring the paper's ">1% only" filter.
+[[nodiscard]] std::string render_heatmap(const CategoryMatrix& matrix,
+                                         double min_value = 0.01);
+
+/// The strongest off-diagonal pairs, formatted one per line, strongest
+/// first: "read_on_start <-> write_on_end : 0.66".
+[[nodiscard]] std::string top_pairs(const CategoryMatrix& matrix,
+                                    std::size_t count = 12,
+                                    bool symmetric = true);
+
+}  // namespace mosaic::report

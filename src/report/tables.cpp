@@ -1,0 +1,55 @@
+#include "report/tables.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace mosaic::report {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  MOSAIC_ASSERT(!headers_.empty());
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  MOSAIC_ASSERT(cells.size() <= headers_.size());
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  std::string out;
+  const auto emit_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      out += c == 0 ? "| " : " | ";
+      out += cells[c];
+      out.append(widths[c] - cells[c].size(), ' ');
+    }
+    out += " |\n";
+  };
+
+  emit_row(headers_);
+  out += '|';
+  for (const std::size_t width : widths) {
+    out.append(width + 2, '-');
+    out += '|';
+  }
+  out += '\n';
+  for (const auto& row : rows_) emit_row(row);
+  return out;
+}
+
+std::string TextTable::render_markdown() const {
+  // The aligned form is already valid GitHub markdown.
+  return render();
+}
+
+}  // namespace mosaic::report

@@ -1,0 +1,33 @@
+// Plain-text table renderer for the bench harnesses and examples.
+//
+// Produces aligned monospace tables (and markdown) so every reproduced
+// paper table prints with the same row/column structure as the original.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace mosaic::report {
+
+/// Column-aligned text table builder.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Adds one row; missing cells render empty, extra cells are an error.
+  void add_row(std::vector<std::string> cells);
+
+  /// Aligned ASCII rendering with a header separator.
+  [[nodiscard]] std::string render() const;
+
+  /// GitHub-flavored markdown rendering.
+  [[nodiscard]] std::string render_markdown() const;
+
+  [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace mosaic::report

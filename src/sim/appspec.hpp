@@ -1,0 +1,131 @@
+// Application behavior specifications for the trace generator.
+//
+// An AppSpec is a parametric model of one HPC application's I/O personality:
+// which bursts, periodic operations, steady streams and metadata storms it
+// performs, how large they are, and how desynchronized its ranks run. The
+// generator realizes a spec into a Darshan-shaped Trace; because it knows
+// what it planted, every synthetic trace carries ground-truth categories —
+// the substitute for the paper's manual validation of 512 sampled traces.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/categories.hpp"
+#include "trace/trace.hpp"
+
+namespace mosaic::sim {
+
+/// A repeated (checkpoint-like) operation: `count` bursts `period` seconds
+/// apart, each moving `bytes_per_burst` split over `files_per_burst` files.
+struct PeriodicSpec {
+  trace::OpKind kind = trace::OpKind::kWrite;
+  double period_seconds = 600.0;
+  double period_jitter_frac = 0.02;   ///< per-burst start jitter (fraction
+                                      ///< of the period)
+  std::uint64_t bytes_per_burst = 1ull << 30;
+  std::uint32_t files_per_burst = 1;  ///< distinct files per burst
+  double start_frac = 0.05;           ///< first burst position (fraction of
+                                      ///< runtime)
+  double end_frac = 0.98;             ///< last possible burst position
+};
+
+/// A one-off burst at a position in the run (input read, final result, ...).
+struct BurstSpec {
+  trace::OpKind kind = trace::OpKind::kRead;
+  double position_frac = 0.0;   ///< burst start as a fraction of runtime
+  double position_jitter = 0.02;  ///< per-run Gaussian jitter on the position;
+                                  ///< runs drifting across a chunk boundary
+                                  ///< become the classifier's hard cases
+  /// When > 0, the access window spans this fraction of the runtime instead
+  /// of the PFS-derived transfer time — sloppy post-processing phases whose
+  /// bytes spread unevenly across chunks (the paper's main error source).
+  double duration_frac = 0.0;
+  std::uint64_t bytes = 4ull << 30;
+  std::uint32_t file_count = 1;
+};
+
+/// A long-open file accessed throughout execution. Darshan's aggregation
+/// collapses it into one window spanning the run — the paper's "likely
+/// actually periodic" steady case (§IV-A).
+struct SteadySpec {
+  trace::OpKind kind = trace::OpKind::kWrite;
+  std::uint64_t bytes = 8ull << 30;
+  double start_frac = 0.01;  ///< window begin
+  double end_frac = 0.99;    ///< window end
+  /// Per-run Gaussian jitter applied independently to both window edges;
+  /// shrinking coverage pushes the chunk profile toward the steady-CV
+  /// boundary, another of the classifier's hard cases.
+  double edge_jitter = 0.0;
+  /// When > 0, the stream is *actually periodic*: appends to the long-open
+  /// file every inner_period seconds. Darshan's per-file aggregation hides
+  /// this (one window spanning the run -> steady), which is the limitation
+  /// the paper discusses in SIV-A; DXT-level traces reveal it.
+  double inner_period = 0.0;
+};
+
+/// A deliberate assault on the metadata server: `spike_count` bursts of
+/// `requests_per_spike` opens (of tiny files), `spacing_seconds` apart.
+struct MetaStormSpec {
+  double start_frac = 0.1;
+  std::uint32_t spike_count = 8;
+  std::uint32_t requests_per_spike = 300;
+  double spacing_seconds = 30.0;
+};
+
+/// Complete I/O personality of an application.
+struct AppSpec {
+  std::string name;
+
+  // Job shape. Runtime is lognormal(log(runtime_median), runtime_sigma);
+  // nprocs is 2^U[log2_nprocs_min, log2_nprocs_max].
+  double runtime_median = 3600.0;
+  double runtime_sigma = 0.3;
+  std::uint32_t log2_nprocs_min = 5;   ///< 32 ranks
+  std::uint32_t log2_nprocs_max = 9;   ///< 512 ranks
+
+  std::vector<PeriodicSpec> periodic;
+  std::vector<BurstSpec> bursts;
+  std::vector<SteadySpec> steady;
+  std::vector<MetaStormSpec> storms;
+
+  /// Std-dev (seconds) of rank desynchronization applied to burst windows.
+  double desync_sigma = 0.5;
+  /// Per-run scale noise applied to every byte volume (lognormal sigma).
+  double volume_sigma = 0.1;
+  /// Incidental metadata activity (library loads, rc files): opens spread at
+  /// job start, roughly this many per run. Kept below nprocs for quiet apps.
+  std::uint32_t ambient_opens = 2;
+  /// Ambient read volume (library loading) in MB: lognormal(median, sigma).
+  /// A heavy tail (sigma >~ 1) occasionally crosses the 100 MB significance
+  /// threshold — the paper's stated limitation where massive library loading
+  /// at start is miscategorized as application read_on_start (§III-A).
+  double ambient_mb_median = 3.0;
+  double ambient_mb_sigma = 0.5;
+};
+
+/// Ground-truth labels attached by the generator. `categories` holds the
+/// intended category set; `ambiguous` marks traces the spec deliberately
+/// places on a classifier boundary (e.g. a burst straddling two temporal
+/// chunks), which are expected to account for most MOSAIC errors (§IV-E).
+struct GroundTruth {
+  core::CategorySet categories;
+  bool ambiguous = false;
+};
+
+/// A generated trace bundled with its provenance.
+struct LabeledTrace {
+  trace::Trace trace;
+  GroundTruth truth;
+  std::string archetype;   ///< population archetype name
+  bool corrupted = false;  ///< corruption was injected (truth then void)
+  /// Fine-grained per-operation events, as Darshan's DXT module would have
+  /// recorded them (only filled when the generator runs with emit_dxt).
+  /// Where the aggregated trace collapses a long-open file into one window,
+  /// dxt_ops keeps the individual accesses — the basis of the aggregation
+  /// ablation (bench/ablation_aggregation).
+  std::vector<trace::IoOp> dxt_ops;
+};
+
+}  // namespace mosaic::sim

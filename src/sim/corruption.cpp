@@ -1,0 +1,80 @@
+#include "sim/corruption.hpp"
+
+#include <array>
+#include <limits>
+
+namespace mosaic::sim {
+
+void corrupt_trace(trace::Trace& trace, CorruptionStyle style, util::Rng& rng) {
+  const bool has_files = !trace.files.empty();
+  if (!has_files && (style == CorruptionStyle::kDeallocationPastEnd ||
+                     style == CorruptionStyle::kNegativeTimestamp ||
+                     style == CorruptionStyle::kInvertedWindow ||
+                     style == CorruptionStyle::kCounterMismatch)) {
+    style = CorruptionStyle::kZeroRuntime;
+  }
+
+  const auto pick_file = [&]() -> trace::FileRecord& {
+    const auto index = static_cast<std::size_t>(rng.uniform_int(
+        0, static_cast<std::int64_t>(trace.files.size()) - 1));
+    return trace.files[index];
+  };
+
+  switch (style) {
+    case CorruptionStyle::kDeallocationPastEnd: {
+      // The paper's example: the close lands beyond the job window, as if
+      // the deallocation happened before the execution finished recording.
+      trace::FileRecord& file = pick_file();
+      file.close_ts = trace.meta.run_time * rng.uniform(1.5, 4.0) + 120.0;
+      break;
+    }
+    case CorruptionStyle::kNegativeTimestamp: {
+      trace::FileRecord& file = pick_file();
+      file.open_ts = -rng.uniform(1.0, 1e4);
+      break;
+    }
+    case CorruptionStyle::kInvertedWindow: {
+      trace::FileRecord& file = pick_file();
+      const double open = file.open_ts;
+      file.open_ts = file.close_ts + rng.uniform(1.0, 60.0) + 2.0;
+      file.close_ts = open;
+      break;
+    }
+    case CorruptionStyle::kNonFinite:
+      trace.meta.run_time = std::numeric_limits<double>::quiet_NaN();
+      break;
+    case CorruptionStyle::kCounterMismatch: {
+      trace::FileRecord& file = pick_file();
+      if (file.bytes_written > 0) {
+        file.writes = 0;
+      } else {
+        file.bytes_read =
+            std::max<std::uint64_t>(file.bytes_read, 1ull << 20);
+        if (file.first_read_ts == trace::kNoTimestamp) {
+          file.first_read_ts = file.open_ts;
+          file.last_read_ts = file.close_ts;
+        }
+        file.reads = 0;
+      }
+      break;
+    }
+    case CorruptionStyle::kZeroRuntime:
+      trace.meta.run_time = 0.0;
+      break;
+  }
+}
+
+CorruptionStyle random_corruption_style(util::Rng& rng) {
+  // Timing-related corruption dominates real logs; the rest is a long tail.
+  static constexpr std::array<double, kCorruptionStyleCount> kWeights{
+      0.45,  // deallocation past end
+      0.15,  // negative timestamp
+      0.15,  // inverted window
+      0.08,  // non-finite
+      0.10,  // counter mismatch
+      0.07,  // zero runtime
+  };
+  return static_cast<CorruptionStyle>(rng.categorical(kWeights));
+}
+
+}  // namespace mosaic::sim

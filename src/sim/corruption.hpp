@@ -1,0 +1,40 @@
+// Corruption injection for synthetic traces.
+//
+// The Blue Waters 2019 dataset loses 32% of its traces to corruption
+// (paper Fig. 3); the canonical example given is a deallocation recorded
+// before the end of the application's execution. The injector mutates an
+// otherwise valid trace into one of the corruption classes the validator
+// detects, so the pre-processing funnel and its eviction breakdown can be
+// exercised end to end.
+#pragma once
+
+#include <cstdint>
+
+#include "trace/trace.hpp"
+#include "util/rng.hpp"
+
+namespace mosaic::sim {
+
+/// Supported mutation styles (each maps to a trace::CorruptionKind the
+/// validator reports).
+enum class CorruptionStyle : std::uint8_t {
+  kDeallocationPastEnd,  ///< close timestamp beyond the job window
+  kNegativeTimestamp,    ///< open timestamp below zero
+  kInvertedWindow,       ///< close before open
+  kNonFinite,            ///< NaN run time
+  kCounterMismatch,      ///< bytes recorded with zero calls
+  kZeroRuntime,          ///< run_time forced to zero
+};
+
+inline constexpr std::size_t kCorruptionStyleCount = 6;
+
+/// Applies `style` to the trace in place. Traces without file records can
+/// only take the job-level styles; the injector falls back to kZeroRuntime
+/// in that case.
+void corrupt_trace(trace::Trace& trace, CorruptionStyle style, util::Rng& rng);
+
+/// Picks a style with the rough mix observed in practice (timing corruption
+/// dominates).
+[[nodiscard]] CorruptionStyle random_corruption_style(util::Rng& rng);
+
+}  // namespace mosaic::sim

@@ -1,0 +1,352 @@
+#include "sim/generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/metadata.hpp"
+#include "core/periodicity.hpp"
+
+namespace mosaic::sim {
+
+using core::Category;
+using core::Temporality;
+using trace::FileRecord;
+using trace::OpKind;
+
+namespace {
+
+/// Marks intents whose realized geometry sits near a classifier boundary.
+bool near_chunk_boundary(double frac) noexcept {
+  for (const double boundary : {0.25, 0.5, 0.75}) {
+    if (std::abs(frac - boundary) < 0.04) return true;
+  }
+  return false;
+}
+
+/// Approximate I/O call count for a byte volume (4 MiB average requests).
+std::uint64_t call_count(std::uint64_t bytes) noexcept {
+  return std::max<std::uint64_t>(1, bytes >> 22);
+}
+
+}  // namespace
+
+LabeledTrace TraceGenerator::generate(const AppSpec& spec, const Intent& intent,
+                                      const JobIdentity& id,
+                                      util::Rng& rng) const {
+  LabeledTrace out;
+  out.archetype = spec.name;
+  trace::Trace& t = out.trace;
+
+  // --- Job shape -----------------------------------------------------------
+  double runtime =
+      rng.lognormal(std::log(spec.runtime_median), spec.runtime_sigma);
+  runtime = std::clamp(runtime, 120.0, 7.0 * 86400.0);
+  MOSAIC_ASSERT(spec.log2_nprocs_min <= spec.log2_nprocs_max);
+  const auto nprocs = static_cast<std::uint32_t>(
+      1u << rng.uniform_int(spec.log2_nprocs_min, spec.log2_nprocs_max));
+
+  t.meta.job_id = id.job_id;
+  t.meta.app_name = spec.name;
+  t.meta.user = id.user;
+  t.meta.nprocs = nprocs;
+  t.meta.start_time = id.start_epoch;
+  t.meta.run_time = runtime;
+
+  // --- Plant bookkeeping ----------------------------------------------------
+  std::uint64_t planted_read = 0;
+  std::uint64_t planted_write = 0;
+  bool ambiguous = false;
+
+  const auto volume_noise = [&] {
+    return rng.lognormal(0.0, spec.volume_sigma);
+  };
+
+  /// Adds one aggregated file record covering [t0, t1] moving `bytes`.
+  std::uint32_t file_counter = 0;
+  const auto add_record = [&](OpKind kind, std::uint64_t bytes, double t0,
+                              double t1, std::uint64_t opens,
+                              std::uint64_t seeks, const char* tag) {
+    ++file_counter;
+    t0 = std::clamp(t0, 0.0, runtime - 0.01);
+    t1 = std::clamp(t1, t0 + 1e-4, runtime);
+    FileRecord record;
+    record.file_id =
+        util::mix64(id.job_id * 0x9E3779B1ull + file_counter * 0x85EBCA77ull);
+    record.file_name =
+        "/scratch/" + id.user + "/" + spec.name + "/" + tag + "_" +
+        std::to_string(file_counter);
+    record.rank = trace::kSharedRank;
+    record.opens = std::max<std::uint64_t>(opens, 1);
+    record.closes = record.opens;
+    record.seeks = seeks;
+    record.open_ts = std::max(0.0, t0 - 0.02);
+    record.close_ts = std::min(runtime, t1 + 0.05);
+    if (bytes > 0) {
+      if (kind == OpKind::kRead) {
+        record.bytes_read = bytes;
+        record.reads = call_count(bytes);
+        record.first_read_ts = t0;
+        record.last_read_ts = t1;
+        planted_read += bytes;
+      } else {
+        record.bytes_written = bytes;
+        record.writes = call_count(bytes);
+        record.first_write_ts = t0;
+        record.last_write_ts = t1;
+        planted_write += bytes;
+      }
+    }
+    t.files.push_back(std::move(record));
+  };
+
+  /// Records one fine-grained event as DXT would see it.
+  const auto add_dxt = [&](OpKind kind, std::uint64_t bytes, double t0,
+                           double t1) {
+    if (!emit_dxt_ || bytes == 0) return;
+    trace::IoOp op;
+    op.start = std::clamp(t0, 0.0, runtime - 0.01);
+    op.end = std::clamp(t1, op.start + 1e-4, runtime);
+    op.bytes = bytes;
+    op.kind = kind;
+    out.dxt_ops.push_back(op);
+  };
+
+  /// Opens attributed to one planted element, from its share of the ranks.
+  const auto elem_opens = [&](double factor, std::uint32_t files) {
+    const double total = std::max(1.0, factor * static_cast<double>(nprocs));
+    return static_cast<std::uint64_t>(
+        std::max(1.0, std::round(total / std::max(1u, files))));
+  };
+
+  // --- Steady streams (aggregation hides any inner structure) ---------------
+  for (const SteadySpec& steady : spec.steady) {
+    const auto bytes = static_cast<std::uint64_t>(
+        static_cast<double>(steady.bytes) * volume_noise());
+    const double start_frac = std::clamp(
+        steady.start_frac + rng.normal(0.0, steady.edge_jitter), 0.0, 0.9);
+    const double end_frac = std::clamp(
+        steady.end_frac + rng.normal(0.0, steady.edge_jitter),
+        start_frac + 0.05, 1.0);
+    // Long-open streams are written/read sequentially: essentially no SEEKs,
+    // so their metadata footprint is the opens alone.
+    add_record(steady.kind, bytes, start_frac * runtime, end_frac * runtime,
+               elem_opens(0.25, 1), 0, "stream");
+    if (emit_dxt_) {
+      const double window_start = start_frac * runtime;
+      const double window_end = end_frac * runtime;
+      if (steady.inner_period > 0.0) {
+        // The hidden truth: periodic appends inside the long-open window.
+        const auto appends = static_cast<std::size_t>(std::max(
+            1.0, std::floor((window_end - window_start) / steady.inner_period)));
+        const std::uint64_t per_append =
+            std::max<std::uint64_t>(1, bytes / appends);
+        for (std::size_t i = 0; i < appends; ++i) {
+          const double at = window_start +
+                            static_cast<double>(i) * steady.inner_period +
+                            rng.normal(0.0, 0.01 * steady.inner_period);
+          const double duration = pfs_.transfer_seconds(per_append, nprocs);
+          add_dxt(steady.kind, per_append, at, at + duration);
+        }
+      } else {
+        add_dxt(steady.kind, bytes, window_start, window_end);
+      }
+    }
+    // Shrunk coverage drives the chunk profile toward the steady-CV rule's
+    // boundary; flag it so the accuracy report can attribute those errors.
+    if (end_frac - start_frac < 0.7) ambiguous = true;
+  }
+
+  // --- One-off bursts --------------------------------------------------------
+  for (const BurstSpec& burst : spec.bursts) {
+    const auto bytes = static_cast<std::uint64_t>(
+        static_cast<double>(burst.bytes) * volume_noise());
+    const double position = std::clamp(
+        burst.position_frac + rng.normal(0.0, burst.position_jitter), 0.0,
+        0.985);
+    const double start = position * runtime;
+    const double duration =
+        burst.duration_frac > 0.0
+            ? burst.duration_frac * runtime * rng.lognormal(0.0, 0.25)
+            : pfs_.transfer_seconds(bytes, nprocs) * rng.lognormal(0.0, 0.2);
+    const std::uint64_t per_file_bytes =
+        std::max<std::uint64_t>(1, bytes / std::max(1u, burst.file_count));
+    for (std::uint32_t f = 0; f < burst.file_count; ++f) {
+      // Rank desynchronization staggers the per-file windows slightly; the
+      // merging passes must fuse them back into one burst.
+      const double stagger = std::abs(rng.normal(0.0, spec.desync_sigma));
+      const double widen = std::abs(rng.normal(0.0, spec.desync_sigma));
+      add_record(burst.kind, per_file_bytes, start + stagger,
+                 start + stagger + duration + widen,
+                 elem_opens(1.0, burst.file_count), per_file_bytes >> 24,
+                 "burst");
+      add_dxt(burst.kind, per_file_bytes, start + stagger,
+              start + stagger + duration + widen);
+    }
+    if (near_chunk_boundary(position)) ambiguous = true;
+    // A wide window split substantially across a chunk boundary is exactly
+    // the "operation unequally spread across multiple chunks" case the paper
+    // blames for most errors.
+    if (burst.duration_frac > 0.0) {
+      const double window_end = position + duration / runtime;
+      for (const double boundary : {0.25, 0.5, 0.75}) {
+        if (position < boundary && window_end > boundary) {
+          const double left = boundary - position;
+          const double right = window_end - boundary;
+          const double width = window_end - position;
+          if (left > 0.25 * width && right > 0.25 * width) ambiguous = true;
+        }
+      }
+    }
+  }
+
+  // --- Periodic operations (fresh files per burst stay visible) -------------
+  struct RealizedPeriodic {
+    OpKind kind;
+    double period;
+    double busy_ratio;
+    std::size_t count;
+  };
+  std::vector<RealizedPeriodic> realized_periodic;
+  for (const PeriodicSpec& periodic : spec.periodic) {
+    const double window =
+        (periodic.end_frac - periodic.start_frac) * runtime;
+    const auto count = static_cast<std::size_t>(
+        std::floor(window / periodic.period_seconds)) + 1;
+    const auto burst_bytes = static_cast<std::uint64_t>(
+        static_cast<double>(periodic.bytes_per_burst) * volume_noise());
+    const double duration = pfs_.transfer_seconds(burst_bytes, nprocs);
+    const std::uint64_t per_file_bytes = std::max<std::uint64_t>(
+        1, burst_bytes / std::max(1u, periodic.files_per_burst));
+    for (std::size_t i = 0; i < count; ++i) {
+      const double jitter =
+          rng.normal(0.0, periodic.period_jitter_frac * periodic.period_seconds);
+      const double start = periodic.start_frac * runtime +
+                           static_cast<double>(i) * periodic.period_seconds +
+                           jitter;
+      if (start + duration >= runtime) break;
+      for (std::uint32_t f = 0; f < periodic.files_per_burst; ++f) {
+        const double stagger = std::abs(rng.normal(0.0, spec.desync_sigma));
+        add_record(periodic.kind, per_file_bytes, start + stagger,
+                   start + stagger + duration,
+                   elem_opens(1.0, periodic.files_per_burst),
+                   per_file_bytes >> 24, "ckpt");
+        add_dxt(periodic.kind, per_file_bytes, start + stagger,
+                start + stagger + duration);
+      }
+    }
+    realized_periodic.push_back({periodic.kind, periodic.period_seconds,
+                                 duration / periodic.period_seconds, count});
+  }
+
+  // --- Metadata storms --------------------------------------------------------
+  for (const MetaStormSpec& storm : spec.storms) {
+    for (std::uint32_t s = 0; s < storm.spike_count; ++s) {
+      const double at = storm.start_frac * runtime +
+                        static_cast<double>(s) * storm.spacing_seconds;
+      if (at >= runtime - 1.0) break;
+      add_record(OpKind::kRead, 0, at, at + 0.2, storm.requests_per_spike / 2,
+                 storm.requests_per_spike - storm.requests_per_spike / 2,
+                 "meta");
+    }
+  }
+
+  // --- Ambient activity (library loads, config files) ------------------------
+  // The volume is heavy-tailed: a rare run drags in a massive software stack
+  // whose loading crosses the significance threshold. Ground truth keeps
+  // calling that insignificant (it is not application I/O), reproducing the
+  // miscategorization mode the paper acknowledges for §III-A's thresholds.
+  std::uint64_t ambient_bytes = 0;
+  if (spec.ambient_opens > 0) {
+    ambient_bytes = static_cast<std::uint64_t>(std::clamp(
+        rng.lognormal(std::log(spec.ambient_mb_median * 1e6),
+                      spec.ambient_mb_sigma),
+        1e5, 1e9));
+    add_record(OpKind::kRead, ambient_bytes, 0.0, 0.4, spec.ambient_opens, 0,
+               "lib");
+    planted_read -= ambient_bytes;  // not application I/O: excluded from truth
+    if (static_cast<double>(ambient_bytes) >
+        0.5 * static_cast<double>(thresholds_.min_bytes)) {
+      ambiguous = true;
+    }
+  }
+
+  // --- Ground truth -----------------------------------------------------------
+  const std::uint64_t min_bytes = thresholds_.min_bytes;
+  const Temporality read_label =
+      planted_read < min_bytes ? Temporality::kInsignificant
+                               : intent.read_temporality;
+  const Temporality write_label =
+      planted_write < min_bytes ? Temporality::kInsignificant
+                                : intent.write_temporality;
+  if (planted_read > 0 && static_cast<double>(planted_read) >
+                              0.7 * static_cast<double>(min_bytes) &&
+      static_cast<double>(planted_read) <
+          1.4 * static_cast<double>(min_bytes)) {
+    ambiguous = true;
+  }
+  if (planted_write > 0 && static_cast<double>(planted_write) >
+                               0.7 * static_cast<double>(min_bytes) &&
+      static_cast<double>(planted_write) <
+          1.4 * static_cast<double>(min_bytes)) {
+    ambiguous = true;
+  }
+
+  core::CategorySet truth;
+  truth.insert(core::temporality_category(OpKind::kRead, read_label));
+  truth.insert(core::temporality_category(OpKind::kWrite, write_label));
+
+  for (const RealizedPeriodic& p : realized_periodic) {
+    // Detectability needs >= 3 occurrences (two same-length segments), and
+    // the kind must be significant — matching the pipeline's gating.
+    const bool read_kind = p.kind == OpKind::kRead;
+    const Temporality kind_label = read_kind ? read_label : write_label;
+    if (p.count < 3 || kind_label == Temporality::kInsignificant) continue;
+    truth.insert(read_kind ? Category::kReadPeriodic : Category::kWritePeriodic);
+    switch (core::classify_period_magnitude(p.period, thresholds_)) {
+      case core::PeriodMagnitude::kSecond:
+        truth.insert(read_kind ? Category::kReadPeriodicSecond
+                               : Category::kWritePeriodicSecond);
+        break;
+      case core::PeriodMagnitude::kMinute:
+        truth.insert(read_kind ? Category::kReadPeriodicMinute
+                               : Category::kWritePeriodicMinute);
+        break;
+      case core::PeriodMagnitude::kHour:
+        truth.insert(read_kind ? Category::kReadPeriodicHour
+                               : Category::kWritePeriodicHour);
+        break;
+      case core::PeriodMagnitude::kDayOrMore:
+        truth.insert(read_kind ? Category::kReadPeriodicDayOrMore
+                               : Category::kWritePeriodicDayOrMore);
+        break;
+    }
+    if (p.busy_ratio >= thresholds_.busy_ratio_split) {
+      truth.insert(read_kind ? Category::kReadPeriodicHighBusyTime
+                             : Category::kWritePeriodicHighBusyTime);
+    } else {
+      truth.insert(read_kind ? Category::kReadPeriodicLowBusyTime
+                             : Category::kWritePeriodicLowBusyTime);
+    }
+    if (p.count == 3) ambiguous = true;  // borderline detectability
+  }
+
+  // Metadata rules are definitional; applying them to the planted timeline
+  // *is* the ground truth.
+  const core::MetadataResult metadata_truth = core::classify_metadata(
+      trace::metadata_timeline(t), runtime, nprocs, thresholds_);
+  if (metadata_truth.insignificant) {
+    truth.insert(Category::kMetadataInsignificantLoad);
+  } else {
+    if (metadata_truth.high_spike) truth.insert(Category::kMetadataHighSpike);
+    if (metadata_truth.multiple_spikes) {
+      truth.insert(Category::kMetadataMultipleSpikes);
+    }
+    if (metadata_truth.high_density) truth.insert(Category::kMetadataHighDensity);
+  }
+
+  out.truth.categories = truth;
+  out.truth.ambiguous = ambiguous;
+  return out;
+}
+
+}  // namespace mosaic::sim

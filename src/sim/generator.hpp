@@ -1,0 +1,59 @@
+// Realizes AppSpecs into Darshan-shaped traces with ground-truth labels.
+//
+// The generator emits exactly what Blue Waters Darshan logs expose: per-file
+// aggregated access windows and counters. It reproduces the dataset's known
+// behaviors and pathologies — rank desynchronization (staggered windows that
+// the merging passes must fuse), long-open files whose periodic accesses are
+// hidden by aggregation, fresh-file-per-checkpoint patterns that stay
+// visible, and metadata request storms.
+#pragma once
+
+#include "core/temporality.hpp"
+#include "core/thresholds.hpp"
+#include "sim/appspec.hpp"
+#include "sim/pfs.hpp"
+#include "util/rng.hpp"
+
+namespace mosaic::sim {
+
+/// Per-kind intent an archetype declares; realized volumes may demote a
+/// label to insignificant (the generator re-checks against the thresholds).
+struct Intent {
+  core::Temporality read_temporality = core::Temporality::kInsignificant;
+  core::Temporality write_temporality = core::Temporality::kInsignificant;
+};
+
+/// Identity of one synthetic execution.
+struct JobIdentity {
+  std::uint64_t job_id = 0;
+  std::string user = "u0";
+  double start_epoch = 1.5e9;
+};
+
+/// Spec realization engine. Stateless; all randomness comes from the Rng
+/// passed per call, so population generation parallelizes with forked
+/// streams.
+class TraceGenerator {
+ public:
+  /// `emit_dxt` additionally records per-operation events in
+  /// LabeledTrace::dxt_ops (what Darshan's DXT module would capture),
+  /// including the inner structure that per-file aggregation hides.
+  explicit TraceGenerator(PfsModel pfs = PfsModel{},
+                          core::Thresholds thresholds = {},
+                          bool emit_dxt = false)
+      : pfs_(pfs), thresholds_(thresholds), emit_dxt_(emit_dxt) {}
+
+  /// Generates one labeled trace for `spec` with the declared `intent`.
+  [[nodiscard]] LabeledTrace generate(const AppSpec& spec, const Intent& intent,
+                                      const JobIdentity& id,
+                                      util::Rng& rng) const;
+
+  [[nodiscard]] const PfsModel& pfs() const noexcept { return pfs_; }
+
+ private:
+  PfsModel pfs_;
+  core::Thresholds thresholds_;
+  bool emit_dxt_ = false;
+};
+
+}  // namespace mosaic::sim

@@ -1,0 +1,165 @@
+#include "sim/interference.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "core/merge.hpp"
+
+namespace mosaic::sim {
+
+namespace {
+
+/// One operation's state inside the fluid simulation.
+struct FlowOp {
+  double start = 0.0;
+  double remaining_bytes = 0.0;
+  double solo_rate = 0.0;  ///< bytes/s when uncontended
+  int job = 0;             ///< 0 = a, 1 = b
+  bool active = false;
+  bool done = false;
+  double finish = 0.0;     ///< filled when the op completes
+};
+
+}  // namespace
+
+JobLoad job_load_from_trace(const trace::Trace& trace) {
+  JobLoad load;
+  load.nprocs = trace.meta.nprocs;
+  for (const trace::OpKind kind : {trace::OpKind::kRead, trace::OpKind::kWrite}) {
+    auto ops = core::merge_ops(trace::extract_ops(trace, kind),
+                               trace.meta.run_time);
+    load.ops.insert(load.ops.end(), ops.begin(), ops.end());
+  }
+  std::sort(load.ops.begin(), load.ops.end(),
+            [](const trace::IoOp& x, const trace::IoOp& y) {
+              return x.start < y.start;
+            });
+  load.metadata = trace::metadata_timeline(trace);
+  return load;
+}
+
+InterferenceResult simulate_pair(const JobLoad& a, const JobLoad& b,
+                                 const InterferenceConfig& config) {
+  const PfsModel pfs(config.pfs);
+  InterferenceResult result;
+
+  // Solo baselines and flow-op setup.
+  std::vector<FlowOp> flows;
+  const auto add_job = [&](const JobLoad& job, int index, JobOutcome& outcome) {
+    const double rate = pfs.effective_bandwidth(job.nprocs);
+    for (const trace::IoOp& op : job.ops) {
+      outcome.solo_io_seconds += pfs.transfer_seconds(op.bytes, job.nprocs);
+      FlowOp flow;
+      flow.start = op.start;
+      flow.remaining_bytes = static_cast<double>(op.bytes);
+      flow.solo_rate = rate;
+      flow.job = index;
+      flows.push_back(flow);
+    }
+  };
+  add_job(a, 0, result.a);
+  add_job(b, 1, result.b);
+
+  const double capacity =
+      config.shared_capacity_factor *
+      std::max(pfs.effective_bandwidth(a.nprocs),
+               pfs.effective_bandwidth(b.nprocs));
+
+  // Event-driven fluid simulation: events are op starts and the earliest
+  // projected completion at the current (proportionally throttled) rates.
+  std::sort(flows.begin(), flows.end(),
+            [](const FlowOp& x, const FlowOp& y) { return x.start < y.start; });
+  std::size_t next_start = 0;
+  double now = flows.empty() ? 0.0 : flows.front().start;
+  std::size_t remaining = flows.size();
+
+  while (remaining > 0) {
+    // Activate everything that has started by `now`.
+    while (next_start < flows.size() && flows[next_start].start <= now + 1e-12) {
+      if (!flows[next_start].done) flows[next_start].active = true;
+      ++next_start;
+    }
+
+    // Current demand and throttle factor.
+    double demand = 0.0;
+    bool job_active[2] = {false, false};
+    for (const FlowOp& flow : flows) {
+      if (flow.active && !flow.done) {
+        demand += flow.solo_rate;
+        job_active[flow.job] = true;
+      }
+    }
+
+    if (demand <= 0.0) {
+      // Idle gap: jump to the next op start.
+      if (next_start >= flows.size()) break;  // nothing left to run
+      now = flows[next_start].start;
+      continue;
+    }
+    const double throttle = demand > capacity ? capacity / demand : 1.0;
+
+    // Next event: the earliest completion at current rates, or next start.
+    double next_event = std::numeric_limits<double>::infinity();
+    if (next_start < flows.size()) next_event = flows[next_start].start;
+    for (const FlowOp& flow : flows) {
+      if (!flow.active || flow.done) continue;
+      const double rate =
+          std::max(flow.solo_rate * throttle, 1.0);  // floor avoids stalls
+      next_event = std::min(next_event, now + flow.remaining_bytes / rate);
+    }
+    MOSAIC_ASSERT(std::isfinite(next_event));
+    const double dt = std::max(next_event - now, 0.0);
+    // Floating-point guard: at large `now`, a sub-ulp completion interval
+    // rounds dt to zero and the loop would never drain the last bytes. Any
+    // op within `time_epsilon` seconds of finishing completes at this event.
+    const double time_epsilon = 1e-9 * (std::abs(now) + 1.0);
+
+    // Integrate.
+    if (job_active[0] && job_active[1]) result.overlap_seconds += dt;
+    for (FlowOp& flow : flows) {
+      if (!flow.active || flow.done) continue;
+      const double rate = std::max(flow.solo_rate * throttle, 1.0);
+      flow.remaining_bytes -= rate * dt;
+      (flow.job == 0 ? result.a : result.b).shared_io_seconds += dt;
+      if (flow.remaining_bytes <= rate * time_epsilon) {
+        flow.done = true;
+        flow.active = false;
+        flow.finish = next_event;
+        --remaining;
+      }
+    }
+    now = next_event;
+  }
+
+  // Per-op latency floors count in both views identically.
+  result.a.shared_io_seconds +=
+      static_cast<double>(a.ops.size()) * config.pfs.op_latency;
+  result.b.shared_io_seconds +=
+      static_cast<double>(b.ops.size()) * config.pfs.op_latency;
+
+  // Metadata overload: per-second combined request histogram vs MDS rate.
+  if (!a.metadata.empty() || !b.metadata.empty()) {
+    double horizon = 1.0;
+    for (const auto& event : a.metadata) horizon = std::max(horizon, event.time);
+    for (const auto& event : b.metadata) horizon = std::max(horizon, event.time);
+    const auto seconds = static_cast<std::size_t>(std::ceil(horizon)) + 1;
+    std::vector<double> requests(seconds, 0.0);
+    const auto fill = [&](const std::vector<trace::MetaEvent>& events) {
+      for (const auto& event : events) {
+        const auto bin = static_cast<std::size_t>(
+            std::clamp(event.time, 0.0, horizon));
+        requests[bin] += static_cast<double>(event.requests);
+      }
+    };
+    fill(a.metadata);
+    fill(b.metadata);
+    for (const double r : requests) {
+      if (r > config.pfs.mds_rate) result.mds_overload_seconds += 1.0;
+    }
+  }
+
+  return result;
+}
+
+}  // namespace mosaic::sim

@@ -1,0 +1,71 @@
+// Co-scheduling interference simulation (paper §V, long-term future work).
+//
+// The paper's end goal is concurrency-aware job scheduling: "identify
+// whether some categories are more conflicting than others". This module
+// provides the measurement substrate: a fluid-flow simulation of two jobs
+// whose I/O operations share a storage allocation. Each operation demands
+// its solo bandwidth; when the combined demand exceeds the shared capacity,
+// all active operations are throttled proportionally, stretching their
+// completion. The per-job slowdown (shared I/O time / solo I/O time) is the
+// conflict measure, and the metadata timelines are checked against the
+// metadata-server service rate for overload seconds.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sim/pfs.hpp"
+#include "trace/trace.hpp"
+
+namespace mosaic::sim {
+
+/// The I/O load of one job, as an operation stream plus its scale.
+struct JobLoad {
+  std::vector<trace::IoOp> ops;  ///< merged ops (any kind), sorted by start
+  std::uint32_t nprocs = 1;
+  std::vector<trace::MetaEvent> metadata;  ///< optional, for MDS overload
+};
+
+/// Interference simulation parameters.
+struct InterferenceConfig {
+  PfsConfig pfs{};
+  /// Shared allocation capacity, as a multiple of the larger job's solo
+  /// bandwidth. 2.0 means the pair never contends; 1.0 means either job
+  /// alone saturates the allocation. Defaults to mild overcommit.
+  double shared_capacity_factor = 1.5;
+};
+
+/// Per-job outcome of a co-scheduled run.
+struct JobOutcome {
+  double solo_io_seconds = 0.0;    ///< sum of op durations when run alone
+  double shared_io_seconds = 0.0;  ///< same ops under contention
+
+  /// >= 1; 1.0 means unaffected by the co-scheduled peer.
+  [[nodiscard]] double slowdown() const noexcept {
+    return solo_io_seconds > 0.0 ? shared_io_seconds / solo_io_seconds : 1.0;
+  }
+};
+
+/// Result of simulating one job pair.
+struct InterferenceResult {
+  JobOutcome a;
+  JobOutcome b;
+  /// Wall-clock seconds during which both jobs had I/O in flight.
+  double overlap_seconds = 0.0;
+  /// Seconds in which the combined metadata request rate exceeded the
+  /// metadata server's service rate.
+  double mds_overload_seconds = 0.0;
+};
+
+/// Runs the fluid simulation for two jobs started at the same instant.
+/// Operation start times are fixed (jobs are compute-bound between I/O
+/// phases); only durations stretch under contention.
+[[nodiscard]] InterferenceResult simulate_pair(
+    const JobLoad& a, const JobLoad& b, const InterferenceConfig& config = {});
+
+/// Convenience: builds a JobLoad from a trace (merged read + write ops and
+/// the metadata timeline).
+[[nodiscard]] JobLoad job_load_from_trace(const trace::Trace& trace);
+
+}  // namespace mosaic::sim

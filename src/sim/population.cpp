@@ -1,0 +1,396 @@
+#include "sim/population.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/corruption.hpp"
+
+namespace mosaic::sim {
+
+using core::Temporality;
+using trace::OpKind;
+
+namespace {
+
+/// Builders keep the archetype table below readable.
+AppSpec base_spec(const char* name, double runtime_median, double sigma,
+                  std::uint32_t log2_np_min, std::uint32_t log2_np_max) {
+  AppSpec spec;
+  spec.name = name;
+  spec.runtime_median = runtime_median;
+  spec.runtime_sigma = sigma;
+  spec.log2_nprocs_min = log2_np_min;
+  spec.log2_nprocs_max = log2_np_max;
+  return spec;
+}
+
+BurstSpec burst(OpKind kind, double position, std::uint64_t bytes,
+                std::uint32_t files = 2, double jitter = 0.02,
+                double duration_frac = 0.0) {
+  BurstSpec b;
+  b.kind = kind;
+  b.position_frac = position;
+  b.position_jitter = jitter;
+  b.duration_frac = duration_frac;
+  b.bytes = bytes;
+  b.file_count = files;
+  return b;
+}
+
+SteadySpec steady(OpKind kind, std::uint64_t bytes, double start = 0.02,
+                  double end = 0.98, double edge_jitter = 0.0,
+                  double inner_period = 0.0) {
+  SteadySpec s;
+  s.kind = kind;
+  s.bytes = bytes;
+  s.start_frac = start;
+  s.end_frac = end;
+  s.edge_jitter = edge_jitter;
+  s.inner_period = inner_period;
+  return s;
+}
+
+PeriodicSpec periodic(OpKind kind, double period, std::uint64_t bytes,
+                      std::uint32_t files = 1) {
+  PeriodicSpec p;
+  p.kind = kind;
+  p.period_seconds = period;
+  p.bytes_per_burst = bytes;
+  p.files_per_burst = files;
+  return p;
+}
+
+MetaStormSpec storm(double start, std::uint32_t spikes, std::uint32_t requests,
+                    double spacing) {
+  MetaStormSpec m;
+  m.start_frac = start;
+  m.spike_count = spikes;
+  m.requests_per_spike = requests;
+  m.spacing_seconds = spacing;
+  return m;
+}
+
+Intent intent(Temporality read, Temporality write) {
+  Intent i;
+  i.read_temporality = read;
+  i.write_temporality = write;
+  return i;
+}
+
+constexpr std::uint64_t GiB = 1ull << 30;
+
+}  // namespace
+
+std::vector<Archetype> blue_waters_profile() {
+  std::vector<Archetype> profile;
+  const auto add = [&](AppSpec spec, Intent in, double fraction, double runs) {
+    profile.push_back({std::move(spec), in, fraction, runs});
+  };
+
+  // 1. Quiet: the bulk of the machine does negligible I/O (85%+ of apps read
+  //    or write under 100 MB). Ambient library loads only.
+  {
+    AppSpec spec = base_spec("quiet", 1800.0, 0.5, 4, 7);
+    // Heavy-tailed library loading: ~2% of runs cross the 100 MB threshold.
+    spec.ambient_mb_median = 10.0;
+    // The dedup stage keeps the *heaviest* run per application, which
+    // selects exactly the tail draws — sigma is set with that bias in mind.
+    spec.ambient_mb_sigma = 1.07;
+    add(std::move(spec),
+        intent(Temporality::kInsignificant, Temporality::kInsignificant), 82.4,
+        5.3);
+  }
+
+  // 2. Read-compute-write: the canonical simulation; input at start, result
+  //    at the end. Drives the read_on_start <-> write_on_end correlation.
+  {
+    AppSpec spec = base_spec("sim_rcw", 3600.0, 0.35, 5, 9);
+    spec.bursts.push_back(burst(OpKind::kRead, 0.015, 8 * GiB, 4));
+    spec.bursts.push_back(burst(OpKind::kWrite, 0.93, 4 * GiB, 2));
+    add(std::move(spec), intent(Temporality::kOnStart, Temporality::kOnEnd),
+        4.5, 32.0);
+  }
+
+  // 3. Pure reader: ingests input, writes nothing significant.
+  {
+    AppSpec spec = base_spec("reader", 2700.0, 0.4, 5, 8);
+    spec.bursts.push_back(burst(OpKind::kRead, 0.02, 6 * GiB, 3));
+    add(std::move(spec),
+        intent(Temporality::kOnStart, Temporality::kInsignificant), 0.7, 28.0);
+  }
+
+  // 4. Streaming writer: reads input, then keeps result files open for the
+  //    whole run (Darshan aggregation -> write_steady). Output rotation
+  //    creates periodic metadata spikes.
+  {
+    AppSpec spec = base_spec("stream_writer", 3600.0, 0.3, 5, 9);
+    spec.bursts.push_back(burst(OpKind::kRead, 0.02, 4 * GiB, 2));
+    // The long-open output is *actually* appended periodically; Darshan's
+    // aggregation hides it (paper SIV-A) — the DXT ablation reveals it.
+    spec.steady.push_back(
+        steady(OpKind::kWrite, 24 * GiB, 0.02, 0.98, 0.0, 420.0));
+    // Rare but massive output rotations: a high spike without the
+    // five-second spike train that multiple_spikes requires.
+    spec.storms.push_back(storm(0.05, 2, 280, 900.0));
+    add(std::move(spec), intent(Temporality::kOnStart, Temporality::kSteady),
+        1.0, 260.0);
+  }
+
+  // 5. Streaming reader (ML-style loader): one long-open dataset.
+  {
+    AppSpec spec = base_spec("ml_reader", 5400.0, 0.3, 5, 8);
+    // Edge jitter occasionally shrinks the window toward the steady-CV
+    // boundary — a deliberate hard case.
+    spec.steady.push_back(steady(OpKind::kRead, 30 * GiB, 0.04, 0.94, 0.05));
+    add(std::move(spec),
+        intent(Temporality::kSteady, Temporality::kInsignificant), 1.5, 165.0);
+  }
+
+  // 6. Coupled in/out streams.
+  {
+    AppSpec spec = base_spec("coupled_sim", 7200.0, 0.3, 6, 9);
+    spec.steady.push_back(steady(OpKind::kRead, 16 * GiB));
+    spec.steady.push_back(
+        steady(OpKind::kWrite, 20 * GiB, 0.02, 0.98, 0.0, 900.0));
+    spec.storms.push_back(storm(0.05, 6, 300, 500.0));
+    add(std::move(spec), intent(Temporality::kSteady, Temporality::kSteady),
+        0.5, 330.0);
+  }
+
+  // 7. Minute-scale checkpointer: fresh files per burst stay visible to the
+  //    segmentation (Table II minute bucket).
+  {
+    AppSpec spec = base_spec("ckpt_minute", 3600.0, 0.3, 6, 9);
+    spec.periodic.push_back(periodic(OpKind::kWrite, 480.0, 3 * GiB / 2, 2));
+    add(std::move(spec),
+        intent(Temporality::kInsignificant, Temporality::kSteady), 1.2, 60.0);
+  }
+
+  // 8. Long simulation with hourly checkpoints and periodic input cycling —
+  //    the paper's "both checkpointing and periodic reading" example
+  //    (Table II hour bucket; the rare periodic-read population).
+  {
+    AppSpec spec = base_spec("ckpt_cycle", 28800.0, 0.25, 6, 9);
+    spec.periodic.push_back(periodic(OpKind::kWrite, 7200.0, 4 * GiB, 2));
+    spec.periodic.push_back(periodic(OpKind::kRead, 300.0, 3 * GiB / 4, 1));
+    add(std::move(spec), intent(Temporality::kSteady, Temporality::kSteady),
+        0.8, 45.0);
+  }
+
+  // 9. Post-processing shapes: mid-run reads with a final result write.
+  {
+    AppSpec spec = base_spec("postproc_early", 3600.0, 0.35, 5, 8);
+    spec.bursts.push_back(
+        burst(OpKind::kRead, 0.32, 4 * GiB, 2, 0.08, 0.16));
+    spec.bursts.push_back(burst(OpKind::kWrite, 0.94, 2 * GiB, 1));
+    add(std::move(spec), intent(Temporality::kAfterStart, Temporality::kOnEnd),
+        1.0, 7.0);
+  }
+  {
+    AppSpec spec = base_spec("postproc_late", 3600.0, 0.35, 5, 8);
+    spec.bursts.push_back(
+        burst(OpKind::kRead, 0.58, 4 * GiB, 2, 0.08, 0.16));
+    spec.bursts.push_back(burst(OpKind::kWrite, 0.94, 2 * GiB, 1));
+    add(std::move(spec), intent(Temporality::kBeforeEnd, Temporality::kOnEnd),
+        0.8, 7.0);
+  }
+  {
+    AppSpec spec = base_spec("midspan", 3600.0, 0.35, 5, 8);
+    spec.steady.push_back(steady(OpKind::kRead, 6 * GiB, 0.28, 0.72, 0.06));
+    spec.bursts.push_back(burst(OpKind::kWrite, 0.94, 3 * GiB / 2, 1));
+    add(std::move(spec),
+        intent(Temporality::kAfterStartBeforeEnd, Temporality::kOnEnd), 0.7,
+        7.0);
+  }
+
+  // 10. Mid-run writers (out-of-core phases).
+  {
+    AppSpec spec = base_spec("ooc_early", 3600.0, 0.35, 5, 8);
+    spec.bursts.push_back(
+        burst(OpKind::kWrite, 0.33, 3 * GiB, 2, 0.08, 0.16));
+    add(std::move(spec),
+        intent(Temporality::kInsignificant, Temporality::kAfterStart), 1.0,
+        9.0);
+  }
+  {
+    AppSpec spec = base_spec("ooc_late", 3600.0, 0.35, 5, 8);
+    spec.bursts.push_back(
+        burst(OpKind::kWrite, 0.6, 3 * GiB, 2, 0.08, 0.16));
+    add(std::move(spec),
+        intent(Temporality::kInsignificant, Temporality::kBeforeEnd), 1.0,
+        9.0);
+  }
+
+  // 11. Metadata bomb: reads a pile of small files up front and hammers the
+  //     MDS throughout — the high_density population, rerun very often.
+  {
+    AppSpec spec = base_spec("file_bomb", 900.0, 0.2, 5, 8);
+    spec.bursts.push_back(burst(OpKind::kRead, 0.02, GiB, 8));
+    spec.bursts.push_back(burst(OpKind::kWrite, 0.95, 3 * GiB / 2, 2));
+    spec.storms.push_back(storm(0.04, 60, 800, 12.0));
+    add(std::move(spec), intent(Temporality::kOnStart, Temporality::kOnEnd),
+        1.3, 60.0);
+  }
+
+  // 11b. Small-file ingest: a second metadata-dense shape (many tiny input
+  //      files opened throughout), keeping high_density anchored to
+  //      read_on_start as §IV-D observes.
+  {
+    AppSpec spec = base_spec("smallfile_ingest", 1100.0, 0.25, 5, 8);
+    spec.bursts.push_back(burst(OpKind::kRead, 0.02, 3 * GiB / 2, 8));
+    spec.bursts.push_back(burst(OpKind::kWrite, 0.94, GiB, 2));
+    spec.storms.push_back(storm(0.04, 70, 800, 14.0));
+    add(std::move(spec), intent(Temporality::kOnStart, Temporality::kOnEnd),
+        0.7, 85.0);
+  }
+
+  // 12. Late-stage reader (staging / verification pass).
+  {
+    AppSpec spec = base_spec("staging_reader", 3600.0, 0.35, 5, 8);
+    spec.bursts.push_back(
+        burst(OpKind::kRead, 0.88, 3 * GiB, 2, 0.05, 0.1));
+    add(std::move(spec),
+        intent(Temporality::kOnEnd, Temporality::kInsignificant), 1.0, 6.0);
+  }
+
+  // 13. Defensive checkpointing at second scale with a high duty cycle —
+  //     the rare periodic_high_busy_time population.
+  {
+    AppSpec spec = base_spec("defensive_ckpt", 1200.0, 0.25, 7, 9);
+    spec.periodic.push_back(periodic(OpKind::kWrite, 30.0, 20 * GiB, 2));
+    add(std::move(spec),
+        intent(Temporality::kInsignificant, Temporality::kSteady), 0.1, 25.0);
+  }
+
+  return profile;
+}
+
+namespace {
+
+/// Heavy-tailed rerun count with the archetype's mean: lognormal with
+/// sigma s has mean = median * exp(s^2/2). Sigma balances realism (a few
+/// applications rerun enormously often — the paper's LAMMPS runs ~12k times)
+/// against the variance of all-runs statistics at bench scale.
+std::size_t draw_runs(double mean_runs, util::Rng& rng) {
+  constexpr double kSigma = 0.7;
+  const double median =
+      std::max(1.0, mean_runs) / std::exp(kSigma * kSigma / 2.0);
+  const double draw = rng.lognormal(std::log(median), kSigma);
+  return static_cast<std::size_t>(std::clamp(std::round(draw), 1.0, 5e4));
+}
+
+struct AppPlan {
+  std::size_t archetype = 0;
+  std::size_t app_index = 0;
+  std::size_t runs = 0;
+  std::size_t first_trace = 0;  ///< offset into the output vector
+};
+
+}  // namespace
+
+Population generate_population(const PopulationConfig& config,
+                               parallel::ThreadPool* pool) {
+  const std::vector<Archetype>& archetypes =
+      config.archetypes.empty() ? blue_waters_profile() : config.archetypes;
+  MOSAIC_ASSERT(!archetypes.empty());
+
+  util::Rng master(config.seed);
+  std::vector<double> weights;
+  weights.reserve(archetypes.size());
+  for (const Archetype& archetype : archetypes) {
+    weights.push_back(archetype.app_fraction);
+  }
+
+  // Plan applications until the execution budget is met. Archetypes are
+  // allocated by largest deficit against their target fractions (stratified
+  // rather than sampled) so the mixture composition is stable at any scale;
+  // run counts and trace contents remain random.
+  double weight_total = 0.0;
+  for (const double w : weights) weight_total += w;
+  std::vector<AppPlan> plans;
+  std::vector<double> allocated(archetypes.size(), 0.0);
+  std::size_t planned = 0;
+  while (planned < config.target_traces) {
+    std::size_t pick = 0;
+    double best_deficit = -1e300;
+    for (std::size_t a = 0; a < archetypes.size(); ++a) {
+      const double target =
+          weights[a] / weight_total * (static_cast<double>(plans.size()) + 1.0);
+      const double deficit = target - allocated[a];
+      if (deficit > best_deficit) {
+        best_deficit = deficit;
+        pick = a;
+      }
+    }
+    allocated[pick] += 1.0;
+    AppPlan plan;
+    plan.archetype = pick;
+    plan.app_index = plans.size();
+    plan.runs =
+        draw_runs(archetypes[pick].mean_runs * config.runs_scale, master);
+    plan.runs = std::min(plan.runs, config.target_traces - planned);
+    plan.first_trace = planned;
+    planned += plan.runs;
+    plans.push_back(plan);
+  }
+
+  Population population;
+  population.app_count = plans.size();
+  population.traces.resize(planned);
+
+  const TraceGenerator generator(PfsModel{}, core::Thresholds{},
+                                 config.emit_dxt);
+  const std::uint64_t corruption_salt = util::mix64(config.seed ^ 0xC0DEull);
+
+  const auto realize_app = [&](const AppPlan& plan) {
+    const Archetype& archetype = archetypes[plan.archetype];
+    util::Rng rng = master.fork(0x5EED0000ull + plan.app_index);
+
+    // Unique identity: same archetype, different application/user.
+    AppSpec spec = archetype.spec;
+    spec.name += "_v" + std::to_string(plan.app_index);
+    const std::string user = "u" + std::to_string(plan.app_index);
+    const double epoch_base = 1.5463e9 + rng.uniform(0.0, 300.0 * 86400.0);
+
+    for (std::size_t r = 0; r < plan.runs; ++r) {
+      JobIdentity id;
+      id.job_id = 9000000 + plan.first_trace + r;
+      id.user = user;
+      id.start_epoch = epoch_base + static_cast<double>(r) * 3600.0;
+      LabeledTrace labeled = generator.generate(spec, archetype.intent, id, rng);
+      labeled.archetype = archetype.spec.name;  // base name, not the _v alias
+      // Corruption is decided by a salted hash of the job id so the decision
+      // is stable regardless of generation order.
+      util::Rng corruption_rng(util::mix64(id.job_id ^ corruption_salt));
+      if (corruption_rng.chance(config.corruption_fraction)) {
+        corrupt_trace(labeled.trace, random_corruption_style(corruption_rng),
+                      corruption_rng);
+        labeled.corrupted = true;
+      }
+      population.traces[plan.first_trace + r] = std::move(labeled);
+    }
+  };
+
+  if (pool != nullptr) {
+    parallel::parallel_for(*pool, plans.size(),
+                           [&](std::size_t begin, std::size_t end) {
+                             for (std::size_t i = begin; i < end; ++i) {
+                               realize_app(plans[i]);
+                             }
+                           });
+  } else {
+    for (const AppPlan& plan : plans) realize_app(plan);
+  }
+  return population;
+}
+
+std::vector<trace::Trace> to_traces(Population population) {
+  std::vector<trace::Trace> traces;
+  traces.reserve(population.traces.size());
+  for (LabeledTrace& labeled : population.traces) {
+    traces.push_back(std::move(labeled.trace));
+  }
+  return traces;
+}
+
+}  // namespace mosaic::sim

@@ -1,0 +1,67 @@
+// Year-scale synthetic trace population, calibrated against the Blue Waters
+// 2019 marginals reported in the paper.
+//
+// A population is a mixture of application archetypes. Each archetype has a
+// share of the *unique applications* and a heavy-tailed rerun-count
+// distribution; the product of the two shapes both the single-run and the
+// all-runs statistics (Tables II/III, Fig. 4) — the paper's key observation
+// that a few metadata/IO-heavy applications run enormously often falls out
+// of the rerun tail. 32% of executions are corrupted in place, feeding the
+// Fig. 3 funnel.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "parallel/thread_pool.hpp"
+#include "sim/generator.hpp"
+
+namespace mosaic::sim {
+
+/// One population component.
+struct Archetype {
+  AppSpec spec;
+  Intent intent;
+  double app_fraction = 0.0;  ///< share of unique applications
+  double mean_runs = 1.0;     ///< mean executions per application
+};
+
+/// The default mixture, hand-calibrated so that MOSAIC's output on the
+/// population approximates the Blue Waters 2019 numbers (see EXPERIMENTS.md
+/// for paper-vs-measured).
+[[nodiscard]] std::vector<Archetype> blue_waters_profile();
+
+/// Population generation parameters.
+struct PopulationConfig {
+  /// Total executions to synthesize. Default is 1/10 of the 462,502 traces
+  /// of Blue Waters 2019 — scale up with --scale in the benches.
+  std::size_t target_traces = 46250;
+  /// Fraction of executions corrupted in place (paper Fig. 3: 32%).
+  double corruption_fraction = 0.32;
+  /// Master seed; every derived stream forks from it.
+  std::uint64_t seed = 20190410;
+  /// Multiplier on every archetype's mean_runs (sweeps the dedup ratio).
+  double runs_scale = 1.0;
+  /// Also record DXT-level per-operation events in every LabeledTrace
+  /// (costs memory; used by the aggregation ablation).
+  bool emit_dxt = false;
+  /// Archetype mixture; empty selects blue_waters_profile().
+  std::vector<Archetype> archetypes;
+};
+
+/// A generated population in execution order.
+struct Population {
+  std::vector<LabeledTrace> traces;
+  std::size_t app_count = 0;  ///< distinct (user, app) pairs generated
+};
+
+/// Generates the population. Deterministic for a given config, including
+/// when a thread pool is supplied (per-app RNG streams are forked from the
+/// master seed, and assembly order is fixed).
+[[nodiscard]] Population generate_population(
+    const PopulationConfig& config, parallel::ThreadPool* pool = nullptr);
+
+/// Strips labels: just the traces, as the analysis pipeline receives them.
+[[nodiscard]] std::vector<trace::Trace> to_traces(Population population);
+
+}  // namespace mosaic::sim

@@ -1,0 +1,113 @@
+#include "util/cli.hpp"
+
+#include <cstdio>
+
+#include "util/strings.hpp"
+
+namespace mosaic::util {
+
+CliParser::CliParser(std::string program, std::string summary)
+    : program_(std::move(program)), summary_(std::move(summary)) {}
+
+void CliParser::add_option(std::string name, std::string help,
+                           std::string default_value) {
+  Option opt;
+  opt.help = std::move(help);
+  opt.value = std::move(default_value);
+  options_.emplace(std::move(name), std::move(opt));
+}
+
+void CliParser::add_flag(std::string name, std::string help) {
+  Option opt;
+  opt.help = std::move(help);
+  opt.is_flag = true;
+  options_.emplace(std::move(name), std::move(opt));
+}
+
+Status CliParser::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::fputs(usage().c_str(), stdout);
+      return Error{ErrorCode::kNotFound, "help requested"};
+    }
+    if (!starts_with(arg, "--")) {
+      positional_.emplace_back(arg);
+      continue;
+    }
+    std::string_view body = arg.substr(2);
+    std::string_view name = body;
+    std::optional<std::string_view> inline_value;
+    if (const auto eq = body.find('='); eq != std::string_view::npos) {
+      name = body.substr(0, eq);
+      inline_value = body.substr(eq + 1);
+    }
+    const auto it = options_.find(name);
+    if (it == options_.end()) {
+      return Error{ErrorCode::kInvalidArgument,
+                   "unknown option --" + std::string(name)};
+    }
+    Option& opt = it->second;
+    if (opt.is_flag) {
+      if (inline_value.has_value()) {
+        return Error{ErrorCode::kInvalidArgument,
+                     "flag --" + std::string(name) + " takes no value"};
+      }
+      opt.flag_set = true;
+      continue;
+    }
+    if (inline_value.has_value()) {
+      opt.value = std::string(*inline_value);
+    } else {
+      if (i + 1 >= argc) {
+        return Error{ErrorCode::kInvalidArgument,
+                     "option --" + std::string(name) + " requires a value"};
+      }
+      opt.value = argv[++i];
+    }
+  }
+  return Status::success();
+}
+
+std::string_view CliParser::get(std::string_view name) const {
+  const auto it = options_.find(name);
+  MOSAIC_ASSERT(it != options_.end());
+  MOSAIC_ASSERT(!it->second.is_flag);
+  return it->second.value;
+}
+
+Expected<std::int64_t> CliParser::get_int(std::string_view name) const {
+  const auto text = get(name);
+  if (const auto value = parse_int(text)) return *value;
+  return Error{ErrorCode::kInvalidArgument,
+               "option --" + std::string(name) + " expects an integer, got '" +
+                   std::string(text) + "'"};
+}
+
+Expected<double> CliParser::get_double(std::string_view name) const {
+  const auto text = get(name);
+  if (const auto value = parse_double(text)) return *value;
+  return Error{ErrorCode::kInvalidArgument,
+               "option --" + std::string(name) + " expects a number, got '" +
+                   std::string(text) + "'"};
+}
+
+bool CliParser::get_flag(std::string_view name) const {
+  const auto it = options_.find(name);
+  MOSAIC_ASSERT(it != options_.end());
+  MOSAIC_ASSERT(it->second.is_flag);
+  return it->second.flag_set;
+}
+
+std::string CliParser::usage() const {
+  std::string out = program_ + " — " + summary_ + "\n\nOptions:\n";
+  for (const auto& [name, opt] : options_) {
+    out += "  --" + name;
+    if (!opt.is_flag) out += " <value> (default: " + opt.value + ")";
+    out += "\n      " + opt.help + "\n";
+  }
+  out += "  --help\n      Show this message.\n";
+  return out;
+}
+
+}  // namespace mosaic::util

@@ -1,0 +1,67 @@
+// Minimal command-line argument parser for the example and bench binaries.
+//
+// Supports `--name value`, `--name=value`, boolean `--flag`, and positional
+// arguments. Unknown options are an error so typos don't silently fall
+// through to defaults — important when a bench sweep flag is misspelled.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace mosaic::util {
+
+/// Declarative CLI parser. Register options, then parse argv.
+class CliParser {
+ public:
+  /// `program` and `summary` feed the --help text.
+  CliParser(std::string program, std::string summary);
+
+  /// Registers an option taking a value, with a default rendered in help.
+  void add_option(std::string name, std::string help,
+                  std::string default_value);
+
+  /// Registers a boolean flag (false unless present).
+  void add_flag(std::string name, std::string help);
+
+  /// Parses argv. On `--help`, prints usage and returns an Error with code
+  /// kNotFound (callers exit 0 on it). On malformed input returns
+  /// kInvalidArgument with a message.
+  [[nodiscard]] Status parse(int argc, const char* const* argv);
+
+  /// Value of an option (default if not given). Precondition: registered.
+  [[nodiscard]] std::string_view get(std::string_view name) const;
+  /// Typed accessors; abort on registration errors, return Error on bad text.
+  [[nodiscard]] Expected<std::int64_t> get_int(std::string_view name) const;
+  [[nodiscard]] Expected<double> get_double(std::string_view name) const;
+  /// True iff the flag was present. Precondition: registered as flag.
+  [[nodiscard]] bool get_flag(std::string_view name) const;
+
+  /// Positional (non-option) arguments in order.
+  [[nodiscard]] const std::vector<std::string>& positional() const {
+    return positional_;
+  }
+
+  /// Renders the --help text.
+  [[nodiscard]] std::string usage() const;
+
+ private:
+  struct Option {
+    std::string help;
+    std::string value;
+    bool is_flag = false;
+    bool flag_set = false;
+  };
+
+  std::string program_;
+  std::string summary_;
+  std::map<std::string, Option, std::less<>> options_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace mosaic::util

@@ -1,0 +1,41 @@
+// Thread-safe leveled logging to stderr.
+//
+// The batch pipeline runs trace analysis on a thread pool; log lines from
+// concurrent workers must not interleave mid-line, so emission takes a
+// process-wide mutex. Formatting uses printf-style specifiers, validated by
+// the compiler via the format attribute.
+#pragma once
+
+#include <cstdarg>
+
+namespace mosaic::util {
+
+/// Severity levels, ordered. Messages below the global threshold are dropped.
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarn = 2,
+  kError = 3,
+  kOff = 4,
+};
+
+/// Sets the global threshold (default kInfo).
+void set_log_level(LogLevel level) noexcept;
+
+/// Current global threshold.
+[[nodiscard]] LogLevel log_level() noexcept;
+
+/// Core emission routine; prefer the MOSAIC_LOG_* macros.
+void log_message(LogLevel level, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+}  // namespace mosaic::util
+
+#define MOSAIC_LOG_DEBUG(...) \
+  ::mosaic::util::log_message(::mosaic::util::LogLevel::kDebug, __VA_ARGS__)
+#define MOSAIC_LOG_INFO(...) \
+  ::mosaic::util::log_message(::mosaic::util::LogLevel::kInfo, __VA_ARGS__)
+#define MOSAIC_LOG_WARN(...) \
+  ::mosaic::util::log_message(::mosaic::util::LogLevel::kWarn, __VA_ARGS__)
+#define MOSAIC_LOG_ERROR(...) \
+  ::mosaic::util::log_message(::mosaic::util::LogLevel::kError, __VA_ARGS__)

@@ -1,0 +1,179 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace mosaic::util {
+
+namespace {
+
+constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  state += 0x9E3779B97F4A7C15ull;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t mix64(std::uint64_t value) noexcept {
+  std::uint64_t s = value;
+  return splitmix64(s);
+}
+
+Rng::Rng(std::uint64_t seed) noexcept {
+  std::uint64_t s = seed;
+  for (auto& word : state_) word = splitmix64(s);
+}
+
+Rng::result_type Rng::operator()() noexcept {
+  const std::uint64_t result = rotl(state_[0] + state_[3], 23) + state_[0];
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+double Rng::uniform() noexcept {
+  // 53 high bits -> double in [0,1) with full mantissa resolution.
+  return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) noexcept {
+  MOSAIC_ASSERT(lo <= hi);
+  return lo + (hi - lo) * uniform();
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) noexcept {
+  MOSAIC_ASSERT(lo <= hi);
+  const auto range = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (range == 0) return static_cast<std::int64_t>((*this)());  // full range
+  // Lemire-style rejection to remove modulo bias.
+  const std::uint64_t threshold = (0 - range) % range;
+  for (;;) {
+    const std::uint64_t r = (*this)();
+    if (r >= threshold) {
+      return lo + static_cast<std::int64_t>(r % range);
+    }
+  }
+}
+
+double Rng::normal() noexcept {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  double u1 = uniform();
+  while (u1 <= 0.0) u1 = uniform();
+  const double u2 = uniform();
+  const double radius = std::sqrt(-2.0 * std::log(u1));
+  const double angle = 2.0 * std::numbers::pi * u2;
+  cached_normal_ = radius * std::sin(angle);
+  has_cached_normal_ = true;
+  return radius * std::cos(angle);
+}
+
+double Rng::normal(double mean, double sigma) noexcept {
+  MOSAIC_ASSERT(sigma >= 0.0);
+  return mean + sigma * normal();
+}
+
+double Rng::lognormal(double mu, double sigma) noexcept {
+  return std::exp(normal(mu, sigma));
+}
+
+double Rng::exponential(double lambda) noexcept {
+  MOSAIC_ASSERT(lambda > 0.0);
+  double u = uniform();
+  while (u <= 0.0) u = uniform();
+  return -std::log(u) / lambda;
+}
+
+std::uint64_t Rng::poisson(double mean) noexcept {
+  MOSAIC_ASSERT(mean >= 0.0);
+  if (mean == 0.0) return 0;
+  if (mean > 64.0) {
+    const double value = std::round(normal(mean, std::sqrt(mean)));
+    return value <= 0.0 ? 0 : static_cast<std::uint64_t>(value);
+  }
+  const double limit = std::exp(-mean);
+  std::uint64_t count = 0;
+  double product = uniform();
+  while (product > limit) {
+    ++count;
+    product *= uniform();
+  }
+  return count;
+}
+
+bool Rng::chance(double p) noexcept {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return uniform() < p;
+}
+
+std::uint64_t Rng::zipf(std::uint64_t n, double s) noexcept {
+  MOSAIC_ASSERT(n >= 1);
+  MOSAIC_ASSERT(s > 0.0);
+  if (n == 1) return 1;
+  // Devroye's rejection method for the bounded Zipf distribution.
+  const double nd = static_cast<double>(n);
+  const double one_minus_s = 1.0 - s;
+  const auto h = [&](double x) {
+    // Integral-based envelope helper.
+    return one_minus_s == 0.0 ? std::log(x)
+                              : (std::pow(x, one_minus_s) - 1.0) / one_minus_s;
+  };
+  const auto h_inv = [&](double y) {
+    return one_minus_s == 0.0 ? std::exp(y)
+                              : std::pow(1.0 + one_minus_s * y, 1.0 / one_minus_s);
+  };
+  const double hx0 = h(0.5) - 1.0;  // h(x0) shifted so x0 maps to rank 1
+  const double hn = h(nd + 0.5);
+  for (;;) {
+    const double u = hx0 + uniform() * (hn - hx0);
+    const double x = h_inv(u);
+    const auto k = static_cast<std::uint64_t>(
+        std::min(std::max(std::round(x), 1.0), nd));
+    const double kd = static_cast<double>(k);
+    if (u >= h(kd + 0.5) - std::pow(kd, -s)) {
+      return k;
+    }
+  }
+}
+
+std::size_t Rng::categorical(std::span<const double> weights) noexcept {
+  double total = 0.0;
+  for (double w : weights) {
+    MOSAIC_ASSERT(w >= 0.0);
+    total += w;
+  }
+  MOSAIC_ASSERT(total > 0.0);
+  double target = uniform() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    target -= weights[i];
+    if (target < 0.0) return i;
+  }
+  // Floating-point slack: fall back to the last positive weight.
+  for (std::size_t i = weights.size(); i-- > 0;) {
+    if (weights[i] > 0.0) return i;
+  }
+  return weights.size() - 1;
+}
+
+Rng Rng::fork(std::uint64_t index) const noexcept {
+  std::uint64_t seed = state_[0];
+  seed = mix64(seed ^ mix64(index + 0x9E3779B97F4A7C15ull));
+  return Rng{seed};
+}
+
+}  // namespace mosaic::util

@@ -1,0 +1,111 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mosaic::util {
+
+void RunningStats::add(double value) noexcept {
+  ++count_;
+  sum_ += value;
+  const double delta = value - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (value - mean_);
+  min_ = std::min(min_, value);
+  max_ = std::max(max_, value);
+}
+
+void RunningStats::merge(const RunningStats& other) noexcept {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(count_);
+  const double nb = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double RunningStats::variance() const noexcept {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_);
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+double RunningStats::coefficient_of_variation() const noexcept {
+  if (mean_ == 0.0) return 0.0;
+  return stddev() / std::abs(mean_);
+}
+
+Summary summarize(std::span<const double> values) noexcept {
+  RunningStats acc;
+  for (double v : values) acc.add(v);
+  Summary s;
+  s.count = acc.count();
+  if (s.count == 0) return s;
+  s.mean = acc.mean();
+  s.stddev = acc.stddev();
+  s.cv = acc.coefficient_of_variation();
+  s.min = acc.min();
+  s.max = acc.max();
+  s.sum = acc.sum();
+  return s;
+}
+
+double percentile(std::span<const double> values, double q) {
+  MOSAIC_ASSERT(!values.empty());
+  MOSAIC_ASSERT(q >= 0.0 && q <= 1.0);
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(pos));
+  const auto hi = static_cast<std::size_t>(std::ceil(pos));
+  const double frac = pos - std::floor(pos);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+double coefficient_of_variation(std::span<const double> values) noexcept {
+  return summarize(values).cv;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins) : lo_(lo) {
+  MOSAIC_ASSERT(lo < hi);
+  MOSAIC_ASSERT(bins >= 1);
+  width_ = (hi - lo) / static_cast<double>(bins);
+  counts_.assign(bins, 0.0);
+}
+
+void Histogram::add(double value, double weight) noexcept {
+  auto index = static_cast<std::ptrdiff_t>(std::floor((value - lo_) / width_));
+  index = std::clamp<std::ptrdiff_t>(
+      index, 0, static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+  counts_[static_cast<std::size_t>(index)] += weight;
+}
+
+double Histogram::bin_lo(std::size_t i) const noexcept {
+  return lo_ + static_cast<double>(i) * width_;
+}
+
+double Histogram::total() const noexcept {
+  double sum = 0.0;
+  for (double c : counts_) sum += c;
+  return sum;
+}
+
+std::size_t Histogram::peak_bin() const noexcept {
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < counts_.size(); ++i) {
+    if (counts_[i] > counts_[best]) best = i;
+  }
+  return best;
+}
+
+}  // namespace mosaic::util

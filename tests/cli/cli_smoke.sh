@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# End-to-end smoke test of the `mosaic` CLI: generate -> analyze -> batch ->
+# thresholds round trip. Any non-zero exit or missing output fails the test.
+set -euo pipefail
+MOSAIC="$1"
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+
+"$MOSAIC" thresholds > "$WORK/thresholds.json"
+grep -q '"min_bytes"' "$WORK/thresholds.json"
+
+"$MOSAIC" thresholds --write "$WORK/t2.json"
+diff "$WORK/thresholds.json" "$WORK/t2.json"
+
+"$MOSAIC" generate "$WORK/pop" --traces 60 --seed 7 --format mixed \
+    --corruption 0.2
+count=$(ls "$WORK/pop" | wc -l)
+[ "$count" -eq 60 ]
+
+# analyze returns 1 when some traces are corrupted (expected here), but must
+# still categorize the rest.
+"$MOSAIC" analyze "$WORK/pop" > "$WORK/analyze.txt" || true
+grep -q 'insignificant' "$WORK/analyze.txt"
+
+"$MOSAIC" batch "$WORK/pop" --json "$WORK/summary.json" > "$WORK/batch.txt"
+grep -q 'funnel:' "$WORK/batch.txt"
+grep -q '"preprocessing"' "$WORK/summary.json"
+
+# Custom thresholds change behavior: an absurd min_bytes makes everything
+# insignificant.
+python3 - "$WORK/thresholds.json" <<'PY'
+import json, sys
+with open(sys.argv[1]) as f:
+    config = json.load(f)
+config["min_bytes"] = 10**15
+with open(sys.argv[1], "w") as f:
+    json.dump(config, f)
+PY
+"$MOSAIC" batch "$WORK/pop" --thresholds "$WORK/thresholds.json" \
+    > "$WORK/strict.txt"
+if grep -qE 'read_on_start|write_on_end' "$WORK/strict.txt"; then
+  echo "expected everything insignificant under the strict config" >&2
+  exit 1
+fi
+
+"$MOSAIC" report "$WORK/pop" --out "$WORK/report.md" > /dev/null
+grep -q '# MOSAIC analysis report' "$WORK/report.md"
+grep -q 'Pre-processing funnel' "$WORK/report.md"
+
+echo "cli smoke ok"

@@ -1,0 +1,147 @@
+#include "cluster/kmeans.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "util/rng.hpp"
+
+namespace mosaic::cluster {
+namespace {
+
+PointSet gaussian_blobs(std::span<const std::array<double, 2>> centers,
+                        std::size_t per_blob, double sigma,
+                        std::uint64_t seed) {
+  util::Rng rng(seed);
+  PointSet points(2);
+  for (const auto& center : centers) {
+    for (std::size_t i = 0; i < per_blob; ++i) {
+      const std::array<double, 2> p{center[0] + rng.normal(0.0, sigma),
+                                    center[1] + rng.normal(0.0, sigma)};
+      points.add(p);
+    }
+  }
+  return points;
+}
+
+TEST(KMeans, EmptyInput) {
+  const KMeansResult result = k_means(PointSet(2));
+  EXPECT_TRUE(result.labels.empty());
+  EXPECT_TRUE(result.centroids.empty());
+}
+
+TEST(KMeans, KClampedToPointCount) {
+  PointSet points(1);
+  const double v[] = {1.0};
+  points.add(v);
+  KMeansConfig config;
+  config.k = 10;
+  const KMeansResult result = k_means(points, config);
+  EXPECT_EQ(result.labels.size(), 1u);
+  EXPECT_LE(result.centroids.size(), 1u);
+}
+
+TEST(KMeans, SeparatesThreeBlobs) {
+  const std::array<std::array<double, 2>, 3> centers{
+      {{0.0, 0.0}, {10.0, 0.0}, {0.0, 10.0}}};
+  const PointSet points = gaussian_blobs(centers, 40, 0.3, 5);
+  KMeansConfig config;
+  config.k = 3;
+  const KMeansResult result = k_means(points, config);
+
+  // Each blob must be pure: all 40 points share one label, and the three
+  // blobs get three distinct labels.
+  std::array<std::size_t, 3> blob_label{};
+  for (std::size_t blob = 0; blob < 3; ++blob) {
+    blob_label[blob] = result.labels[blob * 40];
+    for (std::size_t i = 0; i < 40; ++i) {
+      EXPECT_EQ(result.labels[blob * 40 + i], blob_label[blob]);
+    }
+  }
+  EXPECT_NE(blob_label[0], blob_label[1]);
+  EXPECT_NE(blob_label[0], blob_label[2]);
+  EXPECT_NE(blob_label[1], blob_label[2]);
+}
+
+TEST(KMeans, CentroidsNearBlobCenters) {
+  const std::array<std::array<double, 2>, 2> centers{{{0.0, 0.0}, {8.0, 8.0}}};
+  const PointSet points = gaussian_blobs(centers, 60, 0.2, 9);
+  KMeansConfig config;
+  config.k = 2;
+  const KMeansResult result = k_means(points, config);
+  ASSERT_EQ(result.centroids.size(), 2u);
+  for (const auto& center : centers) {
+    double best = 1e9;
+    for (const auto& centroid : result.centroids) {
+      best = std::min(best, squared_distance(
+                                std::span<const double>(center),
+                                centroid));
+    }
+    EXPECT_LT(best, 0.05);
+  }
+}
+
+TEST(KMeans, InertiaDecreasesWithMoreClusters) {
+  const std::array<std::array<double, 2>, 4> centers{
+      {{0.0, 0.0}, {5.0, 0.0}, {0.0, 5.0}, {5.0, 5.0}}};
+  const PointSet points = gaussian_blobs(centers, 25, 0.4, 13);
+  double previous = std::numeric_limits<double>::infinity();
+  for (const std::size_t k : {1u, 2u, 4u}) {
+    KMeansConfig config;
+    config.k = k;
+    const double inertia = k_means(points, config).inertia;
+    EXPECT_LT(inertia, previous + 1e-9);
+    previous = inertia;
+  }
+}
+
+TEST(KMeans, DeterministicForSeed) {
+  const std::array<std::array<double, 2>, 2> centers{{{0.0, 0.0}, {6.0, 6.0}}};
+  const PointSet points = gaussian_blobs(centers, 30, 0.5, 21);
+  KMeansConfig config;
+  config.k = 2;
+  config.seed = 42;
+  const KMeansResult a = k_means(points, config);
+  const KMeansResult b = k_means(points, config);
+  EXPECT_EQ(a.labels, b.labels);
+  EXPECT_DOUBLE_EQ(a.inertia, b.inertia);
+}
+
+TEST(AdjustedRandIndex, IdenticalPartitionsScoreOne) {
+  const std::vector<std::size_t> labels{0, 0, 1, 1, 2, 2};
+  EXPECT_DOUBLE_EQ(adjusted_rand_index(labels, labels), 1.0);
+}
+
+TEST(AdjustedRandIndex, RelabelingInvariant) {
+  const std::vector<std::size_t> a{0, 0, 1, 1, 2, 2};
+  const std::vector<std::size_t> b{5, 5, 9, 9, 1, 1};
+  EXPECT_DOUBLE_EQ(adjusted_rand_index(a, b), 1.0);
+}
+
+TEST(AdjustedRandIndex, IndependentPartitionsNearZero) {
+  util::Rng rng(3);
+  std::vector<std::size_t> a(2000);
+  std::vector<std::size_t> b(2000);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    a[i] = static_cast<std::size_t>(rng.uniform_int(0, 3));
+    b[i] = static_cast<std::size_t>(rng.uniform_int(0, 3));
+  }
+  EXPECT_NEAR(adjusted_rand_index(a, b), 0.0, 0.05);
+}
+
+TEST(AdjustedRandIndex, PartialAgreementBetween) {
+  // Split one true cluster in half: ARI strictly between 0 and 1.
+  const std::vector<std::size_t> truth{0, 0, 0, 0, 1, 1, 1, 1};
+  const std::vector<std::size_t> split{0, 0, 2, 2, 1, 1, 1, 1};
+  const double ari = adjusted_rand_index(truth, split);
+  EXPECT_GT(ari, 0.2);
+  EXPECT_LT(ari, 1.0);
+}
+
+TEST(AdjustedRandIndex, TrivialPartitionsHandled) {
+  const std::vector<std::size_t> all_same{7, 7, 7, 7};
+  EXPECT_DOUBLE_EQ(adjusted_rand_index(all_same, all_same), 1.0);
+}
+
+}  // namespace
+}  // namespace mosaic::cluster

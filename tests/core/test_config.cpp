@@ -1,0 +1,139 @@
+#include "core/config.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+namespace mosaic::core {
+namespace {
+
+TEST(ThresholdsJson, RoundTripPreservesEveryField) {
+  Thresholds custom;
+  custom.min_bytes = 42;
+  custom.neighbor_gap_runtime_fraction = 0.005;
+  custom.neighbor_gap_op_fraction = 0.02;
+  custom.temporality_chunks = 8;
+  custom.dominance_factor = 3.0;
+  custom.steady_cv = 0.4;
+  custom.meanshift_bandwidth = 0.2;
+  custom.min_group_size = 4;
+  custom.group_duration_cv = 0.5;
+  custom.group_volume_cv = 0.6;
+  custom.busy_ratio_split = 0.3;
+  custom.period_second_max = 30.0;
+  custom.period_minute_max = 1800.0;
+  custom.period_hour_max = 43200.0;
+  custom.high_spike_requests = 500.0;
+  custom.spike_requests = 100.0;
+  custom.multiple_spike_count = 7;
+  custom.high_density_mean_requests = 80.0;
+  custom.periodicity_backend = PeriodicityBackend::kHybrid;
+  custom.frequency_min_score = 0.25;
+  custom.frequency_max_bins = 2048;
+  custom.min_op_width = 0.01;
+
+  const auto loaded = thresholds_from_json(thresholds_to_json(custom));
+  ASSERT_TRUE(loaded.has_value()) << loaded.error().to_string();
+  EXPECT_EQ(loaded->min_bytes, custom.min_bytes);
+  EXPECT_DOUBLE_EQ(loaded->neighbor_gap_runtime_fraction,
+                   custom.neighbor_gap_runtime_fraction);
+  EXPECT_EQ(loaded->temporality_chunks, custom.temporality_chunks);
+  EXPECT_DOUBLE_EQ(loaded->dominance_factor, custom.dominance_factor);
+  EXPECT_DOUBLE_EQ(loaded->steady_cv, custom.steady_cv);
+  EXPECT_DOUBLE_EQ(loaded->meanshift_bandwidth, custom.meanshift_bandwidth);
+  EXPECT_EQ(loaded->min_group_size, custom.min_group_size);
+  EXPECT_DOUBLE_EQ(loaded->busy_ratio_split, custom.busy_ratio_split);
+  EXPECT_DOUBLE_EQ(loaded->period_hour_max, custom.period_hour_max);
+  EXPECT_DOUBLE_EQ(loaded->high_spike_requests, custom.high_spike_requests);
+  EXPECT_EQ(loaded->multiple_spike_count, custom.multiple_spike_count);
+  EXPECT_EQ(loaded->periodicity_backend, custom.periodicity_backend);
+  EXPECT_DOUBLE_EQ(loaded->frequency_min_score, custom.frequency_min_score);
+  EXPECT_EQ(loaded->frequency_max_bins, custom.frequency_max_bins);
+  EXPECT_DOUBLE_EQ(loaded->min_op_width, custom.min_op_width);
+}
+
+TEST(ThresholdsJson, MissingKeysKeepDefaults) {
+  const auto parsed = json::parse(R"({"min_bytes": 5000000})");
+  ASSERT_TRUE(parsed.has_value());
+  const auto loaded = thresholds_from_json(*parsed);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->min_bytes, 5000000u);
+  const Thresholds defaults;
+  EXPECT_DOUBLE_EQ(loaded->steady_cv, defaults.steady_cv);
+  EXPECT_EQ(loaded->periodicity_backend, defaults.periodicity_backend);
+}
+
+TEST(ThresholdsJson, UnknownKeyRejected) {
+  const auto parsed = json::parse(R"({"min_byts": 100})");  // typo
+  ASSERT_TRUE(parsed.has_value());
+  const auto loaded = thresholds_from_json(*parsed);
+  ASSERT_FALSE(loaded.has_value());
+  EXPECT_NE(loaded.error().message.find("min_byts"), std::string::npos);
+}
+
+TEST(ThresholdsJson, NonObjectRejected) {
+  EXPECT_FALSE(thresholds_from_json(json::Value{1.0}).has_value());
+  EXPECT_FALSE(thresholds_from_json(json::Value{"x"}).has_value());
+}
+
+TEST(ThresholdsJson, NonNumericValueRejected) {
+  const auto parsed = json::parse(R"({"steady_cv": "high"})");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_FALSE(thresholds_from_json(*parsed).has_value());
+}
+
+TEST(ThresholdsJson, NegativeValueRejected) {
+  const auto parsed = json::parse(R"({"dominance_factor": -2})");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_FALSE(thresholds_from_json(*parsed).has_value());
+}
+
+TEST(ThresholdsJson, BackendNames) {
+  for (const char* name : {"mean_shift", "frequency", "hybrid"}) {
+    const auto parsed =
+        json::parse(std::string(R"({"periodicity_backend": ")") + name +
+                    R"("})");
+    ASSERT_TRUE(parsed.has_value());
+    const auto loaded = thresholds_from_json(*parsed);
+    ASSERT_TRUE(loaded.has_value()) << name;
+    EXPECT_STREQ(periodicity_backend_name(loaded->periodicity_backend), name);
+  }
+  const auto parsed = json::parse(R"({"periodicity_backend": "psychic"})");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_FALSE(thresholds_from_json(*parsed).has_value());
+}
+
+TEST(ThresholdsJson, MagnitudeOrderingEnforced) {
+  const auto parsed =
+      json::parse(R"({"period_second_max": 5000, "period_minute_max": 100})");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_FALSE(thresholds_from_json(*parsed).has_value());
+}
+
+TEST(ThresholdsJson, ChunkFloorEnforced) {
+  const auto parsed = json::parse(R"({"temporality_chunks": 1})");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_FALSE(thresholds_from_json(*parsed).has_value());
+}
+
+TEST(ThresholdsFile, RoundTrip) {
+  const auto path =
+      (std::filesystem::temp_directory_path() / "mosaic_thresholds.json")
+          .string();
+  Thresholds custom;
+  custom.min_bytes = 123456;
+  custom.periodicity_backend = PeriodicityBackend::kFrequency;
+  ASSERT_TRUE(write_thresholds_file(custom, path).ok());
+  const auto loaded = read_thresholds_file(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->min_bytes, 123456u);
+  EXPECT_EQ(loaded->periodicity_backend, PeriodicityBackend::kFrequency);
+  std::filesystem::remove(path);
+}
+
+TEST(ThresholdsFile, MissingFileFails) {
+  EXPECT_FALSE(read_thresholds_file("/no/such/thresholds.json").has_value());
+}
+
+}  // namespace
+}  // namespace mosaic::core

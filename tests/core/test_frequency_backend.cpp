@@ -1,0 +1,172 @@
+// Tests for the frequency-domain periodicity backend (paper §V future work)
+// and its integration into the Analyzer via Thresholds::periodicity_backend.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/merge.hpp"
+#include "core/pipeline.hpp"
+
+namespace mosaic::core {
+namespace {
+
+using trace::IoOp;
+using trace::OpKind;
+
+std::vector<IoOp> periodic_ops(double period, std::size_t count,
+                               std::uint64_t bytes, double duration = 4.0,
+                               double start = 100.0) {
+  std::vector<IoOp> ops;
+  for (std::size_t i = 0; i < count; ++i) {
+    const double at = start + static_cast<double>(i) * period;
+    ops.push_back(IoOp{.start = at, .end = at + duration, .bytes = bytes,
+                       .kind = OpKind::kWrite});
+  }
+  return ops;
+}
+
+TEST(FrequencyDetector, FindsCleanPeriod) {
+  const auto ops = periodic_ops(600.0, 12, 1ull << 30);
+  const PeriodicityResult result =
+      detect_periodicity_frequency(ops, 8000.0, {});
+  ASSERT_TRUE(result.periodic);
+  ASSERT_FALSE(result.groups.empty());
+  EXPECT_NEAR(result.groups.front().period_seconds, 600.0, 30.0);
+  EXPECT_EQ(result.groups.front().magnitude, PeriodMagnitude::kMinute);
+}
+
+TEST(FrequencyDetector, TooFewOpsRejected) {
+  const auto ops = periodic_ops(600.0, 2, 1ull << 30);
+  EXPECT_FALSE(detect_periodicity_frequency(ops, 2000.0, {}).periodic);
+}
+
+TEST(FrequencyDetector, AperiodicRejected) {
+  // Poisson-like arrivals with varying volumes — the realistic aperiodic
+  // shape (a sparse handful of ops with pathological gap sums can still
+  // produce autocorrelation coincidences; that known baseline weakness is
+  // exercised in bench/ablation_dft_vs_meanshift instead).
+  std::vector<IoOp> ops;
+  std::uint64_t state = 999;
+  const auto next = [&state] {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    return static_cast<double>(state >> 11) * 0x1.0p-53;
+  };
+  double t = 50.0;
+  while (t < 9000.0) {
+    ops.push_back(IoOp{.start = t, .end = t + 1.0 + 5.0 * next(),
+                       .bytes = 1ull << (20 + static_cast<int>(10 * next())),
+                       .kind = OpKind::kWrite});
+    t += 60.0 * (-std::log(next() + 1e-12));
+  }
+  ASSERT_GT(ops.size(), 25u);
+  EXPECT_FALSE(detect_periodicity_frequency(ops, 10000.0, {}).periodic);
+}
+
+TEST(FrequencyDetector, LongRunsCoarsenBins) {
+  // A 5-day run with two-hourly checkpoints: the series is capped at
+  // frequency_max_bins, so the detector must still find the period through
+  // coarser (~100 s) bins.
+  const double period = 7200.0;
+  const double runtime = 5.0 * 86400.0;
+  const auto ops = periodic_ops(period, 58, 4ull << 30, 10.0, 1000.0);
+  const PeriodicityResult result =
+      detect_periodicity_frequency(ops, runtime, {});
+  ASSERT_TRUE(result.periodic);
+  EXPECT_NEAR(result.groups.front().period_seconds, period, 0.1 * period);
+  EXPECT_EQ(result.groups.front().magnitude, PeriodMagnitude::kHour);
+}
+
+TEST(FrequencyDetector, OccurrenceAndVolumeEstimates) {
+  const auto ops = periodic_ops(300.0, 10, 2ull << 30);
+  const PeriodicityResult result =
+      detect_periodicity_frequency(ops, 4000.0, {});
+  ASSERT_TRUE(result.periodic);
+  const PeriodicGroup& group = result.groups.front();
+  // 9 inter-op spans across the active window.
+  EXPECT_NEAR(static_cast<double>(group.occurrences), 9.0, 1.0);
+  // Total 20 GiB over ~9-10 occurrences.
+  EXPECT_NEAR(group.mean_bytes, 10.0 * 2147483648.0 / 9.0,
+              0.25 * group.mean_bytes);
+  EXPECT_LT(group.busy_ratio, 0.1);
+}
+
+TEST(AnalyzerBackend, MeanShiftAndFrequencyAgreeOnCheckpointer) {
+  const auto ops = periodic_ops(480.0, 9, 1ull << 30);
+  Thresholds mean_shift;
+  mean_shift.periodicity_backend = PeriodicityBackend::kMeanShift;
+  Thresholds frequency;
+  frequency.periodicity_backend = PeriodicityBackend::kFrequency;
+
+  const Analyzer a(mean_shift);
+  const Analyzer b(frequency);
+  const KindAnalysis via_ms = a.analyze_ops(ops, 5000.0);
+  const KindAnalysis via_freq = b.analyze_ops(ops, 5000.0);
+  ASSERT_TRUE(via_ms.periodicity.periodic);
+  ASSERT_TRUE(via_freq.periodicity.periodic);
+  EXPECT_NEAR(via_ms.periodicity.dominant().period_seconds,
+              via_freq.periodicity.dominant().period_seconds, 40.0);
+}
+
+TEST(AnalyzerBackend, HybridFallsBackToFrequency) {
+  // Segments with enough duration spread to defeat the Mean-Shift CV guard
+  // while keeping a strong autocorrelation: alternate two interleaved op
+  // trains whose merged gap sequence alternates 200/400 s. Mean-Shift sees
+  // two alternating segment-length clusters (each valid!), so to build a
+  // case where it is mute we give the gaps enough variance instead.
+  std::vector<IoOp> ops;
+  double t = 100.0;
+  // Period 500 with +-30% triangular-ish jitter on each gap: raw-duration
+  // CV ~ 0.35+ defeats the guard, the ACF window (+-5%) also degrades —
+  // but the fundamental survives at coarse bins.
+  const double gaps[] = {350.0, 650.0, 380.0, 620.0, 360.0, 640.0,
+                         370.0, 630.0, 350.0, 650.0, 380.0, 620.0};
+  for (const double gap : gaps) {
+    ops.push_back(IoOp{.start = t, .end = t + 3.0, .bytes = 1ull << 30,
+                       .kind = OpKind::kWrite});
+    t += gap;
+  }
+  Thresholds hybrid;
+  hybrid.periodicity_backend = PeriodicityBackend::kHybrid;
+  Thresholds mean_shift_only;
+  mean_shift_only.periodicity_backend = PeriodicityBackend::kMeanShift;
+
+  const Analyzer ms(mean_shift_only);
+  const KindAnalysis via_ms = ms.analyze_ops(ops, t + 500.0);
+  // Alternating 350/650 gaps: each cluster alone is too regular to reject,
+  // but the paired structure means Mean-Shift reports a half-rate period or
+  // nothing. The hybrid must produce *some* periodicity via the 1000 s
+  // pair-period that the autocorrelation sees.
+  const Analyzer hy(hybrid);
+  const KindAnalysis via_hybrid = hy.analyze_ops(ops, t + 500.0);
+  if (!via_ms.periodicity.periodic) {
+    EXPECT_TRUE(via_hybrid.periodicity.periodic);
+  } else {
+    // Mean-Shift handled it; hybrid must then match Mean-Shift exactly.
+    EXPECT_EQ(via_hybrid.periodicity.periodic, via_ms.periodicity.periodic);
+  }
+}
+
+TEST(AnalyzerBackend, QuietTraceStaysQuietUnderAllBackends) {
+  for (const PeriodicityBackend backend :
+       {PeriodicityBackend::kMeanShift, PeriodicityBackend::kFrequency,
+        PeriodicityBackend::kHybrid}) {
+    Thresholds thresholds;
+    thresholds.periodicity_backend = backend;
+    const Analyzer analyzer(thresholds);
+    const KindAnalysis analysis = analyzer.analyze_ops({}, 1000.0);
+    EXPECT_FALSE(analysis.periodicity.periodic);
+    EXPECT_EQ(analysis.temporality.label, Temporality::kInsignificant);
+  }
+}
+
+TEST(AnalyzerBackend, FrequencyMinScoreConfigurable) {
+  const auto ops = periodic_ops(600.0, 10, 1ull << 30);
+  Thresholds impossible;
+  impossible.periodicity_backend = PeriodicityBackend::kFrequency;
+  impossible.frequency_min_score = 1.01;  // unreachable
+  const Analyzer analyzer(impossible);
+  EXPECT_FALSE(analyzer.analyze_ops(ops, 7000.0).periodicity.periodic);
+}
+
+}  // namespace
+}  // namespace mosaic::core

@@ -1,0 +1,189 @@
+#include "core/merge.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace mosaic::core {
+namespace {
+
+using trace::IoOp;
+using trace::OpKind;
+
+IoOp op(double start, double end, std::uint64_t bytes = 100,
+        std::int32_t rank = 0) {
+  return IoOp{.start = start, .end = end, .bytes = bytes, .rank = rank,
+              .kind = OpKind::kWrite};
+}
+
+std::uint64_t total_bytes(const std::vector<IoOp>& ops) {
+  std::uint64_t sum = 0;
+  for (const IoOp& o : ops) sum += o.bytes;
+  return sum;
+}
+
+TEST(MergeConcurrent, EmptyAndSingle) {
+  EXPECT_TRUE(merge_concurrent({}).empty());
+  const auto merged = merge_concurrent({op(1.0, 2.0)});
+  ASSERT_EQ(merged.size(), 1u);
+}
+
+TEST(MergeConcurrent, OverlappingOpsFuse) {
+  const auto merged = merge_concurrent({op(0.0, 5.0, 10), op(3.0, 8.0, 20)});
+  ASSERT_EQ(merged.size(), 1u);
+  EXPECT_DOUBLE_EQ(merged[0].start, 0.0);
+  EXPECT_DOUBLE_EQ(merged[0].end, 8.0);
+  EXPECT_EQ(merged[0].bytes, 30u);
+}
+
+TEST(MergeConcurrent, TouchingOpsFuse) {
+  const auto merged = merge_concurrent({op(0.0, 5.0), op(5.0, 8.0)});
+  EXPECT_EQ(merged.size(), 1u);
+}
+
+TEST(MergeConcurrent, DisjointOpsStay) {
+  const auto merged = merge_concurrent({op(0.0, 1.0), op(2.0, 3.0)});
+  EXPECT_EQ(merged.size(), 2u);
+}
+
+TEST(MergeConcurrent, UnsortedInputHandled) {
+  const auto merged =
+      merge_concurrent({op(10.0, 12.0), op(0.0, 5.0), op(4.0, 9.0)});
+  ASSERT_EQ(merged.size(), 2u);
+  EXPECT_DOUBLE_EQ(merged[0].start, 0.0);
+  EXPECT_DOUBLE_EQ(merged[0].end, 9.0);
+  EXPECT_DOUBLE_EQ(merged[1].start, 10.0);
+}
+
+TEST(MergeConcurrent, ContainedOpAbsorbed) {
+  const auto merged = merge_concurrent({op(0.0, 10.0, 50), op(2.0, 3.0, 5)});
+  ASSERT_EQ(merged.size(), 1u);
+  EXPECT_DOUBLE_EQ(merged[0].end, 10.0);
+  EXPECT_EQ(merged[0].bytes, 55u);
+}
+
+TEST(MergeConcurrent, DesynchronizedRanksChainMerge) {
+  // The paper's motivating case: many ranks writing the same checkpoint in a
+  // slightly staggered fashion must collapse into one operation.
+  std::vector<IoOp> ops;
+  for (int rank = 0; rank < 64; ++rank) {
+    ops.push_back(op(rank * 0.1, rank * 0.1 + 1.0, 10, rank));
+  }
+  const auto merged = merge_concurrent(std::move(ops));
+  ASSERT_EQ(merged.size(), 1u);
+  EXPECT_EQ(merged[0].bytes, 640u);
+  EXPECT_EQ(merged[0].rank, trace::kSharedRank);  // mixed ranks -> shared
+}
+
+TEST(MergeConcurrent, SameRankPreserved) {
+  const auto merged =
+      merge_concurrent({op(0.0, 2.0, 5, 3), op(1.0, 3.0, 5, 3)});
+  ASSERT_EQ(merged.size(), 1u);
+  EXPECT_EQ(merged[0].rank, 3);
+}
+
+TEST(MergeConcurrent, ConservesBytesProperty) {
+  util::Rng rng(99);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<IoOp> ops;
+    for (int i = 0; i < 100; ++i) {
+      const double start = rng.uniform(0.0, 1000.0);
+      ops.push_back(op(start, start + rng.uniform(0.0, 50.0),
+                       static_cast<std::uint64_t>(rng.uniform_int(1, 1000))));
+    }
+    const std::uint64_t before = total_bytes(ops);
+    const auto merged = merge_concurrent(std::move(ops));
+    EXPECT_EQ(total_bytes(merged), before);
+    // Output is sorted and pairwise disjoint.
+    for (std::size_t i = 1; i < merged.size(); ++i) {
+      EXPECT_GT(merged[i].start, merged[i - 1].end);
+    }
+  }
+}
+
+TEST(MergeConcurrent, Idempotent) {
+  util::Rng rng(7);
+  std::vector<IoOp> ops;
+  for (int i = 0; i < 40; ++i) {
+    const double start = rng.uniform(0.0, 100.0);
+    ops.push_back(op(start, start + rng.uniform(0.0, 10.0)));
+  }
+  const auto once = merge_concurrent(ops);
+  const auto twice = merge_concurrent(once);
+  ASSERT_EQ(once.size(), twice.size());
+  for (std::size_t i = 0; i < once.size(); ++i) {
+    EXPECT_DOUBLE_EQ(once[i].start, twice[i].start);
+    EXPECT_DOUBLE_EQ(once[i].end, twice[i].end);
+  }
+}
+
+TEST(MergeNeighbors, SmallGapRelativeToRuntimeFuses) {
+  // Gap 0.5s, runtime 10000s -> gap is 0.005% of runtime < 0.1%.
+  const auto merged =
+      merge_neighbors({op(0.0, 1.0), op(1.5, 2.5)}, 10000.0);
+  EXPECT_EQ(merged.size(), 1u);
+}
+
+TEST(MergeNeighbors, SmallGapRelativeToOpFuses) {
+  // Gap 0.5s vs previous op duration 100s -> 0.5% < 1%; runtime small so the
+  // runtime rule alone would not fire (0.5 / 200 = 0.25% > 0.1%).
+  const auto merged = merge_neighbors({op(0.0, 100.0), op(100.5, 101.0)}, 200.0);
+  EXPECT_EQ(merged.size(), 1u);
+}
+
+TEST(MergeNeighbors, LargeGapStaysSeparate) {
+  const auto merged = merge_neighbors({op(0.0, 1.0), op(50.0, 51.0)}, 100.0);
+  EXPECT_EQ(merged.size(), 2u);
+}
+
+TEST(MergeNeighbors, SlidingDesynchronizationChains) {
+  // Ops drifting apart slowly: each gap is small relative to the growing
+  // merged op, so the chain keeps fusing (paper §III-B2b).
+  std::vector<IoOp> ops;
+  double t = 0.0;
+  for (int i = 0; i < 10; ++i) {
+    ops.push_back(op(t, t + 10.0));
+    t += 10.0 + 0.05;  // 0.05s gap, well under 1% of 10s
+  }
+  const auto merged = merge_neighbors(std::move(ops), 1e6);
+  EXPECT_EQ(merged.size(), 1u);
+}
+
+TEST(MergeNeighbors, ThresholdsConfigurable) {
+  Thresholds strict;
+  strict.neighbor_gap_runtime_fraction = 0.0;
+  strict.neighbor_gap_op_fraction = 0.0;
+  const auto merged =
+      merge_neighbors({op(0.0, 1.0), op(1.001, 2.0)}, 10000.0, strict);
+  EXPECT_EQ(merged.size(), 2u);
+
+  Thresholds loose;
+  loose.neighbor_gap_runtime_fraction = 0.5;
+  const auto fused =
+      merge_neighbors({op(0.0, 1.0), op(100.0, 101.0)}, 1000.0, loose);
+  EXPECT_EQ(fused.size(), 1u);
+}
+
+TEST(MergeOps, PipelineKeepsPeriodicStructure) {
+  // Periodic bursts with rank desync inside each burst: merging must yield
+  // exactly one op per burst so segmentation sees the period.
+  std::vector<IoOp> ops;
+  for (int burst = 0; burst < 8; ++burst) {
+    const double base = burst * 600.0;
+    for (int r = 0; r < 4; ++r) {
+      ops.push_back(op(base + r * 0.2, base + r * 0.2 + 2.0, 100, r));
+    }
+  }
+  const auto merged = merge_ops(std::move(ops), 5000.0);
+  EXPECT_EQ(merged.size(), 8u);
+  for (std::size_t i = 1; i < merged.size(); ++i) {
+    EXPECT_NEAR(merged[i].start - merged[i - 1].start, 600.0, 1.0);
+  }
+}
+
+TEST(MergeOps, EmptyInput) {
+  EXPECT_TRUE(merge_ops({}, 100.0).empty());
+}
+
+}  // namespace
+}  // namespace mosaic::core

@@ -1,0 +1,156 @@
+#include "core/periodicity.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace mosaic::core {
+namespace {
+
+Segment segment(double length, std::uint64_t bytes, double op_duration = 1.0) {
+  return Segment{.start = 0.0, .length = length, .op_duration = op_duration,
+                 .bytes = bytes};
+}
+
+std::vector<Segment> uniform_segments(std::size_t count, double period,
+                                      std::uint64_t bytes,
+                                      double busy_seconds) {
+  std::vector<Segment> segments;
+  for (std::size_t i = 0; i < count; ++i) {
+    segments.push_back(segment(period, bytes, busy_seconds));
+  }
+  return segments;
+}
+
+TEST(PeriodMagnitude, Buckets) {
+  EXPECT_EQ(classify_period_magnitude(10.0), PeriodMagnitude::kSecond);
+  EXPECT_EQ(classify_period_magnitude(59.9), PeriodMagnitude::kSecond);
+  // Half-open downward: exactly one minute is periodic_minute, exactly one
+  // hour is periodic_hour, exactly one day is periodic_day_or_more.
+  EXPECT_EQ(classify_period_magnitude(60.0), PeriodMagnitude::kMinute);
+  EXPECT_EQ(classify_period_magnitude(3599.0), PeriodMagnitude::kMinute);
+  EXPECT_EQ(classify_period_magnitude(3600.0), PeriodMagnitude::kHour);
+  EXPECT_EQ(classify_period_magnitude(86399.0), PeriodMagnitude::kHour);
+  EXPECT_EQ(classify_period_magnitude(86400.0), PeriodMagnitude::kDayOrMore);
+  EXPECT_EQ(classify_period_magnitude(1e6), PeriodMagnitude::kDayOrMore);
+}
+
+TEST(PeriodMagnitudeName, Names) {
+  EXPECT_STREQ(period_magnitude_name(PeriodMagnitude::kSecond), "second");
+  EXPECT_STREQ(period_magnitude_name(PeriodMagnitude::kDayOrMore),
+               "day_or_more");
+}
+
+TEST(DetectPeriodicity, EmptyAndTiny) {
+  EXPECT_FALSE(detect_periodicity({}).periodic);
+  const auto one = uniform_segments(1, 100.0, 50, 1.0);
+  EXPECT_FALSE(detect_periodicity(one).periodic);
+}
+
+TEST(DetectPeriodicity, CleanPeriodicSignal) {
+  const auto segments = uniform_segments(10, 600.0, 1 << 30, 5.0);
+  const PeriodicityResult result = detect_periodicity(segments);
+  ASSERT_TRUE(result.periodic);
+  ASSERT_EQ(result.groups.size(), 1u);
+  EXPECT_NEAR(result.groups[0].period_seconds, 600.0, 1.0);
+  EXPECT_EQ(result.groups[0].occurrences, 10u);
+  EXPECT_EQ(result.groups[0].magnitude, PeriodMagnitude::kMinute);
+  EXPECT_NEAR(result.groups[0].busy_ratio, 5.0 / 600.0, 1e-6);
+}
+
+TEST(DetectPeriodicity, JitteredPeriodStillDetected) {
+  util::Rng rng(3);
+  std::vector<Segment> segments;
+  for (int i = 0; i < 12; ++i) {
+    segments.push_back(segment(600.0 + rng.normal(0.0, 12.0),
+                               (1u << 28) + static_cast<std::uint64_t>(
+                                                rng.uniform(0.0, 1e6)),
+                               4.0));
+  }
+  const PeriodicityResult result = detect_periodicity(segments);
+  ASSERT_TRUE(result.periodic);
+  EXPECT_NEAR(result.groups[0].period_seconds, 600.0, 30.0);
+}
+
+TEST(DetectPeriodicity, AperiodicSegmentsRejected) {
+  // Wildly varying segment lengths and volumes: no group should survive the
+  // spread checks.
+  util::Rng rng(5);
+  std::vector<Segment> segments;
+  double length = 10.0;
+  for (int i = 0; i < 10; ++i) {
+    length *= 2.3;
+    segments.push_back(segment(
+        length, static_cast<std::uint64_t>(rng.uniform(1e3, 1e10)), 1.0));
+  }
+  EXPECT_FALSE(detect_periodicity(segments).periodic);
+}
+
+TEST(DetectPeriodicity, TwoDistinctPeriodicOperations) {
+  // A trace holding two interleaved periodic ops of clearly different
+  // volume/period signatures -> two groups (paper: checkpoint + reads).
+  std::vector<Segment> segments;
+  for (int i = 0; i < 8; ++i) segments.push_back(segment(600.0, 8u << 30, 6.0));
+  for (int i = 0; i < 6; ++i) segments.push_back(segment(60.0, 1u << 20, 0.5));
+  const PeriodicityResult result = detect_periodicity(segments);
+  ASSERT_TRUE(result.periodic);
+  ASSERT_EQ(result.groups.size(), 2u);
+  // Largest group first.
+  EXPECT_EQ(result.groups[0].occurrences, 8u);
+  EXPECT_NEAR(result.groups[0].period_seconds, 600.0, 1.0);
+  EXPECT_EQ(result.groups[1].occurrences, 6u);
+  EXPECT_NEAR(result.groups[1].period_seconds, 60.0, 1.0);
+}
+
+TEST(DetectPeriodicity, MinGroupSizeRespected) {
+  Thresholds thresholds;
+  thresholds.min_group_size = 5;
+  const auto segments = uniform_segments(4, 300.0, 1 << 25, 1.0);
+  EXPECT_FALSE(detect_periodicity(segments, thresholds).periodic);
+  const auto more = uniform_segments(5, 300.0, 1 << 25, 1.0);
+  EXPECT_TRUE(detect_periodicity(more, thresholds).periodic);
+}
+
+TEST(DetectPeriodicity, ScalingArtifactRejectedByCvGuard) {
+  // One giant segment stretches the min-max range; two segments of 1s and
+  // 100s then sit within the bandwidth in scaled space but are not the same
+  // period. The raw-space CV guard must reject the pairing.
+  std::vector<Segment> segments;
+  segments.push_back(segment(1.0, 1000, 0.1));
+  segments.push_back(segment(100.0, 1000, 0.1));
+  segments.push_back(segment(10000.0, 1000, 0.1));
+  const PeriodicityResult result = detect_periodicity(segments);
+  EXPECT_FALSE(result.periodic);
+}
+
+TEST(DetectPeriodicity, VolumeSpreadRejected) {
+  Thresholds thresholds;
+  std::vector<Segment> segments;
+  util::Rng rng(11);
+  for (int i = 0; i < 8; ++i) {
+    // Same period but volumes spanning 4 orders of magnitude.
+    segments.push_back(
+        segment(300.0, static_cast<std::uint64_t>(std::pow(10.0, 4 + i)), 1.0));
+  }
+  EXPECT_FALSE(detect_periodicity(segments, thresholds).periodic);
+}
+
+TEST(DetectPeriodicity, HighBusyRatioReported) {
+  const auto segments = uniform_segments(6, 30.0, 20u << 30, 10.0);
+  const PeriodicityResult result = detect_periodicity(segments);
+  ASSERT_TRUE(result.periodic);
+  EXPECT_NEAR(result.groups[0].busy_ratio, 1.0 / 3.0, 1e-6);
+  EXPECT_EQ(result.groups[0].magnitude, PeriodMagnitude::kSecond);
+}
+
+TEST(DetectPeriodicity, DominantAccessor) {
+  const auto segments = uniform_segments(5, 120.0, 1u << 30, 2.0);
+  const PeriodicityResult result = detect_periodicity(segments);
+  ASSERT_TRUE(result.periodic);
+  EXPECT_EQ(&result.dominant(), &result.groups.front());
+}
+
+}  // namespace
+}  // namespace mosaic::core

@@ -1,0 +1,134 @@
+#include "core/preprocess.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mosaic::core {
+namespace {
+
+trace::Trace make_trace(const std::string& user, const std::string& app,
+                        std::uint64_t job_id, std::uint64_t bytes) {
+  trace::Trace t;
+  t.meta.job_id = job_id;
+  t.meta.app_name = app;
+  t.meta.user = user;
+  t.meta.nprocs = 4;
+  t.meta.run_time = 100.0;
+  if (bytes > 0) {
+    trace::FileRecord file;
+    file.file_id = job_id;
+    file.bytes_written = bytes;
+    file.writes = 1;
+    file.opens = 1;
+    file.closes = 1;
+    file.open_ts = 1.0;
+    file.close_ts = 99.0;
+    file.first_write_ts = 2.0;
+    file.last_write_ts = 98.0;
+    t.files.push_back(file);
+  }
+  return t;
+}
+
+TEST(Preprocess, EmptyInput) {
+  const PreprocessResult result = preprocess({});
+  EXPECT_EQ(result.stats.input_traces, 0u);
+  EXPECT_EQ(result.stats.retained, 0u);
+  EXPECT_TRUE(result.retained.empty());
+}
+
+TEST(Preprocess, KeepsHeaviestTracePerApp) {
+  std::vector<trace::Trace> traces;
+  traces.push_back(make_trace("u1", "app", 1, 100));
+  traces.push_back(make_trace("u1", "app", 2, 5000));  // heaviest
+  traces.push_back(make_trace("u1", "app", 3, 200));
+  const PreprocessResult result = preprocess(std::move(traces));
+  ASSERT_EQ(result.retained.size(), 1u);
+  EXPECT_EQ(result.retained[0].meta.job_id, 2u);
+  EXPECT_EQ(result.runs_per_app.at("u1/app"), 3u);
+}
+
+TEST(Preprocess, DistinctUsersAreDistinctApps) {
+  // Same executable run by two users: two applications (paper groups by
+  // application *from a given user*).
+  std::vector<trace::Trace> traces;
+  traces.push_back(make_trace("u1", "lammps", 1, 100));
+  traces.push_back(make_trace("u2", "lammps", 2, 100));
+  const PreprocessResult result = preprocess(std::move(traces));
+  EXPECT_EQ(result.retained.size(), 2u);
+  EXPECT_EQ(result.stats.unique_applications, 2u);
+}
+
+TEST(Preprocess, EvictsCorruptedTraces) {
+  std::vector<trace::Trace> traces;
+  traces.push_back(make_trace("u1", "a", 1, 100));
+  trace::Trace corrupt = make_trace("u2", "b", 2, 100);
+  corrupt.meta.run_time = -1.0;
+  traces.push_back(std::move(corrupt));
+  const PreprocessResult result = preprocess(std::move(traces));
+  EXPECT_EQ(result.stats.input_traces, 2u);
+  EXPECT_EQ(result.stats.corrupted, 1u);
+  EXPECT_EQ(result.stats.valid, 1u);
+  EXPECT_EQ(result.stats.retained, 1u);
+  EXPECT_EQ(result.stats.corruption_breakdown.at("non-positive-runtime"), 1u);
+}
+
+TEST(Preprocess, CorruptedRunsDoNotCountTowardRunsPerApp) {
+  std::vector<trace::Trace> traces;
+  traces.push_back(make_trace("u1", "a", 1, 100));
+  trace::Trace corrupt = make_trace("u1", "a", 2, 900);
+  corrupt.files[0].close_ts = 1e6;  // deallocation past end
+  traces.push_back(std::move(corrupt));
+  const PreprocessResult result = preprocess(std::move(traces));
+  EXPECT_EQ(result.runs_per_app.at("u1/a"), 1u);
+  // The corrupted (heavier) run must not have been chosen.
+  ASSERT_EQ(result.retained.size(), 1u);
+  EXPECT_EQ(result.retained[0].meta.job_id, 1u);
+}
+
+TEST(Preprocess, FunnelCountsConsistent) {
+  std::vector<trace::Trace> traces;
+  for (int app = 0; app < 5; ++app) {
+    for (int run = 0; run < 10; ++run) {
+      auto t = make_trace("u" + std::to_string(app), "app",
+                          static_cast<std::uint64_t>(app * 100 + run),
+                          static_cast<std::uint64_t>(run + 1));
+      if (run % 3 == 0) t.meta.nprocs = 0;  // corrupt a third
+      traces.push_back(std::move(t));
+    }
+  }
+  const PreprocessResult result = preprocess(std::move(traces));
+  EXPECT_EQ(result.stats.input_traces, 50u);
+  EXPECT_EQ(result.stats.corrupted, 20u);  // runs 0,3,6,9 of each app
+  EXPECT_EQ(result.stats.valid, 30u);
+  EXPECT_EQ(result.stats.unique_applications, 5u);
+  EXPECT_EQ(result.stats.retained, 5u);
+  EXPECT_EQ(result.stats.valid,
+            result.stats.input_traces - result.stats.corrupted);
+  // Heaviest valid run per app is run 8 (bytes 9).
+  for (const trace::Trace& t : result.retained) {
+    EXPECT_EQ(t.meta.job_id % 100, 8u);
+  }
+}
+
+TEST(Preprocess, TieBreaksKeepFirstHeaviest) {
+  std::vector<trace::Trace> traces;
+  traces.push_back(make_trace("u1", "a", 7, 100));
+  traces.push_back(make_trace("u1", "a", 8, 100));  // equal weight
+  const PreprocessResult result = preprocess(std::move(traces));
+  ASSERT_EQ(result.retained.size(), 1u);
+  EXPECT_EQ(result.retained[0].meta.job_id, 7u);
+}
+
+TEST(Preprocess, ValiditySlackForwarded) {
+  trace::Trace t = make_trace("u1", "a", 1, 100);
+  t.files[0].close_ts = 104.0;  // 4s past job end
+  std::vector<trace::Trace> strict_input;
+  strict_input.push_back(t);
+  EXPECT_EQ(preprocess(std::move(strict_input), 1.0).stats.corrupted, 1u);
+  std::vector<trace::Trace> lax_input;
+  lax_input.push_back(t);
+  EXPECT_EQ(preprocess(std::move(lax_input), 10.0).stats.corrupted, 0u);
+}
+
+}  // namespace
+}  // namespace mosaic::core

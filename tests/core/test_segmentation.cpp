@@ -1,0 +1,66 @@
+#include "core/segmentation.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mosaic::core {
+namespace {
+
+using trace::IoOp;
+
+IoOp op(double start, double end, std::uint64_t bytes) {
+  return IoOp{.start = start, .end = end, .bytes = bytes};
+}
+
+TEST(Segmentation, FewerThanTwoOpsYieldNothing) {
+  EXPECT_TRUE(segment_ops({}).empty());
+  const std::vector<IoOp> one{op(0.0, 1.0, 10)};
+  EXPECT_TRUE(segment_ops(one).empty());
+}
+
+TEST(Segmentation, SegmentSpansStartToNextStart) {
+  const std::vector<IoOp> ops{op(10.0, 12.0, 100), op(70.0, 75.0, 200),
+                              op(130.0, 131.0, 300)};
+  const auto segments = segment_ops(ops);
+  ASSERT_EQ(segments.size(), 2u);
+  EXPECT_DOUBLE_EQ(segments[0].start, 10.0);
+  EXPECT_DOUBLE_EQ(segments[0].length, 60.0);
+  EXPECT_DOUBLE_EQ(segments[0].op_duration, 2.0);
+  EXPECT_EQ(segments[0].bytes, 100u);
+  EXPECT_DOUBLE_EQ(segments[1].length, 60.0);
+  EXPECT_EQ(segments[1].bytes, 200u);
+}
+
+TEST(Segmentation, LastOpContributesNoSegment) {
+  const std::vector<IoOp> ops{op(0.0, 1.0, 1), op(10.0, 11.0, 2)};
+  const auto segments = segment_ops(ops);
+  ASSERT_EQ(segments.size(), 1u);
+  EXPECT_EQ(segments[0].bytes, 1u);
+}
+
+TEST(Segmentation, BusyRatio) {
+  const std::vector<IoOp> ops{op(0.0, 15.0, 1), op(60.0, 61.0, 1)};
+  const auto segments = segment_ops(ops);
+  ASSERT_EQ(segments.size(), 1u);
+  EXPECT_DOUBLE_EQ(segments[0].busy_ratio(), 0.25);
+}
+
+TEST(Segmentation, UniformPeriodicOpsGiveEqualSegments) {
+  std::vector<IoOp> ops;
+  for (int i = 0; i < 10; ++i) {
+    ops.push_back(op(i * 300.0, i * 300.0 + 5.0, 1000));
+  }
+  const auto segments = segment_ops(ops);
+  ASSERT_EQ(segments.size(), 9u);
+  for (const Segment& segment : segments) {
+    EXPECT_DOUBLE_EQ(segment.length, 300.0);
+    EXPECT_DOUBLE_EQ(segment.op_duration, 5.0);
+  }
+}
+
+TEST(SegmentBusyRatio, ZeroLengthIsZero) {
+  const Segment degenerate{.start = 0.0, .length = 0.0, .op_duration = 1.0};
+  EXPECT_DOUBLE_EQ(degenerate.busy_ratio(), 0.0);
+}
+
+}  // namespace
+}  // namespace mosaic::core

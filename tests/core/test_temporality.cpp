@@ -1,0 +1,178 @@
+#include "core/temporality.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+namespace mosaic::core {
+namespace {
+
+using trace::IoOp;
+using trace::OpKind;
+
+constexpr std::uint64_t MiB = 1ull << 20;
+constexpr std::uint64_t kBig = 500 * MiB;  // comfortably significant
+
+IoOp op(double start, double end, std::uint64_t bytes) {
+  return IoOp{.start = start, .end = end, .bytes = bytes};
+}
+
+TEST(ChunkVolumes, SingleOpInOneChunk) {
+  const std::vector<IoOp> ops{op(10.0, 20.0, 1000)};
+  const auto chunks = chunk_volumes(ops, 400.0, 4);
+  ASSERT_EQ(chunks.size(), 4u);
+  EXPECT_DOUBLE_EQ(chunks[0], 1000.0);
+  EXPECT_DOUBLE_EQ(chunks[1] + chunks[2] + chunks[3], 0.0);
+}
+
+TEST(ChunkVolumes, StraddlingOpSplitsProportionally) {
+  // Op spans [50, 150] over runtime 400: half in chunk 0, half in chunk 1.
+  const std::vector<IoOp> ops{op(50.0, 150.0, 1000)};
+  const auto chunks = chunk_volumes(ops, 400.0, 4);
+  EXPECT_DOUBLE_EQ(chunks[0], 500.0);
+  EXPECT_DOUBLE_EQ(chunks[1], 500.0);
+}
+
+TEST(ChunkVolumes, FullSpanDistributesEvenly) {
+  const std::vector<IoOp> ops{op(0.0, 400.0, 4000)};
+  const auto chunks = chunk_volumes(ops, 400.0, 4);
+  for (const double chunk : chunks) EXPECT_DOUBLE_EQ(chunk, 1000.0);
+}
+
+TEST(ChunkVolumes, ConservesBytes) {
+  const std::vector<IoOp> ops{op(0.0, 123.0, 777), op(50.0, 399.0, 333),
+                              op(398.0, 400.0, 55)};
+  const auto chunks = chunk_volumes(ops, 400.0, 4);
+  double total = 0.0;
+  for (const double chunk : chunks) total += chunk;
+  EXPECT_NEAR(total, 777.0 + 333.0 + 55.0, 1e-9);
+}
+
+TEST(ChunkVolumes, ClampsOutOfRangeOps) {
+  const std::vector<IoOp> ops{op(-10.0, 10.0, 100), op(395.0, 500.0, 100)};
+  const auto chunks = chunk_volumes(ops, 400.0, 4);
+  double total = 0.0;
+  for (const double chunk : chunks) total += chunk;
+  EXPECT_NEAR(total, 200.0, 1e-9);
+}
+
+TEST(ClassifyChunks, InsignificantBelowThreshold) {
+  const std::array<double, 4> chunks{1e6, 0.0, 0.0, 0.0};
+  EXPECT_EQ(classify_chunks(chunks, 1e6, {}), Temporality::kInsignificant);
+}
+
+TEST(ClassifyChunks, OnStart) {
+  const std::array<double, 4> chunks{8e8, 1e8, 1e8, 1e8};
+  EXPECT_EQ(classify_chunks(chunks, 11e8, {}), Temporality::kOnStart);
+}
+
+TEST(ClassifyChunks, OnEnd) {
+  const std::array<double, 4> chunks{1e8, 1e8, 1e8, 9e8};
+  EXPECT_EQ(classify_chunks(chunks, 12e8, {}), Temporality::kOnEnd);
+}
+
+TEST(ClassifyChunks, AfterStartAndBeforeEnd) {
+  const std::array<double, 4> early{1e8, 8e8, 1e8, 1e8};
+  EXPECT_EQ(classify_chunks(early, 11e8, {}), Temporality::kAfterStart);
+  const std::array<double, 4> late{1e8, 1e8, 8e8, 1e8};
+  EXPECT_EQ(classify_chunks(late, 11e8, {}), Temporality::kBeforeEnd);
+}
+
+TEST(ClassifyChunks, SteadyWhenCvLow) {
+  const std::array<double, 4> chunks{2.5e8, 2.6e8, 2.4e8, 2.55e8};
+  EXPECT_EQ(classify_chunks(chunks, 10.05e8, {}), Temporality::kSteady);
+}
+
+TEST(ClassifyChunks, MiddleDominanceIsAfterStartBeforeEnd) {
+  const std::array<double, 4> chunks{0.5e8, 5e8, 4.5e8, 0.5e8};
+  EXPECT_EQ(classify_chunks(chunks, 10.5e8, {}),
+            Temporality::kAfterStartBeforeEnd);
+}
+
+TEST(ClassifyChunks, BimodalExtremesUnclassified) {
+  // Strong start AND strong end: none of the paper's labels fit.
+  const std::array<double, 4> chunks{5e8, 0.2e8, 0.2e8, 5e8};
+  EXPECT_EQ(classify_chunks(chunks, 10.4e8, {}), Temporality::kUnclassified);
+}
+
+TEST(ClassifyChunks, DominanceIsStrict) {
+  // First chunk exactly 2x the others: not strictly more than 2x -> not
+  // dominant; CV of (2,1,1,1) ~ 0.35 -> not steady either -> unclassified.
+  const std::array<double, 4> chunks{4e8, 2e8, 2e8, 2e8};
+  EXPECT_EQ(classify_chunks(chunks, 10e8, {}), Temporality::kUnclassified);
+}
+
+TEST(ClassifyChunks, ZeroOtherChunksStillDominant) {
+  const std::array<double, 4> chunks{3e8, 0.0, 0.0, 0.0};
+  EXPECT_EQ(classify_chunks(chunks, 3e8, {}), Temporality::kOnStart);
+}
+
+TEST(ClassifyChunks, ThresholdsConfigurable) {
+  Thresholds custom;
+  custom.min_bytes = 1000;
+  custom.steady_cv = 0.6;  // everything mildly flat becomes steady
+  const std::array<double, 4> chunks{4e3, 2e3, 2e3, 2e3};
+  EXPECT_EQ(classify_chunks(chunks, 10e3, custom), Temporality::kSteady);
+}
+
+TEST(ClassifyTemporality, EndToEndOnStart) {
+  const std::vector<IoOp> ops{op(5.0, 15.0, kBig)};
+  const TemporalityResult result = classify_temporality(ops, 1000.0);
+  EXPECT_EQ(result.label, Temporality::kOnStart);
+  EXPECT_DOUBLE_EQ(result.total_bytes, static_cast<double>(kBig));
+  ASSERT_EQ(result.chunk_bytes.size(), 4u);
+}
+
+TEST(ClassifyTemporality, EndToEndSteady) {
+  std::vector<IoOp> ops;
+  for (int i = 0; i < 20; ++i) {
+    ops.push_back(op(i * 50.0, i * 50.0 + 5.0, 100 * MiB));
+  }
+  const TemporalityResult result = classify_temporality(ops, 1000.0);
+  EXPECT_EQ(result.label, Temporality::kSteady);
+}
+
+TEST(ClassifyTemporality, EmptyOpsInsignificant) {
+  const TemporalityResult result = classify_temporality({}, 1000.0);
+  EXPECT_EQ(result.label, Temporality::kInsignificant);
+  EXPECT_DOUBLE_EQ(result.total_bytes, 0.0);
+}
+
+TEST(TemporalityNames, AllLabelsNamed) {
+  EXPECT_STREQ(temporality_name(Temporality::kOnStart), "on_start");
+  EXPECT_STREQ(temporality_name(Temporality::kAfterStartBeforeEnd),
+               "after_start_before_end");
+  EXPECT_STREQ(temporality_name(Temporality::kUnclassified), "unclassified");
+}
+
+TEST(TemporalityCategory, MapsKindAndLabel) {
+  EXPECT_EQ(temporality_category(OpKind::kRead, Temporality::kOnStart),
+            Category::kReadOnStart);
+  EXPECT_EQ(temporality_category(OpKind::kWrite, Temporality::kOnEnd),
+            Category::kWriteOnEnd);
+  EXPECT_EQ(temporality_category(OpKind::kWrite, Temporality::kInsignificant),
+            Category::kWriteInsignificant);
+  EXPECT_EQ(temporality_category(OpKind::kRead, Temporality::kSteady),
+            Category::kReadSteady);
+}
+
+// Property sweep: a single dominant burst placed in each chunk must map to
+// the chunk's label.
+class BurstPositionTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(BurstPositionTest, DominantChunkLabels) {
+  const int chunk = GetParam();
+  const double start = chunk * 250.0 + 100.0;
+  const std::vector<IoOp> ops{op(start, start + 10.0, kBig)};
+  const TemporalityResult result = classify_temporality(ops, 1000.0);
+  static constexpr std::array<Temporality, 4> kExpected{
+      Temporality::kOnStart, Temporality::kAfterStart, Temporality::kBeforeEnd,
+      Temporality::kOnEnd};
+  EXPECT_EQ(result.label, kExpected[static_cast<std::size_t>(chunk)]);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllChunks, BurstPositionTest,
+                         ::testing::Values(0, 1, 2, 3));
+
+}  // namespace
+}  // namespace mosaic::core

@@ -1,0 +1,188 @@
+// Robustness tests: the parsers must reject arbitrary garbage gracefully —
+// never crash, never hang, never fabricate a valid-looking trace from noise.
+// A year-scale ingest job will see every kind of mangled input.
+#include <gtest/gtest.h>
+
+#include "darshan/binary_format.hpp"
+#include "darshan/text_format.hpp"
+#include "json/json.hpp"
+#include "util/rng.hpp"
+
+namespace mosaic {
+namespace {
+
+std::vector<std::byte> random_bytes(util::Rng& rng, std::size_t size) {
+  std::vector<std::byte> bytes(size);
+  for (auto& b : bytes) {
+    b = static_cast<std::byte>(rng.uniform_int(0, 255));
+  }
+  return bytes;
+}
+
+std::string random_text(util::Rng& rng, std::size_t size) {
+  static constexpr char kAlphabet[] =
+      "POSIX_BYTES_READ\t-1 0123456789.eE+\n# :{}[]\"\\abcxyz";
+  std::string text;
+  text.reserve(size);
+  for (std::size_t i = 0; i < size; ++i) {
+    text += kAlphabet[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(sizeof kAlphabet) - 2))];
+  }
+  return text;
+}
+
+TEST(FuzzMbt, RandomBuffersNeverCrash) {
+  util::Rng rng(101);
+  for (int trial = 0; trial < 500; ++trial) {
+    const auto size = static_cast<std::size_t>(rng.uniform_int(0, 2048));
+    const auto bytes = random_bytes(rng, size);
+    const auto result = darshan::parse_mbt(bytes);
+    // Random bytes essentially never carry a valid FNV trailer.
+    EXPECT_FALSE(result.has_value());
+  }
+}
+
+TEST(FuzzMbt, MutatedValidBufferNeverCrashes) {
+  trace::Trace t;
+  t.meta.job_id = 5;
+  t.meta.app_name = "fuzz";
+  t.meta.user = "u";
+  t.meta.nprocs = 8;
+  t.meta.run_time = 100.0;
+  for (int i = 0; i < 5; ++i) {
+    trace::FileRecord file;
+    file.file_id = static_cast<std::uint64_t>(i);
+    file.file_name = "/f" + std::to_string(i);
+    file.bytes_written = 1u << 20;
+    file.writes = 4;
+    file.opens = 1;
+    file.closes = 1;
+    file.open_ts = 1.0;
+    file.close_ts = 99.0;
+    file.first_write_ts = 2.0;
+    file.last_write_ts = 98.0;
+    t.files.push_back(file);
+  }
+  const auto pristine = darshan::to_mbt(t);
+
+  util::Rng rng(103);
+  for (int trial = 0; trial < 500; ++trial) {
+    auto mutated = pristine;
+    // Flip a few random bytes and/or truncate.
+    const int flips = static_cast<int>(rng.uniform_int(1, 8));
+    for (int f = 0; f < flips; ++f) {
+      const auto at = static_cast<std::size_t>(rng.uniform_int(
+          0, static_cast<std::int64_t>(mutated.size()) - 1));
+      mutated[at] ^= static_cast<std::byte>(rng.uniform_int(1, 255));
+    }
+    if (rng.chance(0.3)) {
+      mutated.resize(static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(mutated.size()))));
+    }
+    // Must not crash; almost always detected via checksum.
+    (void)darshan::parse_mbt(mutated);
+  }
+}
+
+TEST(FuzzDarshanText, RandomTextNeverCrashes) {
+  util::Rng rng(107);
+  for (int trial = 0; trial < 300; ++trial) {
+    const auto size = static_cast<std::size_t>(rng.uniform_int(0, 4096));
+    const std::string text = random_text(rng, size);
+    const auto result = darshan::parse_text(text);
+    if (result.has_value()) {
+      // Whatever parsed must at least satisfy the header contract.
+      EXPECT_GT(result->meta.run_time, 0.0);
+    }
+  }
+}
+
+TEST(FuzzDarshanText, HeaderOnlyVariations) {
+  util::Rng rng(109);
+  const char* headers[] = {"# run time: ",  "# nprocs: ", "# jobid: ",
+                           "# start_time: ", "# uid: ",    "# exe: "};
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string text;
+    const int lines = static_cast<int>(rng.uniform_int(0, 8));
+    for (int l = 0; l < lines; ++l) {
+      text += headers[rng.uniform_int(0, 5)];
+      text += random_text(rng, static_cast<std::size_t>(rng.uniform_int(0, 30)));
+      text += '\n';
+    }
+    (void)darshan::parse_text(text);
+  }
+}
+
+TEST(FuzzJson, RandomTextNeverCrashes) {
+  util::Rng rng(113);
+  for (int trial = 0; trial < 500; ++trial) {
+    const auto size = static_cast<std::size_t>(rng.uniform_int(0, 2048));
+    (void)json::parse(random_text(rng, size));
+  }
+}
+
+TEST(FuzzJson, MutatedValidDocumentNeverCrashes) {
+  const std::string pristine =
+      R"({"a": [1, 2.5, true, null], "b": {"c": "text", "d": [{"e": 1}]}})";
+  util::Rng rng(127);
+  for (int trial = 0; trial < 500; ++trial) {
+    std::string mutated = pristine;
+    const int flips = static_cast<int>(rng.uniform_int(1, 5));
+    for (int f = 0; f < flips; ++f) {
+      const auto at = static_cast<std::size_t>(rng.uniform_int(
+          0, static_cast<std::int64_t>(mutated.size()) - 1));
+      mutated[at] = static_cast<char>(rng.uniform_int(32, 126));
+    }
+    const auto result = json::parse(mutated);
+    if (result.has_value()) {
+      // Anything accepted must re-serialize and re-parse cleanly.
+      const auto again = json::parse(json::serialize(*result));
+      EXPECT_TRUE(again.has_value());
+    }
+  }
+}
+
+TEST(FuzzRoundTrip, RandomTracesSurviveBothFormats) {
+  util::Rng rng(131);
+  for (int trial = 0; trial < 50; ++trial) {
+    trace::Trace t;
+    t.meta.job_id = rng();
+    t.meta.app_name = "app_" + std::to_string(trial);
+    t.meta.user = "u" + std::to_string(trial % 7);
+    t.meta.nprocs = static_cast<std::uint32_t>(rng.uniform_int(1, 4096));
+    t.meta.run_time = rng.uniform(1.0, 1e6);
+    const int files = static_cast<int>(rng.uniform_int(0, 20));
+    for (int f = 0; f < files; ++f) {
+      trace::FileRecord record;
+      record.file_id = rng();
+      record.file_name = "/p/" + std::to_string(rng() % 1000);
+      record.rank = static_cast<std::int32_t>(rng.uniform_int(-1, 100));
+      record.bytes_read = rng() % (1ull << 40);
+      record.bytes_written = rng() % (1ull << 40);
+      record.reads = rng() % 10000;
+      record.writes = rng() % 10000;
+      record.opens = rng() % 1000;
+      record.closes = record.opens;
+      record.seeks = rng() % 1000;
+      record.open_ts = rng.uniform(0.0, t.meta.run_time);
+      record.close_ts = rng.uniform(record.open_ts, t.meta.run_time);
+      record.first_read_ts = record.open_ts;
+      record.last_read_ts = record.close_ts;
+      record.first_write_ts = record.open_ts;
+      record.last_write_ts = record.close_ts;
+      t.files.push_back(record);
+    }
+
+    const auto via_mbt = darshan::parse_mbt(darshan::to_mbt(t));
+    ASSERT_TRUE(via_mbt.has_value());
+    EXPECT_EQ(via_mbt->files.size(), t.files.size());
+    EXPECT_EQ(via_mbt->total_bytes(), t.total_bytes());
+
+    const auto via_text = darshan::parse_text(darshan::to_text(t));
+    ASSERT_TRUE(via_text.has_value());
+    EXPECT_EQ(via_text->total_bytes(), t.total_bytes());
+  }
+}
+
+}  // namespace
+}  // namespace mosaic

@@ -1,0 +1,214 @@
+// End-to-end integration: population generation -> darshan round trip ->
+// full pipeline -> reports -> accuracy, at a reduced scale.
+#include <gtest/gtest.h>
+
+#include "core/pipeline.hpp"
+#include "darshan/binary_format.hpp"
+#include "darshan/text_format.hpp"
+#include "report/accuracy.hpp"
+#include "report/aggregate.hpp"
+#include "report/jaccard.hpp"
+#include "report/json_output.hpp"
+#include "sim/population.hpp"
+
+namespace mosaic {
+namespace {
+
+using core::Category;
+
+class EndToEndTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    sim::PopulationConfig config;
+    config.target_traces = 8000;
+    config.seed = 20190410;
+    population_ = new sim::Population(sim::generate_population(config));
+    batch_ = new core::BatchResult(
+        core::analyze_population(sim::to_traces(*population_)));
+  }
+
+  static void TearDownTestSuite() {
+    delete population_;
+    delete batch_;
+    population_ = nullptr;
+    batch_ = nullptr;
+  }
+
+  static sim::Population* population_;
+  static core::BatchResult* batch_;
+};
+
+sim::Population* EndToEndTest::population_ = nullptr;
+core::BatchResult* EndToEndTest::batch_ = nullptr;
+
+TEST_F(EndToEndTest, FunnelShapeMatchesPaper) {
+  const auto& stats = batch_->preprocess;
+  EXPECT_EQ(stats.input_traces, 8000u);
+  // ~32% corrupted.
+  const double corrupted_frac = static_cast<double>(stats.corrupted) /
+                                static_cast<double>(stats.input_traces);
+  EXPECT_NEAR(corrupted_frac, 0.32, 0.04);
+  // Unique applications are a small fraction of valid runs (paper: 8%).
+  const double unique_frac = static_cast<double>(stats.unique_applications) /
+                             static_cast<double>(stats.valid);
+  EXPECT_GT(unique_frac, 0.02);
+  EXPECT_LT(unique_frac, 0.25);
+  EXPECT_EQ(stats.retained, stats.unique_applications);
+  EXPECT_EQ(stats.valid + stats.corrupted, stats.input_traces);
+}
+
+TEST_F(EndToEndTest, InsignificantDominatesSingleRunView) {
+  const report::CategoryDistribution distribution =
+      report::aggregate_categories(*batch_);
+  // Paper Table III: 85% read-insignificant, 87% write-insignificant in the
+  // single-run view. Allow generous slack; the *shape* is the claim.
+  EXPECT_GT(distribution.single_fraction(Category::kReadInsignificant), 0.7);
+  EXPECT_GT(distribution.single_fraction(Category::kWriteInsignificant), 0.7);
+  // All-runs view shifts sharply toward active categories.
+  EXPECT_LT(distribution.weighted_fraction(Category::kReadInsignificant),
+            distribution.single_fraction(Category::kReadInsignificant));
+}
+
+TEST_F(EndToEndTest, ReadOnStartLeadsActiveReads) {
+  const report::CategoryDistribution distribution =
+      report::aggregate_categories(*batch_);
+  // Among active read behaviors, on_start dominates in the all-runs view
+  // (paper: 38% vs 30% steady vs 5% others).
+  const double on_start =
+      distribution.weighted_fraction(Category::kReadOnStart);
+  EXPECT_GT(on_start, 0.1);
+  EXPECT_GT(on_start, distribution.weighted_fraction(Category::kReadOnEnd));
+  EXPECT_GT(on_start,
+            distribution.weighted_fraction(Category::kReadAfterStart));
+}
+
+TEST_F(EndToEndTest, PeriodicWritesSmallSingleLargerAllRuns) {
+  const report::CategoryDistribution distribution =
+      report::aggregate_categories(*batch_);
+  const double single =
+      distribution.single_fraction(Category::kWritePeriodic);
+  const double weighted =
+      distribution.weighted_fraction(Category::kWritePeriodic);
+  // Paper Table II: 2% single-run, 8% all-runs.
+  EXPECT_GT(single, 0.002);
+  EXPECT_LT(single, 0.10);
+  EXPECT_GT(weighted, single);
+}
+
+TEST_F(EndToEndTest, MetadataOrderingMatchesFigure4) {
+  const report::CategoryDistribution distribution =
+      report::aggregate_categories(*batch_);
+  const double spike =
+      distribution.weighted_fraction(Category::kMetadataHighSpike);
+  const double multiple =
+      distribution.weighted_fraction(Category::kMetadataMultipleSpikes);
+  const double density =
+      distribution.weighted_fraction(Category::kMetadataHighDensity);
+  // Fig. 4 ordering: high_spike > multiple_spikes > high_density.
+  EXPECT_GT(spike, multiple);
+  EXPECT_GT(multiple, density);
+  EXPECT_GT(density, 0.0);
+}
+
+TEST_F(EndToEndTest, AccuracyInPaperBallpark) {
+  const auto index = report::truth_index(population_->traces);
+  const report::AccuracyReport accuracy =
+      report::score_accuracy(batch_->results, index);
+  ASSERT_GT(accuracy.overall.total, 100u);
+  // Paper: 92%. Demand at least 85% and not a suspicious 100%.
+  EXPECT_GT(accuracy.overall.ratio(), 0.85);
+  // Metadata rules are definitional, so that axis should be near-perfect.
+  EXPECT_GT(accuracy.metadata.ratio(), 0.97);
+}
+
+TEST_F(EndToEndTest, SampledAccuracyMatchesProtocol) {
+  const auto index = report::truth_index(population_->traces);
+  const report::AccuracyReport sampled = report::score_sampled_accuracy(
+      batch_->results, index, 512, /*seed=*/20190410);
+  EXPECT_LE(sampled.overall.total, 512u);
+  EXPECT_GT(sampled.overall.ratio(), 0.8);
+}
+
+TEST_F(EndToEndTest, ReadStartWriteEndCorrelationPresent) {
+  const report::CategoryMatrix conditional =
+      report::conditional_matrix(batch_->results);
+  std::size_t rs = conditional.categories.size();
+  std::size_t we = conditional.categories.size();
+  for (std::size_t i = 0; i < conditional.categories.size(); ++i) {
+    if (conditional.categories[i] == Category::kReadOnStart) rs = i;
+    if (conditional.categories[i] == Category::kWriteOnEnd) we = i;
+  }
+  ASSERT_LT(rs, conditional.categories.size());
+  ASSERT_LT(we, conditional.categories.size());
+  // Paper §IV-D: 66% of applications reading on start write on end.
+  EXPECT_GT(conditional.values[rs][we], 0.4);
+}
+
+TEST_F(EndToEndTest, InsignificantReadImpliesInsignificantWrite) {
+  const report::CategoryMatrix conditional =
+      report::conditional_matrix(batch_->results);
+  std::size_t ri = conditional.categories.size();
+  std::size_t wi = conditional.categories.size();
+  for (std::size_t i = 0; i < conditional.categories.size(); ++i) {
+    if (conditional.categories[i] == Category::kReadInsignificant) ri = i;
+    if (conditional.categories[i] == Category::kWriteInsignificant) wi = i;
+  }
+  ASSERT_LT(ri, conditional.categories.size());
+  // Paper §IV-D: 95%.
+  EXPECT_GT(conditional.values[ri][wi], 0.85);
+}
+
+TEST_F(EndToEndTest, PeriodicWritesAreLowBusy) {
+  const report::CategoryDistribution distribution =
+      report::aggregate_categories(*batch_);
+  const double low =
+      distribution.single_fraction(Category::kWritePeriodicLowBusyTime);
+  const double high =
+      distribution.single_fraction(Category::kWritePeriodicHighBusyTime);
+  // Paper §IV-D: 96% of periodic writers spend <25% of time writing.
+  EXPECT_GT(low, high * 4.0);
+}
+
+TEST_F(EndToEndTest, DarshanTextRoundTripPreservesCategories) {
+  const core::Analyzer analyzer;
+  std::size_t checked = 0;
+  for (const sim::LabeledTrace& labeled : population_->traces) {
+    if (labeled.corrupted) continue;
+    if (++checked > 25) break;
+    const auto round =
+        darshan::parse_text(darshan::to_text(labeled.trace));
+    ASSERT_TRUE(round.has_value()) << round.error().to_string();
+    const core::TraceResult direct = analyzer.analyze(labeled.trace);
+    const core::TraceResult via_text = analyzer.analyze(*round);
+    EXPECT_EQ(direct.categories, via_text.categories);
+  }
+}
+
+TEST_F(EndToEndTest, MbtRoundTripPreservesCategories) {
+  const core::Analyzer analyzer;
+  std::size_t checked = 0;
+  for (const sim::LabeledTrace& labeled : population_->traces) {
+    if (labeled.corrupted) continue;
+    if (++checked > 25) break;
+    const auto round = darshan::parse_mbt(darshan::to_mbt(labeled.trace));
+    ASSERT_TRUE(round.has_value());
+    EXPECT_EQ(analyzer.analyze(labeled.trace).categories,
+              analyzer.analyze(*round).categories);
+  }
+}
+
+TEST_F(EndToEndTest, JsonSummarySerializes) {
+  const json::Value value = report::batch_to_json(*batch_);
+  const std::string text = json::serialize(value);
+  const auto parsed = json::parse(text);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_DOUBLE_EQ(parsed->as_object()
+                       .find("preprocessing")
+                       ->as_object()
+                       .find("input_traces")
+                       ->as_number(),
+                   8000.0);
+}
+
+}  // namespace
+}  // namespace mosaic

@@ -1,0 +1,201 @@
+// Property suite: invariants that must hold for EVERY categorized trace,
+// checked across randomized populations (several seeds). These pin down the
+// contracts between the classifier axes and the category flattening that
+// individual unit tests cannot cover exhaustively.
+#include <gtest/gtest.h>
+
+#include "core/pipeline.hpp"
+#include "report/aggregate.hpp"
+#include "report/jaccard.hpp"
+#include "sim/population.hpp"
+
+namespace mosaic {
+namespace {
+
+using core::Category;
+using core::CategorySet;
+
+class PopulationPropertyTest : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  static core::BatchResult analyze(std::uint64_t seed) {
+    sim::PopulationConfig config;
+    config.target_traces = 3000;
+    config.seed = seed;
+    return core::analyze_population(
+        sim::to_traces(sim::generate_population(config)));
+  }
+};
+
+/// Exactly one temporality label per kind, always.
+TEST_P(PopulationPropertyTest, ExactlyOneTemporalityLabelPerKind) {
+  const core::BatchResult batch = analyze(GetParam());
+  ASSERT_FALSE(batch.results.empty());
+  for (const core::TraceResult& result : batch.results) {
+    int read_labels = 0;
+    int write_labels = 0;
+    for (const Category category : result.categories.to_vector()) {
+      if (core::category_axis(category) != core::CategoryAxis::kTemporality) {
+        continue;
+      }
+      (static_cast<unsigned>(category) < 8 ? read_labels : write_labels) += 1;
+    }
+    EXPECT_EQ(read_labels, 1) << result.app_key;
+    EXPECT_EQ(write_labels, 1) << result.app_key;
+  }
+}
+
+/// The insignificance labels agree exactly with the byte totals.
+TEST_P(PopulationPropertyTest, InsignificanceMatchesVolumes) {
+  const core::BatchResult batch = analyze(GetParam());
+  const core::Thresholds thresholds;
+  for (const core::TraceResult& result : batch.results) {
+    EXPECT_EQ(result.categories.contains(Category::kReadInsignificant),
+              result.bytes_read < thresholds.min_bytes)
+        << result.app_key;
+    EXPECT_EQ(result.categories.contains(Category::kWriteInsignificant),
+              result.bytes_written < thresholds.min_bytes)
+        << result.app_key;
+  }
+}
+
+/// Periodic labels imply: significant volume, a detected group, exactly one
+/// busy-time label, and at least one magnitude label consistent with a group.
+TEST_P(PopulationPropertyTest, PeriodicLabelConsistency) {
+  const core::BatchResult batch = analyze(GetParam());
+  for (const core::TraceResult& result : batch.results) {
+    const CategorySet& categories = result.categories;
+
+    const bool write_periodic = categories.contains(Category::kWritePeriodic);
+    if (write_periodic) {
+      EXPECT_FALSE(categories.contains(Category::kWriteInsignificant));
+      EXPECT_TRUE(result.write.periodicity.periodic);
+      const bool low =
+          categories.contains(Category::kWritePeriodicLowBusyTime);
+      const bool high =
+          categories.contains(Category::kWritePeriodicHighBusyTime);
+      EXPECT_NE(low, high) << "exactly one busy-time label";
+      const bool any_magnitude =
+          categories.contains(Category::kWritePeriodicSecond) ||
+          categories.contains(Category::kWritePeriodicMinute) ||
+          categories.contains(Category::kWritePeriodicHour) ||
+          categories.contains(Category::kWritePeriodicDayOrMore);
+      EXPECT_TRUE(any_magnitude);
+    } else {
+      // No orphaned magnitude/busy labels.
+      EXPECT_FALSE(categories.contains(Category::kWritePeriodicSecond));
+      EXPECT_FALSE(categories.contains(Category::kWritePeriodicMinute));
+      EXPECT_FALSE(categories.contains(Category::kWritePeriodicHour));
+      EXPECT_FALSE(categories.contains(Category::kWritePeriodicDayOrMore));
+      EXPECT_FALSE(categories.contains(Category::kWritePeriodicLowBusyTime));
+      EXPECT_FALSE(categories.contains(Category::kWritePeriodicHighBusyTime));
+    }
+  }
+}
+
+/// Metadata: insignificant_load is mutually exclusive with the impact flags,
+/// and the recorded measurements are internally consistent.
+TEST_P(PopulationPropertyTest, MetadataLabelConsistency) {
+  const core::BatchResult batch = analyze(GetParam());
+  for (const core::TraceResult& result : batch.results) {
+    const CategorySet& categories = result.categories;
+    const bool insignificant =
+        categories.contains(Category::kMetadataInsignificantLoad);
+    const bool any_impact =
+        categories.contains(Category::kMetadataHighSpike) ||
+        categories.contains(Category::kMetadataMultipleSpikes) ||
+        categories.contains(Category::kMetadataHighDensity);
+    EXPECT_FALSE(insignificant && any_impact) << result.app_key;
+
+    const core::MetadataResult& metadata = result.metadata;
+    EXPECT_GE(metadata.max_requests_per_second, 0.0);
+    if (metadata.total_requests > 0 && !metadata.insignificant) {
+      EXPECT_GE(metadata.max_requests_per_second,
+                metadata.mean_requests_per_second * 0.99);
+    }
+    // high_density implies multiple_spikes by rule construction.
+    if (categories.contains(Category::kMetadataHighDensity)) {
+      EXPECT_TRUE(categories.contains(Category::kMetadataMultipleSpikes));
+    }
+  }
+}
+
+/// Chunk volumes conserve byte totals (proportional attribution is lossless).
+TEST_P(PopulationPropertyTest, ChunkVolumesConserveBytes) {
+  const core::BatchResult batch = analyze(GetParam());
+  for (const core::TraceResult& result : batch.results) {
+    double read_chunks = 0.0;
+    for (const double v : result.read.temporality.chunk_bytes) read_chunks += v;
+    EXPECT_NEAR(read_chunks, static_cast<double>(result.bytes_read),
+                1.0 + 1e-6 * static_cast<double>(result.bytes_read))
+        << result.app_key;
+    double write_chunks = 0.0;
+    for (const double v : result.write.temporality.chunk_bytes) {
+      write_chunks += v;
+    }
+    EXPECT_NEAR(write_chunks, static_cast<double>(result.bytes_written),
+                1.0 + 1e-6 * static_cast<double>(result.bytes_written));
+  }
+}
+
+/// Merging only reduces the op count.
+TEST_P(PopulationPropertyTest, MergingMonotonicity) {
+  const core::BatchResult batch = analyze(GetParam());
+  for (const core::TraceResult& result : batch.results) {
+    EXPECT_LE(result.read.merged_ops, result.read.raw_ops);
+    EXPECT_LE(result.write.merged_ops, result.write.raw_ops);
+  }
+}
+
+/// The Jaccard matrix is symmetric with a unit diagonal and values in [0,1].
+TEST_P(PopulationPropertyTest, JaccardMatrixWellFormed) {
+  const core::BatchResult batch = analyze(GetParam());
+  const report::CategoryMatrix matrix =
+      report::jaccard_matrix(batch.results);
+  for (std::size_t i = 0; i < matrix.categories.size(); ++i) {
+    EXPECT_DOUBLE_EQ(matrix.values[i][i], 1.0);
+    for (std::size_t j = 0; j < matrix.categories.size(); ++j) {
+      EXPECT_GE(matrix.values[i][j], 0.0);
+      EXPECT_LE(matrix.values[i][j], 1.0);
+      EXPECT_DOUBLE_EQ(matrix.values[i][j], matrix.values[j][i]);
+    }
+  }
+}
+
+/// Aggregation fractions are proper probabilities and single-run counts
+/// never exceed the trace count.
+TEST_P(PopulationPropertyTest, AggregationBounds) {
+  const core::BatchResult batch = analyze(GetParam());
+  const report::CategoryDistribution distribution =
+      report::aggregate_categories(batch);
+  EXPECT_EQ(distribution.trace_count, batch.results.size());
+  EXPECT_GE(distribution.run_count,
+            static_cast<double>(distribution.trace_count));
+  for (const Category category : core::all_categories()) {
+    const double single = distribution.single_fraction(category);
+    const double weighted = distribution.weighted_fraction(category);
+    EXPECT_GE(single, 0.0);
+    EXPECT_LE(single, 1.0);
+    EXPECT_GE(weighted, 0.0);
+    EXPECT_LE(weighted, 1.0);
+  }
+}
+
+/// Conditional probabilities are proper and P(a|a) == 1.
+TEST_P(PopulationPropertyTest, ConditionalMatrixWellFormed) {
+  const core::BatchResult batch = analyze(GetParam());
+  const report::CategoryMatrix matrix =
+      report::conditional_matrix(batch.results);
+  for (std::size_t i = 0; i < matrix.categories.size(); ++i) {
+    EXPECT_DOUBLE_EQ(matrix.values[i][i], 1.0);
+    for (std::size_t j = 0; j < matrix.categories.size(); ++j) {
+      EXPECT_GE(matrix.values[i][j], 0.0);
+      EXPECT_LE(matrix.values[i][j], 1.0);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PopulationPropertyTest,
+                         ::testing::Values(1u, 42u, 20190410u, 777u));
+
+}  // namespace
+}  // namespace mosaic

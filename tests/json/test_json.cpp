@@ -1,0 +1,170 @@
+#include "json/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace mosaic::json {
+namespace {
+
+TEST(Value, TypePredicates) {
+  EXPECT_TRUE(Value{}.is_null());
+  EXPECT_TRUE(Value{nullptr}.is_null());
+  EXPECT_TRUE(Value{true}.is_bool());
+  EXPECT_TRUE(Value{1.5}.is_number());
+  EXPECT_TRUE(Value{42}.is_number());
+  EXPECT_TRUE(Value{"text"}.is_string());
+  EXPECT_TRUE(Value{Array{}}.is_array());
+  EXPECT_TRUE(Value{Object{}}.is_object());
+}
+
+TEST(Object, InsertionOrderPreserved) {
+  Object object;
+  object.set("zebra", 1);
+  object.set("apple", 2);
+  object.set("mango", 3);
+  ASSERT_EQ(object.size(), 3u);
+  EXPECT_EQ(object.entries()[0].first, "zebra");
+  EXPECT_EQ(object.entries()[1].first, "apple");
+  EXPECT_EQ(object.entries()[2].first, "mango");
+}
+
+TEST(Object, OverwriteKeepsPosition) {
+  Object object;
+  object.set("a", 1);
+  object.set("b", 2);
+  object.set("a", 99);
+  ASSERT_EQ(object.size(), 2u);
+  EXPECT_EQ(object.entries()[0].first, "a");
+  EXPECT_DOUBLE_EQ(object.entries()[0].second.as_number(), 99.0);
+}
+
+TEST(Object, FindAndContains) {
+  Object object;
+  object.set("key", "value");
+  EXPECT_TRUE(object.contains("key"));
+  EXPECT_FALSE(object.contains("other"));
+  ASSERT_NE(object.find("key"), nullptr);
+  EXPECT_EQ(object.find("key")->as_string(), "value");
+  EXPECT_EQ(object.find("other"), nullptr);
+}
+
+TEST(Serialize, Scalars) {
+  EXPECT_EQ(serialize(Value{nullptr}, false), "null");
+  EXPECT_EQ(serialize(Value{true}, false), "true");
+  EXPECT_EQ(serialize(Value{false}, false), "false");
+  EXPECT_EQ(serialize(Value{42}, false), "42");
+  EXPECT_EQ(serialize(Value{-1.5}, false), "-1.5");
+  EXPECT_EQ(serialize(Value{"hi"}, false), "\"hi\"");
+}
+
+TEST(Serialize, LargeIntegersExact) {
+  const std::uint64_t big = (1ull << 53) - 1;
+  EXPECT_EQ(serialize(Value{big}, false), "9007199254740991");
+}
+
+TEST(Serialize, StringEscapes) {
+  EXPECT_EQ(serialize(Value{"a\"b\\c\nd"}, false), "\"a\\\"b\\\\c\\nd\"");
+  EXPECT_EQ(serialize(Value{std::string("\x01", 1)}, false), "\"\\u0001\"");
+}
+
+TEST(Serialize, NonFiniteBecomesNull) {
+  EXPECT_EQ(serialize(Value{std::numeric_limits<double>::infinity()}, false),
+            "null");
+}
+
+TEST(Serialize, CompactContainers) {
+  Object object;
+  object.set("list", Array{Value{1}, Value{2}});
+  object.set("empty", Array{});
+  EXPECT_EQ(serialize(Value{std::move(object)}, false),
+            R"({"list":[1,2],"empty":[]})");
+}
+
+TEST(Serialize, PrettyIndentation) {
+  Object inner;
+  inner.set("x", 1);
+  Object outer;
+  outer.set("inner", std::move(inner));
+  EXPECT_EQ(serialize(Value{std::move(outer)}, true),
+            "{\n  \"inner\": {\n    \"x\": 1\n  }\n}\n");
+}
+
+TEST(Parse, Scalars) {
+  EXPECT_TRUE(parse("null")->is_null());
+  EXPECT_TRUE(parse("true")->as_bool());
+  EXPECT_FALSE(parse("false")->as_bool());
+  EXPECT_DOUBLE_EQ(parse("3.5")->as_number(), 3.5);
+  EXPECT_DOUBLE_EQ(parse("-2e3")->as_number(), -2000.0);
+  EXPECT_EQ(parse("\"abc\"")->as_string(), "abc");
+}
+
+TEST(Parse, NestedDocument) {
+  const auto doc = parse(R"({"a": [1, {"b": "c"}], "d": null})");
+  ASSERT_TRUE(doc.has_value());
+  const Object& root = doc->as_object();
+  const Array& a = root.find("a")->as_array();
+  ASSERT_EQ(a.size(), 2u);
+  EXPECT_DOUBLE_EQ(a[0].as_number(), 1.0);
+  EXPECT_EQ(a[1].as_object().find("b")->as_string(), "c");
+  EXPECT_TRUE(root.find("d")->is_null());
+}
+
+TEST(Parse, StringEscapes) {
+  EXPECT_EQ(parse(R"("a\nb\t\"q\"")")->as_string(), "a\nb\t\"q\"");
+  EXPECT_EQ(parse(R"("A")")->as_string(), "A");
+  EXPECT_EQ(parse(R"("é")")->as_string(), "\xC3\xA9");  // é in UTF-8
+}
+
+TEST(Parse, WhitespaceTolerant) {
+  const auto doc = parse("  { \"a\" :\n[ 1 , 2 ]\t}  ");
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(doc->as_object().find("a")->as_array().size(), 2u);
+}
+
+TEST(Parse, Failures) {
+  EXPECT_FALSE(parse("").has_value());
+  EXPECT_FALSE(parse("{").has_value());
+  EXPECT_FALSE(parse("[1,]").has_value());
+  EXPECT_FALSE(parse("{\"a\"}").has_value());
+  EXPECT_FALSE(parse("tru").has_value());
+  EXPECT_FALSE(parse("\"unterminated").has_value());
+  EXPECT_FALSE(parse("1 2").has_value());
+  EXPECT_FALSE(parse("{\"a\":1,}").has_value());
+  EXPECT_FALSE(parse("\"bad\\q\"").has_value());
+}
+
+TEST(Parse, ErrorsCarryOffset) {
+  const auto result = parse("[1, x]");
+  ASSERT_FALSE(result.has_value());
+  EXPECT_EQ(result.error().code, util::ErrorCode::kParseError);
+  EXPECT_NE(result.error().message.find("offset"), std::string::npos);
+}
+
+TEST(Parse, DepthLimitEnforced) {
+  std::string deep;
+  for (int i = 0; i < 1000; ++i) deep += '[';
+  for (int i = 0; i < 1000; ++i) deep += ']';
+  EXPECT_FALSE(parse(deep, 100).has_value());
+  EXPECT_TRUE(parse("[[[[1]]]]", 100).has_value());
+}
+
+TEST(RoundTrip, ComplexDocumentSurvives) {
+  Object root;
+  root.set("name", "mosaic");
+  root.set("count", 24606);
+  root.set("accuracy", 0.92);
+  root.set("flags", Array{Value{true}, Value{false}, Value{nullptr}});
+  Object nested;
+  nested.set("period_seconds", 599.886);
+  root.set("periodicity", std::move(nested));
+
+  const std::string text = serialize(Value{std::move(root)});
+  const auto parsed = parse(text);
+  ASSERT_TRUE(parsed.has_value());
+  const std::string again = serialize(*parsed);
+  EXPECT_EQ(text, again);
+}
+
+}  // namespace
+}  // namespace mosaic::json

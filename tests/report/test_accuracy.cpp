@@ -1,0 +1,171 @@
+#include "report/accuracy.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mosaic::report {
+namespace {
+
+using core::Category;
+
+sim::LabeledTrace labeled(std::uint64_t job_id,
+                          std::initializer_list<Category> truth,
+                          bool ambiguous = false, bool corrupted = false) {
+  sim::LabeledTrace lt;
+  lt.trace.meta.job_id = job_id;
+  for (const Category category : truth) {
+    lt.truth.categories.insert(category);
+  }
+  lt.truth.ambiguous = ambiguous;
+  lt.corrupted = corrupted;
+  return lt;
+}
+
+core::TraceResult predicted(std::uint64_t job_id,
+                            std::initializer_list<Category> categories) {
+  core::TraceResult result;
+  result.job_id = job_id;
+  for (const Category category : categories) {
+    result.categories.insert(category);
+  }
+  return result;
+}
+
+TEST(TruthIndex, ExcludesCorrupted) {
+  std::vector<sim::LabeledTrace> population;
+  population.push_back(labeled(1, {Category::kReadOnStart}));
+  population.push_back(labeled(2, {Category::kReadOnStart}, false, true));
+  const auto index = truth_index(population);
+  EXPECT_EQ(index.size(), 1u);
+  EXPECT_TRUE(index.contains(1));
+  EXPECT_FALSE(index.contains(2));
+}
+
+TEST(ScoreAccuracy, PerfectMatch) {
+  std::vector<sim::LabeledTrace> population;
+  population.push_back(labeled(
+      1, {Category::kReadOnStart, Category::kWriteOnEnd,
+          Category::kMetadataInsignificantLoad}));
+  const auto index = truth_index(population);
+  const std::vector<core::TraceResult> results{predicted(
+      1, {Category::kReadOnStart, Category::kWriteOnEnd,
+          Category::kMetadataInsignificantLoad})};
+  const AccuracyReport report = score_accuracy(results, index);
+  EXPECT_EQ(report.overall.correct, 1u);
+  EXPECT_EQ(report.overall.total, 1u);
+  EXPECT_DOUBLE_EQ(report.overall.ratio(), 1.0);
+  EXPECT_TRUE(report.misclassified.empty());
+}
+
+TEST(ScoreAccuracy, TemporalityErrorIsolatedToAxis) {
+  std::vector<sim::LabeledTrace> population;
+  population.push_back(labeled(
+      1, {Category::kReadOnStart, Category::kWriteInsignificant,
+          Category::kMetadataInsignificantLoad}));
+  const auto index = truth_index(population);
+  // Predicted read_after_start instead of read_on_start.
+  const std::vector<core::TraceResult> results{predicted(
+      1, {Category::kReadAfterStart, Category::kWriteInsignificant,
+          Category::kMetadataInsignificantLoad})};
+  const AccuracyReport report = score_accuracy(results, index);
+  EXPECT_EQ(report.read_temporality.correct, 0u);
+  EXPECT_EQ(report.write_temporality.correct, 1u);
+  EXPECT_EQ(report.metadata.correct, 1u);
+  EXPECT_EQ(report.read_periodicity.correct, 1u);
+  EXPECT_EQ(report.overall.correct, 0u);
+  ASSERT_EQ(report.misclassified.size(), 1u);
+  EXPECT_EQ(report.misclassified[0], 0u);
+}
+
+TEST(ScoreAccuracy, PeriodicityMagnitudeMismatchCounts) {
+  std::vector<sim::LabeledTrace> population;
+  population.push_back(labeled(
+      1, {Category::kWriteSteady, Category::kWritePeriodic,
+          Category::kWritePeriodicMinute,
+          Category::kWritePeriodicLowBusyTime,
+          Category::kReadInsignificant,
+          Category::kMetadataInsignificantLoad}));
+  const auto index = truth_index(population);
+  const std::vector<core::TraceResult> results{predicted(
+      1, {Category::kWriteSteady, Category::kWritePeriodic,
+          Category::kWritePeriodicHour,  // wrong magnitude
+          Category::kWritePeriodicLowBusyTime,
+          Category::kReadInsignificant,
+          Category::kMetadataInsignificantLoad})};
+  const AccuracyReport report = score_accuracy(results, index);
+  EXPECT_EQ(report.write_periodicity.correct, 0u);
+  EXPECT_EQ(report.write_temporality.correct, 1u);
+}
+
+TEST(ScoreAccuracy, AmbiguousErrorsCounted) {
+  std::vector<sim::LabeledTrace> population;
+  population.push_back(labeled(1, {Category::kReadOnStart}, true));
+  population.push_back(labeled(2, {Category::kReadOnStart}, false));
+  const auto index = truth_index(population);
+  const std::vector<core::TraceResult> results{
+      predicted(1, {Category::kReadAfterStart}),
+      predicted(2, {Category::kReadAfterStart})};
+  const AccuracyReport report = score_accuracy(results, index);
+  EXPECT_EQ(report.overall.correct, 0u);
+  EXPECT_EQ(report.errors_on_ambiguous, 1u);
+}
+
+TEST(ScoreAccuracy, ResultsWithoutTruthSkipped) {
+  const auto index = truth_index({});
+  const std::vector<core::TraceResult> results{
+      predicted(42, {Category::kReadOnStart})};
+  const AccuracyReport report = score_accuracy(results, index);
+  EXPECT_EQ(report.overall.total, 0u);
+  EXPECT_DOUBLE_EQ(report.overall.ratio(), 1.0);  // vacuous
+}
+
+TEST(SampledAccuracy, SampleSizeRespected) {
+  std::vector<sim::LabeledTrace> population;
+  std::vector<core::TraceResult> results;
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    population.push_back(labeled(i, {Category::kReadOnStart}));
+    results.push_back(predicted(i, {Category::kReadOnStart}));
+  }
+  const auto index = truth_index(population);
+  const AccuracyReport report =
+      score_sampled_accuracy(results, index, 10, /*seed=*/3);
+  EXPECT_EQ(report.overall.total, 10u);
+}
+
+TEST(SampledAccuracy, SmallPopulationScoresEverything) {
+  std::vector<sim::LabeledTrace> population;
+  std::vector<core::TraceResult> results;
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    population.push_back(labeled(i, {Category::kReadOnStart}));
+    results.push_back(predicted(i, {Category::kReadOnStart}));
+  }
+  const auto index = truth_index(population);
+  const AccuracyReport report =
+      score_sampled_accuracy(results, index, 512, /*seed=*/3);
+  EXPECT_EQ(report.overall.total, 5u);
+}
+
+TEST(SampledAccuracy, DeterministicForSeed) {
+  std::vector<sim::LabeledTrace> population;
+  std::vector<core::TraceResult> results;
+  for (std::uint64_t i = 0; i < 50; ++i) {
+    population.push_back(labeled(i, {Category::kReadOnStart}));
+    // Half the predictions are wrong; which ones get sampled matters.
+    results.push_back(predicted(
+        i, {i % 2 == 0 ? Category::kReadOnStart : Category::kReadOnEnd}));
+  }
+  const auto index = truth_index(population);
+  const AccuracyReport a = score_sampled_accuracy(results, index, 10, 7);
+  const AccuracyReport b = score_sampled_accuracy(results, index, 10, 7);
+  EXPECT_EQ(a.overall.correct, b.overall.correct);
+}
+
+TEST(AxisAccuracy, RatioEdgeCases) {
+  AxisAccuracy axis;
+  EXPECT_DOUBLE_EQ(axis.ratio(), 1.0);
+  axis.total = 4;
+  axis.correct = 3;
+  EXPECT_DOUBLE_EQ(axis.ratio(), 0.75);
+}
+
+}  // namespace
+}  // namespace mosaic::report

@@ -1,0 +1,119 @@
+#include "report/aggregate.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mosaic::report {
+namespace {
+
+using core::Category;
+using core::TraceResult;
+
+TraceResult result_with(const std::string& app_key,
+                        std::initializer_list<Category> categories) {
+  TraceResult result;
+  result.app_key = app_key;
+  for (const Category category : categories) {
+    result.categories.insert(category);
+  }
+  return result;
+}
+
+TEST(Aggregate, EmptyPopulation) {
+  const CategoryDistribution distribution = aggregate_categories({}, {});
+  EXPECT_EQ(distribution.trace_count, 0u);
+  EXPECT_DOUBLE_EQ(distribution.run_count, 0.0);
+  EXPECT_DOUBLE_EQ(distribution.single_fraction(Category::kReadOnStart), 0.0);
+}
+
+TEST(Aggregate, SingleRunFractions) {
+  std::vector<TraceResult> results;
+  results.push_back(result_with("a", {Category::kReadOnStart}));
+  results.push_back(result_with("b", {Category::kReadOnStart,
+                                      Category::kWriteOnEnd}));
+  results.push_back(result_with("c", {Category::kWriteInsignificant}));
+  const CategoryDistribution distribution = aggregate_categories(results, {});
+  EXPECT_EQ(distribution.trace_count, 3u);
+  EXPECT_NEAR(distribution.single_fraction(Category::kReadOnStart), 2.0 / 3.0,
+              1e-12);
+  EXPECT_NEAR(distribution.single_fraction(Category::kWriteOnEnd), 1.0 / 3.0,
+              1e-12);
+}
+
+TEST(Aggregate, RunWeightingChangesAllRunsView) {
+  std::vector<TraceResult> results;
+  results.push_back(result_with("heavy", {Category::kWriteSteady}));
+  results.push_back(result_with("light", {Category::kWriteOnEnd}));
+  const std::map<std::string, std::size_t> runs{{"heavy", 99}, {"light", 1}};
+  const CategoryDistribution distribution =
+      aggregate_categories(results, runs);
+  EXPECT_DOUBLE_EQ(distribution.run_count, 100.0);
+  // Single-run view: 50/50. All-runs view: 99/1.
+  EXPECT_NEAR(distribution.single_fraction(Category::kWriteSteady), 0.5, 1e-12);
+  EXPECT_NEAR(distribution.weighted_fraction(Category::kWriteSteady), 0.99,
+              1e-12);
+  EXPECT_NEAR(distribution.weighted_fraction(Category::kWriteOnEnd), 0.01,
+              1e-12);
+}
+
+TEST(Aggregate, MissingAppDefaultsToOneRun) {
+  std::vector<TraceResult> results;
+  results.push_back(result_with("known", {Category::kReadSteady}));
+  results.push_back(result_with("unknown", {Category::kReadOnEnd}));
+  const std::map<std::string, std::size_t> runs{{"known", 9}};
+  const CategoryDistribution distribution =
+      aggregate_categories(results, runs);
+  EXPECT_DOUBLE_EQ(distribution.run_count, 10.0);
+}
+
+TEST(PeriodicBreakdownTest, CountsByMagnitude) {
+  core::BatchResult batch;
+  const auto add = [&](const std::string& app, bool periodic,
+                       core::PeriodMagnitude magnitude, std::size_t runs) {
+    TraceResult result;
+    result.app_key = app;
+    result.write.temporality.label = core::Temporality::kSteady;
+    if (periodic) {
+      result.write.periodicity.periodic = true;
+      core::PeriodicGroup group;
+      group.magnitude = magnitude;
+      group.occurrences = 5;
+      result.write.periodicity.groups.push_back(group);
+    }
+    batch.results.push_back(std::move(result));
+    batch.runs_per_app[app] = runs;
+  };
+  add("a", true, core::PeriodMagnitude::kMinute, 10);
+  add("b", true, core::PeriodMagnitude::kHour, 3);
+  add("c", false, core::PeriodMagnitude::kSecond, 100);
+
+  const PeriodicBreakdown breakdown =
+      periodic_breakdown(batch, trace::OpKind::kWrite);
+  EXPECT_EQ(breakdown.periodic_traces, 2u);
+  EXPECT_DOUBLE_EQ(breakdown.periodic_runs, 13.0);
+  EXPECT_EQ(breakdown.single[static_cast<std::size_t>(
+                core::PeriodMagnitude::kMinute)],
+            1u);
+  EXPECT_DOUBLE_EQ(
+      breakdown.weighted[static_cast<std::size_t>(core::PeriodMagnitude::kHour)],
+      3.0);
+}
+
+TEST(PeriodicBreakdownTest, InsignificantKindExcluded) {
+  core::BatchResult batch;
+  TraceResult result;
+  result.app_key = "x";
+  result.write.temporality.label = core::Temporality::kInsignificant;
+  result.write.periodicity.periodic = true;
+  core::PeriodicGroup group;
+  group.occurrences = 4;
+  result.write.periodicity.groups.push_back(group);
+  batch.results.push_back(std::move(result));
+  batch.runs_per_app["x"] = 5;
+
+  const PeriodicBreakdown breakdown =
+      periodic_breakdown(batch, trace::OpKind::kWrite);
+  EXPECT_EQ(breakdown.periodic_traces, 0u);
+}
+
+}  // namespace
+}  // namespace mosaic::report

@@ -1,0 +1,78 @@
+#include "report/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace mosaic::report {
+namespace {
+
+using core::Category;
+
+TEST(CsvEscape, PlainFieldsUntouched) {
+  EXPECT_EQ(csv_escape("read_on_start"), "read_on_start");
+  EXPECT_EQ(csv_escape(""), "");
+}
+
+TEST(CsvEscape, QuotesWhenNeeded) {
+  EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(csv_escape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(DistributionCsv, OneRowPerCategoryPlusHeader) {
+  CategoryDistribution distribution;
+  distribution.trace_count = 10;
+  distribution.run_count = 100.0;
+  distribution.single[static_cast<std::size_t>(Category::kReadOnStart)] = 5;
+  distribution.weighted[static_cast<std::size_t>(Category::kReadOnStart)] =
+      80.0;
+
+  const std::string csv = distribution_to_csv(distribution);
+  std::istringstream lines(csv);
+  std::string line;
+  std::size_t count = 0;
+  bool found = false;
+  while (std::getline(lines, line)) {
+    if (count == 0) {
+      EXPECT_EQ(line,
+                "category,single_run_fraction,all_runs_fraction,trace_count");
+    }
+    if (line.rfind("read_on_start,", 0) == 0) {
+      found = true;
+      EXPECT_EQ(line, "read_on_start,0.500000,0.800000,5");
+    }
+    ++count;
+  }
+  EXPECT_TRUE(found);
+  EXPECT_EQ(count, 1 + core::kCategoryCount);
+}
+
+TEST(MatrixCsv, SquareWithLabels) {
+  CategoryMatrix matrix;
+  matrix.categories = {Category::kReadOnStart, Category::kWriteOnEnd};
+  matrix.values = {{1.0, 0.66}, {0.66, 1.0}};
+  const std::string csv = matrix_to_csv(matrix);
+  EXPECT_EQ(csv,
+            "category,read_on_start,write_on_end\n"
+            "read_on_start,1.000000,0.660000\n"
+            "write_on_end,0.660000,1.000000\n");
+}
+
+TEST(WriteTextToFile, RoundTripAndFailure) {
+  const auto path =
+      (std::filesystem::temp_directory_path() / "mosaic_csv_test.csv").string();
+  ASSERT_TRUE(write_text_to_file("a,b\n1,2\n", path).ok());
+  std::ifstream in(path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_EQ(buffer.str(), "a,b\n1,2\n");
+  std::filesystem::remove(path);
+
+  EXPECT_FALSE(write_text_to_file("x", "/no/such/dir/file.csv").ok());
+}
+
+}  // namespace
+}  // namespace mosaic::report

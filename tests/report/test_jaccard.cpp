@@ -1,0 +1,165 @@
+#include "report/jaccard.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mosaic::report {
+namespace {
+
+using core::Category;
+using core::TraceResult;
+
+TraceResult result_with(const std::string& app,
+                        std::initializer_list<Category> categories) {
+  TraceResult result;
+  result.app_key = app;
+  for (const Category category : categories) {
+    result.categories.insert(category);
+  }
+  return result;
+}
+
+std::size_t index_of(const CategoryMatrix& matrix, Category category) {
+  for (std::size_t i = 0; i < matrix.categories.size(); ++i) {
+    if (matrix.categories[i] == category) return i;
+  }
+  ADD_FAILURE() << "category missing from matrix";
+  return 0;
+}
+
+TEST(Jaccard, EmptyPopulationEmptyMatrix) {
+  const CategoryMatrix matrix = jaccard_matrix({});
+  EXPECT_TRUE(matrix.categories.empty());
+  EXPECT_TRUE(matrix.values.empty());
+}
+
+TEST(Jaccard, PerfectOverlapIsOne) {
+  std::vector<TraceResult> results;
+  for (int i = 0; i < 5; ++i) {
+    results.push_back(result_with(
+        "a" + std::to_string(i),
+        {Category::kReadOnStart, Category::kWriteOnEnd}));
+  }
+  const CategoryMatrix matrix = jaccard_matrix(results);
+  const std::size_t i = index_of(matrix, Category::kReadOnStart);
+  const std::size_t j = index_of(matrix, Category::kWriteOnEnd);
+  EXPECT_DOUBLE_EQ(matrix.values[i][j], 1.0);
+  EXPECT_DOUBLE_EQ(matrix.values[i][i], 1.0);  // self-Jaccard
+}
+
+TEST(Jaccard, DisjointCategoriesAreZero) {
+  std::vector<TraceResult> results;
+  results.push_back(result_with("a", {Category::kReadOnStart}));
+  results.push_back(result_with("b", {Category::kWriteOnEnd}));
+  const CategoryMatrix matrix = jaccard_matrix(results);
+  const std::size_t i = index_of(matrix, Category::kReadOnStart);
+  const std::size_t j = index_of(matrix, Category::kWriteOnEnd);
+  EXPECT_DOUBLE_EQ(matrix.values[i][j], 0.0);
+}
+
+TEST(Jaccard, PartialOverlapComputed) {
+  // 2 traces with both, 1 with only A, 1 with only B: J = 2 / 4.
+  std::vector<TraceResult> results;
+  results.push_back(
+      result_with("a", {Category::kReadOnStart, Category::kWriteOnEnd}));
+  results.push_back(
+      result_with("b", {Category::kReadOnStart, Category::kWriteOnEnd}));
+  results.push_back(result_with("c", {Category::kReadOnStart}));
+  results.push_back(result_with("d", {Category::kWriteOnEnd}));
+  const CategoryMatrix matrix = jaccard_matrix(results);
+  const std::size_t i = index_of(matrix, Category::kReadOnStart);
+  const std::size_t j = index_of(matrix, Category::kWriteOnEnd);
+  EXPECT_DOUBLE_EQ(matrix.values[i][j], 0.5);
+  EXPECT_DOUBLE_EQ(matrix.values[j][i], 0.5);  // symmetric
+}
+
+TEST(Jaccard, WeightedCountsUseRuns) {
+  std::vector<TraceResult> results;
+  results.push_back(
+      result_with("both", {Category::kReadOnStart, Category::kWriteOnEnd}));
+  results.push_back(result_with("only_a", {Category::kReadOnStart}));
+  const std::map<std::string, std::size_t> runs{{"both", 10}, {"only_a", 90}};
+  const CategoryMatrix matrix = jaccard_matrix(results, &runs);
+  const std::size_t i = index_of(matrix, Category::kReadOnStart);
+  const std::size_t j = index_of(matrix, Category::kWriteOnEnd);
+  EXPECT_DOUBLE_EQ(matrix.values[i][j], 0.1);  // 10 / (10 + 90)
+}
+
+TEST(Jaccard, AbsentCategoriesDropped) {
+  std::vector<TraceResult> results;
+  results.push_back(result_with("a", {Category::kReadSteady}));
+  const CategoryMatrix matrix = jaccard_matrix(results);
+  EXPECT_EQ(matrix.categories.size(), 1u);
+}
+
+TEST(Conditional, AsymmetricConditional) {
+  // All B-traces are A-traces, but not vice versa:
+  // P(A|B) = 1, P(B|A) = 1/3.
+  std::vector<TraceResult> results;
+  results.push_back(
+      result_with("x", {Category::kReadOnStart, Category::kWriteOnEnd}));
+  results.push_back(result_with("y", {Category::kReadOnStart}));
+  results.push_back(result_with("z", {Category::kReadOnStart}));
+  const CategoryMatrix matrix = conditional_matrix(results);
+  const std::size_t a = index_of(matrix, Category::kReadOnStart);
+  const std::size_t b = index_of(matrix, Category::kWriteOnEnd);
+  EXPECT_DOUBLE_EQ(matrix.values[b][a], 1.0);
+  EXPECT_NEAR(matrix.values[a][b], 1.0 / 3.0, 1e-12);
+}
+
+TEST(Heatmap, FiltersBelowMinValue) {
+  std::vector<TraceResult> results;
+  for (int i = 0; i < 99; ++i) {
+    results.push_back(result_with("a" + std::to_string(i),
+                                  {Category::kReadOnStart}));
+  }
+  results.push_back(result_with(
+      "rare", {Category::kReadOnStart, Category::kWriteOnEnd}));
+  const CategoryMatrix matrix = jaccard_matrix(results);
+  const std::string strict = render_heatmap(matrix, 0.5);
+  const std::string lax = render_heatmap(matrix, 0.001);
+  // The rare association renders in the lax view only.
+  EXPECT_LT(strict.find_first_not_of(" \n"), strict.size());
+  EXPECT_NE(lax, strict);
+}
+
+TEST(Heatmap, ContainsCategoryLegend) {
+  std::vector<TraceResult> results;
+  results.push_back(
+      result_with("a", {Category::kReadOnStart, Category::kWriteOnEnd}));
+  const std::string heatmap = render_heatmap(jaccard_matrix(results));
+  EXPECT_NE(heatmap.find("read_on_start"), std::string::npos);
+  EXPECT_NE(heatmap.find("write_on_end"), std::string::npos);
+}
+
+TEST(TopPairs, StrongestFirst) {
+  std::vector<TraceResult> results;
+  // Strong pair: read_on_start & write_on_end in 9/10 traces.
+  for (int i = 0; i < 9; ++i) {
+    results.push_back(result_with(
+        "s" + std::to_string(i),
+        {Category::kReadOnStart, Category::kWriteOnEnd}));
+  }
+  // Weak pair: read_steady & write_steady co-occur once but read_steady
+  // appears twice, so J = 1/2 < 9/10.
+  results.push_back(result_with(
+      "w", {Category::kReadSteady, Category::kWriteSteady,
+            Category::kReadOnStart}));
+  results.push_back(result_with("w2", {Category::kReadSteady}));
+  const std::string pairs = top_pairs(jaccard_matrix(results), 3);
+  const auto strong_pos = pairs.find("write_on_end");
+  const auto weak_pos = pairs.find("write_steady");
+  ASSERT_NE(strong_pos, std::string::npos);
+  EXPECT_TRUE(weak_pos == std::string::npos || strong_pos < weak_pos);
+}
+
+TEST(TopPairs, DirectionalModeUsesArrow) {
+  std::vector<TraceResult> results;
+  results.push_back(
+      result_with("a", {Category::kReadOnStart, Category::kWriteOnEnd}));
+  const std::string pairs =
+      top_pairs(conditional_matrix(results), 5, /*symmetric=*/false);
+  EXPECT_NE(pairs.find("=>"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mosaic::report

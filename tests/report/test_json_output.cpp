@@ -1,0 +1,140 @@
+#include "report/json_output.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace mosaic::report {
+namespace {
+
+core::TraceResult make_result() {
+  core::TraceResult result;
+  result.app_key = "u1/app";
+  result.job_id = 77;
+  result.runtime = 3600.0;
+  result.nprocs = 64;
+  result.bytes_read = 1 << 30;
+  result.bytes_written = 2ull << 30;
+  result.read.temporality.label = core::Temporality::kOnStart;
+  result.read.temporality.chunk_bytes = {1e9, 0.0, 0.0, 0.0};
+  result.read.temporality.total_bytes = 1e9;
+  result.read.raw_ops = 5;
+  result.read.merged_ops = 1;
+  result.write.temporality.label = core::Temporality::kSteady;
+  result.write.temporality.chunk_bytes = {5e8, 5e8, 5e8, 5e8};
+  result.write.periodicity.periodic = true;
+  core::PeriodicGroup group;
+  group.period_seconds = 600.0;
+  group.magnitude = core::PeriodMagnitude::kMinute;
+  group.mean_bytes = 5e8;
+  group.busy_ratio = 0.01;
+  group.occurrences = 6;
+  result.write.periodicity.groups.push_back(group);
+  result.metadata.insignificant = false;
+  result.metadata.high_spike = true;
+  result.metadata.total_requests = 5000;
+  result.categories.insert(core::Category::kReadOnStart);
+  result.categories.insert(core::Category::kWriteSteady);
+  result.categories.insert(core::Category::kWritePeriodic);
+  result.categories.insert(core::Category::kMetadataHighSpike);
+  return result;
+}
+
+core::BatchResult make_batch() {
+  core::BatchResult batch;
+  batch.preprocess.input_traces = 10;
+  batch.preprocess.corrupted = 3;
+  batch.preprocess.valid = 7;
+  batch.preprocess.unique_applications = 2;
+  batch.preprocess.retained = 2;
+  batch.preprocess.corruption_breakdown["non-positive-runtime"] = 3;
+  batch.runs_per_app["u1/app"] = 6;
+  batch.runs_per_app["u2/other"] = 1;
+  batch.results.push_back(make_result());
+  core::TraceResult other;
+  other.app_key = "u2/other";
+  other.job_id = 78;
+  other.categories.insert(core::Category::kReadInsignificant);
+  batch.results.push_back(std::move(other));
+  return batch;
+}
+
+TEST(TraceResultJson, ContainsCoreFields) {
+  const json::Value value = trace_result_to_json(make_result());
+  ASSERT_TRUE(value.is_object());
+  const json::Object& obj = value.as_object();
+  EXPECT_EQ(obj.find("app")->as_string(), "u1/app");
+  EXPECT_DOUBLE_EQ(obj.find("job_id")->as_number(), 77.0);
+  EXPECT_DOUBLE_EQ(obj.find("nprocs")->as_number(), 64.0);
+
+  const json::Array& categories = obj.find("categories")->as_array();
+  EXPECT_EQ(categories.size(), 4u);
+
+  const json::Object& write = obj.find("write")->as_object();
+  EXPECT_EQ(write.find("temporality")->as_string(), "steady");
+  const json::Object& periodicity =
+      write.find("periodicity")->as_object();
+  EXPECT_TRUE(periodicity.find("periodic")->as_bool());
+  const json::Array& groups = periodicity.find("groups")->as_array();
+  ASSERT_EQ(groups.size(), 1u);
+  EXPECT_EQ(groups[0].as_object().find("magnitude")->as_string(), "minute");
+  EXPECT_DOUBLE_EQ(
+      groups[0].as_object().find("period_seconds")->as_number(), 600.0);
+}
+
+TEST(TraceResultJson, SerializationParsesBack) {
+  const std::string text =
+      json::serialize(trace_result_to_json(make_result()));
+  const auto parsed = json::parse(text);
+  ASSERT_TRUE(parsed.has_value()) << parsed.error().to_string();
+}
+
+TEST(BatchJson, FunnelAndCategoryBlocks) {
+  const json::Value value = batch_to_json(make_batch());
+  const json::Object& obj = value.as_object();
+
+  const json::Object& funnel = obj.find("preprocessing")->as_object();
+  EXPECT_DOUBLE_EQ(funnel.find("input_traces")->as_number(), 10.0);
+  EXPECT_DOUBLE_EQ(funnel.find("corrupted")->as_number(), 3.0);
+  const json::Object& breakdown =
+      funnel.find("corruption_breakdown")->as_object();
+  EXPECT_DOUBLE_EQ(breakdown.find("non-positive-runtime")->as_number(), 3.0);
+
+  const json::Object& categories = obj.find("categories")->as_object();
+  const json::Object& on_start =
+      categories.find("read_on_start")->as_object();
+  EXPECT_DOUBLE_EQ(on_start.find("single_run_fraction")->as_number(), 0.5);
+  // 6 of 7 runs carry read_on_start.
+  EXPECT_NEAR(on_start.find("all_runs_fraction")->as_number(), 6.0 / 7.0,
+              1e-12);
+  EXPECT_EQ(obj.find("traces"), nullptr);  // excluded by default
+}
+
+TEST(BatchJson, IncludeTracesEmitsPerTraceEntries) {
+  const json::Value value = batch_to_json(make_batch(), true);
+  const json::Array& traces = value.as_object().find("traces")->as_array();
+  EXPECT_EQ(traces.size(), 2u);
+}
+
+TEST(BatchJson, WriteToFileRoundTrips) {
+  const auto path =
+      (std::filesystem::temp_directory_path() / "mosaic_batch.json").string();
+  ASSERT_TRUE(write_batch_json(make_batch(), path).ok());
+  std::ifstream in(path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const auto parsed = json::parse(buffer.str());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(parsed->as_object().contains("preprocessing"));
+  std::filesystem::remove(path);
+}
+
+TEST(BatchJson, WriteToBadPathFails) {
+  EXPECT_FALSE(
+      write_batch_json(make_batch(), "/no/such/dir/out.json").ok());
+}
+
+}  // namespace
+}  // namespace mosaic::report

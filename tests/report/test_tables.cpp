@@ -1,0 +1,49 @@
+#include "report/tables.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mosaic::report {
+namespace {
+
+TEST(TextTable, RendersAlignedColumns) {
+  TextTable table({"name", "value"});
+  table.add_row({"alpha", "1"});
+  table.add_row({"b", "22222"});
+  const std::string out = table.render();
+  EXPECT_EQ(out,
+            "| name  | value |\n"
+            "|-------|-------|\n"
+            "| alpha | 1     |\n"
+            "| b     | 22222 |\n");
+}
+
+TEST(TextTable, HeaderWiderThanCells) {
+  TextTable table({"a_very_long_header"});
+  table.add_row({"x"});
+  const std::string out = table.render();
+  EXPECT_NE(out.find("| x                  |"), std::string::npos);
+}
+
+TEST(TextTable, MissingCellsRenderEmpty) {
+  TextTable table({"a", "b", "c"});
+  table.add_row({"only"});
+  const std::string out = table.render();
+  EXPECT_NE(out.find("| only |"), std::string::npos);
+  EXPECT_EQ(table.row_count(), 1u);
+}
+
+TEST(TextTable, EmptyTableStillRendersHeader) {
+  TextTable table({"col"});
+  const std::string out = table.render();
+  EXPECT_NE(out.find("| col |"), std::string::npos);
+  EXPECT_EQ(table.row_count(), 0u);
+}
+
+TEST(TextTable, MarkdownMatchesAsciiShape) {
+  TextTable table({"x", "y"});
+  table.add_row({"1", "2"});
+  EXPECT_EQ(table.render(), table.render_markdown());
+}
+
+}  // namespace
+}  // namespace mosaic::report

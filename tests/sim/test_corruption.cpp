@@ -1,0 +1,76 @@
+#include "sim/corruption.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mosaic::sim {
+namespace {
+
+trace::Trace make_valid_trace() {
+  trace::Trace t;
+  t.meta.job_id = 1;
+  t.meta.app_name = "app";
+  t.meta.user = "u";
+  t.meta.nprocs = 8;
+  t.meta.run_time = 500.0;
+  trace::FileRecord file;
+  file.file_id = 1;
+  file.bytes_written = 1 << 24;
+  file.writes = 16;
+  file.opens = 8;
+  file.closes = 8;
+  file.open_ts = 10.0;
+  file.close_ts = 400.0;
+  file.first_write_ts = 12.0;
+  file.last_write_ts = 390.0;
+  t.files.push_back(file);
+  return t;
+}
+
+class CorruptionStyleTest
+    : public ::testing::TestWithParam<CorruptionStyle> {};
+
+TEST_P(CorruptionStyleTest, EveryStyleFailsValidation) {
+  trace::Trace t = make_valid_trace();
+  ASSERT_TRUE(trace::validate(t).valid());
+  util::Rng rng(3);
+  corrupt_trace(t, GetParam(), rng);
+  EXPECT_FALSE(trace::validate(t).valid());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllStyles, CorruptionStyleTest,
+    ::testing::Values(CorruptionStyle::kDeallocationPastEnd,
+                      CorruptionStyle::kNegativeTimestamp,
+                      CorruptionStyle::kInvertedWindow,
+                      CorruptionStyle::kNonFinite,
+                      CorruptionStyle::kCounterMismatch,
+                      CorruptionStyle::kZeroRuntime));
+
+TEST(Corruption, DeallocationMapsToAccessOutsideJob) {
+  trace::Trace t = make_valid_trace();
+  util::Rng rng(5);
+  corrupt_trace(t, CorruptionStyle::kDeallocationPastEnd, rng);
+  EXPECT_EQ(trace::validate(t).kind, trace::CorruptionKind::kAccessOutsideJob);
+}
+
+TEST(Corruption, FilelessTraceFallsBackToRuntimeCorruption) {
+  trace::Trace t;
+  t.meta.run_time = 100.0;
+  t.meta.nprocs = 2;
+  util::Rng rng(7);
+  corrupt_trace(t, CorruptionStyle::kInvertedWindow, rng);
+  EXPECT_EQ(trace::validate(t).kind,
+            trace::CorruptionKind::kNonPositiveRuntime);
+}
+
+TEST(Corruption, RandomStyleCoversSeveralKinds) {
+  util::Rng rng(11);
+  std::set<CorruptionStyle> seen;
+  for (int i = 0; i < 500; ++i) {
+    seen.insert(random_corruption_style(rng));
+  }
+  EXPECT_GE(seen.size(), 5u);
+}
+
+}  // namespace
+}  // namespace mosaic::sim

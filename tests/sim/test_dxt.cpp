@@ -1,0 +1,134 @@
+// Tests for DXT-level event emission (the aggregation-ablation substrate).
+#include <gtest/gtest.h>
+
+#include "core/pipeline.hpp"
+#include "sim/generator.hpp"
+#include "sim/population.hpp"
+
+namespace mosaic::sim {
+namespace {
+
+using trace::OpKind;
+
+AppSpec hidden_periodic_spec() {
+  AppSpec spec;
+  spec.name = "hidden";
+  spec.runtime_median = 7200.0;
+  spec.runtime_sigma = 0.0;
+  SteadySpec stream;
+  stream.kind = OpKind::kWrite;
+  stream.bytes = 24ull << 30;
+  stream.inner_period = 600.0;  // the aggregation-hidden truth
+  spec.steady.push_back(stream);
+  return spec;
+}
+
+TEST(DxtEmission, OffByDefault) {
+  const TraceGenerator generator;  // emit_dxt defaults to false
+  util::Rng rng(3);
+  const LabeledTrace labeled =
+      generator.generate(hidden_periodic_spec(), {}, {.job_id = 1}, rng);
+  EXPECT_TRUE(labeled.dxt_ops.empty());
+}
+
+TEST(DxtEmission, InnerPeriodProducesAppendTrain) {
+  const TraceGenerator generator(PfsModel{}, core::Thresholds{}, true);
+  util::Rng rng(3);
+  const LabeledTrace labeled =
+      generator.generate(hidden_periodic_spec(), {}, {.job_id = 1}, rng);
+  // ~ (0.96 * 7200) / 600 = 11 appends.
+  EXPECT_GE(labeled.dxt_ops.size(), 9u);
+  EXPECT_LE(labeled.dxt_ops.size(), 13u);
+  // Byte conservation: the DXT events hold (close to) the record's bytes.
+  std::uint64_t dxt_bytes = 0;
+  for (const trace::IoOp& op : labeled.dxt_ops) {
+    EXPECT_EQ(op.kind, OpKind::kWrite);
+    dxt_bytes += op.bytes;
+  }
+  const std::uint64_t record_bytes = labeled.trace.total_bytes_written();
+  EXPECT_NEAR(static_cast<double>(dxt_bytes),
+              static_cast<double>(record_bytes),
+              0.01 * static_cast<double>(record_bytes));
+}
+
+TEST(DxtEmission, AggregatedViewHidesWhatDxtReveals) {
+  const TraceGenerator generator(PfsModel{}, core::Thresholds{}, true);
+  util::Rng rng(7);
+  const LabeledTrace labeled =
+      generator.generate(hidden_periodic_spec(), {}, {.job_id = 2}, rng);
+
+  const core::Analyzer analyzer;
+  // Aggregated records: one long window -> steady, not periodic.
+  const core::TraceResult aggregated = analyzer.analyze(labeled.trace);
+  EXPECT_FALSE(aggregated.write.periodicity.periodic);
+
+  // DXT events: the period is visible.
+  std::vector<trace::IoOp> write_ops;
+  for (const trace::IoOp& op : labeled.dxt_ops) {
+    if (op.kind == OpKind::kWrite) write_ops.push_back(op);
+  }
+  const core::KindAnalysis dxt =
+      analyzer.analyze_ops(std::move(write_ops), labeled.trace.meta.run_time);
+  ASSERT_TRUE(dxt.periodicity.periodic);
+  EXPECT_NEAR(dxt.periodicity.dominant().period_seconds, 600.0, 30.0);
+}
+
+TEST(DxtEmission, PlainSteadyStaysSingleEvent) {
+  AppSpec spec = hidden_periodic_spec();
+  spec.steady.front().inner_period = 0.0;  // genuinely continuous
+  const TraceGenerator generator(PfsModel{}, core::Thresholds{}, true);
+  util::Rng rng(9);
+  const LabeledTrace labeled = generator.generate(spec, {}, {.job_id = 3}, rng);
+  ASSERT_EQ(labeled.dxt_ops.size(), 1u);
+  EXPECT_GT(labeled.dxt_ops.front().duration(), 6000.0);
+}
+
+TEST(DxtEmission, BurstsAndPeriodicEmitPerFileEvents) {
+  AppSpec spec;
+  spec.name = "mix";
+  spec.runtime_median = 3600.0;
+  spec.runtime_sigma = 0.0;
+  BurstSpec input;
+  input.kind = OpKind::kRead;
+  input.bytes = 4ull << 30;
+  input.file_count = 3;
+  spec.bursts.push_back(input);
+  PeriodicSpec ckpt;
+  ckpt.kind = OpKind::kWrite;
+  ckpt.period_seconds = 600.0;
+  ckpt.files_per_burst = 2;
+  spec.periodic.push_back(ckpt);
+
+  const TraceGenerator generator(PfsModel{}, core::Thresholds{}, true);
+  util::Rng rng(11);
+  const LabeledTrace labeled = generator.generate(spec, {}, {.job_id = 4}, rng);
+  std::size_t reads = 0;
+  std::size_t writes = 0;
+  for (const trace::IoOp& op : labeled.dxt_ops) {
+    (op.kind == OpKind::kRead ? reads : writes) += 1;
+  }
+  EXPECT_EQ(reads, 3u);          // one per input file
+  EXPECT_GE(writes, 2u * 4u);    // >= 4 bursts of 2 files
+}
+
+TEST(DxtEmission, PopulationFlagPropagates) {
+  PopulationConfig config;
+  config.target_traces = 300;
+  config.seed = 5;
+  config.emit_dxt = true;
+  const Population with_dxt = generate_population(config);
+  bool any = false;
+  for (const LabeledTrace& labeled : with_dxt.traces) {
+    if (!labeled.dxt_ops.empty()) any = true;
+  }
+  EXPECT_TRUE(any);
+
+  config.emit_dxt = false;
+  const Population without = generate_population(config);
+  for (const LabeledTrace& labeled : without.traces) {
+    EXPECT_TRUE(labeled.dxt_ops.empty());
+  }
+}
+
+}  // namespace
+}  // namespace mosaic::sim

@@ -1,0 +1,259 @@
+#include "sim/generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/pipeline.hpp"
+
+namespace mosaic::sim {
+namespace {
+
+using core::Category;
+using core::Temporality;
+using trace::OpKind;
+
+constexpr std::uint64_t GiB = 1ull << 30;
+
+AppSpec checkpoint_spec() {
+  AppSpec spec;
+  spec.name = "ckpt";
+  spec.runtime_median = 7200.0;
+  spec.runtime_sigma = 0.0;  // deterministic runtime for assertions
+  spec.log2_nprocs_min = 6;
+  spec.log2_nprocs_max = 6;
+  PeriodicSpec periodic;
+  periodic.kind = OpKind::kWrite;
+  periodic.period_seconds = 600.0;
+  periodic.bytes_per_burst = 2 * GiB;
+  spec.periodic.push_back(periodic);
+  return spec;
+}
+
+TEST(Generator, DeterministicForSameSeed) {
+  const TraceGenerator generator;
+  const AppSpec spec = checkpoint_spec();
+  const Intent intent{.write_temporality = Temporality::kSteady};
+  util::Rng rng_a(5);
+  util::Rng rng_b(5);
+  const LabeledTrace a = generator.generate(spec, intent, {.job_id = 1}, rng_a);
+  const LabeledTrace b = generator.generate(spec, intent, {.job_id = 1}, rng_b);
+  ASSERT_EQ(a.trace.files.size(), b.trace.files.size());
+  EXPECT_DOUBLE_EQ(a.trace.meta.run_time, b.trace.meta.run_time);
+  EXPECT_EQ(a.trace.total_bytes(), b.trace.total_bytes());
+  EXPECT_EQ(a.truth.categories, b.truth.categories);
+}
+
+TEST(Generator, ProducesValidTraces) {
+  const TraceGenerator generator;
+  const AppSpec spec = checkpoint_spec();
+  util::Rng rng(17);
+  for (int i = 0; i < 20; ++i) {
+    const LabeledTrace labeled = generator.generate(
+        spec, Intent{.write_temporality = Temporality::kSteady},
+        {.job_id = static_cast<std::uint64_t>(i)}, rng);
+    const trace::ValidityReport report = trace::validate(labeled.trace);
+    EXPECT_TRUE(report.valid()) << report.detail;
+  }
+}
+
+TEST(Generator, JobShapeRespectsSpec) {
+  const TraceGenerator generator;
+  AppSpec spec = checkpoint_spec();
+  spec.log2_nprocs_min = 5;
+  spec.log2_nprocs_max = 8;
+  util::Rng rng(23);
+  for (int i = 0; i < 10; ++i) {
+    const LabeledTrace labeled =
+        generator.generate(spec, {}, {.job_id = 1}, rng);
+    const std::uint32_t nprocs = labeled.trace.meta.nprocs;
+    EXPECT_GE(nprocs, 32u);
+    EXPECT_LE(nprocs, 256u);
+    // Power of two.
+    EXPECT_EQ(nprocs & (nprocs - 1), 0u);
+    EXPECT_NEAR(labeled.trace.meta.run_time, 7200.0, 1.0);
+  }
+}
+
+TEST(Generator, PeriodicSpecYieldsDetectablePattern) {
+  const TraceGenerator generator;
+  util::Rng rng(31);
+  const LabeledTrace labeled = generator.generate(
+      checkpoint_spec(), Intent{.write_temporality = Temporality::kSteady},
+      {.job_id = 7}, rng);
+
+  // Truth carries the periodic labels.
+  EXPECT_TRUE(labeled.truth.categories.contains(Category::kWritePeriodic));
+  EXPECT_TRUE(
+      labeled.truth.categories.contains(Category::kWritePeriodicMinute));
+
+  // And MOSAIC recovers them from the generated trace.
+  const core::Analyzer analyzer;
+  const core::TraceResult result = analyzer.analyze(labeled.trace);
+  EXPECT_TRUE(result.categories.contains(Category::kWritePeriodic));
+  ASSERT_TRUE(result.write.periodicity.periodic);
+  EXPECT_NEAR(result.write.periodicity.dominant().period_seconds, 600.0, 30.0);
+}
+
+TEST(Generator, BurstIntentRecovered) {
+  AppSpec spec;
+  spec.name = "rcw";
+  spec.runtime_median = 3600.0;
+  spec.runtime_sigma = 0.0;
+  BurstSpec input;
+  input.kind = OpKind::kRead;
+  input.position_frac = 0.02;
+  input.position_jitter = 0.0;
+  input.bytes = 6 * GiB;
+  input.file_count = 4;
+  spec.bursts.push_back(input);
+  BurstSpec output;
+  output.kind = OpKind::kWrite;
+  output.position_frac = 0.93;
+  output.position_jitter = 0.0;
+  output.bytes = 2 * GiB;
+  spec.bursts.push_back(output);
+
+  const Intent intent{.read_temporality = Temporality::kOnStart,
+                      .write_temporality = Temporality::kOnEnd};
+  const TraceGenerator generator;
+  util::Rng rng(41);
+  const LabeledTrace labeled =
+      generator.generate(spec, intent, {.job_id = 9}, rng);
+  EXPECT_TRUE(labeled.truth.categories.contains(Category::kReadOnStart));
+  EXPECT_TRUE(labeled.truth.categories.contains(Category::kWriteOnEnd));
+
+  const core::Analyzer analyzer;
+  const core::TraceResult result = analyzer.analyze(labeled.trace);
+  EXPECT_TRUE(result.categories.contains(Category::kReadOnStart));
+  EXPECT_TRUE(result.categories.contains(Category::kWriteOnEnd));
+}
+
+TEST(Generator, SteadySpecHidesStructure) {
+  AppSpec spec;
+  spec.name = "stream";
+  spec.runtime_median = 3600.0;
+  spec.runtime_sigma = 0.0;
+  SteadySpec stream;
+  stream.kind = OpKind::kWrite;
+  stream.bytes = 10 * GiB;
+  spec.steady.push_back(stream);
+
+  const TraceGenerator generator;
+  util::Rng rng(43);
+  const LabeledTrace labeled = generator.generate(
+      spec, Intent{.write_temporality = Temporality::kSteady}, {.job_id = 2},
+      rng);
+  // One aggregated record spanning the run; no periodicity visible or claimed.
+  EXPECT_FALSE(labeled.truth.categories.contains(Category::kWritePeriodic));
+  const core::Analyzer analyzer;
+  const core::TraceResult result = analyzer.analyze(labeled.trace);
+  EXPECT_TRUE(result.categories.contains(Category::kWriteSteady));
+  EXPECT_FALSE(result.categories.contains(Category::kWritePeriodic));
+}
+
+TEST(Generator, VolumeBelowThresholdDemotesToInsignificant) {
+  AppSpec spec;
+  spec.name = "small";
+  spec.runtime_median = 600.0;
+  spec.runtime_sigma = 0.0;
+  spec.volume_sigma = 0.0;
+  BurstSpec tiny;
+  tiny.kind = OpKind::kRead;
+  tiny.position_frac = 0.0;
+  tiny.bytes = 10 << 20;  // 10 MiB, far below 100 MB
+  spec.bursts.push_back(tiny);
+
+  const TraceGenerator generator;
+  util::Rng rng(47);
+  const LabeledTrace labeled = generator.generate(
+      spec, Intent{.read_temporality = Temporality::kOnStart}, {.job_id = 3},
+      rng);
+  // Intent said on_start, but realized volume forces insignificant.
+  EXPECT_TRUE(
+      labeled.truth.categories.contains(Category::kReadInsignificant));
+  EXPECT_FALSE(labeled.truth.categories.contains(Category::kReadOnStart));
+}
+
+TEST(Generator, MetaStormTruthMatchesDefinitionalRules) {
+  AppSpec spec;
+  spec.name = "storm";
+  spec.runtime_median = 900.0;
+  spec.runtime_sigma = 0.0;
+  spec.ambient_opens = 0;
+  MetaStormSpec storm;
+  storm.start_frac = 0.05;
+  storm.spike_count = 10;
+  storm.requests_per_spike = 400;
+  storm.spacing_seconds = 30.0;
+  spec.storms.push_back(storm);
+
+  const TraceGenerator generator;
+  util::Rng rng(53);
+  const LabeledTrace labeled = generator.generate(spec, {}, {.job_id = 4}, rng);
+  EXPECT_TRUE(labeled.truth.categories.contains(Category::kMetadataHighSpike));
+  EXPECT_TRUE(
+      labeled.truth.categories.contains(Category::kMetadataMultipleSpikes));
+
+  const core::Analyzer analyzer;
+  const core::TraceResult result = analyzer.analyze(labeled.trace);
+  EXPECT_TRUE(result.categories.contains(Category::kMetadataHighSpike));
+  EXPECT_TRUE(result.categories.contains(Category::kMetadataMultipleSpikes));
+}
+
+TEST(Generator, QuietAppIsInsignificantEverywhere) {
+  AppSpec spec;
+  spec.name = "quiet";
+  spec.runtime_median = 1800.0;
+  spec.log2_nprocs_min = 5;
+  spec.log2_nprocs_max = 5;
+  spec.ambient_opens = 2;
+
+  const TraceGenerator generator;
+  util::Rng rng(59);
+  const LabeledTrace labeled = generator.generate(spec, {}, {.job_id = 5}, rng);
+  EXPECT_TRUE(
+      labeled.truth.categories.contains(Category::kReadInsignificant));
+  EXPECT_TRUE(
+      labeled.truth.categories.contains(Category::kWriteInsignificant));
+  EXPECT_TRUE(
+      labeled.truth.categories.contains(Category::kMetadataInsignificantLoad));
+
+  const core::Analyzer analyzer;
+  const core::TraceResult result = analyzer.analyze(labeled.trace);
+  EXPECT_EQ(result.categories, labeled.truth.categories);
+}
+
+TEST(Generator, BoundaryBurstMarkedAmbiguous) {
+  AppSpec spec;
+  spec.name = "edge";
+  spec.runtime_median = 1000.0;
+  spec.runtime_sigma = 0.0;
+  BurstSpec burst;
+  burst.kind = OpKind::kRead;
+  burst.position_frac = 0.25;  // straddles the first chunk boundary
+  burst.position_jitter = 0.0;
+  burst.bytes = GiB;
+  spec.bursts.push_back(burst);
+
+  const TraceGenerator generator;
+  util::Rng rng(61);
+  const LabeledTrace labeled = generator.generate(
+      spec, Intent{.read_temporality = Temporality::kOnStart}, {.job_id = 6},
+      rng);
+  EXPECT_TRUE(labeled.truth.ambiguous);
+}
+
+TEST(Generator, ThreeOccurrenceMinimumForPeriodicTruth) {
+  AppSpec spec = checkpoint_spec();
+  // Burst window is (0.98 - 0.05) * runtime = 1116 s: exactly two bursts of
+  // period 600 s fit, below the three-occurrence detectability floor.
+  spec.runtime_median = 1200.0;
+  const TraceGenerator generator;
+  util::Rng rng(67);
+  const LabeledTrace labeled = generator.generate(
+      spec, Intent{.write_temporality = Temporality::kSteady}, {.job_id = 8},
+      rng);
+  EXPECT_FALSE(labeled.truth.categories.contains(Category::kWritePeriodic));
+}
+
+}  // namespace
+}  // namespace mosaic::sim

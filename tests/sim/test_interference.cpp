@@ -1,0 +1,150 @@
+#include "sim/interference.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/pipeline.hpp"
+#include "sim/generator.hpp"
+
+namespace mosaic::sim {
+namespace {
+
+using trace::IoOp;
+using trace::OpKind;
+
+JobLoad burst_job(double start, std::uint64_t bytes, std::uint32_t nprocs) {
+  JobLoad job;
+  job.nprocs = nprocs;
+  job.ops.push_back(IoOp{.start = start, .end = start + 1.0, .bytes = bytes,
+                         .kind = OpKind::kRead});
+  return job;
+}
+
+TEST(Interference, EmptyJobsAreNoops) {
+  const InterferenceResult result = simulate_pair({}, {});
+  EXPECT_DOUBLE_EQ(result.a.solo_io_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(result.a.slowdown(), 1.0);
+  EXPECT_DOUBLE_EQ(result.overlap_seconds, 0.0);
+}
+
+TEST(Interference, DisjointJobsDoNotSlowDown) {
+  // Job A does I/O at t=0, job B hours later: no contention.
+  const JobLoad a = burst_job(0.0, 8ull << 30, 64);
+  const JobLoad b = burst_job(50000.0, 8ull << 30, 64);
+  const InterferenceResult result = simulate_pair(a, b);
+  EXPECT_NEAR(result.a.slowdown(), 1.0, 0.02);
+  EXPECT_NEAR(result.b.slowdown(), 1.0, 0.02);
+  EXPECT_DOUBLE_EQ(result.overlap_seconds, 0.0);
+}
+
+TEST(Interference, SimultaneousBurstsContend) {
+  // Two identical jobs starting their ingest at the same instant with a
+  // shared allocation of 1.5x one job's bandwidth: each gets 0.75x ->
+  // slowdown ~ 1/0.75 = 1.33.
+  const JobLoad a = burst_job(0.0, 32ull << 30, 64);
+  const JobLoad b = burst_job(0.0, 32ull << 30, 64);
+  const InterferenceResult result = simulate_pair(a, b);
+  EXPECT_GT(result.overlap_seconds, 0.0);
+  EXPECT_NEAR(result.a.slowdown(), 4.0 / 3.0, 0.05);
+  EXPECT_NEAR(result.b.slowdown(), 4.0 / 3.0, 0.05);
+}
+
+TEST(Interference, CapacityFactorControlsContention) {
+  const JobLoad a = burst_job(0.0, 32ull << 30, 64);
+  const JobLoad b = burst_job(0.0, 32ull << 30, 64);
+  InterferenceConfig roomy;
+  roomy.shared_capacity_factor = 2.0;  // full bandwidth for both
+  const InterferenceResult uncontended = simulate_pair(a, b, roomy);
+  EXPECT_NEAR(uncontended.a.slowdown(), 1.0, 0.02);
+
+  InterferenceConfig tight;
+  tight.shared_capacity_factor = 1.0;  // either job saturates it alone
+  const InterferenceResult contended = simulate_pair(a, b, tight);
+  EXPECT_NEAR(contended.a.slowdown(), 2.0, 0.1);
+}
+
+TEST(Interference, AsymmetricJobsShareProportionally) {
+  // A large job and a small one, equal nprocs: proportional sharing slows
+  // both by the same factor while they overlap; the small one finishes
+  // first and the large one speeds back up.
+  const JobLoad big = burst_job(0.0, 64ull << 30, 64);
+  const JobLoad small = burst_job(0.0, 4ull << 30, 64);
+  const InterferenceResult result = simulate_pair(big, small);
+  // The small job is fully overlapped -> ~1.33 slowdown; the big one is
+  // contended only while the small one runs -> less than 1.33.
+  EXPECT_GT(result.b.slowdown(), 1.2);
+  EXPECT_LT(result.a.slowdown(), result.b.slowdown());
+  EXPECT_GT(result.a.slowdown(), 1.0);
+}
+
+TEST(Interference, StaggeredCheckpointsAvoidContention) {
+  // Two periodic checkpointers, period 600 s. Aligned: every burst
+  // collides. Offset by 300 s: no overlap at all — the paper's
+  // checkpoint-interleaving scheduling idea.
+  const auto checkpoints = [](double offset) {
+    JobLoad job;
+    job.nprocs = 128;
+    for (int i = 0; i < 10; ++i) {
+      job.ops.push_back(IoOp{.start = offset + i * 600.0,
+                             .end = offset + i * 600.0 + 5.0,
+                             .bytes = 16ull << 30,
+                             .kind = OpKind::kWrite});
+    }
+    return job;
+  };
+  const InterferenceResult aligned =
+      simulate_pair(checkpoints(0.0), checkpoints(0.0));
+  const InterferenceResult staggered =
+      simulate_pair(checkpoints(0.0), checkpoints(300.0));
+  EXPECT_GT(aligned.a.slowdown(), 1.25);
+  EXPECT_NEAR(staggered.a.slowdown(), 1.0, 0.02);
+  EXPECT_LT(staggered.overlap_seconds, aligned.overlap_seconds);
+}
+
+TEST(Interference, MdsOverloadDetected) {
+  JobLoad a;
+  a.nprocs = 4;
+  a.metadata.push_back({10.0, 2000});
+  JobLoad b;
+  b.nprocs = 4;
+  b.metadata.push_back({10.4, 1800});  // same second: 3800 > 3000
+  b.metadata.push_back({50.0, 100});   // alone: fine
+  const InterferenceResult result = simulate_pair(a, b);
+  EXPECT_DOUBLE_EQ(result.mds_overload_seconds, 1.0);
+}
+
+TEST(Interference, JobLoadFromTraceMergesBothKinds) {
+  AppSpec spec;
+  spec.name = "pairtest";
+  spec.runtime_median = 3600.0;
+  spec.runtime_sigma = 0.0;
+  BurstSpec input;
+  input.kind = OpKind::kRead;
+  input.position_frac = 0.02;
+  input.bytes = 4ull << 30;
+  spec.bursts.push_back(input);
+  PeriodicSpec ckpt;
+  ckpt.kind = OpKind::kWrite;
+  ckpt.period_seconds = 600.0;
+  spec.periodic.push_back(ckpt);
+
+  const TraceGenerator generator;
+  util::Rng rng(5);
+  const LabeledTrace labeled = generator.generate(spec, {}, {.job_id = 1}, rng);
+  const JobLoad load = job_load_from_trace(labeled.trace);
+  EXPECT_EQ(load.nprocs, labeled.trace.meta.nprocs);
+  EXPECT_GE(load.ops.size(), 6u);  // input + checkpoints
+  EXPECT_FALSE(load.metadata.empty());
+  for (std::size_t i = 1; i < load.ops.size(); ++i) {
+    EXPECT_GE(load.ops[i].start, load.ops[i - 1].start);
+  }
+}
+
+TEST(Interference, SelfPairIsSymmetric) {
+  const JobLoad a = burst_job(0.0, 16ull << 30, 32);
+  const InterferenceResult result = simulate_pair(a, a);
+  EXPECT_NEAR(result.a.slowdown(), result.b.slowdown(), 1e-9);
+  EXPECT_NEAR(result.a.solo_io_seconds, result.b.solo_io_seconds, 1e-9);
+}
+
+}  // namespace
+}  // namespace mosaic::sim

@@ -1,0 +1,159 @@
+#include "sim/population.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "sim/corruption.hpp"
+
+namespace mosaic::sim {
+namespace {
+
+PopulationConfig small_config() {
+  PopulationConfig config;
+  config.target_traces = 2000;
+  config.seed = 99;
+  return config;
+}
+
+TEST(BlueWatersProfile, FractionsSumToOne) {
+  const auto profile = blue_waters_profile();
+  ASSERT_FALSE(profile.empty());
+  double total = 0.0;
+  for (const Archetype& archetype : profile) {
+    EXPECT_GT(archetype.app_fraction, 0.0);
+    EXPECT_GE(archetype.mean_runs, 1.0);
+    total += archetype.app_fraction;
+  }
+  EXPECT_NEAR(total, 100.0, 0.5);
+}
+
+TEST(BlueWatersProfile, QuietArchetypeDominatesApps) {
+  const auto profile = blue_waters_profile();
+  double max_fraction = 0.0;
+  std::string heaviest;
+  for (const Archetype& archetype : profile) {
+    if (archetype.app_fraction > max_fraction) {
+      max_fraction = archetype.app_fraction;
+      heaviest = archetype.spec.name;
+    }
+  }
+  EXPECT_EQ(heaviest, "quiet");
+  EXPECT_GT(max_fraction, 70.0);
+}
+
+TEST(GeneratePopulation, MeetsTargetCount) {
+  const Population population = generate_population(small_config());
+  EXPECT_EQ(population.traces.size(), 2000u);
+  EXPECT_GT(population.app_count, 0u);
+  EXPECT_LT(population.app_count, population.traces.size());
+}
+
+TEST(GeneratePopulation, Deterministic) {
+  const Population a = generate_population(small_config());
+  const Population b = generate_population(small_config());
+  ASSERT_EQ(a.traces.size(), b.traces.size());
+  for (std::size_t i = 0; i < a.traces.size(); ++i) {
+    EXPECT_EQ(a.traces[i].trace.meta.job_id, b.traces[i].trace.meta.job_id);
+    EXPECT_EQ(a.traces[i].trace.total_bytes(), b.traces[i].trace.total_bytes());
+    EXPECT_EQ(a.traces[i].corrupted, b.traces[i].corrupted);
+    EXPECT_EQ(a.traces[i].truth.categories, b.traces[i].truth.categories);
+  }
+}
+
+TEST(GeneratePopulation, ParallelMatchesSerial) {
+  const Population serial = generate_population(small_config());
+  parallel::ThreadPool pool(4);
+  const Population threaded = generate_population(small_config(), &pool);
+  ASSERT_EQ(serial.traces.size(), threaded.traces.size());
+  for (std::size_t i = 0; i < serial.traces.size(); ++i) {
+    EXPECT_EQ(serial.traces[i].trace.meta.job_id,
+              threaded.traces[i].trace.meta.job_id);
+    EXPECT_EQ(serial.traces[i].trace.total_bytes(),
+              threaded.traces[i].trace.total_bytes());
+  }
+}
+
+TEST(GeneratePopulation, CorruptionFractionApproximatelyMet) {
+  PopulationConfig config = small_config();
+  config.target_traces = 5000;
+  const Population population = generate_population(config);
+  std::size_t corrupted = 0;
+  for (const LabeledTrace& labeled : population.traces) {
+    if (labeled.corrupted) {
+      ++corrupted;
+      EXPECT_FALSE(trace::validate(labeled.trace).valid());
+    }
+  }
+  const double fraction =
+      static_cast<double>(corrupted) / static_cast<double>(5000);
+  EXPECT_NEAR(fraction, 0.32, 0.03);
+}
+
+TEST(GeneratePopulation, UncorruptedTracesAreValid) {
+  const Population population = generate_population(small_config());
+  for (const LabeledTrace& labeled : population.traces) {
+    if (!labeled.corrupted) {
+      const auto report = trace::validate(labeled.trace);
+      EXPECT_TRUE(report.valid())
+          << labeled.archetype << ": " << report.detail;
+    }
+  }
+}
+
+TEST(GeneratePopulation, DistinctAppsHaveDistinctIdentities) {
+  const Population population = generate_population(small_config());
+  std::set<std::string> keys;
+  for (const LabeledTrace& labeled : population.traces) {
+    keys.insert(labeled.trace.app_key());
+  }
+  EXPECT_EQ(keys.size(), population.app_count);
+}
+
+TEST(GeneratePopulation, RunsOfSameAppShareArchetype) {
+  const Population population = generate_population(small_config());
+  std::map<std::string, std::string> archetype_of;
+  for (const LabeledTrace& labeled : population.traces) {
+    const auto [it, inserted] =
+        archetype_of.emplace(labeled.trace.app_key(), labeled.archetype);
+    if (!inserted) {
+      EXPECT_EQ(it->second, labeled.archetype);
+    }
+  }
+}
+
+TEST(GeneratePopulation, ZeroCorruptionConfig) {
+  PopulationConfig config = small_config();
+  config.corruption_fraction = 0.0;
+  const Population population = generate_population(config);
+  for (const LabeledTrace& labeled : population.traces) {
+    EXPECT_FALSE(labeled.corrupted);
+  }
+}
+
+TEST(ToTraces, StripsLabels) {
+  const Population population = generate_population(small_config());
+  const std::size_t count = population.traces.size();
+  const std::uint64_t first_id = population.traces.front().trace.meta.job_id;
+  const auto traces = to_traces(std::move(population));
+  EXPECT_EQ(traces.size(), count);
+  EXPECT_EQ(traces.front().meta.job_id, first_id);
+}
+
+TEST(GeneratePopulation, CustomArchetypeMixRespected) {
+  PopulationConfig config = small_config();
+  Archetype only;
+  only.spec.name = "solo";
+  only.spec.runtime_median = 600.0;
+  only.app_fraction = 100.0;
+  only.mean_runs = 5.0;
+  config.archetypes.push_back(only);
+  config.corruption_fraction = 0.0;
+  const Population population = generate_population(config);
+  for (const LabeledTrace& labeled : population.traces) {
+    EXPECT_EQ(labeled.archetype, "solo");
+  }
+}
+
+}  // namespace
+}  // namespace mosaic::sim

@@ -1,0 +1,130 @@
+// Assertions about the calibrated Blue Waters profile itself: the archetype
+// mixture must keep producing the structural features the paper's tables
+// rely on (these are the contract between the calibration and the benches).
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "core/pipeline.hpp"
+#include "report/aggregate.hpp"
+#include "sim/population.hpp"
+
+namespace mosaic::sim {
+namespace {
+
+using core::Category;
+
+class ProfileTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    PopulationConfig config;
+    config.target_traces = 12000;
+    config.seed = 424242;  // not the bench seed: the contract must hold
+                           // regardless of the particular realization
+    population_ = new Population(generate_population(config));
+    batch_ = new core::BatchResult(
+        core::analyze_population(to_traces(*population_)));
+  }
+  static void TearDownTestSuite() {
+    delete population_;
+    delete batch_;
+    population_ = nullptr;
+    batch_ = nullptr;
+  }
+  static Population* population_;
+  static core::BatchResult* batch_;
+};
+
+Population* ProfileTest::population_ = nullptr;
+core::BatchResult* ProfileTest::batch_ = nullptr;
+
+TEST_F(ProfileTest, EveryArchetypeRealized) {
+  std::set<std::string> seen;
+  for (const LabeledTrace& labeled : population_->traces) {
+    seen.insert(labeled.archetype);
+  }
+  for (const Archetype& archetype : blue_waters_profile()) {
+    EXPECT_TRUE(seen.contains(archetype.spec.name))
+        << "archetype never drawn: " << archetype.spec.name;
+  }
+}
+
+TEST_F(ProfileTest, StratificationTracksFractions) {
+  std::map<std::string, std::size_t> apps_per_archetype;
+  std::set<std::string> counted;
+  for (const LabeledTrace& labeled : population_->traces) {
+    if (counted.insert(labeled.trace.app_key()).second) {
+      ++apps_per_archetype[labeled.archetype];
+    }
+  }
+  const double total = static_cast<double>(counted.size());
+  for (const Archetype& archetype : blue_waters_profile()) {
+    const double expected = archetype.app_fraction / 100.0;
+    const double actual =
+        static_cast<double>(apps_per_archetype[archetype.spec.name]) / total;
+    // Largest-deficit allocation keeps shares within a percent-ish of spec.
+    EXPECT_NEAR(actual, expected, 0.02 + 0.1 * expected)
+        << archetype.spec.name;
+  }
+}
+
+TEST_F(ProfileTest, QuietAppsAreTrulyQuiet) {
+  for (const LabeledTrace& labeled : population_->traces) {
+    if (labeled.archetype != "quiet" || labeled.corrupted) continue;
+    EXPECT_TRUE(labeled.truth.categories.contains(Category::kReadInsignificant));
+    EXPECT_TRUE(
+        labeled.truth.categories.contains(Category::kWriteInsignificant));
+  }
+}
+
+TEST_F(ProfileTest, CheckpointersCarryPeriodicTruth) {
+  std::size_t ckpt_apps = 0;
+  std::size_t periodic_truth = 0;
+  for (const LabeledTrace& labeled : population_->traces) {
+    if (labeled.corrupted) continue;
+    if (labeled.archetype != "ckpt_minute" && labeled.archetype != "ckpt_cycle")
+      continue;
+    ++ckpt_apps;
+    if (labeled.truth.categories.contains(Category::kWritePeriodic)) {
+      ++periodic_truth;
+    }
+  }
+  ASSERT_GT(ckpt_apps, 0u);
+  // The occasional short run fits < 3 bursts; the vast majority are periodic.
+  EXPECT_GT(static_cast<double>(periodic_truth) /
+                static_cast<double>(ckpt_apps),
+            0.8);
+}
+
+TEST_F(ProfileTest, DensityAnchoredToIngestArchetypes) {
+  for (const core::TraceResult& result : batch_->results) {
+    if (!result.categories.contains(Category::kMetadataHighDensity)) continue;
+    // Dense-metadata applications read on start (the §IV-D correlation).
+    EXPECT_TRUE(result.categories.contains(Category::kReadOnStart) ||
+                result.categories.contains(Category::kReadInsignificant))
+        << result.app_key;
+  }
+}
+
+TEST_F(ProfileTest, MarginalShapesHoldOnUnseenSeed) {
+  const mosaic::report::CategoryDistribution distribution =
+      mosaic::report::aggregate_categories(*batch_);
+  // The claims the calibration must preserve on ANY seed (loose bands):
+  // insignificant dominates the single-run view...
+  EXPECT_GT(distribution.single_fraction(Category::kReadInsignificant), 0.7);
+  EXPECT_GT(distribution.single_fraction(Category::kWriteInsignificant), 0.7);
+  // ...reads concentrate at start, writes at end among active single-run...
+  EXPECT_GT(distribution.single_fraction(Category::kReadOnStart),
+            distribution.single_fraction(Category::kReadOnEnd));
+  EXPECT_GT(distribution.single_fraction(Category::kWriteOnEnd),
+            distribution.single_fraction(Category::kWriteOnStart));
+  // ...and the all-runs view shifts sharply toward the active categories.
+  EXPECT_LT(distribution.weighted_fraction(Category::kReadInsignificant),
+            distribution.single_fraction(Category::kReadInsignificant) - 0.2);
+  EXPECT_GT(distribution.weighted_fraction(Category::kWriteSteady),
+            distribution.single_fraction(Category::kWriteSteady) * 3.0);
+}
+
+}  // namespace
+}  // namespace mosaic::sim

@@ -1,0 +1,108 @@
+#include "util/cli.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+namespace mosaic::util {
+namespace {
+
+CliParser make_parser() {
+  CliParser cli("prog", "test program");
+  cli.add_option("count", "number of things", "10");
+  cli.add_option("name", "a name", "default");
+  cli.add_option("ratio", "a ratio", "0.5");
+  cli.add_flag("verbose", "talk more");
+  return cli;
+}
+
+TEST(Cli, DefaultsWhenNoArgs) {
+  CliParser cli = make_parser();
+  const std::array<const char*, 1> argv{"prog"};
+  ASSERT_TRUE(cli.parse(1, argv.data()).ok());
+  EXPECT_EQ(cli.get("count"), "10");
+  EXPECT_EQ(cli.get("name"), "default");
+  EXPECT_FALSE(cli.get_flag("verbose"));
+}
+
+TEST(Cli, SpaceSeparatedValues) {
+  CliParser cli = make_parser();
+  const std::array<const char*, 5> argv{"prog", "--count", "42", "--name",
+                                        "mosaic"};
+  ASSERT_TRUE(cli.parse(5, argv.data()).ok());
+  EXPECT_EQ(*cli.get_int("count"), 42);
+  EXPECT_EQ(cli.get("name"), "mosaic");
+}
+
+TEST(Cli, EqualsSyntax) {
+  CliParser cli = make_parser();
+  const std::array<const char*, 2> argv{"prog", "--ratio=0.75"};
+  ASSERT_TRUE(cli.parse(2, argv.data()).ok());
+  EXPECT_DOUBLE_EQ(*cli.get_double("ratio"), 0.75);
+}
+
+TEST(Cli, FlagPresence) {
+  CliParser cli = make_parser();
+  const std::array<const char*, 2> argv{"prog", "--verbose"};
+  ASSERT_TRUE(cli.parse(2, argv.data()).ok());
+  EXPECT_TRUE(cli.get_flag("verbose"));
+}
+
+TEST(Cli, FlagRejectsValue) {
+  CliParser cli = make_parser();
+  const std::array<const char*, 2> argv{"prog", "--verbose=yes"};
+  const Status status = cli.parse(2, argv.data());
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.error().code, ErrorCode::kInvalidArgument);
+}
+
+TEST(Cli, UnknownOptionFails) {
+  CliParser cli = make_parser();
+  const std::array<const char*, 2> argv{"prog", "--bogus"};
+  const Status status = cli.parse(2, argv.data());
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.error().message.find("bogus"), std::string::npos);
+}
+
+TEST(Cli, MissingValueFails) {
+  CliParser cli = make_parser();
+  const std::array<const char*, 2> argv{"prog", "--count"};
+  EXPECT_FALSE(cli.parse(2, argv.data()).ok());
+}
+
+TEST(Cli, PositionalArgumentsCollected) {
+  CliParser cli = make_parser();
+  const std::array<const char*, 4> argv{"prog", "file1", "--verbose", "file2"};
+  ASSERT_TRUE(cli.parse(4, argv.data()).ok());
+  ASSERT_EQ(cli.positional().size(), 2u);
+  EXPECT_EQ(cli.positional()[0], "file1");
+  EXPECT_EQ(cli.positional()[1], "file2");
+}
+
+TEST(Cli, BadIntegerReportsError) {
+  CliParser cli = make_parser();
+  const std::array<const char*, 2> argv{"prog", "--count=banana"};
+  ASSERT_TRUE(cli.parse(2, argv.data()).ok());
+  const auto value = cli.get_int("count");
+  ASSERT_FALSE(value.has_value());
+  EXPECT_EQ(value.error().code, ErrorCode::kInvalidArgument);
+}
+
+TEST(Cli, HelpReturnsNotFound) {
+  CliParser cli = make_parser();
+  const std::array<const char*, 2> argv{"prog", "--help"};
+  const Status status = cli.parse(2, argv.data());
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.error().code, ErrorCode::kNotFound);
+}
+
+TEST(Cli, UsageMentionsAllOptions) {
+  const CliParser cli = make_parser();
+  const std::string usage = cli.usage();
+  EXPECT_NE(usage.find("--count"), std::string::npos);
+  EXPECT_NE(usage.find("--verbose"), std::string::npos);
+  EXPECT_NE(usage.find("number of things"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mosaic::util

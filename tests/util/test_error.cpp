@@ -1,0 +1,63 @@
+#include "util/error.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mosaic::util {
+namespace {
+
+TEST(ErrorCodeName, CoversAllCodes) {
+  EXPECT_EQ(error_code_name(ErrorCode::kInvalidArgument), "invalid-argument");
+  EXPECT_EQ(error_code_name(ErrorCode::kParseError), "parse-error");
+  EXPECT_EQ(error_code_name(ErrorCode::kCorruptTrace), "corrupt-trace");
+  EXPECT_EQ(error_code_name(ErrorCode::kIoError), "io-error");
+  EXPECT_EQ(error_code_name(ErrorCode::kNotFound), "not-found");
+  EXPECT_EQ(error_code_name(ErrorCode::kOverflow), "overflow");
+  EXPECT_EQ(error_code_name(ErrorCode::kInternal), "internal");
+}
+
+TEST(Error, ToStringCombinesCodeAndMessage) {
+  const Error error{ErrorCode::kParseError, "line 3: bad token"};
+  EXPECT_EQ(error.to_string(), "parse-error: line 3: bad token");
+}
+
+TEST(Expected, HoldsValue) {
+  const Expected<int> value{42};
+  ASSERT_TRUE(value.has_value());
+  EXPECT_TRUE(static_cast<bool>(value));
+  EXPECT_EQ(*value, 42);
+  EXPECT_EQ(value.value_or(7), 42);
+}
+
+TEST(Expected, HoldsError) {
+  const Expected<int> error{Error{ErrorCode::kNotFound, "missing"}};
+  ASSERT_FALSE(error.has_value());
+  EXPECT_EQ(error.error().code, ErrorCode::kNotFound);
+  EXPECT_EQ(error.value_or(7), 7);
+}
+
+TEST(Expected, MoveOutValue) {
+  Expected<std::string> value{std::string(100, 'x')};
+  const std::string moved = std::move(value).value();
+  EXPECT_EQ(moved.size(), 100u);
+}
+
+TEST(Expected, ArrowOperatorReachesMembers) {
+  Expected<std::string> value{std::string("abc")};
+  EXPECT_EQ(value->size(), 3u);
+}
+
+TEST(Status, DefaultIsSuccess) {
+  const Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_TRUE(Status::success().ok());
+}
+
+TEST(Status, CarriesError) {
+  const Status status{Error{ErrorCode::kIoError, "disk on fire"}};
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.error().code, ErrorCode::kIoError);
+  EXPECT_EQ(status.error().message, "disk on fire");
+}
+
+}  // namespace
+}  // namespace mosaic::util

@@ -1,0 +1,33 @@
+#include "util/memory.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace mosaic::util {
+namespace {
+
+TEST(Memory, ReportsPlausibleValues) {
+  const std::uint64_t current = current_rss_bytes();
+  const std::uint64_t peak = peak_rss_bytes();
+  // On Linux both must be nonzero and ordered; elsewhere both are zero.
+  if (peak == 0) {
+    EXPECT_EQ(current, 0u);
+    return;
+  }
+  EXPECT_GT(current, 1u << 20);  // a gtest binary occupies > 1 MiB
+  EXPECT_GE(peak, current / 2);  // same order of magnitude
+}
+
+TEST(Memory, PeakGrowsWithAllocation) {
+  const std::uint64_t before = peak_rss_bytes();
+  if (before == 0) GTEST_SKIP() << "no /proc/self/status";
+  // Touch 64 MiB so it becomes resident.
+  std::vector<char> block(64u << 20);
+  for (std::size_t i = 0; i < block.size(); i += 4096) block[i] = 1;
+  const std::uint64_t after = peak_rss_bytes();
+  EXPECT_GE(after, before + (32u << 20));
+}
+
+}  // namespace
+}  // namespace mosaic::util

@@ -1,0 +1,415 @@
+// The `mosaic` command-line tool: one entry point for the whole system.
+//
+//   mosaic analyze <files|dirs...>    categorize traces one by one
+//   mosaic batch <dir>                full pipeline over a trace directory:
+//                                     validity funnel, per-app dedup,
+//                                     category tables, JSON summary
+//   mosaic generate <dir>             write a synthetic population to disk
+//   mosaic thresholds                 print (or write) the thresholds config
+//
+// Every subcommand accepts --thresholds <file> with a JSON config
+// (see `mosaic thresholds`), fulfilling the paper's requirement that the
+// categorization thresholds be modifiable (§III-A).
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/pipeline.hpp"
+#include "darshan/binary_format.hpp"
+#include "darshan/io.hpp"
+#include "darshan/text_format.hpp"
+#include "json/json.hpp"
+#include "parallel/thread_pool.hpp"
+#include "report/aggregate.hpp"
+#include "report/csv.hpp"
+#include "report/jaccard.hpp"
+#include "report/json_output.hpp"
+#include "report/tables.hpp"
+#include "sim/population.hpp"
+#include "util/cli.hpp"
+#include "util/stopwatch.hpp"
+#include "util/strings.hpp"
+
+namespace {
+
+using namespace mosaic;
+
+void print_usage() {
+  std::fputs(
+      "mosaic — detection and categorization of I/O patterns in HPC "
+      "applications\n\n"
+      "usage: mosaic <command> [options]\n\n"
+      "commands:\n"
+      "  analyze <files|dirs...>   categorize traces one by one\n"
+      "  batch <dir>               full pipeline over a trace directory\n"
+      "  report <dir>              write a markdown analysis report\n"
+      "  generate <dir>            write a synthetic trace population\n"
+      "  thresholds                print the thresholds config (JSON)\n\n"
+      "run `mosaic <command> --help` for per-command options.\n",
+      stdout);
+}
+
+/// Loads --thresholds if given; exits on error.
+core::Thresholds load_thresholds(const util::CliParser& cli) {
+  const auto path = cli.get("thresholds");
+  if (path.empty()) return {};
+  auto loaded = core::read_thresholds_file(std::string(path));
+  if (!loaded.has_value()) {
+    std::fprintf(stderr, "%s\n", loaded.error().to_string().c_str());
+    std::exit(2);
+  }
+  return *loaded;
+}
+
+/// Expands files/directories into a flat list of trace paths.
+std::vector<std::string> expand_paths(const std::vector<std::string>& args) {
+  std::vector<std::string> paths;
+  for (const std::string& arg : args) {
+    std::error_code ec;
+    if (std::filesystem::is_directory(arg, ec)) {
+      const auto scanned = darshan::scan_trace_dir(arg);
+      if (!scanned.has_value()) {
+        std::fprintf(stderr, "%s\n", scanned.error().to_string().c_str());
+        continue;
+      }
+      paths.insert(paths.end(), scanned->begin(), scanned->end());
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  return paths;
+}
+
+int cmd_analyze(int argc, char** argv) {
+  util::CliParser cli("mosaic analyze", "categorize traces one by one");
+  cli.add_option("thresholds", "JSON thresholds config", "");
+  cli.add_flag("json", "print the full JSON per trace");
+  if (const auto status = cli.parse(argc, argv); !status.ok()) {
+    return status.error().code == util::ErrorCode::kNotFound ? 0 : 2;
+  }
+  const auto paths = expand_paths(cli.positional());
+  if (paths.empty()) {
+    std::fprintf(stderr, "mosaic analyze: no input traces\n");
+    return 2;
+  }
+  const core::Analyzer analyzer(load_thresholds(cli));
+  int failures = 0;
+  for (const std::string& path : paths) {
+    auto parsed = darshan::read_trace_file(path);
+    if (!parsed.has_value()) {
+      std::printf("%-48s LOAD ERROR (%s)\n", path.c_str(),
+                  parsed.error().to_string().c_str());
+      ++failures;
+      continue;
+    }
+    if (const auto validity = trace::validate(*parsed); !validity.valid()) {
+      std::printf("%-48s CORRUPTED (%s)\n", path.c_str(),
+                  trace::corruption_kind_name(validity.kind));
+      ++failures;
+      continue;
+    }
+    const core::TraceResult result = analyzer.analyze(*parsed);
+    if (cli.get_flag("json")) {
+      std::printf("%s\n",
+                  json::serialize(report::trace_result_to_json(result)).c_str());
+    } else {
+      std::printf("%-48s %s\n", path.c_str(),
+                  util::join(result.categories.names(), ", ").c_str());
+    }
+  }
+  return failures == 0 ? 0 : 1;
+}
+
+int cmd_batch(int argc, char** argv) {
+  util::CliParser cli("mosaic batch",
+                      "full pipeline (funnel + dedup + tables) over a "
+                      "trace directory");
+  cli.add_option("thresholds", "JSON thresholds config", "");
+  cli.add_option("threads", "worker threads (0 = hardware)", "0");
+  cli.add_option("json", "write the JSON summary to this path", "");
+  cli.add_flag("heatmap", "render the Jaccard heatmap");
+  if (const auto status = cli.parse(argc, argv); !status.ok()) {
+    return status.error().code == util::ErrorCode::kNotFound ? 0 : 2;
+  }
+  const auto paths = expand_paths(cli.positional());
+  if (paths.empty()) {
+    std::fprintf(stderr, "mosaic batch: no input traces\n");
+    return 2;
+  }
+
+  // Load everything; unreadable files count as corrupted input (they would
+  // have been evicted by the validity stage anyway).
+  util::Stopwatch watch;
+  std::vector<trace::Trace> traces;
+  std::size_t unreadable = 0;
+  for (const std::string& path : paths) {
+    auto parsed = darshan::read_trace_file(path);
+    if (parsed.has_value()) {
+      traces.push_back(std::move(*parsed));
+    } else {
+      ++unreadable;
+    }
+  }
+  std::printf("loaded %zu traces (%zu unreadable) in %s\n", traces.size(),
+              unreadable, util::format_duration(watch.elapsed_seconds()).c_str());
+
+  parallel::ThreadPool pool(
+      static_cast<std::size_t>(cli.get_int("threads").value_or(0)));
+  watch.reset();
+  const core::BatchResult batch =
+      core::analyze_population(std::move(traces), load_thresholds(cli), &pool);
+  std::printf("analyzed in %s\n\n",
+              util::format_duration(watch.elapsed_seconds()).c_str());
+
+  const auto& stats = batch.preprocess;
+  std::printf("funnel: %zu input, %zu corrupted, %zu applications retained\n\n",
+              stats.input_traces, stats.corrupted, stats.retained);
+
+  const report::CategoryDistribution distribution =
+      report::aggregate_categories(batch);
+  report::TextTable table({"category", "applications", "executions"});
+  for (const core::Category category : core::all_categories()) {
+    if (distribution.single[static_cast<std::size_t>(category)] == 0) continue;
+    table.add_row(
+        {std::string(core::category_name(category)),
+         util::format_percent(distribution.single_fraction(category)),
+         util::format_percent(distribution.weighted_fraction(category))});
+  }
+  std::fputs(table.render().c_str(), stdout);
+
+  if (cli.get_flag("heatmap")) {
+    std::printf("\nJaccard heatmap (>= 1%%):\n");
+    std::fputs(
+        report::render_heatmap(report::jaccard_matrix(batch.results), 0.01)
+            .c_str(),
+        stdout);
+  }
+
+  if (const auto json_path = cli.get("json"); !json_path.empty()) {
+    if (const auto status =
+            report::write_batch_json(batch, std::string(json_path));
+        !status.ok()) {
+      std::fprintf(stderr, "%s\n", status.error().to_string().c_str());
+      return 1;
+    }
+    std::printf("\nJSON summary written to %s\n",
+                std::string(json_path).c_str());
+  }
+  return 0;
+}
+
+int cmd_report(int argc, char** argv) {
+  util::CliParser cli("mosaic report",
+                      "write a markdown analysis report for a trace "
+                      "directory");
+  cli.add_option("thresholds", "JSON thresholds config", "");
+  cli.add_option("out", "output markdown path", "mosaic_report.md");
+  cli.add_option("top-pairs", "Jaccard pairs to list", "10");
+  if (const auto status = cli.parse(argc, argv); !status.ok()) {
+    return status.error().code == util::ErrorCode::kNotFound ? 0 : 2;
+  }
+  const auto paths = expand_paths(cli.positional());
+  if (paths.empty()) {
+    std::fprintf(stderr, "mosaic report: no input traces\n");
+    return 2;
+  }
+
+  std::vector<trace::Trace> traces;
+  std::size_t unreadable = 0;
+  for (const std::string& path : paths) {
+    auto parsed = darshan::read_trace_file(path);
+    if (parsed.has_value()) {
+      traces.push_back(std::move(*parsed));
+    } else {
+      ++unreadable;
+    }
+  }
+  const std::size_t loaded = traces.size();
+  const core::BatchResult batch =
+      core::analyze_population(std::move(traces), load_thresholds(cli));
+  const report::CategoryDistribution distribution =
+      report::aggregate_categories(batch);
+
+  std::string md = "# MOSAIC analysis report\n\n";
+  md += "Input: " + std::to_string(loaded) + " traces (" +
+        std::to_string(unreadable) + " unreadable files skipped).\n\n";
+
+  const auto& stats = batch.preprocess;
+  md += "## Pre-processing funnel\n\n";
+  {
+    report::TextTable table({"stage", "count"});
+    table.add_row({"input traces", std::to_string(stats.input_traces)});
+    table.add_row({"corrupted (evicted)", std::to_string(stats.corrupted)});
+    table.add_row({"valid", std::to_string(stats.valid)});
+    table.add_row(
+        {"unique applications retained", std::to_string(stats.retained)});
+    md += table.render_markdown();
+  }
+  if (!stats.corruption_breakdown.empty()) {
+    md += "\nEviction reasons:\n\n";
+    for (const auto& [kind, count] : stats.corruption_breakdown) {
+      md += "- " + kind + ": " + std::to_string(count) + "\n";
+    }
+  }
+
+  md += "\n## Category distribution\n\n";
+  md += "\"applications\" is the deduplicated single-run view; "
+        "\"executions\" re-weights by valid runs per application.\n\n";
+  {
+    report::TextTable table({"category", "applications", "executions"});
+    for (const core::Category category : core::all_categories()) {
+      if (distribution.single[static_cast<std::size_t>(category)] == 0) {
+        continue;
+      }
+      table.add_row(
+          {std::string(core::category_name(category)),
+           util::format_percent(distribution.single_fraction(category)),
+           util::format_percent(distribution.weighted_fraction(category))});
+    }
+    md += table.render_markdown();
+  }
+
+  md += "\n## Strongest category correlations (Jaccard)\n\n```\n";
+  md += report::top_pairs(
+      report::jaccard_matrix(batch.results),
+      static_cast<std::size_t>(cli.get_int("top-pairs").value_or(10)));
+  md += "```\n";
+
+  md += "\n## Periodic applications\n\n";
+  {
+    report::TextTable table(
+        {"application", "kind", "period", "volume/occurrence", "busy"});
+    std::size_t listed = 0;
+    for (const core::TraceResult& result : batch.results) {
+      for (const auto& [kind, analysis] :
+           {std::pair<const char*, const core::KindAnalysis*>{
+                "read", &result.read},
+            {"write", &result.write}}) {
+        if (!analysis->periodicity.periodic ||
+            analysis->temporality.label == core::Temporality::kInsignificant) {
+          continue;
+        }
+        if (++listed > 40) break;
+        const core::PeriodicGroup& group = analysis->periodicity.dominant();
+        char busy[16];
+        std::snprintf(busy, sizeof busy, "%.1f%%", group.busy_ratio * 100.0);
+        table.add_row({result.app_key, kind,
+                       util::format_duration(group.period_seconds),
+                       util::format_bytes(group.mean_bytes), busy});
+      }
+    }
+    md += table.row_count() > 0 ? table.render_markdown()
+                                : std::string("none detected\n");
+  }
+
+  const std::string out_path{cli.get("out")};
+  if (const auto status = report::write_text_to_file(md, out_path);
+      !status.ok()) {
+    std::fprintf(stderr, "%s\n", status.error().to_string().c_str());
+    return 1;
+  }
+  std::printf("report written to %s (%zu applications)\n", out_path.c_str(),
+              batch.results.size());
+  return 0;
+}
+
+int cmd_generate(int argc, char** argv) {
+  util::CliParser cli("mosaic generate",
+                      "write a synthetic Blue Waters-like population");
+  cli.add_option("traces", "number of executions", "1000");
+  cli.add_option("seed", "master seed", "20190410");
+  cli.add_option("format", "text | mbt | mixed", "mbt");
+  cli.add_option("corruption", "corrupted fraction", "0.32");
+  if (const auto status = cli.parse(argc, argv); !status.ok()) {
+    return status.error().code == util::ErrorCode::kNotFound ? 0 : 2;
+  }
+  if (cli.positional().size() != 1) {
+    std::fprintf(stderr, "mosaic generate: exactly one output directory\n");
+    return 2;
+  }
+  const std::string directory = cli.positional().front();
+  std::error_code ec;
+  std::filesystem::create_directories(directory, ec);
+  if (ec) {
+    std::fprintf(stderr, "cannot create %s: %s\n", directory.c_str(),
+                 ec.message().c_str());
+    return 1;
+  }
+
+  sim::PopulationConfig config;
+  config.target_traces =
+      static_cast<std::size_t>(cli.get_int("traces").value_or(1000));
+  config.seed =
+      static_cast<std::uint64_t>(cli.get_int("seed").value_or(20190410));
+  config.corruption_fraction = cli.get_double("corruption").value_or(0.32);
+  const sim::Population population = sim::generate_population(config);
+
+  const std::string format{cli.get("format")};
+  std::size_t written = 0;
+  for (std::size_t i = 0; i < population.traces.size(); ++i) {
+    const trace::Trace& t = population.traces[i].trace;
+    const std::string stem =
+        directory + "/job_" + std::to_string(t.meta.job_id);
+    const bool as_text = format == "text" || (format == "mixed" && i % 2 == 0);
+    const util::Status status =
+        as_text ? darshan::write_text_file(t, stem + ".darshan.txt")
+                : darshan::write_mbt_file(t, stem + ".mbt");
+    if (!status.ok()) {
+      std::fprintf(stderr, "%s\n", status.error().to_string().c_str());
+      return 1;
+    }
+    ++written;
+  }
+  std::printf("wrote %zu traces (%zu applications) to %s\n", written,
+              population.app_count, directory.c_str());
+  return 0;
+}
+
+int cmd_thresholds(int argc, char** argv) {
+  util::CliParser cli("mosaic thresholds",
+                      "print or write the thresholds config");
+  cli.add_option("write", "write the config to this path instead", "");
+  cli.add_option("thresholds", "start from this config instead of defaults",
+                 "");
+  if (const auto status = cli.parse(argc, argv); !status.ok()) {
+    return status.error().code == util::ErrorCode::kNotFound ? 0 : 2;
+  }
+  const core::Thresholds thresholds = load_thresholds(cli);
+  if (const auto path = cli.get("write"); !path.empty()) {
+    if (const auto status =
+            core::write_thresholds_file(thresholds, std::string(path));
+        !status.ok()) {
+      std::fprintf(stderr, "%s\n", status.error().to_string().c_str());
+      return 1;
+    }
+    std::printf("thresholds written to %s\n", std::string(path).c_str());
+    return 0;
+  }
+  std::fputs(json::serialize(core::thresholds_to_json(thresholds)).c_str(),
+             stdout);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2 || std::strcmp(argv[1], "--help") == 0 ||
+      std::strcmp(argv[1], "-h") == 0) {
+    print_usage();
+    return argc < 2 ? 2 : 0;
+  }
+  const std::string command = argv[1];
+  // Shift argv so each subcommand parses its own options.
+  argv[1] = argv[0];
+  if (command == "analyze") return cmd_analyze(argc - 1, argv + 1);
+  if (command == "report") return cmd_report(argc - 1, argv + 1);
+  if (command == "batch") return cmd_batch(argc - 1, argv + 1);
+  if (command == "generate") return cmd_generate(argc - 1, argv + 1);
+  if (command == "thresholds") return cmd_thresholds(argc - 1, argv + 1);
+  std::fprintf(stderr, "mosaic: unknown command '%s'\n\n", command.c_str());
+  print_usage();
+  return 2;
+}
