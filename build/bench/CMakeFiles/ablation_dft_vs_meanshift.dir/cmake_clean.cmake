@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_dft_vs_meanshift.dir/ablation_dft_vs_meanshift.cpp.o"
+  "CMakeFiles/ablation_dft_vs_meanshift.dir/ablation_dft_vs_meanshift.cpp.o.d"
+  "ablation_dft_vs_meanshift"
+  "ablation_dft_vs_meanshift.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_dft_vs_meanshift.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ablation_dft_vs_meanshift.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/accuracy_sampling.dir/accuracy_sampling.cpp.o"
+  "CMakeFiles/accuracy_sampling.dir/accuracy_sampling.cpp.o.d"
+  "accuracy_sampling"
+  "accuracy_sampling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/accuracy_sampling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

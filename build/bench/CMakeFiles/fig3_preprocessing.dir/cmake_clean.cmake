@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_preprocessing.dir/fig3_preprocessing.cpp.o"
+  "CMakeFiles/fig3_preprocessing.dir/fig3_preprocessing.cpp.o.d"
+  "fig3_preprocessing"
+  "fig3_preprocessing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_preprocessing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

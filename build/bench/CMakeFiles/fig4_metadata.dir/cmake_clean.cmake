@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_metadata.dir/fig4_metadata.cpp.o"
+  "CMakeFiles/fig4_metadata.dir/fig4_metadata.cpp.o.d"
+  "fig4_metadata"
+  "fig4_metadata.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_metadata.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

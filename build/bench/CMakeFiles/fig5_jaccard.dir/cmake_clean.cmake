@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_jaccard.dir/fig5_jaccard.cpp.o"
+  "CMakeFiles/fig5_jaccard.dir/fig5_jaccard.cpp.o.d"
+  "fig5_jaccard"
+  "fig5_jaccard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_jaccard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

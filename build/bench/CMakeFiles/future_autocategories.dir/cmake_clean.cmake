@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/future_autocategories.dir/future_autocategories.cpp.o"
+  "CMakeFiles/future_autocategories.dir/future_autocategories.cpp.o.d"
+  "future_autocategories"
+  "future_autocategories.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/future_autocategories.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for future_autocategories.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/future_interference.dir/future_interference.cpp.o"
+  "CMakeFiles/future_interference.dir/future_interference.cpp.o.d"
+  "future_interference"
+  "future_interference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/future_interference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/future_scheduling.dir/future_scheduling.cpp.o"
+  "CMakeFiles/future_scheduling.dir/future_scheduling.cpp.o.d"
+  "future_scheduling"
+  "future_scheduling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/future_scheduling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

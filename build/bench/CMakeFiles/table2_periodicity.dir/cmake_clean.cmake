@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_periodicity.dir/table2_periodicity.cpp.o"
+  "CMakeFiles/table2_periodicity.dir/table2_periodicity.cpp.o.d"
+  "table2_periodicity"
+  "table2_periodicity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_periodicity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

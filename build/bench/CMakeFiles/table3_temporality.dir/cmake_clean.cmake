@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_temporality.dir/table3_temporality.cpp.o"
+  "CMakeFiles/table3_temporality.dir/table3_temporality.cpp.o.d"
+  "table3_temporality"
+  "table3_temporality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_temporality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/darshan_import.dir/darshan_import.cpp.o"
+  "CMakeFiles/darshan_import.dir/darshan_import.cpp.o.d"
+  "darshan_import"
+  "darshan_import.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/darshan_import.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mosaic_cluster.dir/fft.cpp.o"
+  "CMakeFiles/mosaic_cluster.dir/fft.cpp.o.d"
+  "CMakeFiles/mosaic_cluster.dir/kmeans.cpp.o"
+  "CMakeFiles/mosaic_cluster.dir/kmeans.cpp.o.d"
+  "CMakeFiles/mosaic_cluster.dir/meanshift.cpp.o"
+  "CMakeFiles/mosaic_cluster.dir/meanshift.cpp.o.d"
+  "libmosaic_cluster.a"
+  "libmosaic_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mosaic_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/categories.cpp" "src/core/CMakeFiles/mosaic_core.dir/categories.cpp.o" "gcc" "src/core/CMakeFiles/mosaic_core.dir/categories.cpp.o.d"
+  "/root/repo/src/core/config.cpp" "src/core/CMakeFiles/mosaic_core.dir/config.cpp.o" "gcc" "src/core/CMakeFiles/mosaic_core.dir/config.cpp.o.d"
+  "/root/repo/src/core/merge.cpp" "src/core/CMakeFiles/mosaic_core.dir/merge.cpp.o" "gcc" "src/core/CMakeFiles/mosaic_core.dir/merge.cpp.o.d"
+  "/root/repo/src/core/metadata.cpp" "src/core/CMakeFiles/mosaic_core.dir/metadata.cpp.o" "gcc" "src/core/CMakeFiles/mosaic_core.dir/metadata.cpp.o.d"
+  "/root/repo/src/core/periodicity.cpp" "src/core/CMakeFiles/mosaic_core.dir/periodicity.cpp.o" "gcc" "src/core/CMakeFiles/mosaic_core.dir/periodicity.cpp.o.d"
+  "/root/repo/src/core/pipeline.cpp" "src/core/CMakeFiles/mosaic_core.dir/pipeline.cpp.o" "gcc" "src/core/CMakeFiles/mosaic_core.dir/pipeline.cpp.o.d"
+  "/root/repo/src/core/preprocess.cpp" "src/core/CMakeFiles/mosaic_core.dir/preprocess.cpp.o" "gcc" "src/core/CMakeFiles/mosaic_core.dir/preprocess.cpp.o.d"
+  "/root/repo/src/core/segmentation.cpp" "src/core/CMakeFiles/mosaic_core.dir/segmentation.cpp.o" "gcc" "src/core/CMakeFiles/mosaic_core.dir/segmentation.cpp.o.d"
+  "/root/repo/src/core/temporality.cpp" "src/core/CMakeFiles/mosaic_core.dir/temporality.cpp.o" "gcc" "src/core/CMakeFiles/mosaic_core.dir/temporality.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trace/CMakeFiles/mosaic_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/mosaic_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/mosaic_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/json/CMakeFiles/mosaic_json.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mosaic_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mosaic_core.dir/categories.cpp.o"
+  "CMakeFiles/mosaic_core.dir/categories.cpp.o.d"
+  "CMakeFiles/mosaic_core.dir/config.cpp.o"
+  "CMakeFiles/mosaic_core.dir/config.cpp.o.d"
+  "CMakeFiles/mosaic_core.dir/merge.cpp.o"
+  "CMakeFiles/mosaic_core.dir/merge.cpp.o.d"
+  "CMakeFiles/mosaic_core.dir/metadata.cpp.o"
+  "CMakeFiles/mosaic_core.dir/metadata.cpp.o.d"
+  "CMakeFiles/mosaic_core.dir/periodicity.cpp.o"
+  "CMakeFiles/mosaic_core.dir/periodicity.cpp.o.d"
+  "CMakeFiles/mosaic_core.dir/pipeline.cpp.o"
+  "CMakeFiles/mosaic_core.dir/pipeline.cpp.o.d"
+  "CMakeFiles/mosaic_core.dir/preprocess.cpp.o"
+  "CMakeFiles/mosaic_core.dir/preprocess.cpp.o.d"
+  "CMakeFiles/mosaic_core.dir/segmentation.cpp.o"
+  "CMakeFiles/mosaic_core.dir/segmentation.cpp.o.d"
+  "CMakeFiles/mosaic_core.dir/temporality.cpp.o"
+  "CMakeFiles/mosaic_core.dir/temporality.cpp.o.d"
+  "libmosaic_core.a"
+  "libmosaic_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mosaic_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

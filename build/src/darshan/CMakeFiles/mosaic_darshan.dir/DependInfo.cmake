@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/darshan/binary_format.cpp" "src/darshan/CMakeFiles/mosaic_darshan.dir/binary_format.cpp.o" "gcc" "src/darshan/CMakeFiles/mosaic_darshan.dir/binary_format.cpp.o.d"
+  "/root/repo/src/darshan/io.cpp" "src/darshan/CMakeFiles/mosaic_darshan.dir/io.cpp.o" "gcc" "src/darshan/CMakeFiles/mosaic_darshan.dir/io.cpp.o.d"
+  "/root/repo/src/darshan/text_format.cpp" "src/darshan/CMakeFiles/mosaic_darshan.dir/text_format.cpp.o" "gcc" "src/darshan/CMakeFiles/mosaic_darshan.dir/text_format.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trace/CMakeFiles/mosaic_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mosaic_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

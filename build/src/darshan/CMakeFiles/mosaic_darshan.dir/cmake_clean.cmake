@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mosaic_darshan.dir/binary_format.cpp.o"
+  "CMakeFiles/mosaic_darshan.dir/binary_format.cpp.o.d"
+  "CMakeFiles/mosaic_darshan.dir/io.cpp.o"
+  "CMakeFiles/mosaic_darshan.dir/io.cpp.o.d"
+  "CMakeFiles/mosaic_darshan.dir/text_format.cpp.o"
+  "CMakeFiles/mosaic_darshan.dir/text_format.cpp.o.d"
+  "libmosaic_darshan.a"
+  "libmosaic_darshan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mosaic_darshan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmosaic_darshan.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mosaic_json.dir/json.cpp.o"
+  "CMakeFiles/mosaic_json.dir/json.cpp.o.d"
+  "libmosaic_json.a"
+  "libmosaic_json.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mosaic_json.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mosaic_parallel.dir/thread_pool.cpp.o"
+  "CMakeFiles/mosaic_parallel.dir/thread_pool.cpp.o.d"
+  "libmosaic_parallel.a"
+  "libmosaic_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mosaic_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

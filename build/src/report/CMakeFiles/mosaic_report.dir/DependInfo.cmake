@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/report/accuracy.cpp" "src/report/CMakeFiles/mosaic_report.dir/accuracy.cpp.o" "gcc" "src/report/CMakeFiles/mosaic_report.dir/accuracy.cpp.o.d"
+  "/root/repo/src/report/aggregate.cpp" "src/report/CMakeFiles/mosaic_report.dir/aggregate.cpp.o" "gcc" "src/report/CMakeFiles/mosaic_report.dir/aggregate.cpp.o.d"
+  "/root/repo/src/report/csv.cpp" "src/report/CMakeFiles/mosaic_report.dir/csv.cpp.o" "gcc" "src/report/CMakeFiles/mosaic_report.dir/csv.cpp.o.d"
+  "/root/repo/src/report/jaccard.cpp" "src/report/CMakeFiles/mosaic_report.dir/jaccard.cpp.o" "gcc" "src/report/CMakeFiles/mosaic_report.dir/jaccard.cpp.o.d"
+  "/root/repo/src/report/json_output.cpp" "src/report/CMakeFiles/mosaic_report.dir/json_output.cpp.o" "gcc" "src/report/CMakeFiles/mosaic_report.dir/json_output.cpp.o.d"
+  "/root/repo/src/report/tables.cpp" "src/report/CMakeFiles/mosaic_report.dir/tables.cpp.o" "gcc" "src/report/CMakeFiles/mosaic_report.dir/tables.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mosaic_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mosaic_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/json/CMakeFiles/mosaic_json.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mosaic_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/mosaic_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/mosaic_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/mosaic_parallel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mosaic_report.dir/accuracy.cpp.o"
+  "CMakeFiles/mosaic_report.dir/accuracy.cpp.o.d"
+  "CMakeFiles/mosaic_report.dir/aggregate.cpp.o"
+  "CMakeFiles/mosaic_report.dir/aggregate.cpp.o.d"
+  "CMakeFiles/mosaic_report.dir/csv.cpp.o"
+  "CMakeFiles/mosaic_report.dir/csv.cpp.o.d"
+  "CMakeFiles/mosaic_report.dir/jaccard.cpp.o"
+  "CMakeFiles/mosaic_report.dir/jaccard.cpp.o.d"
+  "CMakeFiles/mosaic_report.dir/json_output.cpp.o"
+  "CMakeFiles/mosaic_report.dir/json_output.cpp.o.d"
+  "CMakeFiles/mosaic_report.dir/tables.cpp.o"
+  "CMakeFiles/mosaic_report.dir/tables.cpp.o.d"
+  "libmosaic_report.a"
+  "libmosaic_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mosaic_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mosaic_sim.dir/corruption.cpp.o"
+  "CMakeFiles/mosaic_sim.dir/corruption.cpp.o.d"
+  "CMakeFiles/mosaic_sim.dir/generator.cpp.o"
+  "CMakeFiles/mosaic_sim.dir/generator.cpp.o.d"
+  "CMakeFiles/mosaic_sim.dir/interference.cpp.o"
+  "CMakeFiles/mosaic_sim.dir/interference.cpp.o.d"
+  "CMakeFiles/mosaic_sim.dir/pfs.cpp.o"
+  "CMakeFiles/mosaic_sim.dir/pfs.cpp.o.d"
+  "CMakeFiles/mosaic_sim.dir/population.cpp.o"
+  "CMakeFiles/mosaic_sim.dir/population.cpp.o.d"
+  "libmosaic_sim.a"
+  "libmosaic_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mosaic_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

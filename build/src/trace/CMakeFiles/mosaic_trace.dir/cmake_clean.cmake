@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mosaic_trace.dir/trace.cpp.o"
+  "CMakeFiles/mosaic_trace.dir/trace.cpp.o.d"
+  "libmosaic_trace.a"
+  "libmosaic_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mosaic_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

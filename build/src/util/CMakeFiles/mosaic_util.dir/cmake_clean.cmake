@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mosaic_util.dir/cli.cpp.o"
+  "CMakeFiles/mosaic_util.dir/cli.cpp.o.d"
+  "CMakeFiles/mosaic_util.dir/error.cpp.o"
+  "CMakeFiles/mosaic_util.dir/error.cpp.o.d"
+  "CMakeFiles/mosaic_util.dir/log.cpp.o"
+  "CMakeFiles/mosaic_util.dir/log.cpp.o.d"
+  "CMakeFiles/mosaic_util.dir/memory.cpp.o"
+  "CMakeFiles/mosaic_util.dir/memory.cpp.o.d"
+  "CMakeFiles/mosaic_util.dir/rng.cpp.o"
+  "CMakeFiles/mosaic_util.dir/rng.cpp.o.d"
+  "CMakeFiles/mosaic_util.dir/stats.cpp.o"
+  "CMakeFiles/mosaic_util.dir/stats.cpp.o.d"
+  "CMakeFiles/mosaic_util.dir/strings.cpp.o"
+  "CMakeFiles/mosaic_util.dir/strings.cpp.o.d"
+  "libmosaic_util.a"
+  "libmosaic_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mosaic_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

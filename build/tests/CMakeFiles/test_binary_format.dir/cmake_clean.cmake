@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_binary_format.dir/darshan/test_binary_format.cpp.o"
+  "CMakeFiles/test_binary_format.dir/darshan/test_binary_format.cpp.o.d"
+  "test_binary_format"
+  "test_binary_format.pdb"
+  "test_binary_format[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_binary_format.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_categories.dir/core/test_categories.cpp.o"
+  "CMakeFiles/test_categories.dir/core/test_categories.cpp.o.d"
+  "test_categories"
+  "test_categories.pdb"
+  "test_categories[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_categories.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dxt.dir/sim/test_dxt.cpp.o"
+  "CMakeFiles/test_dxt.dir/sim/test_dxt.cpp.o.d"
+  "test_dxt"
+  "test_dxt.pdb"
+  "test_dxt[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dxt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_frequency_backend.dir/core/test_frequency_backend.cpp.o"
+  "CMakeFiles/test_frequency_backend.dir/core/test_frequency_backend.cpp.o.d"
+  "test_frequency_backend"
+  "test_frequency_backend.pdb"
+  "test_frequency_backend[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_frequency_backend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/report/test_jaccard.cpp" "tests/CMakeFiles/test_jaccard.dir/report/test_jaccard.cpp.o" "gcc" "tests/CMakeFiles/test_jaccard.dir/report/test_jaccard.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/report/CMakeFiles/mosaic_report.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mosaic_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/mosaic_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/darshan/CMakeFiles/mosaic_darshan.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/mosaic_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/json/CMakeFiles/mosaic_json.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/mosaic_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/mosaic_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mosaic_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_json_output.dir/report/test_json_output.cpp.o"
+  "CMakeFiles/test_json_output.dir/report/test_json_output.cpp.o.d"
+  "test_json_output"
+  "test_json_output.pdb"
+  "test_json_output[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_json_output.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_meanshift.dir/cluster/test_meanshift.cpp.o"
+  "CMakeFiles/test_meanshift.dir/cluster/test_meanshift.cpp.o.d"
+  "test_meanshift"
+  "test_meanshift.pdb"
+  "test_meanshift[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_meanshift.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_segmentation.dir/core/test_segmentation.cpp.o"
+  "CMakeFiles/test_segmentation.dir/core/test_segmentation.cpp.o.d"
+  "test_segmentation"
+  "test_segmentation.pdb"
+  "test_segmentation[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_segmentation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_temporality.dir/core/test_temporality.cpp.o"
+  "CMakeFiles/test_temporality.dir/core/test_temporality.cpp.o.d"
+  "test_temporality"
+  "test_temporality.pdb"
+  "test_temporality[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_temporality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mosaic.dir/mosaic_main.cpp.o"
+  "CMakeFiles/mosaic.dir/mosaic_main.cpp.o.d"
+  "mosaic"
+  "mosaic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mosaic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
