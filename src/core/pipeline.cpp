@@ -133,8 +133,13 @@ TraceResult Analyzer::analyze(const trace::Trace& trace) const {
 BatchResult analyze_population(std::vector<trace::Trace> traces,
                                const Thresholds& thresholds,
                                parallel::ThreadPool* pool) {
+  return analyze_preprocessed(preprocess(std::move(traces)), thresholds, pool);
+}
+
+BatchResult analyze_preprocessed(PreprocessResult pre,
+                                 const Thresholds& thresholds,
+                                 parallel::ThreadPool* pool) {
   BatchResult batch;
-  PreprocessResult pre = preprocess(std::move(traces));
   batch.preprocess = pre.stats;
   batch.runs_per_app = std::move(pre.runs_per_app);
 

@@ -104,4 +104,11 @@ struct BatchResult {
     std::vector<trace::Trace> traces, const Thresholds& thresholds = {},
     parallel::ThreadPool* pool = nullptr);
 
+/// Categorizes an already pre-processed population — the entry point for the
+/// streaming ingest path, whose funnel (including load failures) is built
+/// incrementally while files are read. Consumes `pre`.
+[[nodiscard]] BatchResult analyze_preprocessed(
+    PreprocessResult pre, const Thresholds& thresholds = {},
+    parallel::ThreadPool* pool = nullptr);
+
 }  // namespace mosaic::core

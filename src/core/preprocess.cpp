@@ -2,7 +2,32 @@
 
 #include <algorithm>
 
+#include "util/log.hpp"
+
 namespace mosaic::core {
+
+namespace {
+
+/// Key under which validity evictions appear in the ErrorCode-keyed
+/// breakdown; semantic corruption is the same failure class as a bad
+/// checksum, so both land on kCorruptTrace.
+std::string corrupt_code_name() {
+  return std::string(util::error_code_name(util::ErrorCode::kCorruptTrace));
+}
+
+/// Un-counts a journal-replayed winner that could not be re-loaded: its run
+/// is no longer a valid execution. Other (non-winner) runs of the app keep
+/// their counts; aggregation only consults runs_per_app for retained apps,
+/// so a leftover key without a retained trace is inert.
+void demote_app(PreprocessResult& result, const std::string& key) {
+  if (result.stats.valid > 0) --result.stats.valid;
+  const auto it = result.runs_per_app.find(key);
+  if (it != result.runs_per_app.end() && --it->second == 0) {
+    result.runs_per_app.erase(it);
+  }
+}
+
+}  // namespace
 
 PreprocessResult preprocess(std::vector<trace::Trace> traces,
                             double validity_slack_seconds) {
@@ -20,6 +45,7 @@ PreprocessResult preprocess(std::vector<trace::Trace> traces,
       ++result.stats.corrupted;
       ++result.stats.corruption_breakdown[trace::corruption_kind_name(
           report.kind)];
+      ++result.stats.eviction_breakdown[corrupt_code_name()];
       continue;
     }
     ++result.stats.valid;
@@ -41,6 +67,116 @@ PreprocessResult preprocess(std::vector<trace::Trace> traces,
   }
 
   result.stats.unique_applications = heaviest.size();
+  result.stats.retained = result.retained.size();
+  return result;
+}
+
+bool StreamingPreprocessor::digest_wins(const ValidDigest& challenger,
+                                        const ValidDigest& incumbent) noexcept {
+  if (challenger.total_bytes != incumbent.total_bytes) {
+    return challenger.total_bytes > incumbent.total_bytes;
+  }
+  // Ties break on stable identity so the winner is independent of the order
+  // in which parallel workers deliver traces (and of journal replay).
+  if (challenger.job_id != incumbent.job_id) {
+    return challenger.job_id < incumbent.job_id;
+  }
+  return challenger.path < incumbent.path;
+}
+
+void StreamingPreprocessor::fold_valid(ValidDigest digest,
+                                       std::optional<trace::Trace> trace) {
+  ++stats_.valid;
+  ++runs_per_app_[digest.app_key];
+  const auto [slot, inserted] =
+      heaviest_.try_emplace(digest.app_key, Slot{digest, std::nullopt});
+  if (inserted || digest_wins(digest, slot->second.digest)) {
+    slot->second.digest = std::move(digest);
+    slot->second.trace = std::move(trace);
+  }
+}
+
+trace::ValidityReport StreamingPreprocessor::add_trace(
+    trace::Trace trace, std::string source_path) {
+  ++stats_.input_traces;
+  const trace::ValidityReport report = validate(trace, slack_);
+  if (!report.valid()) {
+    ++stats_.corrupted;
+    ++stats_.corruption_breakdown[trace::corruption_kind_name(report.kind)];
+    ++stats_.eviction_breakdown[corrupt_code_name()];
+    return report;
+  }
+  ValidDigest digest;
+  digest.path = std::move(source_path);
+  digest.app_key = trace.app_key();
+  digest.total_bytes = trace.total_bytes();
+  digest.job_id = trace.meta.job_id;
+  fold_valid(std::move(digest), std::move(trace));
+  return report;
+}
+
+void StreamingPreprocessor::add_load_failure(util::ErrorCode code) {
+  ++stats_.input_traces;
+  ++stats_.load_failed;
+  ++stats_.eviction_breakdown[std::string(util::error_code_name(code))];
+}
+
+void StreamingPreprocessor::add_valid_digest(ValidDigest digest) {
+  ++stats_.input_traces;
+  fold_valid(std::move(digest), std::nullopt);
+}
+
+void StreamingPreprocessor::add_journaled_eviction(
+    std::string_view code_name, std::string_view corruption_kind) {
+  ++stats_.input_traces;
+  ++stats_.eviction_breakdown[std::string(code_name)];
+  if (!corruption_kind.empty()) {
+    ++stats_.corrupted;
+    ++stats_.corruption_breakdown[std::string(corruption_kind)];
+  } else {
+    ++stats_.load_failed;
+  }
+}
+
+PreprocessResult StreamingPreprocessor::finish(
+    const std::function<util::Expected<trace::Trace>(const std::string&)>&
+        reload) {
+  PreprocessResult result;
+  result.stats = std::move(stats_);
+  result.runs_per_app = std::move(runs_per_app_);
+  result.retained.reserve(heaviest_.size());
+
+  // std::map iteration is already sorted by app key — the deterministic
+  // output order regardless of how workers raced during folding.
+  for (auto& [key, slot] : heaviest_) {
+    if (!slot.trace.has_value()) {
+      // Journal-replayed winner: the trace bytes were never loaded this run.
+      if (!reload) {
+        MOSAIC_LOG_WARN("preprocess: no reload hook for journaled winner %s; "
+                        "dropping application %s",
+                        slot.digest.path.c_str(), key.c_str());
+        demote_app(result, key);
+        continue;
+      }
+      auto loaded = reload(slot.digest.path);
+      if (!loaded.has_value()) {
+        MOSAIC_LOG_WARN("preprocess: journaled winner %s no longer loads "
+                        "(%s); dropping application %s",
+                        slot.digest.path.c_str(),
+                        loaded.error().to_string().c_str(), key.c_str());
+        ++result.stats.load_failed;
+        ++result.stats.eviction_breakdown[std::string(
+            util::error_code_name(loaded.error().code))];
+        demote_app(result, key);
+        continue;
+      }
+      slot.trace = std::move(*loaded);
+    }
+    result.retained.push_back(std::move(*slot.trace));
+  }
+  heaviest_.clear();
+
+  result.stats.unique_applications = result.retained.size();
   result.stats.retained = result.retained.size();
   return result;
 }

@@ -10,26 +10,42 @@
 //      8% of valid traces retained.
 // The runs-per-application map is kept so reports can re-weight single-run
 // results to the full execution set ("all runs" columns of Tables II/III).
+//
+// Two drivers exist:
+//   - preprocess(): one-shot over an in-memory vector (tests, library use);
+//   - StreamingPreprocessor: incremental folding for the fault-tolerant
+//     ingest path, which streams files through a bounded window and also
+//     counts loads that failed before validation (io-error, parse-error, …)
+//     so the funnel covers every file scanned, not just the parseable ones.
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
+#include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "trace/trace.hpp"
+#include "util/error.hpp"
 
 namespace mosaic::core {
 
-/// Funnel counters matching paper Fig. 3.
+/// Funnel counters matching paper Fig. 3, extended with pre-validity load
+/// failures so `input_traces` equals the number of files scanned.
 struct PreprocessStats {
   std::size_t input_traces = 0;
+  std::size_t load_failed = 0;      ///< evicted before validation (io/parse/…)
   std::size_t corrupted = 0;        ///< evicted by the validity check
-  std::size_t valid = 0;            ///< input - corrupted
+  std::size_t valid = 0;            ///< input - load_failed - corrupted
   std::size_t unique_applications = 0;
   std::size_t retained = 0;         ///< == unique_applications
-  /// Eviction reasons, keyed by CorruptionKind name.
+  /// Validity eviction reasons, keyed by CorruptionKind name.
   std::map<std::string, std::size_t> corruption_breakdown;
+  /// All evictions keyed by util::ErrorCode name ("io-error", "parse-error",
+  /// "corrupt-trace", "not-found", "timeout"). corrupted + load_failed in sum.
+  std::map<std::string, std::size_t> eviction_breakdown;
 };
 
 /// Pre-processing output: the retained traces plus bookkeeping.
@@ -44,5 +60,74 @@ struct PreprocessResult {
 /// Runs both reductions. Consumes the input vector (traces are moved out).
 [[nodiscard]] PreprocessResult preprocess(std::vector<trace::Trace> traces,
                                           double validity_slack_seconds = 1.0);
+
+/// Incremental validity + dedup folding with O(unique applications) state.
+///
+/// The ingest pipeline feeds traces (and failures) one at a time; only the
+/// current heaviest trace per application key is kept in memory. Journal
+/// replay can fold a file by digest alone — if the digest wins dedup, the
+/// file is re-read lazily in finish(). Retention is made deterministic
+/// regardless of arrival order: heavier total_bytes wins, ties break on
+/// smaller job id, then smaller source path; retained traces are emitted
+/// sorted by application key.
+class StreamingPreprocessor {
+ public:
+  /// Stand-in for a valid trace whose contents are not in memory: just
+  /// enough to run dedup without re-reading the file.
+  struct ValidDigest {
+    std::string path;
+    std::string app_key;
+    std::uint64_t total_bytes = 0;
+    std::uint64_t job_id = 0;
+  };
+
+  explicit StreamingPreprocessor(double validity_slack_seconds = 1.0)
+      : slack_(validity_slack_seconds) {}
+
+  /// Validates and folds one parsed trace; invalid traces are evicted and
+  /// counted. The returned report says why (kNone when kept for dedup).
+  trace::ValidityReport add_trace(trace::Trace trace, std::string source_path);
+
+  /// Folds a file that failed before validation (io/parse/not-found/timeout).
+  void add_load_failure(util::ErrorCode code);
+
+  /// Replays a journaled valid file without re-reading it.
+  void add_valid_digest(ValidDigest digest);
+
+  /// Replays a journaled eviction. `corruption_kind` is empty unless the
+  /// eviction came from the validity check.
+  void add_journaled_eviction(std::string_view code_name,
+                              std::string_view corruption_kind);
+
+  /// Inputs folded so far (traces, digests and failures).
+  [[nodiscard]] std::size_t input_count() const noexcept {
+    return stats_.input_traces;
+  }
+
+  /// Resolves digest-only dedup winners through `reload` (a failure there
+  /// demotes the file to an eviction) and returns the final funnel result
+  /// with retained traces sorted by application key. The preprocessor is
+  /// consumed.
+  [[nodiscard]] PreprocessResult finish(
+      const std::function<util::Expected<trace::Trace>(const std::string&)>&
+          reload = {});
+
+ private:
+  /// Dedup slot: the digest always describes the current winner; `trace` is
+  /// engaged unless the winner came from journal replay.
+  struct Slot {
+    ValidDigest digest;
+    std::optional<trace::Trace> trace;
+  };
+
+  [[nodiscard]] static bool digest_wins(const ValidDigest& challenger,
+                                        const ValidDigest& incumbent) noexcept;
+  void fold_valid(ValidDigest digest, std::optional<trace::Trace> trace);
+
+  double slack_;
+  std::map<std::string, Slot> heaviest_;  // app key -> current winner
+  std::map<std::string, std::size_t> runs_per_app_;
+  PreprocessStats stats_;
+};
 
 }  // namespace mosaic::core

@@ -4,6 +4,8 @@
 #include <cstring>
 #include <fstream>
 
+#include "util/fs.hpp"
+
 namespace mosaic::darshan {
 
 using trace::FileRecord;
@@ -204,13 +206,12 @@ Expected<Trace> parse_mbt(std::span<const std::byte> bytes) {
 }
 
 Status write_mbt_file(const Trace& trace, const std::string& path) {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) return Error{ErrorCode::kIoError, "cannot create " + path};
+  // Staged + renamed: a killed `mosaic generate` must not leave a torn MBT
+  // file whose truncated prefix would later be evicted as corrupt.
   const auto bytes = to_mbt(trace);
-  out.write(reinterpret_cast<const char*>(bytes.data()),
-            static_cast<std::streamsize>(bytes.size()));
-  if (!out) return Error{ErrorCode::kIoError, "write failure on " + path};
-  return Status::success();
+  return util::write_file_atomic(
+      path, std::string_view(reinterpret_cast<const char*>(bytes.data()),
+                             bytes.size()));
 }
 
 Expected<Trace> read_mbt_file(const std::string& path) {

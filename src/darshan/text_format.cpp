@@ -8,6 +8,7 @@
 #include <map>
 #include <sstream>
 
+#include "util/fs.hpp"
 #include "util/strings.hpp"
 
 namespace mosaic::darshan {
@@ -151,7 +152,12 @@ void apply_header(Trace& out, std::string_view key, std::string_view value) {
 
 }  // namespace
 
-Expected<Trace> parse_text(std::string_view text) {
+Expected<Trace> parse_text(std::string_view text,
+                           const util::Deadline& deadline) {
+  // Clock reads are syscall-cheap but not free; amortize over a batch of
+  // lines (a line is tens of bytes, so this bounds overrun to ~100KB of
+  // parsing past expiry).
+  constexpr std::size_t kDeadlineCheckInterval = 4096;
   Trace out;
   // Records keyed by (module, record id, rank): darshan emits one row per
   // counter, and the same file appears once per instrumented API layer.
@@ -169,6 +175,11 @@ Expected<Trace> parse_text(std::string_view text) {
                                                           : eol - cursor);
     cursor = eol == std::string_view::npos ? text.size() + 1 : eol + 1;
     ++line_number;
+    if (line_number % kDeadlineCheckInterval == 0 && deadline.expired()) {
+      return Error{ErrorCode::kTimeout,
+                   "parse deadline exceeded at line " +
+                       std::to_string(line_number)};
+    }
 
     const std::string_view trimmed = util::trim(line);
     if (trimmed.empty()) continue;
@@ -325,16 +336,9 @@ std::string to_text(const Trace& trace) {
 }
 
 Status write_text_file(const Trace& trace, const std::string& path) {
-  std::ofstream outfile(path, std::ios::binary | std::ios::trunc);
-  if (!outfile) {
-    return Error{ErrorCode::kIoError, "cannot create " + path};
-  }
-  const std::string text = to_text(trace);
-  outfile.write(text.data(), static_cast<std::streamsize>(text.size()));
-  if (!outfile) {
-    return Error{ErrorCode::kIoError, "write failure on " + path};
-  }
-  return Status::success();
+  // Staged + renamed so a killed writer never leaves a torn half-trace that
+  // a later ingest would count as one more corrupted input.
+  return util::write_file_atomic(path, to_text(trace));
 }
 
 }  // namespace mosaic::darshan

@@ -16,6 +16,7 @@
 #include <string_view>
 
 #include "trace/trace.hpp"
+#include "util/deadline.hpp"
 #include "util/error.hpp"
 
 namespace mosaic::darshan {
@@ -23,7 +24,11 @@ namespace mosaic::darshan {
 /// Parses a darshan-parser text document into a Trace.
 /// Unknown modules/counters are ignored; missing job header fields default
 /// (nprocs=1, run time required). Returns kParseError on malformed rows.
-[[nodiscard]] util::Expected<trace::Trace> parse_text(std::string_view text);
+/// A finite `deadline` is checked every few thousand lines so a pathological
+/// multi-gigabyte document cannot wedge an ingest worker; expiry returns
+/// kTimeout.
+[[nodiscard]] util::Expected<trace::Trace> parse_text(
+    std::string_view text, const util::Deadline& deadline = {});
 
 /// Reads and parses a text trace from `path`.
 [[nodiscard]] util::Expected<trace::Trace> read_text_file(

@@ -1,0 +1,252 @@
+#include "ingest/ingest.hpp"
+
+#include <algorithm>
+#include <optional>
+
+#include "ingest/journal.hpp"
+#include "util/backoff.hpp"
+#include "util/deadline.hpp"
+#include "util/fs.hpp"
+#include "util/log.hpp"
+
+namespace mosaic::ingest {
+
+using util::Error;
+using util::ErrorCode;
+using util::Expected;
+
+namespace {
+
+/// Worker-side result of loading one file; folded serially afterwards.
+struct LoadOutcome {
+  std::optional<trace::Trace> trace;
+  Error error;  ///< meaningful only when !trace
+  std::size_t retry_attempts = 0;
+};
+
+/// Reads and parses one file under the options' retry/deadline policy.
+LoadOutcome load_one(FileReader& reader, const std::string& path,
+                     const IngestOptions& options) {
+  LoadOutcome outcome;
+  const util::Deadline deadline =
+      options.file_deadline_seconds > 0.0
+          ? util::Deadline::after_seconds(options.file_deadline_seconds)
+          : util::Deadline{};
+  util::ExponentialBackoff backoff(options.backoff_initial_ms,
+                                   options.backoff_multiplier,
+                                   options.backoff_max_ms);
+  int attempt = 0;
+  for (;;) {
+    auto bytes = reader.read(path, attempt);
+    if (!bytes.has_value()) {
+      Error error = std::move(bytes).error();
+      // Only kIoError is worth retrying: content does not heal, and a
+      // missing file stays missing within one batch.
+      if (error.code != ErrorCode::kIoError ||
+          attempt >= options.max_retries) {
+        outcome.error = std::move(error);
+        return outcome;
+      }
+      if (deadline.expired()) {
+        outcome.error = Error{ErrorCode::kTimeout,
+                              "deadline exceeded after " +
+                                  std::to_string(attempt + 1) +
+                                  " attempt(s) on " + path + " (last: " +
+                                  error.message + ")"};
+        return outcome;
+      }
+      double delay_ms = backoff.next_delay_ms();
+      if (deadline.finite()) {
+        delay_ms = std::min(delay_ms, deadline.remaining_seconds() * 1000.0);
+      }
+      util::sleep_for_ms(delay_ms);
+      ++attempt;
+      ++outcome.retry_attempts;
+      continue;
+    }
+    auto parsed = parse_trace_bytes(path, *bytes, deadline);
+    if (!parsed.has_value()) {
+      outcome.error = std::move(parsed).error();
+      return outcome;
+    }
+    outcome.trace = std::move(*parsed);
+    return outcome;
+  }
+}
+
+/// Content-caused failures are worth moving aside: re-running the batch will
+/// hit them again, and operators triage them out-of-band. Environmental
+/// failures (io-error, not-found) are left in place.
+bool should_quarantine(ErrorCode code) noexcept {
+  return code == ErrorCode::kParseError || code == ErrorCode::kCorruptTrace ||
+         code == ErrorCode::kTimeout;
+}
+
+/// Serial fold-side state shared by the eviction paths.
+struct FoldContext {
+  core::StreamingPreprocessor* preprocessor;
+  IngestStats* stats;
+  JournalWriter* journal;
+  const IngestOptions* options;
+};
+
+void quarantine_file(FoldContext& ctx, const std::string& path) {
+  if (ctx.options->quarantine_dir.empty()) return;
+  auto moved = util::move_file_into_dir(path, ctx.options->quarantine_dir);
+  if (moved.has_value()) {
+    ++ctx.stats->quarantined;
+    MOSAIC_LOG_INFO("ingest: quarantined %s -> %s", path.c_str(),
+                    moved->c_str());
+  } else {
+    MOSAIC_LOG_WARN("ingest: could not quarantine %s: %s", path.c_str(),
+                    moved.error().to_string().c_str());
+  }
+}
+
+void journal_append(FoldContext& ctx, const JournalEntry& entry) {
+  if (const auto status = ctx.journal->append(entry); !status.ok()) {
+    // The journal protects against crashes; its own failure must not become
+    // one. The batch continues, the entry is simply redone on resume.
+    MOSAIC_LOG_WARN("ingest: %s", status.error().to_string().c_str());
+  }
+}
+
+/// Folds one worker outcome into the funnel, journal and quarantine.
+void fold_outcome(FoldContext& ctx, const std::string& path,
+                  LoadOutcome outcome) {
+  ctx.stats->retry_attempts += outcome.retry_attempts;
+  if (!outcome.trace.has_value()) {
+    ++ctx.stats->failed;
+    MOSAIC_LOG_DEBUG("ingest: evicting %s: %s", path.c_str(),
+                     outcome.error.to_string().c_str());
+    ctx.preprocessor->add_load_failure(outcome.error.code);
+    JournalEntry entry;
+    entry.path = path;
+    entry.code = std::string(util::error_code_name(outcome.error.code));
+    journal_append(ctx, entry);
+    if (should_quarantine(outcome.error.code)) quarantine_file(ctx, path);
+    return;
+  }
+
+  ++ctx.stats->loaded;
+  if (outcome.retry_attempts > 0) ++ctx.stats->recovered;
+
+  // Digest captured before the trace is consumed by the preprocessor.
+  JournalEntry entry;
+  entry.path = path;
+  entry.app_key = outcome.trace->app_key();
+  entry.total_bytes = outcome.trace->total_bytes();
+  entry.job_id = outcome.trace->meta.job_id;
+
+  const trace::ValidityReport report =
+      ctx.preprocessor->add_trace(std::move(*outcome.trace), path);
+  if (report.valid()) {
+    entry.valid = true;
+  } else {
+    entry.code =
+        std::string(util::error_code_name(ErrorCode::kCorruptTrace));
+    entry.corruption_kind = trace::corruption_kind_name(report.kind);
+  }
+  journal_append(ctx, entry);
+  if (!report.valid()) quarantine_file(ctx, path);
+}
+
+}  // namespace
+
+Expected<IngestResult> ingest_paths(const std::vector<std::string>& paths,
+                                    const IngestOptions& options,
+                                    parallel::ThreadPool& pool) {
+  IngestResult result;
+  result.stats.files_scanned = paths.size();
+
+  FileReader& reader =
+      options.reader != nullptr ? *options.reader : system_reader();
+
+  std::map<std::string, JournalEntry> replay;
+  if (options.resume && !options.journal_path.empty()) {
+    auto loaded = load_journal(options.journal_path,
+                               &result.stats.journal_dropped);
+    if (!loaded.has_value()) return std::move(loaded).error();
+    replay = std::move(*loaded);
+  }
+
+  JournalWriter journal;
+  if (!options.journal_path.empty()) {
+    if (const auto status = journal.open(options.journal_path); !status.ok()) {
+      return status.error();
+    }
+  }
+
+  core::StreamingPreprocessor preprocessor(options.validity_slack_seconds);
+  FoldContext ctx{&preprocessor, &result.stats, &journal, &options};
+
+  // Replayed outcomes fold first; their files are excluded from the windows.
+  std::vector<std::string> pending;
+  pending.reserve(paths.size());
+  for (const std::string& path : paths) {
+    const auto it = replay.find(path);
+    if (it == replay.end()) {
+      pending.push_back(path);
+      continue;
+    }
+    const JournalEntry& entry = it->second;
+    ++result.stats.journal_replayed;
+    if (entry.valid) {
+      preprocessor.add_valid_digest({entry.path, entry.app_key,
+                                     entry.total_bytes, entry.job_id});
+    } else {
+      preprocessor.add_journaled_eviction(entry.code, entry.corruption_kind);
+    }
+  }
+
+  const std::size_t window = options.max_in_flight != 0
+                                 ? options.max_in_flight
+                                 : pool.thread_count() * 4;
+  std::size_t processed = 0;
+  for (std::size_t begin = 0; begin < pending.size() && !result.stats.aborted;
+       begin += window) {
+    const std::size_t end = std::min(pending.size(), begin + window);
+    std::vector<LoadOutcome> outcomes(end - begin);
+    parallel::parallel_for(
+        pool, end - begin, [&](std::size_t lo, std::size_t hi) {
+          for (std::size_t i = lo; i < hi; ++i) {
+            outcomes[i] = load_one(reader, pending[begin + i], options);
+          }
+        });
+    // Serial fold in path order keeps the journal and funnel deterministic
+    // regardless of worker scheduling.
+    for (std::size_t i = 0; i < outcomes.size(); ++i) {
+      fold_outcome(ctx, pending[begin + i], std::move(outcomes[i]));
+      ++processed;
+      if (options.abort_after_files != 0 &&
+          processed >= options.abort_after_files) {
+        result.stats.aborted = true;
+        break;
+      }
+    }
+  }
+
+  // Journal-replayed dedup winners are re-read lazily — one file per
+  // application at most, with the same retry policy.
+  result.pre = preprocessor.finish([&](const std::string& path)
+                                       -> Expected<trace::Trace> {
+    LoadOutcome outcome = load_one(reader, path, options);
+    result.stats.retry_attempts += outcome.retry_attempts;
+    if (!outcome.trace.has_value()) return std::move(outcome.error);
+    return std::move(*outcome.trace);
+  });
+  return result;
+}
+
+Expected<trace::Trace> load_trace(const std::string& path,
+                                  const IngestOptions& options,
+                                  std::size_t* retry_attempts) {
+  FileReader& reader =
+      options.reader != nullptr ? *options.reader : system_reader();
+  LoadOutcome outcome = load_one(reader, path, options);
+  if (retry_attempts != nullptr) *retry_attempts = outcome.retry_attempts;
+  if (!outcome.trace.has_value()) return std::move(outcome.error);
+  return std::move(*outcome.trace);
+}
+
+}  // namespace mosaic::ingest

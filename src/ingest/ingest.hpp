@@ -1,0 +1,97 @@
+// Fault-tolerant streaming trace ingestion (the front end of `mosaic batch`).
+//
+// The paper's dataset is hostile by construction — 32% of the Blue Waters
+// 2019 traces are corrupted and must be evicted and counted, not crash the
+// run. This subsystem replaces the ad-hoc serial load loop with a pipeline
+// that:
+//   - streams files through the shared ThreadPool in bounded windows, so
+//     peak memory is O(window + unique applications) instead of O(corpus);
+//   - classifies every failure into the util::ErrorCode taxonomy and feeds
+//     it into the PreprocessStats funnel (parse-error vs corrupt-trace vs
+//     io-error vs not-found vs timeout);
+//   - retries transient kIoError reads with capped exponential backoff and
+//     bounds each file's total read+parse budget with a deadline;
+//   - optionally quarantines poison files (content-caused failures) into a
+//     side directory;
+//   - journals per-file outcomes so an interrupted batch resumes where it
+//     left off (see journal.hpp);
+//   - reads through the FileReader seam, so the fault-injection harness can
+//     exercise all of the above deterministically (see reader.hpp).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/preprocess.hpp"
+#include "ingest/reader.hpp"
+#include "parallel/thread_pool.hpp"
+#include "util/error.hpp"
+
+namespace mosaic::ingest {
+
+struct IngestOptions {
+  /// Byte source; null uses the real filesystem.
+  FileReader* reader = nullptr;
+  /// Files concurrently held in memory (raw bytes + parsed trace) while a
+  /// window is in flight. 0 derives 4x the pool's thread count.
+  std::size_t max_in_flight = 0;
+  /// Extra read attempts after the first for transient kIoError failures.
+  int max_retries = 3;
+  /// Backoff schedule between attempts (deterministic, no jitter).
+  double backoff_initial_ms = 10.0;
+  double backoff_multiplier = 2.0;
+  double backoff_max_ms = 2000.0;
+  /// Total read+retry+parse budget per file; 0 means unlimited. Expiry
+  /// classifies the file as kTimeout — one pathological file must not wedge
+  /// a worker for the rest of the batch.
+  double file_deadline_seconds = 30.0;
+  /// Validity-check slack forwarded to preprocessing.
+  double validity_slack_seconds = 1.0;
+  /// When set, files evicted for content reasons (parse-error,
+  /// corrupt-trace, timeout) are moved here.
+  std::string quarantine_dir;
+  /// When set, per-file outcomes are appended here.
+  std::string journal_path;
+  /// Replay journal entries instead of re-reading their files.
+  bool resume = false;
+  /// Test seam simulating a crash: stop (with stats.aborted set) once this
+  /// many files have been processed and journaled. 0 disables.
+  std::size_t abort_after_files = 0;
+};
+
+/// Ingest-level counters, complementing the PreprocessStats funnel.
+struct IngestStats {
+  std::size_t files_scanned = 0;     ///< paths handed to ingest
+  std::size_t loaded = 0;            ///< read + parsed successfully
+  std::size_t failed = 0;            ///< terminal load failures
+  std::size_t retry_attempts = 0;    ///< extra read attempts issued
+  std::size_t recovered = 0;         ///< files that loaded after >= 1 retry
+  std::size_t quarantined = 0;       ///< files moved to the quarantine dir
+  std::size_t journal_replayed = 0;  ///< outcomes taken from the journal
+  std::size_t journal_dropped = 0;   ///< malformed journal lines skipped
+  bool aborted = false;              ///< abort_after_files tripped
+};
+
+/// Streaming ingest output: the pre-processed funnel plus ingest counters.
+struct IngestResult {
+  core::PreprocessResult pre;
+  IngestStats stats;
+};
+
+/// Streams `paths` through the pool and folds every outcome into the
+/// pre-processing funnel. Only setup failures (unreadable journal,
+/// unusable quarantine directory) are reported as errors; per-file failures
+/// are data, not errors.
+[[nodiscard]] util::Expected<IngestResult> ingest_paths(
+    const std::vector<std::string>& paths, const IngestOptions& options,
+    parallel::ThreadPool& pool);
+
+/// Loads one trace with the same retry/backoff/deadline/classification
+/// behavior as the batch pipeline (used by `mosaic analyze`). The attempt
+/// count used is reported via `*retry_attempts` when provided.
+[[nodiscard]] util::Expected<trace::Trace> load_trace(
+    const std::string& path, const IngestOptions& options = {},
+    std::size_t* retry_attempts = nullptr);
+
+}  // namespace mosaic::ingest

@@ -2,7 +2,14 @@
 
 #include <algorithm>
 
+#include "util/log.hpp"
+
 namespace mosaic::parallel {
+
+std::size_t ThreadPool::suppressed_error_count() const noexcept {
+  const std::scoped_lock lock(mutex_);
+  return suppressed_errors_;
+}
 
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) {
@@ -57,9 +64,24 @@ void ThreadPool::worker_loop() {
     }
     try {
       task();
+    } catch (const std::exception& e) {
+      const std::scoped_lock lock(mutex_);
+      if (!first_error_) {
+        first_error_ = std::current_exception();
+      } else {
+        ++suppressed_errors_;
+        MOSAIC_LOG_WARN("thread pool: suppressing task error behind a "
+                        "pending one: %s", e.what());
+      }
     } catch (...) {
       const std::scoped_lock lock(mutex_);
-      if (!first_error_) first_error_ = std::current_exception();
+      if (!first_error_) {
+        first_error_ = std::current_exception();
+      } else {
+        ++suppressed_errors_;
+        MOSAIC_LOG_WARN("thread pool: suppressing non-std task error behind "
+                        "a pending one");
+      }
     }
     {
       const std::scoped_lock lock(mutex_);

@@ -39,23 +39,30 @@ class ThreadPool {
 
   /// Blocks until the queue is empty and all workers are idle. Rethrows the
   /// first exception captured from a task since the previous wait_idle().
+  /// Further exceptions captured in the same interval are counted (see
+  /// suppressed_error_count) and logged, never silently dropped.
   void wait_idle();
 
   [[nodiscard]] std::size_t thread_count() const noexcept {
     return workers_.size();
   }
 
+  /// Total exceptions swallowed because an earlier one was already pending
+  /// rethrow. Monotonic over the pool's lifetime.
+  [[nodiscard]] std::size_t suppressed_error_count() const noexcept;
+
  private:
   void worker_loop();
 
   std::vector<std::thread> workers_;
   std::deque<std::function<void()>> queue_;
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::condition_variable work_available_;
   std::condition_variable all_idle_;
   std::size_t active_ = 0;
   bool stopping_ = false;
   std::exception_ptr first_error_;
+  std::size_t suppressed_errors_ = 0;
 };
 
 /// Partitions [0, count) into contiguous chunks and runs `body(begin, end)`

@@ -1,7 +1,8 @@
 #include "report/csv.hpp"
 
 #include <cstdio>
-#include <fstream>
+
+#include "util/fs.hpp"
 
 namespace mosaic::report {
 
@@ -54,15 +55,7 @@ std::string matrix_to_csv(const CategoryMatrix& matrix) {
 
 util::Status write_text_to_file(const std::string& text,
                                 const std::string& path) {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) {
-    return util::Error{util::ErrorCode::kIoError, "cannot create " + path};
-  }
-  out.write(text.data(), static_cast<std::streamsize>(text.size()));
-  if (!out) {
-    return util::Error{util::ErrorCode::kIoError, "write failure on " + path};
-  }
-  return util::Status::success();
+  return util::write_file_atomic(path, text);
 }
 
 }  // namespace mosaic::report

@@ -1,6 +1,6 @@
 #include "report/json_output.hpp"
 
-#include <fstream>
+#include "util/fs.hpp"
 
 namespace mosaic::report {
 
@@ -80,6 +80,7 @@ Value batch_to_json(const core::BatchResult& batch, bool include_traces) {
 
   Object funnel;
   funnel.set("input_traces", batch.preprocess.input_traces);
+  funnel.set("load_failed", batch.preprocess.load_failed);
   funnel.set("corrupted", batch.preprocess.corrupted);
   funnel.set("valid", batch.preprocess.valid);
   funnel.set("unique_applications", batch.preprocess.unique_applications);
@@ -89,6 +90,11 @@ Value batch_to_json(const core::BatchResult& batch, bool include_traces) {
     breakdown.set(kind, count);
   }
   funnel.set("corruption_breakdown", std::move(breakdown));
+  Object evictions;
+  for (const auto& [code, count] : batch.preprocess.eviction_breakdown) {
+    evictions.set(code, count);
+  }
+  funnel.set("eviction_breakdown", std::move(evictions));
   out.set("preprocessing", std::move(funnel));
 
   const CategoryDistribution distribution = aggregate_categories(batch);
@@ -119,16 +125,10 @@ Value batch_to_json(const core::BatchResult& batch, bool include_traces) {
 
 util::Status write_batch_json(const core::BatchResult& batch,
                               const std::string& path, bool include_traces) {
-  std::ofstream file(path, std::ios::binary | std::ios::trunc);
-  if (!file) {
-    return util::Error{util::ErrorCode::kIoError, "cannot create " + path};
-  }
-  const std::string text = json::serialize(batch_to_json(batch, include_traces));
-  file.write(text.data(), static_cast<std::streamsize>(text.size()));
-  if (!file) {
-    return util::Error{util::ErrorCode::kIoError, "write failure on " + path};
-  }
-  return util::Status::success();
+  // Atomic so a batch killed mid-write leaves the previous summary intact
+  // rather than a torn JSON document.
+  return util::write_file_atomic(
+      path, json::serialize(batch_to_json(batch, include_traces)));
 }
 
 }  // namespace mosaic::report

@@ -1,0 +1,34 @@
+#include "util/backoff.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+namespace mosaic::util {
+
+ExponentialBackoff::ExponentialBackoff(double initial_delay_ms,
+                                       double multiplier,
+                                       double max_delay_ms) noexcept
+    : initial_ms_(std::max(0.0, initial_delay_ms)),
+      multiplier_(std::max(1.0, multiplier)),
+      max_ms_(std::max(initial_ms_, max_delay_ms)),
+      current_ms_(initial_ms_) {}
+
+double ExponentialBackoff::next_delay_ms() noexcept {
+  const double delay = current_ms_;
+  current_ms_ = std::min(max_ms_, current_ms_ * multiplier_);
+  ++attempts_;
+  return delay;
+}
+
+void ExponentialBackoff::reset() noexcept {
+  current_ms_ = initial_ms_;
+  attempts_ = 0;
+}
+
+void sleep_for_ms(double delay_ms) {
+  if (delay_ms <= 0.0) return;
+  std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(delay_ms));
+}
+
+}  // namespace mosaic::util

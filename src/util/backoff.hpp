@@ -1,0 +1,45 @@
+// Capped exponential backoff for retrying transient I/O failures.
+//
+// Year-scale ingest jobs hit NFS hiccups, overloaded metadata servers and
+// flaky spinning disks; retrying a kIoError a few times with growing pauses
+// recovers most of them. Delays are fully deterministic (no jitter) so
+// fault-injection tests can assert exact retry schedules; the caller decides
+// whether to actually sleep (workers do, unit tests usually don't).
+#pragma once
+
+#include <cstddef>
+
+namespace mosaic::util {
+
+/// Deterministic capped exponential backoff: initial, initial*mult, ...,
+/// clamped to `max_delay_ms`.
+class ExponentialBackoff {
+ public:
+  ExponentialBackoff(double initial_delay_ms, double multiplier,
+                     double max_delay_ms) noexcept;
+
+  /// Delay to wait before the next attempt, advancing the schedule.
+  [[nodiscard]] double next_delay_ms() noexcept;
+
+  /// Delay the next next_delay_ms() call would return, without advancing.
+  [[nodiscard]] double peek_delay_ms() const noexcept { return current_ms_; }
+
+  /// Attempts issued so far (number of next_delay_ms() calls).
+  [[nodiscard]] std::size_t attempts() const noexcept { return attempts_; }
+
+  /// Restores the initial delay.
+  void reset() noexcept;
+
+ private:
+  double initial_ms_;
+  double multiplier_;
+  double max_ms_;
+  double current_ms_;
+  std::size_t attempts_ = 0;
+};
+
+/// Blocks the calling thread for `delay_ms` milliseconds. Split out of the
+/// backoff class so schedule computation stays side-effect free.
+void sleep_for_ms(double delay_ms);
+
+}  // namespace mosaic::util

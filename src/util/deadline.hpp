@@ -1,0 +1,49 @@
+// Monotonic deadlines for bounding per-file ingest work.
+//
+// One pathological trace (a multi-gigabyte text file of almost-valid rows,
+// a reader stalling on a dying disk) must not wedge a worker thread for the
+// rest of a batch. A Deadline is captured when processing of a file starts
+// and checked cooperatively at cheap intervals by the reader and parsers.
+#pragma once
+
+#include <chrono>
+#include <limits>
+
+namespace mosaic::util {
+
+/// A point in monotonic time after which work on one unit should stop.
+/// Default-constructed deadlines are infinite (never expire).
+class Deadline {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// Infinite deadline: expired() is always false.
+  Deadline() = default;
+
+  /// Expires `seconds` from now. Non-positive budgets mean "already expired".
+  static Deadline after_seconds(double seconds) {
+    Deadline d;
+    d.finite_ = true;
+    d.expiry_ = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                   std::chrono::duration<double>(seconds));
+    return d;
+  }
+
+  [[nodiscard]] bool expired() const {
+    return finite_ && Clock::now() >= expiry_;
+  }
+
+  /// Seconds until expiry; negative once expired, +inf when infinite.
+  [[nodiscard]] double remaining_seconds() const {
+    if (!finite_) return std::numeric_limits<double>::infinity();
+    return std::chrono::duration<double>(expiry_ - Clock::now()).count();
+  }
+
+  [[nodiscard]] bool finite() const noexcept { return finite_; }
+
+ private:
+  bool finite_ = false;
+  Clock::time_point expiry_{};
+};
+
+}  // namespace mosaic::util

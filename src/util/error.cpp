@@ -10,6 +10,7 @@ std::string_view error_code_name(ErrorCode code) noexcept {
     case ErrorCode::kIoError: return "io-error";
     case ErrorCode::kNotFound: return "not-found";
     case ErrorCode::kOverflow: return "overflow";
+    case ErrorCode::kTimeout: return "timeout";
     case ErrorCode::kInternal: return "internal";
   }
   return "unknown";

@@ -28,8 +28,13 @@ enum class ErrorCode : std::uint8_t {
   kIoError,          ///< filesystem / OS level failure
   kNotFound,         ///< missing file, key or record
   kOverflow,         ///< numeric overflow while accumulating counters
+  kTimeout,          ///< per-file deadline exceeded (read + retries + parse)
   kInternal,         ///< unexpected internal condition
 };
+
+/// Number of ErrorCode values; sized for per-code counter arrays.
+inline constexpr std::size_t kErrorCodeCount =
+    static_cast<std::size_t>(ErrorCode::kInternal) + 1;
 
 /// Human-readable name of an ErrorCode, e.g. "corrupt-trace".
 [[nodiscard]] std::string_view error_code_name(ErrorCode code) noexcept;

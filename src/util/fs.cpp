@@ -1,0 +1,87 @@
+#include "util/fs.hpp"
+
+#include <cstdio>
+#include <filesystem>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
+namespace mosaic::util {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+/// Temp path next to `path`, unique per process so concurrent writers of
+/// different outputs never collide.
+std::string staging_path(const std::string& path) {
+  std::string tmp = path;
+  tmp += ".tmp.";
+#if defined(__unix__) || defined(__APPLE__)
+  tmp += std::to_string(static_cast<long>(::getpid()));
+#else
+  tmp += "stage";
+#endif
+  return tmp;
+}
+
+}  // namespace
+
+Status write_file_atomic(const std::string& path, std::string_view contents) {
+  const std::string tmp = staging_path(path);
+  std::FILE* file = std::fopen(tmp.c_str(), "wb");
+  if (file == nullptr) {
+    return Error{ErrorCode::kIoError, "cannot create " + tmp};
+  }
+  const bool written =
+      contents.empty() ||
+      std::fwrite(contents.data(), 1, contents.size(), file) == contents.size();
+  bool flushed = written && std::fflush(file) == 0;
+#if defined(__unix__) || defined(__APPLE__)
+  // Push the payload to stable storage before the rename publishes it;
+  // otherwise a power loss can still expose an empty renamed file.
+  flushed = flushed && ::fsync(::fileno(file)) == 0;
+#endif
+  const bool closed = std::fclose(file) == 0;
+  if (!written || !flushed || !closed) {
+    std::error_code ec;
+    fs::remove(tmp, ec);
+    return Error{ErrorCode::kIoError, "write failure on " + tmp};
+  }
+  std::error_code ec;
+  fs::rename(tmp, path, ec);
+  if (ec) {
+    std::error_code cleanup;
+    fs::remove(tmp, cleanup);
+    return Error{ErrorCode::kIoError,
+                 "cannot rename " + tmp + " to " + path + ": " + ec.message()};
+  }
+  return Status::success();
+}
+
+Expected<std::string> move_file_into_dir(const std::string& path,
+                                         const std::string& directory) {
+  std::error_code ec;
+  fs::create_directories(directory, ec);
+  if (ec) {
+    return Error{ErrorCode::kIoError,
+                 "cannot create " + directory + ": " + ec.message()};
+  }
+  const fs::path destination = fs::path(directory) / fs::path(path).filename();
+  fs::rename(path, destination, ec);
+  if (ec) {
+    // EXDEV and friends: stage a copy, then drop the original.
+    ec.clear();
+    fs::copy_file(path, destination, fs::copy_options::overwrite_existing, ec);
+    if (ec) {
+      return Error{ErrorCode::kIoError, "cannot move " + path + " to " +
+                                            destination.string() + ": " +
+                                            ec.message()};
+    }
+    fs::remove(path, ec);
+  }
+  return destination.string();
+}
+
+}  // namespace mosaic::util

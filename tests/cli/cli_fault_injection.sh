@@ -1,0 +1,64 @@
+#!/usr/bin/env bash
+# Exercises the fault-tolerant ingest CLI surface: --fault-inject retry
+# recovery, --quarantine, --journal + --abort-after + --resume (the resumed
+# run must produce a byte-identical JSON summary), and --threads validation.
+set -euo pipefail
+MOSAIC="$1"
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+
+"$MOSAIC" generate "$WORK/pop" --traces 40 --seed 11 --format mixed \
+    --corruption 0.25
+
+# Transient EIO on every file: with retries available everything recovers and
+# the funnel matches a fault-free run.
+"$MOSAIC" batch "$WORK/pop" --json "$WORK/clean.json" > "$WORK/clean.txt"
+"$MOSAIC" batch "$WORK/pop" --json "$WORK/faulty.json" \
+    --fault-inject 'seed=3,eio=1.0,eio_failures=1' --retries 3 \
+    > "$WORK/faulty.txt"
+diff "$WORK/clean.json" "$WORK/faulty.json"
+grep -q 'funnel:' "$WORK/faulty.txt"
+
+# Retries exhausted: everything is evicted as io-error and the eviction table
+# says so.
+"$MOSAIC" batch "$WORK/pop" \
+    --fault-inject 'seed=3,eio=1.0,eio_failures=99' --retries 1 \
+    > "$WORK/exhausted.txt" || true
+grep -q 'io-error' "$WORK/exhausted.txt"
+
+# Quarantine: corrupt traces are moved aside; a rerun over the directory sees
+# only healthy files.
+cp -r "$WORK/pop" "$WORK/pop_q"
+"$MOSAIC" batch "$WORK/pop_q" --quarantine "$WORK/bad" > "$WORK/quarantine.txt"
+grep -q 'corrupt-trace' "$WORK/quarantine.txt"
+[ "$(ls "$WORK/bad" | wc -l)" -gt 0 ]
+"$MOSAIC" batch "$WORK/pop_q" > "$WORK/requarantine.txt"
+if grep -q 'corrupt-trace' "$WORK/requarantine.txt"; then
+  echo "quarantined files should not be rescanned" >&2
+  exit 1
+fi
+
+# Crash-and-resume: abort after 10 files, resume from the journal, and demand
+# a byte-identical summary versus the uninterrupted run.
+"$MOSAIC" batch "$WORK/pop" --json "$WORK/reference.json" > /dev/null
+rc=0
+"$MOSAIC" batch "$WORK/pop" --json "$WORK/resumed.json" \
+    --journal "$WORK/journal.jsonl" --abort-after 10 > /dev/null || rc=$?
+[ "$rc" -eq 3 ]
+[ -s "$WORK/journal.jsonl" ]
+[ ! -e "$WORK/resumed.json" ]
+"$MOSAIC" batch "$WORK/pop" --json "$WORK/resumed.json" \
+    --journal "$WORK/journal.jsonl" --resume > "$WORK/resume.txt"
+diff "$WORK/reference.json" "$WORK/resumed.json"
+
+# --resume without --journal is a usage error, as is a negative --threads.
+if "$MOSAIC" batch "$WORK/pop" --resume > /dev/null 2>&1; then
+  echo "--resume without --journal should fail" >&2
+  exit 1
+fi
+if "$MOSAIC" batch "$WORK/pop" --threads -2 > /dev/null 2>&1; then
+  echo "negative --threads should fail" >&2
+  exit 1
+fi
+
+echo "cli fault injection ok"

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <utility>
+
 namespace mosaic::core {
 namespace {
 
@@ -128,6 +131,119 @@ TEST(Preprocess, ValiditySlackForwarded) {
   std::vector<trace::Trace> lax_input;
   lax_input.push_back(t);
   EXPECT_EQ(preprocess(std::move(lax_input), 10.0).stats.corrupted, 0u);
+}
+
+TEST(StreamingPreprocessor, MatchesOneShotPreprocess) {
+  std::vector<trace::Trace> traces;
+  traces.push_back(make_trace("u1", "a", 1, 100));
+  traces.push_back(make_trace("u1", "a", 2, 5000));
+  traces.push_back(make_trace("u2", "b", 3, 700));
+  trace::Trace corrupt = make_trace("u3", "c", 4, 100);
+  corrupt.meta.nprocs = 0;
+  traces.push_back(std::move(corrupt));
+
+  StreamingPreprocessor streaming;
+  for (std::size_t i = 0; i < traces.size(); ++i) {
+    (void)streaming.add_trace(traces[i], "/t/" + std::to_string(i));
+  }
+  const PreprocessResult incremental = streaming.finish();
+  const PreprocessResult oneshot = preprocess(std::move(traces));
+
+  EXPECT_EQ(incremental.stats.input_traces, oneshot.stats.input_traces);
+  EXPECT_EQ(incremental.stats.corrupted, oneshot.stats.corrupted);
+  EXPECT_EQ(incremental.stats.valid, oneshot.stats.valid);
+  EXPECT_EQ(incremental.stats.retained, oneshot.stats.retained);
+  EXPECT_EQ(incremental.runs_per_app, oneshot.runs_per_app);
+  ASSERT_EQ(incremental.retained.size(), oneshot.retained.size());
+  for (std::size_t i = 0; i < incremental.retained.size(); ++i) {
+    EXPECT_EQ(incremental.retained[i].meta.job_id,
+              oneshot.retained[i].meta.job_id);
+  }
+}
+
+TEST(StreamingPreprocessor, ArrivalOrderDoesNotChangeWinner) {
+  // Equal weight: job id breaks the tie, then path — never arrival order.
+  const auto run = [](bool reversed) {
+    StreamingPreprocessor pre;
+    std::vector<std::pair<std::uint64_t, std::string>> runs = {
+        {9, "/z.txt"}, {3, "/a.txt"}, {5, "/m.txt"}};
+    if (reversed) std::reverse(runs.begin(), runs.end());
+    for (const auto& [job, path] : runs) {
+      (void)pre.add_trace(make_trace("u", "app", job, 100), path);
+    }
+    return pre.finish();
+  };
+  const PreprocessResult forward = run(false);
+  const PreprocessResult backward = run(true);
+  ASSERT_EQ(forward.retained.size(), 1u);
+  ASSERT_EQ(backward.retained.size(), 1u);
+  EXPECT_EQ(forward.retained[0].meta.job_id, 3u);
+  EXPECT_EQ(backward.retained[0].meta.job_id, 3u);
+}
+
+TEST(StreamingPreprocessor, LoadFailuresFeedEvictionBreakdown) {
+  StreamingPreprocessor pre;
+  pre.add_load_failure(util::ErrorCode::kIoError);
+  pre.add_load_failure(util::ErrorCode::kIoError);
+  pre.add_load_failure(util::ErrorCode::kParseError);
+  pre.add_load_failure(util::ErrorCode::kNotFound);
+  pre.add_load_failure(util::ErrorCode::kTimeout);
+  (void)pre.add_trace(make_trace("u", "a", 1, 10), "/ok");
+  const PreprocessResult result = pre.finish();
+  EXPECT_EQ(result.stats.input_traces, 6u);
+  EXPECT_EQ(result.stats.load_failed, 5u);
+  EXPECT_EQ(result.stats.valid, 1u);
+  EXPECT_EQ(result.stats.eviction_breakdown.at("io-error"), 2u);
+  EXPECT_EQ(result.stats.eviction_breakdown.at("parse-error"), 1u);
+  EXPECT_EQ(result.stats.eviction_breakdown.at("not-found"), 1u);
+  EXPECT_EQ(result.stats.eviction_breakdown.at("timeout"), 1u);
+}
+
+TEST(StreamingPreprocessor, DigestWinnerReloadedLazily) {
+  StreamingPreprocessor pre;
+  // Journaled digest is heavier than the in-memory trace: it must win and
+  // be re-read through the reload hook; the loser must never be reloaded.
+  pre.add_valid_digest({"/journaled.txt", "u/app", 9999, 42});
+  (void)pre.add_trace(make_trace("u", "app", 1, 10), "/live.txt");
+  std::vector<std::string> reloaded;
+  const PreprocessResult result =
+      pre.finish([&](const std::string& path) -> util::Expected<trace::Trace> {
+        reloaded.push_back(path);
+        return make_trace("u", "app", 42, 9999);
+      });
+  ASSERT_EQ(reloaded.size(), 1u);
+  EXPECT_EQ(reloaded[0], "/journaled.txt");
+  ASSERT_EQ(result.retained.size(), 1u);
+  EXPECT_EQ(result.retained[0].meta.job_id, 42u);
+  EXPECT_EQ(result.runs_per_app.at("u/app"), 2u);
+}
+
+TEST(StreamingPreprocessor, FailedReloadDemotesApplication) {
+  StreamingPreprocessor pre;
+  pre.add_valid_digest({"/gone.txt", "u/app", 100, 1});
+  const PreprocessResult result =
+      pre.finish([](const std::string&) -> util::Expected<trace::Trace> {
+        return util::Error{util::ErrorCode::kIoError, "disk died"};
+      });
+  EXPECT_TRUE(result.retained.empty());
+  EXPECT_EQ(result.stats.retained, 0u);
+  EXPECT_EQ(result.stats.valid, 0u);  // demoted: no longer a valid run
+  EXPECT_EQ(result.stats.load_failed, 1u);
+  EXPECT_EQ(result.stats.eviction_breakdown.at("io-error"), 1u);
+  EXPECT_FALSE(result.runs_per_app.count("u/app"));
+}
+
+TEST(StreamingPreprocessor, JournaledEvictionsReplayIntoFunnel) {
+  StreamingPreprocessor pre;
+  pre.add_journaled_eviction("parse-error", "");
+  pre.add_journaled_eviction("corrupt-trace", "access-outside-job");
+  const PreprocessResult result = pre.finish();
+  EXPECT_EQ(result.stats.input_traces, 2u);
+  EXPECT_EQ(result.stats.load_failed, 1u);
+  EXPECT_EQ(result.stats.corrupted, 1u);
+  EXPECT_EQ(result.stats.eviction_breakdown.at("parse-error"), 1u);
+  EXPECT_EQ(result.stats.eviction_breakdown.at("corrupt-trace"), 1u);
+  EXPECT_EQ(result.stats.corruption_breakdown.at("access-outside-job"), 1u);
 }
 
 }  // namespace

@@ -6,6 +6,7 @@
 #include "darshan/binary_format.hpp"
 #include "darshan/text_format.hpp"
 #include "json/json.hpp"
+#include "util/error.hpp"
 #include "util/rng.hpp"
 
 namespace mosaic {
@@ -81,6 +82,73 @@ TEST(FuzzMbt, MutatedValidBufferNeverCrashes) {
     }
     // Must not crash; almost always detected via checksum.
     (void)darshan::parse_mbt(mutated);
+  }
+}
+
+// Builds a small but fully-populated trace so the encoded MBT buffer
+// exercises every field kind (ints, doubles, strings, file records).
+trace::Trace make_reference_trace() {
+  trace::Trace t;
+  t.meta.job_id = 77;
+  t.meta.app_name = "exhaustive";
+  t.meta.user = "fuzzer";
+  t.meta.nprocs = 16;
+  t.meta.start_time = 100.0;
+  t.meta.run_time = 250.0;
+  for (int i = 0; i < 3; ++i) {
+    trace::FileRecord file;
+    file.file_id = static_cast<std::uint64_t>(1000 + i);
+    file.file_name = "/scratch/out." + std::to_string(i);
+    file.rank = i;
+    file.bytes_read = 512u << i;
+    file.bytes_written = 4096u << i;
+    file.reads = 2;
+    file.writes = 8;
+    file.opens = 1;
+    file.closes = 1;
+    file.open_ts = 1.0 + i;
+    file.close_ts = 240.0;
+    file.first_write_ts = 2.0;
+    file.last_write_ts = 239.0;
+    t.files.push_back(file);
+  }
+  return t;
+}
+
+// Every possible truncation of a valid MBT buffer must be rejected as a
+// corrupt trace — never accepted, never misclassified, never a crash.
+TEST(FuzzMbtExhaustive, EveryTruncationIsCorruptTrace) {
+  const auto pristine = darshan::to_mbt(make_reference_trace());
+  ASSERT_TRUE(darshan::parse_mbt(pristine).has_value());
+  for (std::size_t len = 0; len < pristine.size(); ++len) {
+    std::vector<std::byte> cut(pristine.begin(),
+                               pristine.begin() + static_cast<long>(len));
+    const auto result = darshan::parse_mbt(cut);
+    ASSERT_FALSE(result.has_value()) << "accepted truncation to " << len;
+    EXPECT_EQ(result.error().code, util::ErrorCode::kCorruptTrace)
+        << "truncation to " << len << " bytes misclassified as "
+        << util::error_code_name(result.error().code);
+  }
+}
+
+// Every possible single-bit flip must be caught: the FNV-1a trailer covers
+// the entire body (magic and version included), and FNV-1a is injective
+// under a one-byte change with all other bytes fixed, so a payload flip
+// always changes the digest and a trailer flip always changes the
+// expectation. There is no unprotected byte.
+TEST(FuzzMbtExhaustive, EverySingleBitFlipIsCorruptTrace) {
+  const auto pristine = darshan::to_mbt(make_reference_trace());
+  for (std::size_t at = 0; at < pristine.size(); ++at) {
+    for (int bit = 0; bit < 8; ++bit) {
+      auto mutated = pristine;
+      mutated[at] ^= static_cast<std::byte>(1u << bit);
+      const auto result = darshan::parse_mbt(mutated);
+      ASSERT_FALSE(result.has_value())
+          << "accepted flip of bit " << bit << " at byte " << at;
+      EXPECT_EQ(result.error().code, util::ErrorCode::kCorruptTrace)
+          << "flip at byte " << at << " bit " << bit << " misclassified as "
+          << util::error_code_name(result.error().code);
+    }
   }
 }
 

@@ -1,0 +1,509 @@
+// Fault-tolerant ingestion: the acceptance tests for the streaming loader.
+//
+// A seeded corpus mixes valid traces (several runs per application), a
+// semantically corrupt trace, a truncated binary, unparseable garbage and a
+// missing path; the funnel must classify every one of them. On top of that,
+// the fault-injection harness proves transient I/O errors heal through the
+// retry loop, and the resume journal reproduces a byte-identical JSON
+// summary after a simulated mid-batch crash.
+#include "ingest/ingest.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/pipeline.hpp"
+#include "darshan/binary_format.hpp"
+#include "darshan/text_format.hpp"
+#include "ingest/journal.hpp"
+#include "ingest/reader.hpp"
+#include "report/json_output.hpp"
+
+namespace mosaic::ingest {
+namespace {
+
+namespace fs = std::filesystem;
+
+trace::Trace make_trace(const std::string& user, const std::string& app,
+                        std::uint64_t job_id, std::uint64_t bytes) {
+  trace::Trace t;
+  t.meta.job_id = job_id;
+  t.meta.app_name = app;
+  t.meta.user = user;
+  t.meta.nprocs = 8;
+  t.meta.run_time = 200.0;
+  trace::FileRecord file;
+  file.file_id = job_id;
+  file.file_name = "/data/out.dat";
+  file.bytes_written = bytes;
+  file.writes = 4;
+  file.opens = 1;
+  file.closes = 1;
+  file.open_ts = 1.0;
+  file.close_ts = 190.0;
+  file.first_write_ts = 2.0;
+  file.last_write_ts = 180.0;
+  t.files.push_back(file);
+  return t;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return {std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()};
+}
+
+class IngestTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           (std::string("mosaic_ingest_test_") +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  std::string path(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+
+  /// Writes the standard mixed corpus and returns its paths in scan order.
+  std::vector<std::string> seed_corpus() {
+    std::vector<std::string> paths;
+    // Two runs of u1/alpha: run 2 is heavier and must win dedup.
+    EXPECT_TRUE(darshan::write_text_file(make_trace("u1", "alpha", 1, 1 << 20),
+                                         path("alpha_run1.txt"))
+                    .ok());
+    EXPECT_TRUE(darshan::write_text_file(make_trace("u1", "alpha", 2, 4 << 20),
+                                         path("alpha_run2.txt"))
+                    .ok());
+    // One binary trace of u2/beta.
+    EXPECT_TRUE(darshan::write_mbt_file(make_trace("u2", "beta", 3, 2 << 20),
+                                        path("beta.mbt"))
+                    .ok());
+    // Parseable but semantically corrupt: file closed long after job end.
+    trace::Trace corrupt = make_trace("u3", "gamma", 4, 1 << 20);
+    corrupt.files[0].close_ts = corrupt.meta.run_time + 500.0;
+    EXPECT_TRUE(
+        darshan::write_text_file(corrupt, path("corrupt_validity.txt")).ok());
+    // Torn binary: a valid MBT cut mid-record (checksum cannot match).
+    const auto bytes = darshan::to_mbt(make_trace("u4", "delta", 5, 1 << 20));
+    {
+      std::ofstream torn(path("truncated.mbt"), std::ios::binary);
+      torn.write(reinterpret_cast<const char*>(bytes.data()),
+                 static_cast<std::streamsize>(bytes.size() / 2));
+    }
+    // Not a trace at all.
+    {
+      std::ofstream garbage(path("garbage.txt"));
+      garbage << "this is not a darshan trace\n";
+    }
+    paths.push_back(path("alpha_run1.txt"));
+    paths.push_back(path("alpha_run2.txt"));
+    paths.push_back(path("beta.mbt"));
+    paths.push_back(path("corrupt_validity.txt"));
+    paths.push_back(path("truncated.mbt"));
+    paths.push_back(path("garbage.txt"));
+    paths.push_back(path("missing.txt"));  // never created
+    return paths;
+  }
+
+  fs::path dir_;
+};
+
+TEST_F(IngestTest, MixedCorpusClassifiedByErrorCode) {
+  const auto paths = seed_corpus();
+  parallel::ThreadPool pool(4);
+  IngestOptions options;
+  options.backoff_initial_ms = 0.01;
+  auto result = ingest_paths(paths, options, pool);
+  ASSERT_TRUE(result.has_value());
+
+  const IngestStats& stats = result->stats;
+  EXPECT_EQ(stats.files_scanned, 7u);
+  EXPECT_EQ(stats.loaded, 4u);   // alpha x2, beta, corrupt (parses fine)
+  EXPECT_EQ(stats.failed, 3u);   // truncated, garbage, missing
+  EXPECT_FALSE(stats.aborted);
+
+  const core::PreprocessStats& funnel = result->pre.stats;
+  EXPECT_EQ(funnel.input_traces, 7u);
+  EXPECT_EQ(funnel.load_failed, 3u);
+  EXPECT_EQ(funnel.corrupted, 1u);
+  EXPECT_EQ(funnel.valid, 3u);
+  EXPECT_EQ(funnel.retained, 2u);  // u1/alpha + u2/beta
+  EXPECT_EQ(funnel.eviction_breakdown.at("parse-error"), 1u);
+  EXPECT_EQ(funnel.eviction_breakdown.at("not-found"), 1u);
+  // Truncated MBT (checksum) + semantic validity eviction both land here.
+  EXPECT_EQ(funnel.eviction_breakdown.at("corrupt-trace"), 2u);
+  EXPECT_EQ(funnel.corruption_breakdown.at("access-outside-job"), 1u);
+
+  // Dedup kept the heavier alpha run; retained sorted by app key.
+  ASSERT_EQ(result->pre.retained.size(), 2u);
+  EXPECT_EQ(result->pre.retained[0].meta.job_id, 2u);  // u1/alpha run 2
+  EXPECT_EQ(result->pre.retained[1].meta.job_id, 3u);  // u2/beta
+  EXPECT_EQ(result->pre.runs_per_app.at("u1/alpha"), 2u);
+}
+
+TEST_F(IngestTest, TransientFaultsRecoverThroughRetry) {
+  const auto paths = seed_corpus();
+  parallel::ThreadPool pool(4);
+
+  FaultSpec spec;
+  spec.seed = 7;
+  spec.transient_eio_probability = 1.0;  // every file fails its first reads
+  spec.transient_eio_failures = 2;
+  FaultyFileReader faulty(spec);
+
+  IngestOptions options;
+  options.reader = &faulty;
+  options.max_retries = 3;
+  options.backoff_initial_ms = 0.01;
+  auto result = ingest_paths(paths, options, pool);
+  ASSERT_TRUE(result.has_value());
+
+  // Identical funnel to the fault-free run: transient faults are invisible
+  // after retries. (missing.txt heals its injected EIOs too, then fails
+  // with kNotFound from the real filesystem — still not retried further.)
+  EXPECT_EQ(result->stats.loaded, 4u);
+  EXPECT_EQ(result->stats.recovered, 4u);
+  EXPECT_GE(result->stats.retry_attempts, 4u * 2u);
+  EXPECT_EQ(result->pre.stats.load_failed, 3u);
+  EXPECT_EQ(result->pre.stats.retained, 2u);
+}
+
+TEST_F(IngestTest, RetriesExhaustedClassifiedAsIoError) {
+  const auto paths = seed_corpus();
+  parallel::ThreadPool pool(2);
+
+  FaultSpec spec;
+  spec.transient_eio_probability = 1.0;
+  spec.transient_eio_failures = 100;  // never heals within the retry budget
+  FaultyFileReader faulty(spec);
+
+  IngestOptions options;
+  options.reader = &faulty;
+  options.max_retries = 2;
+  options.backoff_initial_ms = 0.01;
+  auto result = ingest_paths(paths, options, pool);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->stats.loaded, 0u);
+  // The injector sits in front of the filesystem, so even missing.txt is
+  // evicted as io-error — its retries never reach the real reader.
+  EXPECT_EQ(result->pre.stats.eviction_breakdown.at("io-error"), 7u);
+}
+
+TEST_F(IngestTest, DeadlineExpiryClassifiedAsTimeout) {
+  const auto paths = seed_corpus();
+  parallel::ThreadPool pool(2);
+
+  FaultSpec spec;
+  spec.transient_eio_probability = 1.0;
+  spec.transient_eio_failures = 100;
+  FaultyFileReader faulty(spec);
+
+  IngestOptions options;
+  options.reader = &faulty;
+  options.max_retries = 50;
+  options.backoff_initial_ms = 0.01;
+  options.file_deadline_seconds = 1e-6;  // expired before the first retry
+  auto result = ingest_paths(paths, options, pool);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->pre.stats.eviction_breakdown.at("timeout"), 7u);
+}
+
+TEST_F(IngestTest, QuarantineMovesContentFailuresOnly) {
+  const auto paths = seed_corpus();
+  parallel::ThreadPool pool(2);
+  IngestOptions options;
+  options.quarantine_dir = path("quarantine");
+  auto result = ingest_paths(paths, options, pool);
+  ASSERT_TRUE(result.has_value());
+
+  // Content failures: corrupt_validity, truncated.mbt, garbage. Environmental
+  // failures (missing.txt) stay put; healthy files are untouched.
+  EXPECT_EQ(result->stats.quarantined, 3u);
+  EXPECT_TRUE(fs::exists(path("quarantine/corrupt_validity.txt")));
+  EXPECT_TRUE(fs::exists(path("quarantine/truncated.mbt")));
+  EXPECT_TRUE(fs::exists(path("quarantine/garbage.txt")));
+  EXPECT_FALSE(fs::exists(path("corrupt_validity.txt")));
+  EXPECT_TRUE(fs::exists(path("alpha_run1.txt")));
+}
+
+TEST_F(IngestTest, JournalWrittenForEveryFile) {
+  const auto paths = seed_corpus();
+  parallel::ThreadPool pool(2);
+  IngestOptions options;
+  options.journal_path = path("journal.jsonl");
+  auto result = ingest_paths(paths, options, pool);
+  ASSERT_TRUE(result.has_value());
+
+  const auto journal = load_journal(options.journal_path);
+  ASSERT_TRUE(journal.has_value());
+  EXPECT_EQ(journal->size(), 7u);
+  EXPECT_TRUE(journal->at(path("alpha_run2.txt")).valid);
+  EXPECT_EQ(journal->at(path("alpha_run2.txt")).app_key, "u1/alpha");
+  EXPECT_EQ(journal->at(path("garbage.txt")).code, "parse-error");
+  EXPECT_EQ(journal->at(path("missing.txt")).code, "not-found");
+  EXPECT_EQ(journal->at(path("corrupt_validity.txt")).code, "corrupt-trace");
+  EXPECT_EQ(journal->at(path("corrupt_validity.txt")).corruption_kind,
+            "access-outside-job");
+}
+
+TEST_F(IngestTest, AbortedRunResumesToByteIdenticalSummary) {
+  const auto paths = seed_corpus();
+  parallel::ThreadPool pool(2);
+  const core::Thresholds thresholds;
+
+  // Reference: one uninterrupted run.
+  IngestOptions uninterrupted;
+  uninterrupted.journal_path = path("journal_a.jsonl");
+  auto full = ingest_paths(paths, uninterrupted, pool);
+  ASSERT_TRUE(full.has_value());
+  ASSERT_FALSE(full->stats.aborted);
+  const core::BatchResult batch_full = core::analyze_preprocessed(
+      std::move(full->pre), thresholds, &pool);
+  ASSERT_TRUE(report::write_batch_json(batch_full, path("full.json"),
+                                       /*include_traces=*/true)
+                  .ok());
+
+  // Crash after three files, then resume from the journal.
+  IngestOptions crashing;
+  crashing.journal_path = path("journal_b.jsonl");
+  crashing.abort_after_files = 3;
+  crashing.max_in_flight = 2;  // several windows, crash lands mid-stream
+  auto aborted = ingest_paths(paths, crashing, pool);
+  ASSERT_TRUE(aborted.has_value());
+  EXPECT_TRUE(aborted->stats.aborted);
+
+  IngestOptions resuming;
+  resuming.journal_path = path("journal_b.jsonl");
+  resuming.resume = true;
+  auto resumed = ingest_paths(paths, resuming, pool);
+  ASSERT_TRUE(resumed.has_value());
+  EXPECT_FALSE(resumed->stats.aborted);
+  EXPECT_EQ(resumed->stats.journal_replayed, 3u);
+  const core::BatchResult batch_resumed = core::analyze_preprocessed(
+      std::move(resumed->pre), thresholds, &pool);
+  ASSERT_TRUE(report::write_batch_json(batch_resumed, path("resumed.json"),
+                                       /*include_traces=*/true)
+                  .ok());
+
+  const std::string full_json = slurp(path("full.json"));
+  ASSERT_FALSE(full_json.empty());
+  EXPECT_EQ(full_json, slurp(path("resumed.json")));
+}
+
+TEST_F(IngestTest, ResumeWithFaultInjectionStaysByteIdentical) {
+  const auto paths = seed_corpus();
+  parallel::ThreadPool pool(2);
+  const core::Thresholds thresholds;
+
+  FaultSpec spec;
+  spec.seed = 99;
+  spec.transient_eio_probability = 1.0;
+  spec.transient_eio_failures = 1;
+  FaultyFileReader faulty(spec);
+
+  IngestOptions base;
+  base.reader = &faulty;
+  base.backoff_initial_ms = 0.01;
+
+  IngestOptions uninterrupted = base;
+  uninterrupted.journal_path = path("journal_a.jsonl");
+  auto full = ingest_paths(paths, uninterrupted, pool);
+  ASSERT_TRUE(full.has_value());
+  const core::BatchResult batch_full = core::analyze_preprocessed(
+      std::move(full->pre), thresholds, &pool);
+  ASSERT_TRUE(report::write_batch_json(batch_full, path("full.json"), true)
+                  .ok());
+
+  IngestOptions crashing = base;
+  crashing.journal_path = path("journal_b.jsonl");
+  crashing.abort_after_files = 4;
+  auto aborted = ingest_paths(paths, crashing, pool);
+  ASSERT_TRUE(aborted.has_value());
+  EXPECT_TRUE(aborted->stats.aborted);
+
+  IngestOptions resuming = base;
+  resuming.journal_path = path("journal_b.jsonl");
+  resuming.resume = true;
+  auto resumed = ingest_paths(paths, resuming, pool);
+  ASSERT_TRUE(resumed.has_value());
+  EXPECT_EQ(resumed->stats.journal_replayed, 4u);
+  const core::BatchResult batch_resumed = core::analyze_preprocessed(
+      std::move(resumed->pre), thresholds, &pool);
+  ASSERT_TRUE(
+      report::write_batch_json(batch_resumed, path("resumed.json"), true)
+          .ok());
+
+  EXPECT_EQ(slurp(path("full.json")), slurp(path("resumed.json")));
+}
+
+TEST_F(IngestTest, LoadTraceSharesRetryPolicy) {
+  const auto unused = seed_corpus();
+  (void)unused;
+  FaultSpec spec;
+  spec.transient_eio_probability = 1.0;
+  spec.transient_eio_failures = 2;
+  FaultyFileReader faulty(spec);
+  IngestOptions options;
+  options.reader = &faulty;
+  options.backoff_initial_ms = 0.01;
+
+  std::size_t retries = 0;
+  const auto trace = load_trace(path("beta.mbt"), options, &retries);
+  ASSERT_TRUE(trace.has_value());
+  EXPECT_EQ(trace->meta.app_name, "beta");
+  EXPECT_EQ(retries, 2u);
+
+  const auto missing = load_trace(path("missing.txt"), options);
+  ASSERT_FALSE(missing.has_value());
+  EXPECT_EQ(missing.error().code, util::ErrorCode::kNotFound);
+}
+
+TEST(FaultSpecParse, FullSpecRoundTrips) {
+  const auto spec = FaultSpec::parse(
+      "seed=7,eio=0.3,eio_failures=2,eio_permanent=0.05,short=0.1,"
+      "flip=0.15,delay=0.2,delay_ms=5");
+  ASSERT_TRUE(spec.has_value());
+  EXPECT_EQ(spec->seed, 7u);
+  EXPECT_DOUBLE_EQ(spec->transient_eio_probability, 0.3);
+  EXPECT_EQ(spec->transient_eio_failures, 2);
+  EXPECT_DOUBLE_EQ(spec->permanent_eio_probability, 0.05);
+  EXPECT_DOUBLE_EQ(spec->short_read_probability, 0.1);
+  EXPECT_DOUBLE_EQ(spec->bitflip_probability, 0.15);
+  EXPECT_DOUBLE_EQ(spec->delay_probability, 0.2);
+  EXPECT_DOUBLE_EQ(spec->delay_ms, 5.0);
+}
+
+TEST(FaultSpecParse, RejectsUnknownKeysAndNonNumbers) {
+  EXPECT_FALSE(FaultSpec::parse("bogus=1").has_value());
+  EXPECT_FALSE(FaultSpec::parse("eio=lots").has_value());
+  EXPECT_FALSE(FaultSpec::parse("justakey").has_value());
+  const auto empty = FaultSpec::parse("");
+  ASSERT_TRUE(empty.has_value());
+  EXPECT_DOUBLE_EQ(empty->transient_eio_probability, 0.0);
+}
+
+TEST(FaultyReader, DeterministicAcrossInstancesAndAttempts) {
+  const fs::path dir =
+      fs::temp_directory_path() / "mosaic_faulty_reader_test";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  const std::string file = (dir / "t.txt").string();
+  ASSERT_TRUE(
+      darshan::write_text_file(make_trace("u", "a", 1, 1024), file).ok());
+
+  FaultSpec spec;
+  spec.seed = 1234;
+  spec.short_read_probability = 0.5;
+  spec.bitflip_probability = 0.5;
+
+  FaultyFileReader first(spec);
+  FaultyFileReader second(spec);
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    const auto a = first.read(file, attempt);
+    const auto b = second.read(file, attempt);
+    ASSERT_EQ(a.has_value(), b.has_value());
+    if (a.has_value()) {
+      EXPECT_EQ(*a, *b) << "fault injection diverged on attempt " << attempt;
+    }
+  }
+  fs::remove_all(dir);
+}
+
+TEST(FaultyReader, TransientEioHealsAtConfiguredAttempt) {
+  const fs::path dir = fs::temp_directory_path() / "mosaic_faulty_heal_test";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  const std::string file = (dir / "t.txt").string();
+  ASSERT_TRUE(
+      darshan::write_text_file(make_trace("u", "a", 1, 1024), file).ok());
+
+  FaultSpec spec;
+  spec.transient_eio_probability = 1.0;
+  spec.transient_eio_failures = 3;
+  FaultyFileReader reader(spec);
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    const auto result = reader.read(file, attempt);
+    ASSERT_FALSE(result.has_value()) << "attempt " << attempt;
+    EXPECT_EQ(result.error().code, util::ErrorCode::kIoError);
+  }
+  EXPECT_TRUE(reader.read(file, 3).has_value());
+  fs::remove_all(dir);
+}
+
+TEST(Journal, TornTailAndGarbageLinesAreDropped) {
+  const fs::path dir = fs::temp_directory_path() / "mosaic_journal_test";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  const std::string journal_path = (dir / "journal.jsonl").string();
+
+  {
+    JournalWriter writer;
+    ASSERT_TRUE(writer.open(journal_path).ok());
+    JournalEntry valid;
+    valid.path = "/a.txt";
+    valid.valid = true;
+    valid.app_key = "u/a";
+    valid.total_bytes = 18446744073709551615ull;  // exercises u64 round-trip
+    valid.job_id = 9007199254740995ull;           // not double-representable
+    ASSERT_TRUE(writer.append(valid).ok());
+    JournalEntry evicted;
+    evicted.path = "/b.txt";
+    evicted.code = "corrupt-trace";
+    evicted.corruption_kind = "inverted-window";
+    ASSERT_TRUE(writer.append(evicted).ok());
+  }
+  {
+    std::ofstream tail(journal_path, std::ios::app);
+    tail << "not json at all\n";
+    tail << R"({"path":"/c.txt","valid":tr)";  // torn mid-append, no newline
+  }
+
+  std::size_t dropped = 0;
+  const auto loaded = load_journal(journal_path, &dropped);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->size(), 2u);
+  EXPECT_EQ(dropped, 2u);
+  EXPECT_EQ(loaded->at("/a.txt").total_bytes, 18446744073709551615ull);
+  EXPECT_EQ(loaded->at("/a.txt").job_id, 9007199254740995ull);
+  EXPECT_EQ(loaded->at("/b.txt").corruption_kind, "inverted-window");
+  fs::remove_all(dir);
+}
+
+TEST(Journal, MissingFileIsEmptyMapAndLaterEntriesWin) {
+  const fs::path dir = fs::temp_directory_path() / "mosaic_journal_rewrite";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  const std::string journal_path = (dir / "journal.jsonl").string();
+
+  const auto missing = load_journal((dir / "nope.jsonl").string());
+  ASSERT_TRUE(missing.has_value());
+  EXPECT_TRUE(missing->empty());
+
+  {
+    JournalWriter writer;
+    ASSERT_TRUE(writer.open(journal_path).ok());
+    JournalEntry first;
+    first.path = "/a.txt";
+    first.code = "io-error";
+    ASSERT_TRUE(writer.append(first).ok());
+    JournalEntry second;  // same file journaled again by a resumed run
+    second.path = "/a.txt";
+    second.valid = true;
+    second.app_key = "u/a";
+    ASSERT_TRUE(writer.append(second).ok());
+  }
+  const auto loaded = load_journal(journal_path);
+  ASSERT_TRUE(loaded.has_value());
+  ASSERT_EQ(loaded->size(), 1u);
+  EXPECT_TRUE(loaded->at("/a.txt").valid);
+  fs::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace mosaic::ingest

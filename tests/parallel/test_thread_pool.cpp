@@ -63,6 +63,57 @@ TEST(ThreadPool, DestructorDrainsQueue) {
   EXPECT_EQ(counter.load(), 50);
 }
 
+TEST(ThreadPool, SecondExceptionCountedNotLost) {
+  ThreadPool pool(4);
+  // Saturate the pool with failing tasks: exactly one becomes the rethrown
+  // first error; every other failure must be accounted for, not dropped.
+  constexpr int kFailures = 16;
+  for (int i = 0; i < kFailures; ++i) {
+    pool.submit([] { throw std::runtime_error("boom"); });
+  }
+  EXPECT_THROW(pool.wait_idle(), std::runtime_error);
+  EXPECT_EQ(pool.suppressed_error_count(),
+            static_cast<std::size_t>(kFailures - 1));
+}
+
+TEST(ThreadPool, NonStdExceptionRethrownAsIs) {
+  ThreadPool pool(2);
+  pool.submit([] { throw std::runtime_error("first"); });
+  EXPECT_THROW(pool.wait_idle(), std::runtime_error);
+  pool.submit([] { throw 42; });  // non-std::exception path
+  EXPECT_THROW(pool.wait_idle(), int);
+}
+
+TEST(ParallelFor, ThrowMidBodyRethrowsWithoutDeadlock) {
+  ThreadPool pool(4);
+  std::atomic<int> chunks_started{0};
+  EXPECT_THROW(
+      parallel_for(pool, 1000,
+                   [&](std::size_t begin, std::size_t) {
+                     chunks_started.fetch_add(1);
+                     if (begin == 0) throw std::runtime_error("chunk failed");
+                   }),
+      std::runtime_error);
+  // wait_idle inside parallel_for returned (no deadlock) and the pool
+  // remains usable for follow-up work.
+  std::atomic<int> after{0};
+  parallel_for(pool, 10, [&](std::size_t begin, std::size_t end) {
+    after.fetch_add(static_cast<int>(end - begin));
+  });
+  EXPECT_EQ(after.load(), 10);
+}
+
+TEST(ParallelFor, AllChunksThrowStillTerminates) {
+  ThreadPool pool(4);
+  EXPECT_THROW(parallel_for(pool, 64,
+                            [](std::size_t, std::size_t) {
+                              throw std::runtime_error("every chunk fails");
+                            },
+                            /*grain=*/1),
+               std::runtime_error);
+  EXPECT_GT(pool.suppressed_error_count(), 0u);
+}
+
 TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
   ThreadPool pool(4);
   std::vector<std::atomic<int>> touched(1000);

@@ -1,0 +1,158 @@
+#include "util/backoff.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "util/deadline.hpp"
+#include "util/fs.hpp"
+
+namespace mosaic::util {
+namespace {
+
+namespace fs = std::filesystem;
+
+TEST(ExponentialBackoff, DeterministicDoublingSchedule) {
+  ExponentialBackoff backoff(10.0, 2.0, 2000.0);
+  EXPECT_DOUBLE_EQ(backoff.peek_delay_ms(), 10.0);
+  EXPECT_DOUBLE_EQ(backoff.next_delay_ms(), 10.0);
+  EXPECT_DOUBLE_EQ(backoff.next_delay_ms(), 20.0);
+  EXPECT_DOUBLE_EQ(backoff.next_delay_ms(), 40.0);
+  EXPECT_DOUBLE_EQ(backoff.next_delay_ms(), 80.0);
+  EXPECT_EQ(backoff.attempts(), 4u);
+}
+
+TEST(ExponentialBackoff, CapsAtMaxDelay) {
+  ExponentialBackoff backoff(100.0, 10.0, 250.0);
+  EXPECT_DOUBLE_EQ(backoff.next_delay_ms(), 100.0);
+  EXPECT_DOUBLE_EQ(backoff.next_delay_ms(), 250.0);
+  EXPECT_DOUBLE_EQ(backoff.next_delay_ms(), 250.0);  // stays pinned at cap
+}
+
+TEST(ExponentialBackoff, ResetRestoresInitialDelay) {
+  ExponentialBackoff backoff(5.0, 3.0, 1000.0);
+  (void)backoff.next_delay_ms();
+  (void)backoff.next_delay_ms();
+  backoff.reset();
+  EXPECT_DOUBLE_EQ(backoff.peek_delay_ms(), 5.0);
+  EXPECT_EQ(backoff.attempts(), 0u);
+}
+
+TEST(ExponentialBackoff, PeekDoesNotAdvance) {
+  ExponentialBackoff backoff(7.0, 2.0, 100.0);
+  EXPECT_DOUBLE_EQ(backoff.peek_delay_ms(), 7.0);
+  EXPECT_DOUBLE_EQ(backoff.peek_delay_ms(), 7.0);
+  EXPECT_EQ(backoff.attempts(), 0u);
+  EXPECT_DOUBLE_EQ(backoff.next_delay_ms(), 7.0);
+}
+
+TEST(Deadline, DefaultIsInfinite) {
+  const Deadline deadline;
+  EXPECT_FALSE(deadline.finite());
+  EXPECT_FALSE(deadline.expired());
+  EXPECT_GT(deadline.remaining_seconds(), 1e18);
+}
+
+TEST(Deadline, NonPositiveBudgetAlreadyExpired) {
+  EXPECT_TRUE(Deadline::after_seconds(0.0).expired());
+  EXPECT_TRUE(Deadline::after_seconds(-1.0).expired());
+}
+
+TEST(Deadline, GenerousBudgetNotYetExpired) {
+  const Deadline deadline = Deadline::after_seconds(3600.0);
+  EXPECT_TRUE(deadline.finite());
+  EXPECT_FALSE(deadline.expired());
+  EXPECT_GT(deadline.remaining_seconds(), 3500.0);
+  EXPECT_LE(deadline.remaining_seconds(), 3600.0);
+}
+
+class AtomicWriteTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("mosaic_fs_test_" + std::to_string(::testing::UnitTest::GetInstance()
+                                                   ->random_seed()) +
+            "_" + ::testing::UnitTest::GetInstance()
+                      ->current_test_info()
+                      ->name());
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  static std::string slurp(const fs::path& path) {
+    std::ifstream in(path, std::ios::binary);
+    return {std::istreambuf_iterator<char>(in),
+            std::istreambuf_iterator<char>()};
+  }
+
+  fs::path dir_;
+};
+
+TEST_F(AtomicWriteTest, WritesNewFile) {
+  const std::string path = (dir_ / "out.txt").string();
+  ASSERT_TRUE(write_file_atomic(path, "hello world").ok());
+  EXPECT_EQ(slurp(path), "hello world");
+}
+
+TEST_F(AtomicWriteTest, ReplacesExistingFile) {
+  const std::string path = (dir_ / "out.txt").string();
+  ASSERT_TRUE(write_file_atomic(path, "old old old").ok());
+  ASSERT_TRUE(write_file_atomic(path, "new").ok());
+  EXPECT_EQ(slurp(path), "new");
+}
+
+TEST_F(AtomicWriteTest, LeavesNoTempFileBehind) {
+  const std::string path = (dir_ / "out.txt").string();
+  ASSERT_TRUE(write_file_atomic(path, "payload").ok());
+  std::size_t entries = 0;
+  for (const auto& entry : fs::directory_iterator(dir_)) {
+    (void)entry;
+    ++entries;
+  }
+  EXPECT_EQ(entries, 1u);  // just out.txt — the staging file was renamed away
+}
+
+TEST_F(AtomicWriteTest, FailureOnMissingDirectoryReportsIoError) {
+  const std::string path = (dir_ / "no_such_subdir" / "out.txt").string();
+  const Status status = write_file_atomic(path, "x");
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.error().code, ErrorCode::kIoError);
+}
+
+TEST_F(AtomicWriteTest, EmptyContentsProduceEmptyFile) {
+  const std::string path = (dir_ / "empty.bin").string();
+  ASSERT_TRUE(write_file_atomic(path, "").ok());
+  EXPECT_TRUE(fs::exists(path));
+  EXPECT_EQ(fs::file_size(path), 0u);
+}
+
+TEST_F(AtomicWriteTest, BinaryContentsPreservedExactly) {
+  std::string payload;
+  for (int i = 0; i < 256; ++i) payload += static_cast<char>(i);
+  const std::string path = (dir_ / "bytes.bin").string();
+  ASSERT_TRUE(write_file_atomic(path, payload).ok());
+  EXPECT_EQ(slurp(path), payload);
+}
+
+TEST_F(AtomicWriteTest, MoveFileIntoDirCreatesAndMoves) {
+  const std::string src = (dir_ / "bad.trace").string();
+  ASSERT_TRUE(write_file_atomic(src, "corrupt bytes").ok());
+  const std::string quarantine = (dir_ / "quarantine").string();
+  const auto moved = move_file_into_dir(src, quarantine);
+  ASSERT_TRUE(moved.has_value());
+  EXPECT_FALSE(fs::exists(src));
+  EXPECT_TRUE(fs::exists(*moved));
+  EXPECT_EQ(slurp(*moved), "corrupt bytes");
+}
+
+TEST_F(AtomicWriteTest, MoveMissingFileFails) {
+  const auto moved =
+      move_file_into_dir((dir_ / "ghost").string(), (dir_ / "q").string());
+  EXPECT_FALSE(moved.has_value());
+}
+
+}  // namespace
+}  // namespace mosaic::util

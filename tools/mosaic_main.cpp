@@ -13,6 +13,8 @@
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
+#include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -21,6 +23,8 @@
 #include "darshan/binary_format.hpp"
 #include "darshan/io.hpp"
 #include "darshan/text_format.hpp"
+#include "ingest/ingest.hpp"
+#include "ingest/reader.hpp"
 #include "json/json.hpp"
 #include "parallel/thread_pool.hpp"
 #include "report/aggregate.hpp"
@@ -83,10 +87,107 @@ std::vector<std::string> expand_paths(const std::vector<std::string>& args) {
   return paths;
 }
 
+/// Registers the fault-tolerance options shared by the ingest-driven
+/// subcommands (batch, report, analyze).
+void add_ingest_cli_options(util::CliParser& cli) {
+  cli.add_option("retries", "extra read attempts for transient I/O errors",
+                 "3");
+  cli.add_option("deadline",
+                 "per-file read+retry+parse budget in seconds (0 = unlimited)",
+                 "30");
+  cli.add_option("max-in-flight",
+                 "files concurrently in memory (0 = 4x threads)", "0");
+  cli.add_option("quarantine",
+                 "move poison files (parse/corrupt/timeout) to this dir", "");
+  cli.add_option("journal", "append per-file outcomes to this resume journal",
+                 "");
+  cli.add_flag("resume", "replay outcomes already in --journal");
+  cli.add_option("fault-inject",
+                 "inject deterministic I/O faults, e.g. "
+                 "seed=7,eio=0.2,short=0.1,flip=0.1,delay=0.1,delay_ms=5", "");
+  cli.add_option("abort-after",
+                 "testing: simulate a crash after N ingested files", "0");
+}
+
+/// Builds IngestOptions from the CLI; prints and returns nullopt on invalid
+/// values. `faulty` keeps an injected reader alive for the options' lifetime.
+std::optional<ingest::IngestOptions> make_ingest_options(
+    const util::CliParser& cli,
+    std::unique_ptr<ingest::FaultyFileReader>& faulty) {
+  ingest::IngestOptions options;
+  const auto non_negative_int = [&cli](std::string_view name)
+      -> std::optional<std::int64_t> {
+    const auto value = cli.get_int(name);
+    if (!value.has_value() || *value < 0) {
+      std::fprintf(stderr, "--%s must be a non-negative integer\n",
+                   std::string(name).c_str());
+      return std::nullopt;
+    }
+    return *value;
+  };
+  const auto retries = non_negative_int("retries");
+  const auto in_flight = non_negative_int("max-in-flight");
+  const auto abort_after = non_negative_int("abort-after");
+  const auto deadline = cli.get_double("deadline");
+  if (!retries || !in_flight || !abort_after) return std::nullopt;
+  if (!deadline.has_value() || *deadline < 0.0) {
+    std::fprintf(stderr, "--deadline must be a non-negative number\n");
+    return std::nullopt;
+  }
+  options.max_retries = static_cast<int>(*retries);
+  options.max_in_flight = static_cast<std::size_t>(*in_flight);
+  options.abort_after_files = static_cast<std::size_t>(*abort_after);
+  options.file_deadline_seconds = *deadline;
+  options.quarantine_dir = std::string(cli.get("quarantine"));
+  options.journal_path = std::string(cli.get("journal"));
+  options.resume = cli.get_flag("resume");
+  if (options.resume && options.journal_path.empty()) {
+    std::fprintf(stderr, "--resume requires --journal\n");
+    return std::nullopt;
+  }
+  if (const auto spec_text = cli.get("fault-inject"); !spec_text.empty()) {
+    const auto spec = ingest::FaultSpec::parse(spec_text);
+    if (!spec.has_value()) {
+      std::fprintf(stderr, "%s\n", spec.error().to_string().c_str());
+      return std::nullopt;
+    }
+    faulty = std::make_unique<ingest::FaultyFileReader>(*spec);
+    options.reader = faulty.get();
+  }
+  return options;
+}
+
+/// Validates --threads: a negative count (e.g. --threads -1) must not be
+/// cast into ~2^64 workers.
+std::optional<std::size_t> parse_thread_count(const util::CliParser& cli) {
+  const auto threads = cli.get_int("threads");
+  if (!threads.has_value() || *threads < 0) {
+    std::fprintf(stderr,
+                 "--threads must be a non-negative integer (0 = hardware)\n");
+    return std::nullopt;
+  }
+  return static_cast<std::size_t>(*threads);
+}
+
+/// Renders the per-reason eviction table fed by the ingest funnel.
+void print_eviction_table(const core::PreprocessStats& stats) {
+  if (stats.eviction_breakdown.empty()) return;
+  std::printf("evictions by reason:\n");
+  report::TextTable table({"reason", "files"});
+  for (const auto& [code, count] : stats.eviction_breakdown) {
+    table.add_row({code, std::to_string(count)});
+  }
+  for (const auto& [kind, count] : stats.corruption_breakdown) {
+    table.add_row({"  corrupt-trace/" + kind, std::to_string(count)});
+  }
+  std::fputs(table.render().c_str(), stdout);
+}
+
 int cmd_analyze(int argc, char** argv) {
   util::CliParser cli("mosaic analyze", "categorize traces one by one");
   cli.add_option("thresholds", "JSON thresholds config", "");
   cli.add_flag("json", "print the full JSON per trace");
+  add_ingest_cli_options(cli);
   if (const auto status = cli.parse(argc, argv); !status.ok()) {
     return status.error().code == util::ErrorCode::kNotFound ? 0 : 2;
   }
@@ -95,10 +196,13 @@ int cmd_analyze(int argc, char** argv) {
     std::fprintf(stderr, "mosaic analyze: no input traces\n");
     return 2;
   }
+  std::unique_ptr<ingest::FaultyFileReader> faulty;
+  const auto options = make_ingest_options(cli, faulty);
+  if (!options.has_value()) return 2;
   const core::Analyzer analyzer(load_thresholds(cli));
   int failures = 0;
   for (const std::string& path : paths) {
-    auto parsed = darshan::read_trace_file(path);
+    auto parsed = ingest::load_trace(path, *options);
     if (!parsed.has_value()) {
       std::printf("%-48s LOAD ERROR (%s)\n", path.c_str(),
                   parsed.error().to_string().c_str());
@@ -131,6 +235,7 @@ int cmd_batch(int argc, char** argv) {
   cli.add_option("threads", "worker threads (0 = hardware)", "0");
   cli.add_option("json", "write the JSON summary to this path", "");
   cli.add_flag("heatmap", "render the Jaccard heatmap");
+  add_ingest_cli_options(cli);
   if (const auto status = cli.parse(argc, argv); !status.ok()) {
     return status.error().code == util::ErrorCode::kNotFound ? 0 : 2;
   }
@@ -139,34 +244,51 @@ int cmd_batch(int argc, char** argv) {
     std::fprintf(stderr, "mosaic batch: no input traces\n");
     return 2;
   }
+  const auto thread_count = parse_thread_count(cli);
+  if (!thread_count.has_value()) return 2;
+  std::unique_ptr<ingest::FaultyFileReader> faulty;
+  const auto options = make_ingest_options(cli, faulty);
+  if (!options.has_value()) return 2;
 
-  // Load everything; unreadable files count as corrupted input (they would
-  // have been evicted by the validity stage anyway).
+  // Stream the corpus through the pool: bounded in-flight memory, retries
+  // for transient I/O errors, every failure classified into the funnel.
   util::Stopwatch watch;
-  std::vector<trace::Trace> traces;
-  std::size_t unreadable = 0;
-  for (const std::string& path : paths) {
-    auto parsed = darshan::read_trace_file(path);
-    if (parsed.has_value()) {
-      traces.push_back(std::move(*parsed));
-    } else {
-      ++unreadable;
-    }
+  parallel::ThreadPool pool(*thread_count);
+  auto ingested = ingest::ingest_paths(paths, *options, pool);
+  if (!ingested.has_value()) {
+    std::fprintf(stderr, "%s\n", ingested.error().to_string().c_str());
+    return 2;
   }
-  std::printf("loaded %zu traces (%zu unreadable) in %s\n", traces.size(),
-              unreadable, util::format_duration(watch.elapsed_seconds()).c_str());
+  const ingest::IngestStats& io = ingested->stats;
+  std::printf("ingested %zu files: %zu loaded, %zu evicted before validity "
+              "(%zu recovered after retry, %zu quarantined, %zu replayed "
+              "from journal) in %s\n",
+              io.files_scanned, io.loaded, io.failed, io.recovered,
+              io.quarantined, io.journal_replayed,
+              util::format_duration(watch.elapsed_seconds()).c_str());
+  if (io.aborted) {
+    std::fprintf(stderr,
+                 "mosaic batch: aborted after %zu files (simulated crash); "
+                 "re-run with --journal %s --resume to continue\n",
+                 options->abort_after_files,
+                 options->journal_path.empty() ? "<path>"
+                                               : options->journal_path.c_str());
+    return 3;
+  }
 
-  parallel::ThreadPool pool(
-      static_cast<std::size_t>(cli.get_int("threads").value_or(0)));
   watch.reset();
-  const core::BatchResult batch =
-      core::analyze_population(std::move(traces), load_thresholds(cli), &pool);
+  const core::BatchResult batch = core::analyze_preprocessed(
+      std::move(ingested->pre), load_thresholds(cli), &pool);
   std::printf("analyzed in %s\n\n",
               util::format_duration(watch.elapsed_seconds()).c_str());
 
   const auto& stats = batch.preprocess;
-  std::printf("funnel: %zu input, %zu corrupted, %zu applications retained\n\n",
-              stats.input_traces, stats.corrupted, stats.retained);
+  std::printf("funnel: %zu input, %zu load-failed, %zu corrupted, "
+              "%zu applications retained\n",
+              stats.input_traces, stats.load_failed, stats.corrupted,
+              stats.retained);
+  print_eviction_table(stats);
+  std::printf("\n");
 
   const report::CategoryDistribution distribution =
       report::aggregate_categories(batch);
@@ -208,6 +330,8 @@ int cmd_report(int argc, char** argv) {
   cli.add_option("thresholds", "JSON thresholds config", "");
   cli.add_option("out", "output markdown path", "mosaic_report.md");
   cli.add_option("top-pairs", "Jaccard pairs to list", "10");
+  cli.add_option("threads", "worker threads (0 = hardware)", "0");
+  add_ingest_cli_options(cli);
   if (const auto status = cli.parse(argc, argv); !status.ok()) {
     return status.error().code == util::ErrorCode::kNotFound ? 0 : 2;
   }
@@ -216,42 +340,55 @@ int cmd_report(int argc, char** argv) {
     std::fprintf(stderr, "mosaic report: no input traces\n");
     return 2;
   }
+  const auto thread_count = parse_thread_count(cli);
+  if (!thread_count.has_value()) return 2;
+  std::unique_ptr<ingest::FaultyFileReader> faulty;
+  const auto options = make_ingest_options(cli, faulty);
+  if (!options.has_value()) return 2;
 
-  std::vector<trace::Trace> traces;
-  std::size_t unreadable = 0;
-  for (const std::string& path : paths) {
-    auto parsed = darshan::read_trace_file(path);
-    if (parsed.has_value()) {
-      traces.push_back(std::move(*parsed));
-    } else {
-      ++unreadable;
-    }
+  parallel::ThreadPool pool(*thread_count);
+  auto ingested = ingest::ingest_paths(paths, *options, pool);
+  if (!ingested.has_value()) {
+    std::fprintf(stderr, "%s\n", ingested.error().to_string().c_str());
+    return 2;
   }
-  const std::size_t loaded = traces.size();
-  const core::BatchResult batch =
-      core::analyze_population(std::move(traces), load_thresholds(cli));
+  if (ingested->stats.aborted) {
+    std::fprintf(stderr, "mosaic report: aborted after %zu files "
+                         "(simulated crash)\n",
+                 options->abort_after_files);
+    return 3;
+  }
+  const std::size_t loaded = ingested->stats.loaded;
+  const core::BatchResult batch = core::analyze_preprocessed(
+      std::move(ingested->pre), load_thresholds(cli), &pool);
   const report::CategoryDistribution distribution =
       report::aggregate_categories(batch);
 
   std::string md = "# MOSAIC analysis report\n\n";
   md += "Input: " + std::to_string(loaded) + " traces (" +
-        std::to_string(unreadable) + " unreadable files skipped).\n\n";
+        std::to_string(batch.preprocess.load_failed) +
+        " unreadable files evicted).\n\n";
 
   const auto& stats = batch.preprocess;
   md += "## Pre-processing funnel\n\n";
   {
     report::TextTable table({"stage", "count"});
     table.add_row({"input traces", std::to_string(stats.input_traces)});
+    table.add_row({"load failures (evicted)",
+                   std::to_string(stats.load_failed)});
     table.add_row({"corrupted (evicted)", std::to_string(stats.corrupted)});
     table.add_row({"valid", std::to_string(stats.valid)});
     table.add_row(
         {"unique applications retained", std::to_string(stats.retained)});
     md += table.render_markdown();
   }
-  if (!stats.corruption_breakdown.empty()) {
+  if (!stats.eviction_breakdown.empty()) {
     md += "\nEviction reasons:\n\n";
+    for (const auto& [code, count] : stats.eviction_breakdown) {
+      md += "- " + code + ": " + std::to_string(count) + "\n";
+    }
     for (const auto& [kind, count] : stats.corruption_breakdown) {
-      md += "- " + kind + ": " + std::to_string(count) + "\n";
+      md += "  - corrupt-trace/" + kind + ": " + std::to_string(count) + "\n";
     }
   }
 
