@@ -5,12 +5,21 @@
 // compared in shape.
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstring>
+#include <limits>
+
 #include "core/merge.hpp"
 #include "core/pipeline.hpp"
 #include "core/segmentation.hpp"
 #include "darshan/binary_format.hpp"
 #include "darshan/text_format.hpp"
+#include "json/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/names.hpp"
 #include "sim/population.hpp"
+#include "util/fs.hpp"
+#include "util/stopwatch.hpp"
 
 namespace {
 
@@ -174,6 +183,138 @@ void BM_TraceGeneration(benchmark::State& state) {
 }
 BENCHMARK(BM_TraceGeneration);
 
+/// Times one full analysis of `traces` (copies are re-analyzed each call so
+/// repetitions are comparable) and returns wall seconds.
+double time_population_analysis(const std::vector<trace::Trace>& traces,
+                                parallel::ThreadPool& pool) {
+  auto copy = traces;
+  const util::Stopwatch watch;
+  benchmark::DoNotOptimize(core::analyze_population(std::move(copy), {}, &pool));
+  return watch.elapsed_seconds();
+}
+
+/// Measures the cost of the metrics/timer instrumentation itself: the same
+/// population analyzed with the registry enabled and disabled. The ISSUE
+/// budget is <5% overhead enabled-vs-disabled.
+struct OverheadResult {
+  double enabled_seconds = 0.0;
+  double disabled_seconds = 0.0;
+  double overhead_pct = 0.0;
+  std::size_t traces = 0;
+};
+
+OverheadResult measure_instrumentation_overhead() {
+  OverheadResult result;
+  std::vector<trace::Trace> traces;
+  for (const sim::LabeledTrace& labeled : population().traces) {
+    if (!labeled.corrupted) traces.push_back(labeled.trace);
+    if (traces.size() >= 1000) break;
+  }
+  result.traces = traces.size();
+  parallel::ThreadPool pool(0);
+
+  constexpr int kReps = 3;
+  double enabled = std::numeric_limits<double>::infinity();
+  double disabled = std::numeric_limits<double>::infinity();
+  // Warm-up pass so neither mode pays first-touch costs.
+  (void)time_population_analysis(traces, pool);
+  for (int rep = 0; rep < kReps; ++rep) {
+    obs::set_metrics_enabled(true);
+    enabled = std::min(enabled, time_population_analysis(traces, pool));
+    obs::set_metrics_enabled(false);
+    disabled = std::min(disabled, time_population_analysis(traces, pool));
+  }
+  obs::set_metrics_enabled(true);
+  result.enabled_seconds = enabled;
+  result.disabled_seconds = disabled;
+  result.overhead_pct =
+      disabled > 0.0 ? 100.0 * (enabled - disabled) / disabled : 0.0;
+  return result;
+}
+
+/// Mean latency of a stage histogram in the snapshot, or 0 if never hit.
+double stage_mean_ms(const obs::Snapshot& snapshot, std::string_view name) {
+  for (const obs::HistogramSample& sample : snapshot.histograms) {
+    if (sample.name == name && sample.count > 0) {
+      return sample.sum / static_cast<double>(sample.count);
+    }
+  }
+  return 0.0;
+}
+
+std::uint64_t counter_value(const obs::Snapshot& snapshot,
+                            std::string_view name) {
+  for (const obs::CounterSample& sample : snapshot.counters) {
+    if (sample.name == name) return sample.value;
+  }
+  return 0;
+}
+
+/// Machine-readable companion to the human benchmark table: throughput,
+/// per-stage means scraped from the metrics registry, and the
+/// instrumentation overhead experiment.
+void write_bench_json(const OverheadResult& overhead,
+                      const std::string& path) {
+  const obs::Snapshot snapshot = obs::Registry::global().snapshot();
+
+  json::Object out;
+  out.set("benchmark", "perf_pipeline");
+  out.set("traces", overhead.traces);
+  out.set("traces_per_second",
+          overhead.enabled_seconds > 0.0
+              ? static_cast<double>(overhead.traces) / overhead.enabled_seconds
+              : 0.0);
+  out.set("traces_analyzed_total",
+          counter_value(snapshot, obs::names::kTracesAnalyzed));
+
+  json::Object stages;
+  stages.set("merge", stage_mean_ms(snapshot, obs::names::kStageMergeMs));
+  stages.set("segment", stage_mean_ms(snapshot, obs::names::kStageSegmentMs));
+  stages.set("periodicity",
+             stage_mean_ms(snapshot, obs::names::kStagePeriodicityMs));
+  stages.set("temporality",
+             stage_mean_ms(snapshot, obs::names::kStageTemporalityMs));
+  stages.set("metadata", stage_mean_ms(snapshot, obs::names::kStageMetadataMs));
+  stages.set("categorize",
+             stage_mean_ms(snapshot, obs::names::kStageCategorizeMs));
+  stages.set("analyze", stage_mean_ms(snapshot, obs::names::kStageAnalyzeMs));
+  out.set("stage_mean_ms", std::move(stages));
+
+  json::Object instr;
+  instr.set("enabled_seconds", overhead.enabled_seconds);
+  instr.set("disabled_seconds", overhead.disabled_seconds);
+  instr.set("overhead_pct", overhead.overhead_pct);
+  out.set("instrumentation", std::move(instr));
+
+  if (const auto status =
+          util::write_file_atomic(path, json::serialize(out) + "\n");
+      !status.ok()) {
+    std::fprintf(stderr, "%s\n", status.error().to_string().c_str());
+  } else {
+    std::printf("bench results written to %s (overhead %.2f%%)\n",
+                path.c_str(), overhead.overhead_pct);
+  }
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // --overhead-only skips the google-benchmark suite: CI uses it to check
+  // the instrumentation budget without paying for the microbenches.
+  bool overhead_only = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--overhead-only") == 0) {
+      overhead_only = true;
+      for (int j = i; j + 1 < argc; ++j) argv[j] = argv[j + 1];
+      --argc;
+      break;
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  if (!overhead_only) benchmark::RunSpecifiedBenchmarks();
+  const OverheadResult overhead = measure_instrumentation_overhead();
+  write_bench_json(overhead, "BENCH_perf_pipeline.json");
+  benchmark::Shutdown();
+  return 0;
+}

@@ -4,6 +4,9 @@
 #include <cmath>
 #include <numbers>
 
+#include "obs/metrics.hpp"
+#include "obs/names.hpp"
+
 namespace mosaic::cluster {
 
 std::size_t next_pow2(std::size_t n) noexcept {
@@ -15,6 +18,13 @@ std::size_t next_pow2(std::size_t n) noexcept {
 void fft(std::vector<std::complex<double>>& data, bool inverse) {
   const std::size_t n = data.size();
   MOSAIC_ASSERT(n >= 1 && (n & (n - 1)) == 0);
+  // Transform-size distribution: the DFT backend's cost driver, and the
+  // first thing to check when frequency-mode periodicity slows a batch.
+  static constexpr double kSizeEdges[] = {64,    256,    1024,   4096,
+                                          16384, 65536,  262144, 1048576};
+  static obs::Histogram& size_hist = obs::Registry::global().histogram(
+      obs::names::kFftSize, kSizeEdges, "radix-2 FFT transform size");
+  size_hist.observe(static_cast<double>(n));
   if (n == 1) return;
 
   // Bit-reversal permutation.

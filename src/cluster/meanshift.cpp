@@ -5,6 +5,9 @@
 #include <map>
 #include <numeric>
 
+#include "obs/metrics.hpp"
+#include "obs/names.hpp"
+
 namespace mosaic::cluster {
 
 PointSet::PointSet(std::size_t dim) : dim_(dim) { MOSAIC_ASSERT(dim >= 1); }
@@ -126,6 +129,17 @@ MeanShiftResult mean_shift(const PointSet& points,
   const double merge_radius =
       config.mode_merge_radius > 0.0 ? config.mode_merge_radius : h / 2.0;
 
+  // Iterations-to-converge distribution: the knob the bandwidth ablation
+  // turns (a too-small bandwidth shows up as points hitting max_iterations).
+  static constexpr double kIterationEdges[] = {1, 2, 4, 8, 16, 32, 64, 128,
+                                               256};
+  static obs::Histogram& iterations_hist = obs::Registry::global().histogram(
+      obs::names::kMeanShiftIterations, kIterationEdges,
+      "Mean-Shift iterations until a point converged");
+  static obs::Counter& points_counter = obs::Registry::global().counter(
+      obs::names::kMeanShiftPoints, "points shifted by Mean-Shift");
+  points_counter.add(n);
+
   // Shift every point to its density mode.
   std::vector<std::vector<double>> converged(n);
   std::vector<double> current(dim);
@@ -133,6 +147,7 @@ MeanShiftResult mean_shift(const PointSet& points,
   for (std::size_t i = 0; i < n; ++i) {
     const auto seed = points.point(i);
     current.assign(seed.begin(), seed.end());
+    std::size_t iterations_used = config.max_iterations;
     for (std::size_t iter = 0; iter < config.max_iterations; ++iter) {
       std::fill(next.begin(), next.end(), 0.0);
       double weight_sum = 0.0;
@@ -146,7 +161,10 @@ MeanShiftResult mean_shift(const PointSet& points,
         for (std::size_t d = 0; d < dim; ++d) next[d] += w * q[d];
         weight_sum += w;
       });
-      if (weight_sum <= 0.0) break;  // isolated point: already a mode
+      if (weight_sum <= 0.0) {  // isolated point: already a mode
+        iterations_used = iter + 1;
+        break;
+      }
       double shift2 = 0.0;
       for (std::size_t d = 0; d < dim; ++d) {
         next[d] /= weight_sum;
@@ -154,8 +172,12 @@ MeanShiftResult mean_shift(const PointSet& points,
         shift2 += delta * delta;
       }
       current = next;
-      if (shift2 < config.convergence_tol * config.convergence_tol) break;
+      if (shift2 < config.convergence_tol * config.convergence_tol) {
+        iterations_used = iter + 1;
+        break;
+      }
     }
+    iterations_hist.observe(static_cast<double>(iterations_used));
     converged[i] = current;
   }
 

@@ -2,10 +2,50 @@
 
 #include "core/merge.hpp"
 #include "core/segmentation.hpp"
+#include "obs/metrics.hpp"
+#include "obs/names.hpp"
+#include "obs/span.hpp"
 
 namespace mosaic::core {
 
 namespace {
+
+/// Per-stage instruments, resolved once; the hot path pays one relaxed load
+/// per stage plus two steady_clock reads, nothing else.
+struct StageMetrics {
+  obs::Histogram& merge_ms;
+  obs::Histogram& segment_ms;
+  obs::Histogram& periodicity_ms;
+  obs::Histogram& temporality_ms;
+  obs::Histogram& metadata_ms;
+  obs::Histogram& categorize_ms;
+  obs::Histogram& analyze_ms;
+  obs::Counter& traces_analyzed;
+
+  static StageMetrics& get() {
+    static auto& registry = obs::Registry::global();
+    static const auto buckets = obs::latency_buckets_ms();
+    static StageMetrics metrics{
+        registry.histogram(obs::names::kStageMergeMs, buckets,
+                           "merge_ops stage latency (ms)"),
+        registry.histogram(obs::names::kStageSegmentMs, buckets,
+                           "segment_ops stage latency (ms)"),
+        registry.histogram(obs::names::kStagePeriodicityMs, buckets,
+                           "periodicity detection stage latency (ms)"),
+        registry.histogram(obs::names::kStageTemporalityMs, buckets,
+                           "temporality classification stage latency (ms)"),
+        registry.histogram(obs::names::kStageMetadataMs, buckets,
+                           "metadata classification stage latency (ms)"),
+        registry.histogram(obs::names::kStageCategorizeMs, buckets,
+                           "category flattening stage latency (ms)"),
+        registry.histogram(obs::names::kStageAnalyzeMs, buckets,
+                           "full per-trace analysis latency (ms)"),
+        registry.counter(obs::names::kTracesAnalyzed,
+                         "traces fully analyzed by the pipeline"),
+    };
+    return metrics;
+  }
+};
 
 /// Periodicity label block for one kind, gated on significance.
 void flatten_periodicity(CategorySet& out, trace::OpKind kind,
@@ -79,29 +119,47 @@ KindAnalysis Analyzer::analyze_ops(std::vector<trace::IoOp> ops,
                                    double runtime) const {
   KindAnalysis analysis;
   analysis.raw_ops = ops.size();
+  StageMetrics& metrics = StageMetrics::get();
 
-  ops = merge_ops(std::move(ops), runtime, thresholds_);
+  {
+    MOSAIC_SPAN("merge");
+    const obs::ScopedTimerMs timer(metrics.merge_ms);
+    ops = merge_ops(std::move(ops), runtime, thresholds_);
+  }
   analysis.merged_ops = ops.size();
 
-  switch (thresholds_.periodicity_backend) {
-    case PeriodicityBackend::kMeanShift:
-      analysis.periodicity =
-          detect_periodicity(segment_ops(ops), thresholds_);
-      break;
-    case PeriodicityBackend::kFrequency:
-      analysis.periodicity =
-          detect_periodicity_frequency(ops, runtime, thresholds_);
-      break;
-    case PeriodicityBackend::kHybrid:
-      analysis.periodicity =
-          detect_periodicity(segment_ops(ops), thresholds_);
-      if (!analysis.periodicity.periodic) {
+  // Mean-Shift periodicity runs over segments, so the segmentation stage is
+  // only timed on the backends that need it.
+  const auto segment = [&] {
+    MOSAIC_SPAN("segment");
+    const obs::ScopedTimerMs timer(metrics.segment_ms);
+    return segment_ops(ops);
+  };
+  {
+    MOSAIC_SPAN("periodicity");
+    const obs::ScopedTimerMs timer(metrics.periodicity_ms);
+    switch (thresholds_.periodicity_backend) {
+      case PeriodicityBackend::kMeanShift:
+        analysis.periodicity = detect_periodicity(segment(), thresholds_);
+        break;
+      case PeriodicityBackend::kFrequency:
         analysis.periodicity =
             detect_periodicity_frequency(ops, runtime, thresholds_);
-      }
-      break;
+        break;
+      case PeriodicityBackend::kHybrid:
+        analysis.periodicity = detect_periodicity(segment(), thresholds_);
+        if (!analysis.periodicity.periodic) {
+          analysis.periodicity =
+              detect_periodicity_frequency(ops, runtime, thresholds_);
+        }
+        break;
+    }
   }
-  analysis.temporality = classify_temporality(ops, runtime, thresholds_);
+  {
+    MOSAIC_SPAN("temporality");
+    const obs::ScopedTimerMs timer(metrics.temporality_ms);
+    analysis.temporality = classify_temporality(ops, runtime, thresholds_);
+  }
   return analysis;
 }
 
@@ -112,6 +170,10 @@ KindAnalysis Analyzer::analyze_kind(const trace::Trace& trace,
 }
 
 TraceResult Analyzer::analyze(const trace::Trace& trace) const {
+  StageMetrics& metrics = StageMetrics::get();
+  MOSAIC_SPAN("analyze");
+  const obs::ScopedTimerMs analyze_timer(metrics.analyze_ms);
+
   TraceResult result;
   result.app_key = trace.app_key();
   result.job_id = trace.meta.job_id;
@@ -122,11 +184,20 @@ TraceResult Analyzer::analyze(const trace::Trace& trace) const {
 
   result.read = analyze_kind(trace, trace::OpKind::kRead);
   result.write = analyze_kind(trace, trace::OpKind::kWrite);
-  result.metadata =
-      classify_metadata(trace::metadata_timeline(trace), trace.meta.run_time,
-                        trace.meta.nprocs, thresholds_);
-  result.categories = flatten_categories(result.read, result.write,
-                                         result.metadata, thresholds_);
+  {
+    MOSAIC_SPAN("metadata");
+    const obs::ScopedTimerMs timer(metrics.metadata_ms);
+    result.metadata =
+        classify_metadata(trace::metadata_timeline(trace), trace.meta.run_time,
+                          trace.meta.nprocs, thresholds_);
+  }
+  {
+    MOSAIC_SPAN("categorize");
+    const obs::ScopedTimerMs timer(metrics.categorize_ms);
+    result.categories = flatten_categories(result.read, result.write,
+                                           result.metadata, thresholds_);
+  }
+  metrics.traces_analyzed.add();
   return result;
 }
 

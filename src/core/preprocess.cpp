@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
+#include "obs/names.hpp"
 #include "util/log.hpp"
 
 namespace mosaic::core {
@@ -13,6 +15,30 @@ namespace {
 /// checksum, so both land on kCorruptTrace.
 std::string corrupt_code_name() {
   return std::string(util::error_code_name(util::ErrorCode::kCorruptTrace));
+}
+
+// Funnel metrics mirror the PreprocessStats breakdown maps series-for-entry
+// and are bumped at the exact same sites, so a --metrics dump always agrees
+// with the run's printed funnel summary — including on --resume, where
+// journal-replayed evictions land on the same labeled series as live ones.
+void count_eviction_metric(std::string_view code_name) {
+  obs::Registry::global()
+      .counter(obs::labeled(obs::names::kFunnelEvictions, "code", code_name),
+               "files evicted from the funnel, by error code")
+      .add();
+}
+
+void count_corruption_metric(std::string_view kind) {
+  obs::Registry::global()
+      .counter(obs::labeled(obs::names::kFunnelCorruption, "kind", kind),
+               "validity evictions, by corruption kind")
+      .add();
+}
+
+void count_valid_metric() {
+  static obs::Counter& counter = obs::Registry::global().counter(
+      obs::names::kFunnelValid, "traces that passed the validity check");
+  counter.add();
 }
 
 /// Un-counts a journal-replayed winner that could not be re-loaded: its run
@@ -46,9 +72,12 @@ PreprocessResult preprocess(std::vector<trace::Trace> traces,
       ++result.stats.corruption_breakdown[trace::corruption_kind_name(
           report.kind)];
       ++result.stats.eviction_breakdown[corrupt_code_name()];
+      count_corruption_metric(trace::corruption_kind_name(report.kind));
+      count_eviction_metric(corrupt_code_name());
       continue;
     }
     ++result.stats.valid;
+    count_valid_metric();
     const std::string key = traces[i].app_key();
     ++result.runs_per_app[key];
     const auto [slot, inserted] = heaviest.try_emplace(key, i);
@@ -87,6 +116,7 @@ bool StreamingPreprocessor::digest_wins(const ValidDigest& challenger,
 void StreamingPreprocessor::fold_valid(ValidDigest digest,
                                        std::optional<trace::Trace> trace) {
   ++stats_.valid;
+  count_valid_metric();
   ++runs_per_app_[digest.app_key];
   const auto [slot, inserted] =
       heaviest_.try_emplace(digest.app_key, Slot{digest, std::nullopt});
@@ -104,6 +134,8 @@ trace::ValidityReport StreamingPreprocessor::add_trace(
     ++stats_.corrupted;
     ++stats_.corruption_breakdown[trace::corruption_kind_name(report.kind)];
     ++stats_.eviction_breakdown[corrupt_code_name()];
+    count_corruption_metric(trace::corruption_kind_name(report.kind));
+    count_eviction_metric(corrupt_code_name());
     return report;
   }
   ValidDigest digest;
@@ -119,6 +151,7 @@ void StreamingPreprocessor::add_load_failure(util::ErrorCode code) {
   ++stats_.input_traces;
   ++stats_.load_failed;
   ++stats_.eviction_breakdown[std::string(util::error_code_name(code))];
+  count_eviction_metric(util::error_code_name(code));
 }
 
 void StreamingPreprocessor::add_valid_digest(ValidDigest digest) {
@@ -130,9 +163,11 @@ void StreamingPreprocessor::add_journaled_eviction(
     std::string_view code_name, std::string_view corruption_kind) {
   ++stats_.input_traces;
   ++stats_.eviction_breakdown[std::string(code_name)];
+  count_eviction_metric(code_name);
   if (!corruption_kind.empty()) {
     ++stats_.corrupted;
     ++stats_.corruption_breakdown[std::string(corruption_kind)];
+    count_corruption_metric(corruption_kind);
   } else {
     ++stats_.load_failed;
   }
@@ -167,6 +202,7 @@ PreprocessResult StreamingPreprocessor::finish(
         ++result.stats.load_failed;
         ++result.stats.eviction_breakdown[std::string(
             util::error_code_name(loaded.error().code))];
+        count_eviction_metric(util::error_code_name(loaded.error().code));
         demote_app(result, key);
         continue;
       }

@@ -4,6 +4,9 @@
 #include <optional>
 
 #include "ingest/journal.hpp"
+#include "obs/metrics.hpp"
+#include "obs/names.hpp"
+#include "obs/span.hpp"
 #include "util/backoff.hpp"
 #include "util/deadline.hpp"
 #include "util/fs.hpp"
@@ -17,6 +20,59 @@ using util::Expected;
 
 namespace {
 
+/// Ingest-loop instruments, resolved once per process.
+struct IngestMetrics {
+  obs::Counter& scanned;
+  obs::Counter& processed;
+  obs::Counter& loaded;
+  obs::Counter& retry_attempts;
+  obs::Counter& recovered;
+  obs::Counter& quarantined;
+  obs::Counter& journal_replayed;
+  obs::Histogram& backoff_ms;
+  obs::Histogram& retries_per_file;
+  obs::Histogram& parse_ms;
+
+  static IngestMetrics& get() {
+    static auto& registry = obs::Registry::global();
+    static const auto latency = obs::latency_buckets_ms();
+    static constexpr double kRetryEdges[] = {1, 2, 4, 8, 16, 32};
+    static IngestMetrics metrics{
+        registry.counter(obs::names::kIngestScanned,
+                         "files handed to the ingest loop"),
+        registry.counter(obs::names::kIngestProcessed,
+                         "files whose outcome was folded (live, not replayed)"),
+        registry.counter(obs::names::kIngestLoaded,
+                         "files read and parsed successfully"),
+        registry.counter(obs::names::kIngestRetryAttempts,
+                         "read retries across all files"),
+        registry.counter(obs::names::kIngestRecovered,
+                         "files loaded successfully after at least one retry"),
+        registry.counter(obs::names::kIngestQuarantined,
+                         "files moved to the quarantine directory"),
+        registry.counter(obs::names::kIngestJournalReplayed,
+                         "outcomes replayed from the resume journal"),
+        registry.histogram(obs::names::kIngestBackoffMs, latency,
+                           "per-retry backoff sleep (ms)"),
+        registry.histogram(obs::names::kIngestRetriesPerFile, kRetryEdges,
+                           "retry attempts per eventually-loaded file"),
+        registry.histogram(obs::names::kIngestParseMs, latency,
+                           "trace parse latency (ms)"),
+    };
+    return metrics;
+  }
+};
+
+/// Eviction counter labeled by ErrorCode; failure paths are cold, so the
+/// per-call registry lookup is acceptable.
+void count_load_failure(ErrorCode code) {
+  obs::Registry::global()
+      .counter(obs::labeled(obs::names::kIngestFailed, "code",
+                            util::error_code_name(code)),
+               "files evicted by the ingest loop, by error code")
+      .add();
+}
+
 /// Worker-side result of loading one file; folded serially afterwards.
 struct LoadOutcome {
   std::optional<trace::Trace> trace;
@@ -27,6 +83,8 @@ struct LoadOutcome {
 /// Reads and parses one file under the options' retry/deadline policy.
 LoadOutcome load_one(FileReader& reader, const std::string& path,
                      const IngestOptions& options) {
+  MOSAIC_SPAN("load");
+  IngestMetrics& metrics = IngestMetrics::get();
   LoadOutcome outcome;
   const util::Deadline deadline =
       options.file_deadline_seconds > 0.0
@@ -59,11 +117,15 @@ LoadOutcome load_one(FileReader& reader, const std::string& path,
       if (deadline.finite()) {
         delay_ms = std::min(delay_ms, deadline.remaining_seconds() * 1000.0);
       }
+      metrics.backoff_ms.observe(delay_ms);
+      metrics.retry_attempts.add();
       util::sleep_for_ms(delay_ms);
       ++attempt;
       ++outcome.retry_attempts;
       continue;
     }
+    MOSAIC_SPAN("parse");
+    const obs::ScopedTimerMs parse_timer(metrics.parse_ms);
     auto parsed = parse_trace_bytes(path, *bytes, deadline);
     if (!parsed.has_value()) {
       outcome.error = std::move(parsed).error();
@@ -95,6 +157,7 @@ void quarantine_file(FoldContext& ctx, const std::string& path) {
   auto moved = util::move_file_into_dir(path, ctx.options->quarantine_dir);
   if (moved.has_value()) {
     ++ctx.stats->quarantined;
+    IngestMetrics::get().quarantined.add();
     MOSAIC_LOG_INFO("ingest: quarantined %s -> %s", path.c_str(),
                     moved->c_str());
   } else {
@@ -114,9 +177,12 @@ void journal_append(FoldContext& ctx, const JournalEntry& entry) {
 /// Folds one worker outcome into the funnel, journal and quarantine.
 void fold_outcome(FoldContext& ctx, const std::string& path,
                   LoadOutcome outcome) {
+  IngestMetrics& metrics = IngestMetrics::get();
+  metrics.processed.add();
   ctx.stats->retry_attempts += outcome.retry_attempts;
   if (!outcome.trace.has_value()) {
     ++ctx.stats->failed;
+    count_load_failure(outcome.error.code);
     MOSAIC_LOG_DEBUG("ingest: evicting %s: %s", path.c_str(),
                      outcome.error.to_string().c_str());
     ctx.preprocessor->add_load_failure(outcome.error.code);
@@ -129,7 +195,13 @@ void fold_outcome(FoldContext& ctx, const std::string& path,
   }
 
   ++ctx.stats->loaded;
-  if (outcome.retry_attempts > 0) ++ctx.stats->recovered;
+  metrics.loaded.add();
+  metrics.retries_per_file.observe(
+      static_cast<double>(outcome.retry_attempts));
+  if (outcome.retry_attempts > 0) {
+    ++ctx.stats->recovered;
+    metrics.recovered.add();
+  }
 
   // Digest captured before the trace is consumed by the preprocessor.
   JournalEntry entry;
@@ -158,6 +230,8 @@ Expected<IngestResult> ingest_paths(const std::vector<std::string>& paths,
                                     parallel::ThreadPool& pool) {
   IngestResult result;
   result.stats.files_scanned = paths.size();
+  IngestMetrics& metrics = IngestMetrics::get();
+  metrics.scanned.add(paths.size());
 
   FileReader& reader =
       options.reader != nullptr ? *options.reader : system_reader();
@@ -191,6 +265,7 @@ Expected<IngestResult> ingest_paths(const std::vector<std::string>& paths,
     }
     const JournalEntry& entry = it->second;
     ++result.stats.journal_replayed;
+    metrics.journal_replayed.add();
     if (entry.valid) {
       preprocessor.add_valid_digest({entry.path, entry.app_key,
                                      entry.total_bytes, entry.job_id});
@@ -206,6 +281,7 @@ Expected<IngestResult> ingest_paths(const std::vector<std::string>& paths,
   for (std::size_t begin = 0; begin < pending.size() && !result.stats.aborted;
        begin += window) {
     const std::size_t end = std::min(pending.size(), begin + window);
+    MOSAIC_SPAN("ingest-window");
     std::vector<LoadOutcome> outcomes(end - begin);
     parallel::parallel_for(
         pool, end - begin, [&](std::size_t lo, std::size_t hi) {

@@ -1,0 +1,78 @@
+// Canonical names of every metric MOSAIC exports. One place to keep the
+// instrumentation sites, the heartbeat reader, the tests and the README
+// metric table in agreement.
+//
+// Conventions: `mosaic_` prefix; counters end in `_total`; histograms are
+// named after their unit (`_ms`, bare counts otherwise); label sets are
+// encoded in the series name via obs::labeled().
+#pragma once
+
+#include <string_view>
+
+namespace mosaic::obs::names {
+
+// Ingest front end (src/ingest).
+inline constexpr std::string_view kIngestScanned =
+    "mosaic_ingest_files_scanned_total";
+inline constexpr std::string_view kIngestProcessed =
+    "mosaic_ingest_files_processed_total";
+inline constexpr std::string_view kIngestLoaded = "mosaic_ingest_loaded_total";
+inline constexpr std::string_view kIngestFailed = "mosaic_ingest_failed_total";
+inline constexpr std::string_view kIngestRetryAttempts =
+    "mosaic_ingest_retry_attempts_total";
+inline constexpr std::string_view kIngestRecovered =
+    "mosaic_ingest_recovered_total";
+inline constexpr std::string_view kIngestQuarantined =
+    "mosaic_ingest_quarantined_total";
+inline constexpr std::string_view kIngestJournalReplayed =
+    "mosaic_ingest_journal_replayed_total";
+inline constexpr std::string_view kIngestBackoffMs =
+    "mosaic_ingest_retry_backoff_ms";
+inline constexpr std::string_view kIngestRetriesPerFile =
+    "mosaic_ingest_retries_per_file";
+inline constexpr std::string_view kIngestParseMs = "mosaic_ingest_parse_ms";
+
+// Pre-processing funnel (src/core/preprocess). Per-ErrorCode eviction
+// series carry a {code="..."} label; validity evictions additionally feed
+// the {kind="..."} corruption series. Both live and journal-replayed
+// evictions increment the same series, which is what keeps a resumed run's
+// funnel metrics byte-identical to the uninterrupted run's.
+inline constexpr std::string_view kFunnelEvictions =
+    "mosaic_funnel_evictions_total";
+inline constexpr std::string_view kFunnelCorruption =
+    "mosaic_funnel_corruption_total";
+inline constexpr std::string_view kFunnelValid = "mosaic_funnel_valid_total";
+
+// Thread pool (src/parallel).
+inline constexpr std::string_view kPoolThreads = "mosaic_pool_threads";
+inline constexpr std::string_view kPoolQueueDepth = "mosaic_pool_queue_depth";
+inline constexpr std::string_view kPoolActiveWorkers =
+    "mosaic_pool_active_workers";
+inline constexpr std::string_view kPoolTasks = "mosaic_pool_tasks_total";
+inline constexpr std::string_view kPoolTaskMs = "mosaic_pool_task_ms";
+inline constexpr std::string_view kPoolSuppressedErrors =
+    "mosaic_pool_suppressed_errors_total";
+
+// Per-stage pipeline latency (src/core/pipeline).
+inline constexpr std::string_view kStageMergeMs = "mosaic_stage_merge_ms";
+inline constexpr std::string_view kStageSegmentMs = "mosaic_stage_segment_ms";
+inline constexpr std::string_view kStagePeriodicityMs =
+    "mosaic_stage_periodicity_ms";
+inline constexpr std::string_view kStageTemporalityMs =
+    "mosaic_stage_temporality_ms";
+inline constexpr std::string_view kStageMetadataMs =
+    "mosaic_stage_metadata_ms";
+inline constexpr std::string_view kStageCategorizeMs =
+    "mosaic_stage_categorize_ms";
+inline constexpr std::string_view kStageAnalyzeMs = "mosaic_stage_analyze_ms";
+inline constexpr std::string_view kTracesAnalyzed =
+    "mosaic_traces_analyzed_total";
+
+// Clustering kernels (src/cluster).
+inline constexpr std::string_view kMeanShiftIterations =
+    "mosaic_meanshift_iterations";
+inline constexpr std::string_view kMeanShiftPoints =
+    "mosaic_meanshift_points_total";
+inline constexpr std::string_view kFftSize = "mosaic_fft_size";
+
+}  // namespace mosaic::obs::names

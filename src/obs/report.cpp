@@ -1,0 +1,135 @@
+#include "obs/report.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "json/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/names.hpp"
+#include "util/fs.hpp"
+#include "util/log.hpp"
+
+namespace mosaic::obs {
+
+util::Status write_metrics_files(const std::string& path) {
+  const Snapshot snapshot = Registry::global().snapshot();
+  if (const auto status = util::write_file_atomic(
+          path, json::serialize(metrics_to_json(snapshot)) + "\n");
+      !status.ok()) {
+    return status;
+  }
+  return util::write_file_atomic(path + ".prom",
+                                 metrics_to_prometheus(snapshot));
+}
+
+namespace {
+
+double steady_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Sum of every counter in the family: the bare series plus any labeled
+/// `name{...}` variants. Reading a snapshot (rather than Registry::counter)
+/// keeps the heartbeat from materializing zero-valued series it only reads.
+std::uint64_t sum_counter_family(const Snapshot& snapshot,
+                                 std::string_view base) {
+  std::uint64_t total = 0;
+  for (const CounterSample& sample : snapshot.counters) {
+    if (sample.name == base ||
+        (sample.name.size() > base.size() &&
+         sample.name.compare(0, base.size(), base) == 0 &&
+         sample.name[base.size()] == '{')) {
+      total += sample.value;
+    }
+  }
+  return total;
+}
+
+std::int64_t gauge_value(const Snapshot& snapshot, std::string_view name) {
+  for (const GaugeSample& sample : snapshot.gauges) {
+    if (sample.name == name) return sample.value;
+  }
+  return 0;
+}
+
+}  // namespace
+
+Heartbeat::Heartbeat(double interval_seconds)
+    : interval_seconds_(interval_seconds) {
+  if (interval_seconds_ <= 0.0) return;
+  last_tick_seconds_ = steady_seconds();
+  thread_ = std::thread([this] { loop(); });
+}
+
+Heartbeat::~Heartbeat() { stop(); }
+
+void Heartbeat::stop() {
+  if (!thread_.joinable()) return;
+  {
+    const std::scoped_lock lock(mutex_);
+    stopping_ = true;
+  }
+  wake_.notify_all();
+  thread_.join();
+  tick();  // final line so even sub-interval runs report once
+}
+
+void Heartbeat::loop() {
+  std::unique_lock lock(mutex_);
+  for (;;) {
+    const bool stopping = wake_.wait_for(
+        lock, std::chrono::duration<double>(interval_seconds_),
+        [this] { return stopping_; });
+    if (stopping) return;
+    lock.unlock();
+    tick();
+    lock.lock();
+  }
+}
+
+void Heartbeat::tick() {
+  const Snapshot snapshot = Registry::global().snapshot();
+  const std::uint64_t scanned =
+      sum_counter_family(snapshot, names::kIngestScanned);
+  const std::uint64_t processed =
+      sum_counter_family(snapshot, names::kIngestProcessed);
+  const std::uint64_t loaded =
+      sum_counter_family(snapshot, names::kIngestLoaded);
+  const std::uint64_t evicted =
+      sum_counter_family(snapshot, names::kFunnelEvictions);
+  const std::uint64_t retries =
+      sum_counter_family(snapshot, names::kIngestRetryAttempts);
+  const std::uint64_t quarantined =
+      sum_counter_family(snapshot, names::kIngestQuarantined);
+  const std::int64_t queue_depth =
+      gauge_value(snapshot, names::kPoolQueueDepth);
+  const std::int64_t active = gauge_value(snapshot, names::kPoolActiveWorkers);
+  const std::int64_t threads = gauge_value(snapshot, names::kPoolThreads);
+
+  const double now = steady_seconds();
+  const double elapsed = std::max(now - last_tick_seconds_, 1e-9);
+  const double rate =
+      static_cast<double>(processed - std::min(processed, last_processed_)) /
+      elapsed;
+  last_processed_ = processed;
+  last_tick_seconds_ = now;
+
+  const double utilization =
+      threads > 0
+          ? 100.0 * static_cast<double>(active) / static_cast<double>(threads)
+          : 0.0;
+  MOSAIC_LOG_INFO(
+      "progress: %llu/%llu files (%.1f/s), loaded %llu, evicted %llu, "
+      "retries %llu, quarantined %llu, queue %lld, utilization %.0f%%",
+      static_cast<unsigned long long>(processed),
+      static_cast<unsigned long long>(scanned), rate,
+      static_cast<unsigned long long>(loaded),
+      static_cast<unsigned long long>(evicted),
+      static_cast<unsigned long long>(retries),
+      static_cast<unsigned long long>(quarantined),
+      static_cast<long long>(queue_depth), utilization);
+}
+
+}  // namespace mosaic::obs

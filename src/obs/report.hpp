@@ -1,0 +1,57 @@
+// Run telemetry sinks: the --metrics file dump and the --progress heartbeat.
+//
+// write_metrics_files() scrapes the global registry once and writes the
+// snapshot in two formats — `path` gets the JSON rendering and
+// `path + ".prom"` the Prometheus text exposition — both via the same
+// atomic temp+rename discipline as every other artifact, so a killed run
+// never leaves a torn metrics file for a scraper to mis-ingest.
+//
+// Heartbeat runs a background thread that logs one progress line every
+// `interval_seconds` during long batch runs: files/sec over the last tick,
+// funnel counts, retry/quarantine totals, thread-pool queue depth and
+// utilization. It reads only the metrics registry, so it needs no hooks
+// into the pipeline and costs nothing between ticks.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "util/error.hpp"
+
+namespace mosaic::obs {
+
+/// Scrapes Registry::global() and writes `path` (JSON) plus `path + ".prom"`
+/// (Prometheus text), each atomically.
+[[nodiscard]] util::Status write_metrics_files(const std::string& path);
+
+/// Periodic progress logger over the metrics registry. The thread starts in
+/// the constructor (interval <= 0 starts nothing) and is joined by stop()
+/// or the destructor.
+class Heartbeat {
+ public:
+  explicit Heartbeat(double interval_seconds);
+  ~Heartbeat();
+
+  Heartbeat(const Heartbeat&) = delete;
+  Heartbeat& operator=(const Heartbeat&) = delete;
+
+  /// Joins the logger thread (idempotent). Emits one final line so short
+  /// runs still get a summary tick.
+  void stop();
+
+ private:
+  void loop();
+  void tick();
+
+  double interval_seconds_;
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  bool stopping_ = false;
+  std::uint64_t last_processed_ = 0;
+  double last_tick_seconds_ = 0.0;
+  std::thread thread_;
+};
+
+}  // namespace mosaic::obs

@@ -1,0 +1,195 @@
+#include "obs/span.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+
+#include "util/fs.hpp"
+
+namespace mosaic::obs {
+
+namespace {
+
+/// Thread-local handle: the owning tracer generation plus the buffer the
+/// thread writes to. A stale generation (after reset()) re-registers.
+struct ThreadSlot {
+  std::uint64_t generation = ~std::uint64_t{0};
+  std::shared_ptr<void> buffer;  ///< keeps the buffer alive past thread exit
+};
+
+thread_local ThreadSlot t_slot;
+
+}  // namespace
+
+SpanTracer& SpanTracer::global() {
+  // Leaked on purpose: pool workers may unwind spans during static teardown.
+  static SpanTracer* instance = new SpanTracer();
+  return *instance;
+}
+
+std::uint64_t SpanTracer::now_ns() noexcept {
+  static const std::chrono::steady_clock::time_point t0 =
+      std::chrono::steady_clock::now();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count());
+}
+
+void SpanTracer::enable(std::size_t per_thread_capacity) {
+  capacity_.store(std::max<std::size_t>(16, per_thread_capacity),
+                  std::memory_order_relaxed);
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+void SpanTracer::disable() noexcept {
+  enabled_.store(false, std::memory_order_relaxed);
+}
+
+SpanTracer::ThreadBuffer& SpanTracer::buffer_for_this_thread() noexcept {
+  const std::uint64_t generation =
+      generation_.load(std::memory_order_acquire);
+  if (t_slot.buffer == nullptr || t_slot.generation != generation) {
+    auto buffer = std::make_shared<ThreadBuffer>();
+    buffer->ring.reserve(std::min<std::size_t>(
+        capacity_.load(std::memory_order_relaxed), 1024));
+    {
+      const std::scoped_lock lock(registry_mutex_);
+      buffer->tid = static_cast<std::uint32_t>(buffers_.size());
+      buffers_.push_back(buffer);
+    }
+    t_slot.generation = generation;
+    t_slot.buffer = buffer;
+  }
+  return *static_cast<ThreadBuffer*>(t_slot.buffer.get());
+}
+
+void SpanTracer::record(const char* name, std::uint64_t start_ns,
+                        std::uint64_t end_ns) noexcept {
+  if (!enabled()) return;
+  ThreadBuffer& buffer = buffer_for_this_thread();
+  const std::scoped_lock lock(buffer.mutex);  // uncontended except on drain
+  const SpanEvent event{name, start_ns, end_ns, buffer.tid};
+  const std::size_t capacity = capacity_.load(std::memory_order_relaxed);
+  if (buffer.ring.size() < capacity) {
+    buffer.ring.push_back(event);
+  } else {
+    buffer.ring[buffer.next] = event;
+    buffer.next = (buffer.next + 1) % buffer.ring.size();
+    ++buffer.dropped;
+  }
+}
+
+std::vector<SpanEvent> SpanTracer::collect() const {
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  {
+    const std::scoped_lock lock(registry_mutex_);
+    buffers = buffers_;
+  }
+  std::vector<SpanEvent> events;
+  for (const auto& buffer : buffers) {
+    const std::scoped_lock lock(buffer->mutex);
+    events.insert(events.end(), buffer->ring.begin(), buffer->ring.end());
+  }
+  std::sort(events.begin(), events.end(),
+            [](const SpanEvent& a, const SpanEvent& b) {
+              if (a.tid != b.tid) return a.tid < b.tid;
+              if (a.start_ns != b.start_ns) return a.start_ns < b.start_ns;
+              return a.end_ns < b.end_ns;
+            });
+  return events;
+}
+
+std::uint64_t SpanTracer::dropped() const noexcept {
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  {
+    const std::scoped_lock lock(registry_mutex_);
+    buffers = buffers_;
+  }
+  std::uint64_t total = 0;
+  for (const auto& buffer : buffers) {
+    const std::scoped_lock lock(buffer->mutex);
+    total += buffer->dropped;
+  }
+  return total;
+}
+
+namespace {
+
+void append_json_escaped(std::string& out, const char* text) {
+  for (const char* p = text; *p != '\0'; ++p) {
+    const char c = *p;
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof buffer, "\\u%04x",
+                        static_cast<unsigned>(c));
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+/// Microseconds with fixed 3-decimal precision: deterministic text for
+/// identical inputs, sub-ns resolution is noise anyway.
+void append_us(std::string& out, std::uint64_t ns) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof buffer, "%llu.%03llu",
+                static_cast<unsigned long long>(ns / 1000),
+                static_cast<unsigned long long>(ns % 1000));
+  out += buffer;
+}
+
+}  // namespace
+
+std::string SpanTracer::chrome_trace_json() const {
+  // Serialized by hand (not via json::Value): a long batch run holds
+  // hundreds of thousands of events and the DOM representation would double
+  // peak memory for no benefit.
+  const std::vector<SpanEvent> events = collect();
+  std::string out;
+  out.reserve(events.size() * 96 + 256);
+  out += "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n";
+  out += "{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 1, "
+         "\"args\": {\"name\": \"mosaic\"}}";
+  std::uint32_t last_tid = ~std::uint32_t{0};
+  for (const SpanEvent& event : events) {
+    if (event.tid != last_tid) {
+      last_tid = event.tid;
+      out += ",\n{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, "
+             "\"tid\": ";
+      out += std::to_string(event.tid);
+      out += ", \"args\": {\"name\": \"worker-";
+      out += std::to_string(event.tid);
+      out += "\"}}";
+    }
+    out += ",\n{\"name\": \"";
+    append_json_escaped(out, event.name);
+    out += "\", \"cat\": \"mosaic\", \"ph\": \"X\", \"pid\": 1, \"tid\": ";
+    out += std::to_string(event.tid);
+    out += ", \"ts\": ";
+    append_us(out, event.start_ns);
+    out += ", \"dur\": ";
+    append_us(out, event.end_ns - event.start_ns);
+    out += "}";
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+util::Status SpanTracer::write_chrome_trace(const std::string& path) const {
+  return util::write_file_atomic(path, chrome_trace_json());
+}
+
+void SpanTracer::reset() {
+  const std::scoped_lock lock(registry_mutex_);
+  buffers_.clear();
+  generation_.fetch_add(1, std::memory_order_acq_rel);
+}
+
+}  // namespace mosaic::obs

@@ -2,9 +2,46 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
+#include "obs/names.hpp"
 #include "util/log.hpp"
 
 namespace mosaic::parallel {
+
+namespace {
+
+/// Pool-wide instruments, shared by every pool in the process (the CLI runs
+/// one). Handles are resolved once; updates are relaxed atomics.
+struct PoolMetrics {
+  obs::Gauge& threads;
+  obs::Gauge& queue_depth;
+  obs::Gauge& active_workers;
+  obs::Counter& tasks;
+  obs::Histogram& task_ms;
+  obs::Counter& suppressed_errors;
+
+  static PoolMetrics& get() {
+    static PoolMetrics instance{
+        obs::Registry::global().gauge(obs::names::kPoolThreads,
+                                      "worker threads in the pool"),
+        obs::Registry::global().gauge(obs::names::kPoolQueueDepth,
+                                      "tasks waiting in the pool queue"),
+        obs::Registry::global().gauge(obs::names::kPoolActiveWorkers,
+                                      "workers currently running a task"),
+        obs::Registry::global().counter(obs::names::kPoolTasks,
+                                        "tasks executed by the pool"),
+        obs::Registry::global().histogram(obs::names::kPoolTaskMs,
+                                          obs::latency_buckets_ms(),
+                                          "task execution latency"),
+        obs::Registry::global().counter(
+            obs::names::kPoolSuppressedErrors,
+            "task exceptions dropped behind a pending rethrow"),
+    };
+    return instance;
+  }
+};
+
+}  // namespace
 
 std::size_t ThreadPool::suppressed_error_count() const noexcept {
   const std::scoped_lock lock(mutex_);
@@ -15,6 +52,7 @@ ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) {
     threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
   }
+  PoolMetrics::get().threads.set(static_cast<std::int64_t>(threads));
   workers_.reserve(threads);
   for (std::size_t i = 0; i < threads; ++i) {
     workers_.emplace_back([this] { worker_loop(); });
@@ -36,6 +74,8 @@ void ThreadPool::submit(std::function<void()> task) {
     const std::scoped_lock lock(mutex_);
     MOSAIC_ASSERT(!stopping_);
     queue_.push_back(std::move(task));
+    PoolMetrics::get().queue_depth.set(
+        static_cast<std::int64_t>(queue_.size()));
   }
   work_available_.notify_one();
 }
@@ -51,6 +91,7 @@ void ThreadPool::wait_idle() {
 }
 
 void ThreadPool::worker_loop() {
+  PoolMetrics& metrics = PoolMetrics::get();
   for (;;) {
     std::function<void()> task;
     {
@@ -61,24 +102,32 @@ void ThreadPool::worker_loop() {
       task = std::move(queue_.front());
       queue_.pop_front();
       ++active_;
+      metrics.queue_depth.set(static_cast<std::int64_t>(queue_.size()));
+      metrics.active_workers.set(static_cast<std::int64_t>(active_));
     }
     try {
+      const obs::ScopedTimerMs timer(metrics.task_ms);
       task();
+      metrics.tasks.add();
     } catch (const std::exception& e) {
+      metrics.tasks.add();
       const std::scoped_lock lock(mutex_);
       if (!first_error_) {
         first_error_ = std::current_exception();
       } else {
         ++suppressed_errors_;
+        metrics.suppressed_errors.add();
         MOSAIC_LOG_WARN("thread pool: suppressing task error behind a "
                         "pending one: %s", e.what());
       }
     } catch (...) {
+      metrics.tasks.add();
       const std::scoped_lock lock(mutex_);
       if (!first_error_) {
         first_error_ = std::current_exception();
       } else {
         ++suppressed_errors_;
+        metrics.suppressed_errors.add();
         MOSAIC_LOG_WARN("thread pool: suppressing non-std task error behind "
                         "a pending one");
       }
@@ -86,6 +135,7 @@ void ThreadPool::worker_loop() {
     {
       const std::scoped_lock lock(mutex_);
       --active_;
+      metrics.active_workers.set(static_cast<std::int64_t>(active_));
       if (queue_.empty() && active_ == 0) all_idle_.notify_all();
     }
   }

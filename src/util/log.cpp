@@ -1,14 +1,19 @@
 #include "util/log.hpp"
 
 #include <atomic>
+#include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <mutex>
+#include <string>
 
 namespace mosaic::util {
 
 namespace {
 
 std::atomic<int> g_level{static_cast<int>(LogLevel::kInfo)};
+std::atomic<int> g_format{static_cast<int>(LogFormat::kText)};
+std::atomic<std::FILE*> g_stream{nullptr};  // nullptr -> stderr
 std::mutex g_emit_mutex;
 
 const char* level_tag(LogLevel level) noexcept {
@@ -22,6 +27,37 @@ const char* level_tag(LogLevel level) noexcept {
   return "?????";
 }
 
+/// Message escaper for the JSONL sink. util sits below the json library in
+/// the dependency order, so the handful of escapes live here.
+std::string json_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size() + 8);
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+double epoch_seconds() noexcept {
+  const auto now = std::chrono::system_clock::now().time_since_epoch();
+  return std::chrono::duration<double>(now).count();
+}
+
 }  // namespace
 
 void set_log_level(LogLevel level) noexcept {
@@ -32,15 +68,66 @@ LogLevel log_level() noexcept {
   return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
 }
 
+void set_log_format(LogFormat format) noexcept {
+  g_format.store(static_cast<int>(format), std::memory_order_relaxed);
+}
+
+LogFormat log_format() noexcept {
+  return static_cast<LogFormat>(g_format.load(std::memory_order_relaxed));
+}
+
+std::string_view log_level_name(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::kDebug: return "debug";
+    case LogLevel::kInfo: return "info";
+    case LogLevel::kWarn: return "warn";
+    case LogLevel::kError: return "error";
+    case LogLevel::kOff: return "off";
+  }
+  return "unknown";
+}
+
+std::optional<LogLevel> parse_log_level(std::string_view name) noexcept {
+  if (name == "debug") return LogLevel::kDebug;
+  if (name == "info") return LogLevel::kInfo;
+  if (name == "warn" || name == "warning") return LogLevel::kWarn;
+  if (name == "error") return LogLevel::kError;
+  if (name == "off" || name == "none") return LogLevel::kOff;
+  return std::nullopt;
+}
+
+void set_log_stream(std::FILE* stream) noexcept {
+  g_stream.store(stream, std::memory_order_relaxed);
+}
+
 void log_message(LogLevel level, const char* fmt, ...) {
   if (static_cast<int>(level) < g_level.load(std::memory_order_relaxed)) return;
+  // Logging must be transparent to error handling around it: vsnprintf and
+  // fprintf may clobber errno, and callers routinely log before inspecting
+  // the failure they are reporting.
+  const int saved_errno = errno;
   char line[1024];
   va_list args;
   va_start(args, fmt);
   std::vsnprintf(line, sizeof line, fmt, args);
   va_end(args);
-  const std::scoped_lock lock(g_emit_mutex);
-  std::fprintf(stderr, "[mosaic %s] %s\n", level_tag(level), line);
+
+  std::FILE* stream = g_stream.load(std::memory_order_relaxed);
+  if (stream == nullptr) stream = stderr;
+  const LogFormat format = log_format();
+  {
+    const std::scoped_lock lock(g_emit_mutex);
+    if (format == LogFormat::kJson) {
+      std::fprintf(stream, "{\"ts\":%.3f,\"level\":\"%s\",\"msg\":\"%s\"}\n",
+                   epoch_seconds(),
+                   std::string(log_level_name(level)).c_str(),
+                   json_escape(line).c_str());
+    } else {
+      std::fprintf(stream, "[mosaic %s] %s\n", level_tag(level), line);
+    }
+    if (level >= LogLevel::kError) std::fflush(stream);
+  }
+  errno = saved_errno;
 }
 
 }  // namespace mosaic::util

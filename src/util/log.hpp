@@ -4,9 +4,16 @@
 // concurrent workers must not interleave mid-line, so emission takes a
 // process-wide mutex. Formatting uses printf-style specifiers, validated by
 // the compiler via the format attribute.
+//
+// Two wire formats: the human-readable text form (`[mosaic LEVEL] msg`) and
+// a machine-readable JSONL form (`{"ts":…,"level":"…","msg":"…"}`, one
+// object per line) selected with set_log_format — the CLI's --log-json.
 #pragma once
 
 #include <cstdarg>
+#include <cstdio>
+#include <optional>
+#include <string_view>
 
 namespace mosaic::util {
 
@@ -19,13 +26,37 @@ enum class LogLevel : int {
   kOff = 4,
 };
 
+/// Output encoding of emitted lines.
+enum class LogFormat : int {
+  kText = 0,  ///< "[mosaic LEVEL] msg\n"
+  kJson = 1,  ///< {"ts":<epoch seconds>,"level":"info","msg":"..."}\n
+};
+
 /// Sets the global threshold (default kInfo).
 void set_log_level(LogLevel level) noexcept;
 
 /// Current global threshold.
 [[nodiscard]] LogLevel log_level() noexcept;
 
-/// Core emission routine; prefer the MOSAIC_LOG_* macros.
+/// Sets the global output format (default kText).
+void set_log_format(LogFormat format) noexcept;
+
+/// Current global output format.
+[[nodiscard]] LogFormat log_format() noexcept;
+
+/// Lower-case level name as it appears on the CLI and in JSON lines.
+[[nodiscard]] std::string_view log_level_name(LogLevel level) noexcept;
+
+/// Parses a CLI level name ("debug", "info", "warn", "error", "off").
+[[nodiscard]] std::optional<LogLevel> parse_log_level(
+    std::string_view name) noexcept;
+
+/// Redirects emission to `stream` (test seam); nullptr restores stderr.
+void set_log_stream(std::FILE* stream) noexcept;
+
+/// Core emission routine; prefer the MOSAIC_LOG_* macros. Preserves the
+/// caller's errno and flushes the stream on kError, so a crash right after
+/// an error line cannot swallow it.
 void log_message(LogLevel level, const char* fmt, ...)
     __attribute__((format(printf, 2, 3)));
 

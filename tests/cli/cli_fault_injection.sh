@@ -51,6 +51,62 @@ rc=0
     --journal "$WORK/journal.jsonl" --resume > "$WORK/resume.txt"
 diff "$WORK/reference.json" "$WORK/resumed.json"
 
+# Observability surface: a faulty run with --metrics/--trace-events/--progress
+# must dump metrics (JSON + Prometheus) whose per-ErrorCode eviction counters
+# exactly match the run's funnel summary, a Perfetto-loadable trace with
+# per-thread stage spans, and at least one heartbeat line.
+"$MOSAIC" batch "$WORK/pop" --json "$WORK/obs.json" \
+    --fault-inject 'seed=5,eio=0.5,eio_failures=99' --retries 0 \
+    --metrics "$WORK/metrics.json" --trace-events "$WORK/trace.json" \
+    --progress 1 --log-json > "$WORK/obs.txt" 2> "$WORK/obs.err" || true
+[ -s "$WORK/metrics.json" ]
+[ -s "$WORK/metrics.json.prom" ]
+[ -s "$WORK/trace.json" ]
+grep -q '# TYPE mosaic_funnel_evictions_total counter' "$WORK/metrics.json.prom"
+grep -q '"msg":"progress:' "$WORK/obs.err"
+python3 - "$WORK/metrics.json" "$WORK/obs.json" "$WORK/trace.json" <<'PY'
+import json, sys
+metrics = json.load(open(sys.argv[1]))
+batch = json.load(open(sys.argv[2]))
+trace = json.load(open(sys.argv[3]))
+
+# Funnel counters must agree exactly with the batch summary's breakdown.
+counters = metrics["counters"]
+breakdown = batch["preprocessing"]["eviction_breakdown"]
+assert breakdown, "expected evictions in this faulty run"
+metric_evictions = {
+    name.split('code="')[1].rstrip('"}'): value
+    for name, value in counters.items()
+    if name.startswith("mosaic_funnel_evictions_total{")
+}
+assert metric_evictions == breakdown, (metric_evictions, breakdown)
+corruption = batch["preprocessing"]["corruption_breakdown"]
+metric_corruption = {
+    name.split('kind="')[1].rstrip('"}'): value
+    for name, value in counters.items()
+    if name.startswith("mosaic_funnel_corruption_total{")
+}
+assert metric_corruption == corruption, (metric_corruption, corruption)
+assert counters["mosaic_funnel_valid_total"] == batch["preprocessing"]["valid"]
+
+# Trace: per-thread metadata plus complete events for every pipeline stage.
+events = trace["traceEvents"]
+phases = {e["ph"] for e in events}
+assert phases <= {"M", "X"}, phases
+names = {e["name"] for e in events if e["ph"] == "X"}
+for stage in ("load", "merge", "segment", "periodicity", "temporality",
+              "metadata", "categorize", "analyze", "ingest-window"):
+    assert stage in names, f"missing span {stage}: {sorted(names)}"
+tids = {e.get("tid") for e in events if e["ph"] == "X"}
+thread_names = {e["args"]["name"] for e in events
+                if e["ph"] == "M" and e["name"] == "thread_name"}
+assert len(thread_names) == len(tids) > 0, (thread_names, tids)
+for e in events:
+    if e["ph"] == "X":
+        assert e["dur"] >= 0 and e["ts"] >= 0
+print("obs acceptance ok")
+PY
+
 # --resume without --journal is a usage error, as is a negative --threads.
 if "$MOSAIC" batch "$WORK/pop" --resume > /dev/null 2>&1; then
   echo "--resume without --journal should fail" >&2

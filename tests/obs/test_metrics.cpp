@@ -1,0 +1,204 @@
+// Concurrency and exposition tests for the metrics registry.
+//
+// The sharded counters promise exact totals once writers quiesce: a pool of
+// threads hammering the same instrument must sum to precisely the number of
+// increments issued, and histogram bucket counts must add up to the
+// observation count. The exposition tests pin the JSON and Prometheus
+// renderings the --metrics flag emits.
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "json/json.hpp"
+#include "obs/names.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace mosaic::obs {
+namespace {
+
+class MetricsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    set_metrics_enabled(true);
+    Registry::global().reset();
+  }
+};
+
+TEST_F(MetricsTest, CounterSumsExactlyUnderThreadPoolHammering) {
+  Counter& counter = Registry::global().counter("test_hammer_total");
+  constexpr std::size_t kThreads = 8;
+  constexpr std::size_t kPerThread = 50'000;
+  parallel::ThreadPool pool(kThreads);
+  parallel::parallel_for(pool, kThreads, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t t = lo; t < hi; ++t) {
+      for (std::size_t i = 0; i < kPerThread; ++i) counter.add();
+    }
+  });
+  EXPECT_EQ(counter.value(), kThreads * kPerThread);
+}
+
+TEST_F(MetricsTest, CounterExactAcrossManyRawThreads) {
+  Counter& counter = Registry::global().counter("test_raw_threads_total");
+  constexpr int kThreads = 2 * static_cast<int>(kShards) + 1;  // shard reuse
+  constexpr std::uint64_t kPerThread = 10'000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) counter.add(2);
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(counter.value(), 2 * kPerThread * kThreads);
+}
+
+TEST_F(MetricsTest, HistogramTotalsMatchUnderConcurrency) {
+  static constexpr double kEdges[] = {1.0, 10.0, 100.0};
+  Histogram& hist = Registry::global().histogram("test_hist", kEdges);
+  constexpr std::size_t kThreads = 6;
+  constexpr std::size_t kPerThread = 20'000;
+  parallel::ThreadPool pool(kThreads);
+  parallel::parallel_for(pool, kThreads, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t t = lo; t < hi; ++t) {
+      for (std::size_t i = 0; i < kPerThread; ++i) {
+        hist.observe(static_cast<double>(i % 200));  // spans all buckets
+      }
+    }
+  });
+  EXPECT_EQ(hist.count(), kThreads * kPerThread);
+  // Every thread observes the same 0..199 cycle, so the sum is exact.
+  const double cycle_sum = 199.0 * 200.0 / 2.0;
+  EXPECT_DOUBLE_EQ(hist.sum(),
+                   static_cast<double>(kThreads) *
+                       (static_cast<double>(kPerThread) / 200.0) * cycle_sum);
+
+  const Snapshot snapshot = Registry::global().snapshot();
+  for (const HistogramSample& sample : snapshot.histograms) {
+    if (sample.name != "test_hist") continue;
+    std::uint64_t bucket_total = 0;
+    for (const std::uint64_t b : sample.buckets) bucket_total += b;
+    EXPECT_EQ(bucket_total, sample.count);
+    ASSERT_EQ(sample.buckets.size(), 4u);  // 3 bounds + implicit +Inf
+    return;
+  }
+  FAIL() << "test_hist missing from snapshot";
+}
+
+TEST_F(MetricsTest, RegistryReturnsStableReferences) {
+  Counter& a = Registry::global().counter("test_stable_total");
+  Counter& b = Registry::global().counter("test_stable_total");
+  EXPECT_EQ(&a, &b);
+  Gauge& g1 = Registry::global().gauge("test_gauge");
+  Gauge& g2 = Registry::global().gauge("test_gauge");
+  EXPECT_EQ(&g1, &g2);
+}
+
+TEST_F(MetricsTest, GaugeSetAndAdd) {
+  Gauge& gauge = Registry::global().gauge("test_depth");
+  gauge.set(7);
+  EXPECT_EQ(gauge.value(), 7);
+  gauge.add(-3);
+  EXPECT_EQ(gauge.value(), 4);
+}
+
+TEST_F(MetricsTest, DisabledUpdatesAreDropped) {
+  Counter& counter = Registry::global().counter("test_disabled_total");
+  counter.add(5);
+  set_metrics_enabled(false);
+  counter.add(100);
+  set_metrics_enabled(true);
+  counter.add(1);
+  EXPECT_EQ(counter.value(), 6u);
+}
+
+TEST_F(MetricsTest, LabeledEncodesPrometheusSeries) {
+  EXPECT_EQ(labeled("m_total", "code", "io-error"),
+            "m_total{code=\"io-error\"}");
+}
+
+TEST_F(MetricsTest, SnapshotIsNameSorted) {
+  Registry::global().counter("test_b_total").add();
+  Registry::global().counter("test_a_total").add();
+  const Snapshot snapshot = Registry::global().snapshot();
+  for (std::size_t i = 1; i < snapshot.counters.size(); ++i) {
+    EXPECT_LT(snapshot.counters[i - 1].name, snapshot.counters[i].name);
+  }
+}
+
+TEST_F(MetricsTest, JsonExportParsesAndRoundTripsCounts) {
+  Registry::global().counter("test_json_total").add(42);
+  static constexpr double kEdges[] = {1.0, 2.0};
+  Registry::global().histogram("test_json_ms", kEdges).observe(1.5);
+  const auto parsed = json::parse(
+      json::serialize(metrics_to_json(Registry::global().snapshot())));
+  ASSERT_TRUE(parsed.has_value());
+  const json::Object& root = parsed->as_object();
+  ASSERT_TRUE(root.contains("counters"));
+  ASSERT_TRUE(root.contains("gauges"));
+  ASSERT_TRUE(root.contains("histograms"));
+  const json::Value* counter = root.find("counters")->as_object().find(
+      "test_json_total");
+  ASSERT_NE(counter, nullptr);
+  EXPECT_DOUBLE_EQ(counter->as_number(), 42.0);
+  const json::Value* hist =
+      root.find("histograms")->as_object().find("test_json_ms");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_DOUBLE_EQ(hist->as_object().find("count")->as_number(), 1.0);
+  // Cumulative buckets: 1.5 falls past le=1, so [0, 1, 1].
+  const json::Array& buckets = hist->as_object().find("buckets")->as_array();
+  ASSERT_EQ(buckets.size(), 3u);
+  EXPECT_DOUBLE_EQ(buckets[0].as_object().find("count")->as_number(), 0.0);
+  EXPECT_DOUBLE_EQ(buckets[2].as_object().find("count")->as_number(), 1.0);
+}
+
+TEST_F(MetricsTest, PrometheusExportHasTypeLinesAndCumulativeBuckets) {
+  Registry::global().counter(labeled("test_prom_total", "code", "x")).add(3);
+  Registry::global().counter(labeled("test_prom_total", "code", "y")).add(4);
+  static constexpr double kEdges[] = {10.0};
+  Histogram& hist = Registry::global().histogram("test_prom_ms", kEdges);
+  hist.observe(5.0);
+  hist.observe(50.0);
+  const std::string text =
+      metrics_to_prometheus(Registry::global().snapshot());
+  // One TYPE line per family even with two labeled series.
+  std::size_t type_lines = 0;
+  std::size_t pos = 0;
+  while ((pos = text.find("# TYPE test_prom_total counter", pos)) !=
+         std::string::npos) {
+    ++type_lines;
+    pos += 1;
+  }
+  EXPECT_EQ(type_lines, 1u);
+  EXPECT_NE(text.find("test_prom_total{code=\"x\"} 3"), std::string::npos);
+  EXPECT_NE(text.find("test_prom_total{code=\"y\"} 4"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE test_prom_ms histogram"), std::string::npos);
+  EXPECT_NE(text.find("test_prom_ms_bucket{le=\"10\"} 1"), std::string::npos);
+  EXPECT_NE(text.find("test_prom_ms_bucket{le=\"+Inf\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("test_prom_ms_count 2"), std::string::npos);
+}
+
+TEST_F(MetricsTest, ScopedTimerObservesOnceOnExit) {
+  static constexpr double kEdges[] = {1e9};  // everything lands in bucket 0
+  Histogram& hist = Registry::global().histogram("test_timer_ms", kEdges);
+  { const ScopedTimerMs timer(hist); }
+  EXPECT_EQ(hist.count(), 1u);
+  EXPECT_GE(hist.sum(), 0.0);
+}
+
+TEST_F(MetricsTest, InstrumentedNamesFollowConventions) {
+  // Counters end in _total; the canonical names all carry the prefix.
+  for (const std::string_view name :
+       {names::kIngestLoaded, names::kFunnelValid, names::kPoolTasks,
+        names::kTracesAnalyzed, names::kMeanShiftPoints}) {
+    EXPECT_TRUE(name.starts_with("mosaic_")) << name;
+    EXPECT_TRUE(name.ends_with("_total")) << name;
+  }
+}
+
+}  // namespace
+}  // namespace mosaic::obs

@@ -1,0 +1,165 @@
+// Span tracer tests: recording semantics, ring overflow, and the Chrome
+// trace_event JSON schema (the golden contract chrome://tracing / Perfetto
+// load). Spans are validated through json::parse rather than string
+// comparison so formatting changes cannot silently break loadability.
+#include "obs/span.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "json/json.hpp"
+
+namespace mosaic::obs {
+namespace {
+
+class SpanTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SpanTracer::global().disable();
+    SpanTracer::global().reset();
+  }
+  void TearDown() override {
+    SpanTracer::global().disable();
+    SpanTracer::global().reset();
+  }
+};
+
+TEST_F(SpanTest, DisabledTracerRecordsNothing) {
+  { MOSAIC_SPAN("ignored"); }
+  EXPECT_TRUE(SpanTracer::global().collect().empty());
+}
+
+TEST_F(SpanTest, RecordsNestedScopesInOrder) {
+  SpanTracer::global().enable();
+  {
+    MOSAIC_SPAN("outer");
+    { MOSAIC_SPAN("inner"); }
+  }
+  const auto spans = SpanTracer::global().collect();
+  ASSERT_EQ(spans.size(), 2u);
+  // Sorted by (tid, start): outer opened first.
+  EXPECT_STREQ(spans[0].name, "outer");
+  EXPECT_STREQ(spans[1].name, "inner");
+  EXPECT_LE(spans[0].start_ns, spans[1].start_ns);
+  EXPECT_GE(spans[0].end_ns, spans[1].end_ns);
+}
+
+TEST_F(SpanTest, PerThreadBuffersGetDistinctTids) {
+  SpanTracer::global().enable();
+  constexpr int kThreads = 4;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([] {
+      for (int i = 0; i < 10; ++i) { MOSAIC_SPAN("work"); }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  const auto spans = SpanTracer::global().collect();
+  EXPECT_EQ(spans.size(), static_cast<std::size_t>(kThreads) * 10u);
+  std::set<std::uint32_t> tids;
+  for (const SpanEvent& span : spans) tids.insert(span.tid);
+  EXPECT_EQ(tids.size(), static_cast<std::size_t>(kThreads));
+}
+
+TEST_F(SpanTest, RingOverflowDropsOldestAndCounts) {
+  // Capacity requests are clamped to a floor of 16.
+  SpanTracer::global().enable(/*per_thread_capacity=*/16);
+  for (int i = 0; i < 20; ++i) { MOSAIC_SPAN("span"); }
+  const auto spans = SpanTracer::global().collect();
+  EXPECT_EQ(spans.size(), 16u);
+  EXPECT_EQ(SpanTracer::global().dropped(), 4u);
+}
+
+TEST_F(SpanTest, ChromeTraceJsonMatchesSchema) {
+  SpanTracer::global().enable();
+  { MOSAIC_SPAN("stage-a"); }
+  { MOSAIC_SPAN("stage-b"); }
+  const auto parsed = json::parse(SpanTracer::global().chrome_trace_json());
+  ASSERT_TRUE(parsed.has_value()) << "trace JSON must parse";
+  const json::Object& root = parsed->as_object();
+  ASSERT_TRUE(root.contains("traceEvents"));
+  EXPECT_EQ(root.find("displayTimeUnit")->as_string(), "ms");
+
+  const json::Array& events = root.find("traceEvents")->as_array();
+  bool saw_process_name = false;
+  bool saw_thread_name = false;
+  std::size_t complete_events = 0;
+  for (const json::Value& event : events) {
+    const json::Object& obj = event.as_object();
+    const std::string& ph = obj.find("ph")->as_string();
+    if (ph == "M") {
+      const std::string& name = obj.find("name")->as_string();
+      saw_process_name |= name == "process_name";
+      saw_thread_name |= name == "thread_name";
+      continue;
+    }
+    // Complete events: the schema chrome://tracing requires.
+    ASSERT_EQ(ph, "X");
+    ++complete_events;
+    EXPECT_TRUE(obj.contains("name"));
+    EXPECT_TRUE(obj.contains("cat"));
+    EXPECT_TRUE(obj.contains("pid"));
+    EXPECT_TRUE(obj.contains("tid"));
+    ASSERT_TRUE(obj.contains("ts"));
+    ASSERT_TRUE(obj.contains("dur"));
+    EXPECT_GE(obj.find("dur")->as_number(), 0.0);
+  }
+  EXPECT_EQ(complete_events, 2u);
+  EXPECT_TRUE(saw_process_name);
+  EXPECT_TRUE(saw_thread_name);
+}
+
+TEST_F(SpanTest, WriteChromeTraceProducesLoadableFile) {
+  namespace fs = std::filesystem;
+  SpanTracer::global().enable();
+  { MOSAIC_SPAN("persisted"); }
+  const fs::path path = fs::temp_directory_path() / "mosaic_span_test.json";
+  fs::remove(path);
+  ASSERT_TRUE(SpanTracer::global().write_chrome_trace(path.string()).ok());
+  std::ifstream in(path);
+  const std::string text{std::istreambuf_iterator<char>(in),
+                         std::istreambuf_iterator<char>()};
+  fs::remove(path);
+  const auto parsed = json::parse(text);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(parsed->as_object().contains("traceEvents"));
+}
+
+TEST_F(SpanTest, ResetClearsBuffersAndSurvivesReRecording) {
+  SpanTracer::global().enable();
+  { MOSAIC_SPAN("before"); }
+  SpanTracer::global().reset();
+  EXPECT_TRUE(SpanTracer::global().collect().empty());
+  { MOSAIC_SPAN("after"); }
+  const auto spans = SpanTracer::global().collect();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_STREQ(spans[0].name, "after");
+}
+
+TEST_F(SpanTest, CollectIsDeterministicallySorted) {
+  SpanTracer::global().enable();
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 3; ++t) {
+    threads.emplace_back([] {
+      for (int i = 0; i < 50; ++i) { MOSAIC_SPAN("s"); }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  const auto spans = SpanTracer::global().collect();
+  for (std::size_t i = 1; i < spans.size(); ++i) {
+    const bool ordered =
+        spans[i - 1].tid < spans[i].tid ||
+        (spans[i - 1].tid == spans[i].tid &&
+         spans[i - 1].start_ns <= spans[i].start_ns);
+    EXPECT_TRUE(ordered) << "span " << i << " out of order";
+  }
+}
+
+}  // namespace
+}  // namespace mosaic::obs

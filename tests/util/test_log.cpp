@@ -2,13 +2,42 @@
 
 #include <gtest/gtest.h>
 
+#include <cerrno>
+#include <cstdio>
+#include <string>
 #include <thread>
 #include <vector>
 
+#include "json/json.hpp"
 #include "util/stopwatch.hpp"
 
 namespace mosaic::util {
 namespace {
+
+/// Captures everything log_message emits while in scope.
+class CapturedLog {
+ public:
+  CapturedLog() : file_(std::tmpfile()) { set_log_stream(file_); }
+  ~CapturedLog() {
+    set_log_stream(nullptr);
+    if (file_ != nullptr) std::fclose(file_);
+  }
+
+  std::string text() {
+    std::fflush(file_);
+    std::rewind(file_);
+    std::string out;
+    char buffer[256];
+    std::size_t n;
+    while ((n = std::fread(buffer, 1, sizeof buffer, file_)) > 0) {
+      out.append(buffer, n);
+    }
+    return out;
+  }
+
+ private:
+  std::FILE* file_;
+};
 
 TEST(Log, LevelThresholdStored) {
   const LogLevel original = log_level();
@@ -42,6 +71,59 @@ TEST(Log, ConcurrentEmissionIsSafe) {
   }
   for (auto& thread : threads) thread.join();
   set_log_level(original);
+}
+
+TEST(Log, PreservesCallerErrno) {
+  const LogLevel original = log_level();
+  set_log_level(LogLevel::kDebug);
+  CapturedLog captured;
+  errno = EINVAL;
+  MOSAIC_LOG_ERROR("reporting failure for %s", "somefile");
+  EXPECT_EQ(errno, EINVAL);
+  errno = 0;
+  set_log_level(original);
+}
+
+TEST(Log, TextFormatIsTagged) {
+  const LogLevel original = log_level();
+  set_log_level(LogLevel::kInfo);
+  set_log_format(LogFormat::kText);
+  CapturedLog captured;
+  MOSAIC_LOG_WARN("watch out %d", 7);
+  EXPECT_EQ(captured.text(), "[mosaic WARN ] watch out 7\n");
+  set_log_level(original);
+}
+
+TEST(Log, JsonLinesParseWithExpectedFields) {
+  const LogLevel original = log_level();
+  set_log_level(LogLevel::kInfo);
+  set_log_format(LogFormat::kJson);
+  CapturedLog captured;
+  MOSAIC_LOG_WARN("quoted \"path\" and\nnewline");
+  const std::string text = captured.text();
+  set_log_format(LogFormat::kText);
+  set_log_level(original);
+
+  ASSERT_FALSE(text.empty());
+  ASSERT_EQ(text.back(), '\n');
+  const auto parsed = json::parse(text.substr(0, text.size() - 1));
+  ASSERT_TRUE(parsed.has_value()) << text;
+  const json::Object& line = parsed->as_object();
+  EXPECT_GT(line.find("ts")->as_number(), 0.0);
+  EXPECT_EQ(line.find("level")->as_string(), "warn");
+  EXPECT_EQ(line.find("msg")->as_string(), "quoted \"path\" and\nnewline");
+}
+
+TEST(Log, LevelNamesRoundTripThroughParser) {
+  for (const LogLevel level : {LogLevel::kDebug, LogLevel::kInfo,
+                               LogLevel::kWarn, LogLevel::kError,
+                               LogLevel::kOff}) {
+    const auto parsed = parse_log_level(log_level_name(level));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, level);
+  }
+  EXPECT_FALSE(parse_log_level("verbose").has_value());
+  EXPECT_EQ(parse_log_level("warning"), LogLevel::kWarn);
 }
 
 TEST(Stopwatch, MeasuresElapsedTime) {

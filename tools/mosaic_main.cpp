@@ -26,6 +26,8 @@
 #include "ingest/ingest.hpp"
 #include "ingest/reader.hpp"
 #include "json/json.hpp"
+#include "obs/report.hpp"
+#include "obs/span.hpp"
 #include "parallel/thread_pool.hpp"
 #include "report/aggregate.hpp"
 #include "report/csv.hpp"
@@ -34,6 +36,7 @@
 #include "report/tables.hpp"
 #include "sim/population.hpp"
 #include "util/cli.hpp"
+#include "util/log.hpp"
 #include "util/stopwatch.hpp"
 #include "util/strings.hpp"
 
@@ -85,6 +88,111 @@ std::vector<std::string> expand_paths(const std::vector<std::string>& args) {
     }
   }
   return paths;
+}
+
+/// Registers the logging options every subcommand accepts.
+void add_log_cli_options(util::CliParser& cli) {
+  cli.add_flag("log-json",
+               "emit log lines as JSONL objects ({ts, level, msg})");
+  cli.add_option("log-level", "debug | info | warn | error | off", "info");
+}
+
+/// Applies --log-json/--log-level; prints and returns false on a bad level.
+bool apply_log_cli_options(const util::CliParser& cli) {
+  const auto level = util::parse_log_level(cli.get("log-level"));
+  if (!level.has_value()) {
+    std::fprintf(stderr,
+                 "--log-level must be one of debug|info|warn|error|off\n");
+    return false;
+  }
+  util::set_log_level(*level);
+  if (cli.get_flag("log-json")) util::set_log_format(util::LogFormat::kJson);
+  return true;
+}
+
+/// Registers the telemetry options shared by the pipeline subcommands.
+void add_obs_cli_options(util::CliParser& cli) {
+  cli.add_option("metrics",
+                 "write run metrics to this path as JSON, plus Prometheus "
+                 "text to <path>.prom", "");
+  cli.add_option("trace-events",
+                 "record per-stage spans and write Chrome trace_event JSON "
+                 "(chrome://tracing, Perfetto) to this path", "");
+  cli.add_option("progress",
+                 "log a progress heartbeat every N seconds (0 = off)", "0");
+}
+
+/// Arms the sinks requested via --metrics/--trace-events/--progress and
+/// flushes them when the subcommand returns. The destructor covers early
+/// error exits so an aborted run still leaves its telemetry behind.
+class ObsSession {
+ public:
+  ObsSession(std::string metrics_path, std::string trace_path,
+             double progress_seconds)
+      : metrics_path_(std::move(metrics_path)),
+        trace_path_(std::move(trace_path)) {
+    if (!trace_path_.empty()) obs::SpanTracer::global().enable();
+    if (progress_seconds > 0.0) {
+      heartbeat_ = std::make_unique<obs::Heartbeat>(progress_seconds);
+    }
+  }
+
+  ~ObsSession() { finish(); }
+
+  ObsSession(const ObsSession&) = delete;
+  ObsSession& operator=(const ObsSession&) = delete;
+
+  /// Stops the heartbeat and writes the requested files (idempotent).
+  /// Returns false if a sink could not be written.
+  bool finish() {
+    if (finished_) return ok_;
+    finished_ = true;
+    if (heartbeat_ != nullptr) heartbeat_->stop();
+    if (!metrics_path_.empty()) {
+      if (const auto status = obs::write_metrics_files(metrics_path_);
+          !status.ok()) {
+        std::fprintf(stderr, "%s\n", status.error().to_string().c_str());
+        ok_ = false;
+      } else {
+        std::printf("metrics written to %s and %s.prom\n",
+                    metrics_path_.c_str(), metrics_path_.c_str());
+      }
+    }
+    if (!trace_path_.empty()) {
+      auto& tracer = obs::SpanTracer::global();
+      if (const auto status = tracer.write_chrome_trace(trace_path_);
+          !status.ok()) {
+        std::fprintf(stderr, "%s\n", status.error().to_string().c_str());
+        ok_ = false;
+      } else {
+        std::printf("trace events written to %s\n", trace_path_.c_str());
+        if (tracer.dropped() > 0) {
+          MOSAIC_LOG_WARN("trace: %llu spans dropped (ring buffers full)",
+                          static_cast<unsigned long long>(tracer.dropped()));
+        }
+      }
+      tracer.disable();
+    }
+    return ok_;
+  }
+
+ private:
+  std::string metrics_path_;
+  std::string trace_path_;
+  std::unique_ptr<obs::Heartbeat> heartbeat_;
+  bool finished_ = false;
+  bool ok_ = true;
+};
+
+/// Validates --progress; nullopt (after printing) on a negative value.
+std::optional<double> parse_progress(const util::CliParser& cli) {
+  const auto progress = cli.get_double("progress");
+  if (!progress.has_value() || *progress < 0.0) {
+    std::fprintf(stderr, "--progress must be a non-negative number of "
+                         "seconds\n");
+    return std::nullopt;
+  }
+  return *progress;
 }
 
 /// Registers the fault-tolerance options shared by the ingest-driven
@@ -188,9 +296,12 @@ int cmd_analyze(int argc, char** argv) {
   cli.add_option("thresholds", "JSON thresholds config", "");
   cli.add_flag("json", "print the full JSON per trace");
   add_ingest_cli_options(cli);
+  add_obs_cli_options(cli);
+  add_log_cli_options(cli);
   if (const auto status = cli.parse(argc, argv); !status.ok()) {
     return status.error().code == util::ErrorCode::kNotFound ? 0 : 2;
   }
+  if (!apply_log_cli_options(cli)) return 2;
   const auto paths = expand_paths(cli.positional());
   if (paths.empty()) {
     std::fprintf(stderr, "mosaic analyze: no input traces\n");
@@ -199,6 +310,10 @@ int cmd_analyze(int argc, char** argv) {
   std::unique_ptr<ingest::FaultyFileReader> faulty;
   const auto options = make_ingest_options(cli, faulty);
   if (!options.has_value()) return 2;
+  const auto progress = parse_progress(cli);
+  if (!progress.has_value()) return 2;
+  ObsSession obs_session(std::string(cli.get("metrics")),
+                         std::string(cli.get("trace-events")), *progress);
   const core::Analyzer analyzer(load_thresholds(cli));
   int failures = 0;
   for (const std::string& path : paths) {
@@ -224,6 +339,7 @@ int cmd_analyze(int argc, char** argv) {
                   util::join(result.categories.names(), ", ").c_str());
     }
   }
+  if (!obs_session.finish()) return 1;
   return failures == 0 ? 0 : 1;
 }
 
@@ -236,9 +352,12 @@ int cmd_batch(int argc, char** argv) {
   cli.add_option("json", "write the JSON summary to this path", "");
   cli.add_flag("heatmap", "render the Jaccard heatmap");
   add_ingest_cli_options(cli);
+  add_obs_cli_options(cli);
+  add_log_cli_options(cli);
   if (const auto status = cli.parse(argc, argv); !status.ok()) {
     return status.error().code == util::ErrorCode::kNotFound ? 0 : 2;
   }
+  if (!apply_log_cli_options(cli)) return 2;
   const auto paths = expand_paths(cli.positional());
   if (paths.empty()) {
     std::fprintf(stderr, "mosaic batch: no input traces\n");
@@ -249,6 +368,10 @@ int cmd_batch(int argc, char** argv) {
   std::unique_ptr<ingest::FaultyFileReader> faulty;
   const auto options = make_ingest_options(cli, faulty);
   if (!options.has_value()) return 2;
+  const auto progress = parse_progress(cli);
+  if (!progress.has_value()) return 2;
+  ObsSession obs_session(std::string(cli.get("metrics")),
+                         std::string(cli.get("trace-events")), *progress);
 
   // Stream the corpus through the pool: bounded in-flight memory, retries
   // for transient I/O errors, every failure classified into the funnel.
@@ -320,6 +443,7 @@ int cmd_batch(int argc, char** argv) {
     std::printf("\nJSON summary written to %s\n",
                 std::string(json_path).c_str());
   }
+  if (!obs_session.finish()) return 1;
   return 0;
 }
 
@@ -332,9 +456,12 @@ int cmd_report(int argc, char** argv) {
   cli.add_option("top-pairs", "Jaccard pairs to list", "10");
   cli.add_option("threads", "worker threads (0 = hardware)", "0");
   add_ingest_cli_options(cli);
+  add_obs_cli_options(cli);
+  add_log_cli_options(cli);
   if (const auto status = cli.parse(argc, argv); !status.ok()) {
     return status.error().code == util::ErrorCode::kNotFound ? 0 : 2;
   }
+  if (!apply_log_cli_options(cli)) return 2;
   const auto paths = expand_paths(cli.positional());
   if (paths.empty()) {
     std::fprintf(stderr, "mosaic report: no input traces\n");
@@ -345,6 +472,10 @@ int cmd_report(int argc, char** argv) {
   std::unique_ptr<ingest::FaultyFileReader> faulty;
   const auto options = make_ingest_options(cli, faulty);
   if (!options.has_value()) return 2;
+  const auto progress = parse_progress(cli);
+  if (!progress.has_value()) return 2;
+  ObsSession obs_session(std::string(cli.get("metrics")),
+                         std::string(cli.get("trace-events")), *progress);
 
   parallel::ThreadPool pool(*thread_count);
   auto ingested = ingest::ingest_paths(paths, *options, pool);
@@ -450,6 +581,7 @@ int cmd_report(int argc, char** argv) {
   }
   std::printf("report written to %s (%zu applications)\n", out_path.c_str(),
               batch.results.size());
+  if (!obs_session.finish()) return 1;
   return 0;
 }
 
@@ -460,9 +592,11 @@ int cmd_generate(int argc, char** argv) {
   cli.add_option("seed", "master seed", "20190410");
   cli.add_option("format", "text | mbt | mixed", "mbt");
   cli.add_option("corruption", "corrupted fraction", "0.32");
+  add_log_cli_options(cli);
   if (const auto status = cli.parse(argc, argv); !status.ok()) {
     return status.error().code == util::ErrorCode::kNotFound ? 0 : 2;
   }
+  if (!apply_log_cli_options(cli)) return 2;
   if (cli.positional().size() != 1) {
     std::fprintf(stderr, "mosaic generate: exactly one output directory\n");
     return 2;
