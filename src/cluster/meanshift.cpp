@@ -178,6 +178,7 @@ MeanShiftResult mean_shift(const PointSet& points,
       }
     }
     iterations_hist.observe(static_cast<double>(iterations_used));
+    result.total_iterations += iterations_used;
     converged[i] = current;
   }
 

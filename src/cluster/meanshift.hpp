@@ -43,6 +43,7 @@ struct MeanShiftResult {
   std::vector<std::size_t> labels;
   std::vector<std::vector<double>> modes;   ///< converged mode per cluster
   std::vector<std::size_t> cluster_sizes;   ///< points per cluster
+  std::size_t total_iterations = 0;         ///< shift iterations, all points
 };
 
 /// A set of points with a fixed dimensionality, stored row-major.

@@ -1,12 +1,21 @@
 #include "core/merge.hpp"
 
 #include <algorithm>
+#include <cstdint>
+
+#include "obs/provenance.hpp"
 
 namespace mosaic::core {
 
 using trace::IoOp;
 
 namespace {
+
+double covered_seconds(const std::vector<IoOp>& ops) {
+  double total = 0.0;
+  for (const IoOp& op : ops) total += op.duration();
+  return total;
+}
 
 /// Folds `op` into `acc`: widens the window, sums bytes, demotes the rank to
 /// shared when sources disagree.
@@ -67,9 +76,21 @@ std::vector<IoOp> merge_neighbors(std::vector<IoOp> ops, double total_runtime,
 }
 
 std::vector<IoOp> merge_ops(std::vector<IoOp> ops, double total_runtime,
-                            const Thresholds& thresholds) {
-  return merge_neighbors(merge_concurrent(std::move(ops)), total_runtime,
-                         thresholds);
+                            const Thresholds& thresholds,
+                            obs::MergeProvenance* evidence) {
+  if (evidence == nullptr) {
+    return merge_neighbors(merge_concurrent(std::move(ops)), total_runtime,
+                           thresholds);
+  }
+  evidence->raw_ops = static_cast<std::uint64_t>(ops.size());
+  evidence->covered_seconds_before = covered_seconds(ops);
+  std::vector<IoOp> concurrent = merge_concurrent(std::move(ops));
+  evidence->after_concurrent = static_cast<std::uint64_t>(concurrent.size());
+  std::vector<IoOp> merged =
+      merge_neighbors(std::move(concurrent), total_runtime, thresholds);
+  evidence->merged_ops = static_cast<std::uint64_t>(merged.size());
+  evidence->covered_seconds_after = covered_seconds(merged);
+  return merged;
 }
 
 }  // namespace mosaic::core

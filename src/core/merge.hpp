@@ -16,6 +16,10 @@
 #include "core/thresholds.hpp"
 #include "trace/trace.hpp"
 
+namespace mosaic::obs {
+struct MergeProvenance;
+}  // namespace mosaic::obs
+
 namespace mosaic::core {
 
 /// Fuses overlapping (or touching) operations. Input need not be sorted;
@@ -31,9 +35,11 @@ namespace mosaic::core {
     std::vector<trace::IoOp> ops, double total_runtime,
     const Thresholds& thresholds = {});
 
-/// Convenience: both passes in order.
+/// Convenience: both passes in order. When `evidence` is non-null the merge
+/// funnel (raw / after-concurrent / merged counts and covered seconds) is
+/// recorded for the provenance journal.
 [[nodiscard]] std::vector<trace::IoOp> merge_ops(
     std::vector<trace::IoOp> ops, double total_runtime,
-    const Thresholds& thresholds = {});
+    const Thresholds& thresholds = {}, obs::MergeProvenance* evidence = nullptr);
 
 }  // namespace mosaic::core

@@ -17,6 +17,10 @@
 #include "core/thresholds.hpp"
 #include "trace/trace.hpp"
 
+namespace mosaic::obs {
+struct MetadataProvenance;
+}  // namespace mosaic::obs
+
 namespace mosaic::core {
 
 /// Metadata classification plus the measurements behind it.
@@ -34,8 +38,12 @@ struct MetadataResult {
 
 /// Classifies a metadata timeline for a job of `runtime` seconds on
 /// `nprocs` ranks. Events outside [0, runtime] clamp into the edge seconds.
+/// When `evidence` is non-null the measured ratios, every threshold the
+/// rules compared them with, and the closest comparison's margin are
+/// recorded.
 [[nodiscard]] MetadataResult classify_metadata(
     std::span<const trace::MetaEvent> events, double runtime,
-    std::uint32_t nprocs, const Thresholds& thresholds = {});
+    std::uint32_t nprocs, const Thresholds& thresholds = {},
+    obs::MetadataProvenance* evidence = nullptr);
 
 }  // namespace mosaic::core

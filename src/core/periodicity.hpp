@@ -15,6 +15,10 @@
 #include "core/thresholds.hpp"
 #include "trace/trace.hpp"
 
+namespace mosaic::obs {
+struct PeriodicityProvenance;
+}  // namespace mosaic::obs
+
 namespace mosaic::core {
 
 /// Order of magnitude of a detected period (paper Table I).
@@ -52,17 +56,26 @@ struct PeriodicityResult {
 [[nodiscard]] PeriodMagnitude classify_period_magnitude(
     double period_seconds, const Thresholds& thresholds = {}) noexcept;
 
-/// Runs the Mean-Shift detector over a trace's segments.
+/// Runs the Mean-Shift detector over a trace's segments. When `evidence` is
+/// non-null, the bandwidth, every cluster candidate with its CV acceptance
+/// tests, and the verdict margin are recorded into evidence->mean_shift and
+/// the top-level verdict fields.
 [[nodiscard]] PeriodicityResult detect_periodicity(
-    std::span<const Segment> segments, const Thresholds& thresholds = {});
+    std::span<const Segment> segments, const Thresholds& thresholds = {},
+    obs::PeriodicityProvenance* evidence = nullptr);
 
 /// Frequency-domain detector (paper SV future work): bins the merged op
 /// stream into a volume-per-second activity signal, runs the FFT +
 /// autocorrelation analysis, and converts significant peaks to
 /// PeriodicGroups. Runs longer than thresholds.frequency_max_bins seconds
 /// are binned coarser so the FFT cost per trace stays bounded.
+/// When `evidence` is non-null, every spectral peak and its score test are
+/// recorded into evidence->frequency and the top-level verdict fields (the
+/// mean_shift sub-record is left untouched so the hybrid backend can layer
+/// both).
 [[nodiscard]] PeriodicityResult detect_periodicity_frequency(
     std::span<const trace::IoOp> merged_ops, double runtime,
-    const Thresholds& thresholds = {});
+    const Thresholds& thresholds = {},
+    obs::PeriodicityProvenance* evidence = nullptr);
 
 }  // namespace mosaic::core

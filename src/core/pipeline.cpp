@@ -1,14 +1,31 @@
 #include "core/pipeline.hpp"
 
+#include <cstdarg>
+#include <cstdio>
+#include <utility>
+
 #include "core/merge.hpp"
 #include "core/segmentation.hpp"
 #include "obs/metrics.hpp"
 #include "obs/names.hpp"
-#include "obs/span.hpp"
+#include "obs/provenance.hpp"
+#include "obs/stage.hpp"
 
 namespace mosaic::core {
 
 namespace {
+
+/// Appends one printf-formatted rule line to the trace (no-op when null).
+__attribute__((format(printf, 2, 3))) void trace_rule(
+    std::vector<std::string>* rule_trace, const char* fmt, ...) {
+  if (rule_trace == nullptr) return;
+  char buffer[256];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buffer, sizeof(buffer), fmt, args);
+  va_end(args);
+  rule_trace->emplace_back(buffer);
+}
 
 /// Per-stage instruments, resolved once; the hot path pays one relaxed load
 /// per stage plus two steady_clock reads, nothing else.
@@ -50,17 +67,35 @@ struct StageMetrics {
 /// Periodicity label block for one kind, gated on significance.
 void flatten_periodicity(CategorySet& out, trace::OpKind kind,
                          const KindAnalysis& analysis,
-                         const Thresholds& thresholds) {
-  if (analysis.temporality.label == Temporality::kInsignificant) return;
+                         const Thresholds& thresholds,
+                         std::vector<std::string>* rule_trace) {
+  const char* kind_name = kind == trace::OpKind::kRead ? "read" : "write";
+  if (analysis.temporality.label == Temporality::kInsignificant) {
+    if (analysis.periodicity.periodic) {
+      trace_rule(rule_trace,
+                 "[%s] periodicity suppressed: kind volume is insignificant",
+                 kind_name);
+    }
+    return;
+  }
   const PeriodicityResult& periodicity = analysis.periodicity;
-  if (!periodicity.periodic) return;
+  if (!periodicity.periodic) {
+    trace_rule(rule_trace, "[%s] not periodic: no category", kind_name);
+    return;
+  }
 
   const bool read = kind == trace::OpKind::kRead;
   out.insert(read ? Category::kReadPeriodic : Category::kWritePeriodic);
+  trace_rule(rule_trace, "[%s] periodic: %zu group(s) -> %s_periodic",
+             kind_name, periodicity.groups.size(), kind_name);
 
   // Categories are non-exclusive: a trace with two periodic operations of
   // different magnitudes carries both magnitude labels.
   for (const PeriodicGroup& group : periodicity.groups) {
+    trace_rule(rule_trace,
+               "[%s] periodic group: period %.3gs (x%zu) -> %s_periodic_%s",
+               kind_name, group.period_seconds, group.occurrences, kind_name,
+               period_magnitude_name(group.magnitude));
     switch (group.magnitude) {
       case PeriodMagnitude::kSecond:
         out.insert(read ? Category::kReadPeriodicSecond
@@ -86,9 +121,15 @@ void flatten_periodicity(CategorySet& out, trace::OpKind kind,
   if (busy >= thresholds.busy_ratio_split) {
     out.insert(read ? Category::kReadPeriodicHighBusyTime
                     : Category::kWritePeriodicHighBusyTime);
+    trace_rule(rule_trace,
+               "[%s] busy ratio %.3f >= %.3f -> %s_periodic_high_busy_time",
+               kind_name, busy, thresholds.busy_ratio_split, kind_name);
   } else {
     out.insert(read ? Category::kReadPeriodicLowBusyTime
                     : Category::kWritePeriodicLowBusyTime);
+    trace_rule(rule_trace,
+               "[%s] busy ratio %.3f < %.3f -> %s_periodic_low_busy_time",
+               kind_name, busy, thresholds.busy_ratio_split, kind_name);
   }
 }
 
@@ -97,82 +138,164 @@ void flatten_periodicity(CategorySet& out, trace::OpKind kind,
 CategorySet flatten_categories(const KindAnalysis& read,
                                const KindAnalysis& write,
                                const MetadataResult& metadata,
-                               const Thresholds& thresholds) {
+                               const Thresholds& thresholds,
+                               std::vector<std::string>* rule_trace) {
   CategorySet out;
-  out.insert(temporality_category(trace::OpKind::kRead, read.temporality.label));
-  out.insert(
-      temporality_category(trace::OpKind::kWrite, write.temporality.label));
-  flatten_periodicity(out, trace::OpKind::kRead, read, thresholds);
-  flatten_periodicity(out, trace::OpKind::kWrite, write, thresholds);
+  const Category read_temporality =
+      temporality_category(trace::OpKind::kRead, read.temporality.label);
+  const Category write_temporality =
+      temporality_category(trace::OpKind::kWrite, write.temporality.label);
+  out.insert(read_temporality);
+  out.insert(write_temporality);
+  trace_rule(rule_trace, "[read] temporality %s -> %s",
+             temporality_name(read.temporality.label),
+             std::string(category_name(read_temporality)).c_str());
+  trace_rule(rule_trace, "[write] temporality %s -> %s",
+             temporality_name(write.temporality.label),
+             std::string(category_name(write_temporality)).c_str());
+  flatten_periodicity(out, trace::OpKind::kRead, read, thresholds, rule_trace);
+  flatten_periodicity(out, trace::OpKind::kWrite, write, thresholds,
+                      rule_trace);
 
   if (metadata.insignificant) {
     out.insert(Category::kMetadataInsignificantLoad);
+    trace_rule(rule_trace,
+               "[metadata] %llu request(s), fewer than one per rank -> "
+               "metadata_insignificant_load",
+               static_cast<unsigned long long>(metadata.total_requests));
   } else {
-    if (metadata.high_spike) out.insert(Category::kMetadataHighSpike);
-    if (metadata.multiple_spikes) out.insert(Category::kMetadataMultipleSpikes);
-    if (metadata.high_density) out.insert(Category::kMetadataHighDensity);
+    if (metadata.high_spike) {
+      out.insert(Category::kMetadataHighSpike);
+      trace_rule(rule_trace,
+                 "[metadata] peak %.0f req/s >= %.0f -> metadata_high_spike",
+                 metadata.max_requests_per_second,
+                 thresholds.high_spike_requests);
+    }
+    if (metadata.multiple_spikes) {
+      out.insert(Category::kMetadataMultipleSpikes);
+      trace_rule(rule_trace,
+                 "[metadata] %zu spike second(s) >= %zu -> "
+                 "metadata_multiple_spikes",
+                 metadata.spike_seconds, thresholds.multiple_spike_count);
+    }
+    if (metadata.high_density) {
+      out.insert(Category::kMetadataHighDensity);
+      trace_rule(rule_trace,
+                 "[metadata] mean %.1f req/s >= %.0f with %zu spike(s) -> "
+                 "metadata_high_density",
+                 metadata.mean_requests_per_second,
+                 thresholds.high_density_mean_requests,
+                 metadata.spike_seconds);
+    }
+    if (!metadata.high_spike && !metadata.multiple_spikes &&
+        !metadata.high_density) {
+      trace_rule(rule_trace,
+                 "[metadata] significant load but no spike rule fired");
+    }
   }
   return out;
 }
 
 KindAnalysis Analyzer::analyze_ops(std::vector<trace::IoOp> ops,
-                                   double runtime) const {
+                                   double runtime,
+                                   obs::KindProvenance* evidence,
+                                   bool stage_detail) const {
   KindAnalysis analysis;
   analysis.raw_ops = ops.size();
   StageMetrics& metrics = StageMetrics::get();
 
   {
-    MOSAIC_SPAN("merge");
-    const obs::ScopedTimerMs timer(metrics.merge_ms);
-    ops = merge_ops(std::move(ops), runtime, thresholds_);
+    const obs::StageScope stage(stage_detail, metrics.merge_ms, "merge");
+    ops = merge_ops(std::move(ops), runtime, thresholds_,
+                    evidence != nullptr ? &evidence->merge : nullptr);
   }
   analysis.merged_ops = ops.size();
+
+  obs::PeriodicityProvenance* periodicity_evidence =
+      evidence != nullptr ? &evidence->periodicity : nullptr;
 
   // Mean-Shift periodicity runs over segments, so the segmentation stage is
   // only timed on the backends that need it.
   const auto segment = [&] {
-    MOSAIC_SPAN("segment");
-    const obs::ScopedTimerMs timer(metrics.segment_ms);
-    return segment_ops(ops);
+    const obs::StageScope stage(stage_detail, metrics.segment_ms, "segment");
+    auto segments = segment_ops(ops);
+    if (evidence != nullptr) evidence->segments = segments.size();
+    return segments;
   };
   {
-    MOSAIC_SPAN("periodicity");
-    const obs::ScopedTimerMs timer(metrics.periodicity_ms);
+    const obs::StageScope stage(stage_detail, metrics.periodicity_ms,
+                                "periodicity");
     switch (thresholds_.periodicity_backend) {
       case PeriodicityBackend::kMeanShift:
-        analysis.periodicity = detect_periodicity(segment(), thresholds_);
+        analysis.periodicity =
+            detect_periodicity(segment(), thresholds_, periodicity_evidence);
+        if (evidence != nullptr) evidence->periodicity.backend = "mean-shift";
         break;
       case PeriodicityBackend::kFrequency:
-        analysis.periodicity =
-            detect_periodicity_frequency(ops, runtime, thresholds_);
+        analysis.periodicity = detect_periodicity_frequency(
+            ops, runtime, thresholds_, periodicity_evidence);
+        if (evidence != nullptr) evidence->periodicity.backend = "frequency";
         break;
       case PeriodicityBackend::kHybrid:
-        analysis.periodicity = detect_periodicity(segment(), thresholds_);
+        analysis.periodicity =
+            detect_periodicity(segment(), thresholds_, periodicity_evidence);
         if (!analysis.periodicity.periodic) {
-          analysis.periodicity =
-              detect_periodicity_frequency(ops, runtime, thresholds_);
+          analysis.periodicity = detect_periodicity_frequency(
+              ops, runtime, thresholds_, periodicity_evidence);
         }
+        if (evidence != nullptr) evidence->periodicity.backend = "hybrid";
         break;
     }
   }
   {
-    MOSAIC_SPAN("temporality");
-    const obs::ScopedTimerMs timer(metrics.temporality_ms);
-    analysis.temporality = classify_temporality(ops, runtime, thresholds_);
+    const obs::StageScope stage(stage_detail, metrics.temporality_ms,
+                                "temporality");
+    analysis.temporality =
+        classify_temporality(ops, runtime, thresholds_,
+                             evidence != nullptr ? &evidence->temporality
+                                                 : nullptr);
   }
   return analysis;
 }
 
 KindAnalysis Analyzer::analyze_kind(const trace::Trace& trace,
-                                    trace::OpKind kind) const {
+                                    trace::OpKind kind,
+                                    obs::KindProvenance* evidence,
+                                    bool stage_detail) const {
   return analyze_ops(trace::extract_ops(trace, kind, thresholds_.min_op_width),
-                     trace.meta.run_time);
+                     trace.meta.run_time, evidence, stage_detail);
 }
 
 TraceResult Analyzer::analyze(const trace::Trace& trace) const {
+  // Journal gate: one relaxed load when provenance is off; when on, one in
+  // every sample_every traces pays the capture cost.
+  obs::ProvenanceJournal& journal = obs::ProvenanceJournal::global();
+  if (journal.should_sample()) {
+    obs::TraceProvenance evidence;
+    TraceResult result = analyze(trace, &evidence);
+    journal.record(std::move(evidence));
+    return result;
+  }
+  return analyze(trace, nullptr);
+}
+
+TraceResult Analyzer::analyze(const trace::Trace& trace,
+                              obs::TraceProvenance* evidence) const {
   StageMetrics& metrics = StageMetrics::get();
-  MOSAIC_SPAN("analyze");
-  const obs::ScopedTimerMs analyze_timer(metrics.analyze_ms);
+  MOSAIC_STAGE(metrics.analyze_ms, "analyze");
+
+  // Per-stage detail (six more scopes: merge x2, segment x2, periodicity x2,
+  // temporality x2, metadata, categorize) is sampled 1-in-8 per thread: the
+  // stage histograms keep an unbiased latency distribution while the
+  // un-sampled majority of traces pays only the whole-trace scope above.
+  // The first trace on each thread is always detailed (tick starts at 0) so
+  // short runs still populate every stage series, and evidence-capturing
+  // calls are always detailed so `mosaic explain` timings line up with the
+  // recorded decision path.
+  constexpr std::uint32_t kStageDetailMask = 8 - 1;
+  thread_local std::uint32_t stage_detail_tick = 0;
+  const bool stage_detail =
+      evidence != nullptr || (stage_detail_tick++ & kStageDetailMask) == 0;
 
   TraceResult result;
   result.app_key = trace.app_key();
@@ -181,21 +304,40 @@ TraceResult Analyzer::analyze(const trace::Trace& trace) const {
   result.nprocs = trace.meta.nprocs;
   result.bytes_read = trace.total_bytes_read();
   result.bytes_written = trace.total_bytes_written();
+  if (evidence != nullptr) {
+    evidence->app_key = result.app_key;
+    evidence->job_id = result.job_id;
+    evidence->runtime = result.runtime;
+    evidence->nprocs = result.nprocs;
+  }
 
-  result.read = analyze_kind(trace, trace::OpKind::kRead);
-  result.write = analyze_kind(trace, trace::OpKind::kWrite);
+  result.read =
+      analyze_kind(trace, trace::OpKind::kRead,
+                   evidence != nullptr ? &evidence->read : nullptr,
+                   stage_detail);
+  result.write =
+      analyze_kind(trace, trace::OpKind::kWrite,
+                   evidence != nullptr ? &evidence->write : nullptr,
+                   stage_detail);
   {
-    MOSAIC_SPAN("metadata");
-    const obs::ScopedTimerMs timer(metrics.metadata_ms);
-    result.metadata =
-        classify_metadata(trace::metadata_timeline(trace), trace.meta.run_time,
-                          trace.meta.nprocs, thresholds_);
+    const obs::StageScope stage(stage_detail, metrics.metadata_ms,
+                                "metadata");
+    result.metadata = classify_metadata(
+        trace::metadata_timeline(trace), trace.meta.run_time,
+        trace.meta.nprocs, thresholds_,
+        evidence != nullptr ? &evidence->metadata : nullptr);
   }
   {
-    MOSAIC_SPAN("categorize");
-    const obs::ScopedTimerMs timer(metrics.categorize_ms);
-    result.categories = flatten_categories(result.read, result.write,
-                                           result.metadata, thresholds_);
+    const obs::StageScope stage(stage_detail, metrics.categorize_ms,
+                                "categorize");
+    result.categories = flatten_categories(
+        result.read, result.write, result.metadata, thresholds_,
+        evidence != nullptr ? &evidence->rules : nullptr);
+  }
+  if (evidence != nullptr) {
+    for (const Category category : result.categories.to_vector()) {
+      evidence->categories.emplace_back(category_name(category));
+    }
   }
   metrics.traces_analyzed.add();
   return result;

@@ -23,6 +23,11 @@
 #include "parallel/thread_pool.hpp"
 #include "trace/trace.hpp"
 
+namespace mosaic::obs {
+struct KindProvenance;
+struct TraceProvenance;
+}  // namespace mosaic::obs
+
 namespace mosaic::core {
 
 /// Analysis of one op kind (read or write) of one trace.
@@ -57,16 +62,30 @@ class Analyzer {
  public:
   explicit Analyzer(Thresholds thresholds = {}) : thresholds_(thresholds) {}
 
-  /// Categorizes a single (valid) trace.
+  /// Categorizes a single (valid) trace. When the global
+  /// obs::ProvenanceJournal is enabled, a sampled subset of calls records
+  /// its full decision path into the journal.
   [[nodiscard]] TraceResult analyze(const trace::Trace& trace) const;
+
+  /// As above, but always captures the decision path into `evidence`
+  /// (journal sampling does not apply) — the entry point `mosaic explain`
+  /// uses for live analysis.
+  [[nodiscard]] TraceResult analyze(const trace::Trace& trace,
+                                    obs::TraceProvenance* evidence) const;
 
   /// Runs the per-kind pipeline (merging, segmentation, periodicity,
   /// temporality) on an explicit operation stream instead of a trace's
   /// aggregated file records. This is the entry point for DXT-level data,
   /// where per-operation events are available and aggregation has not
   /// collapsed long-open files into single windows (paper SIV-A).
+  /// Non-null `evidence` captures the per-kind decision evidence.
+  /// `stage_detail` controls whether per-stage histograms/spans fire for
+  /// this call; analyze() samples it on the hot path (see pipeline.cpp).
   [[nodiscard]] KindAnalysis analyze_ops(std::vector<trace::IoOp> ops,
-                                         double runtime) const;
+                                         double runtime,
+                                         obs::KindProvenance* evidence =
+                                             nullptr,
+                                         bool stage_detail = true) const;
 
   [[nodiscard]] const Thresholds& thresholds() const noexcept {
     return thresholds_;
@@ -74,7 +93,9 @@ class Analyzer {
 
  private:
   [[nodiscard]] KindAnalysis analyze_kind(const trace::Trace& trace,
-                                          trace::OpKind kind) const;
+                                          trace::OpKind kind,
+                                          obs::KindProvenance* evidence,
+                                          bool stage_detail) const;
 
   Thresholds thresholds_;
 };
@@ -83,10 +104,12 @@ class Analyzer {
 /// tests; Analyzer::analyze calls it internally. Periodicity categories are
 /// only assigned for kinds whose volume is significant, mirroring the
 /// paper's exclusion of non-I/O-intensive traces.
-[[nodiscard]] CategorySet flatten_categories(const KindAnalysis& read,
-                                             const KindAnalysis& write,
-                                             const MetadataResult& metadata,
-                                             const Thresholds& thresholds = {});
+/// Non-null `rule_trace` receives one human-readable line per rule decision,
+/// in evaluation order — including the gates that *suppressed* a category.
+[[nodiscard]] CategorySet flatten_categories(
+    const KindAnalysis& read, const KindAnalysis& write,
+    const MetadataResult& metadata, const Thresholds& thresholds = {},
+    std::vector<std::string>* rule_trace = nullptr);
 
 /// Result of analyzing a whole trace population.
 struct BatchResult {

@@ -2,10 +2,23 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
+#include "obs/provenance.hpp"
 #include "util/stats.hpp"
 
 namespace mosaic::core {
+
+namespace {
+
+/// Normalized margin of `value` from `limit`, in [0, 1]; 0 means the
+/// statistic sat exactly on the decision boundary.
+double boundary_margin(double value, double limit) {
+  if (limit <= 0.0) return 1.0;
+  return std::clamp(std::abs(limit - value) / limit, 0.0, 1.0);
+}
+
+}  // namespace
 
 const char* temporality_name(Temporality label) noexcept {
   switch (label) {
@@ -81,59 +94,120 @@ std::vector<double> chunk_volumes(std::span<const trace::IoOp> ops,
 }
 
 Temporality classify_chunks(std::span<const double> chunks, double total_bytes,
-                            const Thresholds& thresholds) {
+                            const Thresholds& thresholds,
+                            obs::TemporalityProvenance* evidence) {
+  // The verdict's margin from the rule boundary that decided it; for the
+  // unclassified tail, the distance to the *nearest* rule that almost fired
+  // (the paper's 8% error concentrates exactly in these straddling cases).
+  const auto conclude = [&](Temporality label, const char* rule,
+                            double confidence,
+                            std::int64_t dominant_chunk = -1) {
+    if (evidence != nullptr) {
+      evidence->chunk_bytes.assign(chunks.begin(), chunks.end());
+      evidence->total_bytes = total_bytes;
+      evidence->min_bytes_threshold =
+          static_cast<double>(thresholds.min_bytes);
+      evidence->chunk_cv = chunks.empty()
+                               ? 0.0
+                               : util::coefficient_of_variation(chunks);
+      evidence->steady_cv_threshold = thresholds.steady_cv;
+      evidence->dominance_factor = thresholds.dominance_factor;
+      evidence->dominant_chunk = dominant_chunk;
+      evidence->rule = rule;
+      evidence->label = temporality_name(label);
+      evidence->confidence = std::clamp(confidence, 0.0, 1.0);
+    }
+    return label;
+  };
+
   if (total_bytes < static_cast<double>(thresholds.min_bytes)) {
-    return Temporality::kInsignificant;
+    return conclude(
+        Temporality::kInsignificant, "insignificant",
+        boundary_margin(total_bytes,
+                        static_cast<double>(thresholds.min_bytes)));
   }
   MOSAIC_ASSERT(chunks.size() >= 4);
 
-  if (util::coefficient_of_variation(chunks) < thresholds.steady_cv) {
-    return Temporality::kSteady;
+  const double cv = util::coefficient_of_variation(chunks);
+  if (cv < thresholds.steady_cv) {
+    return conclude(Temporality::kSteady, "steady",
+                    boundary_margin(cv, thresholds.steady_cv));
   }
 
   // Single-chunk dominance: strictly more than `dominance_factor` times
-  // every other chunk.
+  // every other chunk. The dominance ratio of chunk i is its tightest lead
+  // over any other chunk; the verdict margin is that ratio's distance from
+  // the factor.
   const double factor = thresholds.dominance_factor;
+  double best_ratio = 0.0;  // closest miss, for the unclassified margin
   for (std::size_t i = 0; i < chunks.size(); ++i) {
     if (chunks[i] <= 0.0) continue;
-    bool dominates = true;
+    double ratio = std::numeric_limits<double>::infinity();
     for (std::size_t j = 0; j < chunks.size(); ++j) {
-      if (j != i && chunks[i] <= factor * chunks[j]) {
-        dominates = false;
-        break;
-      }
+      if (j == i) continue;
+      ratio = chunks[j] > 0.0 ? std::min(ratio, chunks[i] / chunks[j]) : ratio;
     }
-    if (!dominates) continue;
-    if (i == 0) return Temporality::kOnStart;
-    if (i == chunks.size() - 1) return Temporality::kOnEnd;
-    if (i == 1) return Temporality::kAfterStart;
-    if (i == chunks.size() - 2) return Temporality::kBeforeEnd;
+    best_ratio = std::max(best_ratio, std::isfinite(ratio) ? ratio : factor * 2.0);
+    if (ratio <= factor) continue;
+    const double margin =
+        std::isfinite(ratio) ? boundary_margin(ratio, factor) : 1.0;
+    const auto chunk_index = static_cast<std::int64_t>(i);
+    if (i == 0) {
+      return conclude(Temporality::kOnStart, "chunk-dominance", margin,
+                      chunk_index);
+    }
+    if (i == chunks.size() - 1) {
+      return conclude(Temporality::kOnEnd, "chunk-dominance", margin,
+                      chunk_index);
+    }
+    if (i == 1) {
+      return conclude(Temporality::kAfterStart, "chunk-dominance", margin,
+                      chunk_index);
+    }
+    if (i == chunks.size() - 2) {
+      return conclude(Temporality::kBeforeEnd, "chunk-dominance", margin,
+                      chunk_index);
+    }
     // With more than four chunks an interior dominance maps to the middle
     // label below.
-    return Temporality::kAfterStartBeforeEnd;
+    return conclude(Temporality::kAfterStartBeforeEnd, "chunk-dominance",
+                    margin, chunk_index);
   }
 
   // Middle dominance: the interior chunks jointly outweigh the extremes.
   double middle = 0.0;
   for (std::size_t i = 1; i + 1 < chunks.size(); ++i) middle += chunks[i];
   const double extremes = chunks.front() + chunks.back();
-  if (middle > factor * extremes) {
-    return Temporality::kAfterStartBeforeEnd;
+  const double middle_ratio =
+      extremes > 0.0 ? middle / extremes : std::numeric_limits<double>::infinity();
+  if (middle_ratio > factor) {
+    return conclude(Temporality::kAfterStartBeforeEnd, "middle-dominance",
+                    std::isfinite(middle_ratio)
+                        ? boundary_margin(middle_ratio, factor)
+                        : 1.0);
   }
 
-  return Temporality::kUnclassified;
+  // Nothing fired: the margin is the distance to whichever rule came
+  // closest — low values flag the straddling cases.
+  const double near_steady = boundary_margin(cv, thresholds.steady_cv);
+  const double near_dominance = boundary_margin(best_ratio, factor);
+  const double near_middle =
+      std::isfinite(middle_ratio) ? boundary_margin(middle_ratio, factor) : 1.0;
+  return conclude(Temporality::kUnclassified, "unclassified",
+                  std::min({near_steady, near_dominance, near_middle}));
 }
 
 TemporalityResult classify_temporality(std::span<const trace::IoOp> ops,
                                        double runtime,
-                                       const Thresholds& thresholds) {
+                                       const Thresholds& thresholds,
+                                       obs::TemporalityProvenance* evidence) {
   TemporalityResult result;
   result.chunk_bytes = chunk_volumes(ops, runtime, thresholds.temporality_chunks);
   for (const trace::IoOp& op : ops) {
     result.total_bytes += static_cast<double>(op.bytes);
   }
-  result.label =
-      classify_chunks(result.chunk_bytes, result.total_bytes, thresholds);
+  result.label = classify_chunks(result.chunk_bytes, result.total_bytes,
+                                 thresholds, evidence);
   return result;
 }
 

@@ -16,6 +16,10 @@
 #include "core/thresholds.hpp"
 #include "trace/trace.hpp"
 
+namespace mosaic::obs {
+struct TemporalityProvenance;
+}  // namespace mosaic::obs
+
 namespace mosaic::core {
 
 /// Per-kind temporality label.
@@ -53,13 +57,17 @@ struct TemporalityResult {
 /// Applies the rule system to a chunk profile.
 /// Rule order: insignificant -> steady -> single-chunk dominance ->
 /// middle dominance -> unclassified.
-[[nodiscard]] Temporality classify_chunks(std::span<const double> chunks,
-                                          double total_bytes,
-                                          const Thresholds& thresholds = {});
+/// When `evidence` is non-null the chunk statistics, the rule that fired and
+/// the verdict's margin from the nearest decision boundary are recorded.
+[[nodiscard]] Temporality classify_chunks(
+    std::span<const double> chunks, double total_bytes,
+    const Thresholds& thresholds = {},
+    obs::TemporalityProvenance* evidence = nullptr);
 
 /// End-to-end: chunk profile + rules for one op kind of one trace.
 [[nodiscard]] TemporalityResult classify_temporality(
     std::span<const trace::IoOp> ops, double runtime,
-    const Thresholds& thresholds = {});
+    const Thresholds& thresholds = {},
+    obs::TemporalityProvenance* evidence = nullptr);
 
 }  // namespace mosaic::core

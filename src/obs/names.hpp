@@ -75,4 +75,18 @@ inline constexpr std::string_view kMeanShiftPoints =
     "mosaic_meanshift_points_total";
 inline constexpr std::string_view kFftSize = "mosaic_fft_size";
 
+// Report stages (src/report).
+inline constexpr std::string_view kReportJaccardMs =
+    "mosaic_report_jaccard_ms";
+inline constexpr std::string_view kReportAccuracyMs =
+    "mosaic_report_accuracy_ms";
+inline constexpr std::string_view kReportAggregateMs =
+    "mosaic_report_aggregate_ms";
+inline constexpr std::string_view kReportConfusionMs =
+    "mosaic_report_confusion_ms";
+
+// Decision provenance journal (src/obs/provenance).
+inline constexpr std::string_view kProvenanceRecords =
+    "mosaic_provenance_records_total";
+
 }  // namespace mosaic::obs::names

@@ -59,7 +59,8 @@ std::int64_t gauge_value(const Snapshot& snapshot, std::string_view name) {
 Heartbeat::Heartbeat(double interval_seconds)
     : interval_seconds_(interval_seconds) {
   if (interval_seconds_ <= 0.0) return;
-  last_tick_seconds_ = steady_seconds();
+  start_seconds_ = steady_seconds();
+  last_tick_seconds_ = start_seconds_;
   thread_ = std::thread([this] { loop(); });
 }
 
@@ -74,6 +75,25 @@ void Heartbeat::stop() {
   wake_.notify_all();
   thread_.join();
   tick();  // final line so even sub-interval runs report once
+  summary();
+}
+
+void Heartbeat::summary() const {
+  const Snapshot snapshot = Registry::global().snapshot();
+  const std::uint64_t processed =
+      sum_counter_family(snapshot, names::kIngestProcessed);
+  const std::uint64_t traces =
+      sum_counter_family(snapshot, names::kTracesAnalyzed);
+  const std::uint64_t retries =
+      sum_counter_family(snapshot, names::kIngestRetryAttempts);
+  const double elapsed = std::max(steady_seconds() - start_seconds_, 1e-9);
+  MOSAIC_LOG_INFO(
+      "progress: run complete: %llu file(s) processed, %llu trace(s) "
+      "analyzed in %.2fs (%.1f traces/s), %llu retries",
+      static_cast<unsigned long long>(processed),
+      static_cast<unsigned long long>(traces), elapsed,
+      static_cast<double>(traces) / elapsed,
+      static_cast<unsigned long long>(retries));
 }
 
 void Heartbeat::loop() {

@@ -37,15 +37,18 @@ class Heartbeat {
   Heartbeat(const Heartbeat&) = delete;
   Heartbeat& operator=(const Heartbeat&) = delete;
 
-  /// Joins the logger thread (idempotent). Emits one final line so short
-  /// runs still get a summary tick.
+  /// Joins the logger thread (idempotent). Emits one final tick plus a
+  /// completion summary (total traces, elapsed, traces/sec, retries) so
+  /// short runs still report and long runs end with whole-run totals.
   void stop();
 
  private:
   void loop();
   void tick();
+  void summary() const;
 
   double interval_seconds_;
+  double start_seconds_ = 0.0;
   std::mutex mutex_;
   std::condition_variable wake_;
   bool stopping_ = false;

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
+#include "obs/names.hpp"
+#include "obs/span.hpp"
 #include "util/rng.hpp"
 
 namespace mosaic::report {
@@ -18,13 +21,29 @@ std::uint64_t range_mask(core::Category first, core::Category last) {
   return mask;
 }
 
-/// Compares predicted and truth sets restricted to a category range.
-bool axis_matches(const core::CategorySet& predicted,
-                  const core::CategorySet& truth, std::uint64_t mask) {
-  return (predicted.raw() & mask) == (truth.raw() & mask);
+}  // namespace
+
+AxisMasks axis_masks() noexcept {
+  using core::Category;
+  AxisMasks masks;
+  masks.read_temporality =
+      range_mask(Category::kReadOnStart, Category::kReadUnclassified);
+  masks.write_temporality =
+      range_mask(Category::kWriteOnStart, Category::kWriteUnclassified);
+  masks.read_periodicity =
+      range_mask(Category::kReadPeriodic, Category::kReadPeriodicHighBusyTime);
+  masks.write_periodicity = range_mask(Category::kWritePeriodic,
+                                       Category::kWritePeriodicHighBusyTime);
+  masks.metadata = range_mask(Category::kMetadataHighSpike,
+                              Category::kMetadataInsignificantLoad);
+  return masks;
 }
 
-}  // namespace
+bool axis_matches(const core::CategorySet& predicted,
+                  const core::CategorySet& truth,
+                  std::uint64_t mask) noexcept {
+  return (predicted.raw() & mask) == (truth.raw() & mask);
+}
 
 std::map<std::uint64_t, const sim::LabeledTrace*> truth_index(
     const std::vector<sim::LabeledTrace>& population) {
@@ -39,17 +58,12 @@ std::map<std::uint64_t, const sim::LabeledTrace*> truth_index(
 AccuracyReport score_accuracy(
     const std::vector<core::TraceResult>& results,
     const std::map<std::uint64_t, const sim::LabeledTrace*>& truths) {
-  using core::Category;
-  const std::uint64_t read_temp_mask =
-      range_mask(Category::kReadOnStart, Category::kReadUnclassified);
-  const std::uint64_t write_temp_mask =
-      range_mask(Category::kWriteOnStart, Category::kWriteUnclassified);
-  const std::uint64_t read_periodic_mask =
-      range_mask(Category::kReadPeriodic, Category::kReadPeriodicHighBusyTime);
-  const std::uint64_t write_periodic_mask = range_mask(
-      Category::kWritePeriodic, Category::kWritePeriodicHighBusyTime);
-  const std::uint64_t metadata_mask = range_mask(
-      Category::kMetadataHighSpike, Category::kMetadataInsignificantLoad);
+  MOSAIC_SPAN("report-accuracy");
+  static obs::Histogram& stage_ms = obs::Registry::global().histogram(
+      obs::names::kReportAccuracyMs, obs::latency_buckets_ms(),
+      "accuracy scoring stage latency (ms)");
+  const obs::ScopedTimerMs timer(stage_ms);
+  const AxisMasks masks = axis_masks();
 
   AccuracyReport report;
   for (std::size_t i = 0; i < results.size(); ++i) {
@@ -58,11 +72,11 @@ AccuracyReport score_accuracy(
     const core::CategorySet& predicted = results[i].categories;
     const core::CategorySet& truth = it->second->truth.categories;
 
-    const bool rt = axis_matches(predicted, truth, read_temp_mask);
-    const bool wt = axis_matches(predicted, truth, write_temp_mask);
-    const bool rp = axis_matches(predicted, truth, read_periodic_mask);
-    const bool wp = axis_matches(predicted, truth, write_periodic_mask);
-    const bool md = axis_matches(predicted, truth, metadata_mask);
+    const bool rt = axis_matches(predicted, truth, masks.read_temporality);
+    const bool wt = axis_matches(predicted, truth, masks.write_temporality);
+    const bool rp = axis_matches(predicted, truth, masks.read_periodicity);
+    const bool wp = axis_matches(predicted, truth, masks.write_periodicity);
+    const bool md = axis_matches(predicted, truth, masks.metadata);
 
     const auto tally = [](AxisAccuracy& axis, bool ok) {
       ++axis.total;

@@ -18,6 +18,24 @@
 
 namespace mosaic::report {
 
+/// Category bitmasks delimiting the five comparison axes. Shared by the
+/// live accuracy scorer and the provenance-join confusion report so both
+/// agree on what "one axis" means.
+struct AxisMasks {
+  std::uint64_t read_temporality = 0;
+  std::uint64_t write_temporality = 0;
+  std::uint64_t read_periodicity = 0;
+  std::uint64_t write_periodicity = 0;
+  std::uint64_t metadata = 0;
+};
+
+[[nodiscard]] AxisMasks axis_masks() noexcept;
+
+/// Compares predicted and truth sets restricted to one axis mask.
+[[nodiscard]] bool axis_matches(const core::CategorySet& predicted,
+                                const core::CategorySet& truth,
+                                std::uint64_t mask) noexcept;
+
 /// Correct/total counter for one comparison axis.
 struct AxisAccuracy {
   std::size_t correct = 0;

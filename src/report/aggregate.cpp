@@ -1,5 +1,9 @@
 #include "report/aggregate.hpp"
 
+#include "obs/metrics.hpp"
+#include "obs/names.hpp"
+#include "obs/span.hpp"
+
 namespace mosaic::report {
 
 using core::Category;
@@ -20,6 +24,11 @@ double CategoryDistribution::weighted_fraction(
 CategoryDistribution aggregate_categories(
     const std::vector<core::TraceResult>& results,
     const std::map<std::string, std::size_t>& runs_per_app) {
+  MOSAIC_SPAN("report-aggregate");
+  static obs::Histogram& stage_ms = obs::Registry::global().histogram(
+      obs::names::kReportAggregateMs, obs::latency_buckets_ms(),
+      "category aggregation stage latency (ms)");
+  const obs::ScopedTimerMs timer(stage_ms);
   CategoryDistribution distribution;
   distribution.trace_count = results.size();
   for (const core::TraceResult& result : results) {

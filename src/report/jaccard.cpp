@@ -3,12 +3,25 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "obs/metrics.hpp"
+#include "obs/names.hpp"
+#include "obs/span.hpp"
+
 namespace mosaic::report {
 
 using core::Category;
 using core::kCategoryCount;
 
 namespace {
+
+/// Stage instruments for the two matrix builders (they share one series: the
+/// cost profile is identical and the span name disambiguates in the trace).
+obs::Histogram& jaccard_stage_ms() {
+  static obs::Histogram& stage_ms = obs::Registry::global().histogram(
+      obs::names::kReportJaccardMs, obs::latency_buckets_ms(),
+      "Jaccard/conditional matrix stage latency (ms)");
+  return stage_ms;
+}
 
 /// Pairwise co-occurrence counts, optionally run-weighted.
 struct Cooccurrence {
@@ -61,6 +74,8 @@ std::vector<Category> present_categories(const Cooccurrence& counts) {
 CategoryMatrix jaccard_matrix(
     const std::vector<core::TraceResult>& results,
     const std::map<std::string, std::size_t>* runs_per_app) {
+  MOSAIC_SPAN("report-jaccard");
+  const obs::ScopedTimerMs timer(jaccard_stage_ms());
   const Cooccurrence counts = count_cooccurrence(results, runs_per_app);
   CategoryMatrix matrix;
   matrix.categories = present_categories(counts);
@@ -82,6 +97,8 @@ CategoryMatrix jaccard_matrix(
 CategoryMatrix conditional_matrix(
     const std::vector<core::TraceResult>& results,
     const std::map<std::string, std::size_t>* runs_per_app) {
+  MOSAIC_SPAN("report-conditional");
+  const obs::ScopedTimerMs timer(jaccard_stage_ms());
   const Cooccurrence counts = count_cooccurrence(results, runs_per_app);
   CategoryMatrix matrix;
   matrix.categories = present_categories(counts);

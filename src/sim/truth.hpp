@@ -1,0 +1,42 @@
+// Ground-truth export: the generator knows which categories it planted in
+// every synthetic trace (the substitute for the paper's manual validation of
+// 512 sampled traces, §IV-E). This module serializes that knowledge as a
+// JSONL sidecar (`mosaic generate --truth`) so a later `mosaic report
+// --confusion` run can join provenance records against it without re-running
+// the generator.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/appspec.hpp"
+#include "util/error.hpp"
+
+namespace mosaic::sim {
+
+/// One trace's ground truth, as written to the truth JSONL sidecar.
+struct TruthRecord {
+  std::string app_key;
+  std::uint64_t job_id = 0;
+  std::string archetype;   ///< population archetype the spec came from
+  bool ambiguous = false;  ///< planted on a classifier decision boundary
+  std::vector<std::string> categories;  ///< intended labels, by name
+};
+
+/// Extracts truth records from a generated population. Corrupted traces are
+/// skipped — corruption voids the planted truth (paper §III-B1).
+[[nodiscard]] std::vector<TruthRecord> truth_records(
+    const std::vector<LabeledTrace>& population);
+
+/// Writes records as JSONL (one compact object per line) via the atomic
+/// temp+rename writer.
+[[nodiscard]] util::Status write_truth_jsonl(
+    const std::vector<TruthRecord>& records, const std::string& path);
+
+/// Reads a truth JSONL file. Blank lines are skipped; a malformed line is an
+/// error naming its line number.
+[[nodiscard]] util::Expected<std::vector<TruthRecord>> read_truth_jsonl(
+    const std::string& path);
+
+}  // namespace mosaic::sim

@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# Golden-file test for `mosaic explain`: a fixed-seed synthetic trace must
+# render a byte-identical decision path (text and JSON), and the recorded
+# path (journal lookup via --provenance) must agree with live analysis.
+set -euo pipefail
+MOSAIC="$1"
+GOLDEN="$2"
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+
+# Job 9000022 (u4/sim_rcw_v4) exercises the widest decision path in this
+# population: merge-funnel reduction, chunk-dominance temporality on both
+# axes, and two metadata rule firings.
+"$MOSAIC" generate "$WORK/pop" --traces 24 --seed 1234 --format mbt \
+    --corruption 0
+JOB=9000022
+FIRST="job_$JOB.mbt"
+
+# Live analysis against the committed goldens.
+"$MOSAIC" explain "$WORK/pop/$FIRST" > "$WORK/explain.txt"
+diff "$GOLDEN/explain_job.txt" "$WORK/explain.txt"
+"$MOSAIC" explain "$WORK/pop/$FIRST" --json > "$WORK/explain.json"
+diff "$GOLDEN/explain_job.json" "$WORK/explain.json"
+
+# Recorded path: journal the same trace, then look it up by job id and by
+# app key — both must reproduce the live decision path exactly.
+"$MOSAIC" analyze "$WORK/pop/$FIRST" --provenance "$WORK/prov" > /dev/null
+"$MOSAIC" explain "$JOB" --provenance "$WORK/prov" > "$WORK/recorded.txt"
+diff "$WORK/explain.txt" "$WORK/recorded.txt"
+APP_KEY="$(python3 -c 'import json,sys; print(json.loads(open(sys.argv[1]).readline())["app_key"])' \
+    "$WORK/prov/provenance.jsonl")"
+"$MOSAIC" explain "$APP_KEY" --provenance "$WORK/prov" > "$WORK/by_key.txt"
+diff "$WORK/explain.txt" "$WORK/by_key.txt"
+
+# An unknown id is a lookup error, not a crash.
+if "$MOSAIC" explain no_such_trace --provenance "$WORK/prov" > /dev/null 2>&1
+then
+  echo "unknown trace id should fail" >&2
+  exit 1
+fi
+# A trace id without --provenance is a usage error.
+if "$MOSAIC" explain 12345 > /dev/null 2>&1; then
+  echo "trace id without --provenance should fail" >&2
+  exit 1
+fi
+
+echo "cli explain ok"

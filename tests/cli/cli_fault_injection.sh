@@ -54,16 +54,20 @@ diff "$WORK/reference.json" "$WORK/resumed.json"
 # Observability surface: a faulty run with --metrics/--trace-events/--progress
 # must dump metrics (JSON + Prometheus) whose per-ErrorCode eviction counters
 # exactly match the run's funnel summary, a Perfetto-loadable trace with
-# per-thread stage spans, and at least one heartbeat line.
+# per-thread stage spans, at least one heartbeat line plus the completion
+# summary, and a provenance journal with one record per analyzed trace.
 "$MOSAIC" batch "$WORK/pop" --json "$WORK/obs.json" \
     --fault-inject 'seed=5,eio=0.5,eio_failures=99' --retries 0 \
     --metrics "$WORK/metrics.json" --trace-events "$WORK/trace.json" \
+    --provenance "$WORK/prov" \
     --progress 1 --log-json > "$WORK/obs.txt" 2> "$WORK/obs.err" || true
 [ -s "$WORK/metrics.json" ]
 [ -s "$WORK/metrics.json.prom" ]
 [ -s "$WORK/trace.json" ]
+[ -s "$WORK/prov/provenance.jsonl" ]
 grep -q '# TYPE mosaic_funnel_evictions_total counter' "$WORK/metrics.json.prom"
 grep -q '"msg":"progress:' "$WORK/obs.err"
+grep -q '"msg":"progress: run complete:' "$WORK/obs.err"
 python3 - "$WORK/metrics.json" "$WORK/obs.json" "$WORK/trace.json" <<'PY'
 import json, sys
 metrics = json.load(open(sys.argv[1]))
@@ -106,6 +110,31 @@ for e in events:
         assert e["dur"] >= 0 and e["ts"] >= 0
 print("obs acceptance ok")
 PY
+
+# Provenance journal: one well-formed record per analyzed trace, in exact
+# agreement with the journal's own counter in the metrics dump.
+python3 - "$WORK/prov/provenance.jsonl" "$WORK/metrics.json" <<'PY'
+import json, sys
+records = [json.loads(line) for line in open(sys.argv[1]) if line.strip()]
+metrics = json.load(open(sys.argv[2]))
+assert records, "expected provenance records from the sampled batch run"
+assert metrics["counters"]["mosaic_provenance_records_total"] == len(records)
+for r in records:
+    for key in ("app_key", "job_id", "read", "write", "metadata", "rules",
+                "categories"):
+        assert key in r, (key, sorted(r))
+    assert r["rules"], f"no rule firings recorded for {r['app_key']}"
+    assert r["categories"], f"no categories recorded for {r['app_key']}"
+print("provenance acceptance ok")
+PY
+
+# When MOSAIC_ARTIFACT_DIR is set (CI sets it), keep the telemetry files so
+# the workflow can upload them before the trap removes the workdir.
+if [ -n "${MOSAIC_ARTIFACT_DIR:-}" ]; then
+  mkdir -p "$MOSAIC_ARTIFACT_DIR"
+  cp "$WORK/metrics.json" "$WORK/metrics.json.prom" "$WORK/trace.json" \
+     "$WORK/prov/provenance.jsonl" "$MOSAIC_ARTIFACT_DIR/"
+fi
 
 # --resume without --journal is a usage error, as is a negative --threads.
 if "$MOSAIC" batch "$WORK/pop" --resume > /dev/null 2>&1; then

@@ -1,0 +1,67 @@
+// Documentation drift guard: every metric name declared in obs/names.hpp
+// must appear in the README's exported-metrics table, and every
+// `mosaic_...` name the table documents must still exist in names.hpp.
+// MOSAIC_SOURCE_DIR is injected by the test's CMake target.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <regex>
+#include <set>
+#include <sstream>
+#include <string>
+
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "cannot open " << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+/// All `mosaic_...` identifiers declared as string literals in names.hpp.
+std::set<std::string> names_in_header(const std::string& text) {
+  std::set<std::string> names;
+  const std::regex literal("\"(mosaic_[a-z0-9_]+)\"");
+  for (auto it = std::sregex_iterator(text.begin(), text.end(), literal);
+       it != std::sregex_iterator(); ++it) {
+    names.insert((*it)[1].str());
+  }
+  return names;
+}
+
+/// All `mosaic_...` names documented in README table rows. Label suffixes
+/// like `{code=...}` are part of the rendered series, not the base name.
+std::set<std::string> names_in_readme(const std::string& text) {
+  std::set<std::string> names;
+  const std::regex row("\\|\\s*`(mosaic_[a-z0-9_]+)");
+  for (auto it = std::sregex_iterator(text.begin(), text.end(), row);
+       it != std::sregex_iterator(); ++it) {
+    names.insert((*it)[1].str());
+  }
+  return names;
+}
+
+TEST(MetricDocs, ReadmeTableMatchesNamesHeaderExactly) {
+  const std::string source_dir = MOSAIC_SOURCE_DIR;
+  const std::set<std::string> declared =
+      names_in_header(read_file(source_dir + "/src/obs/names.hpp"));
+  const std::set<std::string> documented =
+      names_in_readme(read_file(source_dir + "/README.md"));
+  ASSERT_FALSE(declared.empty());
+  ASSERT_FALSE(documented.empty());
+
+  for (const std::string& name : declared) {
+    EXPECT_TRUE(documented.count(name))
+        << name << " is declared in obs/names.hpp but missing from the "
+        << "README metric table";
+  }
+  for (const std::string& name : documented) {
+    EXPECT_TRUE(declared.count(name))
+        << name << " is documented in the README metric table but not "
+        << "declared in obs/names.hpp";
+  }
+}
+
+}  // namespace

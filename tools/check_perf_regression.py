@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Perf-regression gate over BENCH_perf_pipeline.json.
+
+Compares a freshly measured `bench/perf_pipeline --overhead-only` result
+against the committed baseline and fails (exit 1) when either
+
+  * end-to-end throughput (traces_per_second) dropped by more than
+    --max-tps-drop-pct (default 15%), or
+  * the instrumentation overhead (instrumentation.overhead_pct) exceeds
+    --max-overhead-pct (default 5%) in absolute terms.
+
+The throughput check is relative to the baseline machine's own numbers, so
+a slower CI runner only trips it when the *ratio* moves; the overhead check
+is absolute because the <5% budget is machine-independent by construction
+(both sides of the ratio run on the same box).
+
+Usage:
+    check_perf_regression.py <baseline.json> <current.json> [options]
+"""
+import argparse
+import json
+import sys
+
+
+def load(path):
+    try:
+        with open(path, encoding="utf-8") as handle:
+            return json.load(handle)
+    except (OSError, ValueError) as error:
+        sys.exit(f"check_perf_regression: cannot read {path}: {error}")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", help="committed BENCH_perf_pipeline.json")
+    parser.add_argument("current", help="freshly measured result")
+    parser.add_argument("--max-tps-drop-pct", type=float, default=15.0)
+    parser.add_argument("--max-overhead-pct", type=float, default=5.0)
+    args = parser.parse_args()
+
+    baseline = load(args.baseline)
+    current = load(args.current)
+    failures = []
+
+    base_tps = float(baseline.get("traces_per_second", 0.0))
+    cur_tps = float(current.get("traces_per_second", 0.0))
+    drop_pct = (
+        100.0 * (base_tps - cur_tps) / base_tps if base_tps > 0.0 else 0.0
+    )
+    print(
+        f"traces/s: baseline {base_tps:,.0f}, current {cur_tps:,.0f} "
+        f"(change {-drop_pct:+.1f}%)"
+    )
+    if drop_pct > args.max_tps_drop_pct:
+        failures.append(
+            f"throughput dropped {drop_pct:.1f}% "
+            f"(budget {args.max_tps_drop_pct:.0f}%)"
+        )
+
+    overhead = float(
+        current.get("instrumentation", {}).get("overhead_pct", 0.0)
+    )
+    print(
+        f"instrumentation overhead: {overhead:.2f}% "
+        f"(budget {args.max_overhead_pct:.0f}%)"
+    )
+    if overhead > args.max_overhead_pct:
+        failures.append(
+            f"instrumentation overhead {overhead:.2f}% exceeds "
+            f"{args.max_overhead_pct:.0f}% budget"
+        )
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("perf gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

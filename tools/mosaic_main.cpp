@@ -10,6 +10,7 @@
 // Every subcommand accepts --thresholds <file> with a JSON config
 // (see `mosaic thresholds`), fulfilling the paper's requirement that the
 // categorization thresholds be modifiable (§III-A).
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -26,15 +27,18 @@
 #include "ingest/ingest.hpp"
 #include "ingest/reader.hpp"
 #include "json/json.hpp"
+#include "obs/provenance.hpp"
 #include "obs/report.hpp"
 #include "obs/span.hpp"
 #include "parallel/thread_pool.hpp"
 #include "report/aggregate.hpp"
+#include "report/confusion.hpp"
 #include "report/csv.hpp"
 #include "report/jaccard.hpp"
 #include "report/json_output.hpp"
 #include "report/tables.hpp"
 #include "sim/population.hpp"
+#include "sim/truth.hpp"
 #include "util/cli.hpp"
 #include "util/log.hpp"
 #include "util/stopwatch.hpp"
@@ -53,6 +57,7 @@ void print_usage() {
       "  analyze <files|dirs...>   categorize traces one by one\n"
       "  batch <dir>               full pipeline over a trace directory\n"
       "  report <dir>              write a markdown analysis report\n"
+      "  explain <file|trace-id>   render one trace's decision path\n"
       "  generate <dir>            write a synthetic trace population\n"
       "  thresholds                print the thresholds config (JSON)\n\n"
       "run `mosaic <command> --help` for per-command options.\n",
@@ -120,6 +125,22 @@ void add_obs_cli_options(util::CliParser& cli) {
                  "(chrome://tracing, Perfetto) to this path", "");
   cli.add_option("progress",
                  "log a progress heartbeat every N seconds (0 = off)", "0");
+  cli.add_option("provenance",
+                 "record sampled decision provenance and write "
+                 "<dir>/provenance.jsonl (one record per sampled trace)", "");
+  cli.add_option("provenance-sample",
+                 "capture provenance for 1 in N analyzed traces", "1");
+}
+
+/// Validates --provenance-sample; nullopt (after printing) on values < 1.
+std::optional<std::uint64_t> parse_provenance_sample(
+    const util::CliParser& cli) {
+  const auto sample = cli.get_int("provenance-sample");
+  if (!sample.has_value() || *sample < 1) {
+    std::fprintf(stderr, "--provenance-sample must be a positive integer\n");
+    return std::nullopt;
+  }
+  return static_cast<std::uint64_t>(*sample);
 }
 
 /// Arms the sinks requested via --metrics/--trace-events/--progress and
@@ -128,10 +149,15 @@ void add_obs_cli_options(util::CliParser& cli) {
 class ObsSession {
  public:
   ObsSession(std::string metrics_path, std::string trace_path,
-             double progress_seconds)
+             double progress_seconds, std::string provenance_dir = "",
+             std::uint64_t provenance_sample = 1)
       : metrics_path_(std::move(metrics_path)),
-        trace_path_(std::move(trace_path)) {
+        trace_path_(std::move(trace_path)),
+        provenance_dir_(std::move(provenance_dir)) {
     if (!trace_path_.empty()) obs::SpanTracer::global().enable();
+    if (!provenance_dir_.empty()) {
+      obs::ProvenanceJournal::global().enable(provenance_sample);
+    }
     if (progress_seconds > 0.0) {
       heartbeat_ = std::make_unique<obs::Heartbeat>(progress_seconds);
     }
@@ -173,12 +199,32 @@ class ObsSession {
       }
       tracer.disable();
     }
+    if (!provenance_dir_.empty()) {
+      auto& journal = obs::ProvenanceJournal::global();
+      std::error_code ec;
+      std::filesystem::create_directories(provenance_dir_, ec);
+      const std::string path = provenance_dir_ + "/provenance.jsonl";
+      if (ec) {
+        std::fprintf(stderr, "cannot create %s: %s\n", provenance_dir_.c_str(),
+                     ec.message().c_str());
+        ok_ = false;
+      } else if (const auto status = journal.write_jsonl(path); !status.ok()) {
+        std::fprintf(stderr, "%s\n", status.error().to_string().c_str());
+        ok_ = false;
+      } else {
+        std::printf("provenance (%zu record(s)) written to %s\n",
+                    journal.size(), path.c_str());
+      }
+      journal.disable();
+      journal.reset();
+    }
     return ok_;
   }
 
  private:
   std::string metrics_path_;
   std::string trace_path_;
+  std::string provenance_dir_;
   std::unique_ptr<obs::Heartbeat> heartbeat_;
   bool finished_ = false;
   bool ok_ = true;
@@ -312,8 +358,12 @@ int cmd_analyze(int argc, char** argv) {
   if (!options.has_value()) return 2;
   const auto progress = parse_progress(cli);
   if (!progress.has_value()) return 2;
+  const auto provenance_sample = parse_provenance_sample(cli);
+  if (!provenance_sample.has_value()) return 2;
   ObsSession obs_session(std::string(cli.get("metrics")),
-                         std::string(cli.get("trace-events")), *progress);
+                         std::string(cli.get("trace-events")), *progress,
+                         std::string(cli.get("provenance")),
+                         *provenance_sample);
   const core::Analyzer analyzer(load_thresholds(cli));
   int failures = 0;
   for (const std::string& path : paths) {
@@ -370,8 +420,12 @@ int cmd_batch(int argc, char** argv) {
   if (!options.has_value()) return 2;
   const auto progress = parse_progress(cli);
   if (!progress.has_value()) return 2;
+  const auto provenance_sample = parse_provenance_sample(cli);
+  if (!provenance_sample.has_value()) return 2;
   ObsSession obs_session(std::string(cli.get("metrics")),
-                         std::string(cli.get("trace-events")), *progress);
+                         std::string(cli.get("trace-events")), *progress,
+                         std::string(cli.get("provenance")),
+                         *provenance_sample);
 
   // Stream the corpus through the pool: bounded in-flight memory, retries
   // for transient I/O errors, every failure classified into the funnel.
@@ -455,6 +509,14 @@ int cmd_report(int argc, char** argv) {
   cli.add_option("out", "output markdown path", "mosaic_report.md");
   cli.add_option("top-pairs", "Jaccard pairs to list", "10");
   cli.add_option("threads", "worker threads (0 = hardware)", "0");
+  cli.add_flag("confusion",
+               "append an accuracy drill-down joining provenance records "
+               "against --truth");
+  cli.add_option("truth",
+                 "ground-truth JSONL sidecar from `mosaic generate --truth`",
+                 "");
+  cli.add_option("straddling", "straddling cases to rank in the drill-down",
+                 "20");
   add_ingest_cli_options(cli);
   add_obs_cli_options(cli);
   add_log_cli_options(cli);
@@ -474,8 +536,28 @@ int cmd_report(int argc, char** argv) {
   if (!options.has_value()) return 2;
   const auto progress = parse_progress(cli);
   if (!progress.has_value()) return 2;
+  const auto provenance_sample = parse_provenance_sample(cli);
+  if (!provenance_sample.has_value()) return 2;
+  const bool confusion = cli.get_flag("confusion");
+  const std::string truth_path{cli.get("truth")};
+  if (confusion && truth_path.empty()) {
+    std::fprintf(stderr, "--confusion requires --truth <file>\n");
+    return 2;
+  }
+  const auto straddling_cap = cli.get_int("straddling");
+  if (!straddling_cap.has_value() || *straddling_cap < 0) {
+    std::fprintf(stderr, "--straddling must be a non-negative integer\n");
+    return 2;
+  }
   ObsSession obs_session(std::string(cli.get("metrics")),
-                         std::string(cli.get("trace-events")), *progress);
+                         std::string(cli.get("trace-events")), *progress,
+                         std::string(cli.get("provenance")),
+                         *provenance_sample);
+  // The drill-down is computed from journal records, not by re-analyzing, so
+  // --confusion needs the journal armed even without a --provenance dir.
+  obs::ProvenanceJournal& journal = obs::ProvenanceJournal::global();
+  const bool confusion_armed_journal = confusion && !journal.enabled();
+  if (confusion_armed_journal) journal.enable(*provenance_sample);
 
   parallel::ThreadPool pool(*thread_count);
   auto ingested = ingest::ingest_paths(paths, *options, pool);
@@ -573,6 +655,30 @@ int cmd_report(int argc, char** argv) {
                                 : std::string("none detected\n");
   }
 
+  if (confusion) {
+    auto truths = sim::read_truth_jsonl(truth_path);
+    if (!truths.has_value()) {
+      std::fprintf(stderr, "%s\n", truths.error().to_string().c_str());
+      return 1;
+    }
+    const report::ConfusionReport drill = report::build_confusion(
+        journal.collect(), *truths,
+        static_cast<std::size_t>(*straddling_cap));
+    if (confusion_armed_journal) {
+      journal.disable();
+      journal.reset();
+    }
+    md += "\n## Accuracy drill-down\n\n";
+    md += "Computed by joining the decision-provenance journal (1 in " +
+          std::to_string(*provenance_sample) +
+          " traces sampled) against the generator's ground-truth sidecar — "
+          "no re-analysis.\n\n";
+    md += report::render_confusion(drill);
+    std::printf("confusion: joined %zu provenance record(s) against truth "
+                "(%zu without a truth entry)\n",
+                drill.joined, drill.missing_truth);
+  }
+
   const std::string out_path{cli.get("out")};
   if (const auto status = report::write_text_to_file(md, out_path);
       !status.ok()) {
@@ -585,6 +691,88 @@ int cmd_report(int argc, char** argv) {
   return 0;
 }
 
+int cmd_explain(int argc, char** argv) {
+  util::CliParser cli("mosaic explain",
+                      "render the decision path behind one trace's "
+                      "categories");
+  cli.add_option("thresholds", "JSON thresholds config", "");
+  cli.add_option("provenance",
+                 "look the argument up as a trace id (job id or app key) in "
+                 "this directory's provenance.jsonl instead of analyzing a "
+                 "file", "");
+  cli.add_flag("json", "emit the provenance record as pretty JSON");
+  add_log_cli_options(cli);
+  if (const auto status = cli.parse(argc, argv); !status.ok()) {
+    return status.error().code == util::ErrorCode::kNotFound ? 0 : 2;
+  }
+  if (!apply_log_cli_options(cli)) return 2;
+  if (cli.positional().size() != 1) {
+    std::fprintf(stderr, "mosaic explain: exactly one trace file or trace "
+                         "id\n");
+    return 2;
+  }
+  const std::string target = cli.positional().front();
+
+  std::optional<obs::TraceProvenance> record;
+  std::error_code ec;
+  if (std::filesystem::is_regular_file(target, ec)) {
+    // Live path: run the full pipeline once with evidence capture forced on
+    // (the journal's sampling gate is bypassed by the explicit overload).
+    auto parsed = ingest::load_trace(target, ingest::IngestOptions{});
+    if (!parsed.has_value()) {
+      std::fprintf(stderr, "%s\n", parsed.error().to_string().c_str());
+      return 1;
+    }
+    if (const auto validity = trace::validate(*parsed); !validity.valid()) {
+      std::fprintf(stderr, "mosaic explain: %s is corrupted (%s)\n",
+                   target.c_str(),
+                   trace::corruption_kind_name(validity.kind));
+      return 1;
+    }
+    const core::Analyzer analyzer(load_thresholds(cli));
+    obs::TraceProvenance evidence;
+    (void)analyzer.analyze(*parsed, &evidence);
+    record = std::move(evidence);
+  } else {
+    // Recorded path: join against an earlier batch run's journal.
+    const std::string dir{cli.get("provenance")};
+    if (dir.empty()) {
+      std::fprintf(stderr,
+                   "mosaic explain: %s is not a trace file; pass "
+                   "--provenance <dir> to look up a recorded trace id\n",
+                   target.c_str());
+      return 2;
+    }
+    auto records = obs::read_provenance_jsonl(dir + "/provenance.jsonl");
+    if (!records.has_value()) {
+      std::fprintf(stderr, "%s\n", records.error().to_string().c_str());
+      return 1;
+    }
+    for (obs::TraceProvenance& candidate : *records) {
+      if (candidate.app_key == target ||
+          std::to_string(candidate.job_id) == target) {
+        record = std::move(candidate);
+        break;
+      }
+    }
+    if (!record.has_value()) {
+      std::fprintf(stderr,
+                   "mosaic explain: no provenance record for '%s' in %s\n",
+                   target.c_str(), dir.c_str());
+      return 1;
+    }
+  }
+
+  if (cli.get_flag("json")) {
+    std::printf("%s\n", json::serialize(obs::provenance_to_json(*record),
+                                        /*pretty=*/true)
+                            .c_str());
+  } else {
+    std::fputs(obs::explain_text(*record).c_str(), stdout);
+  }
+  return 0;
+}
+
 int cmd_generate(int argc, char** argv) {
   util::CliParser cli("mosaic generate",
                       "write a synthetic Blue Waters-like population");
@@ -592,6 +780,9 @@ int cmd_generate(int argc, char** argv) {
   cli.add_option("seed", "master seed", "20190410");
   cli.add_option("format", "text | mbt | mixed", "mbt");
   cli.add_option("corruption", "corrupted fraction", "0.32");
+  cli.add_option("truth",
+                 "write the planted ground-truth labels to this JSONL "
+                 "sidecar (corrupted traces excluded)", "");
   add_log_cli_options(cli);
   if (const auto status = cli.parse(argc, argv); !status.ok()) {
     return status.error().code == util::ErrorCode::kNotFound ? 0 : 2;
@@ -636,6 +827,18 @@ int cmd_generate(int argc, char** argv) {
   }
   std::printf("wrote %zu traces (%zu applications) to %s\n", written,
               population.app_count, directory.c_str());
+  if (const auto truth_path = cli.get("truth"); !truth_path.empty()) {
+    const std::vector<sim::TruthRecord> records =
+        sim::truth_records(population.traces);
+    if (const auto status =
+            sim::write_truth_jsonl(records, std::string(truth_path));
+        !status.ok()) {
+      std::fprintf(stderr, "%s\n", status.error().to_string().c_str());
+      return 1;
+    }
+    std::printf("truth labels (%zu record(s)) written to %s\n",
+                records.size(), std::string(truth_path).c_str());
+  }
   return 0;
 }
 
@@ -676,6 +879,7 @@ int main(int argc, char** argv) {
   // Shift argv so each subcommand parses its own options.
   argv[1] = argv[0];
   if (command == "analyze") return cmd_analyze(argc - 1, argv + 1);
+  if (command == "explain") return cmd_explain(argc - 1, argv + 1);
   if (command == "report") return cmd_report(argc - 1, argv + 1);
   if (command == "batch") return cmd_batch(argc - 1, argv + 1);
   if (command == "generate") return cmd_generate(argc - 1, argv + 1);
