@@ -6,9 +6,12 @@
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <limits>
+#include <new>
 #include <vector>
 
 #include "core/merge.hpp"
@@ -24,6 +27,59 @@
 #include "sim/population.hpp"
 #include "util/fs.hpp"
 #include "util/stopwatch.hpp"
+
+namespace {
+
+/// Heap-allocation accounting. Toggled around the measured loop only, so the
+/// count excludes fixture setup; relaxed atomics keep the disabled cost to
+/// one load per allocation.
+std::atomic<bool> g_count_allocations{false};
+std::atomic<std::uint64_t> g_allocation_count{0};
+
+inline void note_allocation() noexcept {
+  if (g_count_allocations.load(std::memory_order_relaxed)) {
+    g_allocation_count.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace
+
+#if defined(MOSAIC_BENCH_COUNT_ALLOCS)
+// Bench-only global allocation hook (see bench/CMakeLists.txt): every form
+// forwards to malloc/free so the replacement set stays consistent, and the
+// throwing forms bump the counter when accounting is armed. This TU is only
+// linked into the perf_pipeline binary — product code never sees the hook.
+void* operator new(std::size_t size) {
+  note_allocation();
+  if (size == 0) size = 1;
+  if (void* ptr = std::malloc(size)) return ptr;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) { return ::operator new(size); }
+
+void* operator new(std::size_t size, std::align_val_t align) {
+  note_allocation();
+  const auto alignment = static_cast<std::size_t>(align);
+  if (size == 0) size = alignment;
+  void* ptr = nullptr;
+  if (posix_memalign(&ptr, alignment, size) != 0) throw std::bad_alloc();
+  return ptr;
+}
+
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return ::operator new(size, align);
+}
+
+void operator delete(void* ptr) noexcept { std::free(ptr); }
+void operator delete[](void* ptr) noexcept { std::free(ptr); }
+void operator delete(void* ptr, std::size_t) noexcept { std::free(ptr); }
+void operator delete[](void* ptr, std::size_t) noexcept { std::free(ptr); }
+void operator delete(void* ptr, std::align_val_t) noexcept { std::free(ptr); }
+void operator delete[](void* ptr, std::align_val_t) noexcept {
+  std::free(ptr);
+}
+#endif  // MOSAIC_BENCH_COUNT_ALLOCS
 
 namespace {
 
@@ -187,20 +243,36 @@ void BM_TraceGeneration(benchmark::State& state) {
 }
 BENCHMARK(BM_TraceGeneration);
 
-/// Times `passes` full analyses of `traces` (copies are re-analyzed each
-/// call so repetitions are comparable) and returns total wall seconds.
-/// Multiple passes amortize timer granularity: one pass over the bench
-/// population finishes in ~1 ms, too short for a stable enabled/disabled
-/// ratio.
-double time_population_analysis(const std::vector<trace::Trace>& traces,
-                                parallel::ThreadPool& pool, int passes = 1) {
+/// Timing for one block of repeated full analyses of `traces` (copies are
+/// re-analyzed each pass so repetitions are comparable).
+struct BlockTiming {
+  double total_seconds = 0.0;  ///< wall seconds for the whole block
+  double best_pass_seconds = 0.0;  ///< fastest single pass in the block
+};
+
+/// Runs `passes` analyses, timing the block and each individual pass. The
+/// block total feeds the drift-cancelling paired ratio; the per-pass
+/// minimum is the noise-robust estimator — a pass takes well under a
+/// millisecond, so across a few thousand passes some land inside clean
+/// scheduling windows even when CPU steal arrives in multi-second bursts,
+/// and the fastest pass in each mode converges on that mode's intrinsic
+/// cost. Per-pass timing adds two clock reads (~50 ns) per ~1 ms pass.
+BlockTiming time_population_analysis(const std::vector<trace::Trace>& traces,
+                                     parallel::ThreadPool& pool,
+                                     int passes = 1) {
+  BlockTiming timing;
+  timing.best_pass_seconds = std::numeric_limits<double>::infinity();
   const util::Stopwatch watch;
   for (int pass = 0; pass < passes; ++pass) {
+    const util::Stopwatch pass_watch;
     auto copy = traces;
     benchmark::DoNotOptimize(
         core::analyze_population(std::move(copy), {}, &pool));
+    timing.best_pass_seconds =
+        std::min(timing.best_pass_seconds, pass_watch.elapsed_seconds());
   }
-  return watch.elapsed_seconds();
+  timing.total_seconds = watch.elapsed_seconds();
+  return timing;
 }
 
 /// Measures the cost of the full instrumentation surface: the same
@@ -210,7 +282,8 @@ double time_population_analysis(const std::vector<trace::Trace>& traces,
 struct OverheadResult {
   double enabled_seconds = 0.0;
   double disabled_seconds = 0.0;
-  double overhead_pct = 0.0;
+  double overhead_pct = 0.0;         ///< min-enabled vs min-disabled ratio
+  double paired_median_pct = 0.0;    ///< median of per-rep paired ratios
   std::size_t traces = 0;
   std::uint64_t provenance_sample = 0;  ///< 1-in-N rate used when enabled
 };
@@ -231,8 +304,15 @@ OverheadResult measure_instrumentation_overhead() {
   // Provenance sampling rate matching a realistic batch-audit setting.
   constexpr std::uint64_t kProvenanceSample = 8;
   result.provenance_sample = kProvenanceSample;
-  constexpr int kReps = 9;
-  constexpr int kPasses = 32;
+  // 31 reps x 64 passes: after the zero-alloc/flat-grid/FFT-plan pass a
+  // full population analysis runs in well under a millisecond, so each
+  // paired measurement needs more passes for scheduler jitter to average
+  // out — at 32 passes the paired ratio swung several points run-to-run.
+  // The block minima (the gate number) only need one clean scheduling
+  // window per mode across the whole run, so more reps buy robustness on
+  // runners where CPU steal arrives in multi-second bursts.
+  constexpr int kReps = 31;
+  constexpr int kPasses = 64;
   double enabled = std::numeric_limits<double>::infinity();
   double disabled = std::numeric_limits<double>::infinity();
   std::vector<double> ratios;
@@ -245,18 +325,18 @@ OverheadResult measure_instrumentation_overhead() {
     obs::set_metrics_enabled(true);
     tracer.enable();
     journal.enable(kProvenanceSample);
-    const double seconds = time_population_analysis(traces, pool, kPasses);
+    const BlockTiming timing = time_population_analysis(traces, pool, kPasses);
     tracer.disable();
     journal.disable();
     journal.reset();  // keep the buffered records bounded across reps
-    enabled = std::min(enabled, seconds);
-    return seconds;
+    enabled = std::min(enabled, timing.best_pass_seconds);
+    return timing.total_seconds;
   };
   const auto measure_disabled = [&] {
     obs::set_metrics_enabled(false);
-    const double seconds = time_population_analysis(traces, pool, kPasses);
-    disabled = std::min(disabled, seconds);
-    return seconds;
+    const BlockTiming timing = time_population_analysis(traces, pool, kPasses);
+    disabled = std::min(disabled, timing.best_pass_seconds);
+    return timing.total_seconds;
   };
   for (int rep = 0; rep < kReps; ++rep) {
     // Each rep measures both modes back-to-back (alternating order) so they
@@ -274,13 +354,69 @@ OverheadResult measure_instrumentation_overhead() {
     if (rep_disabled > 0.0) ratios.push_back(rep_enabled / rep_disabled);
   }
   obs::set_metrics_enabled(true);
-  // Report per-pass seconds so traces_per_second stays trace-count/seconds.
-  result.enabled_seconds = enabled / kPasses;
-  result.disabled_seconds = disabled / kPasses;
+  // Fastest observed single pass per mode; traces_per_second stays
+  // trace-count/seconds against this.
+  result.enabled_seconds = enabled;
+  result.disabled_seconds = disabled;
   std::sort(ratios.begin(), ratios.end());
   const double median_ratio =
       ratios.empty() ? 1.0 : ratios[ratios.size() / 2];
-  result.overhead_pct = 100.0 * (median_ratio - 1.0);
+  result.paired_median_pct = 100.0 * (median_ratio - 1.0);
+  // The gate number is the ratio of the fastest single enabled pass to the
+  // fastest single disabled pass. Scheduler/steal noise on a shared runner
+  // is strictly additive, so the per-pass minima converge on each mode's
+  // intrinsic cost; block-granularity minima and the paired median (kept
+  // above for drift diagnosis) both still swung several points run-to-run
+  // because steal arrives in bursts longer than one measurement block.
+  result.overhead_pct =
+      disabled > 0.0 ? 100.0 * (enabled / disabled - 1.0) : 0.0;
+  return result;
+}
+
+/// Steady-state heap allocations per analyzed trace.
+struct AllocationResult {
+  bool counted = false;       ///< false when the bench hook is compiled out
+  std::uint64_t total = 0;    ///< allocations across the measured pass
+  double per_trace = 0.0;
+  std::size_t traces = 0;
+};
+
+/// Counts heap allocations across one steady-state pass: a single analyzer
+/// workspace (as the batch path keeps per worker), warmed by a full prior
+/// pass so every buffer is at its high-water capacity. What remains is the
+/// TraceResult output itself plus any scratch the workspace model missed —
+/// the number DESIGN.md §12 tracks.
+AllocationResult measure_allocations_per_trace() {
+  AllocationResult result;
+#if defined(MOSAIC_BENCH_COUNT_ALLOCS)
+  result.counted = true;
+#endif
+  std::vector<trace::Trace> traces;
+  for (const sim::LabeledTrace& labeled : population().traces) {
+    if (!labeled.corrupted) traces.push_back(labeled.trace);
+    if (traces.size() >= 1000) break;
+  }
+  result.traces = traces.size();
+
+  const core::Analyzer analyzer;
+  core::AnalyzerWorkspace workspace;
+  // Warm-up: grows the workspace buffers to steady state and resolves the
+  // lazily-initialized metric handles.
+  for (const trace::Trace& t : traces) {
+    benchmark::DoNotOptimize(analyzer.analyze(t, workspace));
+  }
+
+  g_allocation_count.store(0, std::memory_order_relaxed);
+  g_count_allocations.store(true, std::memory_order_relaxed);
+  for (const trace::Trace& t : traces) {
+    benchmark::DoNotOptimize(analyzer.analyze(t, workspace));
+  }
+  g_count_allocations.store(false, std::memory_order_relaxed);
+  result.total = g_allocation_count.load(std::memory_order_relaxed);
+  if (!traces.empty()) {
+    result.per_trace = static_cast<double>(result.total) /
+                       static_cast<double>(traces.size());
+  }
   return result;
 }
 
@@ -306,6 +442,7 @@ std::uint64_t counter_value(const obs::Snapshot& snapshot,
 /// per-stage means scraped from the metrics registry, and the
 /// instrumentation overhead experiment.
 void write_bench_json(const OverheadResult& overhead,
+                      const AllocationResult& allocations,
                       const std::string& path) {
   const obs::Snapshot snapshot = obs::Registry::global().snapshot();
 
@@ -336,9 +473,17 @@ void write_bench_json(const OverheadResult& overhead,
   instr.set("enabled_seconds", overhead.enabled_seconds);
   instr.set("disabled_seconds", overhead.disabled_seconds);
   instr.set("overhead_pct", overhead.overhead_pct);
+  instr.set("paired_median_pct", overhead.paired_median_pct);
   instr.set("surface", "metrics+spans+provenance");
   instr.set("provenance_sample", overhead.provenance_sample);
   out.set("instrumentation", std::move(instr));
+
+  json::Object allocs;
+  allocs.set("counted", allocations.counted);
+  allocs.set("per_trace", allocations.per_trace);
+  allocs.set("total", allocations.total);
+  allocs.set("traces", allocations.traces);
+  out.set("allocations", std::move(allocs));
 
   if (const auto status =
           util::write_file_atomic(path, json::serialize(out) + "\n");
@@ -368,7 +513,8 @@ int main(int argc, char** argv) {
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   if (!overhead_only) benchmark::RunSpecifiedBenchmarks();
   const OverheadResult overhead = measure_instrumentation_overhead();
-  write_bench_json(overhead, "BENCH_perf_pipeline.json");
+  const AllocationResult allocations = measure_allocations_per_trace();
+  write_bench_json(overhead, allocations, "BENCH_perf_pipeline.json");
   benchmark::Shutdown();
   return 0;
 }

@@ -1,13 +1,145 @@
 #include "cluster/fft.hpp"
 
 #include <algorithm>
+#include <array>
+#include <bit>
 #include <cmath>
+#include <memory>
 #include <numbers>
+#include <utility>
 
 #include "obs/metrics.hpp"
 #include "obs/names.hpp"
 
 namespace mosaic::cluster {
+
+namespace {
+
+// One cached transform plan: the bit-reversal swap list plus stage-packed
+// twiddle tables (n - 1 values each direction; stage len contributes its
+// len/2 factors). Both tables are generated with exactly the recurrence the
+// cold path runs (w starts at 1 and accumulates w *= wlen), so a planned
+// transform performs the same float operations in the same order as an
+// unplanned one — bit-identical output, which the golden A/B test relies on.
+struct FftPlan {
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> swaps;
+  std::vector<std::complex<double>> forward;
+  std::vector<std::complex<double>> inverse;
+};
+
+std::vector<std::complex<double>> stage_twiddles(std::size_t n, bool inverse) {
+  std::vector<std::complex<double>> table;
+  table.reserve(n - 1);
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double angle =
+        (inverse ? 2.0 : -2.0) * std::numbers::pi / static_cast<double>(len);
+    const std::complex<double> wlen{std::cos(angle), std::sin(angle)};
+    std::complex<double> w{1.0, 0.0};
+    for (std::size_t k = 0; k < len / 2; ++k) {
+      table.push_back(w);
+      w *= wlen;
+    }
+  }
+  return table;
+}
+
+FftPlan make_plan(std::size_t n) {
+  FftPlan plan;
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) {
+      plan.swaps.emplace_back(static_cast<std::uint32_t>(i),
+                              static_cast<std::uint32_t>(j));
+    }
+  }
+  plan.forward = stage_twiddles(n, /*inverse=*/false);
+  plan.inverse = stage_twiddles(n, /*inverse=*/true);
+  return plan;
+}
+
+// Plans are O(n) memory each, so the per-thread cache is capped; transforms
+// larger than 2^kMaxCachedLog2 points take the cold path. The cache is
+// thread-local because the batch analyzer runs one analysis per pool worker
+// concurrently and plan lookup must stay synchronization-free.
+constexpr std::size_t kMaxCachedLog2 = 16;
+
+const FftPlan* cached_plan(std::size_t n) {
+  if (n < 2 || n > (std::size_t{1} << kMaxCachedLog2)) return nullptr;
+  thread_local std::array<std::unique_ptr<FftPlan>, kMaxCachedLog2 + 1> plans;
+  auto& slot = plans[static_cast<std::size_t>(std::countr_zero(n))];
+  if (!slot) slot = std::make_unique<FftPlan>(make_plan(n));
+  return slot.get();
+}
+
+// The shared transform body. A null plan selects the cold path, which
+// recomputes the permutation and twiddles inline (the original, reference
+// implementation).
+void transform(std::vector<std::complex<double>>& data, bool inverse,
+               const FftPlan* plan) {
+  const std::size_t n = data.size();
+  if (n == 1) return;
+
+  if (plan != nullptr) {
+    for (const auto& [i, j] : plan->swaps) std::swap(data[i], data[j]);
+    const std::complex<double>* stage =
+        (inverse ? plan->inverse : plan->forward).data();
+    for (std::size_t len = 2; len <= n; len <<= 1) {
+      const std::size_t half = len / 2;
+      for (std::size_t start = 0; start < n; start += len) {
+        for (std::size_t k = 0; k < half; ++k) {
+          const auto even = data[start + k];
+          const auto odd = data[start + k + half] * stage[k];
+          data[start + k] = even + odd;
+          data[start + k + half] = even - odd;
+        }
+      }
+      stage += half;
+    }
+  } else {
+    // Bit-reversal permutation.
+    for (std::size_t i = 1, j = 0; i < n; ++i) {
+      std::size_t bit = n >> 1;
+      for (; j & bit; bit >>= 1) j ^= bit;
+      j ^= bit;
+      if (i < j) std::swap(data[i], data[j]);
+    }
+
+    // Butterfly passes.
+    for (std::size_t len = 2; len <= n; len <<= 1) {
+      const double angle =
+          (inverse ? 2.0 : -2.0) * std::numbers::pi / static_cast<double>(len);
+      const std::complex<double> wlen{std::cos(angle), std::sin(angle)};
+      for (std::size_t start = 0; start < n; start += len) {
+        std::complex<double> w{1.0, 0.0};
+        for (std::size_t k = 0; k < len / 2; ++k) {
+          const auto even = data[start + k];
+          const auto odd = data[start + k + len / 2] * w;
+          data[start + k] = even + odd;
+          data[start + k + len / 2] = even - odd;
+          w *= wlen;
+        }
+      }
+    }
+  }
+
+  if (inverse) {
+    for (auto& x : data) x /= static_cast<double>(n);
+  }
+}
+
+void observe_size(std::size_t n) {
+  // Transform-size distribution: the DFT backend's cost driver, and the
+  // first thing to check when frequency-mode periodicity slows a batch.
+  static constexpr double kSizeEdges[] = {64,    256,    1024,   4096,
+                                          16384, 65536,  262144, 1048576};
+  static obs::Histogram& size_hist = obs::Registry::global().histogram(
+      obs::names::kFftSize, kSizeEdges, "radix-2 FFT transform size");
+  size_hist.observe(static_cast<double>(n));
+}
+
+}  // namespace
 
 std::size_t next_pow2(std::size_t n) noexcept {
   std::size_t p = 1;
@@ -18,60 +150,39 @@ std::size_t next_pow2(std::size_t n) noexcept {
 void fft(std::vector<std::complex<double>>& data, bool inverse) {
   const std::size_t n = data.size();
   MOSAIC_ASSERT(n >= 1 && (n & (n - 1)) == 0);
-  // Transform-size distribution: the DFT backend's cost driver, and the
-  // first thing to check when frequency-mode periodicity slows a batch.
-  static constexpr double kSizeEdges[] = {64,    256,    1024,   4096,
-                                          16384, 65536,  262144, 1048576};
-  static obs::Histogram& size_hist = obs::Registry::global().histogram(
-      obs::names::kFftSize, kSizeEdges, "radix-2 FFT transform size");
-  size_hist.observe(static_cast<double>(n));
-  if (n == 1) return;
+  observe_size(n);
+  transform(data, inverse, cached_plan(n));
+}
 
-  // Bit-reversal permutation.
-  for (std::size_t i = 1, j = 0; i < n; ++i) {
-    std::size_t bit = n >> 1;
-    for (; j & bit; bit >>= 1) j ^= bit;
-    j ^= bit;
-    if (i < j) std::swap(data[i], data[j]);
-  }
-
-  // Butterfly passes.
-  for (std::size_t len = 2; len <= n; len <<= 1) {
-    const double angle =
-        (inverse ? 2.0 : -2.0) * std::numbers::pi / static_cast<double>(len);
-    const std::complex<double> wlen{std::cos(angle), std::sin(angle)};
-    for (std::size_t start = 0; start < n; start += len) {
-      std::complex<double> w{1.0, 0.0};
-      for (std::size_t k = 0; k < len / 2; ++k) {
-        const auto even = data[start + k];
-        const auto odd = data[start + k + len / 2] * w;
-        data[start + k] = even + odd;
-        data[start + k + len / 2] = even - odd;
-        w *= wlen;
-      }
-    }
-  }
-
-  if (inverse) {
-    for (auto& x : data) x /= static_cast<double>(n);
-  }
+void fft_uncached(std::vector<std::complex<double>>& data, bool inverse) {
+  const std::size_t n = data.size();
+  MOSAIC_ASSERT(n >= 1 && (n & (n - 1)) == 0);
+  observe_size(n);
+  transform(data, inverse, nullptr);
 }
 
 std::vector<double> bin_series(
     std::span<const std::pair<double, double>> samples, double duration,
     double bin_seconds) {
+  std::vector<double> series;
+  bin_series(samples, duration, bin_seconds, series);
+  return series;
+}
+
+void bin_series(std::span<const std::pair<double, double>> samples,
+                double duration, double bin_seconds,
+                std::vector<double>& series) {
   MOSAIC_ASSERT(duration > 0.0);
   MOSAIC_ASSERT(bin_seconds > 0.0);
   const auto bins = static_cast<std::size_t>(
       std::max(1.0, std::ceil(duration / bin_seconds)));
-  std::vector<double> series(bins, 0.0);
+  series.assign(bins, 0.0);
   for (const auto& [time, weight] : samples) {
     auto index = static_cast<std::ptrdiff_t>(std::floor(time / bin_seconds));
     index = std::clamp<std::ptrdiff_t>(
         index, 0, static_cast<std::ptrdiff_t>(bins) - 1);
     series[static_cast<std::size_t>(index)] += weight;
   }
-  return series;
 }
 
 DftPeriodicity detect_periodicity_dft(std::span<const double> series,

@@ -17,8 +17,23 @@
 namespace mosaic::cluster {
 
 /// In-place iterative radix-2 Cooley-Tukey FFT.
+///
+/// Repeated transforms of the same size reuse a thread-local plan (bit-
+/// reversal swap list + per-stage twiddle tables), so the per-call setup cost
+/// is amortized across a batch. Plans are precomputed with exactly the
+/// arithmetic of the cold path, making cached and uncached transforms
+/// bit-identical (see fft_uncached and DESIGN.md §12). Sizes above the cache
+/// cap fall back to the cold path automatically.
 /// Precondition: data.size() is a power of two (>= 1).
 void fft(std::vector<std::complex<double>>& data, bool inverse = false);
+
+/// Reference cold path: same transform as fft() but recomputing the
+/// bit-reversal permutation and twiddle factors on every call, never touching
+/// the plan cache. Exists so tests can assert the cached path is bit-identical
+/// and as the fallback for transforms too large to cache.
+/// Precondition: data.size() is a power of two (>= 1).
+void fft_uncached(std::vector<std::complex<double>>& data,
+                  bool inverse = false);
 
 /// Next power of two >= n (n == 0 -> 1).
 [[nodiscard]] std::size_t next_pow2(std::size_t n) noexcept;
@@ -52,6 +67,11 @@ struct DftPeriodicity {
 [[nodiscard]] std::vector<double> bin_series(
     std::span<const std::pair<double, double>> samples, double duration,
     double bin_seconds);
+
+/// As above, but writes into `out` (resized and zeroed, capacity reused) —
+/// the allocation-free form used by the analyzer workspace.
+void bin_series(std::span<const std::pair<double, double>> samples,
+                double duration, double bin_seconds, std::vector<double>& out);
 
 /// Detects periodicity in an activity time series via the power spectrum:
 /// mean-removed signal -> FFT -> dominant peak test against min_score.

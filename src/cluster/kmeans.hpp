@@ -19,8 +19,8 @@ namespace mosaic::cluster {
 
 /// k-means configuration.
 struct KMeansConfig {
-  std::size_t k = 8;
-  std::size_t max_iterations = 100;
+  std::size_t k = 8;                ///< clusters (clamped to point count)
+  std::size_t max_iterations = 100; ///< Lloyd iterations per restart
   double convergence_tol = 1e-6;  ///< stop when centroids move less
   std::uint64_t seed = 7;         ///< k-means++ seeding stream
   std::size_t restarts = 4;       ///< keep the lowest-inertia run

@@ -2,7 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
-#include <map>
+#include <limits>
 #include <numeric>
 
 #include "obs/metrics.hpp"
@@ -17,6 +17,12 @@ void PointSet::add(std::span<const double> point) {
   data_.insert(data_.end(), point.begin(), point.end());
 }
 
+void PointSet::reset(std::size_t dim) {
+  MOSAIC_ASSERT(dim >= 1);
+  dim_ = dim;
+  data_.clear();
+}
+
 double squared_distance(std::span<const double> a,
                         std::span<const double> b) noexcept {
   MOSAIC_ASSERT(a.size() == b.size());
@@ -29,10 +35,24 @@ double squared_distance(std::span<const double> a,
 }
 
 PointSet min_max_scale(const PointSet& points) {
+  PointSet scaled(points.dim());
+  min_max_scale(points, scaled);
+  return scaled;
+}
+
+void min_max_scale(const PointSet& points, PointSet& out) {
   const std::size_t dim = points.dim();
   const std::size_t n = points.size();
-  std::vector<double> lo(dim, std::numeric_limits<double>::infinity());
-  std::vector<double> hi(dim, -std::numeric_limits<double>::infinity());
+  MOSAIC_ASSERT(&out != &points);
+  // Column extrema on the stack: feature embeddings are low-dimensional by
+  // construction (the GridIndex shares the same ceiling).
+  MOSAIC_ASSERT(dim <= GridIndex::kMaxDim);
+  double lo[GridIndex::kMaxDim];
+  double hi[GridIndex::kMaxDim];
+  for (std::size_t d = 0; d < dim; ++d) {
+    lo[d] = std::numeric_limits<double>::infinity();
+    hi[d] = -std::numeric_limits<double>::infinity();
+  }
   for (std::size_t i = 0; i < n; ++i) {
     const auto p = points.point(i);
     for (std::size_t d = 0; d < dim; ++d) {
@@ -40,82 +60,131 @@ PointSet min_max_scale(const PointSet& points) {
       hi[d] = std::max(hi[d], p[d]);
     }
   }
-  PointSet scaled(dim);
-  std::vector<double> row(dim);
+  out.reset(dim);
+  out.data_.resize(n * dim);
   for (std::size_t i = 0; i < n; ++i) {
     const auto p = points.point(i);
     for (std::size_t d = 0; d < dim; ++d) {
       const double range = hi[d] - lo[d];
-      row[d] = range > 0.0 ? (p[d] - lo[d]) / range : 0.0;
+      out.data_[i * dim + d] = range > 0.0 ? (p[d] - lo[d]) / range : 0.0;
     }
-    scaled.add(row);
   }
-  return scaled;
 }
 
-namespace {
+std::uint64_t GridIndex::pack_key(
+    std::span<const std::int64_t> coords) noexcept {
+  // Zigzag-encode each signed cell coordinate (negatives interleave with
+  // positives instead of wrapping to huge unsigned values), then fold into
+  // one 64-bit key with a Fibonacci-style combiner. Collisions are harmless:
+  // find_cell() always confirms the full coordinate tuple.
+  std::uint64_t key = 0x9e3779b97f4a7c15ull;
+  for (const std::int64_t c : coords) {
+    const auto zigzag = (static_cast<std::uint64_t>(c) << 1) ^
+                        static_cast<std::uint64_t>(c >> 63);
+    key ^= zigzag + 0x9e3779b97f4a7c15ull + (key << 6) + (key >> 2);
+  }
+  // splitmix64 finalizer: spreads low-entropy cell coordinates across the
+  // table so linear probing stays short.
+  key ^= key >> 30;
+  key *= 0xbf58476d1ce4e5b9ull;
+  key ^= key >> 27;
+  key *= 0x94d049bb133111ebull;
+  key ^= key >> 31;
+  return key;
+}
 
-/// Uniform-grid spatial index over the unit-scaled feature space. Cell size
-/// equals the query radius so a neighborhood scan touches 3^dim cells.
-class GridIndex {
- public:
-  GridIndex(const PointSet& points, double cell)
-      : points_(points), cell_(std::max(cell, 1e-12)) {
-    for (std::size_t i = 0; i < points.size(); ++i) {
-      cells_[key_of(points.point(i))].push_back(i);
+std::uint32_t GridIndex::find_cell(
+    std::span<const std::int64_t> coords) const noexcept {
+  const std::uint64_t key = pack_key(coords);
+  for (std::size_t idx = key & mask_;; idx = (idx + 1) & mask_) {
+    const std::uint32_t cell = slots_[idx];
+    if (cell == kNoCell) return kNoCell;
+    if (cell_key_[cell] == key &&
+        std::equal(coords.begin(), coords.end(),
+                   cell_coords_.data() + cell * dim_)) {
+      return cell;
     }
   }
+}
 
-  /// Invokes `fn(index)` for every point within `radius` of `center`
-  /// (radius must be <= cell size for the 1-ring scan to be exhaustive).
-  template <typename Fn>
-  void for_neighbors(std::span<const double> center, double radius,
-                     Fn&& fn) const {
-    MOSAIC_ASSERT(radius <= cell_ * (1.0 + 1e-9));
-    const double r2 = radius * radius;
-    std::vector<std::int64_t> base = key_of(center);
-    std::vector<std::int64_t> probe(base.size());
-    // Enumerate the 3^dim neighboring cells via odometer increment.
-    const std::size_t dim = base.size();
-    std::vector<int> offset(dim, -1);
-    for (;;) {
-      for (std::size_t d = 0; d < dim; ++d) probe[d] = base[d] + offset[d];
-      if (const auto it = cells_.find(probe); it != cells_.end()) {
-        for (const std::size_t i : it->second) {
-          if (squared_distance(points_.point(i), center) <= r2) fn(i);
-        }
+void GridIndex::build(const PointSet& points, double cell) {
+  points_ = &points;
+  dim_ = points.dim();
+  MOSAIC_ASSERT(dim_ <= kMaxDim);
+  cell_ = std::max(cell, 1e-12);
+  const std::size_t n = points.size();
+
+  // Power-of-two table at <= 50% load (each point adds at most one cell).
+  std::size_t capacity = 16;
+  while (capacity < 2 * n) capacity <<= 1;
+  slots_.assign(capacity, kNoCell);
+  mask_ = capacity - 1;
+  cell_key_.clear();
+  cell_coords_.clear();
+  point_cell_.resize(n);
+  // cell_start_ doubles as the per-cell counter during the first pass.
+  cell_start_.assign(1, 0);
+
+  std::int64_t coords[kMaxDim];
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto p = points.point(i);
+    for (std::size_t d = 0; d < dim_; ++d) coords[d] = cell_coord(p[d]);
+    const std::uint64_t key = pack_key({coords, dim_});
+    std::uint32_t cell_id = kNoCell;
+    for (std::size_t idx = key & mask_;; idx = (idx + 1) & mask_) {
+      const std::uint32_t existing = slots_[idx];
+      if (existing == kNoCell) {
+        cell_id = static_cast<std::uint32_t>(cell_key_.size());
+        slots_[idx] = cell_id;
+        cell_key_.push_back(key);
+        cell_coords_.insert(cell_coords_.end(), coords, coords + dim_);
+        cell_start_.push_back(0);
+        break;
       }
-      std::size_t d = 0;
-      while (d < dim && ++offset[d] > 1) {
-        offset[d] = -1;
-        ++d;
+      if (cell_key_[existing] == key &&
+          std::equal(coords, coords + dim_,
+                     cell_coords_.data() + existing * dim_)) {
+        cell_id = existing;
+        break;
       }
-      if (d == dim) break;
     }
+    point_cell_[i] = cell_id;
+    ++cell_start_[cell_id + 1];
   }
 
- private:
-  [[nodiscard]] std::vector<std::int64_t> key_of(
-      std::span<const double> p) const {
-    std::vector<std::int64_t> key(p.size());
-    for (std::size_t d = 0; d < p.size(); ++d) {
-      key[d] = static_cast<std::int64_t>(std::floor(p[d] / cell_));
-    }
-    return key;
+  // Counts -> CSR offsets; fill in ascending point order so each cell's list
+  // preserves insertion order (the iteration-order contract of
+  // for_neighbors()).
+  const std::size_t cells = cell_key_.size();
+  for (std::size_t c = 0; c < cells; ++c) cell_start_[c + 1] += cell_start_[c];
+  cell_points_.resize(n);
+  // cell_start_[c] serves as cell c's write cursor during the fill; the
+  // shift below restores it to the CSR begin-offset array.
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint32_t cell_id = point_cell_[i];
+    cell_points_[cell_start_[cell_id]] = static_cast<std::uint32_t>(i);
+    ++cell_start_[cell_id];
   }
-
-  const PointSet& points_;
-  double cell_;
-  std::map<std::vector<std::int64_t>, std::vector<std::size_t>> cells_;
-};
-
-}  // namespace
+  for (std::size_t c = cells; c > 0; --c) cell_start_[c] = cell_start_[c - 1];
+  cell_start_[0] = 0;
+}
 
 MeanShiftResult mean_shift(const PointSet& points,
                            const MeanShiftConfig& config) {
+  MeanShiftWorkspace workspace;
   MeanShiftResult result;
+  mean_shift(points, config, workspace, result);
+  return result;
+}
+
+void mean_shift(const PointSet& points, const MeanShiftConfig& config,
+                MeanShiftWorkspace& workspace, MeanShiftResult& out) {
+  out.labels.clear();
+  out.modes.clear();
+  out.cluster_sizes.clear();
+  out.total_iterations = 0;
   const std::size_t n = points.size();
-  if (n == 0) return result;
+  if (n == 0) return;
   MOSAIC_ASSERT(config.bandwidth > 0.0);
 
   const std::size_t dim = points.dim();
@@ -124,7 +193,8 @@ MeanShiftResult mean_shift(const PointSet& points,
   // query radius used.
   const double support =
       config.kernel == Kernel::kGaussian ? 3.0 * h : h;
-  const GridIndex index(points, support);
+  workspace.grid.build(points, support);
+  const GridIndex& index = workspace.grid;
 
   const double merge_radius =
       config.mode_merge_radius > 0.0 ? config.mode_merge_radius : h / 2.0;
@@ -140,10 +210,13 @@ MeanShiftResult mean_shift(const PointSet& points,
       obs::names::kMeanShiftPoints, "points shifted by Mean-Shift");
   points_counter.add(n);
 
-  // Shift every point to its density mode.
-  std::vector<std::vector<double>> converged(n);
-  std::vector<double> current(dim);
-  std::vector<double> next(dim);
+  // Shift every point to its density mode. converged is a flat n*dim store;
+  // current/next swap roles each iteration instead of copying.
+  workspace.converged.resize(n * dim);
+  std::vector<double>& current = workspace.current;
+  std::vector<double>& next = workspace.next;
+  current.resize(dim);
+  next.resize(dim);
   for (std::size_t i = 0; i < n; ++i) {
     const auto seed = points.point(i);
     current.assign(seed.begin(), seed.end());
@@ -171,53 +244,73 @@ MeanShiftResult mean_shift(const PointSet& points,
         const double delta = next[d] - current[d];
         shift2 += delta * delta;
       }
-      current = next;
+      current.swap(next);
       if (shift2 < config.convergence_tol * config.convergence_tol) {
         iterations_used = iter + 1;
         break;
       }
     }
     iterations_hist.observe(static_cast<double>(iterations_used));
-    result.total_iterations += iterations_used;
-    converged[i] = current;
+    out.total_iterations += iterations_used;
+    std::copy(current.begin(), current.end(),
+              workspace.converged.data() + i * dim);
   }
 
-  // Merge converged modes within merge_radius into clusters.
+  // Merge converged modes within merge_radius into clusters (modes is a flat
+  // m*dim buffer; m is small in practice).
   const double merge2 = merge_radius * merge_radius;
-  std::vector<std::size_t> raw_label(n);
-  std::vector<std::vector<double>> modes;
+  workspace.raw_label.resize(n);
+  workspace.modes.clear();
+  const auto converged_point = [&](std::size_t i) {
+    return std::span<const double>{workspace.converged.data() + i * dim, dim};
+  };
   for (std::size_t i = 0; i < n; ++i) {
-    std::size_t assigned = modes.size();
-    for (std::size_t m = 0; m < modes.size(); ++m) {
-      if (squared_distance(converged[i], modes[m]) <= merge2) {
+    const std::size_t mode_count = workspace.modes.size() / dim;
+    std::size_t assigned = mode_count;
+    for (std::size_t m = 0; m < mode_count; ++m) {
+      const std::span<const double> mode{workspace.modes.data() + m * dim,
+                                         dim};
+      if (squared_distance(converged_point(i), mode) <= merge2) {
         assigned = m;
         break;
       }
     }
-    if (assigned == modes.size()) modes.push_back(converged[i]);
-    raw_label[i] = assigned;
+    if (assigned == mode_count) {
+      const auto p = converged_point(i);
+      workspace.modes.insert(workspace.modes.end(), p.begin(), p.end());
+    }
+    workspace.raw_label[i] = assigned;
   }
 
   // Renumber clusters by decreasing size (stable: ties keep first-seen order).
-  std::vector<std::size_t> sizes(modes.size(), 0);
-  for (const std::size_t label : raw_label) ++sizes[label];
-  std::vector<std::size_t> order(modes.size());
-  std::iota(order.begin(), order.end(), 0);
-  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
-    return sizes[a] > sizes[b];
-  });
-  std::vector<std::size_t> rank(modes.size());
-  for (std::size_t r = 0; r < order.size(); ++r) rank[order[r]] = r;
-
-  result.labels.resize(n);
-  for (std::size_t i = 0; i < n; ++i) result.labels[i] = rank[raw_label[i]];
-  result.modes.resize(modes.size());
-  result.cluster_sizes.resize(modes.size());
-  for (std::size_t m = 0; m < modes.size(); ++m) {
-    result.modes[rank[m]] = std::move(modes[m]);
-    result.cluster_sizes[rank[m]] = sizes[m];
+  const std::size_t mode_count = workspace.modes.size() / dim;
+  workspace.sizes.assign(mode_count, 0);
+  for (const std::size_t label : workspace.raw_label) {
+    ++workspace.sizes[label];
   }
-  return result;
+  workspace.order.resize(mode_count);
+  std::iota(workspace.order.begin(), workspace.order.end(), 0);
+  std::stable_sort(workspace.order.begin(), workspace.order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return workspace.sizes[a] > workspace.sizes[b];
+                   });
+  workspace.rank.resize(mode_count);
+  for (std::size_t r = 0; r < mode_count; ++r) {
+    workspace.rank[workspace.order[r]] = r;
+  }
+
+  out.labels.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.labels[i] = workspace.rank[workspace.raw_label[i]];
+  }
+  out.modes.resize(mode_count);
+  out.cluster_sizes.resize(mode_count);
+  for (std::size_t m = 0; m < mode_count; ++m) {
+    out.modes[workspace.rank[m]].assign(
+        workspace.modes.data() + m * dim,
+        workspace.modes.data() + (m + 1) * dim);
+    out.cluster_sizes[workspace.rank[m]] = workspace.sizes[m];
+  }
 }
 
 }  // namespace mosaic::cluster

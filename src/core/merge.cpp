@@ -34,18 +34,19 @@ std::vector<IoOp> merge_concurrent(std::vector<IoOp> ops) {
     if (a.start != b.start) return a.start < b.start;
     return a.end < b.end;
   });
-  std::vector<IoOp> merged;
-  merged.reserve(ops.size());
-  merged.push_back(ops.front());
+  // In-place compaction: the write cursor trails the read cursor, so each op
+  // folds into (or is placed after) the last surviving op without a second
+  // buffer — merging never allocates on the steady-state batch path.
+  std::size_t last = 0;
   for (std::size_t i = 1; i < ops.size(); ++i) {
-    IoOp& last = merged.back();
-    if (ops[i].start <= last.end) {
-      fold(last, ops[i]);
+    if (ops[i].start <= ops[last].end) {
+      fold(ops[last], ops[i]);
     } else {
-      merged.push_back(ops[i]);
+      ops[++last] = ops[i];
     }
   }
-  return merged;
+  ops.resize(last + 1);
+  return ops;
 }
 
 std::vector<IoOp> merge_neighbors(std::vector<IoOp> ops, double total_runtime,
@@ -54,25 +55,25 @@ std::vector<IoOp> merge_neighbors(std::vector<IoOp> ops, double total_runtime,
   const double runtime_gap =
       thresholds.neighbor_gap_runtime_fraction * total_runtime;
 
-  std::vector<IoOp> merged;
-  merged.reserve(ops.size());
-  merged.push_back(ops.front());
+  // Same in-place compaction as merge_concurrent.
+  std::size_t last = 0;
   for (std::size_t i = 1; i < ops.size(); ++i) {
-    IoOp& last = merged.back();
     const IoOp& next = ops[i];
-    MOSAIC_ASSERT(next.start >= last.end);  // disjoint, sorted input
-    const double gap = next.start - last.end;
+    MOSAIC_ASSERT(next.start >= ops[last].end);  // disjoint, sorted input
+    const double gap = next.start - ops[last].end;
     // The "nearby merged operation" is the running fusion on the left; using
     // its (possibly already grown) duration mirrors the iterative behavior
     // the paper describes for slowly sliding desynchronization.
-    const double op_gap = thresholds.neighbor_gap_op_fraction * last.duration();
+    const double op_gap =
+        thresholds.neighbor_gap_op_fraction * ops[last].duration();
     if (gap < runtime_gap || gap < op_gap) {
-      fold(last, next);
+      fold(ops[last], next);
     } else {
-      merged.push_back(next);
+      ops[++last] = next;
     }
   }
-  return merged;
+  ops.resize(last + 1);
+  return ops;
 }
 
 std::vector<IoOp> merge_ops(std::vector<IoOp> ops, double total_runtime,

@@ -57,6 +57,16 @@ MetadataResult classify_metadata(std::span<const trace::MetaEvent> events,
                                  double runtime, std::uint32_t nprocs,
                                  const Thresholds& thresholds,
                                  obs::MetadataProvenance* evidence) {
+  util::Histogram histogram(0.0, 1.0, 1);
+  return classify_metadata(events, runtime, nprocs, thresholds, evidence,
+                           histogram);
+}
+
+MetadataResult classify_metadata(std::span<const trace::MetaEvent> events,
+                                 double runtime, std::uint32_t nprocs,
+                                 const Thresholds& thresholds,
+                                 obs::MetadataProvenance* evidence,
+                                 util::Histogram& histogram) {
   MOSAIC_ASSERT(runtime > 0.0);
   MetadataResult result;
   for (const trace::MetaEvent& event : events) {
@@ -78,7 +88,7 @@ MetadataResult classify_metadata(std::span<const trace::MetaEvent> events,
   // Per-second request histogram.
   const auto seconds =
       static_cast<std::size_t>(std::max(1.0, std::ceil(runtime)));
-  util::Histogram histogram(0.0, static_cast<double>(seconds), seconds);
+  histogram.reset(0.0, static_cast<double>(seconds), seconds);
   for (const trace::MetaEvent& event : events) {
     histogram.add(event.time, static_cast<double>(event.requests));
   }

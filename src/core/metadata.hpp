@@ -16,6 +16,7 @@
 
 #include "core/thresholds.hpp"
 #include "trace/trace.hpp"
+#include "util/stats.hpp"
 
 namespace mosaic::obs {
 struct MetadataProvenance;
@@ -45,5 +46,13 @@ struct MetadataResult {
     std::span<const trace::MetaEvent> events, double runtime,
     std::uint32_t nprocs, const Thresholds& thresholds = {},
     obs::MetadataProvenance* evidence = nullptr);
+
+/// Workspace form: the per-second request histogram (one bin per runtime
+/// second, the dominant scratch allocation of this stage) reuses
+/// `histogram`'s storage. Results are identical to the convenience form.
+[[nodiscard]] MetadataResult classify_metadata(
+    std::span<const trace::MetaEvent> events, double runtime,
+    std::uint32_t nprocs, const Thresholds& thresholds,
+    obs::MetadataProvenance* evidence, util::Histogram& histogram);
 
 }  // namespace mosaic::core

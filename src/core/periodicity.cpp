@@ -68,6 +68,14 @@ PeriodMagnitude classify_period_magnitude(double period_seconds,
 PeriodicityResult detect_periodicity(std::span<const Segment> segments,
                                      const Thresholds& thresholds,
                                      obs::PeriodicityProvenance* evidence) {
+  PeriodicityWorkspace workspace;
+  return detect_periodicity(segments, thresholds, evidence, workspace);
+}
+
+PeriodicityResult detect_periodicity(std::span<const Segment> segments,
+                                     const Thresholds& thresholds,
+                                     obs::PeriodicityProvenance* evidence,
+                                     PeriodicityWorkspace& workspace) {
   PeriodicityResult result;
   if (evidence != nullptr) {
     evidence->mean_shift.ran = true;
@@ -84,17 +92,20 @@ PeriodicityResult detect_periodicity(std::span<const Segment> segments,
   // Feature embedding: (segment length, log1p(bytes)). The log tames the
   // many-orders-of-magnitude spread of I/O volumes so that min-max scaling
   // keeps both axes informative.
-  cluster::PointSet points(2);
+  cluster::PointSet& points = workspace.points;
+  points.reset(2);
   for (const Segment& segment : segments) {
     const double features[2] = {segment.length,
                                 std::log1p(static_cast<double>(segment.bytes))};
     points.add(features);
   }
-  const cluster::PointSet scaled = cluster::min_max_scale(points);
+  cluster::min_max_scale(points, workspace.scaled);
 
   cluster::MeanShiftConfig config;
   config.bandwidth = thresholds.meanshift_bandwidth;
-  const cluster::MeanShiftResult clusters = cluster::mean_shift(scaled, config);
+  cluster::mean_shift(workspace.scaled, config, workspace.mean_shift,
+                      workspace.clusters);
+  const cluster::MeanShiftResult& clusters = workspace.clusters;
   if (evidence != nullptr) {
     evidence->mean_shift.points = segments.size();
     evidence->mean_shift.iterations = clusters.total_iterations;
@@ -206,6 +217,15 @@ PeriodicityResult detect_periodicity(std::span<const Segment> segments,
 PeriodicityResult detect_periodicity_frequency(
     std::span<const trace::IoOp> merged_ops, double runtime,
     const Thresholds& thresholds, obs::PeriodicityProvenance* evidence) {
+  PeriodicityWorkspace workspace;
+  return detect_periodicity_frequency(merged_ops, runtime, thresholds,
+                                      evidence, workspace);
+}
+
+PeriodicityResult detect_periodicity_frequency(
+    std::span<const trace::IoOp> merged_ops, double runtime,
+    const Thresholds& thresholds, obs::PeriodicityProvenance* evidence,
+    PeriodicityWorkspace& workspace) {
   PeriodicityResult result;
   if (evidence != nullptr) {
     evidence->frequency.ran = true;
@@ -221,7 +241,8 @@ PeriodicityResult detect_periodicity_frequency(
   // very long runs so the FFT stays bounded.
   const double bin_seconds = std::max(
       1.0, runtime / static_cast<double>(thresholds.frequency_max_bins));
-  std::vector<std::pair<double, double>> samples;
+  std::vector<std::pair<double, double>>& samples = workspace.samples;
+  samples.clear();
   samples.reserve(merged_ops.size() * 2);
   double total_bytes = 0.0;
   double total_op_seconds = 0.0;
@@ -245,8 +266,8 @@ PeriodicityResult detect_periodicity_frequency(
     first_start = std::min(first_start, op.start);
     last_start = std::max(last_start, op.start);
   }
-  const std::vector<double> series =
-      cluster::bin_series(samples, runtime, bin_seconds);
+  cluster::bin_series(samples, runtime, bin_seconds, workspace.series);
+  const std::vector<double>& series = workspace.series;
 
   cluster::DftDetectorConfig config;
   config.bin_seconds = bin_seconds;

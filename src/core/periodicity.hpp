@@ -9,8 +9,10 @@
 #pragma once
 
 #include <span>
+#include <utility>
 #include <vector>
 
+#include "cluster/meanshift.hpp"
 #include "core/segmentation.hpp"
 #include "core/thresholds.hpp"
 #include "trace/trace.hpp"
@@ -56,6 +58,19 @@ struct PeriodicityResult {
 [[nodiscard]] PeriodMagnitude classify_period_magnitude(
     double period_seconds, const Thresholds& thresholds = {}) noexcept;
 
+/// Reusable scratch for both periodicity detectors. One instance per worker
+/// thread; buffers keep their high-water capacity across traces so the
+/// steady-state path stops allocating (DESIGN.md §12). Contents are an
+/// implementation detail of the detectors.
+struct PeriodicityWorkspace {
+  cluster::PointSet points{2};        ///< (length, log1p bytes) embedding
+  cluster::PointSet scaled{2};        ///< min-max scaled copy
+  cluster::MeanShiftWorkspace mean_shift;  ///< clustering scratch
+  cluster::MeanShiftResult clusters;       ///< clustering output, reused
+  std::vector<std::pair<double, double>> samples;  ///< (time, bytes) spread
+  std::vector<double> series;                      ///< binned activity signal
+};
+
 /// Runs the Mean-Shift detector over a trace's segments. When `evidence` is
 /// non-null, the bandwidth, every cluster candidate with its CV acceptance
 /// tests, and the verdict margin are recorded into evidence->mean_shift and
@@ -63,6 +78,12 @@ struct PeriodicityResult {
 [[nodiscard]] PeriodicityResult detect_periodicity(
     std::span<const Segment> segments, const Thresholds& thresholds = {},
     obs::PeriodicityProvenance* evidence = nullptr);
+
+/// Workspace form of the Mean-Shift detector: all scratch comes from
+/// `workspace`. Results are identical to the convenience form bit for bit.
+[[nodiscard]] PeriodicityResult detect_periodicity(
+    std::span<const Segment> segments, const Thresholds& thresholds,
+    obs::PeriodicityProvenance* evidence, PeriodicityWorkspace& workspace);
 
 /// Frequency-domain detector (paper SV future work): bins the merged op
 /// stream into a volume-per-second activity signal, runs the FFT +
@@ -77,5 +98,13 @@ struct PeriodicityResult {
     std::span<const trace::IoOp> merged_ops, double runtime,
     const Thresholds& thresholds = {},
     obs::PeriodicityProvenance* evidence = nullptr);
+
+/// Workspace form of the frequency detector: the sample and series buffers
+/// come from `workspace`. Results are identical to the convenience form bit
+/// for bit.
+[[nodiscard]] PeriodicityResult detect_periodicity_frequency(
+    std::span<const trace::IoOp> merged_ops, double runtime,
+    const Thresholds& thresholds, obs::PeriodicityProvenance* evidence,
+    PeriodicityWorkspace& workspace);
 
 }  // namespace mosaic::core

@@ -200,6 +200,16 @@ KindAnalysis Analyzer::analyze_ops(std::vector<trace::IoOp> ops,
                                    double runtime,
                                    obs::KindProvenance* evidence,
                                    bool stage_detail) const {
+  AnalyzerWorkspace workspace;
+  workspace.ops = std::move(ops);
+  return analyze_ops_impl(workspace, runtime, evidence, stage_detail);
+}
+
+KindAnalysis Analyzer::analyze_ops_impl(AnalyzerWorkspace& workspace,
+                                        double runtime,
+                                        obs::KindProvenance* evidence,
+                                        bool stage_detail) const {
+  std::vector<trace::IoOp>& ops = workspace.ops;
   KindAnalysis analysis;
   analysis.raw_ops = ops.size();
   StageMetrics& metrics = StageMetrics::get();
@@ -216,11 +226,11 @@ KindAnalysis Analyzer::analyze_ops(std::vector<trace::IoOp> ops,
 
   // Mean-Shift periodicity runs over segments, so the segmentation stage is
   // only timed on the backends that need it.
-  const auto segment = [&] {
+  const auto segment = [&]() -> std::span<const Segment> {
     const obs::StageScope stage(stage_detail, metrics.segment_ms, "segment");
-    auto segments = segment_ops(ops);
-    if (evidence != nullptr) evidence->segments = segments.size();
-    return segments;
+    segment_ops(ops, workspace.segments);
+    if (evidence != nullptr) evidence->segments = workspace.segments.size();
+    return workspace.segments;
   };
   {
     const obs::StageScope stage(stage_detail, metrics.periodicity_ms,
@@ -228,20 +238,24 @@ KindAnalysis Analyzer::analyze_ops(std::vector<trace::IoOp> ops,
     switch (thresholds_.periodicity_backend) {
       case PeriodicityBackend::kMeanShift:
         analysis.periodicity =
-            detect_periodicity(segment(), thresholds_, periodicity_evidence);
+            detect_periodicity(segment(), thresholds_, periodicity_evidence,
+                               workspace.periodicity);
         if (evidence != nullptr) evidence->periodicity.backend = "mean-shift";
         break;
       case PeriodicityBackend::kFrequency:
         analysis.periodicity = detect_periodicity_frequency(
-            ops, runtime, thresholds_, periodicity_evidence);
+            ops, runtime, thresholds_, periodicity_evidence,
+            workspace.periodicity);
         if (evidence != nullptr) evidence->periodicity.backend = "frequency";
         break;
       case PeriodicityBackend::kHybrid:
         analysis.periodicity =
-            detect_periodicity(segment(), thresholds_, periodicity_evidence);
+            detect_periodicity(segment(), thresholds_, periodicity_evidence,
+                               workspace.periodicity);
         if (!analysis.periodicity.periodic) {
           analysis.periodicity = detect_periodicity_frequency(
-              ops, runtime, thresholds_, periodicity_evidence);
+              ops, runtime, thresholds_, periodicity_evidence,
+              workspace.periodicity);
         }
         if (evidence != nullptr) evidence->periodicity.backend = "hybrid";
         break;
@@ -261,41 +275,62 @@ KindAnalysis Analyzer::analyze_ops(std::vector<trace::IoOp> ops,
 KindAnalysis Analyzer::analyze_kind(const trace::Trace& trace,
                                     trace::OpKind kind,
                                     obs::KindProvenance* evidence,
-                                    bool stage_detail) const {
-  return analyze_ops(trace::extract_ops(trace, kind, thresholds_.min_op_width),
-                     trace.meta.run_time, evidence, stage_detail);
+                                    bool stage_detail,
+                                    AnalyzerWorkspace& workspace) const {
+  trace::extract_ops(trace, kind, thresholds_.min_op_width, workspace.ops);
+  return analyze_ops_impl(workspace, trace.meta.run_time, evidence,
+                          stage_detail);
 }
 
 TraceResult Analyzer::analyze(const trace::Trace& trace) const {
+  AnalyzerWorkspace workspace;
+  return analyze(trace, workspace);
+}
+
+TraceResult Analyzer::analyze(const trace::Trace& trace,
+                              AnalyzerWorkspace& workspace) const {
   // Journal gate: one relaxed load when provenance is off; when on, one in
   // every sample_every traces pays the capture cost.
   obs::ProvenanceJournal& journal = obs::ProvenanceJournal::global();
   if (journal.should_sample()) {
     obs::TraceProvenance evidence;
-    TraceResult result = analyze(trace, &evidence);
+    TraceResult result = analyze_impl(trace, &evidence, workspace);
     journal.record(std::move(evidence));
     return result;
   }
-  return analyze(trace, nullptr);
+  return analyze_impl(trace, nullptr, workspace);
 }
 
 TraceResult Analyzer::analyze(const trace::Trace& trace,
                               obs::TraceProvenance* evidence) const {
-  StageMetrics& metrics = StageMetrics::get();
-  MOSAIC_STAGE(metrics.analyze_ms, "analyze");
+  AnalyzerWorkspace workspace;
+  return analyze_impl(trace, evidence, workspace);
+}
 
-  // Per-stage detail (six more scopes: merge x2, segment x2, periodicity x2,
-  // temporality x2, metadata, categorize) is sampled 1-in-8 per thread: the
-  // stage histograms keep an unbiased latency distribution while the
-  // un-sampled majority of traces pays only the whole-trace scope above.
+TraceResult Analyzer::analyze_impl(const trace::Trace& trace,
+                                   obs::TraceProvenance* evidence,
+                                   AnalyzerWorkspace& workspace) const {
+  StageMetrics& metrics = StageMetrics::get();
+
+  // All latency scopes — the whole-trace "analyze" scope here and the
+  // per-stage detail scopes (merge x2, segment x2, periodicity x2,
+  // temporality x2, metadata, categorize) — are sampled 1-in-32 per thread:
+  // the histograms keep an unbiased latency distribution while the
+  // un-sampled majority of traces pays two relaxed loads per scope and no
+  // clock read. The rate is tuned against the <5% instrumentation budget
+  // that bench/perf_pipeline pins — after the zero-alloc workspace pass a
+  // trace analyzes in about a microsecond, so timing every trace (and
+  // force-detailing every provenance-sampled trace, as earlier revisions
+  // did) cost more than the analysis stages being timed. Provenance capture
+  // no longer implies timing detail: the journal records the decision path,
+  // the histograms record latency, and the two sample independently.
   // The first trace on each thread is always detailed (tick starts at 0) so
-  // short runs still populate every stage series, and evidence-capturing
-  // calls are always detailed so `mosaic explain` timings line up with the
-  // recorded decision path.
-  constexpr std::uint32_t kStageDetailMask = 8 - 1;
+  // short runs still populate every stage series.
+  constexpr std::uint32_t kStageDetailMask = 32 - 1;
   thread_local std::uint32_t stage_detail_tick = 0;
-  const bool stage_detail =
-      evidence != nullptr || (stage_detail_tick++ & kStageDetailMask) == 0;
+  const bool stage_detail = (stage_detail_tick++ & kStageDetailMask) == 0;
+  const obs::StageScope analyze_scope(stage_detail, metrics.analyze_ms,
+                                      "analyze");
 
   TraceResult result;
   result.app_key = trace.app_key();
@@ -314,18 +349,19 @@ TraceResult Analyzer::analyze(const trace::Trace& trace,
   result.read =
       analyze_kind(trace, trace::OpKind::kRead,
                    evidence != nullptr ? &evidence->read : nullptr,
-                   stage_detail);
+                   stage_detail, workspace);
   result.write =
       analyze_kind(trace, trace::OpKind::kWrite,
                    evidence != nullptr ? &evidence->write : nullptr,
-                   stage_detail);
+                   stage_detail, workspace);
   {
     const obs::StageScope stage(stage_detail, metrics.metadata_ms,
                                 "metadata");
+    trace::metadata_timeline(trace, workspace.meta_timeline);
     result.metadata = classify_metadata(
-        trace::metadata_timeline(trace), trace.meta.run_time,
-        trace.meta.nprocs, thresholds_,
-        evidence != nullptr ? &evidence->metadata : nullptr);
+        workspace.meta_timeline, trace.meta.run_time, trace.meta.nprocs,
+        thresholds_, evidence != nullptr ? &evidence->metadata : nullptr,
+        workspace.meta_histogram);
   }
   {
     const obs::StageScope stage(stage_detail, metrics.categorize_ms,
@@ -359,15 +395,24 @@ BatchResult analyze_preprocessed(PreprocessResult pre,
   const Analyzer analyzer(thresholds);
   batch.results.resize(pre.retained.size());
   if (pool != nullptr) {
+    // One workspace per pool worker: parallel_for chunks only ever run on
+    // pool threads, so worker_index() selects a private workspace with no
+    // synchronization, and each worker's buffers reach their high-water
+    // capacity after a handful of traces.
+    std::vector<AnalyzerWorkspace> workspaces(pool->thread_count());
     parallel::parallel_for(
         *pool, pre.retained.size(), [&](std::size_t begin, std::size_t end) {
+          const std::size_t worker = parallel::ThreadPool::worker_index();
+          MOSAIC_ASSERT(worker < workspaces.size());
+          AnalyzerWorkspace& workspace = workspaces[worker];
           for (std::size_t i = begin; i < end; ++i) {
-            batch.results[i] = analyzer.analyze(pre.retained[i]);
+            batch.results[i] = analyzer.analyze(pre.retained[i], workspace);
           }
         });
   } else {
+    AnalyzerWorkspace workspace;
     for (std::size_t i = 0; i < pre.retained.size(); ++i) {
-      batch.results[i] = analyzer.analyze(pre.retained[i]);
+      batch.results[i] = analyzer.analyze(pre.retained[i], workspace);
     }
   }
   return batch;

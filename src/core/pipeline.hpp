@@ -38,6 +38,20 @@ struct KindAnalysis {
   std::size_t merged_ops = 0;  ///< ops after both merge passes
 };
 
+/// Reusable per-worker scratch for Analyzer: every intermediate buffer the
+/// merge -> segment -> periodicity -> temporality -> metadata stages need.
+/// After the first few traces the buffers reach their high-water capacity
+/// and the steady-state analysis path stops allocating scratch entirely —
+/// only the returned TraceResult still owns fresh memory (DESIGN.md §12).
+/// One instance per thread; instances must not be shared concurrently.
+struct AnalyzerWorkspace {
+  std::vector<trace::IoOp> ops;       ///< extract + in-place merge buffer
+  std::vector<Segment> segments;      ///< segmentation output
+  std::vector<trace::MetaEvent> meta_timeline;  ///< metadata event stream
+  PeriodicityWorkspace periodicity;   ///< detector scratch (both backends)
+  util::Histogram meta_histogram{0.0, 1.0, 1};  ///< per-second request bins
+};
+
 /// Full categorization of one trace — what MOSAIC writes per trace to its
 /// JSON output (§III-B4).
 struct TraceResult {
@@ -67,9 +81,15 @@ class Analyzer {
   /// its full decision path into the journal.
   [[nodiscard]] TraceResult analyze(const trace::Trace& trace) const;
 
-  /// As above, but always captures the decision path into `evidence`
-  /// (journal sampling does not apply) — the entry point `mosaic explain`
-  /// uses for live analysis.
+  /// As above, but all scratch comes from `workspace` — the batch path keeps
+  /// one workspace per pool worker so steady-state analysis does not
+  /// allocate. Results are bit-identical to the convenience form.
+  [[nodiscard]] TraceResult analyze(const trace::Trace& trace,
+                                    AnalyzerWorkspace& workspace) const;
+
+  /// As the first form, but always captures the decision path into
+  /// `evidence` (journal sampling does not apply) — the entry point
+  /// `mosaic explain` uses for live analysis.
   [[nodiscard]] TraceResult analyze(const trace::Trace& trace,
                                     obs::TraceProvenance* evidence) const;
 
@@ -92,10 +112,22 @@ class Analyzer {
   }
 
  private:
+  [[nodiscard]] TraceResult analyze_impl(const trace::Trace& trace,
+                                         obs::TraceProvenance* evidence,
+                                         AnalyzerWorkspace& workspace) const;
+
+  /// Shared per-kind pipeline body. Consumes workspace.ops (the extracted
+  /// raw operation stream) in place.
+  [[nodiscard]] KindAnalysis analyze_ops_impl(AnalyzerWorkspace& workspace,
+                                              double runtime,
+                                              obs::KindProvenance* evidence,
+                                              bool stage_detail) const;
+
   [[nodiscard]] KindAnalysis analyze_kind(const trace::Trace& trace,
                                           trace::OpKind kind,
                                           obs::KindProvenance* evidence,
-                                          bool stage_detail) const;
+                                          bool stage_detail,
+                                          AnalyzerWorkspace& workspace) const;
 
   Thresholds thresholds_;
 };

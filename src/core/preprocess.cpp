@@ -61,9 +61,18 @@ PreprocessResult preprocess(std::vector<trace::Trace> traces,
   result.stats.input_traces = traces.size();
 
   // Step 1: evict corrupted traces, keeping the index of the heaviest valid
-  // trace per application key as we go.
-  std::map<std::string, std::size_t> heaviest;  // app key -> index in traces
+  // trace per application key as we go. A single app-keyed map carries both
+  // the run count and the incumbent winner (index + cached byte total), so
+  // each valid trace costs one tree lookup and duplicates compare against
+  // the cached total instead of rescanning the incumbent's file list.
+  struct AppSlot {
+    std::size_t runs = 0;
+    std::size_t index = 0;       ///< index of the heaviest run in `traces`
+    std::uint64_t bytes = 0;     ///< cached traces[index].total_bytes()
+  };
+  std::map<std::string, AppSlot, std::less<>> apps;
   std::vector<bool> keep(traces.size(), false);
+  std::string key;  // scratch app key, reused across iterations
   for (std::size_t i = 0; i < traces.size(); ++i) {
     const trace::ValidityReport report =
         validate(traces[i], validity_slack_seconds);
@@ -78,24 +87,33 @@ PreprocessResult preprocess(std::vector<trace::Trace> traces,
     }
     ++result.stats.valid;
     count_valid_metric();
-    const std::string key = traces[i].app_key();
-    ++result.runs_per_app[key];
-    const auto [slot, inserted] = heaviest.try_emplace(key, i);
-    if (!inserted &&
-        traces[i].total_bytes() > traces[slot->second].total_bytes()) {
-      slot->second = i;
+    traces[i].app_key(key);
+    auto slot = apps.lower_bound(key);
+    const bool inserted = slot == apps.end() || slot->first != key;
+    if (inserted) slot = apps.emplace_hint(slot, key, AppSlot{});
+    AppSlot& app = slot->second;
+    ++app.runs;
+    const std::uint64_t bytes = traces[i].total_bytes();
+    if (inserted || bytes > app.bytes) {
+      app.index = i;
+      app.bytes = bytes;
     }
   }
 
   // Step 2: retain the heaviest trace per application, in input order for
-  // reproducibility.
-  for (const auto& [key, index] : heaviest) keep[index] = true;
-  result.retained.reserve(heaviest.size());
+  // reproducibility. runs_per_app is rebuilt from the sorted app map, so
+  // its contents match the per-trace increments of the old two-map scheme.
+  for (const auto& [app_key, app] : apps) keep[app.index] = true;
+  result.retained.reserve(apps.size());
   for (std::size_t i = 0; i < traces.size(); ++i) {
     if (keep[i]) result.retained.push_back(std::move(traces[i]));
   }
+  for (const auto& [app_key, app] : apps) {
+    result.runs_per_app.emplace_hint(result.runs_per_app.end(), app_key,
+                                     app.runs);
+  }
 
-  result.stats.unique_applications = heaviest.size();
+  result.stats.unique_applications = apps.size();
   result.stats.retained = result.retained.size();
   return result;
 }

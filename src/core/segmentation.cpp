@@ -4,7 +4,14 @@ namespace mosaic::core {
 
 std::vector<Segment> segment_ops(std::span<const trace::IoOp> ops) {
   std::vector<Segment> segments;
-  if (ops.size() < 2) return segments;
+  segment_ops(ops, segments);
+  return segments;
+}
+
+void segment_ops(std::span<const trace::IoOp> ops,
+                 std::vector<Segment>& segments) {
+  segments.clear();
+  if (ops.size() < 2) return;
   segments.reserve(ops.size() - 1);
   for (std::size_t i = 0; i + 1 < ops.size(); ++i) {
     MOSAIC_ASSERT(ops[i + 1].start >= ops[i].start);
@@ -15,7 +22,6 @@ std::vector<Segment> segment_ops(std::span<const trace::IoOp> ops) {
     segment.bytes = ops[i].bytes;
     segments.push_back(segment);
   }
-  return segments;
 }
 
 }  // namespace mosaic::core

@@ -33,4 +33,8 @@ struct Segment {
 [[nodiscard]] std::vector<Segment> segment_ops(
     std::span<const trace::IoOp> ops);
 
+/// As above, but writes into `out` (cleared first, capacity reused) — the
+/// allocation-free form used by the analyzer workspace.
+void segment_ops(std::span<const trace::IoOp> ops, std::vector<Segment>& out);
+
 }  // namespace mosaic::core

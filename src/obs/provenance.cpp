@@ -514,9 +514,11 @@ ProvenanceJournal& ProvenanceJournal::global() {
   return *journal;
 }
 
-void ProvenanceJournal::enable(std::uint64_t sample_every) {
+void ProvenanceJournal::enable(std::uint64_t sample_every,
+                               std::size_t capacity) {
   sample_every_.store(sample_every == 0 ? 1 : sample_every,
                       std::memory_order_relaxed);
+  capacity_.store(capacity == 0 ? 1 : capacity, std::memory_order_relaxed);
   tick_.store(0, std::memory_order_relaxed);
   enabled_.store(true, std::memory_order_relaxed);
 }
@@ -540,7 +542,14 @@ void ProvenanceJournal::record(TraceProvenance record) {
       names::kProvenanceRecords, "provenance records captured by the journal");
   records_counter.add();
   const std::scoped_lock lock(mutex_);
-  records_.push_back(std::move(record));
+  const std::size_t capacity = capacity_.load(std::memory_order_relaxed);
+  if (records_.size() < capacity) {
+    records_.push_back(std::move(record));
+  } else {
+    records_[next_] = std::move(record);
+    next_ = (next_ + 1) % records_.size();
+    ++dropped_;
+  }
 }
 
 std::vector<TraceProvenance> ProvenanceJournal::collect() const {
@@ -571,9 +580,16 @@ util::Status ProvenanceJournal::write_jsonl(const std::string& path) const {
   return util::write_file_atomic(path, payload);
 }
 
+std::uint64_t ProvenanceJournal::dropped() const {
+  const std::scoped_lock lock(mutex_);
+  return dropped_;
+}
+
 void ProvenanceJournal::reset() {
   const std::scoped_lock lock(mutex_);
   records_.clear();
+  next_ = 0;
+  dropped_ = 0;
 }
 
 util::Expected<std::vector<TraceProvenance>> read_provenance_jsonl(

@@ -184,8 +184,17 @@ class ProvenanceJournal {
  public:
   [[nodiscard]] static ProvenanceJournal& global();
 
-  /// Starts sampling 1-in-`sample_every` traces (0 is clamped to 1).
-  void enable(std::uint64_t sample_every = 1);
+  /// Ring capacity used when enable() is not given an explicit one. Sized
+  /// for a 1-in-8 audit of a ~32k-trace batch; callers drilling into larger
+  /// fleets pass their own bound.
+  static constexpr std::size_t kDefaultCapacity = 4096;
+
+  /// Starts sampling 1-in-`sample_every` traces (0 is clamped to 1). The
+  /// journal buffers at most `capacity` records as a ring — once full, new
+  /// records overwrite the oldest and dropped() counts the evictions — so
+  /// a long batch run cannot grow the buffer without bound.
+  void enable(std::uint64_t sample_every = 1,
+              std::size_t capacity = kDefaultCapacity);
   void disable() noexcept;
   [[nodiscard]] bool enabled() const noexcept {
     return enabled_.load(std::memory_order_relaxed);
@@ -205,6 +214,9 @@ class ProvenanceJournal {
   /// Number of buffered records.
   [[nodiscard]] std::size_t size() const;
 
+  /// Records overwritten because the ring filled up.
+  [[nodiscard]] std::uint64_t dropped() const;
+
   /// Writes collect() as JSONL (one compact object per line) via the atomic
   /// temp+rename writer.
   [[nodiscard]] util::Status write_jsonl(const std::string& path) const;
@@ -216,8 +228,11 @@ class ProvenanceJournal {
   std::atomic<bool> enabled_{false};
   std::atomic<std::uint64_t> tick_{0};
   std::atomic<std::uint64_t> sample_every_{1};
+  std::atomic<std::size_t> capacity_{kDefaultCapacity};
   mutable std::mutex mutex_;
-  std::vector<TraceProvenance> records_;
+  std::vector<TraceProvenance> records_;  // ring once capacity_ is reached
+  std::size_t next_ = 0;                  ///< ring cursor, guarded by mutex_
+  std::uint64_t dropped_ = 0;             ///< guarded by mutex_
 };
 
 /// Reads a JSONL provenance file back into records. Blank lines are

@@ -41,7 +41,12 @@ struct PoolMetrics {
   }
 };
 
+/// The owning pool's index for this worker thread; kNotAWorker elsewhere.
+thread_local std::size_t tls_worker_index = ThreadPool::kNotAWorker;
+
 }  // namespace
+
+std::size_t ThreadPool::worker_index() noexcept { return tls_worker_index; }
 
 std::size_t ThreadPool::suppressed_error_count() const noexcept {
   const std::scoped_lock lock(mutex_);
@@ -55,7 +60,10 @@ ThreadPool::ThreadPool(std::size_t threads) {
   PoolMetrics::get().threads.set(static_cast<std::int64_t>(threads));
   workers_.reserve(threads);
   for (std::size_t i = 0; i < threads; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] {
+      tls_worker_index = i;
+      worker_loop();
+    });
   }
 }
 

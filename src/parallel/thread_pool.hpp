@@ -47,6 +47,15 @@ class ThreadPool {
     return workers_.size();
   }
 
+  /// Sentinel returned by worker_index() off a pool thread.
+  static constexpr std::size_t kNotAWorker = static_cast<std::size_t>(-1);
+
+  /// Index of the calling pool worker in [0, thread_count()), or kNotAWorker
+  /// when called from a thread no pool owns. Stable for the thread's
+  /// lifetime, which lets callers keep one scratch workspace per worker
+  /// (e.g. core::analyze_preprocessed) without any synchronization.
+  [[nodiscard]] static std::size_t worker_index() noexcept;
+
   /// Total exceptions swallowed because an earlier one was already pending
   /// rethrow. Monotonic over the pool's lifetime.
   [[nodiscard]] std::size_t suppressed_error_count() const noexcept;

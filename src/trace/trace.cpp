@@ -68,23 +68,29 @@ ValidityReport validate(const Trace& trace, double slack_seconds) {
 
   const double job_end = trace.meta.run_time + slack_seconds;
   for (const auto& file : trace.files) {
-    const std::string where = "file " + std::to_string(file.file_id);
+    // Built lazily: the detail string is only needed on the (rare) failure
+    // paths, and every failure returns immediately, so the success path
+    // stays allocation-free.
+    const auto where = [&file] {
+      return "file " + std::to_string(file.file_id);
+    };
 
     for (double ts : {file.open_ts, file.close_ts, file.first_read_ts,
                       file.last_read_ts, file.first_write_ts,
                       file.last_write_ts}) {
-      if (!finite(ts)) return fail(CorruptionKind::kNonFiniteValue, where);
+      if (!finite(ts)) return fail(CorruptionKind::kNonFiniteValue, where());
     }
     if (file.open_ts < 0.0 || file.close_ts < 0.0) {
-      return fail(CorruptionKind::kNegativeTimestamp, where);
+      return fail(CorruptionKind::kNegativeTimestamp, where());
     }
     if (file.close_ts < file.open_ts) {
-      return fail(CorruptionKind::kInvertedWindow, where + " close<open");
+      return fail(CorruptionKind::kInvertedWindow, where() + " close<open");
     }
     if (file.close_ts > job_end) {
       // The paper's example of corruption: a deallocation recorded before
       // the end of execution leaves a close timestamp beyond the job window.
-      return fail(CorruptionKind::kAccessOutsideJob, where + " close>job end");
+      return fail(CorruptionKind::kAccessOutsideJob,
+                  where() + " close>job end");
     }
 
     const auto check_window = [&](double first, double last,
@@ -93,28 +99,28 @@ ValidityReport validate(const Trace& trace, double slack_seconds) {
       if (!window_present(first, last)) {
         if (bytes > 0) {
           return fail(CorruptionKind::kCounterMismatch,
-                      where + " " + what + " bytes without window");
+                      where() + " " + what + " bytes without window");
         }
         return ValidityReport{};
       }
       if (first < 0.0 || last < 0.0) {
-        return fail(CorruptionKind::kNegativeTimestamp, where);
+        return fail(CorruptionKind::kNegativeTimestamp, where());
       }
       if (last < first) {
         return fail(CorruptionKind::kInvertedWindow,
-                    where + " " + what + " last<first");
+                    where() + " " + what + " last<first");
       }
       if (last > job_end) {
         return fail(CorruptionKind::kAccessOutsideJob,
-                    where + " " + what + " after job end");
+                    where() + " " + what + " after job end");
       }
       if (first < file.open_ts - slack_seconds ||
           last > file.close_ts + slack_seconds) {
-        return fail(CorruptionKind::kAccessOutsideOpen, where);
+        return fail(CorruptionKind::kAccessOutsideOpen, where());
       }
       if (bytes > 0 && calls == 0) {
         return fail(CorruptionKind::kCounterMismatch,
-                    where + " " + what + " bytes without calls");
+                    where() + " " + what + " bytes without calls");
       }
       return ValidityReport{};
     };
@@ -136,6 +142,13 @@ ValidityReport validate(const Trace& trace, double slack_seconds) {
 std::vector<IoOp> extract_ops(const Trace& trace, OpKind kind,
                               double min_width) {
   std::vector<IoOp> ops;
+  extract_ops(trace, kind, min_width, ops);
+  return ops;
+}
+
+void extract_ops(const Trace& trace, OpKind kind, double min_width,
+                 std::vector<IoOp>& ops) {
+  ops.clear();
   ops.reserve(trace.files.size());
   for (const auto& file : trace.files) {
     const bool is_read = kind == OpKind::kRead;
@@ -155,11 +168,16 @@ std::vector<IoOp> extract_ops(const Trace& trace, OpKind kind,
     if (a.start != b.start) return a.start < b.start;
     return a.end < b.end;
   });
-  return ops;
 }
 
 std::vector<MetaEvent> metadata_timeline(const Trace& trace) {
   std::vector<MetaEvent> events;
+  metadata_timeline(trace, events);
+  return events;
+}
+
+void metadata_timeline(const Trace& trace, std::vector<MetaEvent>& events) {
+  events.clear();
   events.reserve(trace.files.size() * 2);
   for (const auto& file : trace.files) {
     // Darshan never timestamps SEEKs; MOSAIC co-locates them with OPENs.
@@ -172,7 +190,6 @@ std::vector<MetaEvent> metadata_timeline(const Trace& trace) {
   }
   std::sort(events.begin(), events.end(),
             [](const MetaEvent& a, const MetaEvent& b) { return a.time < b.time; });
-  return events;
 }
 
 }  // namespace mosaic::trace

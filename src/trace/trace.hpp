@@ -90,13 +90,23 @@ struct Trace {
   /// OPEN + CLOSE + SEEK counts summed over all records.
   [[nodiscard]] std::uint64_t total_metadata_ops() const noexcept;
   /// Read+write bytes; the pre-processing dedup keeps the heaviest trace
-  /// per application by this measure (paper §III-B1).
+  /// per application by this measure (paper §III-B1). Single pass over the
+  /// file records — this runs once per valid trace in the funnel.
   [[nodiscard]] std::uint64_t total_bytes() const noexcept {
-    return total_bytes_read() + total_bytes_written();
+    std::uint64_t total = 0;
+    for (const auto& file : files) total += file.bytes_read + file.bytes_written;
+    return total;
   }
   /// Key identifying "the same application run by the same user".
   [[nodiscard]] std::string app_key() const {
     return meta.user + "/" + meta.app_name;
+  }
+  /// Writes app_key() into `out`, reusing its capacity. Hot-path variant
+  /// for per-trace loops that would otherwise allocate a fresh key string.
+  void app_key(std::string& out) const {
+    out.assign(meta.user);
+    out += '/';
+    out += meta.app_name;
   }
 };
 
@@ -138,6 +148,11 @@ struct ValidityReport {
 [[nodiscard]] std::vector<IoOp> extract_ops(const Trace& trace, OpKind kind,
                                             double min_width = 1e-3);
 
+/// As above, but writes into `out` (cleared first, capacity reused) — the
+/// allocation-free form used by the analyzer workspace.
+void extract_ops(const Trace& trace, OpKind kind, double min_width,
+                 std::vector<IoOp>& out);
+
 /// A burst of metadata requests at a point in time. MOSAIC assumes SEEKs are
 /// co-located with OPENs because Darshan does not timestamp them (§III-B3c).
 struct MetaEvent {
@@ -148,5 +163,8 @@ struct MetaEvent {
 /// Metadata request timeline: for each file record, opens+seeks fire at
 /// open_ts and closes fire at close_ts. Sorted by time.
 [[nodiscard]] std::vector<MetaEvent> metadata_timeline(const Trace& trace);
+
+/// As above, but writes into `out` (cleared first, capacity reused).
+void metadata_timeline(const Trace& trace, std::vector<MetaEvent>& out);
 
 }  // namespace mosaic::trace

@@ -83,6 +83,14 @@ Histogram::Histogram(double lo, double hi, std::size_t bins) : lo_(lo) {
   counts_.assign(bins, 0.0);
 }
 
+void Histogram::reset(double lo, double hi, std::size_t bins) {
+  MOSAIC_ASSERT(lo < hi);
+  MOSAIC_ASSERT(bins >= 1);
+  lo_ = lo;
+  width_ = (hi - lo) / static_cast<double>(bins);
+  counts_.assign(bins, 0.0);
+}
+
 void Histogram::add(double value, double weight) noexcept {
   auto index = static_cast<std::ptrdiff_t>(std::floor((value - lo_) / width_));
   index = std::clamp<std::ptrdiff_t>(

@@ -74,6 +74,10 @@ class Histogram {
   /// Precondition: lo < hi, bins >= 1.
   Histogram(double lo, double hi, std::size_t bins);
 
+  /// Re-initializes to a new range and bin count, reusing the bin storage.
+  /// Same preconditions as the constructor.
+  void reset(double lo, double hi, std::size_t bins);
+
   /// Adds `weight` to the bin containing `value` (clamped).
   void add(double value, double weight = 1.0) noexcept;
 

@@ -4,8 +4,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <iterator>
 #include <numbers>
 #include <vector>
+
+#include "parallel/thread_pool.hpp"
+#include "util/rng.hpp"
 
 namespace mosaic::cluster {
 namespace {
@@ -142,6 +146,80 @@ TEST(DftDetector, ScoreWithinUnitRange) {
   for (const auto& peak : result.peaks) {
     EXPECT_GE(peak.score, 0.0);
     EXPECT_LE(peak.score, 1.0);
+  }
+}
+
+std::vector<std::complex<double>> random_signal(std::size_t n,
+                                                util::Rng& rng) {
+  std::vector<std::complex<double>> data(n);
+  for (auto& x : data) x = {rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0)};
+  return data;
+}
+
+TEST(FftPlanCache, CachedMatchesColdBitForBit) {
+  // The plan cache (bit-reversal swap list + twiddle tables) must not change
+  // a single output bit relative to the cold path — the categorization
+  // byte-identity invariant (DESIGN.md §12) depends on it. Run every cached
+  // size twice so both the plan-building call and the warm-plan call are
+  // covered, forward and inverse.
+  util::Rng rng(123);
+  for (std::size_t n = 8; n <= 4096; n *= 2) {
+    const std::vector<std::complex<double>> input = random_signal(n, rng);
+    for (const bool inverse : {false, true}) {
+      std::vector<std::complex<double>> cold = input;
+      fft_uncached(cold, inverse);
+      for (int pass = 0; pass < 2; ++pass) {
+        std::vector<std::complex<double>> cached = input;
+        fft(cached, inverse);
+        for (std::size_t i = 0; i < n; ++i) {
+          // EXPECT_EQ on doubles is exact comparison: bit-identical, not
+          // merely close.
+          EXPECT_EQ(cached[i].real(), cold[i].real())
+              << "n=" << n << " inverse=" << inverse << " pass=" << pass
+              << " i=" << i;
+          EXPECT_EQ(cached[i].imag(), cold[i].imag())
+              << "n=" << n << " inverse=" << inverse << " pass=" << pass
+              << " i=" << i;
+        }
+      }
+    }
+  }
+}
+
+TEST(FftPlanCache, ThreadLocalPlansMatchColdUnderPool) {
+  // Plans are thread-local; interleaving sizes across pool workers exercises
+  // several independent caches at once. Whichever worker (and whichever
+  // cache state) serves a transform, the result must equal the cold path.
+  util::Rng rng(7);
+  const std::size_t sizes[] = {8, 64, 512, 4096};
+  std::vector<std::vector<std::complex<double>>> inputs;
+  std::vector<std::vector<std::complex<double>>> expected;
+  for (const std::size_t n : sizes) {
+    inputs.push_back(random_signal(n, rng));
+    expected.push_back(inputs.back());
+    fft_uncached(expected.back());
+  }
+
+  constexpr std::size_t kJobs = 32;
+  std::vector<std::vector<std::complex<double>>> results(kJobs);
+  parallel::ThreadPool pool(4);
+  for (std::size_t job = 0; job < kJobs; ++job) {
+    pool.submit([&, job] {
+      results[job] = inputs[job % std::size(sizes)];
+      fft(results[job]);
+    });
+  }
+  pool.wait_idle();
+
+  for (std::size_t job = 0; job < kJobs; ++job) {
+    const auto& want = expected[job % std::size(sizes)];
+    ASSERT_EQ(results[job].size(), want.size()) << "job=" << job;
+    for (std::size_t i = 0; i < want.size(); ++i) {
+      EXPECT_EQ(results[job][i].real(), want[i].real())
+          << "job=" << job << " i=" << i;
+      EXPECT_EQ(results[job][i].imag(), want[i].imag())
+          << "job=" << job << " i=" << i;
+    }
   }
 }
 

@@ -188,5 +188,92 @@ TEST(MeanShift, LabelsConsistentWithSizes) {
   EXPECT_EQ(recount, result.cluster_sizes);
 }
 
+TEST(GridIndex, NegativeCoordinatesFindAllNeighbors) {
+  // Regression: cell keys are zigzag-packed before hashing so that negative
+  // cell coordinates (points left of / below the origin) hash without
+  // wrap-around. A plain cast would alias distant cells and silently drop
+  // neighbors. Compare every radius query against brute force on a point
+  // cloud straddling the origin in both dimensions.
+  util::Rng rng(42);
+  PointSet points(2);
+  for (int i = 0; i < 200; ++i) {
+    const std::array<double, 2> p{rng.uniform(-5.0, 5.0),
+                                  rng.uniform(-5.0, 5.0)};
+    points.add(p);
+  }
+  const double radius = 0.9;
+  GridIndex grid;
+  grid.build(points, radius);
+
+  const std::array<double, 2> centers[] = {
+      {-4.5, -4.5}, {-0.1, 0.1}, {0.0, 0.0}, {-3.0, 2.0}, {4.5, -4.5},
+  };
+  for (const auto& center : centers) {
+    std::vector<std::size_t> indexed;
+    grid.for_neighbors(center, radius,
+                       [&](std::size_t i) { indexed.push_back(i); });
+    std::sort(indexed.begin(), indexed.end());
+
+    std::vector<std::size_t> brute;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      if (squared_distance(points.point(i), center) <= radius * radius) {
+        brute.push_back(i);
+      }
+    }
+    EXPECT_EQ(indexed, brute)
+        << "center (" << center[0] << ", " << center[1] << ")";
+  }
+}
+
+TEST(GridIndex, RebuildReusesStorageAcrossPointSets) {
+  // The index is rebuilt per trace from a worker-owned workspace; a second
+  // build over different points must fully supersede the first.
+  PointSet first(2);
+  for (int i = 0; i < 20; ++i) {
+    const std::array<double, 2> p{static_cast<double>(i), 0.0};
+    first.add(p);
+  }
+  GridIndex grid;
+  grid.build(first, 1.0);
+
+  PointSet second(2);
+  const std::array<double, 2> lone{-7.25, -3.5};
+  second.add(lone);
+  grid.build(second, 1.0);
+
+  std::vector<std::size_t> hits;
+  grid.for_neighbors(lone, 1.0, [&](std::size_t i) { hits.push_back(i); });
+  EXPECT_EQ(hits, std::vector<std::size_t>{0});
+
+  const std::array<double, 2> far{5.0, 5.0};
+  hits.clear();
+  grid.for_neighbors(far, 1.0, [&](std::size_t i) { hits.push_back(i); });
+  EXPECT_TRUE(hits.empty());
+}
+
+TEST(MeanShift, NegativeCoordinateClustersMatchShiftedCopy) {
+  // Translating the whole point cloud must not change the partition: the
+  // grid, the kernel, and mode merging are all translation-invariant, and
+  // the negative quadrant must behave exactly like the positive one.
+  util::Rng rng(9);
+  PointSet positive(2);
+  PointSet negative(2);
+  for (int i = 0; i < 40; ++i) {
+    // Unequal cluster sizes so the size-descending numbering is unambiguous.
+    const double cx = (i % 3 == 0) ? 0.2 : 0.8;
+    const std::array<double, 2> p{cx + 0.02 * rng.normal(),
+                                  0.5 + 0.02 * rng.normal()};
+    positive.add(p);
+    const std::array<double, 2> shifted{p[0] - 10.0, p[1] - 10.0};
+    negative.add(shifted);
+  }
+  MeanShiftConfig config;
+  config.bandwidth = 0.15;
+  const MeanShiftResult a = mean_shift(positive, config);
+  const MeanShiftResult b = mean_shift(negative, config);
+  EXPECT_EQ(a.labels, b.labels);
+  EXPECT_EQ(a.cluster_sizes, b.cluster_sizes);
+}
+
 }  // namespace
 }  // namespace mosaic::cluster

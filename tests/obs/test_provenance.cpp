@@ -280,4 +280,49 @@ TEST(ProvenancePipeline, JournalGateCapturesSampledTraces) {
   journal.reset();
 }
 
+TEST(ProvenanceJournal, RingOverwritesOldestOnceCapacityIsReached) {
+  auto& journal = obs::ProvenanceJournal::global();
+  journal.reset();
+  journal.enable(/*sample_every=*/1, /*capacity=*/4);
+
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    obs::TraceProvenance record;
+    record.app_key = "u/ring";
+    record.job_id = i;
+    journal.record(std::move(record));
+  }
+  journal.disable();
+
+  EXPECT_EQ(journal.size(), 4u);
+  EXPECT_EQ(journal.dropped(), 6u);
+  // The ring keeps the newest records; the first six were overwritten.
+  const std::vector<obs::TraceProvenance> records = journal.collect();
+  ASSERT_EQ(records.size(), 4u);
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    EXPECT_EQ(records[i].job_id, 6 + i);
+  }
+
+  journal.reset();
+  EXPECT_EQ(journal.size(), 0u);
+  EXPECT_EQ(journal.dropped(), 0u);
+}
+
+TEST(ProvenanceJournal, ZeroCapacityClampsToOne) {
+  auto& journal = obs::ProvenanceJournal::global();
+  journal.reset();
+  journal.enable(/*sample_every=*/1, /*capacity=*/0);
+
+  for (std::uint64_t i = 0; i < 3; ++i) {
+    obs::TraceProvenance record;
+    record.job_id = i;
+    journal.record(std::move(record));
+  }
+  journal.disable();
+
+  EXPECT_EQ(journal.size(), 1u);
+  EXPECT_EQ(journal.dropped(), 2u);
+  EXPECT_EQ(journal.collect().at(0).job_id, 2u);
+  journal.reset();
+}
+
 }  // namespace

@@ -7,12 +7,18 @@ against the committed baseline and fails (exit 1) when either
   * end-to-end throughput (traces_per_second) dropped by more than
     --max-tps-drop-pct (default 15%), or
   * the instrumentation overhead (instrumentation.overhead_pct) exceeds
-    --max-overhead-pct (default 5%) in absolute terms.
+    --max-overhead-pct (default 5%) in absolute terms, or
+  * steady-state allocations per trace (allocations.per_trace) grew more
+    than --max-alloc-increase-pct (default 10%) plus a 2-allocation slack
+    over the baseline. Skipped unless both files carry counted results.
 
 The throughput check is relative to the baseline machine's own numbers, so
 a slower CI runner only trips it when the *ratio* moves; the overhead check
 is absolute because the <5% budget is machine-independent by construction
-(both sides of the ratio run on the same box).
+(both sides of the ratio run on the same box). The allocation count is
+near-deterministic (same population, one thread, warmed workspace), so its
+budget is deliberately tight: a new per-trace allocation on the hot path is
+exactly the regression the workspace model exists to prevent.
 
 Usage:
     check_perf_regression.py <baseline.json> <current.json> [options]
@@ -36,6 +42,7 @@ def main():
     parser.add_argument("current", help="freshly measured result")
     parser.add_argument("--max-tps-drop-pct", type=float, default=15.0)
     parser.add_argument("--max-overhead-pct", type=float, default=5.0)
+    parser.add_argument("--max-alloc-increase-pct", type=float, default=10.0)
     args = parser.parse_args()
 
     baseline = load(args.baseline)
@@ -69,6 +76,24 @@ def main():
             f"instrumentation overhead {overhead:.2f}% exceeds "
             f"{args.max_overhead_pct:.0f}% budget"
         )
+
+    base_allocs = baseline.get("allocations", {})
+    cur_allocs = current.get("allocations", {})
+    if base_allocs.get("counted") and cur_allocs.get("counted"):
+        base_per = float(base_allocs.get("per_trace", 0.0))
+        cur_per = float(cur_allocs.get("per_trace", 0.0))
+        budget = base_per * (1.0 + args.max_alloc_increase_pct / 100.0) + 2.0
+        print(
+            f"allocations/trace: baseline {base_per:.2f}, "
+            f"current {cur_per:.2f} (budget {budget:.2f})"
+        )
+        if cur_per > budget:
+            failures.append(
+                f"allocations per trace grew to {cur_per:.2f} "
+                f"(budget {budget:.2f})"
+            )
+    else:
+        print("allocations/trace: not counted on both sides, skipping")
 
     if failures:
         for failure in failures:
