@@ -108,6 +108,7 @@ PreprocessResult preprocess(std::vector<trace::Trace> traces,
   for (std::size_t i = 0; i < traces.size(); ++i) {
     if (keep[i]) result.retained.push_back(std::move(traces[i]));
   }
+  result.retained_paths.assign(result.retained.size(), std::string());
   for (const auto& [app_key, app] : apps) {
     result.runs_per_app.emplace_hint(result.runs_per_app.end(), app_key,
                                      app.runs);
@@ -227,6 +228,7 @@ PreprocessResult StreamingPreprocessor::finish(
       slot.trace = std::move(*loaded);
     }
     result.retained.push_back(std::move(*slot.trace));
+    result.retained_paths.push_back(std::move(slot.digest.path));
   }
   heaviest_.clear();
 

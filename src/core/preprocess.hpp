@@ -51,6 +51,11 @@ struct PreprocessStats {
 /// Pre-processing output: the retained traces plus bookkeeping.
 struct PreprocessResult {
   std::vector<trace::Trace> retained;
+  /// Source path of retained[i] — the dedup tiebreak identity a sharded
+  /// batch records into its partial artifact so the merge can replay the
+  /// cross-shard dedup. Empty strings when the one-shot driver was fed
+  /// in-memory traces that never had files.
+  std::vector<std::string> retained_paths;
   /// Valid executions per application key (user/app), including the retained
   /// one. Drives the "all runs" weighting in reports.
   std::map<std::string, std::size_t> runs_per_app;

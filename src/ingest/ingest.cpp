@@ -228,10 +228,28 @@ void fold_outcome(FoldContext& ctx, const std::string& path,
 Expected<IngestResult> ingest_paths(const std::vector<std::string>& paths,
                                     const IngestOptions& options,
                                     parallel::ThreadPool& pool) {
+  // Shard filter first: files owned by other shards must not appear in any
+  // counter, journal or funnel of this run, or merged partials would count
+  // them N times.
+  std::vector<std::string> owned;
+  const std::vector<std::string>* inputs = &paths;
+  if (options.shard.active()) {
+    owned.reserve(paths.size() / options.shard.count + 1);
+    for (const std::string& path : paths) {
+      if (shard_owns(options.shard, path)) owned.push_back(path);
+    }
+    inputs = &owned;
+    auto& registry = obs::Registry::global();
+    registry.gauge(obs::names::kShardIndex, "shard this run owns (--shard K/N)")
+        .set(static_cast<std::int64_t>(options.shard.index));
+    registry.gauge(obs::names::kShardCount, "total shards in the partition")
+        .set(static_cast<std::int64_t>(options.shard.count));
+  }
+
   IngestResult result;
-  result.stats.files_scanned = paths.size();
+  result.stats.files_scanned = inputs->size();
   IngestMetrics& metrics = IngestMetrics::get();
-  metrics.scanned.add(paths.size());
+  metrics.scanned.add(inputs->size());
 
   FileReader& reader =
       options.reader != nullptr ? *options.reader : system_reader();
@@ -256,8 +274,8 @@ Expected<IngestResult> ingest_paths(const std::vector<std::string>& paths,
 
   // Replayed outcomes fold first; their files are excluded from the windows.
   std::vector<std::string> pending;
-  pending.reserve(paths.size());
-  for (const std::string& path : paths) {
+  pending.reserve(inputs->size());
+  for (const std::string& path : *inputs) {
     const auto it = replay.find(path);
     if (it == replay.end()) {
       pending.push_back(path);

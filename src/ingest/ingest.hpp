@@ -25,6 +25,7 @@
 
 #include "core/preprocess.hpp"
 #include "ingest/reader.hpp"
+#include "ingest/shard.hpp"
 #include "parallel/thread_pool.hpp"
 #include "util/error.hpp"
 
@@ -58,6 +59,12 @@ struct IngestOptions {
   /// Test seam simulating a crash: stop (with stats.aborted set) once this
   /// many files have been processed and journaled. 0 disables.
   std::size_t abort_after_files = 0;
+  /// Slice of the corpus this run owns (see shard.hpp). When active
+  /// (count > 1), paths hashing to a different shard are dropped before any
+  /// counting — each file is scanned, journaled, and folded by exactly one
+  /// shard, which is what makes shard partials mergeable back into the
+  /// single-shot funnel.
+  ShardSpec shard;
 };
 
 /// Ingest-level counters, complementing the PreprocessStats funnel.

@@ -123,6 +123,9 @@ Expected<std::map<std::string, JournalEntry>> load_journal(
   }
   std::string line;
   while (std::getline(in, line)) {
+    // Journals hand-inspected (or rsynced) through Windows tooling come back
+    // with CRLF endings; the '\r' is not part of the record.
+    if (!line.empty() && line.back() == '\r') line.pop_back();
     if (util::trim(line).empty()) continue;
     if (auto entry = entry_from_line(line)) {
       entries[entry->path] = std::move(*entry);

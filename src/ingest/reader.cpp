@@ -2,6 +2,7 @@
 
 #include <filesystem>
 #include <fstream>
+#include <limits>
 
 #include "darshan/binary_format.hpp"
 #include "darshan/text_format.hpp"
@@ -54,18 +55,39 @@ Expected<FaultSpec> FaultSpec::parse(std::string_view text) {
     }
     const std::string_view key = util::trim(trimmed.substr(0, eq));
     const std::string_view value = util::trim(trimmed.substr(eq + 1));
+    // Integer fields get integer parsers: going through parse_double and a
+    // cast silently rounds seeds above 2^53 (changing the fault pattern
+    // between runs that think they share a seed) and accepts fractional
+    // retry counts.
+    if (key == "seed") {
+      const auto seed = util::parse_uint(value);
+      if (!seed.has_value()) {
+        return Error{ErrorCode::kInvalidArgument,
+                     "fault spec seed '" + std::string(value) +
+                         "' is not an unsigned integer"};
+      }
+      spec.seed = *seed;
+      continue;
+    }
+    if (key == "eio_failures") {
+      const auto failures = util::parse_int(value);
+      if (!failures.has_value() || *failures < 0 ||
+          *failures > std::numeric_limits<int>::max()) {
+        return Error{ErrorCode::kInvalidArgument,
+                     "fault spec eio_failures '" + std::string(value) +
+                         "' is not a non-negative integer"};
+      }
+      spec.transient_eio_failures = static_cast<int>(*failures);
+      continue;
+    }
     const auto number = util::parse_double(value);
     if (!number.has_value()) {
       return Error{ErrorCode::kInvalidArgument,
                    "fault spec value '" + std::string(value) +
                        "' is not numeric"};
     }
-    if (key == "seed") {
-      spec.seed = static_cast<std::uint64_t>(*number);
-    } else if (key == "eio") {
+    if (key == "eio") {
       spec.transient_eio_probability = *number;
-    } else if (key == "eio_failures") {
-      spec.transient_eio_failures = static_cast<int>(*number);
     } else if (key == "eio_permanent") {
       spec.permanent_eio_probability = *number;
     } else if (key == "short") {

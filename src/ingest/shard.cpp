@@ -1,0 +1,75 @@
+#include "ingest/shard.hpp"
+
+#include "darshan/binary_format.hpp"
+#include "util/strings.hpp"
+
+namespace mosaic::ingest {
+
+using util::Error;
+using util::ErrorCode;
+using util::Expected;
+
+namespace {
+
+/// Final path component ('/'-separated; also accepts '\\' so Windows-style
+/// paths shard by file name too).
+std::string_view basename_of(std::string_view path) noexcept {
+  const auto slash = path.find_last_of("/\\");
+  return slash == std::string_view::npos ? path : path.substr(slash + 1);
+}
+
+}  // namespace
+
+std::size_t shard_of(std::string_view path, std::size_t count) noexcept {
+  if (count <= 1) return 0;
+  // fnv1a is already the repo's stable content hash (MBT checksums, fault
+  // injection); splitting its 64 bits by modulo is unbiased enough for the
+  // file counts sharding targets.
+  return static_cast<std::size_t>(darshan::fnv1a(basename_of(path)) % count);
+}
+
+bool shard_owns(const ShardSpec& spec, std::string_view path) noexcept {
+  return shard_of(path, spec.count) == spec.index;
+}
+
+Expected<ShardSpec> parse_shard_spec(std::string_view text) {
+  const auto slash = text.find('/');
+  if (slash == std::string_view::npos) {
+    return Error{ErrorCode::kInvalidArgument,
+                 "shard spec '" + std::string(text) +
+                     "' is not of the form K/N"};
+  }
+  const auto index = util::parse_uint(util::trim(text.substr(0, slash)));
+  const auto count = util::parse_uint(util::trim(text.substr(slash + 1)));
+  if (!index.has_value() || !count.has_value()) {
+    return Error{ErrorCode::kInvalidArgument,
+                 "shard spec '" + std::string(text) +
+                     "' is not of the form K/N with unsigned K, N"};
+  }
+  if (*count == 0 || *index >= *count) {
+    return Error{ErrorCode::kInvalidArgument,
+                 "shard spec '" + std::string(text) +
+                     "' must satisfy K < N and N >= 1"};
+  }
+  ShardSpec spec;
+  spec.index = static_cast<std::size_t>(*index);
+  spec.count = static_cast<std::size_t>(*count);
+  return spec;
+}
+
+std::string shard_suffix_path(const std::string& path, std::size_t index) {
+  const std::string suffix = ".shard-" + std::to_string(index);
+  const auto slash = path.find_last_of("/\\");
+  const auto dot = path.rfind('.');
+  if (dot == std::string::npos ||
+      (slash != std::string::npos && dot < slash)) {
+    return path + suffix;  // no extension on the final component
+  }
+  return path.substr(0, dot) + suffix + path.substr(dot);
+}
+
+std::string partial_filename(std::size_t index) {
+  return "results.shard-" + std::to_string(index) + ".json";
+}
+
+}  // namespace mosaic::ingest

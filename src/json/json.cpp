@@ -1,7 +1,9 @@
 #include "json/json.hpp"
 
+#include <charconv>
 #include <cmath>
 #include <cstdio>
+#include <limits>
 
 namespace mosaic::json {
 
@@ -90,22 +92,26 @@ void append_escaped(std::string& out, std::string_view text) {
   out += '"';
 }
 
+// std::to_chars always formats in the C locale; snprintf honors LC_NUMERIC
+// and would emit "1,5" under a comma-decimal locale, corrupting every
+// artifact the process writes. The fixed/general forms below produce the
+// exact bytes "%.0f"/"%.17g" produce in the C locale, so goldens are stable.
 void append_number(std::string& out, double value) {
   if (!std::isfinite(value)) {
     // JSON has no inf/nan; emit null like most tolerant serializers.
     out += "null";
     return;
   }
-  // Integers within the exact-double range print without a fraction.
-  if (value == std::floor(value) && std::abs(value) < 9.007199254740992e15) {
-    char buf[32];
-    std::snprintf(buf, sizeof buf, "%.0f", value);
-    out += buf;
-    return;
-  }
   char buf[40];
-  std::snprintf(buf, sizeof buf, "%.17g", value);
-  out += buf;
+  // Integers within the exact-double range print without a fraction.
+  const bool integral =
+      value == std::floor(value) && std::abs(value) < 9.007199254740992e15;
+  const auto result =
+      integral ? std::to_chars(buf, buf + sizeof buf, value,
+                               std::chars_format::fixed, 0)
+               : std::to_chars(buf, buf + sizeof buf, value,
+                               std::chars_format::general, 17);
+  out.append(buf, result.ptr);
 }
 
 void serialize_impl(const Value& value, std::string& out, bool pretty,
@@ -279,6 +285,44 @@ class Parser {
     }
   }
 
+  /// strtod saturates out-of-range magnitudes instead of rejecting them
+  /// (overflow to +-HUGE_VAL, underflow to +-0). std::from_chars reports
+  /// them as errors with the value unmodified, so the saturation is redone
+  /// here from a rough decimal-exponent estimate — it only has to separate
+  /// ~1e+309 from ~1e-324, not be precise.
+  static double saturate_out_of_range(std::string_view token) {
+    const bool negative = !token.empty() && token.front() == '-';
+    if (negative || (!token.empty() && token.front() == '+')) {
+      token.remove_prefix(1);
+    }
+    long long estimate = 0;  // floor(log10(|value|)), roughly
+    std::size_t i = 0;
+    long long integer_digits = 0;
+    bool leading = true;
+    for (; i < token.size() && token[i] >= '0' && token[i] <= '9'; ++i) {
+      if (leading && token[i] == '0') continue;
+      leading = false;
+      ++integer_digits;
+    }
+    if (integer_digits > 0) {
+      estimate = integer_digits - 1;
+    } else if (i < token.size() && token[i] == '.') {
+      std::size_t j = i + 1;
+      while (j < token.size() && token[j] == '0') ++j;
+      estimate = -static_cast<long long>(j - i);
+    }
+    if (const auto e = token.find_first_of("eE");
+        e != std::string_view::npos) {
+      long long exponent = 0;
+      (void)std::from_chars(token.data() + e + 1,
+                            token.data() + token.size(), exponent);
+      estimate += exponent;
+    }
+    const double magnitude =
+        estimate >= 0 ? std::numeric_limits<double>::infinity() : 0.0;
+    return negative ? -magnitude : magnitude;
+  }
+
   Expected<Value> parse_number() {
     const std::size_t start = pos_;
     if (!eof() && (peek() == '-' || peek() == '+')) ++pos_;
@@ -288,10 +332,22 @@ class Parser {
       ++pos_;
     }
     if (pos_ == start) return fail("expected a value");
-    const std::string token{text_.substr(start, pos_ - start)};
-    char* end = nullptr;
-    const double value = std::strtod(token.c_str(), &end);
-    if (end != token.c_str() + token.size()) return fail("malformed number");
+    const std::string_view token = text_.substr(start, pos_ - start);
+    // std::from_chars is locale-independent; strtod honors LC_NUMERIC and
+    // under a comma-decimal locale stops at the '.' of "1.5", turning every
+    // fractional number in the document into a parse error.
+    const char* first = token.data();
+    const char* const last = token.data() + token.size();
+    if (first != last && *first == '+') ++first;  // strtod-compat leniency
+    if (first == last) return fail("malformed number");
+    double value = 0.0;
+    const auto [ptr, ec] = std::from_chars(first, last, value);
+    if (ptr != last) return fail("malformed number");
+    if (ec == std::errc::result_out_of_range) {
+      value = saturate_out_of_range(token);
+    } else if (ec != std::errc{}) {
+      return fail("malformed number");
+    }
     return Value{value};
   }
 

@@ -32,6 +32,12 @@ inline constexpr std::string_view kIngestRetriesPerFile =
     "mosaic_ingest_retries_per_file";
 inline constexpr std::string_view kIngestParseMs = "mosaic_ingest_parse_ms";
 
+// Sharded batch execution (src/ingest/shard.hpp). Set only when a run owns
+// a slice of the corpus (--shard K/N or --shards N), so dashboards can tell
+// shard partials from whole-corpus runs.
+inline constexpr std::string_view kShardIndex = "mosaic_shard_index";
+inline constexpr std::string_view kShardCount = "mosaic_shard_count";
+
 // Pre-processing funnel (src/core/preprocess). Per-ErrorCode eviction
 // series carry a {code="..."} label; validity evictions additionally feed
 // the {kind="..."} corruption series. Both live and journal-replayed

@@ -136,6 +136,54 @@ if [ -n "${MOSAIC_ARTIFACT_DIR:-}" ]; then
      "$WORK/prov/provenance.jsonl" "$MOSAIC_ARTIFACT_DIR/"
 fi
 
+# Sharded execution golden: independent --shard K/N runs merged with
+# `mosaic merge` — and the in-process --shards N driver — must both
+# reproduce the single-shot JSON summary byte for byte, including under
+# fault injection (the shard filter runs before retry/eviction counting).
+for k in 0 1; do
+  "$MOSAIC" batch "$WORK/pop" --shard "$k/2" --partials "$WORK/parts2" \
+      --fault-inject 'seed=3,eio=1.0,eio_failures=1' --retries 3 \
+      --journal "$WORK/shard.jsonl" > "$WORK/shard$k.txt"
+  grep -q "shard $k/2: ingested" "$WORK/shard$k.txt"
+done
+[ -s "$WORK/parts2/results.shard-0.json" ]
+[ -s "$WORK/parts2/results.shard-1.json" ]
+[ -s "$WORK/shard.shard-0.jsonl" ]  # per-shard journal, not a shared one
+"$MOSAIC" merge "$WORK/parts2" --json "$WORK/sharded.json" \
+    > "$WORK/merge.txt"
+diff "$WORK/clean.json" "$WORK/sharded.json"
+grep -q 'merged 2 partial' "$WORK/merge.txt"
+"$MOSAIC" batch "$WORK/pop" --shards 4 --partials "$WORK/parts4" \
+    --json "$WORK/inprocess.json" > /dev/null
+diff "$WORK/clean.json" "$WORK/inprocess.json"
+
+# The markdown report reduced from partials must match the ingest-path
+# report (the drill-down sections differ only when --confusion is used).
+"$MOSAIC" report "$WORK/pop" --out "$WORK/single.md" > /dev/null
+"$MOSAIC" report --from-partials "$WORK/parts2" --out "$WORK/merged.md" \
+    > /dev/null
+diff "$WORK/single.md" "$WORK/merged.md"
+
+# Partition validation: merging an incomplete partition must fail loudly.
+mkdir -p "$WORK/partial_only"
+cp "$WORK/parts2/results.shard-0.json" "$WORK/partial_only/"
+if "$MOSAIC" merge "$WORK/partial_only" > /dev/null 2>&1; then
+  echo "merging an incomplete partition should fail" >&2
+  exit 1
+fi
+
+# Shard CLI validation: malformed specs and missing --partials are usage
+# errors.
+if "$MOSAIC" batch "$WORK/pop" --shard 2/2 --partials "$WORK/p" \
+    > /dev/null 2>&1; then
+  echo "--shard K/N with K >= N should fail" >&2
+  exit 1
+fi
+if "$MOSAIC" batch "$WORK/pop" --shard 0/2 > /dev/null 2>&1; then
+  echo "--shard without --partials should fail" >&2
+  exit 1
+fi
+
 # --resume without --journal is a usage error, as is a negative --threads.
 if "$MOSAIC" batch "$WORK/pop" --resume > /dev/null 2>&1; then
   echo "--resume without --journal should fail" >&2

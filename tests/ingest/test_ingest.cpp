@@ -505,5 +505,80 @@ TEST(Journal, MissingFileIsEmptyMapAndLaterEntriesWin) {
   fs::remove_all(dir);
 }
 
+TEST(Journal, CrlfLineEndingsReplayCleanly) {
+  // A journal that passed through a CRLF-normalizing transfer (git
+  // autocrlf, SMB mount, Windows editor) must still replay: the trailing
+  // '\r' is payload to getline and used to poison every line's JSON.
+  const fs::path dir = fs::temp_directory_path() / "mosaic_journal_crlf";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  const std::string journal_path = (dir / "journal.jsonl").string();
+
+  {
+    JournalWriter writer;
+    ASSERT_TRUE(writer.open(journal_path).ok());
+    JournalEntry valid;
+    valid.path = "/a.txt";
+    valid.valid = true;
+    valid.app_key = "u/a";
+    valid.total_bytes = 123;
+    valid.job_id = 7;
+    ASSERT_TRUE(writer.append(valid).ok());
+    JournalEntry evicted;
+    evicted.path = "/b.txt";
+    evicted.code = "corrupt-trace";
+    evicted.corruption_kind = "inverted-window";
+    ASSERT_TRUE(writer.append(evicted).ok());
+  }
+  // Rewrite LF -> CRLF, then add one genuinely torn line. The torn-line
+  // counter must still count exactly that one line, not the CRLF ones.
+  std::string text = slurp(journal_path);
+  std::string crlf;
+  for (const char c : text) {
+    if (c == '\n') crlf += '\r';
+    crlf += c;
+  }
+  crlf += R"({"path":"/c.txt","valid":tr)";
+  crlf += "\r\n";
+  {
+    std::ofstream out(journal_path, std::ios::binary | std::ios::trunc);
+    out << crlf;
+  }
+
+  std::size_t dropped = 0;
+  const auto loaded = load_journal(journal_path, &dropped);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->size(), 2u);
+  EXPECT_EQ(dropped, 1u);
+  EXPECT_TRUE(loaded->at("/a.txt").valid);
+  EXPECT_EQ(loaded->at("/a.txt").total_bytes, 123u);
+  EXPECT_EQ(loaded->at("/b.txt").corruption_kind, "inverted-window");
+  fs::remove_all(dir);
+}
+
+TEST(FaultSpecParse, SeedKeepsFullUint64Precision) {
+  // Seeds used to be parsed as double and cast back, silently rounding
+  // values above 2^53 — the injected fault pattern then differed from the
+  // one the user asked to reproduce.
+  const auto spec = FaultSpec::parse("seed=18446744073709551615");
+  ASSERT_TRUE(spec.has_value());
+  EXPECT_EQ(spec->seed, 18446744073709551615ull);
+
+  const auto odd = FaultSpec::parse("seed=9007199254740993");  // 2^53 + 1
+  ASSERT_TRUE(odd.has_value());
+  EXPECT_EQ(odd->seed, 9007199254740993ull);
+
+  EXPECT_FALSE(FaultSpec::parse("seed=-1").has_value());
+  EXPECT_FALSE(FaultSpec::parse("seed=1.5").has_value());
+}
+
+TEST(FaultSpecParse, EioFailuresMustBeNonNegativeInteger) {
+  EXPECT_FALSE(FaultSpec::parse("eio_failures=1.5").has_value());
+  EXPECT_FALSE(FaultSpec::parse("eio_failures=-2").has_value());
+  const auto spec = FaultSpec::parse("eio_failures=4");
+  ASSERT_TRUE(spec.has_value());
+  EXPECT_EQ(spec->transient_eio_failures, 4);
+}
+
 }  // namespace
 }  // namespace mosaic::ingest

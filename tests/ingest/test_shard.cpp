@@ -1,0 +1,106 @@
+// Deterministic corpus sharding (ingest/shard.hpp): the partition must be a
+// function of (file name, N) alone — stable across scan order, mounts and
+// processes — and every file must land in exactly one shard, or merged
+// partials would double- or under-count the corpus.
+#include "ingest/shard.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+namespace mosaic::ingest {
+namespace {
+
+std::vector<std::string> sample_corpus() {
+  std::vector<std::string> paths;
+  paths.reserve(500);
+  for (int i = 0; i < 500; ++i) {
+    paths.push_back("pop/job_" + std::to_string(1000 + i * 7) + ".mbt");
+  }
+  return paths;
+}
+
+TEST(Shard, EveryFileOwnedByExactlyOneShard) {
+  const auto corpus = sample_corpus();
+  for (const std::size_t count : {2U, 3U, 8U}) {
+    for (const std::string& path : corpus) {
+      std::size_t owners = 0;
+      for (std::size_t k = 0; k < count; ++k) {
+        ShardSpec spec;
+        spec.index = k;
+        spec.count = count;
+        owners += shard_owns(spec, path) ? 1 : 0;
+      }
+      EXPECT_EQ(owners, 1U) << path << " with N=" << count;
+    }
+  }
+}
+
+TEST(Shard, AssignmentIgnoresDirectoryPrefix) {
+  // The same corpus scanned from a different mount point (or relative path)
+  // must shard identically, or a resumed multi-host run would reshuffle
+  // ownership mid-flight.
+  for (const std::string& name : {"job_123.mbt", "job_9.darshan.txt"}) {
+    const std::size_t expected = shard_of(name, 8);
+    EXPECT_EQ(shard_of("/mnt/a/pop/" + name, 8), expected);
+    EXPECT_EQ(shard_of("./pop/" + name, 8), expected);
+    EXPECT_EQ(shard_of("C:\\traces\\" + name, 8), expected);
+  }
+}
+
+TEST(Shard, AssignmentSpreadsAcrossShards) {
+  // Not a uniformity proof — just a guard against a degenerate hash that
+  // sends everything to shard 0.
+  const auto corpus = sample_corpus();
+  std::vector<std::size_t> counts(8, 0);
+  for (const std::string& path : corpus) ++counts[shard_of(path, 8)];
+  for (std::size_t k = 0; k < counts.size(); ++k) {
+    EXPECT_GT(counts[k], 0U) << "shard " << k << " owns nothing";
+  }
+}
+
+TEST(Shard, SingleShardOwnsEverything) {
+  EXPECT_EQ(shard_of("anything.mbt", 1), 0U);
+  EXPECT_EQ(shard_of("anything.mbt", 0), 0U);
+  ShardSpec whole;
+  EXPECT_FALSE(whole.active());
+  EXPECT_TRUE(shard_owns(whole, "anything.mbt"));
+}
+
+TEST(Shard, ParseSpecAcceptsValidForms) {
+  const auto spec = parse_shard_spec("2/8");
+  ASSERT_TRUE(spec.has_value());
+  EXPECT_EQ(spec->index, 2U);
+  EXPECT_EQ(spec->count, 8U);
+  EXPECT_TRUE(spec->active());
+
+  const auto whole = parse_shard_spec("0/1");
+  ASSERT_TRUE(whole.has_value());
+  EXPECT_FALSE(whole->active());
+}
+
+TEST(Shard, ParseSpecRejectsMalformedText) {
+  for (const char* text :
+       {"", "3", "a/b", "1/0", "4/4", "5/2", "-1/4", "1.5/4"}) {
+    EXPECT_FALSE(parse_shard_spec(text).has_value()) << text;
+  }
+}
+
+TEST(Shard, SuffixPathInsertsBeforeExtension) {
+  EXPECT_EQ(shard_suffix_path("metrics.json", 2), "metrics.shard-2.json");
+  EXPECT_EQ(shard_suffix_path("out/run.journal.jsonl", 0),
+            "out/run.journal.shard-0.jsonl");
+  EXPECT_EQ(shard_suffix_path("provdir", 3), "provdir.shard-3");
+  // A dot in a directory component must not be mistaken for an extension.
+  EXPECT_EQ(shard_suffix_path("run.d/journal", 1), "run.d/journal.shard-1");
+}
+
+TEST(Shard, PartialFilenameIsCanonical) {
+  EXPECT_EQ(partial_filename(0), "results.shard-0.json");
+  EXPECT_EQ(partial_filename(17), "results.shard-17.json");
+}
+
+}  // namespace
+}  // namespace mosaic::ingest

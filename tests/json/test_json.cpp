@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <clocale>
+#include <cmath>
+#include <cstdio>
+#include <limits>
 #include <string>
 
 namespace mosaic::json {
@@ -164,6 +168,70 @@ TEST(RoundTrip, ComplexDocumentSurvives) {
   ASSERT_TRUE(parsed.has_value());
   const std::string again = serialize(*parsed);
   EXPECT_EQ(text, again);
+}
+
+TEST(RoundTrip, DoublesSurviveExactly) {
+  // 17 significant digits uniquely identify every double, so
+  // serialize -> parse must reproduce the exact bit pattern — the property
+  // the shard partial artifacts rely on for byte-identical merges.
+  const double values[] = {0.1,
+                           1.0 / 3.0,
+                           599.886,
+                           6.02214076e23,
+                           5e-324,  // smallest denormal
+                           std::numeric_limits<double>::max(),
+                           std::numeric_limits<double>::min(),
+                           -0.0};
+  for (const double value : values) {
+    const std::string text = serialize(Value{value}, false);
+    const auto parsed = parse(text);
+    ASSERT_TRUE(parsed.has_value()) << text;
+    EXPECT_EQ(parsed->as_number(), value) << text;
+  }
+}
+
+TEST(Parse, OutOfRangeSaturatesInsteadOfFailing) {
+  // Overflowing literals historically parsed through strtod, which
+  // saturates to +-inf / +-0 rather than erroring; documents written by
+  // other producers keep loading (the infinities serialize back as null).
+  EXPECT_TRUE(std::isinf(parse("1e999")->as_number()));
+  EXPECT_TRUE(std::isinf(parse("-1e999")->as_number()));
+  EXPECT_GT(parse("1e999")->as_number(), 0.0);
+  EXPECT_LT(parse("-1e999")->as_number(), 0.0);
+  EXPECT_EQ(parse("1e-999")->as_number(), 0.0);
+  EXPECT_EQ(parse("-1e-999")->as_number(), 0.0);
+  EXPECT_TRUE(std::isinf(
+      parse("123456789123456789123456789123456789123456789e999")
+          ->as_number()));
+}
+
+TEST(Locale, NumbersAreLocaleIndependent) {
+  // A host application (or plugin) may set a locale whose decimal
+  // separator is ','. JSON bytes must not change: the goldens, the resume
+  // journal and the shard partials all assume C-locale numerals.
+  const char* set = std::setlocale(LC_NUMERIC, "de_DE.UTF-8");
+  if (set == nullptr) set = std::setlocale(LC_NUMERIC, "de_DE.utf8");
+  if (set == nullptr) {
+    GTEST_SKIP() << "no de_DE locale installed; install locales and run "
+                    "locale-gen de_DE.UTF-8 to enable this regression test";
+  }
+  // Sanity: the locale really uses ',' — otherwise this test proves nothing.
+  char formatted[32];
+  std::snprintf(formatted, sizeof formatted, "%.1f", 1.5);
+  EXPECT_STREQ(formatted, "1,5");
+
+  EXPECT_EQ(serialize(Value{-1.5}, false), "-1.5");
+  EXPECT_EQ(serialize(Value{0.1}, false), "0.10000000000000001");
+  EXPECT_EQ(serialize(Value{42}, false), "42");
+  EXPECT_DOUBLE_EQ(parse("3.5")->as_number(), 3.5);
+  EXPECT_DOUBLE_EQ(parse("-2e3")->as_number(), -2000.0);
+
+  const std::string text = serialize(Value{599.886}, false);
+  const auto parsed = parse(text);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->as_number(), 599.886);
+
+  std::setlocale(LC_NUMERIC, "C");
 }
 
 }  // namespace

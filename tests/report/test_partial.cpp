@@ -1,0 +1,290 @@
+// Mergeable partial artifacts (report/partial.hpp): serialization round
+// trips exactly, the merge validates its partition, and — the acceptance
+// criterion for sharded execution — reducing 1, 2 or 8 shard partials
+// reproduces the single-shot batch JSON byte for byte, including when one
+// application's runs straddle shards and cross-shard dedup must re-choose
+// the winner.
+#include "report/partial.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/pipeline.hpp"
+#include "darshan/binary_format.hpp"
+#include "ingest/ingest.hpp"
+#include "ingest/shard.hpp"
+#include "json/json.hpp"
+#include "parallel/thread_pool.hpp"
+#include "report/json_output.hpp"
+#include "sim/population.hpp"
+#include "util/fs.hpp"
+
+namespace mosaic::report {
+namespace {
+
+namespace fs = std::filesystem;
+
+class PartialTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           (std::string("mosaic_partial_test_") +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  std::string path(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+
+  /// Writes a seeded synthetic population (valid + corrupted traces, many
+  /// multi-run applications, so dedup straddles shards) and returns the
+  /// trace paths.
+  std::vector<std::string> seed_population(std::size_t traces,
+                                           std::uint64_t seed) {
+    sim::PopulationConfig config;
+    config.target_traces = traces;
+    config.seed = seed;
+    const sim::Population population = sim::generate_population(config);
+    std::vector<std::string> paths;
+    paths.reserve(population.traces.size());
+    for (const auto& entry : population.traces) {
+      const std::string file =
+          path("job_" + std::to_string(entry.trace.meta.job_id) + ".mbt");
+      EXPECT_TRUE(darshan::write_mbt_file(entry.trace, file).ok());
+      paths.push_back(file);
+    }
+    return paths;
+  }
+
+  /// Runs the ingest + analyze pipeline the CLI uses, for one shard (or the
+  /// whole corpus with the default spec).
+  PartialArtifact run_shard(const std::vector<std::string>& paths,
+                            const ingest::ShardSpec& spec) {
+    ingest::IngestOptions options;
+    options.shard = spec;
+    auto ingested = ingest::ingest_paths(paths, options, pool_);
+    EXPECT_TRUE(ingested.has_value());
+    std::vector<std::uint64_t> retained_bytes;
+    for (const trace::Trace& t : ingested->pre.retained) {
+      retained_bytes.push_back(t.total_bytes());
+    }
+    std::vector<std::string> retained_paths =
+        std::move(ingested->pre.retained_paths);
+    core::BatchResult batch =
+        core::analyze_preprocessed(std::move(ingested->pre), {}, &pool_);
+    EXPECT_EQ(batch.results.size(), retained_paths.size());
+
+    PartialArtifact partial;
+    partial.shard_index = spec.index;
+    partial.shard_count = spec.count;
+    partial.ingest = ingested->stats;
+    partial.stats = batch.preprocess;
+    partial.runs_per_app = std::move(batch.runs_per_app);
+    for (std::size_t i = 0; i < batch.results.size(); ++i) {
+      ShardTraceResult entry;
+      entry.result = std::move(batch.results[i]);
+      entry.source_path = std::move(retained_paths[i]);
+      entry.total_bytes = retained_bytes[i];
+      partial.traces.push_back(std::move(entry));
+    }
+    return partial;
+  }
+
+  /// The single-shot reference output the merge must reproduce.
+  std::string single_shot_json(const std::vector<std::string>& paths) {
+    ingest::IngestOptions options;
+    auto ingested = ingest::ingest_paths(paths, options, pool_);
+    EXPECT_TRUE(ingested.has_value());
+    const core::BatchResult batch =
+        core::analyze_preprocessed(std::move(ingested->pre), {}, &pool_);
+    return json::serialize(batch_to_json(batch, /*include_traces=*/true));
+  }
+
+  /// Shards the corpus N ways, routes every partial through the on-disk
+  /// write/read round trip, merges, and serializes like the single shot.
+  std::string sharded_json(const std::vector<std::string>& paths,
+                           std::size_t count) {
+    std::vector<PartialArtifact> partials;
+    for (std::size_t k = 0; k < count; ++k) {
+      ingest::ShardSpec spec;
+      spec.index = k;
+      spec.count = count;
+      const std::string artifact = path(ingest::partial_filename(k));
+      EXPECT_TRUE(write_partial(run_shard(paths, spec), artifact).ok());
+      auto reloaded = read_partial(artifact);
+      EXPECT_TRUE(reloaded.has_value()) << reloaded.error().to_string();
+      partials.push_back(std::move(*reloaded));
+    }
+    auto merged = merge_partials(std::move(partials));
+    EXPECT_TRUE(merged.has_value()) << merged.error().to_string();
+    return json::serialize(
+        batch_to_json(merged->batch, /*include_traces=*/true));
+  }
+
+  fs::path dir_;
+  parallel::ThreadPool pool_{2};
+};
+
+TEST_F(PartialTest, ArtifactRoundTripsThroughJson) {
+  const auto paths = seed_population(40, 20190410);
+  ingest::ShardSpec spec;
+  spec.index = 1;
+  spec.count = 2;
+  const PartialArtifact partial = run_shard(paths, spec);
+  ASSERT_FALSE(partial.traces.empty());
+
+  const std::string serialized = json::serialize(partial_to_json(partial));
+  auto parsed = json::parse(serialized);
+  ASSERT_TRUE(parsed.has_value());
+  auto restored = partial_from_json(*parsed);
+  ASSERT_TRUE(restored.has_value()) << restored.error().to_string();
+
+  // Byte-identical re-serialization is the strongest round-trip statement:
+  // every double survived 17-significant-digit printing exactly.
+  EXPECT_EQ(json::serialize(partial_to_json(*restored)), serialized);
+  EXPECT_EQ(restored->shard_index, 1U);
+  EXPECT_EQ(restored->shard_count, 2U);
+  EXPECT_EQ(restored->traces.size(), partial.traces.size());
+  EXPECT_EQ(restored->runs_per_app, partial.runs_per_app);
+  EXPECT_EQ(restored->stats.eviction_breakdown,
+            partial.stats.eviction_breakdown);
+}
+
+TEST_F(PartialTest, MergeOfOneTwoAndEightShardsMatchesSingleShotByteForByte) {
+  const auto paths = seed_population(60, 20190410);
+  const std::string reference = single_shot_json(paths);
+  EXPECT_EQ(sharded_json(paths, 1), reference);
+  EXPECT_EQ(sharded_json(paths, 2), reference);
+  EXPECT_EQ(sharded_json(paths, 8), reference);
+}
+
+TEST_F(PartialTest, MergeReplaysCrossShardDedup) {
+  // Two runs of one application, forced into different shards by file name;
+  // the merge must retain the heavier run exactly as a single-shot batch
+  // would, and the runs_per_app weight must sum across shards.
+  trace::Trace light;
+  light.meta.job_id = 11;
+  light.meta.app_name = "solver";
+  light.meta.user = "u1";
+  light.meta.nprocs = 4;
+  light.meta.run_time = 100.0;
+  trace::FileRecord file;
+  file.file_id = 1;
+  file.bytes_written = 1 << 20;
+  file.writes = 4;
+  file.opens = 1;
+  file.closes = 1;
+  file.open_ts = 1.0;
+  file.close_ts = 90.0;
+  file.first_write_ts = 2.0;
+  file.last_write_ts = 80.0;
+  light.files.push_back(file);
+  trace::Trace heavy = light;
+  heavy.meta.job_id = 12;
+  heavy.files[0].bytes_written = 8 << 20;
+
+  // Find names that shard apart under N=2.
+  std::string light_name;
+  std::string heavy_name;
+  for (int i = 0; light_name.empty() || heavy_name.empty(); ++i) {
+    const std::string name = "run_" + std::to_string(i) + ".mbt";
+    if (ingest::shard_of(name, 2) == 0 && light_name.empty()) {
+      light_name = name;
+    } else if (ingest::shard_of(name, 2) == 1 && heavy_name.empty()) {
+      heavy_name = name;
+    }
+  }
+  ASSERT_TRUE(darshan::write_mbt_file(light, path(light_name)).ok());
+  ASSERT_TRUE(darshan::write_mbt_file(heavy, path(heavy_name)).ok());
+  const std::vector<std::string> paths = {path(light_name), path(heavy_name)};
+
+  ingest::ShardSpec shard0;
+  shard0.index = 0;
+  shard0.count = 2;
+  ingest::ShardSpec shard1;
+  shard1.index = 1;
+  shard1.count = 2;
+  std::vector<PartialArtifact> partials;
+  partials.push_back(run_shard(paths, shard0));
+  partials.push_back(run_shard(paths, shard1));
+  ASSERT_EQ(partials[0].traces.size(), 1U);
+  ASSERT_EQ(partials[1].traces.size(), 1U);
+
+  auto merged = merge_partials(std::move(partials));
+  ASSERT_TRUE(merged.has_value()) << merged.error().to_string();
+  ASSERT_EQ(merged->batch.results.size(), 1U);
+  EXPECT_EQ(merged->batch.results[0].job_id, 12U);  // heavier run won
+  EXPECT_EQ(merged->batch.preprocess.valid, 2U);
+  EXPECT_EQ(merged->batch.preprocess.retained, 1U);
+  EXPECT_EQ(merged->batch.runs_per_app.at("u1/solver"), 2U);
+}
+
+TEST_F(PartialTest, MergeRejectsIncompleteOrInconsistentPartitions) {
+  const auto paths = seed_population(20, 7);
+  ingest::ShardSpec spec0;
+  spec0.index = 0;
+  spec0.count = 2;
+  ingest::ShardSpec spec1;
+  spec1.index = 1;
+  spec1.count = 2;
+  const PartialArtifact p0 = run_shard(paths, spec0);
+  const PartialArtifact p1 = run_shard(paths, spec1);
+
+  EXPECT_FALSE(merge_partials({}).has_value());
+
+  // Missing shard 1 of 2.
+  EXPECT_FALSE(merge_partials({p0}).has_value());
+
+  // Duplicate shard 0.
+  EXPECT_FALSE(merge_partials({p0, p0}).has_value());
+
+  // Disagreeing shard counts.
+  PartialArtifact wrong_count = p1;
+  wrong_count.shard_count = 3;
+  EXPECT_FALSE(merge_partials({p0, wrong_count}).has_value());
+
+  // The complete partition merges.
+  EXPECT_TRUE(merge_partials({p0, p1}).has_value());
+}
+
+TEST_F(PartialTest, ReadPartialRejectsOtherSchemas) {
+  ASSERT_TRUE(
+      util::write_file_atomic(path("bogus.json"), "{\"schema\": \"nope\"}")
+          .ok());
+  const auto loaded = read_partial(path("bogus.json"));
+  ASSERT_FALSE(loaded.has_value());
+  EXPECT_EQ(loaded.error().code, util::ErrorCode::kParseError);
+  EXPECT_FALSE(read_partial(path("missing.json")).has_value());
+}
+
+TEST_F(PartialTest, ExpandPartialPathsScansDirectories) {
+  const auto paths = seed_population(20, 9);
+  ingest::ShardSpec spec;
+  spec.index = 0;
+  spec.count = 1;
+  const PartialArtifact partial = run_shard(paths, spec);
+  const fs::path parts = dir_ / "parts";
+  fs::create_directories(parts);
+  ASSERT_TRUE(
+      write_partial(partial, (parts / "results.shard-0.json").string()).ok());
+
+  auto expanded = expand_partial_paths({parts.string()});
+  ASSERT_TRUE(expanded.has_value());
+  ASSERT_EQ(expanded->size(), 1U);
+
+  // A directory without artifacts is an error, not an empty merge.
+  const fs::path empty = dir_ / "empty";
+  fs::create_directories(empty);
+  EXPECT_FALSE(expand_partial_paths({empty.string()}).has_value());
+}
+
+}  // namespace
+}  // namespace mosaic::report

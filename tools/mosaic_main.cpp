@@ -36,6 +36,7 @@
 #include "report/csv.hpp"
 #include "report/jaccard.hpp"
 #include "report/json_output.hpp"
+#include "report/partial.hpp"
 #include "report/tables.hpp"
 #include "sim/population.hpp"
 #include "sim/truth.hpp"
@@ -56,6 +57,8 @@ void print_usage() {
       "commands:\n"
       "  analyze <files|dirs...>   categorize traces one by one\n"
       "  batch <dir>               full pipeline over a trace directory\n"
+      "  merge <partials...>       reduce shard partial artifacts into the\n"
+      "                            single-shot batch summary\n"
       "  report <dir>              write a markdown analysis report\n"
       "  explain <file|trace-id>   render one trace's decision path\n"
       "  generate <dir>            write a synthetic trace population\n"
@@ -337,6 +340,156 @@ void print_eviction_table(const core::PreprocessStats& stats) {
   std::fputs(table.render().c_str(), stdout);
 }
 
+/// Shared tail of `mosaic batch` and `mosaic merge`: funnel summary,
+/// category distribution, optional Jaccard heatmap and JSON summary file.
+/// Returns false when the JSON summary could not be written.
+bool print_batch_summary(const core::BatchResult& batch,
+                         const util::CliParser& cli) {
+  const auto& stats = batch.preprocess;
+  std::printf("funnel: %zu input, %zu load-failed, %zu corrupted, "
+              "%zu applications retained\n",
+              stats.input_traces, stats.load_failed, stats.corrupted,
+              stats.retained);
+  print_eviction_table(stats);
+  std::printf("\n");
+
+  const report::CategoryDistribution distribution =
+      report::aggregate_categories(batch);
+  report::TextTable table({"category", "applications", "executions"});
+  for (const core::Category category : core::all_categories()) {
+    if (distribution.single[static_cast<std::size_t>(category)] == 0) continue;
+    table.add_row(
+        {std::string(core::category_name(category)),
+         util::format_percent(distribution.single_fraction(category)),
+         util::format_percent(distribution.weighted_fraction(category))});
+  }
+  std::fputs(table.render().c_str(), stdout);
+
+  if (cli.get_flag("heatmap")) {
+    std::printf("\nJaccard heatmap (>= 1%%):\n");
+    std::fputs(
+        report::render_heatmap(report::jaccard_matrix(batch.results), 0.01)
+            .c_str(),
+        stdout);
+  }
+
+  if (const auto json_path = cli.get("json"); !json_path.empty()) {
+    if (const auto status =
+            report::write_batch_json(batch, std::string(json_path));
+        !status.ok()) {
+      std::fprintf(stderr, "%s\n", status.error().to_string().c_str());
+      return false;
+    }
+    std::printf("\nJSON summary written to %s\n",
+                std::string(json_path).c_str());
+  }
+  return true;
+}
+
+/// Ingests and analyzes the corpus slice `spec` owns and assembles its
+/// partial artifact (all fields except the obs paths, which depend on the
+/// caller's session mode). The resume journal is suffixed per shard so
+/// shard runs never share one. Returns an exit code; 0 fills `out`.
+int run_shard_batch(const ingest::ShardSpec& spec,
+                    const ingest::IngestOptions& base,
+                    const std::vector<std::string>& paths,
+                    const core::Thresholds& thresholds,
+                    parallel::ThreadPool& pool,
+                    report::PartialArtifact& out) {
+  ingest::IngestOptions options = base;
+  options.shard = spec;
+  if (!options.journal_path.empty()) {
+    options.journal_path =
+        ingest::shard_suffix_path(base.journal_path, spec.index);
+  }
+  util::Stopwatch watch;
+  auto ingested = ingest::ingest_paths(paths, options, pool);
+  if (!ingested.has_value()) {
+    std::fprintf(stderr, "%s\n", ingested.error().to_string().c_str());
+    return 2;
+  }
+  const ingest::IngestStats io = ingested->stats;
+  std::printf("shard %zu/%zu: ingested %zu files: %zu loaded, %zu evicted "
+              "before validity (%zu recovered after retry, %zu quarantined, "
+              "%zu replayed from journal) in %s\n",
+              spec.index, spec.count, io.files_scanned, io.loaded, io.failed,
+              io.recovered, io.quarantined, io.journal_replayed,
+              util::format_duration(watch.elapsed_seconds()).c_str());
+  if (io.aborted) {
+    std::fprintf(stderr,
+                 "mosaic batch: shard %zu/%zu aborted after %zu files "
+                 "(simulated crash); re-run with --journal %s --resume to "
+                 "continue\n",
+                 spec.index, spec.count, options.abort_after_files,
+                 options.journal_path.empty() ? "<path>"
+                                              : options.journal_path.c_str());
+    return 3;
+  }
+
+  // Snapshot the dedup digests before analysis consumes the traces: the
+  // merge needs (total bytes, source path) to replay cross-shard dedup.
+  std::vector<std::uint64_t> retained_bytes;
+  retained_bytes.reserve(ingested->pre.retained.size());
+  for (const trace::Trace& t : ingested->pre.retained) {
+    retained_bytes.push_back(t.total_bytes());
+  }
+  std::vector<std::string> retained_paths =
+      std::move(ingested->pre.retained_paths);
+
+  core::BatchResult batch =
+      core::analyze_preprocessed(std::move(ingested->pre), thresholds, &pool);
+  MOSAIC_ASSERT(batch.results.size() == retained_paths.size());
+
+  out = report::PartialArtifact{};
+  out.shard_index = spec.index;
+  out.shard_count = spec.count;
+  out.ingest = io;
+  out.stats = batch.preprocess;
+  out.runs_per_app = std::move(batch.runs_per_app);
+  out.journal_path = options.journal_path;
+  out.traces.reserve(batch.results.size());
+  for (std::size_t i = 0; i < batch.results.size(); ++i) {
+    report::ShardTraceResult entry;
+    entry.result = std::move(batch.results[i]);
+    entry.source_path = std::move(retained_paths[i]);
+    entry.total_bytes = retained_bytes[i];
+    out.traces.push_back(std::move(entry));
+  }
+  return 0;
+}
+
+/// Reads + merges partial artifacts named by files/directories. Returns
+/// nullopt after printing (exit code in `*exit_code`).
+std::optional<report::MergedPartials> load_and_merge_partials(
+    const std::vector<std::string>& args, std::size_t* artifact_count,
+    int* exit_code) {
+  auto artifact_paths = report::expand_partial_paths(args);
+  if (!artifact_paths.has_value()) {
+    std::fprintf(stderr, "%s\n", artifact_paths.error().to_string().c_str());
+    *exit_code = 2;
+    return std::nullopt;
+  }
+  std::vector<report::PartialArtifact> partials;
+  partials.reserve(artifact_paths->size());
+  for (const std::string& path : *artifact_paths) {
+    auto partial = report::read_partial(path);
+    if (!partial.has_value()) {
+      std::fprintf(stderr, "%s\n", partial.error().to_string().c_str());
+      *exit_code = 1;
+      return std::nullopt;
+    }
+    partials.push_back(std::move(*partial));
+  }
+  auto merged = report::merge_partials(std::move(partials));
+  if (!merged.has_value()) {
+    std::fprintf(stderr, "%s\n", merged.error().to_string().c_str());
+    *exit_code = 2;
+    return std::nullopt;
+  }
+  if (artifact_count != nullptr) *artifact_count = artifact_paths->size();
+  return std::move(*merged);
+}
+
 int cmd_analyze(int argc, char** argv) {
   util::CliParser cli("mosaic analyze", "categorize traces one by one");
   cli.add_option("thresholds", "JSON thresholds config", "");
@@ -401,6 +554,15 @@ int cmd_batch(int argc, char** argv) {
   cli.add_option("threads", "worker threads (0 = hardware)", "0");
   cli.add_option("json", "write the JSON summary to this path", "");
   cli.add_flag("heatmap", "render the Jaccard heatmap");
+  cli.add_option("shard",
+                 "own only shard K of N (format K/N) and write a partial "
+                 "artifact to --partials; reduce with `mosaic merge`", "");
+  cli.add_option("shards",
+                 "out-of-core mode: analyze all N shards sequentially "
+                 "in-process, writing partials, then merge (0 = off)", "0");
+  cli.add_option("partials",
+                 "directory for partial artifacts (results.shard-K.json)",
+                 "");
   add_ingest_cli_options(cli);
   add_obs_cli_options(cli);
   add_log_cli_options(cli);
@@ -422,15 +584,138 @@ int cmd_batch(int argc, char** argv) {
   if (!progress.has_value()) return 2;
   const auto provenance_sample = parse_provenance_sample(cli);
   if (!provenance_sample.has_value()) return 2;
-  ObsSession obs_session(std::string(cli.get("metrics")),
-                         std::string(cli.get("trace-events")), *progress,
-                         std::string(cli.get("provenance")),
+
+  const std::string shard_text{cli.get("shard")};
+  const auto shard_total = cli.get_int("shards");
+  if (!shard_total.has_value() || *shard_total < 0) {
+    std::fprintf(stderr, "--shards must be a non-negative integer\n");
+    return 2;
+  }
+  if (!shard_text.empty() && *shard_total > 0) {
+    std::fprintf(stderr, "--shard and --shards are mutually exclusive\n");
+    return 2;
+  }
+  std::optional<ingest::ShardSpec> shard;
+  if (!shard_text.empty()) {
+    const auto spec = ingest::parse_shard_spec(shard_text);
+    if (!spec.has_value()) {
+      std::fprintf(stderr, "%s\n", spec.error().to_string().c_str());
+      return 2;
+    }
+    shard = *spec;
+  }
+  const std::string partials_dir{cli.get("partials")};
+  if ((shard.has_value() || *shard_total > 0) && partials_dir.empty()) {
+    std::fprintf(stderr, "--shard/--shards require --partials <dir>\n");
+    return 2;
+  }
+  if (shard.has_value() && !cli.get("json").empty()) {
+    std::fprintf(stderr,
+                 "--json applies to the merged result; run `mosaic merge` "
+                 "over the partials instead\n");
+    return 2;
+  }
+
+  // A shard run derives its obs paths from the shard id so N concurrent
+  // shard processes launched from one command line never clobber each
+  // other's metrics/trace/provenance files.
+  std::string metrics_path{cli.get("metrics")};
+  std::string trace_path{cli.get("trace-events")};
+  std::string provenance_dir{cli.get("provenance")};
+  if (shard.has_value()) {
+    if (!metrics_path.empty()) {
+      metrics_path = ingest::shard_suffix_path(metrics_path, shard->index);
+    }
+    if (!trace_path.empty()) {
+      trace_path = ingest::shard_suffix_path(trace_path, shard->index);
+    }
+    if (!provenance_dir.empty()) {
+      provenance_dir = ingest::shard_suffix_path(provenance_dir,
+                                                 shard->index);
+    }
+  }
+  ObsSession obs_session(metrics_path, trace_path, *progress, provenance_dir,
                          *provenance_sample);
+  if (!partials_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(partials_dir, ec);
+    if (ec) {
+      std::fprintf(stderr, "cannot create %s: %s\n", partials_dir.c_str(),
+                   ec.message().c_str());
+      return 1;
+    }
+  }
+  parallel::ThreadPool pool(*thread_count);
+  const core::Thresholds thresholds = load_thresholds(cli);
+
+  if (shard.has_value()) {
+    report::PartialArtifact partial;
+    if (const int rc = run_shard_batch(*shard, *options, paths, thresholds,
+                                       pool, partial);
+        rc != 0) {
+      return rc;
+    }
+    partial.metrics_path = metrics_path;
+    partial.provenance_path = provenance_dir.empty()
+                                  ? std::string()
+                                  : provenance_dir + "/provenance.jsonl";
+    const std::string out_path =
+        partials_dir + "/" + ingest::partial_filename(shard->index);
+    if (const auto status = report::write_partial(partial, out_path);
+        !status.ok()) {
+      std::fprintf(stderr, "%s\n", status.error().to_string().c_str());
+      return 1;
+    }
+    std::printf("partial artifact (%zu application(s)) written to %s\n",
+                partial.traces.size(), out_path.c_str());
+    if (!obs_session.finish()) return 1;
+    return 0;
+  }
+
+  if (*shard_total > 0) {
+    // Out-of-core mode: one shard's traces in memory at a time; every
+    // partial goes through the disk round trip `mosaic merge` uses, so
+    // serialization fidelity is exercised on every run, not just in tests.
+    std::vector<report::PartialArtifact> partials;
+    const auto count = static_cast<std::size_t>(*shard_total);
+    partials.reserve(count);
+    for (std::size_t k = 0; k < count; ++k) {
+      report::PartialArtifact partial;
+      if (const int rc = run_shard_batch(ingest::ShardSpec{k, count},
+                                         *options, paths, thresholds, pool,
+                                         partial);
+          rc != 0) {
+        return rc;
+      }
+      const std::string out_path =
+          partials_dir + "/" + ingest::partial_filename(k);
+      if (const auto status = report::write_partial(partial, out_path);
+          !status.ok()) {
+        std::fprintf(stderr, "%s\n", status.error().to_string().c_str());
+        return 1;
+      }
+      auto reloaded = report::read_partial(out_path);
+      if (!reloaded.has_value()) {
+        std::fprintf(stderr, "%s\n", reloaded.error().to_string().c_str());
+        return 1;
+      }
+      partials.push_back(std::move(*reloaded));
+    }
+    auto merged = report::merge_partials(std::move(partials));
+    if (!merged.has_value()) {
+      std::fprintf(stderr, "%s\n", merged.error().to_string().c_str());
+      return 1;
+    }
+    std::printf("merged %zu shard partial(s) from %s\n\n", count,
+                partials_dir.c_str());
+    if (!print_batch_summary(merged->batch, cli)) return 1;
+    if (!obs_session.finish()) return 1;
+    return 0;
+  }
 
   // Stream the corpus through the pool: bounded in-flight memory, retries
   // for transient I/O errors, every failure classified into the funnel.
   util::Stopwatch watch;
-  parallel::ThreadPool pool(*thread_count);
   auto ingested = ingest::ingest_paths(paths, *options, pool);
   if (!ingested.has_value()) {
     std::fprintf(stderr, "%s\n", ingested.error().to_string().c_str());
@@ -454,50 +739,45 @@ int cmd_batch(int argc, char** argv) {
   }
 
   watch.reset();
-  const core::BatchResult batch = core::analyze_preprocessed(
-      std::move(ingested->pre), load_thresholds(cli), &pool);
+  const core::BatchResult batch =
+      core::analyze_preprocessed(std::move(ingested->pre), thresholds, &pool);
   std::printf("analyzed in %s\n\n",
               util::format_duration(watch.elapsed_seconds()).c_str());
 
-  const auto& stats = batch.preprocess;
-  std::printf("funnel: %zu input, %zu load-failed, %zu corrupted, "
-              "%zu applications retained\n",
-              stats.input_traces, stats.load_failed, stats.corrupted,
-              stats.retained);
-  print_eviction_table(stats);
-  std::printf("\n");
-
-  const report::CategoryDistribution distribution =
-      report::aggregate_categories(batch);
-  report::TextTable table({"category", "applications", "executions"});
-  for (const core::Category category : core::all_categories()) {
-    if (distribution.single[static_cast<std::size_t>(category)] == 0) continue;
-    table.add_row(
-        {std::string(core::category_name(category)),
-         util::format_percent(distribution.single_fraction(category)),
-         util::format_percent(distribution.weighted_fraction(category))});
-  }
-  std::fputs(table.render().c_str(), stdout);
-
-  if (cli.get_flag("heatmap")) {
-    std::printf("\nJaccard heatmap (>= 1%%):\n");
-    std::fputs(
-        report::render_heatmap(report::jaccard_matrix(batch.results), 0.01)
-            .c_str(),
-        stdout);
-  }
-
-  if (const auto json_path = cli.get("json"); !json_path.empty()) {
-    if (const auto status =
-            report::write_batch_json(batch, std::string(json_path));
-        !status.ok()) {
-      std::fprintf(stderr, "%s\n", status.error().to_string().c_str());
-      return 1;
-    }
-    std::printf("\nJSON summary written to %s\n",
-                std::string(json_path).c_str());
-  }
+  if (!print_batch_summary(batch, cli)) return 1;
   if (!obs_session.finish()) return 1;
+  return 0;
+}
+
+int cmd_merge(int argc, char** argv) {
+  util::CliParser cli("mosaic merge",
+                      "reduce shard partial artifacts into the single-shot "
+                      "batch summary");
+  cli.add_option("json", "write the JSON summary to this path", "");
+  cli.add_flag("heatmap", "render the Jaccard heatmap");
+  add_log_cli_options(cli);
+  if (const auto status = cli.parse(argc, argv); !status.ok()) {
+    return status.error().code == util::ErrorCode::kNotFound ? 0 : 2;
+  }
+  if (!apply_log_cli_options(cli)) return 2;
+  if (cli.positional().empty()) {
+    std::fprintf(stderr,
+                 "mosaic merge: no partial artifacts (pass files or the "
+                 "--partials directory of a sharded batch)\n");
+    return 2;
+  }
+  std::size_t artifact_count = 0;
+  int exit_code = 0;
+  auto merged = load_and_merge_partials(cli.positional(), &artifact_count,
+                                        &exit_code);
+  if (!merged.has_value()) return exit_code;
+  const ingest::IngestStats& io = merged->ingest;
+  std::printf("merged %zu partial(s): %zu files scanned, %zu loaded, %zu "
+              "evicted before validity (%zu recovered, %zu quarantined, %zu "
+              "replayed from journal)\n\n",
+              artifact_count, io.files_scanned, io.loaded, io.failed,
+              io.recovered, io.quarantined, io.journal_replayed);
+  if (!print_batch_summary(merged->batch, cli)) return 1;
   return 0;
 }
 
@@ -517,6 +797,10 @@ int cmd_report(int argc, char** argv) {
                  "");
   cli.add_option("straddling", "straddling cases to rank in the drill-down",
                  "20");
+  cli.add_flag("from-partials",
+               "treat the positional arguments as shard partial artifacts "
+               "(files or directories of results.shard-*.json) and reduce "
+               "them instead of ingesting traces");
   add_ingest_cli_options(cli);
   add_obs_cli_options(cli);
   add_log_cli_options(cli);
@@ -524,10 +808,19 @@ int cmd_report(int argc, char** argv) {
     return status.error().code == util::ErrorCode::kNotFound ? 0 : 2;
   }
   if (!apply_log_cli_options(cli)) return 2;
-  const auto paths = expand_paths(cli.positional());
-  if (paths.empty()) {
-    std::fprintf(stderr, "mosaic report: no input traces\n");
-    return 2;
+  const bool from_partials = cli.get_flag("from-partials");
+  std::vector<std::string> paths;
+  if (from_partials) {
+    if (cli.positional().empty()) {
+      std::fprintf(stderr, "mosaic report: no partial artifacts\n");
+      return 2;
+    }
+  } else {
+    paths = expand_paths(cli.positional());
+    if (paths.empty()) {
+      std::fprintf(stderr, "mosaic report: no input traces\n");
+      return 2;
+    }
   }
   const auto thread_count = parse_thread_count(cli);
   if (!thread_count.has_value()) return 2;
@@ -554,26 +847,53 @@ int cmd_report(int argc, char** argv) {
                          std::string(cli.get("provenance")),
                          *provenance_sample);
   // The drill-down is computed from journal records, not by re-analyzing, so
-  // --confusion needs the journal armed even without a --provenance dir.
+  // --confusion needs the journal armed even without a --provenance dir. A
+  // partials reduce never analyzes, so it reads the shard runs' recorded
+  // provenance files instead.
   obs::ProvenanceJournal& journal = obs::ProvenanceJournal::global();
-  const bool confusion_armed_journal = confusion && !journal.enabled();
+  const bool confusion_armed_journal =
+      confusion && !from_partials && !journal.enabled();
   if (confusion_armed_journal) journal.enable(*provenance_sample);
 
   parallel::ThreadPool pool(*thread_count);
-  auto ingested = ingest::ingest_paths(paths, *options, pool);
-  if (!ingested.has_value()) {
-    std::fprintf(stderr, "%s\n", ingested.error().to_string().c_str());
-    return 2;
+  core::BatchResult batch;
+  std::size_t loaded = 0;
+  std::vector<obs::TraceProvenance> partial_records;
+  if (from_partials) {
+    int exit_code = 0;
+    auto merged =
+        load_and_merge_partials(cli.positional(), nullptr, &exit_code);
+    if (!merged.has_value()) return exit_code;
+    batch = std::move(merged->batch);
+    loaded = merged->ingest.loaded;
+    if (confusion) {
+      for (const std::string& path : merged->provenance_paths) {
+        auto records = obs::read_provenance_jsonl(path);
+        if (!records.has_value()) {
+          std::fprintf(stderr, "%s\n", records.error().to_string().c_str());
+          return 1;
+        }
+        for (obs::TraceProvenance& record : *records) {
+          partial_records.push_back(std::move(record));
+        }
+      }
+    }
+  } else {
+    auto ingested = ingest::ingest_paths(paths, *options, pool);
+    if (!ingested.has_value()) {
+      std::fprintf(stderr, "%s\n", ingested.error().to_string().c_str());
+      return 2;
+    }
+    if (ingested->stats.aborted) {
+      std::fprintf(stderr, "mosaic report: aborted after %zu files "
+                           "(simulated crash)\n",
+                   options->abort_after_files);
+      return 3;
+    }
+    loaded = ingested->stats.loaded;
+    batch = core::analyze_preprocessed(std::move(ingested->pre),
+                                       load_thresholds(cli), &pool);
   }
-  if (ingested->stats.aborted) {
-    std::fprintf(stderr, "mosaic report: aborted after %zu files "
-                         "(simulated crash)\n",
-                 options->abort_after_files);
-    return 3;
-  }
-  const std::size_t loaded = ingested->stats.loaded;
-  const core::BatchResult batch = core::analyze_preprocessed(
-      std::move(ingested->pre), load_thresholds(cli), &pool);
   const report::CategoryDistribution distribution =
       report::aggregate_categories(batch);
 
@@ -661,9 +981,10 @@ int cmd_report(int argc, char** argv) {
       std::fprintf(stderr, "%s\n", truths.error().to_string().c_str());
       return 1;
     }
+    const std::vector<obs::TraceProvenance> records =
+        from_partials ? std::move(partial_records) : journal.collect();
     const report::ConfusionReport drill = report::build_confusion(
-        journal.collect(), *truths,
-        static_cast<std::size_t>(*straddling_cap));
+        records, *truths, static_cast<std::size_t>(*straddling_cap));
     if (confusion_armed_journal) {
       journal.disable();
       journal.reset();
@@ -882,6 +1203,7 @@ int main(int argc, char** argv) {
   if (command == "explain") return cmd_explain(argc - 1, argv + 1);
   if (command == "report") return cmd_report(argc - 1, argv + 1);
   if (command == "batch") return cmd_batch(argc - 1, argv + 1);
+  if (command == "merge") return cmd_merge(argc - 1, argv + 1);
   if (command == "generate") return cmd_generate(argc - 1, argv + 1);
   if (command == "thresholds") return cmd_thresholds(argc - 1, argv + 1);
   std::fprintf(stderr, "mosaic: unknown command '%s'\n\n", command.c_str());
