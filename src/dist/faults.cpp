@@ -1,0 +1,116 @@
+#include "dist/faults.hpp"
+
+#include <limits>
+#include <string>
+
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+
+namespace mosaic::dist {
+
+using util::Error;
+using util::ErrorCode;
+using util::Expected;
+
+namespace {
+
+/// Uniform [0, 1) draw for (seed, shard, salt) — one splitmix64 stream per
+/// decision, mirroring FaultyFileReader's per-(seed, path) streams.
+double unit_draw(std::uint64_t seed, std::uint64_t shard,
+                 std::uint64_t salt) noexcept {
+  std::uint64_t stream = seed ^ util::mix64(shard + 0x9E3779B97F4A7C15ull) ^
+                         util::mix64(salt);
+  return static_cast<double>(util::splitmix64(stream) >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+Expected<NetFaultSpec> NetFaultSpec::parse(std::string_view text) {
+  NetFaultSpec spec;
+  for (const std::string_view field : util::split(text, ',')) {
+    const std::string_view trimmed = util::trim(field);
+    if (trimmed.empty()) continue;
+    const auto eq = trimmed.find('=');
+    if (eq == std::string_view::npos) {
+      return Error{ErrorCode::kInvalidArgument,
+                   "net fault spec field '" + std::string(trimmed) +
+                       "' is not key=value"};
+    }
+    const std::string_view key = util::trim(trimmed.substr(0, eq));
+    const std::string_view value = util::trim(trimmed.substr(eq + 1));
+    if (key == "seed" || key == "kill_after") {
+      const auto number = util::parse_uint(value);
+      if (!number.has_value()) {
+        return Error{ErrorCode::kInvalidArgument,
+                     "net fault spec " + std::string(key) + " '" +
+                         std::string(value) +
+                         "' is not an unsigned integer"};
+      }
+      if (key == "seed") {
+        spec.seed = *number;
+      } else {
+        spec.kill_after_tasks = static_cast<std::size_t>(*number);
+      }
+      continue;
+    }
+    if (key == "corrupt_failures") {
+      const auto failures = util::parse_int(value);
+      if (!failures.has_value() || *failures < 0 ||
+          *failures > std::numeric_limits<int>::max()) {
+        return Error{ErrorCode::kInvalidArgument,
+                     "net fault spec corrupt_failures '" +
+                         std::string(value) +
+                         "' is not a non-negative integer"};
+      }
+      spec.corrupt_failures = static_cast<int>(*failures);
+      continue;
+    }
+    const auto number = util::parse_double(value);
+    if (!number.has_value()) {
+      return Error{ErrorCode::kInvalidArgument,
+                   "net fault spec value '" + std::string(value) +
+                       "' is not numeric"};
+    }
+    if (key == "close") {
+      spec.close_probability = *number;
+    } else if (key == "corrupt") {
+      spec.corrupt_probability = *number;
+    } else if (key == "stall") {
+      spec.stall_probability = *number;
+    } else if (key == "stall_ms") {
+      spec.stall_ms = *number;
+    } else {
+      return Error{ErrorCode::kInvalidArgument,
+                   "unknown net fault spec key '" + std::string(key) + "'"};
+    }
+  }
+  const auto probability_ok = [](double p) { return p >= 0.0 && p <= 1.0; };
+  if (!probability_ok(spec.close_probability) ||
+      !probability_ok(spec.corrupt_probability) ||
+      !probability_ok(spec.stall_probability) || spec.stall_ms < 0.0) {
+    return Error{ErrorCode::kInvalidArgument,
+                 "net fault spec probabilities must be in [0, 1] and "
+                 "stall_ms non-negative"};
+  }
+  return spec;
+}
+
+bool NetFaultSpec::should_close(std::size_t shard,
+                                std::size_t attempt) const noexcept {
+  return unit_draw(seed ^ 0x11ull, shard, attempt) < close_probability;
+}
+
+bool NetFaultSpec::should_corrupt(std::size_t shard,
+                                  std::size_t attempt) const noexcept {
+  // Mirrors transient EIO: the *task* is selected independent of the
+  // attempt, then only the first `corrupt_failures` attempts misbehave.
+  if (attempt >= static_cast<std::size_t>(corrupt_failures)) return false;
+  return unit_draw(seed ^ 0x22ull, shard, 0) < corrupt_probability;
+}
+
+bool NetFaultSpec::should_stall(std::size_t shard,
+                                std::size_t attempt) const noexcept {
+  return unit_draw(seed ^ 0x33ull, shard, attempt) < stall_probability;
+}
+
+}  // namespace mosaic::dist

@@ -1,0 +1,54 @@
+// Deterministic network fault injection for the dispatch/worker pair,
+// mirroring ingest::FaultSpec (reader.hpp): probabilities select *tasks* by
+// a stable hash of (seed, shard, attempt), so the same spec misbehaves the
+// same way on every run — which is what lets the CLI test kill a worker
+// mid-run and still assert byte-identical merged output.
+//
+// Faults are applied on the worker side, where they model the real failure
+// modes the manager must survive:
+//   close      the worker drops the connection instead of replying
+//              (worker death / network partition mid-task),
+//   corrupt    the partial frame arrives with a flipped byte (checksum
+//              mismatch -> retryable re-request); heals after
+//              `corrupt_failures` attempts like transient EIO,
+//   stall      the worker goes silent (no heartbeat, no reply) for
+//              `stall_ms` before answering (hang detection / deadline),
+//   kill_after the worker process exits for good after serving N tasks
+//              (permanent death; forces reassignment to survivors).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+#include "util/error.hpp"
+
+namespace mosaic::dist {
+
+struct NetFaultSpec {
+  std::uint64_t seed = 0;
+  double close_probability = 0.0;
+  double corrupt_probability = 0.0;
+  int corrupt_failures = 1;  ///< corrupted attempts before a clean send
+  double stall_probability = 0.0;
+  double stall_ms = 0.0;
+  /// Worker exits after completing this many tasks (0 = never).
+  std::size_t kill_after_tasks = 0;
+
+  /// Parses "seed=7,close=0.5,corrupt=0.2,corrupt_failures=1,stall=0.1,
+  /// stall_ms=50,kill_after=2" (any subset, any order).
+  [[nodiscard]] static util::Expected<NetFaultSpec> parse(
+      std::string_view text);
+
+  /// Decision functions, keyed on (seed, shard, attempt). `attempt` is the
+  /// manager's global attempt counter for the shard (shipped in the task),
+  /// so a "transient" fault heals deterministically on the retry.
+  [[nodiscard]] bool should_close(std::size_t shard,
+                                  std::size_t attempt) const noexcept;
+  [[nodiscard]] bool should_corrupt(std::size_t shard,
+                                    std::size_t attempt) const noexcept;
+  [[nodiscard]] bool should_stall(std::size_t shard,
+                                  std::size_t attempt) const noexcept;
+};
+
+}  // namespace mosaic::dist

@@ -1,0 +1,138 @@
+#include "dist/journal.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <optional>
+
+#include "json/json.hpp"
+#include "util/strings.hpp"
+
+namespace mosaic::dist {
+
+using util::Error;
+using util::ErrorCode;
+using util::Expected;
+using util::Status;
+
+namespace {
+
+std::string entry_to_line(const DispatchJournalEntry& entry) {
+  json::Object out;
+  out.set("shard", entry.shard);
+  out.set("count", entry.shard_count);
+  out.set("status", entry.status);
+  out.set("worker", entry.worker);
+  out.set("attempts", entry.attempts);
+  if (!entry.partial_path.empty()) out.set("partial", entry.partial_path);
+  if (!entry.error.empty()) out.set("error", entry.error);
+  std::string line = json::serialize(json::Value(std::move(out)),
+                                     /*pretty=*/false);
+  line += '\n';
+  return line;
+}
+
+/// Parses one journal line; nullopt for anything malformed or incomplete
+/// (most commonly the torn final line of a killed manager).
+std::optional<DispatchJournalEntry> entry_from_line(std::string_view line) {
+  const auto parsed = json::parse(line);
+  if (!parsed.has_value() || !parsed->is_object()) return std::nullopt;
+  const json::Object& obj = parsed->as_object();
+
+  const auto get_string = [&obj](std::string_view key)
+      -> std::optional<std::string> {
+    const json::Value* value = obj.find(key);
+    if (value == nullptr || !value->is_string()) return std::nullopt;
+    return value->as_string();
+  };
+  const auto get_count = [&obj](std::string_view key)
+      -> std::optional<std::size_t> {
+    const json::Value* value = obj.find(key);
+    if (value == nullptr || !value->is_number()) return std::nullopt;
+    const double number = value->as_number();
+    if (number < 0.0) return std::nullopt;
+    return static_cast<std::size_t>(number);
+  };
+
+  DispatchJournalEntry entry;
+  const auto shard = get_count("shard");
+  const auto count = get_count("count");
+  const auto status = get_string("status");
+  const auto worker = get_string("worker");
+  const auto attempts = get_count("attempts");
+  if (!shard || !count || !status || !worker || !attempts) return std::nullopt;
+  if (*status != "done" && *status != "quarantined") return std::nullopt;
+  if (*count == 0 || *shard >= *count) return std::nullopt;
+  entry.shard = *shard;
+  entry.shard_count = *count;
+  entry.status = *status;
+  entry.worker = *worker;
+  entry.attempts = *attempts;
+  if (const auto partial = get_string("partial")) {
+    entry.partial_path = *partial;
+  }
+  if (const auto error = get_string("error")) entry.error = *error;
+  if (entry.status == "done" && entry.partial_path.empty()) {
+    return std::nullopt;  // a done entry without its artifact is useless
+  }
+  return entry;
+}
+
+}  // namespace
+
+DispatchJournalWriter::~DispatchJournalWriter() { close(); }
+
+Status DispatchJournalWriter::open(const std::string& path) {
+  close();
+  file_ = std::fopen(path.c_str(), "ab");
+  if (file_ == nullptr) {
+    return Error{ErrorCode::kIoError, "cannot open dispatch journal " + path};
+  }
+  return Status::success();
+}
+
+Status DispatchJournalWriter::append(const DispatchJournalEntry& entry) {
+  if (file_ == nullptr) return Status::success();  // journaling disabled
+  const std::string line = entry_to_line(entry);
+  if (std::fwrite(line.data(), 1, line.size(), file_) != line.size() ||
+      std::fflush(file_) != 0) {
+    return Error{ErrorCode::kIoError, "dispatch journal append failed"};
+  }
+  return Status::success();
+}
+
+void DispatchJournalWriter::close() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+}
+
+Expected<std::map<std::size_t, DispatchJournalEntry>> load_dispatch_journal(
+    const std::string& path, std::size_t* dropped_lines) {
+  std::map<std::size_t, DispatchJournalEntry> entries;
+  if (dropped_lines != nullptr) *dropped_lines = 0;
+
+  std::error_code ec;
+  if (!std::filesystem::exists(path, ec)) return entries;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Error{ErrorCode::kIoError, "cannot open dispatch journal " + path};
+  }
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (util::trim(line).empty()) continue;
+    if (auto entry = entry_from_line(line)) {
+      entries[entry->shard] = std::move(*entry);
+    } else if (dropped_lines != nullptr) {
+      ++*dropped_lines;
+    }
+  }
+  if (in.bad()) {
+    return Error{ErrorCode::kIoError,
+                 "read failure on dispatch journal " + path};
+  }
+  return entries;
+}
+
+}  // namespace mosaic::dist

@@ -1,0 +1,269 @@
+#include "dist/protocol.hpp"
+
+#include <cstring>
+
+#include "core/config.hpp"
+#include "darshan/binary_format.hpp"
+#include "json/json.hpp"
+
+namespace mosaic::dist {
+
+using json::Array;
+using json::Object;
+using json::Value;
+using util::Error;
+using util::ErrorCode;
+using util::Expected;
+using util::Status;
+
+namespace {
+
+constexpr std::size_t kHeaderBytes = 4 + 1 + 1 + 2 + 4 + 8;
+
+void store_u32(unsigned char* out, std::uint32_t value) noexcept {
+  out[0] = static_cast<unsigned char>(value & 0xFF);
+  out[1] = static_cast<unsigned char>((value >> 8) & 0xFF);
+  out[2] = static_cast<unsigned char>((value >> 16) & 0xFF);
+  out[3] = static_cast<unsigned char>((value >> 24) & 0xFF);
+}
+
+void store_u64(unsigned char* out, std::uint64_t value) noexcept {
+  for (int i = 0; i < 8; ++i) {
+    out[i] = static_cast<unsigned char>((value >> (8 * i)) & 0xFF);
+  }
+}
+
+std::uint32_t load_u32(const unsigned char* in) noexcept {
+  return static_cast<std::uint32_t>(in[0]) |
+         (static_cast<std::uint32_t>(in[1]) << 8) |
+         (static_cast<std::uint32_t>(in[2]) << 16) |
+         (static_cast<std::uint32_t>(in[3]) << 24);
+}
+
+std::uint64_t load_u64(const unsigned char* in) noexcept {
+  std::uint64_t value = 0;
+  for (int i = 0; i < 8; ++i) {
+    value |= static_cast<std::uint64_t>(in[i]) << (8 * i);
+  }
+  return value;
+}
+
+std::uint64_t payload_checksum(std::string_view payload) noexcept {
+  return darshan::fnv1a(payload);
+}
+
+Error proto_error(std::string what) {
+  return Error{ErrorCode::kParseError, "protocol: " + std::move(what)};
+}
+
+}  // namespace
+
+bool frame_type_valid(std::uint8_t value) noexcept {
+  return value >= static_cast<std::uint8_t>(FrameType::kHello) &&
+         value <= static_cast<std::uint8_t>(FrameType::kShutdown);
+}
+
+Status write_frame(Connection& conn, FrameType type, std::string_view payload,
+                   bool corrupt_payload_byte) {
+  if (payload.size() > kMaxPayloadBytes) {
+    return proto_error("payload of " + std::to_string(payload.size()) +
+                       " bytes exceeds the frame cap");
+  }
+  unsigned char header[kHeaderBytes];
+  store_u32(header, kProtocolMagic);
+  header[4] = kProtocolVersion;
+  header[5] = static_cast<std::uint8_t>(type);
+  header[6] = 0;
+  header[7] = 0;
+  store_u32(header + 8, static_cast<std::uint32_t>(payload.size()));
+  store_u64(header + 12, payload_checksum(payload));
+  if (const auto status = conn.send_all(header, sizeof header); !status.ok()) {
+    return status;
+  }
+  if (payload.empty()) return Status::success();
+  if (!corrupt_payload_byte) {
+    return conn.send_all(payload.data(), payload.size());
+  }
+  // Fault-injection seam: checksum above covered the true payload; flipping
+  // one byte now guarantees the receiver detects the corruption.
+  std::string corrupted(payload);
+  corrupted[corrupted.size() / 2] =
+      static_cast<char>(corrupted[corrupted.size() / 2] ^ 0x20);
+  return conn.send_all(corrupted.data(), corrupted.size());
+}
+
+Expected<Frame> read_frame(Connection& conn, double timeout_seconds) {
+  unsigned char header[kHeaderBytes];
+  if (const auto status = conn.recv_exact(header, sizeof header,
+                                          timeout_seconds);
+      !status.ok()) {
+    return status.error();
+  }
+  if (load_u32(header) != kProtocolMagic) {
+    return proto_error("bad magic (not a mosaic dispatch stream)");
+  }
+  if (header[4] != kProtocolVersion) {
+    return proto_error("unsupported protocol version " +
+                       std::to_string(header[4]));
+  }
+  if (!frame_type_valid(header[5])) {
+    return proto_error("unknown frame type " + std::to_string(header[5]));
+  }
+  const std::uint32_t length = load_u32(header + 8);
+  if (length > kMaxPayloadBytes) {
+    return proto_error("frame advertises " + std::to_string(length) +
+                       " payload bytes (cap " +
+                       std::to_string(kMaxPayloadBytes) + ")");
+  }
+  Frame frame;
+  frame.type = static_cast<FrameType>(header[5]);
+  frame.payload.resize(length);
+  if (length > 0) {
+    if (const auto status =
+            conn.recv_exact(frame.payload.data(), length, timeout_seconds);
+        !status.ok()) {
+      return status.error();
+    }
+  }
+  // Checksum last: the payload has been consumed either way, so a mismatch
+  // leaves the stream framed and the caller free to re-request.
+  if (payload_checksum(frame.payload) != load_u64(header + 12)) {
+    return proto_error("payload checksum mismatch (corrupt frame)");
+  }
+  return frame;
+}
+
+std::string task_request_to_payload(const TaskRequest& task) {
+  Object out;
+  Object shard;
+  shard.set("index", task.shard.index);
+  shard.set("count", task.shard.count);
+  out.set("shard", std::move(shard));
+  out.set("attempt", task.attempt);
+  Array paths;
+  paths.reserve(task.paths.size());
+  for (const std::string& path : task.paths) paths.push_back(path);
+  out.set("paths", std::move(paths));
+  out.set("max_retries", task.max_retries);
+  out.set("file_deadline_seconds", task.file_deadline_seconds);
+  out.set("thresholds", core::thresholds_to_json(task.thresholds));
+  return json::serialize(Value(std::move(out)));
+}
+
+Expected<TaskRequest> task_request_from_payload(std::string_view payload) {
+  auto parsed = json::parse(payload);
+  if (!parsed.has_value()) {
+    return proto_error("task payload: " + parsed.error().message);
+  }
+  if (!parsed->is_object()) return proto_error("task payload: not an object");
+  const Object& obj = parsed->as_object();
+
+  TaskRequest task;
+  const Value* shard = obj.find("shard");
+  if (shard == nullptr || !shard->is_object()) {
+    return proto_error("task payload: missing object 'shard'");
+  }
+  const Value* index = shard->as_object().find("index");
+  const Value* count = shard->as_object().find("count");
+  if (index == nullptr || !index->is_number() || count == nullptr ||
+      !count->is_number()) {
+    return proto_error("task payload: shard index/count not numeric");
+  }
+  task.shard.index = static_cast<std::size_t>(index->as_number());
+  task.shard.count = static_cast<std::size_t>(count->as_number());
+  if (task.shard.count == 0 || task.shard.index >= task.shard.count) {
+    return proto_error("task payload: shard index out of range");
+  }
+  const Value* attempt = obj.find("attempt");
+  if (attempt == nullptr || !attempt->is_number()) {
+    return proto_error("task payload: missing number 'attempt'");
+  }
+  task.attempt = static_cast<std::size_t>(attempt->as_number());
+  const Value* paths = obj.find("paths");
+  if (paths == nullptr || !paths->is_array()) {
+    return proto_error("task payload: missing array 'paths'");
+  }
+  task.paths.reserve(paths->as_array().size());
+  for (const Value& member : paths->as_array()) {
+    if (!member.is_string()) {
+      return proto_error("task payload: non-string path");
+    }
+    task.paths.push_back(member.as_string());
+  }
+  const Value* retries = obj.find("max_retries");
+  if (retries == nullptr || !retries->is_number()) {
+    return proto_error("task payload: missing number 'max_retries'");
+  }
+  task.max_retries = static_cast<int>(retries->as_number());
+  const Value* deadline = obj.find("file_deadline_seconds");
+  if (deadline == nullptr || !deadline->is_number()) {
+    return proto_error("task payload: missing number 'file_deadline_seconds'");
+  }
+  task.file_deadline_seconds = deadline->as_number();
+  const Value* thresholds = obj.find("thresholds");
+  if (thresholds == nullptr) {
+    return proto_error("task payload: missing 'thresholds'");
+  }
+  auto parsed_thresholds = core::thresholds_from_json(*thresholds);
+  if (!parsed_thresholds.has_value()) {
+    return proto_error("task payload thresholds: " +
+                       parsed_thresholds.error().message);
+  }
+  task.thresholds = *parsed_thresholds;
+  return task;
+}
+
+std::string task_error_to_payload(const Error& error) {
+  Object out;
+  out.set("code", std::string(util::error_code_name(error.code)));
+  out.set("message", error.message);
+  return json::serialize(Value(std::move(out)));
+}
+
+Error task_error_from_payload(std::string_view payload) {
+  auto parsed = json::parse(payload);
+  if (!parsed.has_value() || !parsed->is_object()) {
+    return Error{ErrorCode::kParseError,
+                 "task-error payload is not a JSON object"};
+  }
+  const Object& obj = parsed->as_object();
+  const Value* code = obj.find("code");
+  const Value* message = obj.find("message");
+  if (code == nullptr || !code->is_string() || message == nullptr ||
+      !message->is_string()) {
+    return Error{ErrorCode::kParseError,
+                 "task-error payload missing code/message"};
+  }
+  Error error;
+  error.code = ErrorCode::kInternal;
+  for (std::size_t i = 0; i < util::kErrorCodeCount; ++i) {
+    const auto candidate = static_cast<ErrorCode>(i);
+    if (util::error_code_name(candidate) == code->as_string()) {
+      error.code = candidate;
+      break;
+    }
+  }
+  error.message = message->as_string();
+  return error;
+}
+
+std::string hello_payload() {
+  Object out;
+  out.set("protocol", std::string("mosaic-dispatch-v1"));
+  return json::serialize(Value(std::move(out)));
+}
+
+Status check_hello_payload(std::string_view payload) {
+  auto parsed = json::parse(payload);
+  if (!parsed.has_value() || !parsed->is_object()) {
+    return proto_error("hello payload is not a JSON object");
+  }
+  const Value* protocol = parsed->as_object().find("protocol");
+  if (protocol == nullptr || !protocol->is_string() ||
+      protocol->as_string() != "mosaic-dispatch-v1") {
+    return proto_error("peer speaks a different protocol");
+  }
+  return Status::success();
+}
+
+}  // namespace mosaic::dist

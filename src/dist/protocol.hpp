@@ -1,0 +1,107 @@
+// Wire protocol of the dispatch/worker pair: length-prefixed, checksummed
+// frames carrying JSON payloads.
+//
+// Layout of one frame (all integers little-endian):
+//   u32  magic     0x4D445031 ("MDP1")
+//   u8   version   kProtocolVersion
+//   u8   type      FrameType
+//   u16  reserved  0
+//   u32  payload length (bounded by kMaxPayloadBytes)
+//   u64  FNV-1a of the payload bytes
+//   ...  payload
+//
+// The checksum is what turns "a bit flipped somewhere on the wire" into a
+// *detected, retryable* failure: read_frame consumes the advertised payload
+// even when the checksum mismatches, so the stream stays framed and the
+// manager can simply re-request the task instead of tearing the connection
+// down. A truncated frame (peer died mid-send) surfaces as kIoError; a
+// silent peer as kTimeout. The three codes are exactly the retry taxonomy
+// the dispatch lifecycle classifies on.
+//
+// Payloads are JSON (the partial artifact is already the canonical shard
+// wire format, and task descriptions are small), so every message is
+// inspectable with a pcap and a pretty-printer.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/thresholds.hpp"
+#include "dist/net.hpp"
+#include "ingest/shard.hpp"
+#include "util/error.hpp"
+
+namespace mosaic::dist {
+
+inline constexpr std::uint32_t kProtocolMagic = 0x4D445031;  // "MDP1"
+inline constexpr std::uint8_t kProtocolVersion = 1;
+
+/// Hard cap on a frame payload; a corrupted length field must not make the
+/// receiver try to allocate terabytes.
+inline constexpr std::uint32_t kMaxPayloadBytes = 256u * 1024u * 1024u;
+
+enum class FrameType : std::uint8_t {
+  kHello = 1,      ///< both directions: version handshake
+  kTask = 2,       ///< manager -> worker: run this shard task
+  kHeartbeat = 3,  ///< worker -> manager: still alive, task in progress
+  kPartial = 4,    ///< worker -> manager: the finished partial artifact
+  kTaskError = 5,  ///< worker -> manager: task failed (code + message)
+  kShutdown = 6,   ///< manager -> worker: session over, stop serving it
+};
+
+/// True for values that decode to a known FrameType.
+[[nodiscard]] bool frame_type_valid(std::uint8_t value) noexcept;
+
+struct Frame {
+  FrameType type = FrameType::kHello;
+  std::string payload;
+};
+
+/// Sends one frame. `corrupt_payload_byte` is the fault-injection seam: the
+/// checksum is computed over the true payload and one byte is flipped
+/// afterwards, so the receiver sees a checksum mismatch (never used outside
+/// tests/fault specs).
+[[nodiscard]] util::Status write_frame(Connection& conn, FrameType type,
+                                       std::string_view payload,
+                                       bool corrupt_payload_byte = false);
+
+/// Receives one frame. Error codes:
+///   kTimeout    peer silent past `timeout_seconds`
+///   kIoError    connection closed / reset (possibly mid-frame)
+///   kParseError bad magic, unknown type/version, oversized length, or
+///               checksum mismatch (stream stays framed; retryable)
+[[nodiscard]] util::Expected<Frame> read_frame(Connection& conn,
+                                               double timeout_seconds);
+
+/// One shard task as shipped to a worker. The manager pre-filters the path
+/// list to the files the shard owns (the worker's ingest re-applies the
+/// ShardSpec filter, which is a no-op on an owned list), so wire size scales
+/// with the shard, not the corpus.
+struct TaskRequest {
+  ingest::ShardSpec shard;
+  /// Global attempt number for this shard (0-based). Deterministic fault
+  /// injection keys on it so transient faults heal across retries.
+  std::size_t attempt = 0;
+  std::vector<std::string> paths;
+  int max_retries = 3;                  ///< per-file ingest retries
+  double file_deadline_seconds = 30.0;  ///< per-file ingest budget
+  core::Thresholds thresholds;
+};
+
+[[nodiscard]] std::string task_request_to_payload(const TaskRequest& task);
+[[nodiscard]] util::Expected<TaskRequest> task_request_from_payload(
+    std::string_view payload);
+
+/// Worker-side task failure, round-tripped through the kTaskError payload.
+/// Decoding never fails: an undecodable payload decodes to a kParseError
+/// describing the payload itself.
+[[nodiscard]] std::string task_error_to_payload(const util::Error& error);
+[[nodiscard]] util::Error task_error_from_payload(std::string_view payload);
+
+/// Hello payload ("{\"protocol\":\"mosaic-dispatch-v1\"}") and its check.
+[[nodiscard]] std::string hello_payload();
+[[nodiscard]] util::Status check_hello_payload(std::string_view payload);
+
+}  // namespace mosaic::dist

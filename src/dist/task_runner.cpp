@@ -1,0 +1,55 @@
+#include "dist/task_runner.hpp"
+
+#include <utility>
+#include <vector>
+
+#include "core/pipeline.hpp"
+#include "ingest/ingest.hpp"
+
+namespace mosaic::dist {
+
+using util::Expected;
+
+Expected<report::PartialArtifact> run_shard_task(const TaskRequest& task,
+                                                 parallel::ThreadPool& pool) {
+  ingest::IngestOptions options;
+  options.shard = task.shard;
+  options.max_retries = task.max_retries;
+  options.file_deadline_seconds = task.file_deadline_seconds;
+
+  auto ingested = ingest::ingest_paths(task.paths, options, pool);
+  if (!ingested.has_value()) return std::move(ingested).error();
+
+  // Snapshot the dedup digests before analysis consumes the traces: the
+  // merge needs (total bytes, source path) to replay cross-shard dedup.
+  std::vector<std::uint64_t> retained_bytes;
+  retained_bytes.reserve(ingested->pre.retained.size());
+  for (const trace::Trace& t : ingested->pre.retained) {
+    retained_bytes.push_back(t.total_bytes());
+  }
+  std::vector<std::string> retained_paths =
+      std::move(ingested->pre.retained_paths);
+  const ingest::IngestStats io = ingested->stats;
+
+  core::BatchResult batch = core::analyze_preprocessed(
+      std::move(ingested->pre), task.thresholds, &pool);
+  MOSAIC_ASSERT(batch.results.size() == retained_paths.size());
+
+  report::PartialArtifact out;
+  out.shard_index = task.shard.index;
+  out.shard_count = task.shard.count;
+  out.ingest = io;
+  out.stats = batch.preprocess;
+  out.runs_per_app = std::move(batch.runs_per_app);
+  out.traces.reserve(batch.results.size());
+  for (std::size_t i = 0; i < batch.results.size(); ++i) {
+    report::ShardTraceResult entry;
+    entry.result = std::move(batch.results[i]);
+    entry.source_path = std::move(retained_paths[i]);
+    entry.total_bytes = retained_bytes[i];
+    out.traces.push_back(std::move(entry));
+  }
+  return out;
+}
+
+}  // namespace mosaic::dist

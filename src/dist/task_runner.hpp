@@ -1,0 +1,28 @@
+// Runs one shard task in-process: the library form of the `mosaic batch
+// --shard K/N` driver, shared by the worker loop and the manager's
+// degradation path (when every worker is lost the manager calls this
+// directly so the run still completes).
+//
+// The output is the same `mosaic-partial-v1` artifact a sharded batch run
+// writes, which is what keeps the distributed path inside the PR-5 golden
+// guarantee: merging the partials — however many processes produced them,
+// in whatever order, after however many retries — is byte-identical to the
+// single-shot run.
+#pragma once
+
+#include "dist/protocol.hpp"
+#include "parallel/thread_pool.hpp"
+#include "report/partial.hpp"
+#include "util/error.hpp"
+
+namespace mosaic::dist {
+
+/// Ingests and analyzes the shard slice described by `task` and assembles
+/// its partial artifact. Per-file failures are folded into the funnel (data,
+/// not errors); only setup-level failures return an Error. The artifact's
+/// obs paths stay empty — a streamed partial has no local journal/metrics
+/// sidecars.
+[[nodiscard]] util::Expected<report::PartialArtifact> run_shard_task(
+    const TaskRequest& task, parallel::ThreadPool& pool);
+
+}  // namespace mosaic::dist

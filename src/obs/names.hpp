@@ -95,4 +95,33 @@ inline constexpr std::string_view kReportConfusionMs =
 inline constexpr std::string_view kProvenanceRecords =
     "mosaic_provenance_records_total";
 
+// Distributed dispatch manager (src/dist/dispatch). Task-lifecycle
+// counters: every terminal state and every recovery action is a series, so
+// a dashboard can tell a healthy fleet from one living off retries.
+inline constexpr std::string_view kDispatchTasksDone =
+    "mosaic_dispatch_tasks_done_total";
+inline constexpr std::string_view kDispatchRetries =
+    "mosaic_dispatch_retries_total";
+inline constexpr std::string_view kDispatchReassigned =
+    "mosaic_dispatch_reassigned_total";
+inline constexpr std::string_view kDispatchQuarantined =
+    "mosaic_dispatch_quarantined_total";
+inline constexpr std::string_view kDispatchWorkersLost =
+    "mosaic_dispatch_workers_lost_total";
+inline constexpr std::string_view kDispatchDegradedTasks =
+    "mosaic_dispatch_degraded_tasks_total";
+inline constexpr std::string_view kDispatchResumedTasks =
+    "mosaic_dispatch_resumed_tasks_total";
+inline constexpr std::string_view kDispatchTaskMs = "mosaic_dispatch_task_ms";
+
+// Worker pool side (src/dist/worker).
+inline constexpr std::string_view kWorkerSessions =
+    "mosaic_worker_sessions_total";
+inline constexpr std::string_view kWorkerTasks = "mosaic_worker_tasks_total";
+inline constexpr std::string_view kWorkerTaskErrors =
+    "mosaic_worker_task_errors_total";
+inline constexpr std::string_view kWorkerHeartbeats =
+    "mosaic_worker_heartbeats_total";
+inline constexpr std::string_view kWorkerTaskMs = "mosaic_worker_task_ms";
+
 }  // namespace mosaic::obs::names

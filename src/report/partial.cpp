@@ -358,24 +358,47 @@ Expected<MergedPartials> merge_partials(std::vector<PartialArtifact> partials) {
             [](const PartialArtifact& a, const PartialArtifact& b) {
               return a.shard_index < b.shard_index;
             });
+  // Validate the whole partition before failing, so an operator piecing a
+  // run back together sees every missing, duplicated and mismatched shard
+  // in one message instead of fixing them one re-run at a time.
   const std::size_t count = partials.front().shard_count;
-  if (partials.size() != count) {
-    return Error{ErrorCode::kInvalidArgument,
-                 "incomplete partition: " + std::to_string(partials.size()) +
-                     " partial(s) for " + std::to_string(count) +
-                     " shard(s)"};
+  std::vector<std::string> problems;
+  for (const PartialArtifact& partial : partials) {
+    if (partial.shard_count != count) {
+      problems.push_back("shard " + std::to_string(partial.shard_index) +
+                         " declares a " +
+                         std::to_string(partial.shard_count) +
+                         "-way partition, expected " + std::to_string(count));
+    }
   }
-  for (std::size_t i = 0; i < partials.size(); ++i) {
-    if (partials[i].shard_count != count) {
-      return Error{ErrorCode::kInvalidArgument,
-                   "shard count mismatch: " +
-                       std::to_string(partials[i].shard_count) + " vs " +
-                       std::to_string(count)};
+  std::vector<std::size_t> copies(count, 0);
+  for (const PartialArtifact& partial : partials) {
+    if (partial.shard_index >= count) {
+      problems.push_back("shard index " +
+                         std::to_string(partial.shard_index) +
+                         " is out of range for " + std::to_string(count) +
+                         " shard(s)");
+      continue;
     }
-    if (partials[i].shard_index != i) {
-      return Error{ErrorCode::kInvalidArgument,
-                   "duplicate or missing shard index " + std::to_string(i)};
+    ++copies[partial.shard_index];
+  }
+  for (std::size_t i = 0; i < count; ++i) {
+    if (copies[i] == 0) {
+      problems.push_back("shard " + std::to_string(i) + " is missing");
+    } else if (copies[i] > 1) {
+      problems.push_back("shard " + std::to_string(i) + " appears " +
+                         std::to_string(copies[i]) + " times");
     }
+  }
+  if (!problems.empty()) {
+    std::string message =
+        "invalid partition (" + std::to_string(partials.size()) +
+        " partial(s) for " + std::to_string(count) + " shard(s)): ";
+    for (std::size_t i = 0; i < problems.size(); ++i) {
+      if (i != 0) message += "; ";
+      message += problems[i];
+    }
+    return Error{ErrorCode::kInvalidArgument, std::move(message)};
   }
 
   MergedPartials merged;

@@ -1,0 +1,133 @@
+#!/usr/bin/env bash
+# Exercises the fault-tolerant distributed CLI surface: `mosaic worker` +
+# `mosaic dispatch` over real loopback sockets. A worker killed mid-run by a
+# seeded network fault must be detected, its shards reassigned, and the merged
+# JSON must stay byte-identical to the single-shot run; same for full
+# degradation (every worker lost) and for a manager crash resumed from the
+# dispatch journal. Ends with flag-validation error cases.
+set -euo pipefail
+MOSAIC="$1"
+WORK="$(mktemp -d)"
+WORKER_PIDS=()
+cleanup() {
+  for pid in "${WORKER_PIDS[@]:-}"; do
+    kill "$pid" 2> /dev/null || true
+  done
+  wait 2> /dev/null || true
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+# Starts a worker on an ephemeral port and echoes the scraped port number.
+# Usage: start_worker <logfile> [extra worker flags...]
+start_worker() {
+  local log="$1"
+  shift
+  "$MOSAIC" worker --listen 127.0.0.1:0 "$@" > "$log" 2>&1 &
+  WORKER_PIDS+=("$!")
+  local port=""
+  for _ in $(seq 1 100); do
+    port="$(sed -n 's/.*listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' "$log")"
+    [ -n "$port" ] && break
+    sleep 0.1
+  done
+  if [ -z "$port" ]; then
+    echo "worker failed to start; log:" >&2
+    cat "$log" >&2
+    exit 1
+  fi
+  echo "$port"
+}
+
+"$MOSAIC" generate "$WORK/pop" --traces 50 --seed 9 --format mixed \
+    --corruption 0.25
+"$MOSAIC" batch "$WORK/pop" --json "$WORK/single.json" > /dev/null
+
+# Happy path: two healthy workers, four shards, byte-identical merge.
+P1="$(start_worker "$WORK/w1.log")"
+P2="$(start_worker "$WORK/w2.log")"
+"$MOSAIC" dispatch "$WORK/pop" --workers "127.0.0.1:$P1,127.0.0.1:$P2" \
+    --shards 4 --partials "$WORK/parts" --json "$WORK/dist.json" \
+    > "$WORK/dispatch.txt"
+diff "$WORK/single.json" "$WORK/dist.json"
+grep -q 'shard 0: done' "$WORK/dispatch.txt"
+grep -q 'funnel:' "$WORK/dispatch.txt"
+
+# Kill one worker mid-run via a seeded fault (dies for good after one task):
+# its remaining shards must be reassigned to the survivor, byte-identically.
+P3="$(start_worker "$WORK/w3.log" --net-fault-inject 'seed=7,kill_after=1')"
+P4="$(start_worker "$WORK/w4.log")"
+"$MOSAIC" dispatch "$WORK/pop" --workers "127.0.0.1:$P3,127.0.0.1:$P4" \
+    --shards 4 --partials "$WORK/parts_kill" --json "$WORK/kill.json" \
+    --connect-timeout 1 --reconnect-attempts 1 > "$WORK/kill.txt"
+diff "$WORK/single.json" "$WORK/kill.json"
+grep -q '1 worker(s) lost' "$WORK/kill.txt"
+grep -Eq '[1-9][0-9]* reassigned' "$WORK/kill.txt"
+
+# Graceful degradation: the only worker dies after one task, so the manager
+# must finish the remaining shards in-process — still byte-identical.
+P5="$(start_worker "$WORK/w5.log" --net-fault-inject 'seed=7,kill_after=1')"
+"$MOSAIC" dispatch "$WORK/pop" --workers "127.0.0.1:$P5" \
+    --shards 3 --partials "$WORK/parts_deg" --json "$WORK/degraded.json" \
+    --connect-timeout 1 --reconnect-attempts 1 > "$WORK/degraded.txt"
+diff "$WORK/single.json" "$WORK/degraded.json"
+grep -Eq '[1-9][0-9]* run degraded' "$WORK/degraded.txt"
+
+# Manager crash + resume: abort after one journaled partial (exit 3, no
+# merge), then --resume must replay the journal and only run the remainder,
+# producing a byte-identical merge.
+P6="$(start_worker "$WORK/w6.log")"
+rc=0
+"$MOSAIC" dispatch "$WORK/pop" --workers "127.0.0.1:$P6" \
+    --shards 3 --partials "$WORK/parts_resume" --json "$WORK/resumed.json" \
+    --journal "$WORK/dispatch.jsonl" --abort-after-partials 1 \
+    > "$WORK/abort.txt" || rc=$?
+[ "$rc" -eq 3 ]
+[ -s "$WORK/dispatch.jsonl" ]
+[ ! -e "$WORK/resumed.json" ]
+"$MOSAIC" dispatch "$WORK/pop" --workers "127.0.0.1:$P6" \
+    --shards 3 --partials "$WORK/parts_resume" --json "$WORK/resumed.json" \
+    --journal "$WORK/dispatch.jsonl" --resume > "$WORK/resume.txt"
+diff "$WORK/single.json" "$WORK/resumed.json"
+grep -Eq '[1-9][0-9]* resumed from journal' "$WORK/resume.txt"
+
+# Flag validation: malformed addresses and non-numeric/absurd durations must
+# fail up front with usage errors, not hang or connect.
+for bad_workers in "127.0.0.1" "host:" ":9100" "host:99999" ""; do
+  if "$MOSAIC" dispatch "$WORK/pop" --workers "$bad_workers" \
+      --partials "$WORK/p" > /dev/null 2>&1; then
+    echo "--workers '$bad_workers' should fail" >&2
+    exit 1
+  fi
+done
+if "$MOSAIC" dispatch "$WORK/pop" --workers 127.0.0.1:9 \
+    --partials "$WORK/p" --task-deadline banana > /dev/null 2>&1; then
+  echo "--task-deadline banana should fail" >&2
+  exit 1
+fi
+if "$MOSAIC" dispatch "$WORK/pop" --workers 127.0.0.1:9 \
+    --partials "$WORK/p" --heartbeat-grace -1 > /dev/null 2>&1; then
+  echo "--heartbeat-grace -1 should fail" >&2
+  exit 1
+fi
+if "$MOSAIC" dispatch "$WORK/pop" --workers 127.0.0.1:9 \
+    --partials "$WORK/p" --resume > /dev/null 2>&1; then
+  echo "--resume without --journal should fail" >&2
+  exit 1
+fi
+if "$MOSAIC" dispatch "$WORK/pop" --workers 127.0.0.1:9 \
+    --partials "$WORK/p" --max-attempts 0 > /dev/null 2>&1; then
+  echo "--max-attempts 0 should fail" >&2
+  exit 1
+fi
+if "$MOSAIC" worker --listen not-an-address > /dev/null 2>&1; then
+  echo "worker --listen not-an-address should fail" >&2
+  exit 1
+fi
+if "$MOSAIC" worker --listen 127.0.0.1:0 --heartbeat-interval 0 \
+    > /dev/null 2>&1; then
+  echo "worker --heartbeat-interval 0 should fail" >&2
+  exit 1
+fi
+
+echo "cli dispatch ok"

@@ -255,6 +255,31 @@ TEST_F(PartialTest, MergeRejectsIncompleteOrInconsistentPartitions) {
   EXPECT_TRUE(merge_partials({p0, p1}).has_value());
 }
 
+TEST_F(PartialTest, MergeReportsEveryPartitionProblemAtOnce) {
+  const auto paths = seed_population(20, 7);
+  ingest::ShardSpec spec0;
+  spec0.index = 0;
+  spec0.count = 4;
+  const PartialArtifact p0 = run_shard(paths, spec0);
+
+  // Shard 0 duplicated, shard 2's count disagrees, shards 1 and 3 missing:
+  // one merge attempt must name all four problems, not just the first.
+  PartialArtifact dup = p0;
+  PartialArtifact wrong_count = p0;
+  wrong_count.shard_index = 2;
+  wrong_count.shard_count = 5;
+  auto merged = merge_partials({p0, dup, wrong_count});
+  ASSERT_FALSE(merged.has_value());
+  const std::string& message = merged.error().message;
+  EXPECT_NE(message.find("shard 0 appears 2 times"), std::string::npos)
+      << message;
+  EXPECT_NE(message.find("shard 2 declares a 5-way partition"),
+            std::string::npos)
+      << message;
+  EXPECT_NE(message.find("shard 1 is missing"), std::string::npos) << message;
+  EXPECT_NE(message.find("shard 3 is missing"), std::string::npos) << message;
+}
+
 TEST_F(PartialTest, ReadPartialRejectsOtherSchemas) {
   ASSERT_TRUE(
       util::write_file_atomic(path("bogus.json"), "{\"schema\": \"nope\"}")

@@ -10,6 +10,8 @@
 // Every subcommand accepts --thresholds <file> with a JSON config
 // (see `mosaic thresholds`), fulfilling the paper's requirement that the
 // categorization thresholds be modifiable (§III-A).
+#include <atomic>
+#include <csignal>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
@@ -24,6 +26,10 @@
 #include "darshan/binary_format.hpp"
 #include "darshan/io.hpp"
 #include "darshan/text_format.hpp"
+#include "dist/dispatch.hpp"
+#include "dist/faults.hpp"
+#include "dist/net.hpp"
+#include "dist/worker.hpp"
 #include "ingest/ingest.hpp"
 #include "ingest/reader.hpp"
 #include "json/json.hpp"
@@ -59,6 +65,10 @@ void print_usage() {
       "  batch <dir>               full pipeline over a trace directory\n"
       "  merge <partials...>       reduce shard partial artifacts into the\n"
       "                            single-shot batch summary\n"
+      "  dispatch <files|dirs...>  distribute a batch run across a worker\n"
+      "                            pool with retry, reassignment and\n"
+      "                            graceful degradation\n"
+      "  worker --listen <addr>    serve shard tasks to a dispatch manager\n"
       "  report <dir>              write a markdown analysis report\n"
       "  explain <file|trace-id>   render one trace's decision path\n"
       "  generate <dir>            write a synthetic trace population\n"
@@ -781,6 +791,318 @@ int cmd_merge(int argc, char** argv) {
   return 0;
 }
 
+/// Cooperative stop for SIGINT/SIGTERM: dispatch polls the flag at every
+/// scheduling step and flushes its journal before returning; a worker exits
+/// at its next accept/idle check.
+std::atomic<bool> g_stop_requested{false};
+dist::Worker* g_signal_worker = nullptr;
+
+void handle_stop_signal(int /*signum*/) {
+  g_stop_requested.store(true, std::memory_order_relaxed);
+  if (g_signal_worker != nullptr) g_signal_worker->stop();
+}
+
+void install_stop_handlers() {
+  std::signal(SIGINT, handle_stop_signal);
+  std::signal(SIGTERM, handle_stop_signal);
+}
+
+/// Validates a positive --<name> seconds value; nullopt after printing.
+std::optional<double> parse_positive_seconds(const util::CliParser& cli,
+                                             std::string_view name) {
+  const auto value = cli.get_double(name);
+  if (!value.has_value() || *value <= 0.0) {
+    std::fprintf(stderr,
+                 "--%s must be a positive number of seconds (got '%s')\n",
+                 std::string(name).c_str(),
+                 std::string(cli.get(name)).c_str());
+    return std::nullopt;
+  }
+  return *value;
+}
+
+/// Validates a non-negative --<name> seconds value (0 = unlimited).
+std::optional<double> parse_seconds_or_zero(const util::CliParser& cli,
+                                            std::string_view name) {
+  const auto value = cli.get_double(name);
+  if (!value.has_value() || *value < 0.0) {
+    std::fprintf(stderr,
+                 "--%s must be a non-negative number of seconds, 0 for "
+                 "unlimited (got '%s')\n",
+                 std::string(name).c_str(),
+                 std::string(cli.get(name)).c_str());
+    return std::nullopt;
+  }
+  return *value;
+}
+
+int cmd_worker(int argc, char** argv) {
+  util::CliParser cli("mosaic worker",
+                      "serve shard tasks to a dispatch manager");
+  cli.add_option("listen",
+                 "host:port to listen on (port 0 binds an ephemeral port, "
+                 "printed on startup)", "127.0.0.1:9100");
+  cli.add_option("threads", "shard-driver threads (0 = hardware)", "0");
+  cli.add_option("heartbeat-interval",
+                 "seconds between heartbeat frames while a task runs", "1");
+  cli.add_flag("once", "exit after serving one manager session");
+  cli.add_option("net-fault-inject",
+                 "inject deterministic network faults, e.g. "
+                 "seed=7,close=0.25,corrupt=0.25,corrupt_failures=1,"
+                 "stall=0.25,stall_ms=400,kill_after=2", "");
+  add_log_cli_options(cli);
+  if (const auto status = cli.parse(argc, argv); !status.ok()) {
+    return status.error().code == util::ErrorCode::kNotFound ? 0 : 2;
+  }
+  if (!apply_log_cli_options(cli)) return 2;
+
+  const auto listen = dist::parse_address(cli.get("listen"));
+  if (!listen.has_value()) {
+    std::fprintf(stderr, "--listen: %s\n",
+                 listen.error().to_string().c_str());
+    return 2;
+  }
+  const auto thread_count = parse_thread_count(cli);
+  if (!thread_count.has_value()) return 2;
+  const auto heartbeat = parse_positive_seconds(cli, "heartbeat-interval");
+  if (!heartbeat.has_value()) return 2;
+
+  dist::WorkerOptions options;
+  options.listen = *listen;
+  options.threads = *thread_count;
+  options.heartbeat_interval_seconds = *heartbeat;
+  options.once = cli.get_flag("once");
+  if (const auto spec_text = cli.get("net-fault-inject");
+      !spec_text.empty()) {
+    const auto spec = dist::NetFaultSpec::parse(spec_text);
+    if (!spec.has_value()) {
+      std::fprintf(stderr, "--net-fault-inject: %s\n",
+                   spec.error().to_string().c_str());
+      return 2;
+    }
+    options.fault = *spec;
+  }
+
+  dist::Worker worker(std::move(options));
+  if (const auto status = worker.bind(); !status.ok()) {
+    std::fprintf(stderr, "%s\n", status.error().to_string().c_str());
+    return 1;
+  }
+  // The shell harness scrapes this line for the ephemeral port.
+  std::printf("worker listening on %s:%u\n", listen->host.c_str(),
+              static_cast<unsigned>(worker.port()));
+  std::fflush(stdout);
+
+  g_signal_worker = &worker;
+  install_stop_handlers();
+  const auto status = worker.serve();
+  g_signal_worker = nullptr;
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n", status.error().to_string().c_str());
+    return 1;
+  }
+  const dist::WorkerStats& stats = worker.stats();
+  std::printf("worker served %zu session(s): %zu task(s) done, %zu task "
+              "error(s)%s\n",
+              stats.sessions, stats.tasks_done, stats.task_errors,
+              stats.killed_by_fault ? " (killed by fault injection)" : "");
+  return 0;
+}
+
+int cmd_dispatch(int argc, char** argv) {
+  util::CliParser cli("mosaic dispatch",
+                      "distribute a batch run across a worker pool with "
+                      "retry, reassignment and graceful degradation");
+  cli.add_option("workers",
+                 "comma-separated worker addresses (host:port,host:port)",
+                 "");
+  cli.add_option("shards",
+                 "shard tasks to partition the corpus into (0 = one per "
+                 "worker)", "0");
+  cli.add_option("partials",
+                 "directory for received partial artifacts "
+                 "(results.shard-K.json)", "");
+  cli.add_option("thresholds", "JSON thresholds config", "");
+  cli.add_option("json", "write the merged JSON summary to this path", "");
+  cli.add_flag("heatmap", "render the Jaccard heatmap");
+  cli.add_option("task-deadline",
+                 "wall-clock budget per task attempt in seconds "
+                 "(0 = unlimited)", "300");
+  cli.add_option("heartbeat-grace",
+                 "declare a worker hung after this many silent seconds",
+                 "5");
+  cli.add_option("connect-timeout", "per-connect budget in seconds", "5");
+  cli.add_option("max-attempts",
+                 "assignments a task may consume before quarantine", "3");
+  cli.add_option("reconnect-attempts",
+                 "reconnects before a worker is declared lost", "2");
+  cli.add_option("retries",
+                 "per-file ingest retries forwarded to workers", "3");
+  cli.add_option("deadline",
+                 "per-file ingest budget in seconds forwarded to workers "
+                 "(0 = unlimited)", "30");
+  cli.add_option("threads",
+                 "in-process threads for degraded mode (0 = hardware)", "0");
+  cli.add_option("journal",
+                 "append task outcomes to this resume journal (JSONL)", "");
+  cli.add_flag("resume", "replay outcomes already in --journal");
+  cli.add_flag("no-degraded",
+               "fail instead of finishing in-process when every worker is "
+               "lost");
+  cli.add_option("abort-after-partials",
+                 "testing: simulate a manager crash after N received "
+                 "partials", "0");
+  add_obs_cli_options(cli);
+  add_log_cli_options(cli);
+  if (const auto status = cli.parse(argc, argv); !status.ok()) {
+    return status.error().code == util::ErrorCode::kNotFound ? 0 : 2;
+  }
+  if (!apply_log_cli_options(cli)) return 2;
+
+  dist::DispatchOptions options;
+  const auto workers_text = cli.get("workers");
+  if (workers_text.empty()) {
+    std::fprintf(stderr,
+                 "mosaic dispatch: --workers is required (comma-separated "
+                 "host:port list)\n");
+    return 2;
+  }
+  auto workers = dist::parse_address_list(workers_text);
+  if (!workers.has_value()) {
+    std::fprintf(stderr, "--workers: %s\n",
+                 workers.error().to_string().c_str());
+    return 2;
+  }
+  options.workers = std::move(*workers);
+
+  options.paths = cli.positional();
+  if (options.paths.empty()) {
+    std::fprintf(stderr, "mosaic dispatch: no input traces\n");
+    return 2;
+  }
+  options.out_dir = std::string(cli.get("partials"));
+  if (options.out_dir.empty()) {
+    std::fprintf(stderr, "mosaic dispatch: --partials <dir> is required\n");
+    return 2;
+  }
+
+  const auto non_negative_int = [&cli](std::string_view name)
+      -> std::optional<std::int64_t> {
+    const auto value = cli.get_int(name);
+    if (!value.has_value() || *value < 0) {
+      std::fprintf(stderr, "--%s must be a non-negative integer (got '%s')\n",
+                   std::string(name).c_str(),
+                   std::string(cli.get(name)).c_str());
+      return std::nullopt;
+    }
+    return *value;
+  };
+  const auto shards = non_negative_int("shards");
+  const auto max_attempts = non_negative_int("max-attempts");
+  const auto reconnects = non_negative_int("reconnect-attempts");
+  const auto retries = non_negative_int("retries");
+  const auto abort_after = non_negative_int("abort-after-partials");
+  if (!shards || !max_attempts || !reconnects || !retries || !abort_after) {
+    return 2;
+  }
+  if (*max_attempts < 1) {
+    std::fprintf(stderr, "--max-attempts must be at least 1\n");
+    return 2;
+  }
+  const auto task_deadline = parse_seconds_or_zero(cli, "task-deadline");
+  const auto grace = parse_positive_seconds(cli, "heartbeat-grace");
+  const auto connect_timeout =
+      parse_positive_seconds(cli, "connect-timeout");
+  const auto file_deadline = parse_seconds_or_zero(cli, "deadline");
+  if (!task_deadline || !grace || !connect_timeout || !file_deadline) {
+    return 2;
+  }
+  const auto thread_count = parse_thread_count(cli);
+  if (!thread_count.has_value()) return 2;
+  const auto progress = parse_progress(cli);
+  if (!progress.has_value()) return 2;
+  const auto provenance_sample = parse_provenance_sample(cli);
+  if (!provenance_sample.has_value()) return 2;
+
+  options.shard_count = static_cast<std::size_t>(*shards);
+  options.max_task_attempts = static_cast<std::size_t>(*max_attempts);
+  options.reconnect_attempts = static_cast<std::size_t>(*reconnects);
+  options.ingest_max_retries = static_cast<int>(*retries);
+  options.abort_after_partials = static_cast<std::size_t>(*abort_after);
+  options.task_deadline_seconds = *task_deadline;
+  options.heartbeat_grace_seconds = *grace;
+  options.connect_timeout_seconds = *connect_timeout;
+  options.ingest_file_deadline_seconds = *file_deadline;
+  options.degraded_threads = *thread_count;
+  options.thresholds = load_thresholds(cli);
+  options.journal_path = std::string(cli.get("journal"));
+  options.resume = cli.get_flag("resume");
+  if (options.resume && options.journal_path.empty()) {
+    std::fprintf(stderr, "--resume requires --journal\n");
+    return 2;
+  }
+  options.allow_degraded = !cli.get_flag("no-degraded");
+  options.stop_flag = &g_stop_requested;
+
+  ObsSession obs_session(std::string(cli.get("metrics")),
+                         std::string(cli.get("trace-events")), *progress,
+                         std::string(cli.get("provenance")),
+                         *provenance_sample);
+  install_stop_handlers();
+
+  util::Stopwatch watch;
+  auto result = dist::run_dispatch(options);
+  if (!result.has_value()) {
+    std::fprintf(stderr, "%s\n", result.error().to_string().c_str());
+    return 2;
+  }
+  for (const dist::TaskOutcome& outcome : result->outcomes) {
+    std::printf("shard %zu: %s via %s after %zu attempt(s)%s%s\n",
+                outcome.shard, outcome.status.c_str(),
+                outcome.worker.empty() ? "-" : outcome.worker.c_str(),
+                outcome.attempts, outcome.error.empty() ? "" : " — ",
+                outcome.error.c_str());
+  }
+  const dist::DispatchStats& stats = result->stats;
+  std::printf("dispatch: %zu task(s) done in %s (%zu retried, %zu "
+              "reassigned, %zu quarantined, %zu worker(s) lost, %zu run "
+              "degraded, %zu resumed from journal)\n",
+              stats.tasks_done,
+              util::format_duration(watch.elapsed_seconds()).c_str(),
+              stats.retries, stats.reassigned, stats.quarantined,
+              stats.workers_lost, stats.degraded_tasks,
+              stats.resumed_tasks);
+
+  if (result->aborted) {
+    std::fprintf(stderr,
+                 "mosaic dispatch: interrupted with %zu shard(s) done; "
+                 "re-run with --journal %s --resume to continue\n",
+                 stats.tasks_done + stats.resumed_tasks,
+                 options.journal_path.empty()
+                     ? "<path>"
+                     : options.journal_path.c_str());
+    return 3;
+  }
+  if (!result->complete()) {
+    std::fprintf(stderr,
+                 "mosaic dispatch: %zu shard(s) quarantined — refusing to "
+                 "merge an incomplete run\n",
+                 stats.quarantined);
+    return 1;
+  }
+
+  std::size_t artifact_count = 0;
+  int exit_code = 0;
+  auto merged = load_and_merge_partials(result->partial_paths,
+                                        &artifact_count, &exit_code);
+  if (!merged.has_value()) return exit_code;
+  std::printf("merged %zu shard partial(s) from %s\n\n", artifact_count,
+              options.out_dir.c_str());
+  if (!print_batch_summary(merged->batch, cli)) return 1;
+  if (!obs_session.finish()) return 1;
+  return 0;
+}
+
 int cmd_report(int argc, char** argv) {
   util::CliParser cli("mosaic report",
                       "write a markdown analysis report for a trace "
@@ -1204,6 +1526,8 @@ int main(int argc, char** argv) {
   if (command == "report") return cmd_report(argc - 1, argv + 1);
   if (command == "batch") return cmd_batch(argc - 1, argv + 1);
   if (command == "merge") return cmd_merge(argc - 1, argv + 1);
+  if (command == "dispatch") return cmd_dispatch(argc - 1, argv + 1);
+  if (command == "worker") return cmd_worker(argc - 1, argv + 1);
   if (command == "generate") return cmd_generate(argc - 1, argv + 1);
   if (command == "thresholds") return cmd_thresholds(argc - 1, argv + 1);
   std::fprintf(stderr, "mosaic: unknown command '%s'\n\n", command.c_str());
