@@ -15,10 +15,12 @@
 #include "dist/journal.hpp"
 #include "dist/protocol.hpp"
 #include "dist/task_runner.hpp"
+#include "dist/telemetry.hpp"
 #include "ingest/shard.hpp"
 #include "json/json.hpp"
 #include "obs/metrics.hpp"
 #include "obs/names.hpp"
+#include "obs/span.hpp"
 #include "parallel/thread_pool.hpp"
 #include "report/partial.hpp"
 #include "util/backoff.hpp"
@@ -41,7 +43,9 @@ struct DispatchMetrics {
   obs::Counter& workers_lost;
   obs::Counter& degraded;
   obs::Counter& resumed;
+  obs::Counter& heartbeats;
   obs::Histogram& task_ms;
+  obs::Histogram& connect_ms;
 
   static DispatchMetrics& get() {
     static auto& registry = obs::Registry::global();
@@ -60,9 +64,14 @@ struct DispatchMetrics {
                          "tasks the manager ran in-process"),
         registry.counter(obs::names::kDispatchResumedTasks,
                          "task outcomes replayed from the journal"),
+        registry.counter(obs::names::kDispatchHeartbeats,
+                         "heartbeat frames received from workers"),
         registry.histogram(obs::names::kDispatchTaskMs,
                            obs::latency_buckets_ms(),
                            "per-attempt wall time seen by the manager"),
+        registry.histogram(obs::names::kDispatchConnectMs,
+                           obs::latency_buckets_ms(),
+                           "worker connect + hello handshake latency"),
     };
     return metrics;
   }
@@ -110,6 +119,15 @@ class Scheduler {
     for (const Task& task : tasks_) {
       if (task.state == TaskState::kQueued) ++open_;
     }
+    if (options_.telemetry != nullptr) {
+      options_.telemetry->set_shard_total(tasks_.size());
+      for (const Task& task : tasks_) {
+        // Resumed shards enter the board already done.
+        push_board(task,
+                   task.state == TaskState::kDone ? "done" : "queued",
+                   task.worker);
+      }
+    }
   }
 
   [[nodiscard]] Status open_journal() {
@@ -150,6 +168,7 @@ class Scheduler {
         Task& task = tasks_[best];
         task.state = TaskState::kAssigned;
         ++task.attempts;
+        push_board(task, "assigned", worker);
         *out_index = best;
         return Claim::kTask;
       }
@@ -174,6 +193,7 @@ class Scheduler {
     --open_;
     ++stats_.tasks_done;
     DispatchMetrics::get().done.add();
+    push_board(task, "done", worker);
     journal_append({task.shard.index, task.shard.count, "done", worker,
                     task.attempts, partial_path, ""});
     ++partials_received_;
@@ -194,6 +214,7 @@ class Scheduler {
     ++stats_.retries;
     DispatchMetrics::get().retries.add();
     requeue_or_quarantine(task);
+    push_retry_board(task);
     cv_.notify_all();
   }
 
@@ -207,6 +228,7 @@ class Scheduler {
     ++stats_.retries;
     DispatchMetrics::get().retries.add();
     requeue_or_quarantine(task);
+    push_retry_board(task);
     cv_.notify_all();
   }
 
@@ -220,6 +242,7 @@ class Scheduler {
     ++stats_.reassigned;
     DispatchMetrics::get().reassigned.add();
     requeue_or_quarantine(task);
+    push_retry_board(task);
     cv_.notify_all();
   }
 
@@ -235,7 +258,16 @@ class Scheduler {
     std::lock_guard<std::mutex> lock(mutex_);
     ++stats_.workers_lost;
     DispatchMetrics::get().workers_lost.add();
+    if (options_.telemetry != nullptr) {
+      options_.telemetry->note_worker_state(worker, "lost");
+    }
     MOSAIC_LOG_WARN("dispatch: worker %s declared lost", worker.c_str());
+  }
+
+  /// Marks a claimed task as actively running on `worker` (board only).
+  void note_running(std::size_t index, const std::string& worker) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    push_board(tasks_[index], "running", worker);
   }
 
   void note_degraded_done() {
@@ -264,6 +296,7 @@ class Scheduler {
       if (task.state == TaskState::kAssigned) {
         task.state = TaskState::kQueued;
         task.eligible_at_ms = 0.0;
+        push_board(task, "queued", "");
       }
     }
     cv_.notify_all();
@@ -307,6 +340,8 @@ class Scheduler {
     request.max_retries = options_.ingest_max_retries;
     request.file_deadline_seconds = options_.ingest_file_deadline_seconds;
     request.thresholds = options_.thresholds;
+    request.telemetry = options_.telemetry != nullptr;
+    request.collect_spans = options_.collect_spans;
     return request;
   }
 
@@ -367,12 +402,30 @@ class Scheduler {
     task.eligible_at_ms = now_ms() + task.backoff.next_delay_ms();
   }
 
+  /// Mirrors one task transition onto the telemetry hub's status board.
+  /// Caller holds mutex_; the hub is independently synchronized.
+  void push_board(const Task& task, std::string_view state,
+                  const std::string& worker) {
+    if (options_.telemetry == nullptr) return;
+    options_.telemetry->note_task_state(task.shard.index, state, worker,
+                                        task.attempts);
+  }
+
+  /// Board update after requeue_or_quarantine resolved a failure.
+  void push_retry_board(const Task& task) {
+    push_board(task,
+               task.state == TaskState::kQuarantined ? "quarantined"
+                                                     : "retrying",
+               "");
+  }
+
   void quarantine(Task& task, const std::string& error) {
     task.state = TaskState::kQuarantined;
     task.last_error = error;
     --open_;
     ++stats_.quarantined;
     DispatchMetrics::get().quarantined.add();
+    push_board(task, "quarantined", "");
     MOSAIC_LOG_WARN("dispatch: quarantined shard %zu after %zu attempt(s): %s",
                     task.shard.index, task.attempts, error.c_str());
     journal_append({task.shard.index, task.shard.count, "quarantined", "",
@@ -397,17 +450,27 @@ class Scheduler {
   DispatchJournalWriter journal_;
 };
 
-/// Connects to a worker and completes the hello handshake.
+/// Connects to a worker and completes the hello handshake. On success the
+/// handshake doubles as a clock-sync probe: the worker's hello reply carries
+/// its span clock, and the midpoint of our send/recv timestamps estimates
+/// what our clock read at that instant — assuming symmetric network delay,
+/// `offset = worker_now - midpoint` maps worker span timestamps onto the
+/// manager timeline (manager_ns = worker_ns - offset).
 Expected<Connection> connect_and_handshake(const Address& address,
-                                           double timeout_seconds) {
+                                           double timeout_seconds,
+                                           TelemetryHub* hub) {
+  MOSAIC_SPAN("dispatch-connect");
+  obs::ScopedTimerMs timer(DispatchMetrics::get().connect_ms);
   auto conn = connect_to(address, timeout_seconds);
   if (!conn.has_value()) return conn.error();
+  const std::uint64_t t_send = obs::SpanTracer::now_ns();
   if (const auto status =
           write_frame(*conn, FrameType::kHello, hello_payload());
       !status.ok()) {
     return status.error();
   }
   auto reply = read_frame(*conn, timeout_seconds);
+  const std::uint64_t t_recv = obs::SpanTracer::now_ns();
   if (!reply.has_value()) return reply.error();
   if (reply->type != FrameType::kHello) {
     return Error{ErrorCode::kParseError,
@@ -417,6 +480,15 @@ Expected<Connection> connect_and_handshake(const Address& address,
   }
   if (const auto status = check_hello_payload(reply->payload); !status.ok()) {
     return status.error();
+  }
+  if (hub != nullptr) {
+    if (const auto worker_now = hello_now_ns(reply->payload);
+        worker_now.has_value()) {
+      const std::int64_t offset =
+          static_cast<std::int64_t>(*worker_now) -
+          static_cast<std::int64_t>((t_send + t_recv) / 2);
+      hub->note_clock_sync(address.to_string(), offset);
+    }
   }
   return std::move(*conn);
 }
@@ -454,9 +526,12 @@ struct AttemptOutcome {
 };
 
 /// Drives one task attempt over a live connection: send the task, consume
-/// heartbeats, and classify however it ends.
+/// heartbeats (folding any piggybacked telemetry into the hub), and classify
+/// however it ends.
 AttemptOutcome run_attempt(const DispatchOptions& options, Connection& conn,
+                           const std::string& worker,
                            const TaskRequest& request) {
+  MOSAIC_SPAN("dispatch-attempt");
   if (const auto status = write_frame(conn, FrameType::kTask,
                                       task_request_to_payload(request));
       !status.ok()) {
@@ -501,6 +576,12 @@ AttemptOutcome run_attempt(const DispatchOptions& options, Connection& conn,
     last_activity = now;
     switch (frame->type) {
       case FrameType::kHeartbeat:
+        DispatchMetrics::get().heartbeats.add();
+        if (options.telemetry != nullptr) {
+          // Liveness was already credited above; a malformed telemetry
+          // payload degrades inside the hub and never fails the attempt.
+          options.telemetry->ingest_heartbeat(worker, frame->payload);
+        }
         if (deadline_ms > 0.0 && now - start > deadline_ms) {
           // Alive but never finishing still violates the deadline contract.
           return {AttemptResult::kConnectionLost,
@@ -521,6 +602,11 @@ AttemptOutcome run_attempt(const DispatchOptions& options, Connection& conn,
                   "partial payload is not JSON: " +
                       parsed.error().to_string(),
                   ""};
+        }
+        if (options.telemetry != nullptr) {
+          // The telemetry rider is independent of partial validity: ingest
+          // it even if the artifact below fails schema checks.
+          options.telemetry->ingest_partial_telemetry(worker, *parsed);
         }
         auto partial = report::partial_from_json(*parsed);
         if (!partial.has_value()) {
@@ -562,8 +648,8 @@ void run_worker_thread(const DispatchOptions& options, Scheduler& scheduler,
   while (true) {
     if (!conn.has_value()) {
       if (scheduler.aborted()) return;
-      auto connected =
-          connect_and_handshake(address, options.connect_timeout_seconds);
+      auto connected = connect_and_handshake(
+          address, options.connect_timeout_seconds, options.telemetry);
       if (!connected.has_value()) {
         ++connect_failures;
         if (connect_failures > options.reconnect_attempts) {
@@ -579,6 +665,9 @@ void run_worker_thread(const DispatchOptions& options, Scheduler& scheduler,
       conn = std::move(*connected);
       connect_failures = 0;
       reconnect.reset();
+      if (options.telemetry != nullptr) {
+        options.telemetry->note_worker_state(name, "connected");
+      }
     }
 
     std::size_t index = 0;
@@ -590,8 +679,9 @@ void run_worker_thread(const DispatchOptions& options, Scheduler& scheduler,
     }
 
     const TaskRequest request = scheduler.request_for(index);
+    scheduler.note_running(index, name);
     const double attempt_start = now_ms();
-    AttemptOutcome outcome = run_attempt(options, *conn, request);
+    AttemptOutcome outcome = run_attempt(options, *conn, name, request);
     DispatchMetrics::get().task_ms.observe(now_ms() - attempt_start);
 
     switch (outcome.result) {
@@ -620,6 +710,9 @@ void run_worker_thread(const DispatchOptions& options, Scheduler& scheduler,
         scheduler.task_orphaned(index, name, outcome.error);
         conn->close();
         conn.reset();
+        if (options.telemetry != nullptr) {
+          options.telemetry->note_worker_state(name, "disconnected");
+        }
         break;
     }
   }
@@ -635,6 +728,7 @@ bool DispatchResult::complete() const noexcept {
 }
 
 Expected<DispatchResult> run_dispatch(const DispatchOptions& options) {
+  MOSAIC_SPAN("dispatch-run");
   if (options.workers.empty() && !options.allow_degraded) {
     return Error{ErrorCode::kInvalidArgument,
                  "no workers given and degraded (in-process) execution is "
@@ -748,6 +842,8 @@ Expected<DispatchResult> run_dispatch(const DispatchOptions& options) {
           break;
         }
         const TaskRequest request = scheduler.request_for(claimed);
+        scheduler.note_running(claimed, "local");
+        MOSAIC_SPAN("dispatch-degraded-task");
         const double start = now_ms();
         auto partial = run_shard_task(request, pool);
         DispatchMetrics::get().task_ms.observe(now_ms() - start);

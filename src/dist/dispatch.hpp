@@ -42,6 +42,8 @@
 
 namespace mosaic::dist {
 
+class TelemetryHub;
+
 struct DispatchOptions {
   std::vector<Address> workers;
   std::size_t shard_count = 0;  ///< 0 = one shard per worker
@@ -87,6 +89,16 @@ struct DispatchOptions {
   /// Test seam simulating a manager crash: stop abruptly once this many
   /// partials have been received and journaled. 0 disables.
   std::size_t abort_after_partials = 0;
+
+  /// Optional fleet telemetry sink (dist/telemetry.hpp). When set, tasks ask
+  /// workers to ship metric snapshots on heartbeats/partials, the scheduler
+  /// mirrors every lifecycle transition onto the hub's status board, and
+  /// handshakes feed it clock-offset estimates. Null = no federation; the
+  /// wire payloads stay byte-identical to pre-federation builds.
+  TelemetryHub* telemetry = nullptr;
+  /// Also ask workers to record spans and ship them with their partials
+  /// (only meaningful with `telemetry` set).
+  bool collect_spans = false;
 };
 
 /// Robustness counters for one dispatch run (mirrored into obs metrics).

@@ -5,6 +5,7 @@
 #include "core/config.hpp"
 #include "darshan/binary_format.hpp"
 #include "json/json.hpp"
+#include "obs/span.hpp"
 
 namespace mosaic::dist {
 
@@ -147,6 +148,10 @@ std::string task_request_to_payload(const TaskRequest& task) {
   out.set("max_retries", task.max_retries);
   out.set("file_deadline_seconds", task.file_deadline_seconds);
   out.set("thresholds", core::thresholds_to_json(task.thresholds));
+  // Optional telemetry opt-ins: omitted when off, so payloads sent to (and
+  // parsed by) pre-federation peers are unchanged byte for byte.
+  if (task.telemetry) out.set("telemetry", true);
+  if (task.collect_spans) out.set("collect_spans", true);
   return json::serialize(Value(std::move(out)));
 }
 
@@ -210,6 +215,12 @@ Expected<TaskRequest> task_request_from_payload(std::string_view payload) {
                        parsed_thresholds.error().message);
   }
   task.thresholds = *parsed_thresholds;
+  const Value* telemetry = obj.find("telemetry");
+  task.telemetry = telemetry != nullptr && telemetry->is_bool() &&
+                   telemetry->as_bool();
+  const Value* collect_spans = obj.find("collect_spans");
+  task.collect_spans = collect_spans != nullptr && collect_spans->is_bool() &&
+                       collect_spans->as_bool();
   return task;
 }
 
@@ -250,6 +261,9 @@ Error task_error_from_payload(std::string_view payload) {
 std::string hello_payload() {
   Object out;
   out.set("protocol", std::string("mosaic-dispatch-v1"));
+  // Span clock at send time; check_hello_payload ignores it, so peers that
+  // predate telemetry federation interoperate unchanged.
+  out.set("now_ns", obs::SpanTracer::now_ns());
   return json::serialize(Value(std::move(out)));
 }
 
@@ -264,6 +278,16 @@ Status check_hello_payload(std::string_view payload) {
     return proto_error("peer speaks a different protocol");
   }
   return Status::success();
+}
+
+std::optional<std::uint64_t> hello_now_ns(std::string_view payload) {
+  auto parsed = json::parse(payload);
+  if (!parsed.has_value() || !parsed->is_object()) return std::nullopt;
+  const Value* now = parsed->as_object().find("now_ns");
+  if (now == nullptr || !now->is_number() || now->as_number() < 0.0) {
+    return std::nullopt;
+  }
+  return static_cast<std::uint64_t>(now->as_number());
 }
 
 }  // namespace mosaic::dist

@@ -24,6 +24,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -88,6 +89,12 @@ struct TaskRequest {
   int max_retries = 3;                  ///< per-file ingest retries
   double file_deadline_seconds = 30.0;  ///< per-file ingest budget
   core::Thresholds thresholds;
+  /// Telemetry federation opt-ins (obs/federation.hpp). Encoded as optional
+  /// payload fields that old managers never send and old workers ignore, so
+  /// a mixed-version fleet keeps dispatching — it just loses telemetry from
+  /// the old half.
+  bool telemetry = false;      ///< ship metric snapshots on heartbeats/partials
+  bool collect_spans = false;  ///< record spans and ship them with the partial
 };
 
 [[nodiscard]] std::string task_request_to_payload(const TaskRequest& task);
@@ -100,8 +107,17 @@ struct TaskRequest {
 [[nodiscard]] std::string task_error_to_payload(const util::Error& error);
 [[nodiscard]] util::Error task_error_from_payload(std::string_view payload);
 
-/// Hello payload ("{\"protocol\":\"mosaic-dispatch-v1\"}") and its check.
+/// Hello payload and its check. Besides the protocol tag
+/// ("mosaic-dispatch-v1", the only field the check enforces) the payload
+/// carries `now_ns`, the sender's span clock at send time — the raw
+/// material for the handshake clock-offset estimate that aligns worker
+/// span timestamps onto the manager timeline (obs/federation.hpp).
 [[nodiscard]] std::string hello_payload();
 [[nodiscard]] util::Status check_hello_payload(std::string_view payload);
+
+/// Extracts `now_ns` from a hello payload; nullopt when the peer predates
+/// telemetry federation (its spans then stay unaligned, nothing breaks).
+[[nodiscard]] std::optional<std::uint64_t> hello_now_ns(
+    std::string_view payload);
 
 }  // namespace mosaic::dist

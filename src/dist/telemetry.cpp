@@ -1,0 +1,439 @@
+#include "dist/telemetry.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "obs/metrics.hpp"
+#include "obs/names.hpp"
+#include "obs/span.hpp"
+#include "util/backoff.hpp"
+#include "util/fs.hpp"
+#include "util/log.hpp"
+
+namespace mosaic::dist {
+
+using json::Array;
+using json::Object;
+using json::Value;
+using util::Error;
+using util::ErrorCode;
+using util::Expected;
+using util::Status;
+
+namespace {
+
+struct FleetMetrics {
+  obs::Gauge& workers;
+  obs::Counter& snapshots;
+  obs::Counter& spans;
+  obs::Counter& parse_errors;
+
+  static FleetMetrics& get() {
+    static auto& registry = obs::Registry::global();
+    static FleetMetrics metrics{
+        registry.gauge(obs::names::kFleetWorkers,
+                       "workers currently connected to the manager"),
+        registry.counter(obs::names::kFleetSnapshots,
+                         "worker telemetry snapshots ingested"),
+        registry.counter(obs::names::kFleetSpans,
+                         "worker spans ingested into the fleet trace"),
+        registry.counter(obs::names::kFleetTelemetryParseErrors,
+                         "malformed telemetry payloads degraded to plain "
+                         "heartbeats"),
+    };
+    return metrics;
+  }
+};
+
+Error telemetry_error(std::string what) {
+  return Error{ErrorCode::kParseError, "telemetry: " + std::move(what)};
+}
+
+/// Shared tail of both telemetry carriers: decode `{"snapshot":...}` plus
+/// the optional `"spans"` array.
+Expected<TelemetryPayload> payload_from_wire(const Value& telemetry) {
+  if (!telemetry.is_object()) {
+    return telemetry_error("'telemetry' is not an object");
+  }
+  const Value* snapshot = telemetry.as_object().find("snapshot");
+  if (snapshot == nullptr) {
+    return telemetry_error("'telemetry' lacks required 'snapshot'");
+  }
+  auto decoded = obs::snapshot_from_wire_json(*snapshot);
+  if (!decoded.has_value()) return decoded.error();
+  TelemetryPayload payload;
+  payload.snapshot = std::move(*decoded);
+  const Value* spans = telemetry.as_object().find("spans");
+  if (spans != nullptr) {
+    auto decoded_spans = obs::spans_from_wire_json(*spans);
+    if (!decoded_spans.has_value()) return decoded_spans.error();
+    payload.spans = std::move(*decoded_spans);
+  }
+  return payload;
+}
+
+}  // namespace
+
+json::Value telemetry_wire_json(bool include_spans) {
+  Object out;
+  std::vector<obs::SpanEvent> spans;
+  if (include_spans) {
+    spans = obs::SpanTracer::global().collect();
+    obs::Registry::global()
+        .counter(obs::names::kWorkerSpansShipped,
+                 "spans shipped to the manager with partial replies")
+        .add(spans.size());
+  }
+  // Counter bumps land *before* the snapshot is taken so the shipped
+  // snapshot accounts for its own export.
+  obs::Registry::global()
+      .counter(obs::names::kWorkerTelemetrySnapshots,
+               "metric snapshots shipped to the manager")
+      .add();
+  out.set("snapshot",
+          obs::snapshot_to_wire_json(obs::Registry::global().snapshot()));
+  if (include_spans) out.set("spans", obs::spans_to_wire_json(spans));
+  return Value(std::move(out));
+}
+
+std::string heartbeat_telemetry_payload() {
+  Object out;
+  out.set("telemetry", telemetry_wire_json(/*include_spans=*/false));
+  return json::serialize(Value(std::move(out)), /*pretty=*/false);
+}
+
+Expected<std::optional<TelemetryPayload>> parse_heartbeat_telemetry(
+    std::string_view payload) {
+  if (payload.empty()) return std::optional<TelemetryPayload>();
+  auto parsed = json::parse(payload);
+  if (!parsed.has_value()) {
+    return telemetry_error("heartbeat payload: " + parsed.error().message);
+  }
+  if (!parsed->is_object()) {
+    return telemetry_error("heartbeat payload is not an object");
+  }
+  const Value* telemetry = parsed->as_object().find("telemetry");
+  if (telemetry == nullptr) return std::optional<TelemetryPayload>();
+  auto decoded = payload_from_wire(*telemetry);
+  if (!decoded.has_value()) return decoded.error();
+  return std::optional<TelemetryPayload>(std::move(*decoded));
+}
+
+Expected<std::optional<TelemetryPayload>> extract_partial_telemetry(
+    const json::Value& partial_payload) {
+  if (!partial_payload.is_object()) {
+    return std::optional<TelemetryPayload>();
+  }
+  const Value* telemetry = partial_payload.as_object().find("telemetry");
+  if (telemetry == nullptr) return std::optional<TelemetryPayload>();
+  auto decoded = payload_from_wire(*telemetry);
+  if (!decoded.has_value()) return decoded.error();
+  return std::optional<TelemetryPayload>(std::move(*decoded));
+}
+
+TelemetryHub::~TelemetryHub() { stop(); }
+
+void TelemetryHub::note_clock_sync(const std::string& worker,
+                                   std::int64_t offset_ns) {
+  registry_.set_clock_offset_ns(worker, offset_ns);
+  // Labeled {peer=...}, not {worker=...}: the fleet merge prepends a
+  // worker label to every manager series, and a second label with the same
+  // key would make the merged series name invalid.
+  obs::Registry::global()
+      .gauge(obs::labeled(obs::names::kFleetClockOffsetNs, "peer", worker),
+             "estimated span-clock offset of this peer (ns)")
+      .set(offset_ns);
+  const std::scoped_lock lock(board_mutex_);
+  WorkerBoardEntry& entry = workers_[worker];
+  entry.worker = worker;
+  entry.clock_offset_ns = offset_ns;
+  entry.clock_synced = true;
+}
+
+void TelemetryHub::apply_telemetry(const std::string& worker,
+                                   TelemetryPayload payload) {
+  FleetMetrics::get().snapshots.add();
+  if (!payload.spans.empty()) {
+    FleetMetrics::get().spans.add(payload.spans.size());
+    registry_.update_spans(worker, std::move(payload.spans));
+  }
+  registry_.update_snapshot(worker, std::move(payload.snapshot));
+}
+
+void TelemetryHub::ingest_heartbeat(const std::string& worker,
+                                    std::string_view payload) {
+  auto telemetry = parse_heartbeat_telemetry(payload);
+  if (!telemetry.has_value()) {
+    // Malformed telemetry degrades to "heartbeat without telemetry": the
+    // liveness signal already counted, the task keeps running.
+    FleetMetrics::get().parse_errors.add();
+    MOSAIC_LOG_WARN("dispatch: %s heartbeat telemetry dropped: %s",
+                    worker.c_str(),
+                    telemetry.error().to_string().c_str());
+    return;
+  }
+  if (!telemetry->has_value()) return;  // plain heartbeat (old worker)
+  apply_telemetry(worker, std::move(**telemetry));
+}
+
+void TelemetryHub::ingest_partial_telemetry(
+    const std::string& worker, const json::Value& partial_payload) {
+  auto telemetry = extract_partial_telemetry(partial_payload);
+  if (!telemetry.has_value()) {
+    FleetMetrics::get().parse_errors.add();
+    MOSAIC_LOG_WARN("dispatch: %s partial telemetry dropped: %s",
+                    worker.c_str(),
+                    telemetry.error().to_string().c_str());
+    return;
+  }
+  if (!telemetry->has_value()) return;
+  apply_telemetry(worker, std::move(**telemetry));
+}
+
+void TelemetryHub::set_shard_total(std::size_t total) {
+  const std::scoped_lock lock(board_mutex_);
+  shard_total_ = total;
+}
+
+void TelemetryHub::note_task_state(std::size_t shard, std::string_view state,
+                                   const std::string& worker,
+                                   std::size_t attempts) {
+  const std::scoped_lock lock(board_mutex_);
+  ShardBoardEntry& entry = shards_[shard];
+  entry.shard = shard;
+  entry.state = std::string(state);
+  entry.worker = worker;
+  entry.attempts = attempts;
+  if (state == "done") {
+    const auto it = workers_.find(worker);
+    if (it != workers_.end()) ++it->second.tasks_done;
+  }
+}
+
+void TelemetryHub::note_worker_state(const std::string& worker,
+                                     std::string_view state) {
+  std::size_t connected = 0;
+  {
+    const std::scoped_lock lock(board_mutex_);
+    WorkerBoardEntry& entry = workers_[worker];
+    entry.worker = worker;
+    entry.state = std::string(state);
+    for (const auto& [name, board] : workers_) {
+      if (board.state == "connected") ++connected;
+    }
+  }
+  FleetMetrics::get().workers.set(static_cast<std::int64_t>(connected));
+}
+
+obs::Snapshot TelemetryHub::fleet_snapshot() const {
+  // The manager is just another source; refresh its lane at scrape time so
+  // /metrics is live mid-run.
+  registry_.update_snapshot("manager", obs::Registry::global().snapshot());
+  return registry_.merged();
+}
+
+std::string TelemetryHub::prometheus_text() const {
+  return obs::metrics_to_prometheus(fleet_snapshot());
+}
+
+std::string TelemetryHub::metrics_json_text() const {
+  return json::serialize(obs::metrics_to_json(fleet_snapshot()));
+}
+
+std::string TelemetryHub::status_json_text() const {
+  Object out;
+  std::map<std::string, std::size_t> counts{
+      {"queued", 0},     {"assigned", 0}, {"running", 0},
+      {"retrying", 0},   {"done", 0},     {"quarantined", 0}};
+  Array shards;
+  Array workers;
+  {
+    const std::scoped_lock lock(board_mutex_);
+    out.set("shards_total", shard_total_);
+    for (const auto& [index, entry] : shards_) {
+      ++counts[entry.state];
+      Object shard;
+      shard.set("shard", entry.shard);
+      shard.set("state", entry.state);
+      shard.set("worker", entry.worker);
+      shard.set("attempts", entry.attempts);
+      shards.push_back(std::move(shard));
+    }
+    for (const auto& [name, entry] : workers_) {
+      Object worker;
+      worker.set("worker", entry.worker);
+      worker.set("state", entry.state);
+      worker.set("tasks_done", entry.tasks_done);
+      worker.set("clock_synced", entry.clock_synced);
+      worker.set("clock_offset_ns", entry.clock_offset_ns);
+      workers.push_back(std::move(worker));
+    }
+  }
+  Object count_obj;
+  for (const auto& [state, count] : counts) count_obj.set(state, count);
+  out.set("counts", std::move(count_obj));
+  out.set("shards", std::move(shards));
+  out.set("workers", std::move(workers));
+  return json::serialize(Value(std::move(out)));
+}
+
+std::string TelemetryHub::progress_line() const {
+  std::map<std::string, std::size_t> counts;
+  std::size_t total = 0;
+  std::string worker_states;
+  {
+    const std::scoped_lock lock(board_mutex_);
+    total = shard_total_;
+    for (const auto& [index, entry] : shards_) ++counts[entry.state];
+    for (const auto& [name, entry] : workers_) {
+      if (!worker_states.empty()) worker_states += ", ";
+      worker_states += entry.worker;
+      worker_states += ' ';
+      worker_states += entry.state.empty() ? "unknown" : entry.state;
+      worker_states += " (";
+      worker_states += std::to_string(entry.tasks_done);
+      worker_states += " done)";
+    }
+  }
+  if (worker_states.empty()) worker_states = "none yet";
+  std::string line = "dispatch progress: shards " +
+                     std::to_string(counts["done"]) + "/" +
+                     std::to_string(total) + " done (" +
+                     std::to_string(counts["assigned"] + counts["running"]) +
+                     " running, " + std::to_string(counts["queued"]) +
+                     " queued, " + std::to_string(counts["retrying"]) +
+                     " retrying, " + std::to_string(counts["quarantined"]) +
+                     " quarantined); workers: " + worker_states;
+  return line;
+}
+
+Status TelemetryHub::write_fleet_metrics(const std::string& path) {
+  const obs::Snapshot snapshot = fleet_snapshot();
+  if (const auto status = util::write_file_atomic(
+          path, json::serialize(obs::metrics_to_json(snapshot)) + "\n");
+      !status.ok()) {
+    return status;
+  }
+  return util::write_file_atomic(path + ".prom",
+                                 obs::metrics_to_prometheus(snapshot));
+}
+
+Status TelemetryHub::write_fleet_trace(const std::string& path) {
+  // Pull the manager's own spans in as lane "manager" (offset 0 by
+  // definition: its clock is the reference timeline).
+  const std::vector<obs::SpanEvent> events =
+      obs::SpanTracer::global().collect();
+  std::vector<obs::FleetSpan> spans;
+  spans.reserve(events.size());
+  for (const obs::SpanEvent& event : events) {
+    spans.push_back({event.name, event.start_ns, event.end_ns, event.tid});
+  }
+  registry_.update_spans("manager", std::move(spans));
+  return registry_.write_chrome_trace(path);
+}
+
+Status TelemetryHub::start_endpoint(const Address& address) {
+  if (const auto status = listener_.listen_on(address); !status.ok()) {
+    return status;
+  }
+  http_thread_ = std::thread([this] { serve_endpoint(); });
+  return Status::success();
+}
+
+void TelemetryHub::start_progress(double interval_seconds) {
+  if (interval_seconds <= 0.0) return;
+  progress_thread_ =
+      std::thread([this, interval_seconds] { run_progress(interval_seconds); });
+}
+
+void TelemetryHub::stop() {
+  stop_.store(true, std::memory_order_relaxed);
+  if (http_thread_.joinable()) http_thread_.join();
+  if (progress_thread_.joinable()) progress_thread_.join();
+  listener_.close();
+}
+
+void TelemetryHub::serve_endpoint() {
+  while (!stop_.load(std::memory_order_relaxed)) {
+    // Short accept timeout keeps stop() responsive, mirroring the worker's
+    // serve loop.
+    auto conn = listener_.accept_connection(0.25);
+    if (!conn.has_value()) {
+      if (conn.error().code == ErrorCode::kTimeout) continue;
+      return;  // listener closed / broken
+    }
+    handle_http(std::move(*conn));
+  }
+}
+
+void TelemetryHub::run_progress(double interval_seconds) {
+  // Sleep in short slices so stop() returns promptly.
+  double since_tick_s = 0.0;
+  while (!stop_.load(std::memory_order_relaxed)) {
+    constexpr double kSliceS = 0.05;
+    util::sleep_for_ms(kSliceS * 1000.0);
+    since_tick_s += kSliceS;
+    if (since_tick_s < interval_seconds) continue;
+    since_tick_s = 0.0;
+    MOSAIC_LOG_INFO("%s", progress_line().c_str());
+  }
+  MOSAIC_LOG_INFO("%s", progress_line().c_str());
+}
+
+void TelemetryHub::handle_http(Connection conn) const {
+  // Minimal HTTP/1.x: read the request head byte-wise (bounded, poll-timed
+  // via recv_exact), answer one GET, close. Enough for curl / Prometheus
+  // scrapes without pulling a server dependency into the manager.
+  std::string head;
+  char byte = 0;
+  constexpr std::size_t kMaxHead = 8192;
+  while (head.size() < kMaxHead) {
+    if (!conn.recv_exact(&byte, 1, 2.0).ok()) return;
+    head += byte;
+    if (head.size() >= 4 &&
+        head.compare(head.size() - 4, 4, "\r\n\r\n") == 0) {
+      break;
+    }
+  }
+  const std::size_t method_end = head.find(' ');
+  if (method_end == std::string::npos) return;
+  const std::size_t target_end = head.find(' ', method_end + 1);
+  if (target_end == std::string::npos) return;
+  const std::string method = head.substr(0, method_end);
+  std::string target =
+      head.substr(method_end + 1, target_end - method_end - 1);
+  const std::size_t query = target.find('?');
+  if (query != std::string::npos) target.resize(query);
+
+  const auto respond = [&conn](const char* status_line,
+                               const char* content_type,
+                               const std::string& body) {
+    std::string response = "HTTP/1.1 ";
+    response += status_line;
+    response += "\r\nContent-Type: ";
+    response += content_type;
+    response += "\r\nContent-Length: ";
+    response += std::to_string(body.size());
+    response += "\r\nConnection: close\r\n\r\n";
+    response += body;
+    (void)conn.send_all(response.data(), response.size());
+  };
+
+  if (method != "GET") {
+    respond("405 Method Not Allowed", "text/plain",
+            "only GET is supported\n");
+    return;
+  }
+  if (target == "/metrics") {
+    respond("200 OK", "text/plain; version=0.0.4", prometheus_text());
+  } else if (target == "/metrics.json") {
+    respond("200 OK", "application/json", metrics_json_text());
+  } else if (target == "/status") {
+    respond("200 OK", "application/json", status_json_text());
+  } else {
+    respond("404 Not Found", "text/plain",
+            "routes: /metrics /metrics.json /status\n");
+  }
+}
+
+}  // namespace mosaic::dist

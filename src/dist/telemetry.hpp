@@ -1,0 +1,168 @@
+// Dispatch-side telemetry federation: the wire payloads that piggyback
+// worker observability onto protocol frames, and the manager's TelemetryHub
+// that turns them into a live fleet view.
+//
+// Shipping model (DESIGN.md §15): a worker running a telemetry-enabled task
+// attaches `{"telemetry":{"snapshot":...}}` to every kHeartbeat frame and a
+// `"telemetry"` member (snapshot + span ring when requested) to its kPartial
+// reply. Snapshots and span rings are cumulative, so the manager folds them
+// with last-write-wins per worker — no deltas, no sequence numbers, and a
+// lost heartbeat costs freshness, never correctness. Old workers send empty
+// heartbeats and plain partials; both parse as "no telemetry" (nullopt), so
+// mixed fleets keep dispatching. A payload that is present but malformed is
+// an Error the caller *degrades* on: the heartbeat still counts as
+// liveness, the task keeps running, and
+// mosaic_fleet_telemetry_parse_errors_total is bumped.
+//
+// The TelemetryHub is the manager's aggregation point: a FleetRegistry of
+// worker snapshots/spans/clock offsets, a task+worker status board fed by
+// the dispatch scheduler, an optional embedded HTTP endpoint (GET /metrics
+// Prometheus text, GET /metrics.json, GET /status JSON lifecycle table)
+// served off the dist/net poll loop, and an optional progress logger that
+// prints fleet state every interval.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "dist/net.hpp"
+#include "json/json.hpp"
+#include "obs/federation.hpp"
+#include "util/error.hpp"
+
+namespace mosaic::dist {
+
+/// Telemetry attached to a kHeartbeat or kPartial frame.
+struct TelemetryPayload {
+  obs::Snapshot snapshot;
+  std::vector<obs::FleetSpan> spans;  ///< empty on heartbeats
+};
+
+/// Worker side: the `{"snapshot":...,"spans":[...]}` wire object built from
+/// the process-global registry (and span tracer when `include_spans`).
+[[nodiscard]] json::Value telemetry_wire_json(bool include_spans);
+
+/// Worker side: a complete kHeartbeat payload carrying a snapshot.
+[[nodiscard]] std::string heartbeat_telemetry_payload();
+
+/// Manager side: classifies a kHeartbeat payload.
+///   nullopt  no telemetry (empty payload / old worker) — plain liveness
+///   Error    telemetry present but malformed — degrade, count, keep going
+[[nodiscard]] util::Expected<std::optional<TelemetryPayload>>
+parse_heartbeat_telemetry(std::string_view payload);
+
+/// Manager side: pulls the optional "telemetry" member out of a parsed
+/// kPartial payload. Same nullopt/Error contract as heartbeats.
+[[nodiscard]] util::Expected<std::optional<TelemetryPayload>>
+extract_partial_telemetry(const json::Value& partial_payload);
+
+/// One worker's row in the /status board.
+struct WorkerBoardEntry {
+  std::string worker;
+  std::string state;  ///< "connected" | "disconnected" | "lost"
+  std::size_t tasks_done = 0;
+  std::int64_t clock_offset_ns = 0;
+  bool clock_synced = false;
+};
+
+/// One shard's row in the /status board.
+struct ShardBoardEntry {
+  std::size_t shard = 0;
+  std::string state;  ///< queued|assigned|running|retrying|done|quarantined
+  std::string worker;
+  std::size_t attempts = 0;
+};
+
+/// Manager-side fleet aggregation: snapshots + spans + clock offsets per
+/// worker, a task/worker status board, an embedded HTTP endpoint and a
+/// progress logger. All entry points are thread-safe (the dispatch worker
+/// threads, the HTTP thread and the progress thread all poke it).
+class TelemetryHub {
+ public:
+  TelemetryHub() = default;
+  ~TelemetryHub();
+
+  TelemetryHub(const TelemetryHub&) = delete;
+  TelemetryHub& operator=(const TelemetryHub&) = delete;
+
+  // --- ingestion (dispatch worker threads) ------------------------------
+  /// Records the handshake clock-offset estimate for `worker`:
+  /// manager_ns = worker_ns - offset_ns.
+  void note_clock_sync(const std::string& worker, std::int64_t offset_ns);
+
+  /// Folds one kHeartbeat payload in. Malformed telemetry degrades: the
+  /// parse-error counter is bumped and the heartbeat is otherwise ignored.
+  void ingest_heartbeat(const std::string& worker, std::string_view payload);
+
+  /// Folds the telemetry member of a parsed kPartial payload in (same
+  /// degradation rule).
+  void ingest_partial_telemetry(const std::string& worker,
+                                const json::Value& partial_payload);
+
+  // --- status board (dispatch scheduler) --------------------------------
+  void set_shard_total(std::size_t total);
+  void note_task_state(std::size_t shard, std::string_view state,
+                       const std::string& worker, std::size_t attempts);
+  void note_worker_state(const std::string& worker, std::string_view state);
+
+  // --- views ------------------------------------------------------------
+  /// Fleet-wide merged snapshot: the manager's own registry (source
+  /// "manager") plus every worker, per-source labeled + totals.
+  [[nodiscard]] obs::Snapshot fleet_snapshot() const;
+  [[nodiscard]] std::string prometheus_text() const;
+  [[nodiscard]] std::string metrics_json_text() const;
+  [[nodiscard]] std::string status_json_text() const;
+  [[nodiscard]] std::string progress_line() const;
+
+  /// Writes the fleet snapshot to `path` (JSON) + `path + ".prom"`.
+  [[nodiscard]] util::Status write_fleet_metrics(const std::string& path);
+
+  /// Writes the merged Chrome trace (manager lane + one named lane per
+  /// worker, clock-aligned) to `path`.
+  [[nodiscard]] util::Status write_fleet_trace(const std::string& path);
+
+  // --- embedded HTTP endpoint -------------------------------------------
+  /// Binds and serves GET /metrics, /metrics.json and /status on a
+  /// background thread until stop(). Port 0 binds ephemerally;
+  /// endpoint_port() reports the resolved port.
+  [[nodiscard]] util::Status start_endpoint(const Address& address);
+  [[nodiscard]] std::uint16_t endpoint_port() const noexcept {
+    return listener_.port();
+  }
+
+  // --- progress logger --------------------------------------------------
+  /// Logs progress_line() every `interval_seconds` (<= 0 starts nothing).
+  void start_progress(double interval_seconds);
+
+  /// Joins the HTTP and progress threads (idempotent; destructor calls it).
+  void stop();
+
+ private:
+  void serve_endpoint();
+  void run_progress(double interval_seconds);
+  void handle_http(Connection conn) const;
+  void apply_telemetry(const std::string& worker, TelemetryPayload payload);
+
+  // Mutable: const views (fleet_snapshot and friends) refresh the manager's
+  // own lane at scrape time. FleetRegistry is internally synchronized.
+  mutable obs::FleetRegistry registry_;
+
+  mutable std::mutex board_mutex_;
+  std::size_t shard_total_ = 0;
+  std::map<std::size_t, ShardBoardEntry> shards_;
+  std::map<std::string, WorkerBoardEntry> workers_;
+
+  Listener listener_;
+  std::atomic<bool> stop_{false};
+  std::thread http_thread_;
+  std::thread progress_thread_;
+};
+
+}  // namespace mosaic::dist

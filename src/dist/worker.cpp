@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "dist/task_runner.hpp"
+#include "dist/telemetry.hpp"
 #include "json/json.hpp"
 #include "obs/metrics.hpp"
 #include "obs/names.hpp"
@@ -53,9 +54,10 @@ struct WorkerMetrics {
 class HeartbeatPump {
  public:
   HeartbeatPump(Connection& conn, std::mutex& send_mutex,
-                double interval_seconds)
+                double interval_seconds, bool ship_telemetry)
       : conn_(conn), send_mutex_(send_mutex),
-        interval_seconds_(interval_seconds) {
+        interval_seconds_(interval_seconds),
+        ship_telemetry_(ship_telemetry) {
     thread_ = std::thread([this] { run(); });
   }
 
@@ -77,8 +79,12 @@ class HeartbeatPump {
       since_beat_s += kSliceS;
       if (since_beat_s < interval_seconds_) continue;
       since_beat_s = 0.0;
+      // Snapshot outside the lock; telemetry-enabled tasks piggyback the
+      // whole metric registry on each beat (old managers ignore payloads).
+      const std::string payload =
+          ship_telemetry_ ? heartbeat_telemetry_payload() : std::string();
       std::lock_guard<std::mutex> lock(send_mutex_);
-      if (!write_frame(conn_, FrameType::kHeartbeat, "").ok()) return;
+      if (!write_frame(conn_, FrameType::kHeartbeat, payload).ok()) return;
       WorkerMetrics::get().heartbeats.add();
     }
   }
@@ -86,6 +92,7 @@ class HeartbeatPump {
   Connection& conn_;
   std::mutex& send_mutex_;
   double interval_seconds_;
+  bool ship_telemetry_;
   std::atomic<bool> stop_{false};
   std::thread thread_;
 };
@@ -174,6 +181,13 @@ bool Worker::handle_session(Connection conn) {
 }
 
 bool Worker::handle_task(Connection& conn, const TaskRequest& task) {
+  // A span-collecting task turns the tracer on for the rest of the process
+  // lifetime; rings are cumulative and shipped whole, so later tasks simply
+  // ship a longer ring. Enabled before MOSAIC_SPAN so this task's own span
+  // is captured too.
+  if (task.collect_spans && !obs::SpanTracer::global().enabled()) {
+    obs::SpanTracer::global().enable();
+  }
   MOSAIC_SPAN("worker-task");
   MOSAIC_LOG_INFO("worker: task shard %zu/%zu attempt %zu (%zu path(s))",
                   task.shard.index, task.shard.count, task.attempt,
@@ -194,13 +208,19 @@ bool Worker::handle_task(Connection& conn, const TaskRequest& task) {
   {
     obs::ScopedTimerMs timer(WorkerMetrics::get().task_ms);
     HeartbeatPump pump(conn, send_mutex,
-                       options_.heartbeat_interval_seconds);
+                       options_.heartbeat_interval_seconds, task.telemetry);
     auto partial = run_shard_task(task, pool_);
     pump.stop();
     if (partial.has_value()) {
       reply_type = FrameType::kPartial;
-      reply_payload =
-          json::serialize(report::partial_to_json(*partial));
+      json::Value partial_json = report::partial_to_json(*partial);
+      if (task.telemetry) {
+        // Unknown top-level keys are ignored by partial_from_json, so this
+        // rides along without a partial-format version bump.
+        partial_json.as_object().set("telemetry",
+                                     telemetry_wire_json(task.collect_spans));
+      }
+      reply_payload = json::serialize(partial_json);
     } else {
       reply_type = FrameType::kTaskError;
       reply_payload = task_error_to_payload(partial.error());

@@ -285,23 +285,46 @@ std::string metrics_to_prometheus(const Snapshot& snapshot) {
   last_base.clear();
   for (const HistogramSample& sample : snapshot.histograms) {
     append_type_line(out, sample.name, "histogram", last_base);
+    // Labels encoded in the series name must wrap the per-series suffixes:
+    // h{worker="w"} renders as h_bucket{worker="w",le="..."} and
+    // h_sum{worker="w"} — never as h{worker="w"}_bucket{...}. Unlabeled
+    // names keep the plain h_bucket{le="..."} / h_sum / h_count forms.
+    const std::string_view name = sample.name;
+    const std::size_t brace = name.find('{');
+    const std::string_view base =
+        brace == std::string_view::npos ? name : name.substr(0, brace);
+    const std::string_view labels =
+        brace == std::string_view::npos
+            ? std::string_view()
+            : name.substr(brace + 1, name.size() - brace - 2);
+    const auto append_series = [&](std::string_view suffix,
+                                   const std::string& extra_label) {
+      out += base;
+      out += suffix;
+      if (labels.empty() && extra_label.empty()) return;
+      out += '{';
+      out += labels;
+      if (!labels.empty() && !extra_label.empty()) out += ',';
+      out += extra_label;
+      out += '}';
+    };
     std::uint64_t cumulative = 0;
     for (std::size_t b = 0; b < sample.buckets.size(); ++b) {
       cumulative += sample.buckets[b];
-      out += sample.name;
-      out += "_bucket{le=\"";
-      out += b < sample.bounds.size() ? format_double(sample.bounds[b])
-                                      : std::string("+Inf");
-      out += "\"} ";
+      const std::string le = b < sample.bounds.size()
+                                 ? format_double(sample.bounds[b])
+                                 : std::string("+Inf");
+      append_series("_bucket", "le=\"" + le + "\"");
+      out += ' ';
       out += std::to_string(cumulative);
       out += '\n';
     }
-    out += sample.name;
-    out += "_sum ";
+    append_series("_sum", "");
+    out += ' ';
     out += format_double(sample.sum);
     out += '\n';
-    out += sample.name;
-    out += "_count ";
+    append_series("_count", "");
+    out += ' ';
     out += std::to_string(sample.count);
     out += '\n';
   }

@@ -124,4 +124,30 @@ inline constexpr std::string_view kWorkerHeartbeats =
     "mosaic_worker_heartbeats_total";
 inline constexpr std::string_view kWorkerTaskMs = "mosaic_worker_task_ms";
 
+// Telemetry federation (src/obs/federation, src/dist/telemetry). Worker-side
+// shipping counters travel *inside* the shipped snapshots, so the manager's
+// fleet view shows how much telemetry each worker exported; the fleet-side
+// series exist only on the manager. kFleetClockOffsetNs carries a
+// {peer="host:port"} label per fleet member (peer, not worker: the fleet
+// merge prepends worker="manager" to every manager series, and a duplicate
+// label key would make the merged name invalid).
+inline constexpr std::string_view kWorkerTelemetrySnapshots =
+    "mosaic_worker_telemetry_snapshots_total";
+inline constexpr std::string_view kWorkerSpansShipped =
+    "mosaic_worker_spans_shipped_total";
+inline constexpr std::string_view kDispatchHeartbeats =
+    "mosaic_dispatch_heartbeats_total";
+inline constexpr std::string_view kDispatchConnectMs =
+    "mosaic_dispatch_connect_ms";
+inline constexpr std::string_view kDispatchMergeMs =
+    "mosaic_dispatch_merge_ms";
+inline constexpr std::string_view kFleetWorkers = "mosaic_fleet_workers";
+inline constexpr std::string_view kFleetSnapshots =
+    "mosaic_fleet_snapshots_total";
+inline constexpr std::string_view kFleetSpans = "mosaic_fleet_spans_total";
+inline constexpr std::string_view kFleetTelemetryParseErrors =
+    "mosaic_fleet_telemetry_parse_errors_total";
+inline constexpr std::string_view kFleetClockOffsetNs =
+    "mosaic_fleet_clock_offset_ns";
+
 }  // namespace mosaic::obs::names

@@ -9,6 +9,7 @@
 #include <x86intrin.h>
 #endif
 
+#include "obs/federation.hpp"
 #include "util/fs.hpp"
 
 namespace mosaic::obs {
@@ -181,72 +182,19 @@ std::uint64_t SpanTracer::dropped() const noexcept {
   return total;
 }
 
-namespace {
-
-void append_json_escaped(std::string& out, const char* text) {
-  for (const char* p = text; *p != '\0'; ++p) {
-    const char c = *p;
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buffer[8];
-          std::snprintf(buffer, sizeof buffer, "\\u%04x",
-                        static_cast<unsigned>(c));
-          out += buffer;
-        } else {
-          out += c;
-        }
-    }
-  }
-}
-
-/// Microseconds with fixed 3-decimal precision: deterministic text for
-/// identical inputs, sub-ns resolution is noise anyway.
-void append_us(std::string& out, std::uint64_t ns) {
-  char buffer[32];
-  std::snprintf(buffer, sizeof buffer, "%llu.%03llu",
-                static_cast<unsigned long long>(ns / 1000),
-                static_cast<unsigned long long>(ns % 1000));
-  out += buffer;
-}
-
-}  // namespace
-
 std::string SpanTracer::chrome_trace_json() const {
-  // Serialized by hand (not via json::Value): a long batch run holds
-  // hundreds of thousands of events and the DOM representation would double
-  // peak memory for no benefit.
+  // One lane, pid 1: the single-process export is the one-lane case of the
+  // fleet serializer (obs/federation.hpp), so named process/thread metadata
+  // and event schema stay identical between solo and merged traces.
   const std::vector<SpanEvent> events = collect();
-  std::string out;
-  out.reserve(events.size() * 96 + 256);
-  out += "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n";
-  out += "{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 1, "
-         "\"args\": {\"name\": \"mosaic\"}}";
-  std::uint32_t last_tid = ~std::uint32_t{0};
+  TraceLane lane;
+  lane.process_name = "mosaic";
+  lane.spans.reserve(events.size());
   for (const SpanEvent& event : events) {
-    if (event.tid != last_tid) {
-      last_tid = event.tid;
-      out += ",\n{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, "
-             "\"tid\": ";
-      out += std::to_string(event.tid);
-      out += ", \"args\": {\"name\": \"worker-";
-      out += std::to_string(event.tid);
-      out += "\"}}";
-    }
-    out += ",\n{\"name\": \"";
-    append_json_escaped(out, event.name);
-    out += "\", \"cat\": \"mosaic\", \"ph\": \"X\", \"pid\": 1, \"tid\": ";
-    out += std::to_string(event.tid);
-    out += ", \"ts\": ";
-    append_us(out, event.start_ns);
-    out += ", \"dur\": ";
-    append_us(out, event.end_ns - event.start_ns);
-    out += "}";
+    lane.spans.push_back(
+        {event.name, event.start_ns, event.end_ns, event.tid});
   }
-  out += "\n]}\n";
-  return out;
+  return chrome_trace_from_lanes({std::move(lane)});
 }
 
 util::Status SpanTracer::write_chrome_trace(const std::string& path) const {

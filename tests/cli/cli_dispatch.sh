@@ -4,7 +4,10 @@
 # seeded network fault must be detected, its shards reassigned, and the merged
 # JSON must stay byte-identical to the single-shot run; same for full
 # degradation (every worker lost) and for a manager crash resumed from the
-# dispatch journal. Ends with flag-validation error cases.
+# dispatch journal. A fleet-observability pass scrapes the manager's live
+# /metrics + /status endpoint mid-run, then checks the merged fleet metrics
+# (bare counter totals == sum of worker-labeled series) and the multi-lane
+# Chrome trace. Ends with flag-validation error cases.
 set -euo pipefail
 MOSAIC="$1"
 WORK="$(mktemp -d)"
@@ -52,6 +55,129 @@ P2="$(start_worker "$WORK/w2.log")"
 diff "$WORK/single.json" "$WORK/dist.json"
 grep -q 'shard 0: done' "$WORK/dispatch.txt"
 grep -q 'funnel:' "$WORK/dispatch.txt"
+
+# Fleet observability: one worker stalls 2.5s per task so the run stays in
+# flight long enough to scrape the live endpoint. Telemetry federation must
+# not perturb the merged output: still byte-identical to single-shot.
+WS1="$(start_worker "$WORK/ws1.log" \
+    --net-fault-inject 'seed=7,stall=1.0,stall_ms=2500')"
+WS2="$(start_worker "$WORK/ws2.log")"
+"$MOSAIC" dispatch "$WORK/pop" --workers "127.0.0.1:$WS1,127.0.0.1:$WS2" \
+    --shards 4 --partials "$WORK/parts_obs" --json "$WORK/obs.json" \
+    --metrics "$WORK/fleet.json" --trace-events "$WORK/fleet_trace.json" \
+    --metrics-port 0 --progress 0.2 --heartbeat-grace 10 \
+    > "$WORK/obs.txt" 2> "$WORK/obs.err" &
+DISPATCH_PID=$!
+
+mport=""
+for _ in $(seq 1 100); do
+  mport="$(sed -n \
+      's/.*metrics endpoint listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' \
+      "$WORK/obs.txt")"
+  [ -n "$mport" ] && break
+  sleep 0.05
+done
+if [ -z "$mport" ]; then
+  echo "dispatch never announced its metrics endpoint" >&2
+  cat "$WORK/obs.txt" "$WORK/obs.err" >&2
+  exit 1
+fi
+
+# Raw-bash HTTP GET (no curl dependency in the test image).
+http_get() {
+  local port="$1" path="$2"
+  exec 3<>"/dev/tcp/127.0.0.1/$port" || return 1
+  printf 'GET %s HTTP/1.1\r\nHost: localhost\r\n\r\n' "$path" >&3
+  cat <&3
+  exec 3>&- 2> /dev/null || true
+}
+
+# Poll the live endpoint until worker-labeled series show up (the healthy
+# worker ships telemetry within its first heartbeat/partial, well inside the
+# 2.5s the stalled worker is holding the run open).
+live_ok=""
+for _ in $(seq 1 120); do
+  http_get "$mport" /metrics > "$WORK/live_metrics.txt" 2> /dev/null || true
+  if grep -q '200 OK' "$WORK/live_metrics.txt" \
+      && grep -q '^mosaic_dispatch_tasks_done_total ' \
+          "$WORK/live_metrics.txt" \
+      && grep -q 'worker="127.0.0.1:' "$WORK/live_metrics.txt"; then
+    live_ok=1
+    break
+  fi
+  sleep 0.05
+done
+if [ -z "$live_ok" ]; then
+  echo "live /metrics never served worker-labeled fleet series" >&2
+  cat "$WORK/live_metrics.txt" >&2
+  exit 1
+fi
+http_get "$mport" /status > "$WORK/live_status.txt" 2> /dev/null || true
+grep -q '200 OK' "$WORK/live_status.txt"
+grep -q '"shards_total": 4' "$WORK/live_status.txt"
+grep -q '"worker":' "$WORK/live_status.txt"
+
+wait "$DISPATCH_PID"
+diff "$WORK/single.json" "$WORK/obs.json"
+grep -q 'dispatch progress: shards' "$WORK/obs.err"
+grep -q 'fleet metrics written to' "$WORK/obs.txt"
+grep -q 'fleet trace events written to' "$WORK/obs.txt"
+
+# Merged-fleet invariant: every bare counter total must equal the sum of its
+# worker-labeled series (the manager's own lane included). Histogram and
+# gauge lines are excluded by the _total suffix / integer-value filters.
+awk '
+  $2 ~ /^[0-9]+$/ && $1 ~ /^[a-z0-9_]+_total$/ {
+    bare[$1] = $2 + 0
+    order[n++] = $1
+  }
+  $2 ~ /^[0-9]+$/ && $1 ~ /^[a-z0-9_]+_total\{worker="[^"]+"\}$/ {
+    split($1, parts, "{")
+    sum[parts[1]] += $2 + 0
+  }
+  END {
+    if (n < 3) { print "too few bare counter totals (" n ")"; exit 1 }
+    for (i = 0; i < n; i++) {
+      name = order[i]
+      if (bare[name] != sum[name] + 0) {
+        print "fleet total mismatch for " name ": bare " bare[name] \
+              " != worker sum " sum[name]
+        exit 1
+      }
+    }
+    print "fleet totals verified for " n " counter(s)"
+  }
+' "$WORK/fleet.json.prom"
+
+# The merged Chrome trace must carry one named process lane per fleet member
+# (manager + both workers) and real span events.
+python3 - "$WORK/fleet_trace.json" <<'PY'
+import json, sys
+trace = json.load(open(sys.argv[1]))
+events = trace["traceEvents"]
+lanes = {e["pid"]: e["args"]["name"] for e in events
+         if e.get("ph") == "M" and e.get("name") == "process_name"}
+assert len(lanes) >= 3, f"expected >=3 process lanes, got {lanes}"
+names = sorted(lanes.values())
+assert "manager" in names, names
+workers = [n for n in names if n.startswith("worker 127.0.0.1:")]
+assert len(workers) >= 2, f"expected 2 worker lanes, got {names}"
+spans = [e for e in events if e.get("ph") == "X"]
+assert spans, "merged trace has no span events"
+worker_pids = {pid for pid, name in lanes.items() if name != "manager"}
+assert any(e["pid"] in worker_pids for e in spans), \
+    "no spans landed in any worker lane"
+assert all(e["ts"] >= 0 and e["dur"] >= 0 for e in spans)
+print(f"fleet trace ok: {len(lanes)} lanes, {len(spans)} spans")
+PY
+
+# Export the fleet artifacts for CI upload when the harness asks for them.
+if [ -n "${MOSAIC_ARTIFACT_DIR:-}" ]; then
+  mkdir -p "$MOSAIC_ARTIFACT_DIR"
+  cp "$WORK/fleet.json" "$MOSAIC_ARTIFACT_DIR/fleet_metrics.json"
+  cp "$WORK/fleet.json.prom" "$MOSAIC_ARTIFACT_DIR/fleet_metrics.prom"
+  cp "$WORK/fleet_trace.json" "$MOSAIC_ARTIFACT_DIR/fleet_trace.json"
+fi
 
 # Kill one worker mid-run via a seeded fault (dies for good after one task):
 # its remaining shards must be reassigned to the survivor, byte-identically.

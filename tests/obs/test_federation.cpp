@@ -1,0 +1,332 @@
+// Tests for telemetry federation: the snapshot/span wire codecs, the fleet
+// merge semantics (counters sum, gauges stay per-worker, histograms add
+// bucket-wise with bound-mismatch rejection), merge determinism, the merged
+// Chrome trace lanes, and the manager-side payload classification that
+// degrades malformed telemetry instead of failing the task.
+#include "obs/federation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "dist/protocol.hpp"
+#include "dist/telemetry.hpp"
+#include "json/json.hpp"
+#include "obs/metrics.hpp"
+
+namespace mosaic::obs {
+namespace {
+
+CounterSample counter(std::string name, std::uint64_t value) {
+  return {std::move(name), "", value};
+}
+
+GaugeSample gauge(std::string name, std::int64_t value) {
+  return {std::move(name), "", value};
+}
+
+HistogramSample histogram(std::string name, std::vector<double> bounds,
+                          std::vector<std::uint64_t> buckets, double sum) {
+  HistogramSample sample;
+  sample.name = std::move(name);
+  sample.bounds = std::move(bounds);
+  sample.buckets = std::move(buckets);
+  for (const std::uint64_t bucket : sample.buckets) sample.count += bucket;
+  sample.sum = sum;
+  return sample;
+}
+
+const CounterSample* find_counter(const Snapshot& snapshot,
+                                  std::string_view name) {
+  for (const CounterSample& sample : snapshot.counters) {
+    if (sample.name == name) return &sample;
+  }
+  return nullptr;
+}
+
+const HistogramSample* find_histogram(const Snapshot& snapshot,
+                                      std::string_view name) {
+  for (const HistogramSample& sample : snapshot.histograms) {
+    if (sample.name == name) return &sample;
+  }
+  return nullptr;
+}
+
+TEST(FederationWire, SnapshotRoundTripsThroughWireJson) {
+  Snapshot snapshot;
+  snapshot.counters.push_back(counter("a_total", 7));
+  snapshot.gauges.push_back(gauge("depth", -3));
+  snapshot.histograms.push_back(
+      histogram("lat_ms", {1.0, 10.0}, {2, 3, 1}, 44.5));
+
+  auto decoded = snapshot_from_wire_json(snapshot_to_wire_json(snapshot));
+  ASSERT_TRUE(decoded.has_value()) << decoded.error().to_string();
+  ASSERT_EQ(decoded->counters.size(), 1u);
+  EXPECT_EQ(decoded->counters[0].name, "a_total");
+  EXPECT_EQ(decoded->counters[0].value, 7u);
+  ASSERT_EQ(decoded->gauges.size(), 1u);
+  EXPECT_EQ(decoded->gauges[0].value, -3);
+  ASSERT_EQ(decoded->histograms.size(), 1u);
+  EXPECT_EQ(decoded->histograms[0].bounds, (std::vector<double>{1.0, 10.0}));
+  EXPECT_EQ(decoded->histograms[0].buckets,
+            (std::vector<std::uint64_t>{2, 3, 1}));
+  EXPECT_EQ(decoded->histograms[0].count, 6u);
+  EXPECT_DOUBLE_EQ(decoded->histograms[0].sum, 44.5);
+}
+
+TEST(FederationWire, RejectsBucketCountMismatch) {
+  Snapshot snapshot;
+  snapshot.histograms.push_back(
+      histogram("lat_ms", {1.0, 10.0}, {2, 3, 1}, 44.5));
+  json::Value wire = snapshot_to_wire_json(snapshot);
+  // Drop one bucket: 2 bounds now claim 2 buckets instead of bounds+1.
+  wire.as_object()
+      .find("histograms")
+      ->as_array()[0]
+      .as_object()
+      .find("buckets")
+      ->as_array()
+      .pop_back();
+  auto decoded = snapshot_from_wire_json(wire);
+  ASSERT_FALSE(decoded.has_value());
+}
+
+TEST(FederationWire, SpansRoundTripThroughWireJson) {
+  std::vector<SpanEvent> events;
+  events.push_back({"parse", 100, 250, 1});
+  events.push_back({"merge", 300, 900, 2});
+  auto decoded = spans_from_wire_json(spans_to_wire_json(events));
+  ASSERT_TRUE(decoded.has_value()) << decoded.error().to_string();
+  ASSERT_EQ(decoded->size(), 2u);
+  EXPECT_EQ((*decoded)[0].name, "parse");
+  EXPECT_EQ((*decoded)[0].start_ns, 100u);
+  EXPECT_EQ((*decoded)[0].end_ns, 250u);
+  EXPECT_EQ((*decoded)[1].tid, 2u);
+}
+
+TEST(FederationLabel, WorkerLabelGoesFirstAndEscapes) {
+  EXPECT_EQ(with_worker_label("a_total", "h:1"), "a_total{worker=\"h:1\"}");
+  // Already-labeled series get worker prepended so stripping
+  // `worker="...",` recovers the bare name.
+  EXPECT_EQ(with_worker_label("a_total{code=\"x\"}", "h:1"),
+            "a_total{worker=\"h:1\",code=\"x\"}");
+  EXPECT_EQ(with_worker_label("a_total", "q\"\\"),
+            "a_total{worker=\"q\\\"\\\\\"}");
+}
+
+TEST(FederationMerge, CountersSumIntoBareTotals) {
+  Snapshot one;
+  one.counters.push_back(counter("tasks_total", 2));
+  Snapshot two;
+  two.counters.push_back(counter("tasks_total", 5));
+
+  const Snapshot merged =
+      merge_snapshots({{"w1", std::move(one)}, {"w2", std::move(two)}});
+  const CounterSample* total = find_counter(merged, "tasks_total");
+  ASSERT_NE(total, nullptr);
+  EXPECT_EQ(total->value, 7u);
+  const CounterSample* w1 =
+      find_counter(merged, "tasks_total{worker=\"w1\"}");
+  ASSERT_NE(w1, nullptr);
+  EXPECT_EQ(w1->value, 2u);
+  const CounterSample* w2 =
+      find_counter(merged, "tasks_total{worker=\"w2\"}");
+  ASSERT_NE(w2, nullptr);
+  EXPECT_EQ(w2->value, 5u);
+}
+
+TEST(FederationMerge, GaugesStayPerWorkerWithNoTotal) {
+  Snapshot one;
+  one.gauges.push_back(gauge("queue_depth", 4));
+  Snapshot two;
+  two.gauges.push_back(gauge("queue_depth", 9));
+
+  const Snapshot merged =
+      merge_snapshots({{"w1", std::move(one)}, {"w2", std::move(two)}});
+  ASSERT_EQ(merged.gauges.size(), 2u);
+  EXPECT_EQ(merged.gauges[0].name, "queue_depth{worker=\"w1\"}");
+  EXPECT_EQ(merged.gauges[0].value, 4);
+  EXPECT_EQ(merged.gauges[1].name, "queue_depth{worker=\"w2\"}");
+  EXPECT_EQ(merged.gauges[1].value, 9);
+  // No bare "queue_depth": summing point-in-time values is meaningless.
+  for (const GaugeSample& sample : merged.gauges) {
+    EXPECT_NE(sample.name, "queue_depth");
+  }
+}
+
+TEST(FederationMerge, HistogramsAddBucketWise) {
+  Snapshot one;
+  one.histograms.push_back(
+      histogram("lat_ms", {1.0, 10.0}, {1, 2, 0}, 12.0));
+  Snapshot two;
+  two.histograms.push_back(
+      histogram("lat_ms", {1.0, 10.0}, {0, 1, 4}, 80.0));
+
+  const Snapshot merged =
+      merge_snapshots({{"w1", std::move(one)}, {"w2", std::move(two)}});
+  const HistogramSample* total = find_histogram(merged, "lat_ms");
+  ASSERT_NE(total, nullptr);
+  EXPECT_EQ(total->buckets, (std::vector<std::uint64_t>{1, 3, 4}));
+  EXPECT_EQ(total->count, 8u);
+  EXPECT_DOUBLE_EQ(total->sum, 92.0);
+  EXPECT_NE(find_histogram(merged, "lat_ms{worker=\"w1\"}"), nullptr);
+  EXPECT_NE(find_histogram(merged, "lat_ms{worker=\"w2\"}"), nullptr);
+}
+
+TEST(FederationMerge, MismatchedHistogramBoundsAreRejectedFromTotals) {
+  Snapshot one;
+  one.histograms.push_back(
+      histogram("lat_ms", {1.0, 10.0}, {1, 2, 0}, 12.0));
+  Snapshot two;
+  two.histograms.push_back(
+      histogram("lat_ms", {5.0, 50.0}, {0, 1, 4}, 80.0));
+
+  MergeStats stats;
+  const Snapshot merged = merge_snapshots(
+      {{"w1", std::move(one)}, {"w2", std::move(two)}}, &stats);
+  EXPECT_EQ(stats.histogram_bound_mismatches, 1u);
+  // First-seen bounds win the total; the mismatched source still shows up
+  // as its own labeled series.
+  const HistogramSample* total = find_histogram(merged, "lat_ms");
+  ASSERT_NE(total, nullptr);
+  EXPECT_EQ(total->bounds, (std::vector<double>{1.0, 10.0}));
+  EXPECT_EQ(total->count, 3u);
+  const HistogramSample* w2 =
+      find_histogram(merged, "lat_ms{worker=\"w2\"}");
+  ASSERT_NE(w2, nullptr);
+  EXPECT_EQ(w2->bounds, (std::vector<double>{5.0, 50.0}));
+}
+
+TEST(FederationMerge, DeterministicRegardlessOfArrivalOrder) {
+  const auto build = [](bool flip) {
+    Snapshot one;
+    one.counters.push_back(counter("tasks_total", 2));
+    one.gauges.push_back(gauge("depth", 1));
+    one.histograms.push_back(
+        histogram("lat_ms", {1.0}, {1, 0}, 0.5));
+    Snapshot two;
+    two.counters.push_back(counter("tasks_total", 5));
+    two.gauges.push_back(gauge("depth", 2));
+    two.histograms.push_back(
+        histogram("lat_ms", {1.0}, {0, 2}, 9.0));
+    std::vector<std::pair<std::string, Snapshot>> sources;
+    if (flip) {
+      sources.emplace_back("w2", std::move(two));
+      sources.emplace_back("w1", std::move(one));
+    } else {
+      sources.emplace_back("w1", std::move(one));
+      sources.emplace_back("w2", std::move(two));
+    }
+    return merge_snapshots(std::move(sources));
+  };
+
+  const Snapshot forward = build(false);
+  const Snapshot reversed = build(true);
+  EXPECT_EQ(metrics_to_prometheus(forward), metrics_to_prometheus(reversed));
+}
+
+TEST(FederationTrace, MergedTraceHasOneNamedLanePerSource) {
+  TraceLane manager;
+  manager.process_name = "manager";
+  manager.spans.push_back({"dispatch-run", 1'000'000, 9'000'000, 1});
+  TraceLane worker;
+  worker.process_name = "worker w1";
+  worker.clock_shift_ns = -500'000;  // worker clock ran ahead by 500us
+  worker.spans.push_back({"worker-task", 2'500'000, 4'500'000, 7});
+
+  const std::string trace = chrome_trace_from_lanes({manager, worker});
+  auto parsed = json::parse(trace);
+  ASSERT_TRUE(parsed.has_value()) << parsed.error().to_string();
+  const auto& events =
+      parsed->as_object().find("traceEvents")->as_array();
+
+  std::vector<std::string> process_names;
+  double worker_ts = -1.0;
+  for (const json::Value& event : events) {
+    const auto& obj = event.as_object();
+    if (obj.find("name")->as_string() == "process_name") {
+      process_names.push_back(obj.find("args")
+                                  ->as_object()
+                                  .find("name")
+                                  ->as_string());
+    }
+    if (obj.find("ph")->as_string() == "X" &&
+        obj.find("name")->as_string() == "worker-task") {
+      worker_ts = obj.find("ts")->as_number();
+    }
+  }
+  ASSERT_EQ(process_names.size(), 2u);
+  EXPECT_EQ(process_names[0], "manager");
+  EXPECT_EQ(process_names[1], "worker w1");
+  // Timeline re-based to the earliest shifted span (manager's 1ms); the
+  // worker span lands at (2.5ms - 0.5ms) - 1ms = 1ms on the shared axis.
+  EXPECT_DOUBLE_EQ(worker_ts, 1000.0);
+}
+
+TEST(FederationRegistry, FleetRegistryMergesAndLabels) {
+  FleetRegistry registry;
+  Snapshot one;
+  one.counters.push_back(counter("tasks_total", 2));
+  registry.update_snapshot("w1", std::move(one));
+  Snapshot two;
+  two.counters.push_back(counter("tasks_total", 3));
+  registry.update_snapshot("w2", std::move(two));
+  // Last write wins per source: refresh w1 with a newer snapshot.
+  Snapshot newer;
+  newer.counters.push_back(counter("tasks_total", 4));
+  registry.update_snapshot("w1", std::move(newer));
+
+  EXPECT_EQ(registry.source_count(), 2u);
+  const Snapshot merged = registry.merged();
+  const CounterSample* total = find_counter(merged, "tasks_total");
+  ASSERT_NE(total, nullptr);
+  EXPECT_EQ(total->value, 7u);
+}
+
+TEST(FederationTelemetry, HeartbeatPayloadClassification) {
+  using dist::parse_heartbeat_telemetry;
+  // Empty payload: a pre-federation heartbeat, no telemetry, no error.
+  auto empty = parse_heartbeat_telemetry("");
+  ASSERT_TRUE(empty.has_value());
+  EXPECT_FALSE(empty->has_value());
+  // Valid JSON without a telemetry member: also plain liveness.
+  auto plain = parse_heartbeat_telemetry("{\"other\":1}");
+  ASSERT_TRUE(plain.has_value());
+  EXPECT_FALSE(plain->has_value());
+  // Telemetry present but missing the required snapshot: an Error the
+  // manager degrades on (count it, keep the task running).
+  auto malformed = parse_heartbeat_telemetry("{\"telemetry\":{}}");
+  EXPECT_FALSE(malformed.has_value());
+  // Unparseable bytes: same degradation path.
+  auto garbage = parse_heartbeat_telemetry("{nope");
+  EXPECT_FALSE(garbage.has_value());
+}
+
+TEST(FederationTelemetry, TaskRequestTelemetryFlagsRoundTripAndDefaultOff) {
+  dist::TaskRequest task;
+  task.shard = {0, 2};
+  task.paths = {"a.mbt"};
+  const std::string off_payload = dist::task_request_to_payload(task);
+  // Off = absent: pre-federation payload bytes, old workers parse it.
+  EXPECT_EQ(off_payload.find("telemetry"), std::string::npos);
+  EXPECT_EQ(off_payload.find("collect_spans"), std::string::npos);
+
+  task.telemetry = true;
+  task.collect_spans = true;
+  auto decoded =
+      dist::task_request_from_payload(dist::task_request_to_payload(task));
+  ASSERT_TRUE(decoded.has_value()) << decoded.error().to_string();
+  EXPECT_TRUE(decoded->telemetry);
+  EXPECT_TRUE(decoded->collect_spans);
+
+  auto decoded_off = dist::task_request_from_payload(off_payload);
+  ASSERT_TRUE(decoded_off.has_value());
+  EXPECT_FALSE(decoded_off->telemetry);
+  EXPECT_FALSE(decoded_off->collect_spans);
+}
+
+}  // namespace
+}  // namespace mosaic::obs

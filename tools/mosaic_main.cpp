@@ -29,10 +29,13 @@
 #include "dist/dispatch.hpp"
 #include "dist/faults.hpp"
 #include "dist/net.hpp"
+#include "dist/telemetry.hpp"
 #include "dist/worker.hpp"
 #include "ingest/ingest.hpp"
 #include "ingest/reader.hpp"
 #include "json/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/names.hpp"
 #include "obs/provenance.hpp"
 #include "obs/report.hpp"
 #include "obs/span.hpp"
@@ -850,6 +853,7 @@ int cmd_worker(int argc, char** argv) {
                  "inject deterministic network faults, e.g. "
                  "seed=7,close=0.25,corrupt=0.25,corrupt_failures=1,"
                  "stall=0.25,stall_ms=400,kill_after=2", "");
+  add_obs_cli_options(cli);
   add_log_cli_options(cli);
   if (const auto status = cli.parse(argc, argv); !status.ok()) {
     return status.error().code == util::ErrorCode::kNotFound ? 0 : 2;
@@ -866,6 +870,10 @@ int cmd_worker(int argc, char** argv) {
   if (!thread_count.has_value()) return 2;
   const auto heartbeat = parse_positive_seconds(cli, "heartbeat-interval");
   if (!heartbeat.has_value()) return 2;
+  const auto progress = parse_progress(cli);
+  if (!progress.has_value()) return 2;
+  const auto provenance_sample = parse_provenance_sample(cli);
+  if (!provenance_sample.has_value()) return 2;
 
   dist::WorkerOptions options;
   options.listen = *listen;
@@ -882,6 +890,14 @@ int cmd_worker(int argc, char** argv) {
     }
     options.fault = *spec;
   }
+
+  // Worker-local telemetry sinks. Note the federation path needs none of
+  // these: snapshots ship to the manager on heartbeats regardless, and
+  // span collection is switched on by the task request itself.
+  ObsSession obs_session(std::string(cli.get("metrics")),
+                         std::string(cli.get("trace-events")), *progress,
+                         std::string(cli.get("provenance")),
+                         *provenance_sample);
 
   dist::Worker worker(std::move(options));
   if (const auto status = worker.bind(); !status.ok()) {
@@ -906,6 +922,7 @@ int cmd_worker(int argc, char** argv) {
               "error(s)%s\n",
               stats.sessions, stats.tasks_done, stats.task_errors,
               stats.killed_by_fault ? " (killed by fault injection)" : "");
+  if (!obs_session.finish()) return 1;
   return 0;
 }
 
@@ -952,6 +969,11 @@ int cmd_dispatch(int argc, char** argv) {
   cli.add_option("abort-after-partials",
                  "testing: simulate a manager crash after N received "
                  "partials", "0");
+  cli.add_option("metrics-port",
+                 "serve live GET /metrics (Prometheus), /metrics.json and "
+                 "/status on 127.0.0.1:<port> while the run is in flight "
+                 "(0 = ephemeral port, printed on startup; empty = off)",
+                 "");
   add_obs_cli_options(cli);
   add_log_cli_options(cli);
   if (const auto status = cli.parse(argc, argv); !status.ok()) {
@@ -1044,9 +1066,83 @@ int cmd_dispatch(int argc, char** argv) {
   options.allow_degraded = !cli.get_flag("no-degraded");
   options.stop_flag = &g_stop_requested;
 
-  ObsSession obs_session(std::string(cli.get("metrics")),
-                         std::string(cli.get("trace-events")), *progress,
-                         std::string(cli.get("provenance")),
+  // Fleet telemetry (DESIGN.md §15). The hub is always on — workers ship
+  // snapshots on their heartbeats and the scheduler mirrors task states
+  // onto its board — so /metrics and /status answer live the moment the
+  // endpoint is up. --metrics and --trace-events switch from the
+  // single-process writers to the *fleet* views: merged worker-labeled
+  // metrics and the multi-lane clock-aligned Chrome trace.
+  const std::string metrics_path(cli.get("metrics"));
+  const std::string trace_path(cli.get("trace-events"));
+  dist::TelemetryHub hub;
+  options.telemetry = &hub;
+  options.collect_spans = !trace_path.empty();
+  if (!trace_path.empty()) obs::SpanTracer::global().enable();
+  if (const auto port_text = cli.get("metrics-port"); !port_text.empty()) {
+    const auto port = non_negative_int("metrics-port");
+    if (!port) return 2;
+    if (*port > 65535) {
+      std::fprintf(stderr, "--metrics-port must be at most 65535\n");
+      return 2;
+    }
+    const dist::Address endpoint{"127.0.0.1",
+                                 static_cast<std::uint16_t>(*port)};
+    if (const auto status = hub.start_endpoint(endpoint); !status.ok()) {
+      std::fprintf(stderr, "--metrics-port: %s\n",
+                   status.error().to_string().c_str());
+      return 1;
+    }
+    // The shell harness scrapes this line for the ephemeral port.
+    std::printf("dispatch metrics endpoint listening on 127.0.0.1:%u\n",
+                static_cast<unsigned>(hub.endpoint_port()));
+    std::fflush(stdout);
+  }
+  hub.start_progress(*progress);
+
+  // Flushes the fleet sinks on every exit path (including abort /
+  // quarantine early returns), mirroring what ObsSession does for the
+  // single-process sinks.
+  struct FleetFlush {
+    dist::TelemetryHub& hub;
+    std::string metrics_path;
+    std::string trace_path;
+    bool finished = false;
+    bool ok = true;
+
+    ~FleetFlush() { finish(); }
+
+    bool finish() {
+      if (finished) return ok;
+      finished = true;
+      hub.stop();
+      if (!metrics_path.empty()) {
+        if (const auto status = hub.write_fleet_metrics(metrics_path);
+            !status.ok()) {
+          std::fprintf(stderr, "%s\n", status.error().to_string().c_str());
+          ok = false;
+        } else {
+          std::printf("fleet metrics written to %s and %s.prom\n",
+                      metrics_path.c_str(), metrics_path.c_str());
+        }
+      }
+      if (!trace_path.empty()) {
+        if (const auto status = hub.write_fleet_trace(trace_path);
+            !status.ok()) {
+          std::fprintf(stderr, "%s\n", status.error().to_string().c_str());
+          ok = false;
+        } else {
+          std::printf("fleet trace events written to %s\n",
+                      trace_path.c_str());
+        }
+        obs::SpanTracer::global().disable();
+      }
+      return ok;
+    }
+  } fleet{hub, metrics_path, trace_path};
+
+  // The hub owns the fleet views of --metrics/--trace-events/--progress;
+  // ObsSession keeps covering provenance.
+  ObsSession obs_session("", "", 0.0, std::string(cli.get("provenance")),
                          *provenance_sample);
   install_stop_handlers();
 
@@ -1093,13 +1189,19 @@ int cmd_dispatch(int argc, char** argv) {
 
   std::size_t artifact_count = 0;
   int exit_code = 0;
-  auto merged = load_and_merge_partials(result->partial_paths,
-                                        &artifact_count, &exit_code);
+  auto merged = [&] {
+    obs::ScopedTimerMs merge_timer(obs::Registry::global().histogram(
+        obs::names::kDispatchMergeMs, obs::latency_buckets_ms(),
+        "partial load + merge wall time on the manager"));
+    return load_and_merge_partials(result->partial_paths, &artifact_count,
+                                   &exit_code);
+  }();
   if (!merged.has_value()) return exit_code;
   std::printf("merged %zu shard partial(s) from %s\n\n", artifact_count,
               options.out_dir.c_str());
   if (!print_batch_summary(merged->batch, cli)) return 1;
   if (!obs_session.finish()) return 1;
+  if (!fleet.finish()) return 1;
   return 0;
 }
 
