@@ -22,6 +22,7 @@
 #include "json/json.hpp"
 #include "obs/metrics.hpp"
 #include "obs/names.hpp"
+#include "obs/profiler.hpp"
 #include "obs/provenance.hpp"
 #include "obs/span.hpp"
 #include "sim/population.hpp"
@@ -40,6 +41,9 @@ inline void note_allocation() noexcept {
   if (g_count_allocations.load(std::memory_order_relaxed)) {
     g_allocation_count.fetch_add(1, std::memory_order_relaxed);
   }
+  // Feed the sampling profiler's allocation-site attribution too, so a
+  // profiled bench run shows which stage frames allocate (DESIGN.md §16).
+  mosaic::obs::profiler_note_allocation();
 }
 
 }  // namespace
@@ -373,6 +377,81 @@ OverheadResult measure_instrumentation_overhead() {
   return result;
 }
 
+/// The sampling-profiler cost experiment (budget: disabled ~0%, enabled at
+/// the default rate <= 5%).
+struct ProfilerOverheadResult {
+  double hz = 0.0;
+  /// A/A null arm: two disabled blocks compared against each other. The
+  /// disabled path is one relaxed atomic load per frame push, so this
+  /// measures pure harness noise — the honest "indistinguishable from
+  /// baseline" number.
+  double off_overhead_pct = 0.0;
+  double enabled_overhead_pct = 0.0;  ///< enabled vs best disabled minimum
+  std::uint64_t samples = 0;          ///< samples taken while enabled
+  std::uint64_t idle_samples = 0;
+};
+
+ProfilerOverheadResult measure_profiler_overhead() {
+  ProfilerOverheadResult result;
+  result.hz = obs::Profiler::kDefaultHz;
+  std::vector<trace::Trace> traces;
+  for (const sim::LabeledTrace& labeled : population().traces) {
+    if (!labeled.corrupted) traces.push_back(labeled.trace);
+    if (traces.size() >= 1000) break;
+  }
+  parallel::ThreadPool pool(1);
+
+  // Same estimator as the instrumentation experiment: per-pass minima over
+  // alternating blocks, noise strictly additive (rationale above). Fewer
+  // reps than the instrumentation gate because this runs three arms.
+  constexpr int kReps = 15;
+  constexpr int kPasses = 64;
+  double off_a = std::numeric_limits<double>::infinity();
+  double off_b = std::numeric_limits<double>::infinity();
+  double on = std::numeric_limits<double>::infinity();
+  (void)time_population_analysis(traces, pool);  // warm-up
+  auto& profiler = obs::Profiler::global();
+  profiler.reset();
+  const auto measure_arm = [&](bool enable, double& best) {
+    if (enable) profiler.enable(result.hz);
+    const BlockTiming timing =
+        time_population_analysis(traces, pool, kPasses);
+    if (enable) profiler.disable();
+    best = std::min(best, timing.best_pass_seconds);
+  };
+  for (int rep = 0; rep < kReps; ++rep) {
+    // Rotate arm order so no arm systematically lands in the same noise
+    // regime (the CPU-steal bursts arrive in multi-block stretches).
+    switch (rep % 3) {
+      case 0:
+        measure_arm(false, off_a);
+        measure_arm(false, off_b);
+        measure_arm(true, on);
+        break;
+      case 1:
+        measure_arm(true, on);
+        measure_arm(false, off_a);
+        measure_arm(false, off_b);
+        break;
+      default:
+        measure_arm(false, off_b);
+        measure_arm(true, on);
+        measure_arm(false, off_a);
+        break;
+    }
+  }
+  result.samples = profiler.sample_count();
+  result.idle_samples = profiler.idle_samples();
+  if (off_a > 0.0) {
+    result.off_overhead_pct = 100.0 * (off_b / off_a - 1.0);
+  }
+  const double off_best = std::min(off_a, off_b);
+  if (off_best > 0.0) {
+    result.enabled_overhead_pct = 100.0 * (on / off_best - 1.0);
+  }
+  return result;
+}
+
 /// Steady-state heap allocations per analyzed trace.
 struct AllocationResult {
   bool counted = false;       ///< false when the bench hook is compiled out
@@ -442,6 +521,7 @@ std::uint64_t counter_value(const obs::Snapshot& snapshot,
 /// per-stage means scraped from the metrics registry, and the
 /// instrumentation overhead experiment.
 void write_bench_json(const OverheadResult& overhead,
+                      const ProfilerOverheadResult& profiler,
                       const AllocationResult& allocations,
                       const std::string& path) {
   const obs::Snapshot snapshot = obs::Registry::global().snapshot();
@@ -478,6 +558,14 @@ void write_bench_json(const OverheadResult& overhead,
   instr.set("provenance_sample", overhead.provenance_sample);
   out.set("instrumentation", std::move(instr));
 
+  json::Object prof;
+  prof.set("hz", profiler.hz);
+  prof.set("off_overhead_pct", profiler.off_overhead_pct);
+  prof.set("enabled_overhead_pct", profiler.enabled_overhead_pct);
+  prof.set("samples", profiler.samples);
+  prof.set("idle_samples", profiler.idle_samples);
+  out.set("profiler", std::move(prof));
+
   json::Object allocs;
   allocs.set("counted", allocations.counted);
   allocs.set("per_trace", allocations.per_trace);
@@ -490,8 +578,10 @@ void write_bench_json(const OverheadResult& overhead,
       !status.ok()) {
     std::fprintf(stderr, "%s\n", status.error().to_string().c_str());
   } else {
-    std::printf("bench results written to %s (overhead %.2f%%)\n",
-                path.c_str(), overhead.overhead_pct);
+    std::printf("bench results written to %s (instrumentation %.2f%%, "
+                "profiler off %.2f%% / on %.2f%%)\n",
+                path.c_str(), overhead.overhead_pct,
+                profiler.off_overhead_pct, profiler.enabled_overhead_pct);
   }
 }
 
@@ -513,8 +603,10 @@ int main(int argc, char** argv) {
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   if (!overhead_only) benchmark::RunSpecifiedBenchmarks();
   const OverheadResult overhead = measure_instrumentation_overhead();
+  const ProfilerOverheadResult profiler = measure_profiler_overhead();
   const AllocationResult allocations = measure_allocations_per_trace();
-  write_bench_json(overhead, allocations, "BENCH_perf_pipeline.json");
+  write_bench_json(overhead, profiler, allocations,
+                   "BENCH_perf_pipeline.json");
   benchmark::Shutdown();
   return 0;
 }

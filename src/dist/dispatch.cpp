@@ -120,6 +120,10 @@ class Scheduler {
       if (task.state == TaskState::kQueued) ++open_;
     }
     if (options_.telemetry != nullptr) {
+      // The hub's staleness horizon is the scheduler's hang detector: a
+      // worker silent past the grace is both "hung" here and "stale" there.
+      options_.telemetry->set_heartbeat_grace(
+          options_.heartbeat_grace_seconds);
       options_.telemetry->set_shard_total(tasks_.size());
       for (const Task& task : tasks_) {
         // Resumed shards enter the board already done.

@@ -1,10 +1,12 @@
 #include "dist/telemetry.hpp"
 
 #include <algorithm>
+#include <cctype>
 #include <utility>
 
 #include "obs/metrics.hpp"
 #include "obs/names.hpp"
+#include "obs/profiler.hpp"
 #include "obs/span.hpp"
 #include "util/backoff.hpp"
 #include "util/fs.hpp"
@@ -27,6 +29,9 @@ struct FleetMetrics {
   obs::Counter& snapshots;
   obs::Counter& spans;
   obs::Counter& parse_errors;
+  obs::Counter& deltas;
+  obs::Gauge& stale_workers;
+  obs::Counter& unauthorized;
 
   static FleetMetrics& get() {
     static auto& registry = obs::Registry::global();
@@ -40,6 +45,14 @@ struct FleetMetrics {
         registry.counter(obs::names::kFleetTelemetryParseErrors,
                          "malformed telemetry payloads degraded to plain "
                          "heartbeats"),
+        registry.counter(obs::names::kFleetDeltas,
+                         "delta telemetry frames folded into the fleet view"),
+        registry.gauge(obs::names::kFleetWorkersStale,
+                       "workers whose fleet series are stale (heartbeat "
+                       "grace expired or worker lost)"),
+        registry.counter(obs::names::kFleetEndpointUnauthorized,
+                         "HTTP requests rejected for a missing or wrong "
+                         "bearer token"),
     };
     return metrics;
   }
@@ -68,6 +81,18 @@ Expected<TelemetryPayload> payload_from_wire(const Value& telemetry) {
     auto decoded_spans = obs::spans_from_wire_json(*spans);
     if (!decoded_spans.has_value()) return decoded_spans.error();
     payload.spans = std::move(*decoded_spans);
+  }
+  if (const Value* delta = telemetry.as_object().find("delta");
+      delta != nullptr) {
+    if (!delta->is_bool()) return telemetry_error("'delta' is not a bool");
+    payload.delta = delta->as_bool();
+  }
+  if (const Value* health = telemetry.as_object().find("health");
+      health != nullptr) {
+    if (!health->is_string()) {
+      return telemetry_error("'health' is not a string");
+    }
+    payload.health = health->as_string();
   }
   return payload;
 }
@@ -100,6 +125,69 @@ std::string heartbeat_telemetry_payload() {
   Object out;
   out.set("telemetry", telemetry_wire_json(/*include_spans=*/false));
   return json::serialize(Value(std::move(out)), /*pretty=*/false);
+}
+
+void TelemetrySender::reset() {
+  const std::scoped_lock lock(mutex_);
+  has_baseline_ = false;
+  baseline_ = obs::Snapshot{};
+}
+
+json::Value TelemetrySender::wire_json(bool include_spans) {
+  Object out;
+  std::vector<obs::SpanEvent> spans;
+  if (include_spans) {
+    spans = obs::SpanTracer::global().collect();
+    obs::Registry::global()
+        .counter(obs::names::kWorkerSpansShipped,
+                 "spans shipped to the manager with partial replies")
+        .add(spans.size());
+  }
+  obs::Registry::global()
+      .counter(obs::names::kWorkerTelemetrySnapshots,
+               "metric snapshots shipped to the manager")
+      .add();
+  obs::Snapshot current = obs::Registry::global().snapshot();
+  // The worker's own verdict rides on every frame; its registry updates
+  // (level gauge, evaluation counter) land after the snapshot was taken,
+  // so they simply ship with the next delta.
+  const obs::HealthReport health =
+      obs::evaluate_health(current, obs::default_health_rules());
+
+  const std::scoped_lock lock(mutex_);
+  bool is_delta = has_baseline_;
+  if (is_delta) {
+    out.set("snapshot",
+            obs::snapshot_to_wire_json(obs::snapshot_delta(baseline_,
+                                                           current)));
+  } else {
+    out.set("snapshot", obs::snapshot_to_wire_json(current));
+  }
+  baseline_ = std::move(current);
+  has_baseline_ = true;
+  out.set("delta", is_delta);
+  out.set("health", obs::health_summary(health));
+  if (include_spans) out.set("spans", obs::spans_to_wire_json(spans));
+  if (is_delta) {
+    obs::Registry::global()
+        .counter(obs::names::kWorkerTelemetryDeltas,
+                 "telemetry frames shipped as deltas instead of whole "
+                 "registries")
+        .add();
+  }
+  return Value(std::move(out));
+}
+
+std::string TelemetrySender::heartbeat_payload() {
+  Object out;
+  out.set("telemetry", wire_json(/*include_spans=*/false));
+  std::string payload = json::serialize(Value(std::move(out)),
+                                        /*pretty=*/false);
+  obs::Registry::global()
+      .counter(obs::names::kWorkerTelemetryBytes,
+               "serialized telemetry payload bytes shipped on heartbeats")
+      .add(payload.size());
+  return payload;
 }
 
 Expected<std::optional<TelemetryPayload>> parse_heartbeat_telemetry(
@@ -157,11 +245,27 @@ void TelemetryHub::apply_telemetry(const std::string& worker,
     FleetMetrics::get().spans.add(payload.spans.size());
     registry_.update_spans(worker, std::move(payload.spans));
   }
-  registry_.update_snapshot(worker, std::move(payload.snapshot));
+  if (payload.delta) {
+    FleetMetrics::get().deltas.add();
+    registry_.apply_snapshot_delta(worker, payload.snapshot);
+  } else {
+    registry_.update_snapshot(worker, std::move(payload.snapshot));
+  }
+}
+
+void TelemetryHub::note_worker_seen(const std::string& worker,
+                                    std::string_view health) {
+  const std::scoped_lock lock(board_mutex_);
+  WorkerBoardEntry& entry = workers_[worker];
+  entry.worker = worker;
+  entry.last_seen_ns = obs::SpanTracer::now_ns();
+  if (!health.empty()) entry.health = std::string(health);
 }
 
 void TelemetryHub::ingest_heartbeat(const std::string& worker,
                                     std::string_view payload) {
+  // Any heartbeat — even one whose telemetry is malformed — is liveness.
+  note_worker_seen(worker, {});
   auto telemetry = parse_heartbeat_telemetry(payload);
   if (!telemetry.has_value()) {
     // Malformed telemetry degrades to "heartbeat without telemetry": the
@@ -173,11 +277,15 @@ void TelemetryHub::ingest_heartbeat(const std::string& worker,
     return;
   }
   if (!telemetry->has_value()) return;  // plain heartbeat (old worker)
+  if (!(*telemetry)->health.empty()) {
+    note_worker_seen(worker, (*telemetry)->health);
+  }
   apply_telemetry(worker, std::move(**telemetry));
 }
 
 void TelemetryHub::ingest_partial_telemetry(
     const std::string& worker, const json::Value& partial_payload) {
+  note_worker_seen(worker, {});
   auto telemetry = extract_partial_telemetry(partial_payload);
   if (!telemetry.has_value()) {
     FleetMetrics::get().parse_errors.add();
@@ -187,6 +295,9 @@ void TelemetryHub::ingest_partial_telemetry(
     return;
   }
   if (!telemetry->has_value()) return;
+  if (!(*telemetry)->health.empty()) {
+    note_worker_seen(worker, (*telemetry)->health);
+  }
   apply_telemetry(worker, std::move(**telemetry));
 }
 
@@ -218,6 +329,7 @@ void TelemetryHub::note_worker_state(const std::string& worker,
     WorkerBoardEntry& entry = workers_[worker];
     entry.worker = worker;
     entry.state = std::string(state);
+    if (state == "connected") entry.last_seen_ns = obs::SpanTracer::now_ns();
     for (const auto& [name, board] : workers_) {
       if (board.state == "connected") ++connected;
     }
@@ -225,11 +337,152 @@ void TelemetryHub::note_worker_state(const std::string& worker,
   FleetMetrics::get().workers.set(static_cast<std::int64_t>(connected));
 }
 
+void TelemetryHub::set_heartbeat_grace(double seconds) {
+  const std::scoped_lock lock(board_mutex_);
+  heartbeat_grace_seconds_ = seconds;
+}
+
+void TelemetryHub::set_auth_token(std::string token) {
+  const std::scoped_lock lock(board_mutex_);
+  auth_token_ = std::move(token);
+}
+
+void TelemetryHub::set_health_rules(std::vector<obs::HealthRule> rules) {
+  const std::scoped_lock lock(board_mutex_);
+  health_rules_ = std::move(rules);
+}
+
+std::vector<std::string> TelemetryHub::refresh_staleness_locked(
+    std::uint64_t now_ns) const {
+  std::vector<std::string> stale;
+  const double grace_s = heartbeat_grace_seconds_;
+  for (auto& [name, entry] : workers_) {
+    // "lost" is a declaration of death — stale immediately. Anything else
+    // that is not currently connected goes stale once it has been silent
+    // past the heartbeat grace; a connected-but-idle worker never does
+    // (idle workers legitimately send nothing between tasks).
+    bool is_stale = entry.state == "lost";
+    if (!is_stale && grace_s > 0.0 && entry.state != "connected" &&
+        entry.last_seen_ns > 0 && now_ns > entry.last_seen_ns) {
+      const double silent_s =
+          static_cast<double>(now_ns - entry.last_seen_ns) * 1e-9;
+      is_stale = silent_s > grace_s;
+    }
+    entry.stale = is_stale;
+    if (is_stale) stale.push_back(name);
+  }
+  return stale;
+}
+
+namespace {
+
+/// Inserts `,stale="true"` after the leading worker label of a fleet
+/// series belonging to a stale worker: m{worker="X"} -> m{worker="X",
+/// stale="true"}. Series without a worker label (fleet totals) pass
+/// through untouched.
+void tag_stale_series(std::string& name,
+                      const std::vector<std::string>& stale) {
+  constexpr std::string_view kPrefix = "worker=\"";
+  const std::size_t brace = name.find('{');
+  if (brace == std::string::npos) return;
+  if (name.compare(brace + 1, kPrefix.size(), kPrefix) != 0) return;
+  const std::size_t value_begin = brace + 1 + kPrefix.size();
+  const std::size_t value_end = name.find('"', value_begin);
+  if (value_end == std::string::npos) return;
+  const std::string_view worker =
+      std::string_view(name).substr(value_begin, value_end - value_begin);
+  for (const std::string& candidate : stale) {
+    if (worker == candidate) {
+      name.insert(value_end + 1, ",stale=\"true\"");
+      return;
+    }
+  }
+}
+
+}  // namespace
+
 obs::Snapshot TelemetryHub::fleet_snapshot() const {
+  std::vector<std::string> stale;
+  {
+    const std::scoped_lock lock(board_mutex_);
+    stale = refresh_staleness_locked(obs::SpanTracer::now_ns());
+  }
+  // Gauge first so the manager's own snapshot (taken next) carries it —
+  // the fleet health rule set resolves it from the merged view.
+  FleetMetrics::get().stale_workers.set(
+      static_cast<std::int64_t>(stale.size()));
   // The manager is just another source; refresh its lane at scrape time so
   // /metrics is live mid-run.
   registry_.update_snapshot("manager", obs::Registry::global().snapshot());
-  return registry_.merged();
+  obs::Snapshot merged = registry_.merged();
+  if (!stale.empty()) {
+    // A stale worker's last-known values keep being reported (they are
+    // cumulative facts), but every one of its series is tagged so a
+    // dashboard cannot mistake them for live data.
+    for (auto& sample : merged.counters) tag_stale_series(sample.name, stale);
+    for (auto& sample : merged.gauges) tag_stale_series(sample.name, stale);
+    for (auto& sample : merged.histograms) {
+      tag_stale_series(sample.name, stale);
+    }
+    const auto by_name = [](const auto& a, const auto& b) {
+      return a.name < b.name;
+    };
+    std::sort(merged.counters.begin(), merged.counters.end(), by_name);
+    std::sort(merged.gauges.begin(), merged.gauges.end(), by_name);
+    std::sort(merged.histograms.begin(), merged.histograms.end(), by_name);
+  }
+  return merged;
+}
+
+obs::HealthReport TelemetryHub::fleet_health() const {
+  std::vector<obs::HealthRule> rules;
+  {
+    const std::scoped_lock lock(board_mutex_);
+    rules = health_rules_;
+  }
+  if (rules.empty()) rules = obs::default_fleet_health_rules();
+  obs::HealthReport report = evaluate_health(fleet_snapshot(), rules);
+  // Fold in each worker's own verdict: worker-side rules see per-process
+  // detail (quarantine growth, pool saturation) that fleet counters blur.
+  // Each non-ok worker contributes a named check so the summary says *which*
+  // worker raised the rollup, not just that something did.
+  const std::scoped_lock lock(board_mutex_);
+  for (const auto& [name, entry] : workers_) {
+    if (entry.health.empty()) continue;
+    const std::string_view level_name =
+        std::string_view(entry.health)
+            .substr(0, std::string_view(entry.health).find('('));
+    const auto level = obs::health_level_from_name(level_name);
+    if (!level.has_value() || *level == obs::HealthLevel::kOk) continue;
+    obs::HealthCheck check;
+    check.rule = "worker:" + name;
+    check.metric = entry.health;  // the worker's own summary, verbatim
+    check.value = static_cast<double>(*level);
+    check.level = *level;
+    report.level = obs::worse(report.level, *level);
+    report.checks.push_back(std::move(check));
+  }
+  return report;
+}
+
+std::string TelemetryHub::healthz_json_text() const {
+  const obs::HealthReport report = fleet_health();
+  json::Value body = obs::health_to_json(report);
+  Array workers;
+  {
+    const std::scoped_lock lock(board_mutex_);
+    for (const auto& [name, entry] : workers_) {
+      Object worker;
+      worker.set("worker", entry.worker);
+      worker.set("state", entry.state);
+      worker.set("stale", entry.stale);
+      worker.set("health", entry.health);
+      workers.push_back(std::move(worker));
+    }
+  }
+  body.as_object().set("summary", obs::health_summary(report));
+  body.as_object().set("workers", std::move(workers));
+  return json::serialize(body);
 }
 
 std::string TelemetryHub::prometheus_text() const {
@@ -259,6 +512,7 @@ std::string TelemetryHub::status_json_text() const {
       shard.set("attempts", entry.attempts);
       shards.push_back(std::move(shard));
     }
+    (void)refresh_staleness_locked(obs::SpanTracer::now_ns());
     for (const auto& [name, entry] : workers_) {
       Object worker;
       worker.set("worker", entry.worker);
@@ -266,6 +520,9 @@ std::string TelemetryHub::status_json_text() const {
       worker.set("tasks_done", entry.tasks_done);
       worker.set("clock_synced", entry.clock_synced);
       worker.set("clock_offset_ns", entry.clock_offset_ns);
+      worker.set("health", entry.health);
+      worker.set("stale", entry.stale);
+      worker.set("last_seen_ns", entry.last_seen_ns);
       workers.push_back(std::move(worker));
     }
   }
@@ -278,6 +535,9 @@ std::string TelemetryHub::status_json_text() const {
 }
 
 std::string TelemetryHub::progress_line() const {
+  // fleet_health() takes board_mutex_ internally (via fleet_snapshot and
+  // the verdict fold) — compute it before our own lock.
+  const std::string health = obs::health_summary(fleet_health());
   std::map<std::string, std::size_t> counts;
   std::size_t total = 0;
   std::string worker_states;
@@ -290,9 +550,15 @@ std::string TelemetryHub::progress_line() const {
       worker_states += entry.worker;
       worker_states += ' ';
       worker_states += entry.state.empty() ? "unknown" : entry.state;
+      if (entry.stale) worker_states += " STALE";
       worker_states += " (";
       worker_states += std::to_string(entry.tasks_done);
-      worker_states += " done)";
+      worker_states += " done";
+      if (!entry.health.empty()) {
+        worker_states += ", ";
+        worker_states += entry.health;
+      }
+      worker_states += ')';
     }
   }
   if (worker_states.empty()) worker_states = "none yet";
@@ -303,7 +569,8 @@ std::string TelemetryHub::progress_line() const {
                      " running, " + std::to_string(counts["queued"]) +
                      " queued, " + std::to_string(counts["retrying"]) +
                      " retrying, " + std::to_string(counts["quarantined"]) +
-                     " quarantined); workers: " + worker_states;
+                     " quarantined); health: " + health +
+                     "; workers: " + worker_states;
   return line;
 }
 
@@ -380,6 +647,59 @@ void TelemetryHub::run_progress(double interval_seconds) {
   MOSAIC_LOG_INFO("%s", progress_line().c_str());
 }
 
+bool TelemetryHub::authorized(const std::string& head) const {
+  std::string token;
+  {
+    const std::scoped_lock lock(board_mutex_);
+    token = auth_token_;
+  }
+  if (token.empty()) return true;  // open endpoint
+  // Find the Authorization header (case-insensitive name, line-anchored).
+  std::string provided;
+  std::size_t pos = 0;
+  while (pos < head.size()) {
+    std::size_t eol = head.find("\r\n", pos);
+    if (eol == std::string::npos) eol = head.size();
+    const std::string_view line =
+        std::string_view(head).substr(pos, eol - pos);
+    constexpr std::string_view kName = "authorization:";
+    if (line.size() > kName.size()) {
+      bool name_matches = true;
+      for (std::size_t i = 0; i < kName.size(); ++i) {
+        if (std::tolower(static_cast<unsigned char>(line[i])) != kName[i]) {
+          name_matches = false;
+          break;
+        }
+      }
+      if (name_matches) {
+        std::string_view value = line.substr(kName.size());
+        while (!value.empty() && value.front() == ' ') value.remove_prefix(1);
+        constexpr std::string_view kScheme = "Bearer ";
+        if (value.size() > kScheme.size() &&
+            value.compare(0, kScheme.size(), kScheme) == 0) {
+          provided = std::string(value.substr(kScheme.size()));
+          while (!provided.empty() &&
+                 (provided.back() == ' ' || provided.back() == '\r')) {
+            provided.pop_back();
+          }
+        }
+        break;
+      }
+    }
+    pos = eol + 2;
+  }
+  if (provided.empty()) return false;
+  // Constant-time compare: no early exit on first mismatch, and the probe's
+  // length never changes how many expected bytes we touch.
+  std::size_t acc = token.size() ^ provided.size();
+  for (std::size_t i = 0; i < token.size(); ++i) {
+    acc |= static_cast<std::size_t>(
+        static_cast<unsigned char>(token[i]) ^
+        static_cast<unsigned char>(provided[i % provided.size()]));
+  }
+  return acc == 0;
+}
+
 void TelemetryHub::handle_http(Connection conn) const {
   // Minimal HTTP/1.x: read the request head byte-wise (bounded, poll-timed
   // via recv_exact), answer one GET, close. Enough for curl / Prometheus
@@ -407,13 +727,18 @@ void TelemetryHub::handle_http(Connection conn) const {
 
   const auto respond = [&conn](const char* status_line,
                                const char* content_type,
-                               const std::string& body) {
+                               const std::string& body,
+                               const char* extra_header = nullptr) {
     std::string response = "HTTP/1.1 ";
     response += status_line;
     response += "\r\nContent-Type: ";
     response += content_type;
     response += "\r\nContent-Length: ";
     response += std::to_string(body.size());
+    if (extra_header != nullptr) {
+      response += "\r\n";
+      response += extra_header;
+    }
     response += "\r\nConnection: close\r\n\r\n";
     response += body;
     (void)conn.send_all(response.data(), response.size());
@@ -424,15 +749,34 @@ void TelemetryHub::handle_http(Connection conn) const {
             "only GET is supported\n");
     return;
   }
+  if (!authorized(head)) {
+    FleetMetrics::get().unauthorized.add();
+    respond("401 Unauthorized", "text/plain", "missing or bad bearer token\n",
+            "WWW-Authenticate: Bearer");
+    return;
+  }
   if (target == "/metrics") {
     respond("200 OK", "text/plain; version=0.0.4", prometheus_text());
   } else if (target == "/metrics.json") {
     respond("200 OK", "application/json", metrics_json_text());
   } else if (target == "/status") {
     respond("200 OK", "application/json", status_json_text());
+  } else if (target == "/healthz") {
+    // 503 on fail makes the endpoint usable as a load-balancer / orchestrator
+    // probe without parsing the body.
+    // Any check at fail forces the rollup to fail, so matching the rollup
+    // key is exact, not heuristic.
+    const std::string body = healthz_json_text();
+    const bool failing =
+        body.find("\"status\": \"fail\"") != std::string::npos;
+    respond(failing ? "503 Service Unavailable" : "200 OK",
+            "application/json", body);
+  } else if (target == "/profile") {
+    respond("200 OK", "application/json",
+            json::serialize(obs::Profiler::global().profile_json()));
   } else {
     respond("404 Not Found", "text/plain",
-            "routes: /metrics /metrics.json /status\n");
+            "routes: /metrics /metrics.json /status /healthz /profile\n");
   }
 }
 

@@ -2,16 +2,19 @@
 // worker observability onto protocol frames, and the manager's TelemetryHub
 // that turns them into a live fleet view.
 //
-// Shipping model (DESIGN.md §15): a worker running a telemetry-enabled task
-// attaches `{"telemetry":{"snapshot":...}}` to every kHeartbeat frame and a
-// `"telemetry"` member (snapshot + span ring when requested) to its kPartial
-// reply. Snapshots and span rings are cumulative, so the manager folds them
-// with last-write-wins per worker — no deltas, no sequence numbers, and a
-// lost heartbeat costs freshness, never correctness. Old workers send empty
-// heartbeats and plain partials; both parse as "no telemetry" (nullopt), so
-// mixed fleets keep dispatching. A payload that is present but malformed is
-// an Error the caller *degrades* on: the heartbeat still counts as
-// liveness, the task keeps running, and
+// Shipping model (DESIGN.md §15–16): a worker running a telemetry-enabled
+// task attaches `{"telemetry":{"snapshot":...,"delta":...,"health":...}}`
+// to every kHeartbeat frame and a `"telemetry"` member (snapshot + span
+// ring when requested) to its kPartial reply. The first frame of every TCP
+// session ships the whole registry; later frames ship only the counters/
+// histograms that moved since the previous frame (TelemetrySender). The
+// session boundary doubles as the resync rule: reconnect -> reset() ->
+// full snapshot, so the manager never applies a delta onto a base it did
+// not see, and a lost heartbeat costs freshness, never correctness. Old
+// workers send empty heartbeats and plain partials; both parse as "no
+// telemetry" (nullopt), so mixed fleets keep dispatching. A payload that is
+// present but malformed is an Error the caller *degrades* on: the
+// heartbeat still counts as liveness, the task keeps running, and
 // mosaic_fleet_telemetry_parse_errors_total is bumped.
 //
 // The TelemetryHub is the manager's aggregation point: a FleetRegistry of
@@ -35,6 +38,7 @@
 #include "dist/net.hpp"
 #include "json/json.hpp"
 #include "obs/federation.hpp"
+#include "obs/health.hpp"
 #include "util/error.hpp"
 
 namespace mosaic::dist {
@@ -43,14 +47,48 @@ namespace mosaic::dist {
 struct TelemetryPayload {
   obs::Snapshot snapshot;
   std::vector<obs::FleetSpan> spans;  ///< empty on heartbeats
+  /// True when `snapshot` is a counter/histogram delta against the last
+  /// frame this sender shipped on the session, not a whole registry.
+  bool delta = false;
+  /// Worker-evaluated health rollup ("ok" / "warn(...)" / "fail(...)");
+  /// empty on frames from pre-delta workers.
+  std::string health;
 };
 
 /// Worker side: the `{"snapshot":...,"spans":[...]}` wire object built from
 /// the process-global registry (and span tracer when `include_spans`).
+/// Always a whole snapshot — the delta path lives in TelemetrySender.
 [[nodiscard]] json::Value telemetry_wire_json(bool include_spans);
 
-/// Worker side: a complete kHeartbeat payload carrying a snapshot.
+/// Worker side: a complete kHeartbeat payload carrying a whole snapshot.
 [[nodiscard]] std::string heartbeat_telemetry_payload();
+
+/// Worker-side delta shipper. The first frame after construction or
+/// reset() carries the whole registry; every later frame carries only the
+/// counters/histograms that moved (and changed gauges) since the previous
+/// one. reset() at session start is the resync rule: a reconnecting worker
+/// always re-baselines the manager with a full snapshot, so a manager that
+/// missed deltas (it replaced the connection) never applies one onto a
+/// stale base. Each frame also carries the worker's own health verdict.
+/// Thread-safe (heartbeat pump + session thread share one sender).
+class TelemetrySender {
+ public:
+  /// Forgets the baseline: the next frame ships the whole registry.
+  void reset();
+
+  /// The `{"snapshot":...,"delta":...,"health":...[,"spans":...]}` wire
+  /// object, advancing the baseline.
+  [[nodiscard]] json::Value wire_json(bool include_spans);
+
+  /// A complete kHeartbeat payload (`{"telemetry": wire_json(false)}`),
+  /// counting its serialized size into mosaic_worker_telemetry_bytes_total.
+  [[nodiscard]] std::string heartbeat_payload();
+
+ private:
+  std::mutex mutex_;
+  bool has_baseline_ = false;
+  obs::Snapshot baseline_;
+};
 
 /// Manager side: classifies a kHeartbeat payload.
 ///   nullopt  no telemetry (empty payload / old worker) — plain liveness
@@ -70,6 +108,9 @@ struct WorkerBoardEntry {
   std::size_t tasks_done = 0;
   std::int64_t clock_offset_ns = 0;
   bool clock_synced = false;
+  std::string health;             ///< last piggybacked worker verdict
+  std::uint64_t last_seen_ns = 0; ///< manager clock; 0 = never heard from
+  bool stale = false;             ///< computed at view time, mirrored here
 };
 
 /// One shard's row in the /status board.
@@ -112,10 +153,33 @@ class TelemetryHub {
                        const std::string& worker, std::size_t attempts);
   void note_worker_state(const std::string& worker, std::string_view state);
 
+  // --- configuration ----------------------------------------------------
+  /// Staleness horizon: a non-connected worker silent for longer than this
+  /// (or one declared "lost") is tagged stale in /status and the fleet
+  /// snapshot. <= 0 disables silence-based staleness ("lost" still tags).
+  void set_heartbeat_grace(double seconds);
+
+  /// Requires `Authorization: Bearer <token>` on every HTTP request
+  /// (constant-time compare; 401 otherwise). Empty = open endpoint.
+  void set_auth_token(std::string token);
+
+  /// Replaces the fleet health rule set (defaults to
+  /// obs::default_fleet_health_rules()).
+  void set_health_rules(std::vector<obs::HealthRule> rules);
+
   // --- views ------------------------------------------------------------
   /// Fleet-wide merged snapshot: the manager's own registry (source
-  /// "manager") plus every worker, per-source labeled + totals.
+  /// "manager") plus every worker, per-source labeled + totals. Series of
+  /// stale workers carry an extra `stale="true"` label and the
+  /// mosaic_fleet_workers_stale gauge counts them.
   [[nodiscard]] obs::Snapshot fleet_snapshot() const;
+
+  /// Fleet health: the rule set evaluated on fleet_snapshot(), folded with
+  /// every worker's last piggybacked verdict (worst wins).
+  [[nodiscard]] obs::HealthReport fleet_health() const;
+
+  /// /healthz body: fleet verdict + per-worker rollups.
+  [[nodiscard]] std::string healthz_json_text() const;
   [[nodiscard]] std::string prometheus_text() const;
   [[nodiscard]] std::string metrics_json_text() const;
   [[nodiscard]] std::string status_json_text() const;
@@ -129,8 +193,8 @@ class TelemetryHub {
   [[nodiscard]] util::Status write_fleet_trace(const std::string& path);
 
   // --- embedded HTTP endpoint -------------------------------------------
-  /// Binds and serves GET /metrics, /metrics.json and /status on a
-  /// background thread until stop(). Port 0 binds ephemerally;
+  /// Binds and serves GET /metrics, /metrics.json, /status, /healthz and
+  /// /profile on a background thread until stop(). Port 0 binds ephemerally;
   /// endpoint_port() reports the resolved port.
   [[nodiscard]] util::Status start_endpoint(const Address& address);
   [[nodiscard]] std::uint16_t endpoint_port() const noexcept {
@@ -148,7 +212,14 @@ class TelemetryHub {
   void serve_endpoint();
   void run_progress(double interval_seconds);
   void handle_http(Connection conn) const;
+  [[nodiscard]] bool authorized(const std::string& head) const;
   void apply_telemetry(const std::string& worker, TelemetryPayload payload);
+  void note_worker_seen(const std::string& worker, std::string_view health);
+
+  /// Refreshes every entry's `stale` flag against `now` and returns the
+  /// names of the stale workers. Caller holds board_mutex_.
+  [[nodiscard]] std::vector<std::string> refresh_staleness_locked(
+      std::uint64_t now_ns) const;
 
   // Mutable: const views (fleet_snapshot and friends) refresh the manager's
   // own lane at scrape time. FleetRegistry is internally synchronized.
@@ -157,7 +228,10 @@ class TelemetryHub {
   mutable std::mutex board_mutex_;
   std::size_t shard_total_ = 0;
   std::map<std::size_t, ShardBoardEntry> shards_;
-  std::map<std::string, WorkerBoardEntry> workers_;
+  mutable std::map<std::string, WorkerBoardEntry> workers_;
+  double heartbeat_grace_seconds_ = 0.0;
+  std::string auth_token_;
+  std::vector<obs::HealthRule> health_rules_;
 
   Listener listener_;
   std::atomic<bool> stop_{false};

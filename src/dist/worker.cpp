@@ -54,10 +54,9 @@ struct WorkerMetrics {
 class HeartbeatPump {
  public:
   HeartbeatPump(Connection& conn, std::mutex& send_mutex,
-                double interval_seconds, bool ship_telemetry)
+                double interval_seconds, TelemetrySender* sender)
       : conn_(conn), send_mutex_(send_mutex),
-        interval_seconds_(interval_seconds),
-        ship_telemetry_(ship_telemetry) {
+        interval_seconds_(interval_seconds), sender_(sender) {
     thread_ = std::thread([this] { run(); });
   }
 
@@ -80,9 +79,10 @@ class HeartbeatPump {
       if (since_beat_s < interval_seconds_) continue;
       since_beat_s = 0.0;
       // Snapshot outside the lock; telemetry-enabled tasks piggyback the
-      // whole metric registry on each beat (old managers ignore payloads).
+      // registry on each beat — whole on the first frame of the session,
+      // deltas after (old managers ignore payloads entirely).
       const std::string payload =
-          ship_telemetry_ ? heartbeat_telemetry_payload() : std::string();
+          sender_ != nullptr ? sender_->heartbeat_payload() : std::string();
       std::lock_guard<std::mutex> lock(send_mutex_);
       if (!write_frame(conn_, FrameType::kHeartbeat, payload).ok()) return;
       WorkerMetrics::get().heartbeats.add();
@@ -92,7 +92,7 @@ class HeartbeatPump {
   Connection& conn_;
   std::mutex& send_mutex_;
   double interval_seconds_;
-  bool ship_telemetry_;
+  TelemetrySender* sender_;
   std::atomic<bool> stop_{false};
   std::thread thread_;
 };
@@ -134,6 +134,9 @@ bool Worker::handle_session(Connection conn) {
   if (!write_frame(conn, FrameType::kHello, hello_payload()).ok()) {
     return true;
   }
+  // New session, new baseline: the first telemetry frame to this manager
+  // ships the whole registry (the delta resync rule).
+  telemetry_.reset();
 
   while (!stop_.load(std::memory_order_relaxed)) {
     auto frame = read_frame(conn, 0.5);
@@ -208,7 +211,8 @@ bool Worker::handle_task(Connection& conn, const TaskRequest& task) {
   {
     obs::ScopedTimerMs timer(WorkerMetrics::get().task_ms);
     HeartbeatPump pump(conn, send_mutex,
-                       options_.heartbeat_interval_seconds, task.telemetry);
+                       options_.heartbeat_interval_seconds,
+                       task.telemetry ? &telemetry_ : nullptr);
     auto partial = run_shard_task(task, pool_);
     pump.stop();
     if (partial.has_value()) {
@@ -217,8 +221,8 @@ bool Worker::handle_task(Connection& conn, const TaskRequest& task) {
       if (task.telemetry) {
         // Unknown top-level keys are ignored by partial_from_json, so this
         // rides along without a partial-format version bump.
-        partial_json.as_object().set("telemetry",
-                                     telemetry_wire_json(task.collect_spans));
+        partial_json.as_object().set(
+            "telemetry", telemetry_.wire_json(task.collect_spans));
       }
       reply_payload = json::serialize(partial_json);
     } else {

@@ -21,6 +21,7 @@
 #include "dist/faults.hpp"
 #include "dist/net.hpp"
 #include "dist/protocol.hpp"
+#include "dist/telemetry.hpp"
 #include "parallel/thread_pool.hpp"
 #include "util/error.hpp"
 
@@ -76,6 +77,9 @@ class Worker {
   parallel::ThreadPool pool_;
   std::atomic<bool> stop_{false};
   WorkerStats stats_;
+  /// Delta shipper for heartbeat/partial telemetry; reset at session start
+  /// so every new manager connection gets a full-resync first frame.
+  TelemetrySender telemetry_;
 };
 
 }  // namespace mosaic::dist

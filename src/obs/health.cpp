@@ -1,0 +1,422 @@
+#include "obs/health.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "obs/names.hpp"
+
+namespace mosaic::obs {
+
+using json::Array;
+using json::Object;
+using json::Value;
+using util::Error;
+using util::ErrorCode;
+using util::Expected;
+
+std::string_view health_level_name(HealthLevel level) noexcept {
+  switch (level) {
+    case HealthLevel::kOk: return "ok";
+    case HealthLevel::kWarn: return "warn";
+    case HealthLevel::kFail: return "fail";
+  }
+  return "ok";
+}
+
+Expected<HealthLevel> health_level_from_name(std::string_view name) {
+  if (name == "ok") return HealthLevel::kOk;
+  if (name == "warn") return HealthLevel::kWarn;
+  if (name == "fail") return HealthLevel::kFail;
+  return Error{ErrorCode::kParseError,
+               "unknown health level '" + std::string(name) + "'"};
+}
+
+namespace {
+
+/// True when `series` is `family{...}` — a labeled variant of `family`.
+bool is_family_member(std::string_view series, std::string_view family) {
+  return series.size() > family.size() + 1 &&
+         series.compare(0, family.size(), family) == 0 &&
+         series[family.size()] == '{';
+}
+
+/// True for fleet-merge-labeled series (`worker="..."` present): summing
+/// those on top of the bare fleet total would double-count.
+bool has_worker_label(std::string_view series) {
+  return series.find("worker=\"") != std::string_view::npos;
+}
+
+/// Resolves a rule metric against a snapshot (semantics in health.hpp).
+double resolve_metric(const Snapshot& snapshot, std::string_view name) {
+  for (const CounterSample& sample : snapshot.counters) {
+    if (sample.name == name) return static_cast<double>(sample.value);
+  }
+  for (const GaugeSample& sample : snapshot.gauges) {
+    if (sample.name == name) return static_cast<double>(sample.value);
+  }
+  // Family fold over labeled variants.
+  double counter_sum = 0.0;
+  bool counter_found = false;
+  for (const CounterSample& sample : snapshot.counters) {
+    if (!is_family_member(sample.name, name)) continue;
+    if (has_worker_label(sample.name)) continue;
+    counter_sum += static_cast<double>(sample.value);
+    counter_found = true;
+  }
+  if (counter_found) return counter_sum;
+  double gauge_max = 0.0;
+  bool gauge_found = false;
+  for (const GaugeSample& sample : snapshot.gauges) {
+    if (!is_family_member(sample.name, name)) continue;
+    const auto value = static_cast<double>(sample.value);
+    if (!gauge_found || value > gauge_max) gauge_max = value;
+    gauge_found = true;
+  }
+  if (gauge_found) return gauge_max;
+  return 0.0;
+}
+
+std::string format_threshold(double value) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof buffer, "%g", value);
+  return buffer;
+}
+
+}  // namespace
+
+std::vector<HealthRule> default_health_rules() {
+  return {
+      // Evictions per processed file: a corpus where most files die in the
+      // funnel is a data problem worth failing loudly on.
+      {"eviction-ratio", std::string(names::kFunnelEvictions),
+       std::string(names::kIngestProcessed), 0.1, 0.5},
+      // Retries per processed file: sustained retry pressure means the
+      // storage layer is struggling even if everything eventually loads.
+      {"retry-ratio", std::string(names::kIngestRetryAttempts),
+       std::string(names::kIngestProcessed), 0.2, 1.0},
+      {"quarantine", std::string(names::kIngestQuarantined), "", 1.0, 10.0},
+      // Queue depth per pool thread: backlog growth beyond a few tasks per
+      // worker means producers outpace the pool.
+      {"queue-saturation", std::string(names::kPoolQueueDepth),
+       std::string(names::kPoolThreads), 4.0, 16.0},
+      {"suppressed-errors", std::string(names::kPoolSuppressedErrors), "",
+       1.0, -1.0},
+  };
+}
+
+std::vector<HealthRule> default_fleet_health_rules() {
+  return {
+      {"dispatch-retry-ratio", std::string(names::kDispatchRetries),
+       std::string(names::kDispatchTasksDone), 0.5, 2.0},
+      // A quarantined shard refuses the merge — that is already a failed
+      // run, so warn and fail coincide.
+      {"quarantine", std::string(names::kDispatchQuarantined), "", 1.0, 1.0},
+      {"workers-lost", std::string(names::kDispatchWorkersLost), "", 1.0,
+       -1.0},
+      // A stale worker (heartbeat grace expired / quarantined / lost) means
+      // the fleet view is no longer live — fail until it recovers.
+      {"worker-staleness", std::string(names::kFleetWorkersStale), "", 1.0,
+       1.0},
+      {"degraded-tasks", std::string(names::kDispatchDegradedTasks), "", 1.0,
+       -1.0},
+      {"telemetry-parse-errors",
+       std::string(names::kFleetTelemetryParseErrors), "", 1.0, -1.0},
+  };
+}
+
+HealthReport evaluate_health(const Snapshot& snapshot,
+                             const std::vector<HealthRule>& rules) {
+  HealthReport report;
+  report.checks.reserve(rules.size());
+  for (const HealthRule& rule : rules) {
+    HealthCheck check;
+    check.rule = rule.name;
+    check.metric = rule.metric;
+    check.warn = rule.warn;
+    check.fail = rule.fail;
+    double value = resolve_metric(snapshot, rule.metric);
+    if (!rule.denominator.empty()) {
+      const double denominator = resolve_metric(snapshot, rule.denominator);
+      value = denominator > 0.0 ? value / denominator : 0.0;
+    }
+    check.value = value;
+    if (rule.fail >= 0.0 && value >= rule.fail) {
+      check.level = HealthLevel::kFail;
+    } else if (rule.warn >= 0.0 && value >= rule.warn) {
+      check.level = HealthLevel::kWarn;
+    }
+    report.level = worse(report.level, check.level);
+    report.checks.push_back(std::move(check));
+  }
+  if (metrics_enabled()) {
+    static Gauge& level_gauge = Registry::global().gauge(
+        names::kHealthLevel, "Latest health verdict (0 ok, 1 warn, 2 fail)");
+    static Counter& evaluations = Registry::global().counter(
+        names::kHealthEvaluations, "Health rule-set evaluations");
+    level_gauge.set(static_cast<std::int64_t>(report.level));
+    evaluations.add(1);
+  }
+  return report;
+}
+
+json::Value health_to_json(const HealthReport& report) {
+  Object out;
+  out.set("status", std::string(health_level_name(report.level)));
+  Array checks;
+  checks.reserve(report.checks.size());
+  for (const HealthCheck& check : report.checks) {
+    Object c;
+    c.set("rule", check.rule);
+    c.set("metric", check.metric);
+    c.set("value", check.value);
+    if (check.warn >= 0.0) c.set("warn", check.warn);
+    if (check.fail >= 0.0) c.set("fail", check.fail);
+    c.set("status", std::string(health_level_name(check.level)));
+    checks.push_back(std::move(c));
+  }
+  out.set("checks", std::move(checks));
+  return Value(std::move(out));
+}
+
+std::string health_summary(const HealthReport& report) {
+  if (report.level == HealthLevel::kOk) return "ok";
+  std::string culprits;
+  for (const HealthCheck& check : report.checks) {
+    // Name only the rules at the rollup's severity: a warn rollup listing
+    // its warns, a fail rollup listing its fails.
+    if (check.level != report.level) continue;
+    if (!culprits.empty()) culprits += ',';
+    culprits += check.rule;
+  }
+  std::string out(health_level_name(report.level));
+  // A rollup can outrank every check (e.g. folded from another report);
+  // a bare level reads better than empty parens then.
+  if (!culprits.empty()) out += '(' + culprits + ')';
+  return out;
+}
+
+std::string health_text(const HealthReport& report) {
+  std::string out = "health: ";
+  out += health_level_name(report.level);
+  out += '\n';
+  for (const HealthCheck& check : report.checks) {
+    char value[32];
+    std::snprintf(value, sizeof value, "%.4g", check.value);
+    out += "  ";
+    out += health_level_name(check.level);
+    out.append(6 - health_level_name(check.level).size(), ' ');
+    out += check.rule;
+    out += " = ";
+    out += value;
+    if (check.warn >= 0.0) {
+      out += " (warn >= " + format_threshold(check.warn);
+      if (check.fail >= 0.0) out += ", fail >= " + format_threshold(check.fail);
+      out += ")";
+    } else if (check.fail >= 0.0) {
+      out += " (fail >= " + format_threshold(check.fail) + ")";
+    }
+    out += "  [";
+    out += check.metric;
+    out += "]\n";
+  }
+  return out;
+}
+
+namespace {
+
+Error rules_error(std::string what) {
+  return Error{ErrorCode::kParseError, "health rules: " + std::move(what)};
+}
+
+}  // namespace
+
+Expected<std::vector<HealthRule>> health_rules_from_json(
+    const json::Value& value) {
+  if (!value.is_object()) return rules_error("document is not an object");
+  const Value* rules = value.as_object().find("rules");
+  if (rules == nullptr || !rules->is_array()) {
+    return rules_error("missing 'rules' array");
+  }
+  std::vector<HealthRule> out;
+  out.reserve(rules->as_array().size());
+  for (const Value& member : rules->as_array()) {
+    if (!member.is_object()) return rules_error("rule is not an object");
+    const Object& obj = member.as_object();
+    HealthRule rule;
+    const Value* name = obj.find("name");
+    if (name == nullptr || !name->is_string()) {
+      return rules_error("rule missing string 'name'");
+    }
+    rule.name = name->as_string();
+    const Value* metric = obj.find("metric");
+    if (metric == nullptr || !metric->is_string()) {
+      return rules_error("rule '" + rule.name + "' missing string 'metric'");
+    }
+    rule.metric = metric->as_string();
+    if (const Value* denominator = obj.find("denominator");
+        denominator != nullptr) {
+      if (!denominator->is_string()) {
+        return rules_error("rule '" + rule.name +
+                           "': 'denominator' is not a string");
+      }
+      rule.denominator = denominator->as_string();
+    }
+    bool any_threshold = false;
+    if (const Value* warn = obj.find("warn"); warn != nullptr) {
+      if (!warn->is_number()) {
+        return rules_error("rule '" + rule.name + "': 'warn' is not a number");
+      }
+      rule.warn = warn->as_number();
+      any_threshold = true;
+    }
+    if (const Value* fail = obj.find("fail"); fail != nullptr) {
+      if (!fail->is_number()) {
+        return rules_error("rule '" + rule.name + "': 'fail' is not a number");
+      }
+      rule.fail = fail->as_number();
+      any_threshold = true;
+    }
+    if (!any_threshold) {
+      return rules_error("rule '" + rule.name +
+                         "' needs at least one of 'warn'/'fail'");
+    }
+    out.push_back(std::move(rule));
+  }
+  if (out.empty()) return rules_error("empty 'rules' array");
+  return out;
+}
+
+json::Value health_rules_to_json(const std::vector<HealthRule>& rules) {
+  Array members;
+  members.reserve(rules.size());
+  for (const HealthRule& rule : rules) {
+    Object member;
+    member.set("name", rule.name);
+    member.set("metric", rule.metric);
+    if (!rule.denominator.empty()) {
+      member.set("denominator", rule.denominator);
+    }
+    if (rule.warn >= 0.0) member.set("warn", rule.warn);
+    if (rule.fail >= 0.0) member.set("fail", rule.fail);
+    members.push_back(std::move(member));
+  }
+  Object out;
+  out.set("rules", std::move(members));
+  return Value(std::move(out));
+}
+
+Expected<std::vector<HealthRule>> load_health_rules(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Error{ErrorCode::kIoError, "cannot open rules file: " + path};
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  auto parsed = json::parse(text.str());
+  if (!parsed.has_value()) {
+    return Error{ErrorCode::kParseError,
+                 "rules file " + path + ": " + parsed.error().message};
+  }
+  return health_rules_from_json(*parsed);
+}
+
+namespace {
+
+Error metrics_json_error(std::string what) {
+  return Error{ErrorCode::kParseError, "metrics json: " + std::move(what)};
+}
+
+}  // namespace
+
+Expected<Snapshot> snapshot_from_metrics_json(const json::Value& value) {
+  if (!value.is_object()) return metrics_json_error("not an object");
+  const Object& obj = value.as_object();
+  Snapshot snapshot;
+  if (const Value* counters = obj.find("counters"); counters != nullptr) {
+    if (!counters->is_object()) {
+      return metrics_json_error("'counters' is not an object");
+    }
+    for (const auto& [name, member] : counters->as_object().entries()) {
+      if (!member.is_number()) {
+        return metrics_json_error("counter '" + name + "' is not a number");
+      }
+      snapshot.counters.push_back(
+          {name, "", static_cast<std::uint64_t>(member.as_number())});
+    }
+  }
+  if (const Value* gauges = obj.find("gauges"); gauges != nullptr) {
+    if (!gauges->is_object()) {
+      return metrics_json_error("'gauges' is not an object");
+    }
+    for (const auto& [name, member] : gauges->as_object().entries()) {
+      if (!member.is_number()) {
+        return metrics_json_error("gauge '" + name + "' is not a number");
+      }
+      snapshot.gauges.push_back(
+          {name, "", static_cast<std::int64_t>(member.as_number())});
+    }
+  }
+  if (const Value* histograms = obj.find("histograms"); histograms != nullptr) {
+    if (!histograms->is_object()) {
+      return metrics_json_error("'histograms' is not an object");
+    }
+    for (const auto& [name, member] : histograms->as_object().entries()) {
+      if (!member.is_object()) {
+        return metrics_json_error("histogram '" + name + "' is not an object");
+      }
+      const Object& h = member.as_object();
+      HistogramSample sample;
+      sample.name = name;
+      if (const Value* sum = h.find("sum"); sum != nullptr && sum->is_number()) {
+        sample.sum = sum->as_number();
+      }
+      const Value* buckets = h.find("buckets");
+      if (buckets == nullptr || !buckets->is_array()) {
+        return metrics_json_error("histogram '" + name +
+                                  "' missing 'buckets' array");
+      }
+      // metrics_to_json emits Prometheus-style cumulative buckets with an
+      // "le" edge per entry; the Snapshot form wants per-bucket counts and
+      // the finite edges only.
+      std::uint64_t previous = 0;
+      for (const Value& bucket : buckets->as_array()) {
+        if (!bucket.is_object()) {
+          return metrics_json_error("histogram '" + name +
+                                    "' bucket is not an object");
+        }
+        const Object& b = bucket.as_object();
+        const Value* le = b.find("le");
+        const Value* count = b.find("count");
+        if (le == nullptr || count == nullptr || !count->is_number()) {
+          return metrics_json_error("histogram '" + name +
+                                    "' bucket missing le/count");
+        }
+        const auto cumulative =
+            static_cast<std::uint64_t>(count->as_number());
+        if (cumulative < previous) {
+          return metrics_json_error("histogram '" + name +
+                                    "' buckets are not cumulative");
+        }
+        sample.buckets.push_back(cumulative - previous);
+        previous = cumulative;
+        if (le->is_number()) {
+          sample.bounds.push_back(le->as_number());
+        } else if (!le->is_string() || le->as_string() != "+Inf") {
+          return metrics_json_error("histogram '" + name +
+                                    "' has a malformed 'le' edge");
+        }
+      }
+      if (sample.buckets.size() != sample.bounds.size() + 1) {
+        return metrics_json_error("histogram '" + name +
+                                  "' is missing its +Inf bucket");
+      }
+      sample.count = previous;
+      snapshot.histograms.push_back(std::move(sample));
+    }
+  }
+  return snapshot;
+}
+
+}  // namespace mosaic::obs

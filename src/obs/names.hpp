@@ -150,4 +150,37 @@ inline constexpr std::string_view kFleetTelemetryParseErrors =
 inline constexpr std::string_view kFleetClockOffsetNs =
     "mosaic_fleet_clock_offset_ns";
 
+// Telemetry deltas (src/dist/telemetry). Workers ship counter/histogram
+// deltas since the last acknowledged snapshot instead of whole registries;
+// the byte counters exist on both ends so the saving is measurable.
+inline constexpr std::string_view kWorkerTelemetryDeltas =
+    "mosaic_worker_telemetry_deltas_total";
+inline constexpr std::string_view kWorkerTelemetryBytes =
+    "mosaic_worker_telemetry_bytes_total";
+inline constexpr std::string_view kFleetDeltas =
+    "mosaic_fleet_telemetry_deltas_total";
+
+// Endpoint auth + staleness (src/dist/telemetry).
+inline constexpr std::string_view kFleetEndpointUnauthorized =
+    "mosaic_fleet_endpoint_unauthorized_total";
+inline constexpr std::string_view kFleetWorkersStale =
+    "mosaic_fleet_workers_stale";
+
+// Sampling profiler (src/obs/profiler).
+inline constexpr std::string_view kProfilerSamples =
+    "mosaic_profiler_samples_total";
+inline constexpr std::string_view kProfilerSamplesDropped =
+    "mosaic_profiler_samples_dropped_total";
+inline constexpr std::string_view kProfilerStacksTruncated =
+    "mosaic_profiler_stacks_truncated_total";
+inline constexpr std::string_view kProfilerAllocs =
+    "mosaic_profiler_allocations_attributed_total";
+inline constexpr std::string_view kProfilerThreads = "mosaic_profiler_threads";
+
+// Health engine (src/obs/health). kHealthLevel encodes the overall verdict
+// as 0 = ok, 1 = warn, 2 = fail.
+inline constexpr std::string_view kHealthLevel = "mosaic_health_level";
+inline constexpr std::string_view kHealthEvaluations =
+    "mosaic_health_evaluations_total";
+
 }  // namespace mosaic::obs::names

@@ -1,0 +1,415 @@
+#include "obs/profiler.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+
+#include "obs/names.hpp"
+#include "util/fs.hpp"
+
+namespace mosaic::obs {
+
+namespace {
+
+/// Raw leaf samples kept for the Chrome "profile" lane. Beyond this the
+/// aggregates keep counting but the lane stops growing (dropped counter).
+constexpr std::size_t kLaneCapacity = 1 << 16;
+
+/// Constant-initialized so profiler_note_allocation() is safe from a global
+/// operator new replacement at any point in static initialization.
+std::atomic<bool> g_profiler_enabled{false};
+std::atomic<std::uint64_t> g_stacks_truncated{0};
+
+/// One registered thread's frame stack. Writers (the owning thread) pair a
+/// relaxed frame store with a release depth store; the sampler pairs an
+/// acquire depth load with relaxed frame loads. A pop+push racing the
+/// sampler can make it read a frame from the *newer* stack — still a valid
+/// string-literal pointer, and a one-sample attribution error is noise for
+/// a statistical profiler. Frames are never nulled on pop, so the only
+/// nullptr the sampler can see is a slot never written; it skips those
+/// samples as torn.
+struct ThreadStack {
+  std::array<std::atomic<const char*>, kProfilerMaxDepth> frames{};
+  std::atomic<std::uint32_t> depth{0};
+  std::atomic<std::uint64_t> pending_allocs{0};
+  std::atomic<bool> alive{true};
+  std::uint32_t tid = 0;
+};
+
+struct StackDirectory {
+  std::mutex mutex;
+  std::vector<std::shared_ptr<ThreadStack>> stacks;
+  std::uint32_t next_tid = 0;
+};
+
+StackDirectory& directory() {
+  // Leaky singleton, like Registry: exiting threads may unregister during
+  // static teardown.
+  static auto* dir = new StackDirectory();
+  return *dir;
+}
+
+/// Fast path handle: raw pointer so push/pop and the allocation hook never
+/// touch the shared_ptr control block.
+thread_local ThreadStack* t_stack = nullptr;
+
+struct ThreadRegistration {
+  std::shared_ptr<ThreadStack> stack;
+  ~ThreadRegistration() {
+    if (stack) {
+      stack->alive.store(false, std::memory_order_relaxed);
+      t_stack = nullptr;
+    }
+  }
+};
+thread_local ThreadRegistration t_registration;
+
+/// Registers the calling thread on first push. Allocates, so it must only
+/// run from scope hooks (never from the allocation hook).
+ThreadStack* register_this_thread() {
+  auto stack = std::make_shared<ThreadStack>();
+  StackDirectory& dir = directory();
+  {
+    const std::scoped_lock lock(dir.mutex);
+    stack->tid = dir.next_tid++;
+    dir.stacks.push_back(stack);
+  }
+  t_registration.stack = stack;
+  t_stack = stack.get();
+  return t_stack;
+}
+
+struct ProfilerCounters {
+  Counter& samples;
+  Counter& dropped;
+  Counter& truncated;
+  Counter& allocs;
+  Gauge& threads;
+
+  static ProfilerCounters& get() {
+    static ProfilerCounters counters{
+        Registry::global().counter(names::kProfilerSamples,
+                                   "Stack samples aggregated by the profiler"),
+        Registry::global().counter(
+            names::kProfilerSamplesDropped,
+            "Samples discarded (torn stack read or full trace lane)"),
+        Registry::global().counter(
+            names::kProfilerStacksTruncated,
+            "Frame pushes beyond the profiler's max stack depth"),
+        Registry::global().counter(
+            names::kProfilerAllocs,
+            "Heap allocations attributed to sampled stacks"),
+        Registry::global().gauge(names::kProfilerThreads,
+                                 "Threads with a registered profiler stack"),
+    };
+    return counters;
+  }
+};
+
+/// Sampler wakeup: wait_for under a mutex so disable() can interrupt a
+/// sleep immediately instead of waiting out the period.
+std::mutex g_wake_mutex;
+std::condition_variable g_wake_cv;
+
+}  // namespace
+
+bool profiler_push_frame(const char* name) noexcept {
+  if (!g_profiler_enabled.load(std::memory_order_relaxed)) return false;
+  ThreadStack* stack = t_stack;
+  if (stack == nullptr) stack = register_this_thread();
+  const std::uint32_t depth = stack->depth.load(std::memory_order_relaxed);
+  if (depth >= kProfilerMaxDepth) {
+    g_stacks_truncated.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  stack->frames[depth].store(name, std::memory_order_relaxed);
+  stack->depth.store(depth + 1, std::memory_order_release);
+  return true;
+}
+
+void profiler_pop_frame() noexcept {
+  ThreadStack* stack = t_stack;
+  if (stack == nullptr) return;
+  const std::uint32_t depth = stack->depth.load(std::memory_order_relaxed);
+  if (depth > 0) {
+    stack->depth.store(depth - 1, std::memory_order_release);
+  }
+}
+
+void profiler_note_allocation() noexcept {
+  if (!g_profiler_enabled.load(std::memory_order_relaxed)) return;
+  // Charge only threads that already registered through a scope hook:
+  // registering here would allocate inside operator new.
+  ThreadStack* stack = t_stack;
+  if (stack == nullptr) return;
+  stack->pending_allocs.fetch_add(1, std::memory_order_relaxed);
+}
+
+Profiler& Profiler::global() {
+  static auto* profiler = new Profiler();
+  return *profiler;
+}
+
+void Profiler::enable(double hz) {
+  hz = std::clamp(hz, 1.0, 10'000.0);
+  period_ns_.store(1e9 / hz, std::memory_order_relaxed);
+  if (g_profiler_enabled.load(std::memory_order_relaxed)) return;
+  stop_.store(false, std::memory_order_relaxed);
+  g_profiler_enabled.store(true, std::memory_order_relaxed);
+  sampler_ = std::thread([this] { sampler_loop(); });
+}
+
+void Profiler::disable() {
+  if (!g_profiler_enabled.load(std::memory_order_relaxed)) return;
+  g_profiler_enabled.store(false, std::memory_order_relaxed);
+  {
+    const std::scoped_lock lock(g_wake_mutex);
+    stop_.store(true, std::memory_order_relaxed);
+  }
+  g_wake_cv.notify_all();
+  if (sampler_.joinable()) sampler_.join();
+}
+
+bool Profiler::enabled() const noexcept {
+  return g_profiler_enabled.load(std::memory_order_relaxed);
+}
+
+double Profiler::hz() const noexcept {
+  return 1e9 / period_ns_.load(std::memory_order_relaxed);
+}
+
+void Profiler::sampler_loop() {
+  std::unique_lock lock(g_wake_mutex);
+  while (!stop_.load(std::memory_order_relaxed)) {
+    const auto period = std::chrono::nanoseconds(
+        static_cast<std::uint64_t>(period_ns_.load(std::memory_order_relaxed)));
+    if (g_wake_cv.wait_for(lock, period, [this] {
+          return stop_.load(std::memory_order_relaxed);
+        })) {
+      break;
+    }
+    lock.unlock();
+    sample_once();
+    lock.lock();
+  }
+}
+
+void Profiler::sample_once() {
+  // Copy the directory under its own lock, then walk stacks without it so a
+  // registering thread is never blocked behind a sampling pass.
+  std::vector<std::shared_ptr<ThreadStack>> stacks;
+  {
+    StackDirectory& dir = directory();
+    const std::scoped_lock lock(dir.mutex);
+    std::erase_if(dir.stacks, [](const std::shared_ptr<ThreadStack>& s) {
+      return !s->alive.load(std::memory_order_relaxed);
+    });
+    stacks = dir.stacks;
+  }
+
+  const std::uint64_t now = SpanTracer::now_ns();
+  const auto period =
+      static_cast<std::uint64_t>(period_ns_.load(std::memory_order_relaxed));
+
+  std::uint64_t sampled = 0;
+  std::uint64_t idle = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t allocs = 0;
+  const std::size_t live_threads = stacks.size();
+
+  const std::scoped_lock samples_lock(samples_mutex_);
+  for (const auto& stack : stacks) {
+    const std::uint32_t depth = stack->depth.load(std::memory_order_acquire);
+    const std::uint64_t pending =
+        stack->pending_allocs.exchange(0, std::memory_order_relaxed);
+    if (depth == 0) {
+      ++idle;
+      continue;
+    }
+    std::string key;
+    std::vector<std::string> frames;
+    frames.reserve(depth);
+    bool torn = false;
+    for (std::uint32_t i = 0; i < depth && i < kProfilerMaxDepth; ++i) {
+      const char* frame = stack->frames[i].load(std::memory_order_relaxed);
+      if (frame == nullptr) {
+        torn = true;
+        break;
+      }
+      if (i > 0) key += ';';
+      key += frame;
+      frames.emplace_back(frame);
+    }
+    if (torn) {
+      ++dropped;
+      continue;
+    }
+    StackAgg& agg = aggregates_[key];
+    if (agg.frames.empty()) agg.frames = std::move(frames);
+    ++agg.samples;
+    agg.allocations += pending;
+    allocs += pending;
+    ++sampled;
+    if (lane_.size() < kLaneCapacity) {
+      FleetSpan sample;
+      sample.name = agg.frames.back();
+      sample.start_ns = now;
+      sample.end_ns = now + period;
+      sample.tid = stack->tid;
+      lane_.push_back(std::move(sample));
+    } else {
+      ++lane_dropped_;
+      ++dropped;
+    }
+  }
+  samples_total_ += sampled;
+  idle_total_ += idle;
+
+  if (metrics_enabled()) {
+    ProfilerCounters& counters = ProfilerCounters::get();
+    if (sampled > 0) counters.samples.add(sampled);
+    if (dropped > 0) counters.dropped.add(dropped);
+    if (allocs > 0) counters.allocs.add(allocs);
+    const std::uint64_t truncated =
+        g_stacks_truncated.exchange(0, std::memory_order_relaxed);
+    if (truncated > 0) counters.truncated.add(truncated);
+    counters.threads.set(static_cast<std::int64_t>(live_threads));
+  }
+}
+
+std::uint64_t Profiler::sample_count() const {
+  const std::scoped_lock lock(samples_mutex_);
+  return samples_total_;
+}
+
+std::uint64_t Profiler::idle_samples() const {
+  const std::scoped_lock lock(samples_mutex_);
+  return idle_total_;
+}
+
+std::vector<ProfileStack> Profiler::stacks() const {
+  const std::scoped_lock lock(samples_mutex_);
+  std::vector<ProfileStack> out;
+  out.reserve(aggregates_.size());
+  for (const auto& [key, agg] : aggregates_) {
+    out.push_back({agg.frames, agg.samples, agg.allocations});
+  }
+  return out;
+}
+
+std::vector<ProfileSelfTime> Profiler::self_times() const {
+  std::map<std::string, ProfileSelfTime> by_frame;
+  {
+    const std::scoped_lock lock(samples_mutex_);
+    for (const auto& [key, agg] : aggregates_) {
+      for (std::size_t i = 0; i < agg.frames.size(); ++i) {
+        ProfileSelfTime& entry = by_frame[agg.frames[i]];
+        entry.frame = agg.frames[i];
+        entry.total += agg.samples;
+        if (i + 1 == agg.frames.size()) entry.self += agg.samples;
+      }
+    }
+  }
+  std::vector<ProfileSelfTime> out;
+  out.reserve(by_frame.size());
+  for (auto& [frame, entry] : by_frame) out.push_back(std::move(entry));
+  std::sort(out.begin(), out.end(),
+            [](const ProfileSelfTime& a, const ProfileSelfTime& b) {
+              if (a.self != b.self) return a.self > b.self;
+              return a.frame < b.frame;
+            });
+  return out;
+}
+
+std::string Profiler::collapsed_text() const {
+  const std::scoped_lock lock(samples_mutex_);
+  std::string out;
+  for (const auto& [key, agg] : aggregates_) {
+    out += key;
+    out += ' ';
+    out += std::to_string(agg.samples);
+    out += '\n';
+  }
+  return out;
+}
+
+util::Status Profiler::write_collapsed(const std::string& path) const {
+  return util::write_file_atomic(path, collapsed_text());
+}
+
+std::vector<FleetSpan> Profiler::lane_spans() const {
+  std::vector<FleetSpan> out;
+  {
+    const std::scoped_lock lock(samples_mutex_);
+    out = lane_;
+  }
+  std::sort(out.begin(), out.end(), [](const FleetSpan& a, const FleetSpan& b) {
+    if (a.tid != b.tid) return a.tid < b.tid;
+    if (a.start_ns != b.start_ns) return a.start_ns < b.start_ns;
+    return a.name < b.name;
+  });
+  return out;
+}
+
+json::Value Profiler::profile_json() const {
+  json::Object out;
+  out.set("enabled", enabled());
+  out.set("hz", hz());
+  {
+    const std::scoped_lock lock(samples_mutex_);
+    out.set("samples", samples_total_);
+    out.set("idle_samples", idle_total_);
+    out.set("lane_dropped", lane_dropped_);
+  }
+  json::Array stacks_json;
+  for (const ProfileStack& stack : stacks()) {
+    json::Object s;
+    json::Array frames;
+    frames.reserve(stack.frames.size());
+    for (const std::string& frame : stack.frames) frames.push_back(frame);
+    s.set("frames", std::move(frames));
+    s.set("samples", stack.samples);
+    s.set("allocations", stack.allocations);
+    stacks_json.push_back(std::move(s));
+  }
+  out.set("stacks", std::move(stacks_json));
+  json::Array self_json;
+  for (const ProfileSelfTime& entry : self_times()) {
+    json::Object s;
+    s.set("frame", entry.frame);
+    s.set("self", entry.self);
+    s.set("total", entry.total);
+    self_json.push_back(std::move(s));
+  }
+  out.set("self", std::move(self_json));
+  return json::Value(std::move(out));
+}
+
+void Profiler::reset() {
+  const std::scoped_lock lock(samples_mutex_);
+  aggregates_.clear();
+  lane_.clear();
+  samples_total_ = 0;
+  idle_total_ = 0;
+  lane_dropped_ = 0;
+}
+
+std::string chrome_trace_with_profile_json() {
+  std::vector<TraceLane> lanes;
+  std::vector<FleetSpan> spans;
+  for (const SpanEvent& span : SpanTracer::global().collect()) {
+    spans.push_back({span.name, span.start_ns, span.end_ns, span.tid});
+  }
+  lanes.push_back({"mosaic", 0, std::move(spans)});
+  std::vector<FleetSpan> profile = Profiler::global().lane_spans();
+  if (!profile.empty()) {
+    lanes.push_back({"profile", 0, std::move(profile)});
+  }
+  return chrome_trace_from_lanes(lanes);
+}
+
+util::Status write_chrome_trace_with_profile(const std::string& path) {
+  return util::write_file_atomic(path, chrome_trace_with_profile_json());
+}
+
+}  // namespace mosaic::obs

@@ -1,0 +1,174 @@
+// Sampling wall-clock profiler over the active span/stage stack.
+//
+// MOSAIC_SPAN / MOSAIC_STAGE scopes already bracket every interesting unit
+// of work; when the profiler is enabled each scope additionally pushes its
+// name onto a per-thread frame stack (two relaxed/release stores) and a
+// background sampler thread walks every registered stack at a fixed rate.
+// That turns the existing instrumentation into a statistical profiler with
+// no libunwind, no signals and no symbolization: a stage that consumes p%
+// of wall time collects p% of samples, with standard-error sqrt(n)/n on n
+// samples (DESIGN.md §16 works the math).
+//
+// Exports:
+//   - collapsed-stack text ("frame;frame count\n"), loadable by speedscope
+//     and flamegraph.pl,
+//   - per-frame self/total sample attribution (self = frame was the leaf),
+//   - a Chrome-trace lane of sampled leaf frames (one "X" event per sample,
+//     duration = sampling period) that renders beside the span lanes,
+//   - allocation attribution: an allocation hook (the PR 4 bench counters
+//     call it) charges heap allocations to the sampled stack.
+//
+// Disabled cost is one relaxed load + branch per scope — the same
+// discipline as MOSAIC_SPAN — so the profiler can never tax a run that did
+// not ask for it.
+#pragma once
+
+#include <atomic>
+#include <array>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "json/json.hpp"
+#include "obs/federation.hpp"
+#include "util/error.hpp"
+
+namespace mosaic::obs {
+
+/// Deepest stack the profiler records; pushes beyond it are counted as
+/// truncated but stay balanced (pop still matches push).
+inline constexpr std::size_t kProfilerMaxDepth = 24;
+
+/// One aggregated stack: outermost frame first.
+struct ProfileStack {
+  std::vector<std::string> frames;
+  std::uint64_t samples = 0;
+  std::uint64_t allocations = 0;  ///< heap allocations charged to this stack
+};
+
+/// Per-frame attribution: `self` counts samples where the frame was the
+/// leaf, `total` counts samples where it appeared anywhere on the stack.
+struct ProfileSelfTime {
+  std::string frame;
+  std::uint64_t self = 0;
+  std::uint64_t total = 0;
+};
+
+class Profiler {
+ public:
+  /// Default sampling rate: a prime close to 100 Hz so the sampler cannot
+  /// phase-lock with millisecond-periodic work.
+  static constexpr double kDefaultHz = 97.0;
+
+  [[nodiscard]] static Profiler& global();
+
+  /// Starts the sampler thread at `hz` (clamped to [1, 10'000]). Idempotent
+  /// while enabled; frames push from this point on.
+  void enable(double hz = kDefaultHz);
+
+  /// Stops the sampler thread and stops frame pushes. Aggregated samples
+  /// are kept for export until reset().
+  void disable();
+
+  [[nodiscard]] bool enabled() const noexcept;
+  [[nodiscard]] double hz() const noexcept;
+
+  /// Total stack samples aggregated so far (idle threads excluded).
+  [[nodiscard]] std::uint64_t sample_count() const;
+  /// Sampler ticks where a registered thread had an empty stack.
+  [[nodiscard]] std::uint64_t idle_samples() const;
+
+  /// Aggregated stacks sorted by collapsed key (deterministic export).
+  [[nodiscard]] std::vector<ProfileStack> stacks() const;
+
+  /// Per-frame self/total attribution sorted by descending self samples
+  /// (ties by name).
+  [[nodiscard]] std::vector<ProfileSelfTime> self_times() const;
+
+  /// Collapsed-stack text: "frame;frame count\n" per aggregated stack,
+  /// sorted — flamegraph.pl / speedscope both load this directly.
+  [[nodiscard]] std::string collapsed_text() const;
+
+  /// Atomically (temp + rename) writes collapsed_text() to `path`.
+  [[nodiscard]] util::Status write_collapsed(const std::string& path) const;
+
+  /// Sampled leaf frames as spans (duration = sampling period) for a
+  /// "profile" Chrome-trace lane, sorted by (tid, start).
+  [[nodiscard]] std::vector<FleetSpan> lane_spans() const;
+
+  /// Machine-readable summary for the /profile endpoint and tests:
+  /// {"enabled", "hz", "samples", "idle_samples", "stacks": [...],
+  ///  "self": [...]}.
+  [[nodiscard]] json::Value profile_json() const;
+
+  /// Drops every aggregated sample and raw lane event (enabled state and
+  /// rate are kept). Safe only while no scopes are being sampled.
+  void reset();
+
+ private:
+  Profiler() = default;
+  void sampler_loop();
+  void sample_once();
+
+  mutable std::mutex samples_mutex_;
+  // Collapsed key ("a;b;c") -> aggregate. A map keyed by the joined string
+  // keeps export deterministic and lookup cheap (one string build per
+  // sampled stack).
+  struct StackAgg {
+    std::vector<std::string> frames;
+    std::uint64_t samples = 0;
+    std::uint64_t allocations = 0;
+  };
+  std::map<std::string, StackAgg> aggregates_;
+  std::vector<FleetSpan> lane_;  ///< bounded raw leaf samples for the trace
+  std::uint64_t samples_total_ = 0;
+  std::uint64_t idle_total_ = 0;
+  std::uint64_t lane_dropped_ = 0;
+
+  std::atomic<double> period_ns_{1e9 / kDefaultHz};
+  std::thread sampler_;
+  std::atomic<bool> stop_{false};
+};
+
+/// Scope hooks (free functions so span.hpp/stage.hpp need not include this
+/// header's dependencies). push returns true when a frame was pushed — the
+/// scope must pop exactly then.
+[[nodiscard]] bool profiler_push_frame(const char* name) noexcept;
+void profiler_pop_frame() noexcept;
+
+/// Allocation hook: charges one heap allocation to the calling thread's
+/// current stack (attributed at the next sampler tick). Safe to call from
+/// operator new at any point in the process lifetime; disabled cost is one
+/// relaxed load. The bench-only PR 4 allocation counters call this, so
+/// `--profile` runs of bench binaries see allocation sites.
+void profiler_note_allocation() noexcept;
+
+/// RAII profiler frame for code that has no span/stage scope of its own
+/// (e.g. the thread-pool worker loop's root frame).
+class ProfilerFrame {
+ public:
+  explicit ProfilerFrame(const char* name) noexcept
+      : pushed_(profiler_push_frame(name)) {}
+  ~ProfilerFrame() {
+    if (pushed_) profiler_pop_frame();
+  }
+  ProfilerFrame(const ProfilerFrame&) = delete;
+  ProfilerFrame& operator=(const ProfilerFrame&) = delete;
+
+ private:
+  bool pushed_;
+};
+
+/// Chrome trace combining the span tracer's lane ("mosaic") with the
+/// profiler's sampled lane ("profile"); falls back to spans-only when the
+/// profiler never ran. Used by the CLI when --trace-events and --profile
+/// are both set.
+[[nodiscard]] std::string chrome_trace_with_profile_json();
+[[nodiscard]] util::Status write_chrome_trace_with_profile(
+    const std::string& path);
+
+}  // namespace mosaic::obs

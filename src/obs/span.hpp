@@ -25,6 +25,13 @@
 
 namespace mosaic::obs {
 
+/// Sampling-profiler scope hooks (defined in profiler.cpp; declared here so
+/// SpanScope/StageScope can feed the profiler's per-thread frame stack
+/// without a header cycle). push returns true when a frame was pushed — the
+/// scope pops exactly then. Disabled cost: one relaxed load + branch.
+[[nodiscard]] bool profiler_push_frame(const char* name) noexcept;
+void profiler_pop_frame() noexcept;
+
 /// One completed span. `name` must be a string literal (or otherwise outlive
 /// the tracer) — spans are recorded on hot paths and must not allocate.
 struct SpanEvent {
@@ -93,7 +100,8 @@ class SpanTracer {
 /// RAII span scope; prefer the MOSAIC_SPAN macro.
 class SpanScope {
  public:
-  explicit SpanScope(const char* name) noexcept {
+  explicit SpanScope(const char* name) noexcept
+      : pushed_(profiler_push_frame(name)) {
     if (SpanTracer::global().enabled()) {
       name_ = name;
       start_ns_ = SpanTracer::now_ns();
@@ -103,6 +111,7 @@ class SpanScope {
     if (name_ != nullptr) {
       SpanTracer::global().record(name_, start_ns_, SpanTracer::now_ns());
     }
+    if (pushed_) profiler_pop_frame();
   }
   SpanScope(const SpanScope&) = delete;
   SpanScope& operator=(const SpanScope&) = delete;
@@ -110,6 +119,7 @@ class SpanScope {
  private:
   const char* name_ = nullptr;
   std::uint64_t start_ns_ = 0;
+  bool pushed_;
 };
 
 }  // namespace mosaic::obs

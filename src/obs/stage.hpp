@@ -25,29 +25,35 @@ class StageScope {
  public:
   StageScope(Histogram& hist, const char* span_name) noexcept
       : hist_(metrics_enabled() ? &hist : nullptr),
-        name_(SpanTracer::global().enabled() ? span_name : nullptr) {
+        name_(SpanTracer::global().enabled() ? span_name : nullptr),
+        pushed_(profiler_push_frame(span_name)) {
     if (hist_ != nullptr || name_ != nullptr) {
       start_ns_ = SpanTracer::now_ns();
     }
   }
   /// `active == false` makes the scope a no-op (one branch, no clock read);
-  /// the hot path uses this to sample per-stage detail per trace.
+  /// the hot path uses this to sample per-stage detail per trace. The
+  /// profiler frame is pushed even for sampled-out scopes: the wall-clock
+  /// profile must stay unbiased by the 1-in-N span sampling.
   StageScope(bool active, Histogram& hist, const char* span_name) noexcept
       : hist_(active && metrics_enabled() ? &hist : nullptr),
-        name_(active && SpanTracer::global().enabled() ? span_name : nullptr) {
+        name_(active && SpanTracer::global().enabled() ? span_name : nullptr),
+        pushed_(profiler_push_frame(span_name)) {
     if (hist_ != nullptr || name_ != nullptr) {
       start_ns_ = SpanTracer::now_ns();
     }
   }
   ~StageScope() {
-    if (hist_ == nullptr && name_ == nullptr) return;
-    const std::uint64_t end_ns = SpanTracer::now_ns();
-    if (hist_ != nullptr) {
-      hist_->observe(static_cast<double>(end_ns - start_ns_) * 1e-6);
+    if (hist_ != nullptr || name_ != nullptr) {
+      const std::uint64_t end_ns = SpanTracer::now_ns();
+      if (hist_ != nullptr) {
+        hist_->observe(static_cast<double>(end_ns - start_ns_) * 1e-6);
+      }
+      if (name_ != nullptr) {
+        SpanTracer::global().record(name_, start_ns_, end_ns);
+      }
     }
-    if (name_ != nullptr) {
-      SpanTracer::global().record(name_, start_ns_, end_ns);
-    }
+    if (pushed_) profiler_pop_frame();
   }
   StageScope(const StageScope&) = delete;
   StageScope& operator=(const StageScope&) = delete;
@@ -55,6 +61,7 @@ class StageScope {
  private:
   Histogram* hist_;    ///< null when metrics were disabled at entry
   const char* name_;   ///< null when tracing was disabled at entry
+  bool pushed_;
   std::uint64_t start_ns_ = 0;
 };
 

@@ -7,7 +7,11 @@
 # dispatch journal. A fleet-observability pass scrapes the manager's live
 # /metrics + /status endpoint mid-run, then checks the merged fleet metrics
 # (bare counter totals == sum of worker-labeled series) and the multi-lane
-# Chrome trace. Ends with flag-validation error cases.
+# Chrome trace. The observability pass also runs with --metrics-token (401
+# without the bearer token, 200 with) and --profile (collapsed-stack
+# artifact). A second endpoint pass kills a worker mid-run and polls
+# /healthz until it reports fail(worker-staleness) with a 503. Ends with
+# flag-validation error cases.
 set -euo pipefail
 MOSAIC="$1"
 WORK="$(mktemp -d)"
@@ -62,10 +66,12 @@ grep -q 'funnel:' "$WORK/dispatch.txt"
 WS1="$(start_worker "$WORK/ws1.log" \
     --net-fault-inject 'seed=7,stall=1.0,stall_ms=2500')"
 WS2="$(start_worker "$WORK/ws2.log")"
+TOKEN="test-bearer-sekrit"
 "$MOSAIC" dispatch "$WORK/pop" --workers "127.0.0.1:$WS1,127.0.0.1:$WS2" \
     --shards 4 --partials "$WORK/parts_obs" --json "$WORK/obs.json" \
     --metrics "$WORK/fleet.json" --trace-events "$WORK/fleet_trace.json" \
     --metrics-port 0 --progress 0.2 --heartbeat-grace 10 \
+    --metrics-token "$TOKEN" --profile "$WORK/fleet.collapsed" \
     > "$WORK/obs.txt" 2> "$WORK/obs.err" &
 DISPATCH_PID=$!
 
@@ -83,21 +89,34 @@ if [ -z "$mport" ]; then
   exit 1
 fi
 
-# Raw-bash HTTP GET (no curl dependency in the test image).
+# Raw-bash HTTP GET (no curl dependency in the test image). An optional
+# third argument sends `Authorization: Bearer <token>`.
 http_get() {
-  local port="$1" path="$2"
+  local port="$1" path="$2" token="${3:-}"
+  local auth=""
+  [ -n "$token" ] && auth="Authorization: Bearer $token"$'\r\n'
   exec 3<>"/dev/tcp/127.0.0.1/$port" || return 1
-  printf 'GET %s HTTP/1.1\r\nHost: localhost\r\n\r\n' "$path" >&3
+  printf 'GET %s HTTP/1.1\r\nHost: localhost\r\n%s\r\n' "$path" "$auth" >&3
   cat <&3
   exec 3>&- 2> /dev/null || true
 }
+
+# Bearer auth: anonymous and wrong-token requests bounce with 401 and a
+# challenge header; the configured token gets through.
+http_get "$mport" /metrics > "$WORK/anon.txt" 2> /dev/null || true
+grep -q '401 Unauthorized' "$WORK/anon.txt"
+grep -q 'WWW-Authenticate: Bearer' "$WORK/anon.txt"
+http_get "$mport" /metrics "wrong-token" > "$WORK/badtok.txt" \
+    2> /dev/null || true
+grep -q '401 Unauthorized' "$WORK/badtok.txt"
 
 # Poll the live endpoint until worker-labeled series show up (the healthy
 # worker ships telemetry within its first heartbeat/partial, well inside the
 # 2.5s the stalled worker is holding the run open).
 live_ok=""
 for _ in $(seq 1 120); do
-  http_get "$mport" /metrics > "$WORK/live_metrics.txt" 2> /dev/null || true
+  http_get "$mport" /metrics "$TOKEN" > "$WORK/live_metrics.txt" \
+      2> /dev/null || true
   if grep -q '200 OK' "$WORK/live_metrics.txt" \
       && grep -q '^mosaic_dispatch_tasks_done_total ' \
           "$WORK/live_metrics.txt" \
@@ -112,16 +131,41 @@ if [ -z "$live_ok" ]; then
   cat "$WORK/live_metrics.txt" >&2
   exit 1
 fi
-http_get "$mport" /status > "$WORK/live_status.txt" 2> /dev/null || true
+http_get "$mport" /status "$TOKEN" > "$WORK/live_status.txt" \
+    2> /dev/null || true
 grep -q '200 OK' "$WORK/live_status.txt"
 grep -q '"shards_total": 4' "$WORK/live_status.txt"
 grep -q '"worker":' "$WORK/live_status.txt"
+
+# /healthz serves a structured verdict over the authed endpoint. The level
+# itself is corpus-dependent mid-run (the seeded corrupt files can push a
+# worker's own eviction-ratio to warn or even fail on a small shard), so
+# assert the contract — a 200-or-503 with a verdict body — and leave the
+# deterministic fail transition to the worker-kill pass below.
+http_get "$mport" /healthz "$TOKEN" > "$WORK/live_healthz.txt" \
+    2> /dev/null || true
+grep -Eq 'HTTP/1.1 (200 OK|503 Service Unavailable)' "$WORK/live_healthz.txt"
+grep -Eq '"status": "(ok|warn|fail)"' "$WORK/live_healthz.txt"
+grep -q '"summary"' "$WORK/live_healthz.txt"
+grep -q '"workers"' "$WORK/live_healthz.txt"
+http_get "$mport" /profile "$TOKEN" > "$WORK/live_profile.txt" \
+    2> /dev/null || true
+grep -q '200 OK' "$WORK/live_profile.txt"
+grep -q '"samples"' "$WORK/live_profile.txt"
+grep -q '"enabled": true' "$WORK/live_profile.txt"
 
 wait "$DISPATCH_PID"
 diff "$WORK/single.json" "$WORK/obs.json"
 grep -q 'dispatch progress: shards' "$WORK/obs.err"
 grep -q 'fleet metrics written to' "$WORK/obs.txt"
 grep -q 'fleet trace events written to' "$WORK/obs.txt"
+# --profile wrote the collapsed-stack artifact and announced it.
+grep -q 'profile (' "$WORK/obs.txt"
+[ -e "$WORK/fleet.collapsed" ]
+# Any recorded stack must be flamegraph-collapsed: "frame;frame count".
+if [ -s "$WORK/fleet.collapsed" ]; then
+  grep -Eq '^[^ ]+ [0-9]+$' "$WORK/fleet.collapsed"
+fi
 
 # Merged-fleet invariant: every bare counter total must equal the sum of its
 # worker-labeled series (the manager's own lane included). Histogram and
@@ -177,6 +221,63 @@ if [ -n "${MOSAIC_ARTIFACT_DIR:-}" ]; then
   cp "$WORK/fleet.json" "$MOSAIC_ARTIFACT_DIR/fleet_metrics.json"
   cp "$WORK/fleet.json.prom" "$MOSAIC_ARTIFACT_DIR/fleet_metrics.prom"
   cp "$WORK/fleet_trace.json" "$MOSAIC_ARTIFACT_DIR/fleet_trace.json"
+  cp "$WORK/fleet.collapsed" "$MOSAIC_ARTIFACT_DIR/fleet_profile.collapsed"
+  cp "$WORK/live_healthz.txt" "$MOSAIC_ARTIFACT_DIR/healthz_ok.txt"
+fi
+
+# /healthz failure detection: one worker dies after its first task while a
+# stalled survivor keeps the run alive; the endpoint must flip to 503
+# fail(worker-staleness) within a heartbeat-grace of the kill, and the
+# progress board must name the stale worker. The survivor's stall (1.5s,
+# silent — no heartbeats while stalled) must stay under the grace (3s) or
+# the manager would orphan it on every attempt and the run would never
+# converge. No --metrics file here: stale runs tag worker series with
+# stale="true", which is exactly what the bare-total-vs-worker-sum
+# invariant above must never see.
+WK="$(start_worker "$WORK/wk.log" --net-fault-inject 'seed=7,kill_after=1')"
+WSURV="$(start_worker "$WORK/wsurv.log" \
+    --net-fault-inject 'seed=11,stall=1.0,stall_ms=1500')"
+"$MOSAIC" dispatch "$WORK/pop" --workers "127.0.0.1:$WK,127.0.0.1:$WSURV" \
+    --shards 4 --partials "$WORK/parts_hz" --json "$WORK/hz.json" \
+    --metrics-port 0 --progress 0.2 --heartbeat-grace 3 \
+    --connect-timeout 1 --reconnect-attempts 1 \
+    > "$WORK/hz.txt" 2> "$WORK/hz.err" &
+HZ_PID=$!
+
+hzport=""
+for _ in $(seq 1 100); do
+  hzport="$(sed -n \
+      's/.*metrics endpoint listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' \
+      "$WORK/hz.txt")"
+  [ -n "$hzport" ] && break
+  sleep 0.05
+done
+[ -n "$hzport" ]
+
+hz_failed=""
+for _ in $(seq 1 400); do
+  http_get "$hzport" /healthz > "$WORK/healthz_fail.txt" 2> /dev/null || true
+  if grep -q '503 Service Unavailable' "$WORK/healthz_fail.txt" \
+      && grep -q '"status": "fail"' "$WORK/healthz_fail.txt" \
+      && grep -q 'worker-staleness' "$WORK/healthz_fail.txt"; then
+    hz_failed=1
+    break
+  fi
+  sleep 0.05
+done
+if [ -z "$hz_failed" ]; then
+  echo "/healthz never reported the killed worker" >&2
+  cat "$WORK/healthz_fail.txt" "$WORK/hz.txt" "$WORK/hz.err" >&2
+  exit 1
+fi
+
+wait "$HZ_PID"
+diff "$WORK/single.json" "$WORK/hz.json"
+grep -q 'health: fail(worker-staleness' "$WORK/hz.err"
+grep -q 'STALE' "$WORK/hz.err"
+
+if [ -n "${MOSAIC_ARTIFACT_DIR:-}" ]; then
+  cp "$WORK/healthz_fail.txt" "$MOSAIC_ARTIFACT_DIR/healthz_fail.txt"
 fi
 
 # Kill one worker mid-run via a seeded fault (dies for good after one task):
@@ -246,6 +347,12 @@ if "$MOSAIC" dispatch "$WORK/pop" --workers 127.0.0.1:9 \
   echo "--max-attempts 0 should fail" >&2
   exit 1
 fi
+if "$MOSAIC" dispatch "$WORK/pop" --workers 127.0.0.1:9 \
+    --partials "$WORK/p" --profile "$WORK/p.collapsed" --profile-hz 0 \
+    > /dev/null 2>&1; then
+  echo "--profile-hz 0 should fail" >&2
+  exit 1
+fi
 if "$MOSAIC" worker --listen not-an-address > /dev/null 2>&1; then
   echo "worker --listen not-an-address should fail" >&2
   exit 1
@@ -253,6 +360,18 @@ fi
 if "$MOSAIC" worker --listen 127.0.0.1:0 --heartbeat-interval 0 \
     > /dev/null 2>&1; then
   echo "worker --heartbeat-interval 0 should fail" >&2
+  exit 1
+fi
+
+# Post-mortem health: `mosaic health` re-evaluates the fleet rules against
+# the saved metrics artifact from the observability pass.
+"$MOSAIC" health --fleet "$WORK/fleet.json" > "$WORK/health.txt"
+grep -q 'health: ok' "$WORK/health.txt"
+grep -q 'worker-staleness' "$WORK/health.txt"
+"$MOSAIC" health --fleet --print-rules > "$WORK/rules.json"
+grep -q '"rules"' "$WORK/rules.json"
+if "$MOSAIC" health "$WORK/does-not-exist.json" > /dev/null 2>&1; then
+  echo "health on a missing metrics file should fail" >&2
   exit 1
 fi
 

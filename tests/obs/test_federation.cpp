@@ -8,14 +8,19 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <chrono>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
+#include "dist/net.hpp"
 #include "dist/protocol.hpp"
 #include "dist/telemetry.hpp"
 #include "json/json.hpp"
+#include "obs/health.hpp"
 #include "obs/metrics.hpp"
+#include "obs/names.hpp"
 
 namespace mosaic::obs {
 namespace {
@@ -326,6 +331,420 @@ TEST(FederationTelemetry, TaskRequestTelemetryFlagsRoundTripAndDefaultOff) {
   ASSERT_TRUE(decoded_off.has_value());
   EXPECT_FALSE(decoded_off->telemetry);
   EXPECT_FALSE(decoded_off->collect_spans);
+}
+
+const GaugeSample* find_gauge(const Snapshot& snapshot,
+                              std::string_view name) {
+  for (const GaugeSample& sample : snapshot.gauges) {
+    if (sample.name == name) return &sample;
+  }
+  return nullptr;
+}
+
+TEST(FederationDelta, OmitsUnchangedSeriesAndShipsCounterDiffs) {
+  Snapshot baseline;
+  baseline.counters.push_back(counter("moved_total", 5));
+  baseline.counters.push_back(counter("static_total", 7));
+  baseline.gauges.push_back(gauge("depth", 3));
+  baseline.histograms.push_back(
+      histogram("lat_ms", {1.0, 10.0}, {2, 3, 1}, 44.5));
+
+  Snapshot current = baseline;
+  current.counters[0].value = 9;
+
+  const Snapshot delta = snapshot_delta(baseline, current);
+  ASSERT_EQ(delta.counters.size(), 1u);
+  EXPECT_EQ(delta.counters[0].name, "moved_total");
+  EXPECT_EQ(delta.counters[0].value, 4u);  // the diff, not the new absolute
+  EXPECT_TRUE(delta.gauges.empty());       // unchanged gauge omitted
+  EXPECT_TRUE(delta.histograms.empty());   // unchanged histogram omitted
+}
+
+TEST(FederationDelta, NewSeriesShipWholeAndChangedGaugesShipAbsolute) {
+  Snapshot baseline;
+  baseline.counters.push_back(counter("old_total", 5));
+  baseline.gauges.push_back(gauge("depth", 3));
+
+  Snapshot current = baseline;
+  current.counters.push_back(counter("new_total", 11));
+  current.gauges[0].value = -2;
+
+  const Snapshot delta = snapshot_delta(baseline, current);
+  const CounterSample* fresh = find_counter(delta, "new_total");
+  ASSERT_NE(fresh, nullptr);
+  EXPECT_EQ(fresh->value, 11u);  // unknown to the baseline: whole value
+  ASSERT_EQ(delta.gauges.size(), 1u);
+  EXPECT_EQ(delta.gauges[0].value, -2);  // gauges are instantaneous
+}
+
+TEST(FederationDelta, HistogramsDiffBucketWiseAndBoundChangesShipWhole) {
+  Snapshot baseline;
+  baseline.histograms.push_back(
+      histogram("lat_ms", {1.0, 10.0}, {2, 3, 1}, 40.0));
+  baseline.histograms.push_back(
+      histogram("rebuilt_ms", {1.0}, {1, 1}, 2.0));
+
+  Snapshot current;
+  current.histograms.push_back(
+      histogram("lat_ms", {1.0, 10.0}, {2, 5, 2}, 55.5));
+  // Same name, different bounds: the delta must ship the whole histogram,
+  // not a meaningless bucket diff.
+  current.histograms.push_back(
+      histogram("rebuilt_ms", {1.0, 8.0}, {4, 2, 1}, 9.0));
+
+  const Snapshot delta = snapshot_delta(baseline, current);
+  const HistogramSample* lat = find_histogram(delta, "lat_ms");
+  ASSERT_NE(lat, nullptr);
+  EXPECT_EQ(lat->buckets, (std::vector<std::uint64_t>{0, 2, 1}));
+  EXPECT_DOUBLE_EQ(lat->sum, 15.5);
+  const HistogramSample* rebuilt = find_histogram(delta, "rebuilt_ms");
+  ASSERT_NE(rebuilt, nullptr);
+  EXPECT_EQ(rebuilt->bounds, (std::vector<double>{1.0, 8.0}));
+  EXPECT_EQ(rebuilt->buckets, (std::vector<std::uint64_t>{4, 2, 1}));
+}
+
+TEST(FederationDelta, ApplyReconstructsCurrentByteForByte) {
+  Snapshot baseline;
+  baseline.counters.push_back(counter("a_total", 5));
+  baseline.counters.push_back(counter("b_total", 7));
+  baseline.gauges.push_back(gauge("depth", 3));
+  baseline.histograms.push_back(
+      histogram("lat_ms", {1.0, 10.0}, {2, 3, 1}, 40.0));
+
+  Snapshot current = baseline;
+  current.counters[0].value = 12;
+  current.counters.push_back(counter("c_total", 1));
+  std::sort(current.counters.begin(), current.counters.end(),
+            [](const CounterSample& a, const CounterSample& b) {
+              return a.name < b.name;
+            });
+  current.gauges[0].value = 4;
+  current.histograms[0].buckets = {2, 6, 1};
+  current.histograms[0].count = 9;
+  current.histograms[0].sum = 71.0;
+
+  Snapshot rebuilt = baseline;
+  apply_snapshot_delta(rebuilt, snapshot_delta(baseline, current));
+  EXPECT_EQ(metrics_to_prometheus(rebuilt), metrics_to_prometheus(current));
+}
+
+TEST(FederationDelta, FleetDeltaChainMatchesWholeSnapshotByteForByte) {
+  // The acceptance invariant: a manager fed baseline + deltas ends up with
+  // exactly the fleet view a whole-snapshot manager has.
+  Snapshot s0;
+  s0.counters.push_back(counter("tasks_total", 2));
+  s0.gauges.push_back(gauge("depth", 1));
+  s0.histograms.push_back(histogram("lat_ms", {1.0}, {1, 0}, 0.5));
+
+  Snapshot s1 = s0;
+  s1.counters[0].value = 5;
+  s1.histograms[0].buckets = {1, 2};
+  s1.histograms[0].count = 3;
+  s1.histograms[0].sum = 12.5;
+
+  Snapshot s2 = s1;
+  s2.counters[0].value = 9;
+  s2.gauges[0].value = 4;
+
+  FleetRegistry via_deltas;
+  via_deltas.update_snapshot("w", s0);
+  via_deltas.apply_snapshot_delta("w", snapshot_delta(s0, s1));
+  via_deltas.apply_snapshot_delta("w", snapshot_delta(s1, s2));
+
+  FleetRegistry via_whole;
+  via_whole.update_snapshot("w", s2);
+
+  EXPECT_EQ(metrics_to_prometheus(via_deltas.merged()),
+            metrics_to_prometheus(via_whole.merged()));
+}
+
+TEST(FederationDelta, DeltaFrameIsMuchSmallerThanFullFrame) {
+  Snapshot baseline;
+  for (int i = 0; i < 60; ++i) {
+    baseline.counters.push_back(
+        counter("series_" + std::to_string(i) + "_total", 100 + i));
+  }
+  Snapshot current = baseline;
+  current.counters[7].value += 1;
+
+  const std::string full =
+      json::serialize(snapshot_to_wire_json(current), false);
+  const std::string delta = json::serialize(
+      snapshot_to_wire_json(snapshot_delta(baseline, current)), false);
+  // One moved counter out of 60: the delta frame should be a small
+  // fraction of the full frame, not a constant-factor shave.
+  EXPECT_LT(delta.size() * 10, full.size());
+}
+
+TEST(FederationTelemetry, SenderShipsWholeThenDeltaAndCountsBytes) {
+  const auto bytes_shipped = [] {
+    const Snapshot snapshot = Registry::global().snapshot();
+    const CounterSample* sample =
+        find_counter(snapshot, names::kWorkerTelemetryBytes);
+    return sample != nullptr ? sample->value : 0u;
+  };
+
+  // A worker registry is never empty in practice; make the whole-snapshot
+  // frame carry a realistic series count so the delta saving is visible.
+  for (int i = 0; i < 40; ++i) {
+    Registry::global()
+        .counter("sender_size_test_" + std::to_string(i) + "_total")
+        .add(1);
+  }
+
+  dist::TelemetrySender sender;
+  const std::uint64_t bytes_before = bytes_shipped();
+  const std::string first = sender.heartbeat_payload();
+  const std::string second = sender.heartbeat_payload();
+  EXPECT_GT(bytes_shipped(), bytes_before);
+
+  auto first_parsed = dist::parse_heartbeat_telemetry(first);
+  ASSERT_TRUE(first_parsed.has_value()) << first_parsed.error().to_string();
+  ASSERT_TRUE(first_parsed->has_value());
+  EXPECT_FALSE((*first_parsed)->delta);  // session starts with the registry
+  EXPECT_FALSE((*first_parsed)->health.empty());
+
+  auto second_parsed = dist::parse_heartbeat_telemetry(second);
+  ASSERT_TRUE(second_parsed.has_value());
+  ASSERT_TRUE(second_parsed->has_value());
+  EXPECT_TRUE((*second_parsed)->delta);
+  // The frame-size win the delta path exists for: the process registry is
+  // large, the delta carries only what moved between the two calls.
+  EXPECT_LT(second.size(), first.size());
+
+  // reset() is the reconnect resync rule: next frame re-baselines.
+  sender.reset();
+  auto resynced = dist::parse_heartbeat_telemetry(sender.heartbeat_payload());
+  ASSERT_TRUE(resynced.has_value());
+  ASSERT_TRUE(resynced->has_value());
+  EXPECT_FALSE((*resynced)->delta);
+}
+
+TEST(FederationTelemetry, SenderDeltaChainRebuildsTheRegistryView) {
+  // End-to-end over the real wire payloads: a hub fed the sender's
+  // whole-then-delta frames must equal a hub fed one final whole snapshot.
+  dist::TelemetrySender sender;
+  FleetRegistry via_deltas;
+
+  const auto ingest = [&](const std::string& payload) {
+    auto parsed = dist::parse_heartbeat_telemetry(payload);
+    ASSERT_TRUE(parsed.has_value()) << parsed.error().to_string();
+    ASSERT_TRUE(parsed->has_value());
+    if ((*parsed)->delta) {
+      via_deltas.apply_snapshot_delta("w", (*parsed)->snapshot);
+    } else {
+      via_deltas.update_snapshot("w", (*parsed)->snapshot);
+    }
+  };
+
+  ingest(sender.heartbeat_payload());
+  Registry::global().counter("federation_delta_chain_test_total").add(3);
+  ingest(sender.heartbeat_payload());
+  Registry::global().counter("federation_delta_chain_test_total").add(2);
+  // The final frame both advances the chain and captures the state the
+  // whole-snapshot control below must match.
+  auto last = dist::parse_heartbeat_telemetry(sender.heartbeat_payload());
+  ASSERT_TRUE(last.has_value());
+  ASSERT_TRUE(last->has_value());
+  via_deltas.apply_snapshot_delta("w", (*last)->snapshot);
+
+  Snapshot rebuilt = via_deltas.merged();
+  const CounterSample* chained = find_counter(
+      rebuilt, with_worker_label("federation_delta_chain_test_total", "w"));
+  ASSERT_NE(chained, nullptr);
+  EXPECT_EQ(chained->value, 5u);
+}
+
+/// A minimal worker heartbeat payload: one counter plus an explicit
+/// verdict. Hub tests use this instead of heartbeat_telemetry_payload()
+/// because in-process the "worker" shares the manager's registry, and a
+/// real payload would echo manager-side fleet gauges back as worker series.
+std::string synthetic_heartbeat(const std::string& health,
+                                std::uint64_t tasks = 1) {
+  Snapshot small;
+  small.counters.push_back(counter("w_tasks_total", tasks));
+  json::Object telemetry;
+  telemetry.set("snapshot", snapshot_to_wire_json(small));
+  telemetry.set("delta", false);
+  telemetry.set("health", health);
+  json::Object payload;
+  payload.set("telemetry", std::move(telemetry));
+  return json::serialize(json::Value(std::move(payload)));
+}
+
+TEST(FederationHub, LostWorkerTagsItsSeriesStale) {
+  dist::TelemetryHub hub;
+  hub.note_worker_state("w", "connected");
+  hub.ingest_heartbeat("w", synthetic_heartbeat("ok"));
+
+  Snapshot live = hub.fleet_snapshot();
+  const GaugeSample* stale_gauge =
+      find_gauge(
+      live, with_worker_label(names::kFleetWorkersStale, "manager"));
+  ASSERT_NE(stale_gauge, nullptr);
+  EXPECT_EQ(stale_gauge->value, 0);
+
+  hub.note_worker_state("w", "lost");
+  Snapshot after = hub.fleet_snapshot();
+  stale_gauge = find_gauge(
+      after, with_worker_label(names::kFleetWorkersStale, "manager"));
+  ASSERT_NE(stale_gauge, nullptr);
+  EXPECT_EQ(stale_gauge->value, 1);
+  bool tagged = false;
+  for (const CounterSample& sample : after.counters) {
+    if (sample.name.find("worker=\"w\",stale=\"true\"") !=
+        std::string::npos) {
+      tagged = true;
+    }
+  }
+  EXPECT_TRUE(tagged);
+  // The manager's own lane is live, never stale-tagged.
+  for (const CounterSample& sample : after.counters) {
+    EXPECT_EQ(sample.name.find("worker=\"manager\",stale"),
+              std::string::npos)
+        << sample.name;
+  }
+}
+
+TEST(FederationHub, HeartbeatGraceExpiryMarksSilentWorkersStale) {
+  dist::TelemetryHub hub;
+  hub.set_heartbeat_grace(0.2);
+  hub.ingest_heartbeat("gone", synthetic_heartbeat("ok"));
+  hub.note_worker_state("gone", "disconnected");
+  hub.ingest_heartbeat("idle", synthetic_heartbeat("ok"));
+  hub.note_worker_state("idle", "connected");
+
+  // Within the grace window nothing is stale yet.
+  const GaugeSample* stale_gauge = find_gauge(
+      hub.fleet_snapshot(),
+      with_worker_label(names::kFleetWorkersStale, "manager"));
+  ASSERT_NE(stale_gauge, nullptr);
+  EXPECT_EQ(stale_gauge->value, 0);
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(500));
+  // Silent past the grace: the disconnected worker goes stale, the
+  // connected-but-idle worker never does.
+  stale_gauge =
+      find_gauge(hub.fleet_snapshot(),
+                 with_worker_label(names::kFleetWorkersStale, "manager"));
+  ASSERT_NE(stale_gauge, nullptr);
+  EXPECT_EQ(stale_gauge->value, 1);
+  bool idle_tagged = false;
+  for (const CounterSample& sample : hub.fleet_snapshot().counters) {
+    if (sample.name.find("worker=\"idle\",stale") != std::string::npos) {
+      idle_tagged = true;
+    }
+  }
+  EXPECT_FALSE(idle_tagged);
+}
+
+TEST(FederationHub, HealthzFailsWithinGraceOfAWorkerLoss) {
+  dist::TelemetryHub hub;
+  hub.set_heartbeat_grace(0.05);
+  hub.note_worker_state("w", "connected");
+  hub.ingest_heartbeat("w", synthetic_heartbeat("ok"));
+  EXPECT_NE(hub.fleet_health().level, HealthLevel::kFail);
+
+  hub.note_worker_state("w", "lost");
+  const HealthReport report = hub.fleet_health();
+  EXPECT_EQ(report.level, HealthLevel::kFail);
+  EXPECT_NE(health_summary(report).find("worker-staleness"),
+            std::string::npos);
+  const std::string body = hub.healthz_json_text();
+  EXPECT_NE(body.find("\"status\": \"fail\""), std::string::npos);
+  EXPECT_NE(body.find("worker-staleness"), std::string::npos);
+  // The per-worker rollup names the lost worker too.
+  EXPECT_NE(body.find("\"worker\": \"w\""), std::string::npos);
+}
+
+TEST(FederationHub, WorkerVerdictFoldsIntoFleetHealth) {
+  dist::TelemetryHub hub;
+  // Fleet rules that cannot fire on their own, so any non-ok rollup can
+  // only come from the worker's piggybacked verdict.
+  hub.set_health_rules({{"never", "no_such_metric_total", "", -1.0, -1.0}});
+  hub.note_worker_state("w", "connected");
+
+  Snapshot small;
+  small.counters.push_back(counter("w_total", 1));
+  json::Object telemetry;
+  telemetry.set("snapshot", snapshot_to_wire_json(small));
+  telemetry.set("delta", false);
+  telemetry.set("health", "fail(boom)");
+  json::Object payload;
+  payload.set("telemetry", std::move(telemetry));
+  hub.ingest_heartbeat("w", json::serialize(json::Value(std::move(payload))));
+
+  const HealthReport report = hub.fleet_health();
+  EXPECT_EQ(report.level, HealthLevel::kFail);
+  EXPECT_NE(health_summary(report).find("worker:w"), std::string::npos);
+}
+
+/// One raw HTTP exchange against the hub's embedded endpoint.
+std::string http_get(std::uint16_t port, const std::string& path,
+                     const std::string& extra_headers = "") {
+  auto conn = dist::connect_to({"127.0.0.1", port}, 2.0);
+  if (!conn.has_value()) return "connect failed";
+  const std::string request = "GET " + path + " HTTP/1.1\r\nHost: t\r\n" +
+                              extra_headers + "Connection: close\r\n\r\n";
+  if (!conn->send_all(request.data(), request.size()).ok()) {
+    return "send failed";
+  }
+  std::string response;
+  char byte = 0;
+  while (conn->recv_exact(&byte, 1, 2.0).ok()) response.push_back(byte);
+  return response;
+}
+
+TEST(FederationHub, EndpointRequiresBearerTokenWhenConfigured) {
+  dist::TelemetryHub hub;
+  hub.set_auth_token("sekrit");
+  auto status = hub.start_endpoint({"127.0.0.1", 0});
+  ASSERT_TRUE(status.ok()) << status.error().to_string();
+  const std::uint16_t port = hub.endpoint_port();
+
+  const std::string anonymous = http_get(port, "/metrics");
+  EXPECT_NE(anonymous.find("401"), std::string::npos) << anonymous;
+  EXPECT_NE(anonymous.find("WWW-Authenticate: Bearer"), std::string::npos);
+
+  const std::string wrong =
+      http_get(port, "/metrics", "Authorization: Bearer nope\r\n");
+  EXPECT_NE(wrong.find("401"), std::string::npos);
+
+  const std::string authed =
+      http_get(port, "/metrics", "Authorization: Bearer sekrit\r\n");
+  EXPECT_NE(authed.find("200"), std::string::npos) << authed;
+  EXPECT_NE(authed.find("mosaic_"), std::string::npos);
+
+  // Rejections are observable: the unauthorized counter counted both.
+  const CounterSample* rejected = find_counter(
+      hub.fleet_snapshot(), std::string(names::kFleetEndpointUnauthorized));
+  ASSERT_NE(rejected, nullptr);
+  EXPECT_GE(rejected->value, 2u);
+  hub.stop();
+}
+
+TEST(FederationHub, HealthzEndpointTurns503WhenAWorkerGoesStale) {
+  dist::TelemetryHub hub;
+  hub.set_heartbeat_grace(0.05);
+  auto status = hub.start_endpoint({"127.0.0.1", 0});
+  ASSERT_TRUE(status.ok()) << status.error().to_string();
+  const std::uint16_t port = hub.endpoint_port();
+
+  hub.note_worker_state("w", "connected");
+  hub.ingest_heartbeat("w", synthetic_heartbeat("ok"));
+  const std::string healthy = http_get(port, "/healthz");
+  EXPECT_NE(healthy.find("HTTP/1.1 200"), std::string::npos) << healthy;
+
+  hub.note_worker_state("w", "lost");
+  const std::string failing = http_get(port, "/healthz");
+  EXPECT_NE(failing.find("HTTP/1.1 503"), std::string::npos) << failing;
+  EXPECT_NE(failing.find("worker-staleness"), std::string::npos);
+
+  // /profile serves the profiler summary on the same endpoint.
+  const std::string profile = http_get(port, "/profile");
+  EXPECT_NE(profile.find("HTTP/1.1 200"), std::string::npos);
+  EXPECT_NE(profile.find("\"samples\""), std::string::npos);
+  hub.stop();
 }
 
 }  // namespace

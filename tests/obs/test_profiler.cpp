@@ -1,0 +1,275 @@
+// Tests for the sampling profiler: disabled hooks are no-ops, enabled
+// scopes aggregate into collapsed stacks with self/total attribution,
+// allocations charge to the sampled stack, depth truncation stays balanced,
+// reset clears, and the exports (collapsed text, profile JSON, trace lane)
+// carry what the sampler saw.
+#include "obs/profiler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "json/json.hpp"
+
+namespace mosaic::obs {
+namespace {
+
+/// Every test starts and ends with a disabled, empty profiler — the
+/// singleton is process-global, so leftover state would bleed across tests.
+class ProfilerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Profiler::global().disable();
+    Profiler::global().reset();
+  }
+  void TearDown() override {
+    Profiler::global().disable();
+    Profiler::global().reset();
+  }
+};
+
+/// Holds `frames` pushed (innermost last) until `samples` new stack samples
+/// have been taken or `timeout` passes. Returns the number of new samples.
+std::uint64_t sample_while_pushed(const std::vector<const char*>& frames,
+                                  std::uint64_t samples,
+                                  std::chrono::seconds timeout =
+                                      std::chrono::seconds(10)) {
+  const std::uint64_t before = Profiler::global().sample_count();
+  std::vector<bool> pushed;
+  pushed.reserve(frames.size());
+  for (const char* frame : frames) pushed.push_back(profiler_push_frame(frame));
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  while (Profiler::global().sample_count() < before + samples &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  for (auto it = pushed.rbegin(); it != pushed.rend(); ++it) {
+    if (*it) profiler_pop_frame();
+  }
+  return Profiler::global().sample_count() - before;
+}
+
+TEST_F(ProfilerTest, DisabledHooksAreNoops) {
+  EXPECT_FALSE(Profiler::global().enabled());
+  EXPECT_FALSE(profiler_push_frame("ignored"));
+  profiler_note_allocation();  // must not crash or register anything
+  { ProfilerFrame frame("also-ignored"); }
+  EXPECT_EQ(Profiler::global().sample_count(), 0u);
+  EXPECT_TRUE(Profiler::global().stacks().empty());
+  EXPECT_EQ(Profiler::global().collapsed_text(), "");
+}
+
+TEST_F(ProfilerTest, EnableClampsRateAndReportsState) {
+  Profiler::global().enable(1e9);  // clamped to 10 kHz
+  EXPECT_TRUE(Profiler::global().enabled());
+  EXPECT_DOUBLE_EQ(Profiler::global().hz(), 10'000.0);
+  Profiler::global().disable();
+  EXPECT_FALSE(Profiler::global().enabled());
+  Profiler::global().enable(0.001);  // clamped to 1 Hz
+  EXPECT_DOUBLE_EQ(Profiler::global().hz(), 1.0);
+}
+
+TEST_F(ProfilerTest, SamplesAttributeToTheHeldStack) {
+  Profiler::global().enable(2000.0);
+  const std::uint64_t got = sample_while_pushed({"outer", "inner"}, 5);
+  Profiler::global().disable();
+  ASSERT_GE(got, 5u);
+
+  const std::vector<ProfileStack> stacks = Profiler::global().stacks();
+  const ProfileStack* ours = nullptr;
+  for (const ProfileStack& stack : stacks) {
+    if (stack.frames ==
+        std::vector<std::string>{"outer", "inner"}) {
+      ours = &stack;
+    }
+  }
+  ASSERT_NE(ours, nullptr) << Profiler::global().collapsed_text();
+  EXPECT_GE(ours->samples, 5u);
+
+  // Self/total attribution: "inner" was always the leaf while pushed,
+  // "outer" appeared on every one of those stacks.
+  std::uint64_t inner_self = 0;
+  std::uint64_t outer_total = 0;
+  std::uint64_t outer_self = 0;
+  for (const ProfileSelfTime& frame : Profiler::global().self_times()) {
+    if (frame.frame == "inner") inner_self = frame.self;
+    if (frame.frame == "outer") {
+      outer_total = frame.total;
+      outer_self = frame.self;
+    }
+  }
+  EXPECT_GE(inner_self, 5u);
+  EXPECT_GE(outer_total, inner_self);
+  EXPECT_EQ(outer_self + inner_self, outer_total);
+}
+
+TEST_F(ProfilerTest, CollapsedTextIsSortedFlamegraphFormat) {
+  Profiler::global().enable(2000.0);
+  ASSERT_GE(sample_while_pushed({"b-frame"}, 2), 2u);
+  ASSERT_GE(sample_while_pushed({"a-frame", "leaf"}, 2), 2u);
+  Profiler::global().disable();
+
+  const std::string text = Profiler::global().collapsed_text();
+  // One "frames count\n" line per aggregated stack, sorted by key — the
+  // format flamegraph.pl and speedscope ingest directly.
+  std::istringstream lines(text);
+  std::string line;
+  std::string previous_key;
+  bool saw_nested = false;
+  while (std::getline(lines, line)) {
+    const auto space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    const std::string key = line.substr(0, space);
+    EXPECT_GT(std::stoull(line.substr(space + 1)), 0u) << line;
+    EXPECT_LE(previous_key, key) << "collapsed keys must be sorted";
+    previous_key = key;
+    if (key == "a-frame;leaf") saw_nested = true;
+  }
+  EXPECT_TRUE(saw_nested) << text;
+}
+
+TEST_F(ProfilerTest, WriteCollapsedMatchesCollapsedText) {
+  Profiler::global().enable(2000.0);
+  ASSERT_GE(sample_while_pushed({"persisted"}, 2), 2u);
+  Profiler::global().disable();
+
+  const std::string path =
+      ::testing::TempDir() + "mosaic_profiler_collapsed.txt";
+  auto status = Profiler::global().write_collapsed(path);
+  ASSERT_TRUE(status.ok()) << status.error().to_string();
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream body;
+  body << in.rdbuf();
+  EXPECT_EQ(body.str(), Profiler::global().collapsed_text());
+  std::remove(path.c_str());
+}
+
+TEST_F(ProfilerTest, AllocationsChargeToTheSampledStack) {
+  Profiler::global().enable(2000.0);
+  {
+    ProfilerFrame frame("alloc-site");
+    for (int i = 0; i < 7; ++i) profiler_note_allocation();
+    // Pending allocations are charged at the next sampler tick of this
+    // thread's stack, so hold the frame until one lands.
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(10);
+    const std::uint64_t before = Profiler::global().sample_count();
+    while (Profiler::global().sample_count() < before + 2 &&
+           std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+  Profiler::global().disable();
+
+  std::uint64_t charged = 0;
+  for (const ProfileStack& stack : Profiler::global().stacks()) {
+    if (!stack.frames.empty() && stack.frames.front() == "alloc-site") {
+      charged += stack.allocations;
+    }
+  }
+  EXPECT_GE(charged, 7u);
+}
+
+TEST_F(ProfilerTest, PushesBeyondMaxDepthAreRefusedButBalanced) {
+  Profiler::global().enable(100.0);
+  std::size_t accepted = 0;
+  for (std::size_t depth = 0; depth < kProfilerMaxDepth + 4; ++depth) {
+    if (profiler_push_frame("deep")) ++accepted;
+  }
+  EXPECT_EQ(accepted, kProfilerMaxDepth);
+  for (std::size_t depth = 0; depth < accepted; ++depth) profiler_pop_frame();
+  Profiler::global().disable();
+}
+
+TEST_F(ProfilerTest, IdleRegisteredThreadsCountAsIdleSamples) {
+  Profiler::global().enable(2000.0);
+  // Register this thread by pushing once, then go idle with an empty stack.
+  ASSERT_GE(sample_while_pushed({"warmup"}, 1), 1u);
+  const std::uint64_t before = Profiler::global().idle_samples();
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (Profiler::global().idle_samples() < before + 3 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  Profiler::global().disable();
+  EXPECT_GE(Profiler::global().idle_samples(), before + 3);
+}
+
+TEST_F(ProfilerTest, LaneSpansCarrySampledLeavesWithPeriodDuration) {
+  Profiler::global().enable(2000.0);
+  ASSERT_GE(sample_while_pushed({"lane-frame"}, 3), 3u);
+  Profiler::global().disable();
+
+  const std::vector<FleetSpan> lane = Profiler::global().lane_spans();
+  ASSERT_FALSE(lane.empty());
+  bool found = false;
+  for (const FleetSpan& span : lane) {
+    EXPECT_GT(span.end_ns, span.start_ns);
+    if (span.name == "lane-frame") found = true;
+  }
+  EXPECT_TRUE(found);
+  // Sorted by (tid, start) for deterministic trace output.
+  for (std::size_t i = 1; i < lane.size(); ++i) {
+    EXPECT_TRUE(lane[i - 1].tid < lane[i].tid ||
+                (lane[i - 1].tid == lane[i].tid &&
+                 lane[i - 1].start_ns <= lane[i].start_ns));
+  }
+}
+
+TEST_F(ProfilerTest, ProfileJsonSummarizesAggregates) {
+  Profiler::global().enable(2000.0);
+  ASSERT_GE(sample_while_pushed({"json-frame"}, 2), 2u);
+  Profiler::global().disable();
+
+  const json::Value summary = Profiler::global().profile_json();
+  ASSERT_TRUE(summary.is_object());
+  const json::Object& obj = summary.as_object();
+  ASSERT_TRUE(obj.contains("enabled"));
+  ASSERT_TRUE(obj.contains("hz"));
+  ASSERT_TRUE(obj.contains("samples"));
+  ASSERT_TRUE(obj.contains("idle_samples"));
+  EXPECT_GE(obj.find("samples")->as_number(), 2.0);
+  const json::Value* stacks = obj.find("stacks");
+  ASSERT_NE(stacks, nullptr);
+  ASSERT_TRUE(stacks->is_array());
+  EXPECT_FALSE(stacks->as_array().empty());
+  const json::Value* self = obj.find("self");
+  ASSERT_NE(self, nullptr);
+  ASSERT_TRUE(self->is_array());
+  // Serializes without blowing up — this is the /profile endpoint body.
+  EXPECT_FALSE(json::serialize(summary).empty());
+}
+
+TEST_F(ProfilerTest, ResetDropsAggregatesButKeepsEnabledState) {
+  Profiler::global().enable(2000.0);
+  ASSERT_GE(sample_while_pushed({"to-be-dropped"}, 2), 2u);
+  Profiler::global().reset();
+  EXPECT_TRUE(Profiler::global().enabled());
+  EXPECT_EQ(Profiler::global().sample_count(), 0u);
+  EXPECT_TRUE(Profiler::global().stacks().empty());
+  EXPECT_TRUE(Profiler::global().lane_spans().empty());
+  EXPECT_EQ(Profiler::global().collapsed_text(), "");
+  Profiler::global().disable();
+}
+
+TEST_F(ProfilerTest, ChromeTraceWithProfileContainsBothLanes) {
+  Profiler::global().enable(2000.0);
+  ASSERT_GE(sample_while_pushed({"trace-frame"}, 2), 2u);
+  Profiler::global().disable();
+
+  const std::string trace = chrome_trace_with_profile_json();
+  EXPECT_NE(trace.find("\"profile\""), std::string::npos);
+  EXPECT_NE(trace.find("trace-frame"), std::string::npos);
+  auto parsed = json::parse(trace);
+  ASSERT_TRUE(parsed.has_value()) << parsed.error().to_string();
+}
+
+}  // namespace
+}  // namespace mosaic::obs

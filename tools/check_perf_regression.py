@@ -10,7 +10,13 @@ against the committed baseline and fails (exit 1) when either
     --max-overhead-pct (default 5%) in absolute terms, or
   * steady-state allocations per trace (allocations.per_trace) grew more
     than --max-alloc-increase-pct (default 10%) plus a 2-allocation slack
-    over the baseline. Skipped unless both files carry counted results.
+    over the baseline. Skipped unless both files carry counted results, or
+  * the sampling profiler breaks its budget: enabled at the default rate
+    costs more than --max-profiler-on-pct (default 5%), or the disabled
+    A/A null experiment (profiler.off_overhead_pct) strays outside
+    ±--max-profiler-off-pct (default 3%) — the disabled hook is one relaxed
+    atomic load per frame, so any off-cost beyond harness noise is a bug.
+    Skipped when the current file has no "profiler" section.
 
 The throughput check is relative to the baseline machine's own numbers, so
 a slower CI runner only trips it when the *ratio* moves; the overhead check
@@ -43,6 +49,8 @@ def main():
     parser.add_argument("--max-tps-drop-pct", type=float, default=15.0)
     parser.add_argument("--max-overhead-pct", type=float, default=5.0)
     parser.add_argument("--max-alloc-increase-pct", type=float, default=10.0)
+    parser.add_argument("--max-profiler-on-pct", type=float, default=5.0)
+    parser.add_argument("--max-profiler-off-pct", type=float, default=3.0)
     args = parser.parse_args()
 
     baseline = load(args.baseline)
@@ -94,6 +102,30 @@ def main():
             )
     else:
         print("allocations/trace: not counted on both sides, skipping")
+
+    profiler = current.get("profiler")
+    if profiler is not None:
+        on_pct = float(profiler.get("enabled_overhead_pct", 0.0))
+        off_pct = float(profiler.get("off_overhead_pct", 0.0))
+        print(
+            f"profiler overhead: off {off_pct:+.2f}% "
+            f"(null budget ±{args.max_profiler_off_pct:.0f}%), "
+            f"enabled {on_pct:.2f}% "
+            f"(budget {args.max_profiler_on_pct:.0f}%)"
+        )
+        if abs(off_pct) > args.max_profiler_off_pct:
+            failures.append(
+                f"profiler-off A/A drift {off_pct:+.2f}% outside "
+                f"±{args.max_profiler_off_pct:.0f}% — disabled hooks are "
+                "not free or the harness is too noisy to gate"
+            )
+        if on_pct > args.max_profiler_on_pct:
+            failures.append(
+                f"profiler-enabled overhead {on_pct:.2f}% exceeds "
+                f"{args.max_profiler_on_pct:.0f}% budget"
+            )
+    else:
+        print("profiler overhead: no profiler section, skipping")
 
     if failures:
         for failure in failures:

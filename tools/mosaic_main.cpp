@@ -14,10 +14,13 @@
 #include <csignal>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <filesystem>
+#include <fstream>
 #include <memory>
 #include <optional>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -34,8 +37,10 @@
 #include "ingest/ingest.hpp"
 #include "ingest/reader.hpp"
 #include "json/json.hpp"
+#include "obs/health.hpp"
 #include "obs/metrics.hpp"
 #include "obs/names.hpp"
+#include "obs/profiler.hpp"
 #include "obs/provenance.hpp"
 #include "obs/report.hpp"
 #include "obs/span.hpp"
@@ -75,6 +80,8 @@ void print_usage() {
       "  report <dir>              write a markdown analysis report\n"
       "  explain <file|trace-id>   render one trace's decision path\n"
       "  generate <dir>            write a synthetic trace population\n"
+      "  health <metrics.json>     evaluate health/SLO rules over a saved\n"
+      "                            metrics artifact (exit 1 on fail)\n"
       "  thresholds                print the thresholds config (JSON)\n\n"
       "run `mosaic <command> --help` for per-command options.\n",
       stdout);
@@ -146,6 +153,22 @@ void add_obs_cli_options(util::CliParser& cli) {
                  "<dir>/provenance.jsonl (one record per sampled trace)", "");
   cli.add_option("provenance-sample",
                  "capture provenance for 1 in N analyzed traces", "1");
+  cli.add_option("profile",
+                 "sample the stage stack while the run executes and write "
+                 "collapsed stacks (speedscope / flamegraph.pl) to this "
+                 "path; with --trace-events the trace gains a 'profile' "
+                 "lane", "");
+  cli.add_option("profile-hz", "profiler sampling frequency", "97");
+}
+
+/// Validates --profile-hz; nullopt (after printing) on values <= 0.
+std::optional<double> parse_profile_hz(const util::CliParser& cli) {
+  const auto hz = cli.get_double("profile-hz");
+  if (!hz.has_value() || *hz <= 0.0) {
+    std::fprintf(stderr, "--profile-hz must be a positive frequency\n");
+    return std::nullopt;
+  }
+  return *hz;
 }
 
 /// Validates --provenance-sample; nullopt (after printing) on values < 1.
@@ -166,14 +189,18 @@ class ObsSession {
  public:
   ObsSession(std::string metrics_path, std::string trace_path,
              double progress_seconds, std::string provenance_dir = "",
-             std::uint64_t provenance_sample = 1)
+             std::uint64_t provenance_sample = 1,
+             std::string profile_path = "",
+             double profile_hz = obs::Profiler::kDefaultHz)
       : metrics_path_(std::move(metrics_path)),
         trace_path_(std::move(trace_path)),
-        provenance_dir_(std::move(provenance_dir)) {
+        provenance_dir_(std::move(provenance_dir)),
+        profile_path_(std::move(profile_path)) {
     if (!trace_path_.empty()) obs::SpanTracer::global().enable();
     if (!provenance_dir_.empty()) {
       obs::ProvenanceJournal::global().enable(provenance_sample);
     }
+    if (!profile_path_.empty()) obs::Profiler::global().enable(profile_hz);
     if (progress_seconds > 0.0) {
       heartbeat_ = std::make_unique<obs::Heartbeat>(progress_seconds);
     }
@@ -190,6 +217,21 @@ class ObsSession {
     if (finished_) return ok_;
     finished_ = true;
     if (heartbeat_ != nullptr) heartbeat_->stop();
+    if (!profile_path_.empty()) {
+      // Stop sampling before flushing any sink so the profiler's own
+      // bookkeeping never lands in the written artifacts.
+      auto& profiler = obs::Profiler::global();
+      profiler.disable();
+      if (const auto status = profiler.write_collapsed(profile_path_);
+          !status.ok()) {
+        std::fprintf(stderr, "%s\n", status.error().to_string().c_str());
+        ok_ = false;
+      } else {
+        std::printf("profile (%llu sample(s)) written to %s\n",
+                    static_cast<unsigned long long>(profiler.sample_count()),
+                    profile_path_.c_str());
+      }
+    }
     if (!metrics_path_.empty()) {
       if (const auto status = obs::write_metrics_files(metrics_path_);
           !status.ok()) {
@@ -202,8 +244,13 @@ class ObsSession {
     }
     if (!trace_path_.empty()) {
       auto& tracer = obs::SpanTracer::global();
-      if (const auto status = tracer.write_chrome_trace(trace_path_);
-          !status.ok()) {
+      // A profiled run writes the two-lane trace (spans + profile samples);
+      // a plain run keeps the single-lane span trace.
+      const auto status =
+          profile_path_.empty()
+              ? tracer.write_chrome_trace(trace_path_)
+              : obs::write_chrome_trace_with_profile(trace_path_);
+      if (!status.ok()) {
         std::fprintf(stderr, "%s\n", status.error().to_string().c_str());
         ok_ = false;
       } else {
@@ -241,6 +288,7 @@ class ObsSession {
   std::string metrics_path_;
   std::string trace_path_;
   std::string provenance_dir_;
+  std::string profile_path_;
   std::unique_ptr<obs::Heartbeat> heartbeat_;
   bool finished_ = false;
   bool ok_ = true;
@@ -526,10 +574,13 @@ int cmd_analyze(int argc, char** argv) {
   if (!progress.has_value()) return 2;
   const auto provenance_sample = parse_provenance_sample(cli);
   if (!provenance_sample.has_value()) return 2;
+  const auto profile_hz = parse_profile_hz(cli);
+  if (!profile_hz.has_value()) return 2;
   ObsSession obs_session(std::string(cli.get("metrics")),
                          std::string(cli.get("trace-events")), *progress,
                          std::string(cli.get("provenance")),
-                         *provenance_sample);
+                         *provenance_sample, std::string(cli.get("profile")),
+                         *profile_hz);
   const core::Analyzer analyzer(load_thresholds(cli));
   int failures = 0;
   for (const std::string& path : paths) {
@@ -647,8 +698,14 @@ int cmd_batch(int argc, char** argv) {
                                                  shard->index);
     }
   }
+  const auto profile_hz = parse_profile_hz(cli);
+  if (!profile_hz.has_value()) return 2;
+  std::string profile_path{cli.get("profile")};
+  if (shard.has_value() && !profile_path.empty()) {
+    profile_path = ingest::shard_suffix_path(profile_path, shard->index);
+  }
   ObsSession obs_session(metrics_path, trace_path, *progress, provenance_dir,
-                         *provenance_sample);
+                         *provenance_sample, profile_path, *profile_hz);
   if (!partials_dir.empty()) {
     std::error_code ec;
     std::filesystem::create_directories(partials_dir, ec);
@@ -891,13 +948,17 @@ int cmd_worker(int argc, char** argv) {
     options.fault = *spec;
   }
 
+  const auto profile_hz = parse_profile_hz(cli);
+  if (!profile_hz.has_value()) return 2;
+
   // Worker-local telemetry sinks. Note the federation path needs none of
   // these: snapshots ship to the manager on heartbeats regardless, and
   // span collection is switched on by the task request itself.
   ObsSession obs_session(std::string(cli.get("metrics")),
                          std::string(cli.get("trace-events")), *progress,
                          std::string(cli.get("provenance")),
-                         *provenance_sample);
+                         *provenance_sample, std::string(cli.get("profile")),
+                         *profile_hz);
 
   dist::Worker worker(std::move(options));
   if (const auto status = worker.bind(); !status.ok()) {
@@ -970,10 +1031,17 @@ int cmd_dispatch(int argc, char** argv) {
                  "testing: simulate a manager crash after N received "
                  "partials", "0");
   cli.add_option("metrics-port",
-                 "serve live GET /metrics (Prometheus), /metrics.json and "
-                 "/status on 127.0.0.1:<port> while the run is in flight "
-                 "(0 = ephemeral port, printed on startup; empty = off)",
+                 "serve live GET /metrics (Prometheus), /metrics.json, "
+                 "/status, /healthz and /profile on 127.0.0.1:<port> while "
+                 "the run is in flight (0 = ephemeral port, printed on "
+                 "startup; empty = off)", "");
+  cli.add_option("metrics-token",
+                 "require `Authorization: Bearer <token>` on every endpoint "
+                 "request (default: $MOSAIC_METRICS_TOKEN; empty = open)",
                  "");
+  cli.add_option("health-rules",
+                 "JSON rules file replacing the built-in fleet health rules "
+                 "(see `mosaic health --print-rules`)", "");
   add_obs_cli_options(cli);
   add_log_cli_options(cli);
   if (const auto status = cli.parse(argc, argv); !status.ok()) {
@@ -1078,6 +1146,26 @@ int cmd_dispatch(int argc, char** argv) {
   options.telemetry = &hub;
   options.collect_spans = !trace_path.empty();
   if (!trace_path.empty()) obs::SpanTracer::global().enable();
+  {
+    // Flag wins over environment so a scripted override works per-run.
+    std::string token(cli.get("metrics-token"));
+    if (token.empty()) {
+      if (const char* env = std::getenv("MOSAIC_METRICS_TOKEN");
+          env != nullptr) {
+        token = env;
+      }
+    }
+    if (!token.empty()) hub.set_auth_token(std::move(token));
+  }
+  if (const auto rules_path = cli.get("health-rules"); !rules_path.empty()) {
+    auto rules = obs::load_health_rules(std::string(rules_path));
+    if (!rules.has_value()) {
+      std::fprintf(stderr, "--health-rules: %s\n",
+                   rules.error().to_string().c_str());
+      return 2;
+    }
+    hub.set_health_rules(std::move(*rules));
+  }
   if (const auto port_text = cli.get("metrics-port"); !port_text.empty()) {
     const auto port = non_negative_int("metrics-port");
     if (!port) return 2;
@@ -1140,10 +1228,14 @@ int cmd_dispatch(int argc, char** argv) {
     }
   } fleet{hub, metrics_path, trace_path};
 
+  const auto profile_hz = parse_profile_hz(cli);
+  if (!profile_hz.has_value()) return 2;
   // The hub owns the fleet views of --metrics/--trace-events/--progress;
-  // ObsSession keeps covering provenance.
+  // ObsSession keeps covering provenance and the manager-side profile
+  // (collapsed stacks of the dispatch/merge path itself).
   ObsSession obs_session("", "", 0.0, std::string(cli.get("provenance")),
-                         *provenance_sample);
+                         *provenance_sample, std::string(cli.get("profile")),
+                         *profile_hz);
   install_stop_handlers();
 
   util::Stopwatch watch;
@@ -1266,10 +1358,13 @@ int cmd_report(int argc, char** argv) {
     std::fprintf(stderr, "--straddling must be a non-negative integer\n");
     return 2;
   }
+  const auto profile_hz = parse_profile_hz(cli);
+  if (!profile_hz.has_value()) return 2;
   ObsSession obs_session(std::string(cli.get("metrics")),
                          std::string(cli.get("trace-events")), *progress,
                          std::string(cli.get("provenance")),
-                         *provenance_sample);
+                         *provenance_sample, std::string(cli.get("profile")),
+                         *profile_hz);
   // The drill-down is computed from journal records, not by re-analyzing, so
   // --confusion needs the journal armed even without a --provenance dir. A
   // partials reduce never analyzes, so it reads the shard runs' recorded
@@ -1587,6 +1682,80 @@ int cmd_generate(int argc, char** argv) {
   return 0;
 }
 
+int cmd_health(int argc, char** argv) {
+  util::CliParser cli("mosaic health",
+                      "evaluate health rules over a saved metrics JSON file "
+                      "(exit 0 = ok/warn, 1 = fail)");
+  cli.add_option("rules",
+                 "JSON rules file replacing the built-in defaults", "");
+  cli.add_flag("fleet",
+               "use the fleet (dispatch manager) default rules instead of "
+               "the process defaults");
+  cli.add_flag("print-rules",
+               "print the effective rules as JSON (a valid --rules file) "
+               "and exit");
+  cli.add_flag("json", "print the full report as JSON instead of text");
+  add_log_cli_options(cli);
+  if (const auto status = cli.parse(argc, argv); !status.ok()) {
+    return status.error().code == util::ErrorCode::kNotFound ? 0 : 2;
+  }
+  if (!apply_log_cli_options(cli)) return 2;
+
+  std::vector<obs::HealthRule> rules = cli.get_flag("fleet")
+                                           ? obs::default_fleet_health_rules()
+                                           : obs::default_health_rules();
+  if (const auto rules_path = cli.get("rules"); !rules_path.empty()) {
+    auto loaded = obs::load_health_rules(std::string(rules_path));
+    if (!loaded.has_value()) {
+      std::fprintf(stderr, "--rules: %s\n",
+                   loaded.error().to_string().c_str());
+      return 2;
+    }
+    rules = std::move(*loaded);
+  }
+  if (cli.get_flag("print-rules")) {
+    std::printf("%s\n",
+                json::serialize(obs::health_rules_to_json(rules)).c_str());
+    return 0;
+  }
+
+  if (cli.positional().size() != 1) {
+    std::fprintf(stderr,
+                 "mosaic health: exactly one metrics JSON file expected "
+                 "(the --metrics artifact of a previous run)\n");
+    return 2;
+  }
+  const std::string& path = cli.positional().front();
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "mosaic health: cannot open %s\n", path.c_str());
+    return 2;
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  auto parsed = json::parse(text.str());
+  if (!parsed.has_value()) {
+    std::fprintf(stderr, "mosaic health: %s: %s\n", path.c_str(),
+                 parsed.error().message.c_str());
+    return 2;
+  }
+  auto snapshot = obs::snapshot_from_metrics_json(*parsed);
+  if (!snapshot.has_value()) {
+    std::fprintf(stderr, "mosaic health: %s: %s\n", path.c_str(),
+                 snapshot.error().to_string().c_str());
+    return 2;
+  }
+
+  const obs::HealthReport report = obs::evaluate_health(*snapshot, rules);
+  if (cli.get_flag("json")) {
+    std::printf("%s\n",
+                json::serialize(obs::health_to_json(report)).c_str());
+  } else {
+    std::fputs(obs::health_text(report).c_str(), stdout);
+  }
+  return report.level == obs::HealthLevel::kFail ? 1 : 0;
+}
+
 int cmd_thresholds(int argc, char** argv) {
   util::CliParser cli("mosaic thresholds",
                       "print or write the thresholds config");
@@ -1631,6 +1800,7 @@ int main(int argc, char** argv) {
   if (command == "dispatch") return cmd_dispatch(argc - 1, argv + 1);
   if (command == "worker") return cmd_worker(argc - 1, argv + 1);
   if (command == "generate") return cmd_generate(argc - 1, argv + 1);
+  if (command == "health") return cmd_health(argc - 1, argv + 1);
   if (command == "thresholds") return cmd_thresholds(argc - 1, argv + 1);
   std::fprintf(stderr, "mosaic: unknown command '%s'\n\n", command.c_str());
   print_usage();
