@@ -61,7 +61,7 @@ Error proto_error(std::string what) {
 
 bool frame_type_valid(std::uint8_t value) noexcept {
   return value >= static_cast<std::uint8_t>(FrameType::kHello) &&
-         value <= static_cast<std::uint8_t>(FrameType::kShutdown);
+         value <= static_cast<std::uint8_t>(FrameType::kSubmitResult);
 }
 
 Status write_frame(Connection& conn, FrameType type, std::string_view payload,
@@ -288,6 +288,134 @@ std::optional<std::uint64_t> hello_now_ns(std::string_view payload) {
     return std::nullopt;
   }
   return static_cast<std::uint64_t>(now->as_number());
+}
+
+namespace {
+
+constexpr char kHexDigits[] = "0123456789abcdef";
+
+std::string to_hex(std::string_view bytes) {
+  std::string out;
+  out.reserve(bytes.size() * 2);
+  for (const char c : bytes) {
+    const auto byte = static_cast<unsigned char>(c);
+    out += kHexDigits[byte >> 4];
+    out += kHexDigits[byte & 0x0F];
+  }
+  return out;
+}
+
+int hex_value(char c) noexcept {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+Expected<std::string> from_hex(std::string_view hex) {
+  if (hex.size() % 2 != 0) {
+    return proto_error("submit payload: odd-length hex data");
+  }
+  std::string out;
+  out.reserve(hex.size() / 2);
+  for (std::size_t i = 0; i < hex.size(); i += 2) {
+    const int hi = hex_value(hex[i]);
+    const int lo = hex_value(hex[i + 1]);
+    if (hi < 0 || lo < 0) {
+      return proto_error("submit payload: non-hex byte in data");
+    }
+    out += static_cast<char>((hi << 4) | lo);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string submit_request_to_payload(const SubmitRequest& request) {
+  Object out;
+  out.set("name", request.name);
+  out.set("hex", to_hex(request.data));
+  return json::serialize(Value(std::move(out)));
+}
+
+Expected<SubmitRequest> submit_request_from_payload(std::string_view payload) {
+  auto parsed = json::parse(payload);
+  if (!parsed.has_value() || !parsed->is_object()) {
+    return proto_error("submit payload is not a JSON object");
+  }
+  const Object& obj = parsed->as_object();
+  const Value* name = obj.find("name");
+  const Value* hex = obj.find("hex");
+  if (name == nullptr || !name->is_string() || hex == nullptr ||
+      !hex->is_string()) {
+    return proto_error("submit payload missing string 'name'/'hex'");
+  }
+  auto data = from_hex(hex->as_string());
+  if (!data.has_value()) return std::move(data).error();
+  SubmitRequest request;
+  request.name = name->as_string();
+  request.data = std::move(*data);
+  return request;
+}
+
+std::string submit_reply_to_payload(const SubmitReply& reply) {
+  Object out;
+  out.set("ok", reply.ok);
+  if (reply.ok) {
+    out.set("trace_id", reply.trace_id);
+    out.set("app_key", reply.app_key);
+    out.set("cached", reply.cached);
+    Array categories;
+    for (const std::string& category : reply.categories) {
+      categories.push_back(category);
+    }
+    out.set("categories", std::move(categories));
+  } else {
+    out.set("error", reply.error);
+  }
+  return json::serialize(Value(std::move(out)));
+}
+
+Expected<SubmitReply> submit_reply_from_payload(std::string_view payload) {
+  auto parsed = json::parse(payload);
+  if (!parsed.has_value() || !parsed->is_object()) {
+    return proto_error("submit reply is not a JSON object");
+  }
+  const Object& obj = parsed->as_object();
+  const Value* ok = obj.find("ok");
+  if (ok == nullptr || !ok->is_bool()) {
+    return proto_error("submit reply missing bool 'ok'");
+  }
+  SubmitReply reply;
+  reply.ok = ok->as_bool();
+  if (!reply.ok) {
+    const Value* error = obj.find("error");
+    if (error == nullptr || !error->is_string()) {
+      return proto_error("submit reply missing string 'error'");
+    }
+    reply.error = error->as_string();
+    return reply;
+  }
+  const Value* trace_id = obj.find("trace_id");
+  const Value* app_key = obj.find("app_key");
+  const Value* cached = obj.find("cached");
+  const Value* categories = obj.find("categories");
+  if (trace_id == nullptr || !trace_id->is_string() || app_key == nullptr ||
+      !app_key->is_string() || cached == nullptr || !cached->is_bool() ||
+      categories == nullptr || !categories->is_array()) {
+    return proto_error("submit reply missing trace_id/app_key/cached/"
+                       "categories");
+  }
+  reply.trace_id = trace_id->as_string();
+  reply.app_key = app_key->as_string();
+  reply.cached = cached->as_bool();
+  for (const Value& member : categories->as_array()) {
+    if (!member.is_string()) {
+      return proto_error("submit reply: non-string category");
+    }
+    reply.categories.push_back(member.as_string());
+  }
+  return reply;
 }
 
 }  // namespace mosaic::dist

@@ -44,12 +44,14 @@ inline constexpr std::uint8_t kProtocolVersion = 1;
 inline constexpr std::uint32_t kMaxPayloadBytes = 256u * 1024u * 1024u;
 
 enum class FrameType : std::uint8_t {
-  kHello = 1,      ///< both directions: version handshake
-  kTask = 2,       ///< manager -> worker: run this shard task
-  kHeartbeat = 3,  ///< worker -> manager: still alive, task in progress
-  kPartial = 4,    ///< worker -> manager: the finished partial artifact
-  kTaskError = 5,  ///< worker -> manager: task failed (code + message)
-  kShutdown = 6,   ///< manager -> worker: session over, stop serving it
+  kHello = 1,        ///< both directions: version handshake
+  kTask = 2,         ///< manager -> worker: run this shard task
+  kHeartbeat = 3,    ///< worker -> manager: still alive, task in progress
+  kPartial = 4,      ///< worker -> manager: the finished partial artifact
+  kTaskError = 5,    ///< worker -> manager: task failed (code + message)
+  kShutdown = 6,     ///< manager -> worker: session over, stop serving it
+  kSubmit = 7,       ///< client -> daemon: categorize this trace file
+  kSubmitResult = 8, ///< daemon -> client: trace id, categories, cache state
 };
 
 /// True for values that decode to a known FrameType.
@@ -118,6 +120,36 @@ struct TaskRequest {
 /// Extracts `now_ns` from a hello payload; nullopt when the peer predates
 /// telemetry federation (its spans then stay unaligned, nothing breaks).
 [[nodiscard]] std::optional<std::uint64_t> hello_now_ns(
+    std::string_view payload);
+
+/// One trace submitted to the daemon over a kSubmit frame: the client-side
+/// file name (its extension picks the parser, exactly as on-disk ingest
+/// classifies) and the raw file bytes. Bytes travel hex-encoded inside the
+/// JSON payload so the frame stays pcap-inspectable like every other MDP1
+/// message; traces are small enough that doubling them is cheaper than a
+/// second wire format.
+struct SubmitRequest {
+  std::string name;
+  std::string data;  ///< raw bytes (decoded)
+};
+
+[[nodiscard]] std::string submit_request_to_payload(
+    const SubmitRequest& request);
+[[nodiscard]] util::Expected<SubmitRequest> submit_request_from_payload(
+    std::string_view payload);
+
+/// The daemon's kSubmitResult payload. `ok == false` carries only `error`.
+struct SubmitReply {
+  bool ok = false;
+  std::string trace_id;  ///< decimal job id — the /explain/<id> handle
+  std::string app_key;
+  bool cached = false;   ///< true when the submission was a cache hit
+  std::vector<std::string> categories;
+  std::string error;
+};
+
+[[nodiscard]] std::string submit_reply_to_payload(const SubmitReply& reply);
+[[nodiscard]] util::Expected<SubmitReply> submit_reply_from_payload(
     std::string_view payload);
 
 }  // namespace mosaic::dist

@@ -343,8 +343,7 @@ void TelemetryHub::set_heartbeat_grace(double seconds) {
 }
 
 void TelemetryHub::set_auth_token(std::string token) {
-  const std::scoped_lock lock(board_mutex_);
-  auth_token_ = std::move(token);
+  http_.set_auth_token(std::move(token));
 }
 
 void TelemetryHub::set_health_rules(std::vector<obs::HealthRule> rules) {
@@ -600,11 +599,41 @@ Status TelemetryHub::write_fleet_trace(const std::string& path) {
 }
 
 Status TelemetryHub::start_endpoint(const Address& address) {
-  if (const auto status = listener_.listen_on(address); !status.ok()) {
-    return status;
-  }
-  http_thread_ = std::thread([this] { serve_endpoint(); });
-  return Status::success();
+  register_routes();
+  return http_.start(address);
+}
+
+void TelemetryHub::register_routes() {
+  // The legacy fleet-scoped rejection counter rides on the shared server's
+  // 401 path (which also bumps mosaic_http_unauthorized_total).
+  http_.set_unauthorized_hook([] { FleetMetrics::get().unauthorized.add(); });
+  http_.handle("/metrics", [this](const obs::HttpRequest&) {
+    return obs::HttpResponse{200, "text/plain; version=0.0.4",
+                             prometheus_text(), {}};
+  });
+  http_.handle("/metrics.json", [this](const obs::HttpRequest&) {
+    return obs::HttpResponse{200, "application/json", metrics_json_text(),
+                             {}};
+  });
+  http_.handle("/status", [this](const obs::HttpRequest&) {
+    return obs::HttpResponse{200, "application/json", status_json_text(), {}};
+  });
+  http_.handle("/healthz", [this](const obs::HttpRequest&) {
+    // 503 on fail makes the endpoint usable as a load-balancer /
+    // orchestrator probe without parsing the body. Any check at fail forces
+    // the rollup to fail, so matching the rollup key is exact, not
+    // heuristic.
+    std::string body = healthz_json_text();
+    const bool failing =
+        body.find("\"status\": \"fail\"") != std::string::npos;
+    return obs::HttpResponse{failing ? 503 : 200, "application/json",
+                             std::move(body), {}};
+  });
+  http_.handle("/profile", [](const obs::HttpRequest&) {
+    return obs::HttpResponse{
+        200, "application/json",
+        json::serialize(obs::Profiler::global().profile_json()), {}};
+  });
 }
 
 void TelemetryHub::start_progress(double interval_seconds) {
@@ -615,22 +644,8 @@ void TelemetryHub::start_progress(double interval_seconds) {
 
 void TelemetryHub::stop() {
   stop_.store(true, std::memory_order_relaxed);
-  if (http_thread_.joinable()) http_thread_.join();
+  http_.stop();
   if (progress_thread_.joinable()) progress_thread_.join();
-  listener_.close();
-}
-
-void TelemetryHub::serve_endpoint() {
-  while (!stop_.load(std::memory_order_relaxed)) {
-    // Short accept timeout keeps stop() responsive, mirroring the worker's
-    // serve loop.
-    auto conn = listener_.accept_connection(0.25);
-    if (!conn.has_value()) {
-      if (conn.error().code == ErrorCode::kTimeout) continue;
-      return;  // listener closed / broken
-    }
-    handle_http(std::move(*conn));
-  }
 }
 
 void TelemetryHub::run_progress(double interval_seconds) {
@@ -645,139 +660,6 @@ void TelemetryHub::run_progress(double interval_seconds) {
     MOSAIC_LOG_INFO("%s", progress_line().c_str());
   }
   MOSAIC_LOG_INFO("%s", progress_line().c_str());
-}
-
-bool TelemetryHub::authorized(const std::string& head) const {
-  std::string token;
-  {
-    const std::scoped_lock lock(board_mutex_);
-    token = auth_token_;
-  }
-  if (token.empty()) return true;  // open endpoint
-  // Find the Authorization header (case-insensitive name, line-anchored).
-  std::string provided;
-  std::size_t pos = 0;
-  while (pos < head.size()) {
-    std::size_t eol = head.find("\r\n", pos);
-    if (eol == std::string::npos) eol = head.size();
-    const std::string_view line =
-        std::string_view(head).substr(pos, eol - pos);
-    constexpr std::string_view kName = "authorization:";
-    if (line.size() > kName.size()) {
-      bool name_matches = true;
-      for (std::size_t i = 0; i < kName.size(); ++i) {
-        if (std::tolower(static_cast<unsigned char>(line[i])) != kName[i]) {
-          name_matches = false;
-          break;
-        }
-      }
-      if (name_matches) {
-        std::string_view value = line.substr(kName.size());
-        while (!value.empty() && value.front() == ' ') value.remove_prefix(1);
-        constexpr std::string_view kScheme = "Bearer ";
-        if (value.size() > kScheme.size() &&
-            value.compare(0, kScheme.size(), kScheme) == 0) {
-          provided = std::string(value.substr(kScheme.size()));
-          while (!provided.empty() &&
-                 (provided.back() == ' ' || provided.back() == '\r')) {
-            provided.pop_back();
-          }
-        }
-        break;
-      }
-    }
-    pos = eol + 2;
-  }
-  if (provided.empty()) return false;
-  // Constant-time compare: no early exit on first mismatch, and the probe's
-  // length never changes how many expected bytes we touch.
-  std::size_t acc = token.size() ^ provided.size();
-  for (std::size_t i = 0; i < token.size(); ++i) {
-    acc |= static_cast<std::size_t>(
-        static_cast<unsigned char>(token[i]) ^
-        static_cast<unsigned char>(provided[i % provided.size()]));
-  }
-  return acc == 0;
-}
-
-void TelemetryHub::handle_http(Connection conn) const {
-  // Minimal HTTP/1.x: read the request head byte-wise (bounded, poll-timed
-  // via recv_exact), answer one GET, close. Enough for curl / Prometheus
-  // scrapes without pulling a server dependency into the manager.
-  std::string head;
-  char byte = 0;
-  constexpr std::size_t kMaxHead = 8192;
-  while (head.size() < kMaxHead) {
-    if (!conn.recv_exact(&byte, 1, 2.0).ok()) return;
-    head += byte;
-    if (head.size() >= 4 &&
-        head.compare(head.size() - 4, 4, "\r\n\r\n") == 0) {
-      break;
-    }
-  }
-  const std::size_t method_end = head.find(' ');
-  if (method_end == std::string::npos) return;
-  const std::size_t target_end = head.find(' ', method_end + 1);
-  if (target_end == std::string::npos) return;
-  const std::string method = head.substr(0, method_end);
-  std::string target =
-      head.substr(method_end + 1, target_end - method_end - 1);
-  const std::size_t query = target.find('?');
-  if (query != std::string::npos) target.resize(query);
-
-  const auto respond = [&conn](const char* status_line,
-                               const char* content_type,
-                               const std::string& body,
-                               const char* extra_header = nullptr) {
-    std::string response = "HTTP/1.1 ";
-    response += status_line;
-    response += "\r\nContent-Type: ";
-    response += content_type;
-    response += "\r\nContent-Length: ";
-    response += std::to_string(body.size());
-    if (extra_header != nullptr) {
-      response += "\r\n";
-      response += extra_header;
-    }
-    response += "\r\nConnection: close\r\n\r\n";
-    response += body;
-    (void)conn.send_all(response.data(), response.size());
-  };
-
-  if (method != "GET") {
-    respond("405 Method Not Allowed", "text/plain",
-            "only GET is supported\n");
-    return;
-  }
-  if (!authorized(head)) {
-    FleetMetrics::get().unauthorized.add();
-    respond("401 Unauthorized", "text/plain", "missing or bad bearer token\n",
-            "WWW-Authenticate: Bearer");
-    return;
-  }
-  if (target == "/metrics") {
-    respond("200 OK", "text/plain; version=0.0.4", prometheus_text());
-  } else if (target == "/metrics.json") {
-    respond("200 OK", "application/json", metrics_json_text());
-  } else if (target == "/status") {
-    respond("200 OK", "application/json", status_json_text());
-  } else if (target == "/healthz") {
-    // 503 on fail makes the endpoint usable as a load-balancer / orchestrator
-    // probe without parsing the body.
-    // Any check at fail forces the rollup to fail, so matching the rollup
-    // key is exact, not heuristic.
-    const std::string body = healthz_json_text();
-    const bool failing =
-        body.find("\"status\": \"fail\"") != std::string::npos;
-    respond(failing ? "503 Service Unavailable" : "200 OK",
-            "application/json", body);
-  } else if (target == "/profile") {
-    respond("200 OK", "application/json",
-            json::serialize(obs::Profiler::global().profile_json()));
-  } else {
-    respond("404 Not Found", "text/plain",
-            "routes: /metrics /metrics.json /status /healthz /profile\n");
-  }
 }
 
 }  // namespace mosaic::dist

@@ -39,6 +39,7 @@
 #include "json/json.hpp"
 #include "obs/federation.hpp"
 #include "obs/health.hpp"
+#include "obs/http.hpp"
 #include "util/error.hpp"
 
 namespace mosaic::dist {
@@ -194,11 +195,11 @@ class TelemetryHub {
 
   // --- embedded HTTP endpoint -------------------------------------------
   /// Binds and serves GET /metrics, /metrics.json, /status, /healthz and
-  /// /profile on a background thread until stop(). Port 0 binds ephemerally;
-  /// endpoint_port() reports the resolved port.
+  /// /profile (obs::HttpServer routes) on a background thread until stop().
+  /// Port 0 binds ephemerally; endpoint_port() reports the resolved port.
   [[nodiscard]] util::Status start_endpoint(const Address& address);
   [[nodiscard]] std::uint16_t endpoint_port() const noexcept {
-    return listener_.port();
+    return http_.port();
   }
 
   // --- progress logger --------------------------------------------------
@@ -209,10 +210,8 @@ class TelemetryHub {
   void stop();
 
  private:
-  void serve_endpoint();
   void run_progress(double interval_seconds);
-  void handle_http(Connection conn) const;
-  [[nodiscard]] bool authorized(const std::string& head) const;
+  void register_routes();
   void apply_telemetry(const std::string& worker, TelemetryPayload payload);
   void note_worker_seen(const std::string& worker, std::string_view health);
 
@@ -230,12 +229,10 @@ class TelemetryHub {
   std::map<std::size_t, ShardBoardEntry> shards_;
   mutable std::map<std::string, WorkerBoardEntry> workers_;
   double heartbeat_grace_seconds_ = 0.0;
-  std::string auth_token_;
   std::vector<obs::HealthRule> health_rules_;
 
-  Listener listener_;
+  obs::HttpServer http_;
   std::atomic<bool> stop_{false};
-  std::thread http_thread_;
   std::thread progress_thread_;
 };
 

@@ -1,0 +1,250 @@
+#include "obs/http.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+
+#include "obs/metrics.hpp"
+#include "obs/names.hpp"
+#include "util/error.hpp"
+
+namespace mosaic::obs {
+
+using util::ErrorCode;
+using util::Status;
+
+namespace {
+
+struct HttpMetrics {
+  Counter& requests;
+  Counter& unauthorized;
+
+  static HttpMetrics& get() {
+    static auto& registry = Registry::global();
+    static HttpMetrics metrics{
+        registry.counter(names::kHttpRequests,
+                         "requests served by the embedded HTTP endpoint"),
+        registry.counter(names::kHttpUnauthorized,
+                         "HTTP requests rejected for a missing or wrong "
+                         "bearer token"),
+    };
+    return metrics;
+  }
+};
+
+}  // namespace
+
+std::string_view http_status_text(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 401: return "Unauthorized";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 503: return "Service Unavailable";
+    default: return "Internal Server Error";
+  }
+}
+
+void announce_http_endpoint(std::string_view component,
+                            std::string_view host, std::uint16_t port) {
+  std::printf("%.*s metrics endpoint listening on %.*s:%u\n",
+              static_cast<int>(component.size()), component.data(),
+              static_cast<int>(host.size()), host.data(),
+              static_cast<unsigned>(port));
+  std::fflush(stdout);
+}
+
+HttpServer::~HttpServer() { stop(); }
+
+void HttpServer::handle(std::string target, Handler handler) {
+  routes_.emplace_back(std::move(target), std::move(handler));
+}
+
+void HttpServer::handle_prefix(std::string prefix, Handler handler) {
+  prefix_routes_.emplace_back(std::move(prefix), std::move(handler));
+  // Longest prefix first, so "/a/b/" shadows "/a/" for its subtree.
+  std::stable_sort(prefix_routes_.begin(), prefix_routes_.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.first.size() > b.first.size();
+                   });
+}
+
+void HttpServer::set_auth_token(std::string token) {
+  const std::scoped_lock lock(token_mutex_);
+  auth_token_ = std::move(token);
+}
+
+void HttpServer::set_unauthorized_hook(std::function<void()> hook) {
+  unauthorized_hook_ = std::move(hook);
+}
+
+Status HttpServer::start(const util::Address& address) {
+  if (const auto status = listener_.listen_on(address); !status.ok()) {
+    return status;
+  }
+  thread_ = std::thread([this] { serve(); });
+  return Status::success();
+}
+
+void HttpServer::stop() {
+  stop_.store(true, std::memory_order_relaxed);
+  if (thread_.joinable()) thread_.join();
+  listener_.close();
+}
+
+void HttpServer::serve() {
+  while (!stop_.load(std::memory_order_relaxed)) {
+    // Short accept timeout keeps stop() responsive, mirroring the worker's
+    // protocol serve loop.
+    auto conn = listener_.accept_connection(0.25);
+    if (!conn.has_value()) {
+      if (conn.error().code == ErrorCode::kTimeout) continue;
+      return;  // listener closed / broken
+    }
+    handle_connection(std::move(*conn));
+  }
+}
+
+std::string HttpServer::route_list() const {
+  std::vector<std::string> names;
+  names.reserve(routes_.size() + prefix_routes_.size());
+  for (const auto& [target, handler] : routes_) names.push_back(target);
+  for (const auto& [prefix, handler] : prefix_routes_) {
+    names.push_back(prefix + "<id>");
+  }
+  std::sort(names.begin(), names.end());
+  std::string out = "routes:";
+  for (const std::string& name : names) {
+    out += ' ';
+    out += name;
+  }
+  out += '\n';
+  return out;
+}
+
+bool HttpServer::authorized(const std::string& head) const {
+  std::string token;
+  {
+    const std::scoped_lock lock(token_mutex_);
+    token = auth_token_;
+  }
+  if (token.empty()) return true;  // open endpoint
+  // Find the Authorization header (case-insensitive name, line-anchored).
+  std::string provided;
+  std::size_t pos = 0;
+  while (pos < head.size()) {
+    std::size_t eol = head.find("\r\n", pos);
+    if (eol == std::string::npos) eol = head.size();
+    const std::string_view line =
+        std::string_view(head).substr(pos, eol - pos);
+    constexpr std::string_view kName = "authorization:";
+    if (line.size() > kName.size()) {
+      bool name_matches = true;
+      for (std::size_t i = 0; i < kName.size(); ++i) {
+        if (std::tolower(static_cast<unsigned char>(line[i])) != kName[i]) {
+          name_matches = false;
+          break;
+        }
+      }
+      if (name_matches) {
+        std::string_view value = line.substr(kName.size());
+        while (!value.empty() && value.front() == ' ') value.remove_prefix(1);
+        constexpr std::string_view kScheme = "Bearer ";
+        if (value.size() > kScheme.size() &&
+            value.compare(0, kScheme.size(), kScheme) == 0) {
+          provided = std::string(value.substr(kScheme.size()));
+          while (!provided.empty() &&
+                 (provided.back() == ' ' || provided.back() == '\r')) {
+            provided.pop_back();
+          }
+        }
+        break;
+      }
+    }
+    pos = eol + 2;
+  }
+  if (provided.empty()) return false;
+  // Constant-time compare: no early exit on first mismatch, and the probe's
+  // length never changes how many expected bytes we touch.
+  std::size_t acc = token.size() ^ provided.size();
+  for (std::size_t i = 0; i < token.size(); ++i) {
+    acc |= static_cast<std::size_t>(
+        static_cast<unsigned char>(token[i]) ^
+        static_cast<unsigned char>(provided[i % provided.size()]));
+  }
+  return acc == 0;
+}
+
+void HttpServer::handle_connection(util::Connection conn) {
+  // Minimal HTTP/1.x: read the request head (bounded, poll-timed), answer
+  // one GET, close.
+  std::string head;
+  constexpr std::size_t kMaxHead = 8192;
+  char buffer[512];
+  while (head.size() < kMaxHead &&
+         head.find("\r\n\r\n") == std::string::npos) {
+    const std::size_t want =
+        std::min(sizeof buffer, kMaxHead - head.size());
+    auto got = conn.recv_some(buffer, want, 2.0);
+    if (!got.has_value() || *got == 0) return;
+    head.append(buffer, *got);
+  }
+  const std::size_t method_end = head.find(' ');
+  if (method_end == std::string::npos) return;
+  const std::size_t target_end = head.find(' ', method_end + 1);
+  if (target_end == std::string::npos) return;
+  HttpRequest request;
+  request.method = head.substr(0, method_end);
+  request.target = head.substr(method_end + 1, target_end - method_end - 1);
+  const std::size_t query = request.target.find('?');
+  if (query != std::string::npos) request.target.resize(query);
+  request.head = std::move(head);
+
+  HttpMetrics::get().requests.add();
+
+  const auto respond = [&conn](const HttpResponse& reply) {
+    std::string response = "HTTP/1.1 ";
+    response += std::to_string(reply.status);
+    response += ' ';
+    response += http_status_text(reply.status);
+    response += "\r\nContent-Type: ";
+    response += reply.content_type;
+    response += "\r\nContent-Length: ";
+    response += std::to_string(reply.body.size());
+    if (!reply.extra_header.empty()) {
+      response += "\r\n";
+      response += reply.extra_header;
+    }
+    response += "\r\nConnection: close\r\n\r\n";
+    response += reply.body;
+    (void)conn.send_all(response.data(), response.size());
+  };
+
+  if (request.method != "GET") {
+    respond({405, "text/plain", "only GET is supported\n", {}});
+    return;
+  }
+  if (!authorized(request.head)) {
+    HttpMetrics::get().unauthorized.add();
+    if (unauthorized_hook_) unauthorized_hook_();
+    respond({401, "text/plain", "missing or bad bearer token\n",
+             "WWW-Authenticate: Bearer"});
+    return;
+  }
+  for (const auto& [target, handler] : routes_) {
+    if (request.target == target) {
+      respond(handler(request));
+      return;
+    }
+  }
+  for (const auto& [prefix, handler] : prefix_routes_) {
+    if (request.target.compare(0, prefix.size(), prefix) == 0) {
+      respond(handler(request));
+      return;
+    }
+  }
+  respond({404, "text/plain", route_list(), {}});
+}
+
+}  // namespace mosaic::obs

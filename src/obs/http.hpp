@@ -1,0 +1,123 @@
+// Embedded HTTP/1.x endpoint shared by `mosaic dispatch` and `mosaic
+// daemon` (DESIGN.md §17).
+//
+// One deliberately small server: a background accept loop over
+// util::Listener, one GET request per connection, poll-bounded reads so a
+// wedged client cannot hang the process, and a route table registered
+// before start(). Enough for curl / Prometheus scrapes and the daemon's
+// JSON result serving without pulling an HTTP dependency into the binary.
+//
+// Cross-cutting behavior lives here, once, for every binary that serves
+// HTTP (docs/API.md documents it):
+//   - non-GET methods     -> 405 Method Not Allowed
+//   - bearer-token auth   -> 401 + `WWW-Authenticate: Bearer` on a missing
+//                            or wrong token (constant-time compare), with
+//                            mosaic_http_unauthorized_total bumped and an
+//                            optional owner hook for subsystem counters
+//   - unknown targets     -> 404 listing the registered routes
+//   - every request       -> mosaic_http_requests_total
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/net.hpp"
+
+namespace mosaic::obs {
+
+/// One parsed request, as far as this server parses: the method, the target
+/// path (query string stripped), and the raw head for handlers that need
+/// another header.
+struct HttpRequest {
+  std::string method;
+  std::string target;
+  std::string head;
+};
+
+/// What a route handler returns. `extra_header` is one optional raw header
+/// line (no trailing CRLF), e.g. "Cache-Control: no-store".
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain";
+  std::string body;
+  std::string extra_header;
+};
+
+/// Reason-phrase for the handful of status codes the endpoint uses.
+[[nodiscard]] std::string_view http_status_text(int status);
+
+/// The one shared "where is my endpoint" line: prints
+/// `<component> metrics endpoint listening on <host>:<port>` to stdout and
+/// flushes, so shell harnesses started with `--metrics-port 0` can scrape
+/// the resolved ephemeral port from one stable format.
+void announce_http_endpoint(std::string_view component,
+                            std::string_view host, std::uint16_t port);
+
+/// Minimal threaded HTTP server. Register routes, then start(); stop()
+/// (idempotent, also run by the destructor) joins the accept thread.
+/// Handlers run on the accept thread and must be thread-safe against the
+/// owning subsystem.
+class HttpServer {
+ public:
+  using Handler = std::function<HttpResponse(const HttpRequest&)>;
+
+  HttpServer() = default;
+  ~HttpServer();
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Registers a handler for an exact target, e.g. "/metrics".
+  void handle(std::string target, Handler handler);
+
+  /// Registers a handler for every target beginning with `prefix`, e.g.
+  /// "/explain/" for /explain/<trace-id>. Exact routes win over prefixes;
+  /// longer prefixes win over shorter ones.
+  void handle_prefix(std::string prefix, Handler handler);
+
+  /// Requires `Authorization: Bearer <token>` on every request
+  /// (constant-time compare; 401 otherwise). Empty = open endpoint.
+  void set_auth_token(std::string token);
+
+  /// Called on every 401, after the shared counter bump — lets the owner
+  /// keep a subsystem-scoped rejection counter too.
+  void set_unauthorized_hook(std::function<void()> hook);
+
+  /// Binds and serves on a background thread until stop(). Port 0 binds
+  /// ephemerally; port() reports the resolved port.
+  [[nodiscard]] util::Status start(const util::Address& address);
+
+  [[nodiscard]] std::uint16_t port() const noexcept {
+    return listener_.port();
+  }
+
+  /// Joins the accept thread and closes the listener (idempotent).
+  void stop();
+
+ private:
+  void serve();
+  void handle_connection(util::Connection conn);
+  [[nodiscard]] bool authorized(const std::string& head) const;
+  [[nodiscard]] std::string route_list() const;
+
+  std::vector<std::pair<std::string, Handler>> routes_;
+  std::vector<std::pair<std::string, Handler>> prefix_routes_;
+  std::function<void()> unauthorized_hook_;
+
+  mutable std::mutex token_mutex_;
+  std::string auth_token_;
+
+  util::Listener listener_;
+  std::atomic<bool> stop_{false};
+  std::thread thread_;
+};
+
+}  // namespace mosaic::obs

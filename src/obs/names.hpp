@@ -183,4 +183,28 @@ inline constexpr std::string_view kHealthLevel = "mosaic_health_level";
 inline constexpr std::string_view kHealthEvaluations =
     "mosaic_health_evaluations_total";
 
+// Embedded HTTP endpoint (src/obs/http), shared by dispatch and the daemon.
+inline constexpr std::string_view kHttpRequests = "mosaic_http_requests_total";
+inline constexpr std::string_view kHttpUnauthorized =
+    "mosaic_http_unauthorized_total";
+
+// Analysis result cache (src/core/result_cache), keyed by the dedup digest.
+inline constexpr std::string_view kCacheHits = "mosaic_cache_hits_total";
+inline constexpr std::string_view kCacheMisses = "mosaic_cache_misses_total";
+inline constexpr std::string_view kCacheEvictions =
+    "mosaic_cache_evictions_total";
+inline constexpr std::string_view kCacheBytes = "mosaic_cache_bytes";
+inline constexpr std::string_view kCacheEntries = "mosaic_cache_entries";
+
+// Always-on daemon (src/dist/daemon). Submissions split by outcome:
+// analyzed (cache miss), cache hit, or rejected (per-ErrorCode {code=...}
+// label on the rejected series).
+inline constexpr std::string_view kDaemonSubmissions =
+    "mosaic_daemon_submissions_total";
+inline constexpr std::string_view kDaemonAnalyzed =
+    "mosaic_daemon_analyzed_total";
+inline constexpr std::string_view kDaemonRejected =
+    "mosaic_daemon_rejected_total";
+inline constexpr std::string_view kDaemonScans = "mosaic_daemon_scans_total";
+
 }  // namespace mosaic::obs::names

@@ -1,4 +1,4 @@
-#include "dist/net.hpp"
+#include "util/net.hpp"
 
 #include <arpa/inet.h>
 #include <fcntl.h>
@@ -17,12 +17,7 @@
 
 #include "util/strings.hpp"
 
-namespace mosaic::dist {
-
-using util::Error;
-using util::ErrorCode;
-using util::Expected;
-using util::Status;
+namespace mosaic::util {
 
 namespace {
 
@@ -84,20 +79,20 @@ std::string Address::to_string() const {
 }
 
 Expected<Address> parse_address(std::string_view text) {
-  const std::string_view trimmed = util::trim(text);
+  const std::string_view trimmed = trim(text);
   const auto colon = trimmed.rfind(':');
   if (colon == std::string_view::npos) {
     return Error{ErrorCode::kInvalidArgument,
                  "address '" + std::string(trimmed) +
                      "' is not host:port (e.g. 127.0.0.1:9000)"};
   }
-  const std::string_view host = util::trim(trimmed.substr(0, colon));
-  const std::string_view port_text = util::trim(trimmed.substr(colon + 1));
+  const std::string_view host = trim(trimmed.substr(0, colon));
+  const std::string_view port_text = trim(trimmed.substr(colon + 1));
   if (host.empty()) {
     return Error{ErrorCode::kInvalidArgument,
                  "address '" + std::string(trimmed) + "' has an empty host"};
   }
-  const auto port = util::parse_uint(port_text);
+  const auto port = parse_uint(port_text);
   if (!port.has_value() || *port > 65535) {
     return Error{ErrorCode::kInvalidArgument,
                  "address '" + std::string(trimmed) + "' port '" +
@@ -112,8 +107,8 @@ Expected<Address> parse_address(std::string_view text) {
 
 Expected<std::vector<Address>> parse_address_list(std::string_view text) {
   std::vector<Address> addresses;
-  for (const std::string_view field : util::split(text, ',')) {
-    if (util::trim(field).empty()) continue;
+  for (const std::string_view field : split(text, ',')) {
+    if (trim(field).empty()) continue;
     auto address = parse_address(field);
     if (!address.has_value()) return std::move(address).error();
     if (address->port == 0) {
@@ -190,6 +185,26 @@ Status Connection::recv_exact(void* data, std::size_t len,
     received += static_cast<std::size_t>(rc);
   }
   return Status::success();
+}
+
+Expected<std::size_t> Connection::recv_some(void* data, std::size_t len,
+                                            double timeout_seconds) {
+  if (fd_ < 0) return Error{ErrorCode::kIoError, "recv on closed connection"};
+  for (;;) {
+    const int ready = wait_for(fd_, POLLIN, timeout_seconds);
+    if (ready < 0) return errno_error("poll");
+    if (ready == 0) {
+      return Error{ErrorCode::kTimeout,
+                   "peer sent nothing for " +
+                       std::to_string(timeout_seconds) + "s"};
+    }
+    const ssize_t rc = ::recv(fd_, data, len, 0);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      return errno_error("recv");
+    }
+    return static_cast<std::size_t>(rc);
+  }
 }
 
 Expected<Connection> connect_to(const Address& address,
@@ -292,4 +307,4 @@ Expected<Connection> Listener::accept_connection(double timeout_seconds) {
   return Connection(fd);
 }
 
-}  // namespace mosaic::dist
+}  // namespace mosaic::util

@@ -1,0 +1,87 @@
+// Documentation drift guard for the HTTP surface: every route registered
+// on the shared server (http_.handle / http_.handle_prefix anywhere under
+// src/) must appear in the docs/API.md endpoint table, and every endpoint
+// the table documents must still be registered somewhere. Prefix routes
+// are documented with a placeholder suffix (`/explain/<trace-id>`), which
+// normalizes back to the registered prefix by truncating at '<'.
+// MOSAIC_SOURCE_DIR is injected by the test's CMake target.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <regex>
+#include <set>
+#include <sstream>
+#include <string>
+
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "cannot open " << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+/// Route strings registered in one source file.
+void routes_in_source(const std::string& text, std::set<std::string>* out) {
+  const std::regex registration(
+      "\\.handle(?:_prefix)?\\(\\s*\"(/[^\"]*)\"");
+  for (auto it =
+           std::sregex_iterator(text.begin(), text.end(), registration);
+       it != std::sregex_iterator(); ++it) {
+    out->insert((*it)[1].str());
+  }
+}
+
+std::set<std::string> routes_in_tree(const std::string& src_dir) {
+  std::set<std::string> routes;
+  for (const auto& entry :
+       std::filesystem::recursive_directory_iterator(src_dir)) {
+    if (!entry.is_regular_file()) continue;
+    if (entry.path().extension() != ".cpp") continue;
+    routes_in_source(read_file(entry.path().string()), &routes);
+  }
+  return routes;
+}
+
+/// Endpoint paths documented in API.md table rows, placeholder suffixes
+/// stripped: `/explain/<trace-id>` -> `/explain/`.
+std::set<std::string> routes_in_docs(const std::string& text) {
+  std::set<std::string> routes;
+  const std::regex row("\\|\\s*`(/[^`]*)`");
+  for (auto it = std::sregex_iterator(text.begin(), text.end(), row);
+       it != std::sregex_iterator(); ++it) {
+    std::string path = (*it)[1].str();
+    if (const auto placeholder = path.find('<');
+        placeholder != std::string::npos) {
+      path.resize(placeholder);
+    }
+    routes.insert(path);
+  }
+  return routes;
+}
+
+TEST(ApiDocs, EndpointTableMatchesRegisteredRoutesExactly) {
+  const std::string source_dir = MOSAIC_SOURCE_DIR;
+  const std::set<std::string> registered =
+      routes_in_tree(source_dir + "/src");
+  const std::set<std::string> documented =
+      routes_in_docs(read_file(source_dir + "/docs/API.md"));
+  ASSERT_FALSE(registered.empty());
+  ASSERT_FALSE(documented.empty());
+
+  for (const std::string& route : registered) {
+    EXPECT_TRUE(documented.count(route))
+        << route << " is registered on the HTTP server but missing from "
+        << "the docs/API.md endpoint table";
+  }
+  for (const std::string& route : documented) {
+    EXPECT_TRUE(registered.count(route))
+        << route << " is documented in docs/API.md but no source file "
+        << "registers it";
+  }
+}
+
+}  // namespace

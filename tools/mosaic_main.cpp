@@ -29,11 +29,13 @@
 #include "darshan/binary_format.hpp"
 #include "darshan/io.hpp"
 #include "darshan/text_format.hpp"
+#include "dist/daemon.hpp"
 #include "dist/dispatch.hpp"
 #include "dist/faults.hpp"
 #include "dist/net.hpp"
 #include "dist/telemetry.hpp"
 #include "dist/worker.hpp"
+#include "obs/http.hpp"
 #include "ingest/ingest.hpp"
 #include "ingest/reader.hpp"
 #include "json/json.hpp"
@@ -77,6 +79,10 @@ void print_usage() {
       "                            pool with retry, reassignment and\n"
       "                            graceful degradation\n"
       "  worker --listen <addr>    serve shard tasks to a dispatch manager\n"
+      "  daemon --watch|--listen   always-on analysis service: categorize\n"
+      "                            arriving traces incrementally, serve\n"
+      "                            cached results over HTTP (docs/API.md)\n"
+      "  submit <files...>         ship traces to a running daemon\n"
       "  report <dir>              write a markdown analysis report\n"
       "  explain <file|trace-id>   render one trace's decision path\n"
       "  generate <dir>            write a synthetic trace population\n"
@@ -896,6 +902,34 @@ std::optional<double> parse_seconds_or_zero(const util::CliParser& cli,
   return *value;
 }
 
+/// --metrics-token with the $MOSAIC_METRICS_TOKEN fallback. The flag wins
+/// over the environment so a scripted per-run override works.
+std::string metrics_token_from_cli(const util::CliParser& cli) {
+  std::string token(cli.get("metrics-token"));
+  if (token.empty()) {
+    if (const char* env = std::getenv("MOSAIC_METRICS_TOKEN");
+        env != nullptr) {
+      token = env;
+    }
+  }
+  return token;
+}
+
+/// Loads --health-rules if given; nullopt (after printing) on a bad file.
+/// An empty vector means the flag was absent (callers keep their defaults).
+std::optional<std::vector<obs::HealthRule>> parse_health_rules(
+    const util::CliParser& cli) {
+  const auto path = cli.get("health-rules");
+  if (path.empty()) return std::vector<obs::HealthRule>{};
+  auto rules = obs::load_health_rules(std::string(path));
+  if (!rules.has_value()) {
+    std::fprintf(stderr, "--health-rules: %s\n",
+                 rules.error().to_string().c_str());
+    return std::nullopt;
+  }
+  return std::move(*rules);
+}
+
 int cmd_worker(int argc, char** argv) {
   util::CliParser cli("mosaic worker",
                       "serve shard tasks to a dispatch manager");
@@ -1146,26 +1180,12 @@ int cmd_dispatch(int argc, char** argv) {
   options.telemetry = &hub;
   options.collect_spans = !trace_path.empty();
   if (!trace_path.empty()) obs::SpanTracer::global().enable();
-  {
-    // Flag wins over environment so a scripted override works per-run.
-    std::string token(cli.get("metrics-token"));
-    if (token.empty()) {
-      if (const char* env = std::getenv("MOSAIC_METRICS_TOKEN");
-          env != nullptr) {
-        token = env;
-      }
-    }
-    if (!token.empty()) hub.set_auth_token(std::move(token));
+  if (auto token = metrics_token_from_cli(cli); !token.empty()) {
+    hub.set_auth_token(std::move(token));
   }
-  if (const auto rules_path = cli.get("health-rules"); !rules_path.empty()) {
-    auto rules = obs::load_health_rules(std::string(rules_path));
-    if (!rules.has_value()) {
-      std::fprintf(stderr, "--health-rules: %s\n",
-                   rules.error().to_string().c_str());
-      return 2;
-    }
-    hub.set_health_rules(std::move(*rules));
-  }
+  auto health_rules = parse_health_rules(cli);
+  if (!health_rules.has_value()) return 2;
+  if (!health_rules->empty()) hub.set_health_rules(std::move(*health_rules));
   if (const auto port_text = cli.get("metrics-port"); !port_text.empty()) {
     const auto port = non_negative_int("metrics-port");
     if (!port) return 2;
@@ -1180,10 +1200,8 @@ int cmd_dispatch(int argc, char** argv) {
                    status.error().to_string().c_str());
       return 1;
     }
-    // The shell harness scrapes this line for the ephemeral port.
-    std::printf("dispatch metrics endpoint listening on 127.0.0.1:%u\n",
-                static_cast<unsigned>(hub.endpoint_port()));
-    std::fflush(stdout);
+    obs::announce_http_endpoint("dispatch", endpoint.host,
+                                hub.endpoint_port());
   }
   hub.start_progress(*progress);
 
@@ -1756,6 +1774,236 @@ int cmd_health(int argc, char** argv) {
   return report.level == obs::HealthLevel::kFail ? 1 : 0;
 }
 
+int cmd_daemon(int argc, char** argv) {
+  util::CliParser cli("mosaic daemon",
+                      "always-on analysis service: categorize arriving "
+                      "traces incrementally, serve cached results over "
+                      "HTTP");
+  cli.add_option("watch",
+                 "comma-separated directories polled for new trace files",
+                 "");
+  cli.add_option("listen",
+                 "host:port accepting `mosaic submit` connections (port 0 "
+                 "binds an ephemeral port, printed on startup)", "");
+  cli.add_option("poll-interval",
+                 "seconds between watch-directory sweeps", "0.5");
+  cli.add_option("cache-bytes",
+                 "result-cache capacity in bytes; least recently used "
+                 "analyses are evicted beyond this", "67108864");
+  cli.add_option("spool-dir",
+                 "directory for submitted trace bytes (default: a "
+                 "per-process dir under the system temp dir)", "");
+  cli.add_option("thresholds", "JSON thresholds config", "");
+  cli.add_option("retries", "extra read attempts for transient I/O errors",
+                 "3");
+  cli.add_option("deadline",
+                 "per-file read+retry+parse budget in seconds "
+                 "(0 = unlimited)", "30");
+  cli.add_option("metrics-port",
+                 "serve /results, /explain/<trace-id>, /report and the "
+                 "standard telemetry routes on 127.0.0.1:<port> "
+                 "(0 = ephemeral, printed on startup)", "0");
+  cli.add_option("metrics-token",
+                 "require `Authorization: Bearer <token>` on the HTTP "
+                 "endpoint (default: $MOSAIC_METRICS_TOKEN)", "");
+  cli.add_option("health-rules",
+                 "JSON health/SLO rules evaluated by /healthz", "");
+  add_obs_cli_options(cli);
+  add_log_cli_options(cli);
+  if (const auto status = cli.parse(argc, argv); !status.ok()) {
+    return status.error().code == util::ErrorCode::kNotFound ? 0 : 2;
+  }
+  if (!apply_log_cli_options(cli)) return 2;
+
+  dist::DaemonOptions options;
+  const std::string watch_text(cli.get("watch"));
+  const std::string listen_text(cli.get("listen"));
+  if (watch_text.empty() && listen_text.empty()) {
+    std::fprintf(stderr,
+                 "mosaic daemon: nothing to serve — pass --watch "
+                 "<dir[,dir...]> to poll directories for new traces, or "
+                 "--listen <host:port> to accept `mosaic submit` "
+                 "connections\n");
+    return 2;
+  }
+  if (!watch_text.empty() && !listen_text.empty()) {
+    std::fprintf(stderr,
+                 "mosaic daemon: --watch and --listen are mutually "
+                 "exclusive — run one daemon per ingress (each serves its "
+                 "own HTTP endpoint and result cache)\n");
+    return 2;
+  }
+  for (const auto piece : util::split(watch_text, ',')) {
+    const auto dir = util::trim(piece);
+    if (dir.empty()) continue;
+    std::error_code ec;
+    if (!std::filesystem::is_directory(std::string(dir), ec)) {
+      std::fprintf(stderr,
+                   "--watch: %s is not a directory (create it first, or "
+                   "check the comma-separated list for typos)\n",
+                   std::string(dir).c_str());
+      return 2;
+    }
+    options.watch_dirs.emplace_back(dir);
+  }
+  if (!watch_text.empty() && options.watch_dirs.empty()) {
+    std::fprintf(stderr, "--watch: no directories in '%s'\n",
+                 watch_text.c_str());
+    return 2;
+  }
+  if (!listen_text.empty()) {
+    const auto listen = dist::parse_address(listen_text);
+    if (!listen.has_value()) {
+      std::fprintf(stderr, "--listen: %s\n",
+                   listen.error().to_string().c_str());
+      return 2;
+    }
+    options.listen = *listen;
+  }
+
+  const auto poll = parse_positive_seconds(cli, "poll-interval");
+  if (!poll.has_value()) return 2;
+  options.poll_interval_seconds = *poll;
+  const auto cache_bytes = cli.get_int("cache-bytes");
+  if (!cache_bytes.has_value() || *cache_bytes < 0) {
+    std::fprintf(stderr, "--cache-bytes must be a non-negative integer "
+                         "(got '%s')\n",
+                 std::string(cli.get("cache-bytes")).c_str());
+    return 2;
+  }
+  options.cache_capacity_bytes = static_cast<std::size_t>(*cache_bytes);
+  options.spool_dir = std::string(cli.get("spool-dir"));
+  options.thresholds = load_thresholds(cli);
+
+  const auto retries = cli.get_int("retries");
+  if (!retries.has_value() || *retries < 0) {
+    std::fprintf(stderr, "--retries must be a non-negative integer\n");
+    return 2;
+  }
+  const auto deadline = parse_seconds_or_zero(cli, "deadline");
+  if (!deadline.has_value()) return 2;
+  options.ingest.max_retries = static_cast<int>(*retries);
+  options.ingest.file_deadline_seconds = *deadline;
+
+  const auto port = cli.get_int("metrics-port");
+  if (!port.has_value() || *port < 0 || *port > 65535) {
+    std::fprintf(stderr, "--metrics-port must be a port number, 0 for "
+                         "ephemeral (got '%s')\n",
+                 std::string(cli.get("metrics-port")).c_str());
+    return 2;
+  }
+  options.http = dist::Address{"127.0.0.1",
+                               static_cast<std::uint16_t>(*port)};
+  options.auth_token = metrics_token_from_cli(cli);
+  auto health_rules = parse_health_rules(cli);
+  if (!health_rules.has_value()) return 2;
+  options.health_rules = std::move(*health_rules);
+
+  const auto progress = parse_progress(cli);
+  if (!progress.has_value()) return 2;
+  const auto provenance_sample = parse_provenance_sample(cli);
+  if (!provenance_sample.has_value()) return 2;
+  const auto profile_hz = parse_profile_hz(cli);
+  if (!profile_hz.has_value()) return 2;
+  // The session flushes the provenance journal and metrics sinks when run()
+  // drains — the graceful half of SIGINT/SIGTERM handling.
+  ObsSession obs_session(std::string(cli.get("metrics")),
+                         std::string(cli.get("trace-events")), *progress,
+                         std::string(cli.get("provenance")),
+                         *provenance_sample, std::string(cli.get("profile")),
+                         *profile_hz);
+
+  install_stop_handlers();
+  options.stop = &g_stop_requested;
+  const std::string http_host = options.http.host;
+  const std::string listen_host =
+      options.listen.has_value() ? options.listen->host : std::string();
+
+  dist::Daemon daemon(std::move(options));
+  if (const auto status = daemon.start(); !status.ok()) {
+    std::fprintf(stderr, "%s\n", status.error().to_string().c_str());
+    return 1;
+  }
+  obs::announce_http_endpoint("daemon", http_host, daemon.http_port());
+  if (daemon.listen_port() != 0) {
+    // The shell harness scrapes this line for the ephemeral port.
+    std::printf("daemon accepting submissions on %s:%u\n",
+                listen_host.c_str(),
+                static_cast<unsigned>(daemon.listen_port()));
+    std::fflush(stdout);
+  }
+
+  daemon.run();
+
+  const dist::DaemonStats stats = daemon.stats();
+  std::printf("daemon drained: %llu submission(s) (%llu analyzed, %llu "
+              "cache hit(s), %llu rejected), %llu watch scan(s)\n",
+              static_cast<unsigned long long>(stats.submissions),
+              static_cast<unsigned long long>(stats.analyzed),
+              static_cast<unsigned long long>(stats.cache_hits),
+              static_cast<unsigned long long>(stats.rejected),
+              static_cast<unsigned long long>(stats.scans));
+  if (!obs_session.finish()) return 1;
+  return 0;
+}
+
+int cmd_submit(int argc, char** argv) {
+  util::CliParser cli("mosaic submit",
+                      "ship trace files to a running `mosaic daemon`");
+  cli.add_option("daemon",
+                 "daemon submission address (host:port, as printed by "
+                 "`mosaic daemon --listen`)", "");
+  cli.add_option("timeout", "per-file reply budget in seconds", "10");
+  add_log_cli_options(cli);
+  if (const auto status = cli.parse(argc, argv); !status.ok()) {
+    return status.error().code == util::ErrorCode::kNotFound ? 0 : 2;
+  }
+  if (!apply_log_cli_options(cli)) return 2;
+  if (cli.positional().empty()) {
+    std::fprintf(stderr, "mosaic submit: at least one trace file\n");
+    return 2;
+  }
+  const std::string address_text(cli.get("daemon"));
+  if (address_text.empty()) {
+    std::fprintf(stderr,
+                 "mosaic submit: --daemon <host:port> is required (the "
+                 "address a `mosaic daemon --listen` printed on startup)\n");
+    return 2;
+  }
+  const auto address = dist::parse_address(address_text);
+  if (!address.has_value()) {
+    std::fprintf(stderr, "--daemon: %s\n",
+                 address.error().to_string().c_str());
+    return 2;
+  }
+  const auto timeout = parse_positive_seconds(cli, "timeout");
+  if (!timeout.has_value()) return 2;
+
+  int failures = 0;
+  for (const std::string& path : cli.positional()) {
+    const auto reply = dist::submit_trace_file(*address, path, *timeout);
+    if (!reply.has_value()) {
+      std::fprintf(stderr, "%s: %s\n", path.c_str(),
+                   reply.error().to_string().c_str());
+      ++failures;
+      continue;
+    }
+    if (!reply->ok) {
+      std::fprintf(stderr, "%s: rejected — %s\n", path.c_str(),
+                   reply->error.c_str());
+      ++failures;
+      continue;
+    }
+    const std::string categories = reply->categories.empty()
+                                       ? std::string("(none)")
+                                       : util::join(reply->categories, ", ");
+    std::printf("%s: trace %s (%s) -> %s%s\n", path.c_str(),
+                reply->trace_id.c_str(), reply->app_key.c_str(),
+                categories.c_str(), reply->cached ? " [cache hit]" : "");
+  }
+  return failures == 0 ? 0 : 1;
+}
+
 int cmd_thresholds(int argc, char** argv) {
   util::CliParser cli("mosaic thresholds",
                       "print or write the thresholds config");
@@ -1799,6 +2047,8 @@ int main(int argc, char** argv) {
   if (command == "merge") return cmd_merge(argc - 1, argv + 1);
   if (command == "dispatch") return cmd_dispatch(argc - 1, argv + 1);
   if (command == "worker") return cmd_worker(argc - 1, argv + 1);
+  if (command == "daemon") return cmd_daemon(argc - 1, argv + 1);
+  if (command == "submit") return cmd_submit(argc - 1, argv + 1);
   if (command == "generate") return cmd_generate(argc - 1, argv + 1);
   if (command == "health") return cmd_health(argc - 1, argv + 1);
   if (command == "thresholds") return cmd_thresholds(argc - 1, argv + 1);
