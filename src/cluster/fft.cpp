@@ -10,6 +10,7 @@
 
 #include "obs/metrics.hpp"
 #include "obs/names.hpp"
+#include "util/simd.hpp"
 
 namespace mosaic::cluster {
 
@@ -81,6 +82,10 @@ void transform(std::vector<std::complex<double>>& data, bool inverse,
   const std::size_t n = data.size();
   if (n == 1) return;
 
+  // Both paths multiply odd by the twiddle through simd::complex_mul_fma
+  // (the scalar reference of the AVX2 fmaddsub butterfly), so planned,
+  // cold, scalar-dispatch and AVX2 transforms all stay bit-identical.
+  const util::simd::Level level = util::simd::active_level();
   if (plan != nullptr) {
     for (const auto& [i, j] : plan->swaps) std::swap(data[i], data[j]);
     const std::complex<double>* stage =
@@ -88,12 +93,9 @@ void transform(std::vector<std::complex<double>>& data, bool inverse,
     for (std::size_t len = 2; len <= n; len <<= 1) {
       const std::size_t half = len / 2;
       for (std::size_t start = 0; start < n; start += len) {
-        for (std::size_t k = 0; k < half; ++k) {
-          const auto even = data[start + k];
-          const auto odd = data[start + k + half] * stage[k];
-          data[start + k] = even + odd;
-          data[start + k + half] = even - odd;
-        }
+        util::simd::fft_butterfly(data.data() + start,
+                                  data.data() + start + half, stage, half,
+                                  level);
       }
       stage += half;
     }
@@ -106,7 +108,9 @@ void transform(std::vector<std::complex<double>>& data, bool inverse,
       if (i < j) std::swap(data[i], data[j]);
     }
 
-    // Butterfly passes.
+    // Butterfly passes. The twiddle recurrence (w *= wlen) matches the plan
+    // tables exactly; the butterfly arithmetic goes through the same fused
+    // complex multiply the planned path uses.
     for (std::size_t len = 2; len <= n; len <<= 1) {
       const double angle =
           (inverse ? 2.0 : -2.0) * std::numbers::pi / static_cast<double>(len);
@@ -115,7 +119,8 @@ void transform(std::vector<std::complex<double>>& data, bool inverse,
         std::complex<double> w{1.0, 0.0};
         for (std::size_t k = 0; k < len / 2; ++k) {
           const auto even = data[start + k];
-          const auto odd = data[start + k + len / 2] * w;
+          const auto odd =
+              util::simd::complex_mul_fma(data[start + k + len / 2], w);
           data[start + k] = even + odd;
           data[start + k + len / 2] = even - odd;
           w *= wlen;
@@ -125,7 +130,8 @@ void transform(std::vector<std::complex<double>>& data, bool inverse,
   }
 
   if (inverse) {
-    for (auto& x : data) x /= static_cast<double>(n);
+    util::simd::complex_scale_div(data.data(), n, static_cast<double>(n),
+                                  level);
   }
 }
 
@@ -177,12 +183,28 @@ void bin_series(std::span<const std::pair<double, double>> samples,
   const auto bins = static_cast<std::size_t>(
       std::max(1.0, std::ceil(duration / bin_seconds)));
   series.assign(bins, 0.0);
+  // Same index math as simd::bin_add's scalar reference: the clamp happens
+  // in double space before the integer conversion, so out-of-range and NaN
+  // times land in edge bins instead of hitting float-cast UB. In-range
+  // samples map to the identical bins as the pre-clamp formulation.
+  const double max_index = static_cast<double>(bins - 1);
   for (const auto& [time, weight] : samples) {
-    auto index = static_cast<std::ptrdiff_t>(std::floor(time / bin_seconds));
-    index = std::clamp<std::ptrdiff_t>(
-        index, 0, static_cast<std::ptrdiff_t>(bins) - 1);
-    series[static_cast<std::size_t>(index)] += weight;
+    double pos = std::floor(time / bin_seconds);
+    pos = pos < max_index ? pos : max_index;
+    pos = pos > 0.0 ? pos : 0.0;
+    series[static_cast<std::size_t>(pos)] += weight;
   }
+}
+
+void bin_series(const double* times, const double* weights, std::size_t n,
+                double duration, double bin_seconds,
+                std::vector<double>& series) {
+  MOSAIC_ASSERT(duration > 0.0);
+  MOSAIC_ASSERT(bin_seconds > 0.0);
+  const auto bins = static_cast<std::size_t>(
+      std::max(1.0, std::ceil(duration / bin_seconds)));
+  series.assign(bins, 0.0);
+  util::simd::bin_add(times, weights, n, bin_seconds, series.data(), bins);
 }
 
 DftPeriodicity detect_periodicity_dft(std::span<const double> series,
@@ -195,13 +217,15 @@ DftPeriodicity detect_periodicity_dft(std::span<const double> series,
   // circular autocorrelation linear over the lags of interest). ------------
   const std::size_t padded = next_pow2(2 * n);
   std::vector<std::complex<double>> work(padded, {0.0, 0.0});
-  double mean = 0.0;
-  for (double v : series) mean += v;
-  mean /= static_cast<double>(n);
+  // Lane-structured sum and fused power spectrum: identical across SIMD
+  // levels by construction (DESIGN.md §18), though the mean's association
+  // differs from a plain sequential sum — part of the documented frequency-
+  // backend regeneration in the A/B goldens.
+  const double mean = util::simd::sum(series) / static_cast<double>(n);
   for (std::size_t i = 0; i < n; ++i) work[i] = series[i] - mean;
 
   fft(work);
-  for (auto& x : work) x = std::norm(x);
+  util::simd::complex_norm(work.data(), padded);
   fft(work, /*inverse=*/true);
 
   const std::size_t max_lag = n / 2;

@@ -73,6 +73,12 @@ struct DftPeriodicity {
 void bin_series(std::span<const std::pair<double, double>> samples,
                 double duration, double bin_seconds, std::vector<double>& out);
 
+/// Columnar form: separate time/weight columns, scatter-added through the
+/// runtime-dispatched simd::bin_add kernel. Bit-identical to the pair form
+/// for the same samples in the same order.
+void bin_series(const double* times, const double* weights, std::size_t n,
+                double duration, double bin_seconds, std::vector<double>& out);
+
 /// Detects periodicity in an activity time series via the power spectrum:
 /// mean-removed signal -> FFT -> dominant peak test against min_score.
 [[nodiscard]] DftPeriodicity detect_periodicity_dft(

@@ -1,0 +1,61 @@
+// Structure-of-arrays view of a merged operation stream.
+//
+// The per-trace hot path (segmentation, frequency periodicity, temporality)
+// used to walk the array-of-structs IoOp buffer field by field; every kernel
+// touched 40-byte records to read one or two doubles. OpColumns transposes
+// the merged stream once — start, end and byte columns in contiguous memory —
+// so the downstream kernels stream cache lines of exactly the data they
+// consume and the SIMD reductions (util/simd.hpp) get unit-stride input.
+// Populated by AnalyzerWorkspace right after the merge stage; buffers keep
+// their high-water capacity across traces like every other workspace member
+// (DESIGN.md §12, §18).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "trace/trace.hpp"
+
+namespace mosaic::core {
+
+/// Columnar (SoA) mirror of a merged, start-sorted op stream.
+struct OpColumns {
+  std::vector<double> start;        ///< op start timestamps
+  std::vector<double> end;          ///< op end timestamps (end >= start)
+  std::vector<double> bytes;        ///< op byte counts as doubles — exact:
+                                    ///< merged byte counts stay below 2^53
+  std::vector<std::uint64_t> bytes_u64;  ///< the same counts, unwidened
+
+  [[nodiscard]] std::size_t size() const noexcept { return start.size(); }
+  [[nodiscard]] bool empty() const noexcept { return start.empty(); }
+
+  /// Transposes `ops` into the columns (cleared first, capacity reused).
+  void assign(std::span<const trace::IoOp> ops) {
+    const std::size_t n = ops.size();
+    start.resize(n);
+    end.resize(n);
+    bytes.resize(n);
+    bytes_u64.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      start[i] = ops[i].start;
+      end[i] = ops[i].end;
+      bytes[i] = static_cast<double>(ops[i].bytes);
+      bytes_u64[i] = ops[i].bytes;
+    }
+  }
+
+  void clear() noexcept {
+    start.clear();
+    end.clear();
+    bytes.clear();
+    bytes_u64.clear();
+  }
+
+  /// Duration of op i (the IoOp::duration identity on columns).
+  [[nodiscard]] double duration(std::size_t i) const noexcept {
+    return end[i] - start[i];
+  }
+};
+
+}  // namespace mosaic::core

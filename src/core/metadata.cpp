@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "obs/provenance.hpp"
+#include "util/simd.hpp"
 #include "util/stats.hpp"
 
 namespace mosaic::core {
@@ -93,12 +94,15 @@ MetadataResult classify_metadata(std::span<const trace::MetaEvent> events,
     histogram.add(event.time, static_cast<double>(event.requests));
   }
 
-  for (std::size_t i = 0; i < histogram.bin_count(); ++i) {
-    const double requests = histogram.count(i);
-    result.max_requests_per_second =
-        std::max(result.max_requests_per_second, requests);
-    if (requests >= thresholds.spike_requests) ++result.spike_seconds;
-  }
+  // One fused SIMD pass over the per-second bins: the peak rate and the
+  // spike-second count in a single sweep. Max and count-above-threshold are
+  // order-independent-exact, so this matches the old scalar loop bit for bit
+  // (bins are non-negative request counts, so the max is never below the
+  // scalar loop's 0.0 starting value).
+  std::size_t spike_seconds = 0;
+  result.max_requests_per_second = util::simd::max_and_count_ge(
+      histogram.counts(), thresholds.spike_requests, spike_seconds);
+  result.spike_seconds = spike_seconds;
 
   result.high_spike =
       result.max_requests_per_second >= thresholds.high_spike_requests;

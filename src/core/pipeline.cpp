@@ -220,6 +220,9 @@ KindAnalysis Analyzer::analyze_ops_impl(AnalyzerWorkspace& workspace,
                     evidence != nullptr ? &evidence->merge : nullptr);
   }
   analysis.merged_ops = ops.size();
+  // One transpose into the SoA arena; segmentation, frequency periodicity
+  // and temporality all consume the columns from here on (DESIGN.md §18).
+  workspace.columns.assign(ops);
 
   obs::PeriodicityProvenance* periodicity_evidence =
       evidence != nullptr ? &evidence->periodicity : nullptr;
@@ -228,7 +231,7 @@ KindAnalysis Analyzer::analyze_ops_impl(AnalyzerWorkspace& workspace,
   // only timed on the backends that need it.
   const auto segment = [&]() -> std::span<const Segment> {
     const obs::StageScope stage(stage_detail, metrics.segment_ms, "segment");
-    segment_ops(ops, workspace.segments);
+    segment_ops(workspace.columns, workspace.segments);
     if (evidence != nullptr) evidence->segments = workspace.segments.size();
     return workspace.segments;
   };
@@ -244,7 +247,7 @@ KindAnalysis Analyzer::analyze_ops_impl(AnalyzerWorkspace& workspace,
         break;
       case PeriodicityBackend::kFrequency:
         analysis.periodicity = detect_periodicity_frequency(
-            ops, runtime, thresholds_, periodicity_evidence,
+            workspace.columns, runtime, thresholds_, periodicity_evidence,
             workspace.periodicity);
         if (evidence != nullptr) evidence->periodicity.backend = "frequency";
         break;
@@ -254,7 +257,7 @@ KindAnalysis Analyzer::analyze_ops_impl(AnalyzerWorkspace& workspace,
                                workspace.periodicity);
         if (!analysis.periodicity.periodic) {
           analysis.periodicity = detect_periodicity_frequency(
-              ops, runtime, thresholds_, periodicity_evidence,
+              workspace.columns, runtime, thresholds_, periodicity_evidence,
               workspace.periodicity);
         }
         if (evidence != nullptr) evidence->periodicity.backend = "hybrid";
@@ -265,7 +268,7 @@ KindAnalysis Analyzer::analyze_ops_impl(AnalyzerWorkspace& workspace,
     const obs::StageScope stage(stage_detail, metrics.temporality_ms,
                                 "temporality");
     analysis.temporality =
-        classify_temporality(ops, runtime, thresholds_,
+        classify_temporality(workspace.columns, runtime, thresholds_,
                              evidence != nullptr ? &evidence->temporality
                                                  : nullptr);
   }
@@ -317,7 +320,7 @@ TraceResult Analyzer::analyze_impl(const trace::Trace& trace,
   // temporality x2, metadata, categorize) — are sampled 1-in-32 per thread:
   // the histograms keep an unbiased latency distribution while the
   // un-sampled majority of traces pays two relaxed loads per scope and no
-  // clock read. The rate is tuned against the <5% instrumentation budget
+  // clock read. The rate is tuned against the <10% instrumentation budget
   // that bench/perf_pipeline pins — after the zero-alloc workspace pass a
   // trace analyzes in about a microsecond, so timing every trace (and
   // force-detailing every provenance-sampled trace, as earlier revisions
@@ -383,6 +386,12 @@ BatchResult analyze_population(std::vector<trace::Trace> traces,
                                const Thresholds& thresholds,
                                parallel::ThreadPool* pool) {
   return analyze_preprocessed(preprocess(std::move(traces)), thresholds, pool);
+}
+
+BatchResult analyze_population(std::span<const trace::Trace> traces,
+                               const Thresholds& thresholds,
+                               parallel::ThreadPool* pool) {
+  return analyze_preprocessed(preprocess(traces), thresholds, pool);
 }
 
 BatchResult analyze_preprocessed(PreprocessResult pre,

@@ -11,10 +11,12 @@
 
 #include <cstdint>
 #include <map>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "core/categories.hpp"
+#include "core/columns.hpp"
 #include "core/metadata.hpp"
 #include "core/periodicity.hpp"
 #include "core/preprocess.hpp"
@@ -46,6 +48,8 @@ struct KindAnalysis {
 /// One instance per thread; instances must not be shared concurrently.
 struct AnalyzerWorkspace {
   std::vector<trace::IoOp> ops;       ///< extract + in-place merge buffer
+  OpColumns columns;                  ///< SoA mirror, filled after merging;
+                                      ///< every downstream axis reads it
   std::vector<Segment> segments;      ///< segmentation output
   std::vector<trace::MetaEvent> meta_timeline;  ///< metadata event stream
   PeriodicityWorkspace periodicity;   ///< detector scratch (both backends)
@@ -157,6 +161,15 @@ struct BatchResult {
 /// deterministic input order either way.
 [[nodiscard]] BatchResult analyze_population(
     std::vector<trace::Trace> traces, const Thresholds& thresholds = {},
+    parallel::ThreadPool* pool = nullptr);
+
+/// Non-consuming variant for callers that keep the population alive
+/// (repeated analyses over one corpus, benchmarks, cached serving): the
+/// funnel runs by reference and only the dedup winners — typically a small
+/// fraction of the input — are copied into analyzer-owned storage. Produces
+/// byte-identical results to the consuming overload.
+[[nodiscard]] BatchResult analyze_population(
+    std::span<const trace::Trace> traces, const Thresholds& thresholds = {},
     parallel::ThreadPool* pool = nullptr);
 
 /// Categorizes an already pre-processed population — the entry point for the

@@ -5,6 +5,7 @@
 #include <fstream>
 
 #include "util/fs.hpp"
+#include "util/mmap.hpp"
 
 namespace mosaic::darshan {
 
@@ -215,14 +216,12 @@ Status write_mbt_file(const Trace& trace, const std::string& path) {
 }
 
 Expected<Trace> read_mbt_file(const std::string& path) {
-  std::ifstream in(path, std::ios::binary | std::ios::ate);
-  if (!in) return Error{ErrorCode::kIoError, "cannot open " + path};
-  const std::streamsize size = in.tellg();
-  in.seekg(0);
-  std::vector<std::byte> bytes(static_cast<std::size_t>(size));
-  in.read(reinterpret_cast<char*>(bytes.data()), size);
-  if (!in) return Error{ErrorCode::kIoError, "read failure on " + path};
-  return parse_mbt(bytes);
+  // Zero-copy: parse_mbt walks the mapped pages directly instead of a heap
+  // copy of the whole file (MappedFile falls back to a read when mmap is
+  // unavailable, so this path works everywhere).
+  auto mapped = util::MappedFile::open(path);
+  if (!mapped.has_value()) return std::move(mapped).error();
+  return parse_mbt(mapped->bytes());
 }
 
 }  // namespace mosaic::darshan

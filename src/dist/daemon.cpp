@@ -160,10 +160,30 @@ void Daemon::sweep_watch_dirs() {
     }
     for (const std::string& path : *paths) {
       if (stopped()) return;
+      // Mid-copy guard: submit only after the file's (size, mtime)
+      // signature held still across two consecutive sweeps. A writer still
+      // copying the trace keeps moving the signature, so the funnel never
+      // sees a half-written file.
+      std::error_code ec;
+      const std::uintmax_t size = std::filesystem::file_size(path, ec);
+      if (ec) continue;  // vanished between scan and stat; next sweep decides
+      const std::int64_t mtime = static_cast<std::int64_t>(
+          std::filesystem::last_write_time(path, ec).time_since_epoch()
+              .count());
+      if (ec) continue;
       {
         const std::scoped_lock lock(board_mutex_);
-        auto [it, inserted] = seen_paths_.emplace(path, true);
-        if (!inserted) continue;
+        auto [it, inserted] =
+            seen_paths_.try_emplace(path, WatchState{size, mtime, false});
+        if (inserted) continue;  // first sighting: record, wait one sweep
+        WatchState& state = it->second;
+        if (state.submitted) continue;
+        if (state.size != size || state.mtime != mtime) {
+          state.size = size;  // still moving: restart the stability clock
+          state.mtime = mtime;
+          continue;
+        }
+        state.submitted = true;
       }
       const SubmitReply reply = process_file(path);
       if (!reply.ok) {

@@ -153,7 +153,19 @@ class Daemon {
   mutable std::mutex board_mutex_;
   std::vector<BoardEntry> board_;                     ///< insertion order
   std::map<std::string, std::size_t> runs_per_app_;   ///< submission counts
-  std::map<std::string, bool> seen_paths_;
+  /// Watch-sweep ingestion gate. A file freshly scanned from a watch dir is
+  /// NOT submitted on the sweep that first sees it: its (size, mtime)
+  /// signature is recorded, and submission happens only once the signature
+  /// is unchanged across two consecutive sweeps. A trace still being copied
+  /// into the watch directory therefore never reaches the funnel
+  /// half-written (it used to be ingested — and rejected as corrupt —
+  /// mid-copy). `submitted` keeps a settled path from re-entering.
+  struct WatchState {
+    std::uintmax_t size = 0;
+    std::int64_t mtime = 0;   ///< filesystem clock ticks, equality only
+    bool submitted = false;
+  };
+  std::map<std::string, WatchState> seen_paths_;
   DaemonStats stats_;
 
   Listener submit_listener_;

@@ -95,7 +95,7 @@ LoadOutcome load_one(FileReader& reader, const std::string& path,
                                    options.backoff_max_ms);
   int attempt = 0;
   for (;;) {
-    auto bytes = reader.read(path, attempt);
+    auto bytes = reader.read_mapped(path, attempt);
     if (!bytes.has_value()) {
       Error error = std::move(bytes).error();
       // Only kIoError is worth retrying: content does not heal, and a
@@ -126,7 +126,7 @@ LoadOutcome load_one(FileReader& reader, const std::string& path,
     }
     MOSAIC_SPAN("parse");
     const obs::ScopedTimerMs parse_timer(metrics.parse_ms);
-    auto parsed = parse_trace_bytes(path, *bytes, deadline);
+    auto parsed = parse_trace_bytes(path, bytes->bytes(), deadline);
     if (!parsed.has_value()) {
       outcome.error = std::move(parsed).error();
       return outcome;

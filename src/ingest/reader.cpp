@@ -18,6 +18,22 @@ using util::Expected;
 
 namespace fs = std::filesystem;
 
+Expected<util::MappedFile> FileReader::read_mapped(const std::string& path,
+                                                   int attempt) {
+  auto bytes = read(path, attempt);
+  if (!bytes.has_value()) return std::move(bytes).error();
+  return util::MappedFile::from_buffer(std::move(bytes).value());
+}
+
+Expected<util::MappedFile> SystemFileReader::read_mapped(
+    const std::string& path, int /*attempt*/) {
+  std::error_code ec;
+  if (!fs::exists(path, ec)) {
+    return Error{ErrorCode::kNotFound, path + " does not exist"};
+  }
+  return util::MappedFile::open(path);
+}
+
 Expected<std::vector<std::byte>> SystemFileReader::read(const std::string& path,
                                                         int /*attempt*/) {
   std::error_code ec;

@@ -17,6 +17,7 @@
 #include "trace/trace.hpp"
 #include "util/deadline.hpp"
 #include "util/error.hpp"
+#include "util/mmap.hpp"
 
 namespace mosaic::ingest {
 
@@ -28,6 +29,12 @@ class FileReader {
   virtual ~FileReader() = default;
   [[nodiscard]] virtual util::Expected<std::vector<std::byte>> read(
       const std::string& path, int attempt) = 0;
+
+  /// Zero-copy variant: the loader parses straight from the returned span.
+  /// The default wraps read() in a buffer-backed MappedFile, so injecting
+  /// readers keep their fault semantics without knowing about mmap.
+  [[nodiscard]] virtual util::Expected<util::MappedFile> read_mapped(
+      const std::string& path, int attempt);
 };
 
 /// Reads from the real filesystem. A missing file is kNotFound; any open or
@@ -35,6 +42,11 @@ class FileReader {
 class SystemFileReader final : public FileReader {
  public:
   [[nodiscard]] util::Expected<std::vector<std::byte>> read(
+      const std::string& path, int attempt) override;
+
+  /// Memory-maps the file instead of copying it (heap fallback inside
+  /// MappedFile when mmap is unavailable).
+  [[nodiscard]] util::Expected<util::MappedFile> read_mapped(
       const std::string& path, int attempt) override;
 };
 

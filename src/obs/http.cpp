@@ -46,6 +46,25 @@ std::string_view http_status_text(int status) {
   }
 }
 
+bool parse_request_line(std::string_view head, HttpRequest& request) {
+  // Only the first line may hold the request line; `substr(0, npos)` is the
+  // whole head when no CRLF arrived (truncated reads still parse strictly).
+  const std::string_view line = head.substr(0, head.find("\r\n"));
+  const std::size_t method_end = line.find(' ');
+  if (method_end == std::string_view::npos || method_end == 0) return false;
+  const std::size_t target_end = line.find(' ', method_end + 1);
+  if (target_end == std::string_view::npos ||
+      target_end == method_end + 1) {
+    return false;
+  }
+  request.method = std::string(line.substr(0, method_end));
+  request.target =
+      std::string(line.substr(method_end + 1, target_end - method_end - 1));
+  const std::size_t query = request.target.find('?');
+  if (query != std::string::npos) request.target.resize(query);
+  return true;
+}
+
 void announce_http_endpoint(std::string_view component,
                             std::string_view host, std::uint16_t port) {
   std::printf("%.*s metrics endpoint listening on %.*s:%u\n",
@@ -190,15 +209,8 @@ void HttpServer::handle_connection(util::Connection conn) {
     if (!got.has_value() || *got == 0) return;
     head.append(buffer, *got);
   }
-  const std::size_t method_end = head.find(' ');
-  if (method_end == std::string::npos) return;
-  const std::size_t target_end = head.find(' ', method_end + 1);
-  if (target_end == std::string::npos) return;
   HttpRequest request;
-  request.method = head.substr(0, method_end);
-  request.target = head.substr(method_end + 1, target_end - method_end - 1);
-  const std::size_t query = request.target.find('?');
-  if (query != std::string::npos) request.target.resize(query);
+  const bool parsed = parse_request_line(head, request);
   request.head = std::move(head);
 
   HttpMetrics::get().requests.add();
@@ -221,6 +233,12 @@ void HttpServer::handle_connection(util::Connection conn) {
     (void)conn.send_all(response.data(), response.size());
   };
 
+  if (!parsed) {
+    // A truncated or garbage request line used to close the socket without
+    // a byte of response; answer 400 so the client learns why.
+    respond({400, "text/plain", "malformed request line\n", {}});
+    return;
+  }
   if (request.method != "GET") {
     respond({405, "text/plain", "only GET is supported\n", {}});
     return;

@@ -54,6 +54,16 @@ struct HttpResponse {
 /// Reason-phrase for the handful of status codes the endpoint uses.
 [[nodiscard]] std::string_view http_status_text(int status);
 
+/// Parses the `METHOD SP TARGET [SP VERSION]` request line at the start of
+/// a raw head into `request.method` and `request.target` (query string
+/// stripped). The search never leaves the first line, so a space in a later
+/// header cannot masquerade as the target delimiter. Returns false — with
+/// `request` untouched — when the line is malformed: truncated before both
+/// spaces, or an empty method or target. Free function so the parser is
+/// unit-testable without a socket.
+[[nodiscard]] bool parse_request_line(std::string_view head,
+                                      HttpRequest& request);
+
 /// The one shared "where is my endpoint" line: prints
 /// `<component> metrics endpoint listening on <host>:<port>` to stdout and
 /// flushes, so shell harnesses started with `--metrics-port 0` can scrape

@@ -14,7 +14,7 @@
 //
 // Capture is gated exactly like MOSAIC_SPAN: disabled, the per-trace check
 // is one relaxed load; enabled, records are taken for one in every
-// `sample_every` traces, so batch runs stay inside the <5% instrumentation
+// `sample_every` traces, so batch runs stay inside the <10% instrumentation
 // budget that bench/perf_pipeline --overhead-only pins.
 //
 // The structs here are deliberately dependency-free (strings and numbers

@@ -48,6 +48,114 @@ bool window_present(double first, double last) noexcept {
   return first != kNoTimestamp || last != kNoTimestamp;
 }
 
+/// Branch-light clean predicate for one access window. Accumulated with
+/// bitwise & so the common all-clean case evaluates without short-circuit
+/// branches. Any non-finite timestamp fails a comparison (NaN compares false,
+/// ±inf violates a bound), so no explicit isfinite is needed on the pass
+/// side — the slow path re-derives the exact corruption kind.
+bool window_clean(double first, double last, std::uint64_t bytes,
+                  std::uint64_t calls, double open_ts, double close_ts,
+                  double job_end, double slack) noexcept {
+  if (first == kNoTimestamp && last == kNoTimestamp) return bytes == 0;
+  return bool(unsigned(first >= 0.0) & unsigned(last >= first) &
+              unsigned(last <= job_end) & unsigned(first >= open_ts - slack) &
+              unsigned(last <= close_ts + slack) &
+              unsigned(!(bytes > 0 && calls == 0)));
+}
+
+/// Fast validity predicate for one record: exactly equivalent to the detailed
+/// classifier below (clean here <=> no corruption found there), but pure
+/// comparisons, no allocation, no per-timestamp loop. validate() runs this
+/// per record and only drops into the detailed path to name the corruption.
+bool record_clean(const FileRecord& file, double job_end,
+                  double slack) noexcept {
+  const bool envelope =
+      bool(unsigned(file.open_ts >= 0.0) &
+           unsigned(file.close_ts >= file.open_ts) &
+           unsigned(file.close_ts <= job_end));
+  return envelope &&
+         window_clean(file.first_read_ts, file.last_read_ts, file.bytes_read,
+                      file.reads, file.open_ts, file.close_ts, job_end,
+                      slack) &&
+         window_clean(file.first_write_ts, file.last_write_ts,
+                      file.bytes_written, file.writes, file.open_ts,
+                      file.close_ts, job_end, slack);
+}
+
+/// Detailed classification of one record already known to be unclean. This is
+/// the reference semantics: check order fixes which corruption kind wins when
+/// several apply, so it must not be reordered independently of record_clean.
+ValidityReport classify_record(const FileRecord& file, double job_end,
+                               double slack_seconds) {
+  const auto fail = [](CorruptionKind kind, std::string detail) {
+    return ValidityReport{kind, std::move(detail)};
+  };
+  const auto where = [&file] {
+    return "file " + std::to_string(file.file_id);
+  };
+
+  for (double ts : {file.open_ts, file.close_ts, file.first_read_ts,
+                    file.last_read_ts, file.first_write_ts,
+                    file.last_write_ts}) {
+    if (!finite(ts)) return fail(CorruptionKind::kNonFiniteValue, where());
+  }
+  if (file.open_ts < 0.0 || file.close_ts < 0.0) {
+    return fail(CorruptionKind::kNegativeTimestamp, where());
+  }
+  if (file.close_ts < file.open_ts) {
+    return fail(CorruptionKind::kInvertedWindow, where() + " close<open");
+  }
+  if (file.close_ts > job_end) {
+    // The paper's example of corruption: a deallocation recorded before
+    // the end of execution leaves a close timestamp beyond the job window.
+    return fail(CorruptionKind::kAccessOutsideJob, where() + " close>job end");
+  }
+
+  const auto check_window = [&](double first, double last, std::uint64_t bytes,
+                                std::uint64_t calls,
+                                const char* what) -> ValidityReport {
+    if (!window_present(first, last)) {
+      if (bytes > 0) {
+        return fail(CorruptionKind::kCounterMismatch,
+                    where() + " " + what + " bytes without window");
+      }
+      return ValidityReport{};
+    }
+    if (first < 0.0 || last < 0.0) {
+      return fail(CorruptionKind::kNegativeTimestamp, where());
+    }
+    if (last < first) {
+      return fail(CorruptionKind::kInvertedWindow,
+                  where() + " " + what + " last<first");
+    }
+    if (last > job_end) {
+      return fail(CorruptionKind::kAccessOutsideJob,
+                  where() + " " + what + " after job end");
+    }
+    if (first < file.open_ts - slack_seconds ||
+        last > file.close_ts + slack_seconds) {
+      return fail(CorruptionKind::kAccessOutsideOpen, where());
+    }
+    if (bytes > 0 && calls == 0) {
+      return fail(CorruptionKind::kCounterMismatch,
+                  where() + " " + what + " bytes without calls");
+    }
+    return ValidityReport{};
+  };
+
+  if (auto report = check_window(file.first_read_ts, file.last_read_ts,
+                                 file.bytes_read, file.reads, "read");
+      !report.valid()) {
+    return report;
+  }
+  if (auto report = check_window(file.first_write_ts, file.last_write_ts,
+                                 file.bytes_written, file.writes, "write");
+      !report.valid()) {
+    return report;
+  }
+  return ValidityReport{};
+}
+
 }  // namespace
 
 ValidityReport validate(const Trace& trace, double slack_seconds) {
@@ -68,70 +176,8 @@ ValidityReport validate(const Trace& trace, double slack_seconds) {
 
   const double job_end = trace.meta.run_time + slack_seconds;
   for (const auto& file : trace.files) {
-    // Built lazily: the detail string is only needed on the (rare) failure
-    // paths, and every failure returns immediately, so the success path
-    // stays allocation-free.
-    const auto where = [&file] {
-      return "file " + std::to_string(file.file_id);
-    };
-
-    for (double ts : {file.open_ts, file.close_ts, file.first_read_ts,
-                      file.last_read_ts, file.first_write_ts,
-                      file.last_write_ts}) {
-      if (!finite(ts)) return fail(CorruptionKind::kNonFiniteValue, where());
-    }
-    if (file.open_ts < 0.0 || file.close_ts < 0.0) {
-      return fail(CorruptionKind::kNegativeTimestamp, where());
-    }
-    if (file.close_ts < file.open_ts) {
-      return fail(CorruptionKind::kInvertedWindow, where() + " close<open");
-    }
-    if (file.close_ts > job_end) {
-      // The paper's example of corruption: a deallocation recorded before
-      // the end of execution leaves a close timestamp beyond the job window.
-      return fail(CorruptionKind::kAccessOutsideJob,
-                  where() + " close>job end");
-    }
-
-    const auto check_window = [&](double first, double last,
-                                  std::uint64_t bytes, std::uint64_t calls,
-                                  const char* what) -> ValidityReport {
-      if (!window_present(first, last)) {
-        if (bytes > 0) {
-          return fail(CorruptionKind::kCounterMismatch,
-                      where() + " " + what + " bytes without window");
-        }
-        return ValidityReport{};
-      }
-      if (first < 0.0 || last < 0.0) {
-        return fail(CorruptionKind::kNegativeTimestamp, where());
-      }
-      if (last < first) {
-        return fail(CorruptionKind::kInvertedWindow,
-                    where() + " " + what + " last<first");
-      }
-      if (last > job_end) {
-        return fail(CorruptionKind::kAccessOutsideJob,
-                    where() + " " + what + " after job end");
-      }
-      if (first < file.open_ts - slack_seconds ||
-          last > file.close_ts + slack_seconds) {
-        return fail(CorruptionKind::kAccessOutsideOpen, where());
-      }
-      if (bytes > 0 && calls == 0) {
-        return fail(CorruptionKind::kCounterMismatch,
-                    where() + " " + what + " bytes without calls");
-      }
-      return ValidityReport{};
-    };
-
-    if (auto report = check_window(file.first_read_ts, file.last_read_ts,
-                                   file.bytes_read, file.reads, "read");
-        !report.valid()) {
-      return report;
-    }
-    if (auto report = check_window(file.first_write_ts, file.last_write_ts,
-                                   file.bytes_written, file.writes, "write");
+    if (record_clean(file, job_end, slack_seconds)) [[likely]] continue;
+    if (auto report = classify_record(file, job_end, slack_seconds);
         !report.valid()) {
       return report;
     }

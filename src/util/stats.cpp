@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "util/simd.hpp"
+
 namespace mosaic::util {
 
 void RunningStats::add(double value) noexcept {
@@ -92,10 +94,17 @@ void Histogram::reset(double lo, double hi, std::size_t bins) {
 }
 
 void Histogram::add(double value, double weight) noexcept {
-  auto index = static_cast<std::ptrdiff_t>(std::floor((value - lo_) / width_));
-  index = std::clamp<std::ptrdiff_t>(
-      index, 0, static_cast<std::ptrdiff_t>(counts_.size()) - 1);
-  counts_[static_cast<std::size_t>(index)] += weight;
+  // Clamp in double space BEFORE the integer conversion (mirrors
+  // simd::bin_add): values at or beyond hi land in the last bin as before,
+  // but values too large for ptrdiff_t — and NaN — now clamp into an edge
+  // bin instead of a double->integer cast with undefined behavior. For every
+  // in-range value the selected bin is identical to the old formulation, so
+  // funnel histogram metrics are byte-stable under this fix.
+  const double max_index = static_cast<double>(counts_.size() - 1);
+  double pos = std::floor((value - lo_) / width_);
+  pos = pos < max_index ? pos : max_index;
+  pos = pos > 0.0 ? pos : 0.0;
+  counts_[static_cast<std::size_t>(pos)] += weight;
 }
 
 double Histogram::bin_lo(std::size_t i) const noexcept {
@@ -103,9 +112,9 @@ double Histogram::bin_lo(std::size_t i) const noexcept {
 }
 
 double Histogram::total() const noexcept {
-  double sum = 0.0;
-  for (double c : counts_) sum += c;
-  return sum;
+  // Lane-structured SIMD sum; exact (hence association-free) for the
+  // integer-valued weights every histogram in the pipeline records.
+  return simd::sum(counts_);
 }
 
 std::size_t Histogram::peak_bin() const noexcept {

@@ -214,6 +214,53 @@ kill -INT "$WPID"
 wait "$WPID"
 grep -q 'daemon drained:' "$WORK/watch.log"
 
+# ---- Slow copy: a trace trickling into the watch dir across several ----
+# ---- sweeps must not be ingested mid-copy. The sweep submits only   ----
+# ---- after the file's size+mtime held still for two consecutive     ----
+# ---- sweeps, so the funnel sees zero corrupt-prefix rejections and  ----
+# ---- exactly one analysis once the copy settles.                    ----
+mkdir -p "$WORK/slow_incoming"
+"$MOSAIC" daemon --watch "$WORK/slow_incoming" --poll-interval 0.5 \
+    --metrics-port 0 > "$WORK/slow.log" 2>&1 &
+DAEMON_PIDS+=("$!")
+SPID=$!
+SLOWPORT="$(scrape_port "$WORK/slow.log" 'metrics endpoint listening')"
+
+# Trickle the trace in ten chunks, appending faster than the sweep period
+# so consecutive sweeps always see a moving signature until the copy ends.
+SIZE="$(stat -c %s "$TRACE_B")"
+CHUNK=$(( SIZE / 10 + 1 ))
+SLOW="$WORK/slow_incoming/slow_copy.mbt"
+: > "$SLOW"
+for i in $(seq 0 9); do
+  dd if="$TRACE_B" bs="$CHUNK" skip="$i" count=1 >> "$SLOW" 2> /dev/null \
+      || true
+  sleep 0.2
+done
+cmp "$TRACE_B" "$SLOW"
+
+settled=""
+for _ in $(seq 1 100); do
+  http_get "$SLOWPORT" /results > "$WORK/slow_results.txt" 2> /dev/null || true
+  if grep -q '"analyzed": 1' "$WORK/slow_results.txt"; then
+    settled=1
+    break
+  fi
+  sleep 0.1
+done
+if [ -z "$settled" ]; then
+  echo "slow-copied trace was never analyzed after settling" >&2
+  cat "$WORK/slow_results.txt" "$WORK/slow.log" >&2
+  exit 1
+fi
+# The whole point: no sweep ever fed a half-copied prefix to the funnel.
+grep -q '"rejected": 0' "$WORK/slow_results.txt"
+grep -q '"submissions": 1' "$WORK/slow_results.txt"
+
+kill -INT "$SPID"
+wait "$SPID"
+grep -q 'daemon drained:' "$WORK/slow.log"
+
 # ---- Flag validation: actionable errors, not hangs. ----
 if "$MOSAIC" daemon > /dev/null 2> "$WORK/err_none.txt"; then
   echo "daemon with no ingress should fail" >&2

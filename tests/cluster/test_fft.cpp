@@ -10,6 +10,7 @@
 
 #include "parallel/thread_pool.hpp"
 #include "util/rng.hpp"
+#include "util/simd.hpp"
 
 namespace mosaic::cluster {
 namespace {
@@ -183,6 +184,60 @@ TEST(FftPlanCache, CachedMatchesColdBitForBit) {
         }
       }
     }
+  }
+}
+
+TEST(FftSimd, ForcedScalarMatchesDispatchedTransformBitForBit) {
+  // The AVX2 butterfly/norm/scale kernels share one rounding structure with
+  // their scalar references (util/simd.hpp), so a forced-scalar transform
+  // must reproduce the dispatched transform exactly — cached and cold,
+  // forward and inverse, across non-trivial sizes.
+  util::Rng rng(31);
+  for (std::size_t n = 8; n <= 2048; n *= 4) {
+    const std::vector<std::complex<double>> input = random_signal(n, rng);
+    for (const bool inverse : {false, true}) {
+      std::vector<std::complex<double>> dispatched = input;
+      fft(dispatched, inverse);
+      util::simd::set_level_for_testing(util::simd::Level::kScalar);
+      std::vector<std::complex<double>> scalar = input;
+      fft(scalar, inverse);
+      std::vector<std::complex<double>> scalar_cold = input;
+      fft_uncached(scalar_cold, inverse);
+      util::simd::clear_level_for_testing();
+      for (std::size_t i = 0; i < n; ++i) {
+        EXPECT_EQ(scalar[i].real(), dispatched[i].real())
+            << "n=" << n << " inverse=" << inverse << " i=" << i;
+        EXPECT_EQ(scalar[i].imag(), dispatched[i].imag())
+            << "n=" << n << " inverse=" << inverse << " i=" << i;
+        EXPECT_EQ(scalar_cold[i].real(), dispatched[i].real())
+            << "n=" << n << " inverse=" << inverse << " i=" << i;
+        EXPECT_EQ(scalar_cold[i].imag(), dispatched[i].imag())
+            << "n=" << n << " inverse=" << inverse << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(BinSeriesColumnar, MatchesPairFormBitForBit) {
+  // The columnar overload feeds the same simd::bin_add the pair form's
+  // arithmetic mirrors; both must produce identical series.
+  util::Rng rng(17);
+  std::vector<std::pair<double, double>> pairs;
+  std::vector<double> times, weights;
+  for (int i = 0; i < 257; ++i) {
+    const double t = rng.uniform(-5.0, 105.0);  // includes out-of-range
+    const double w = rng.uniform(0.0, 10.0);
+    pairs.emplace_back(t, w);
+    times.push_back(t);
+    weights.push_back(w);
+  }
+  const std::vector<double> from_pairs = bin_series(pairs, 100.0, 0.5);
+  std::vector<double> from_columns;
+  bin_series(times.data(), weights.data(), times.size(), 100.0, 0.5,
+             from_columns);
+  ASSERT_EQ(from_pairs.size(), from_columns.size());
+  for (std::size_t i = 0; i < from_pairs.size(); ++i) {
+    EXPECT_EQ(from_pairs[i], from_columns[i]) << "bin=" << i;
   }
 }
 

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <span>
 #include <utility>
 
 namespace mosaic::core {
@@ -33,7 +34,7 @@ trace::Trace make_trace(const std::string& user, const std::string& app,
 }
 
 TEST(Preprocess, EmptyInput) {
-  const PreprocessResult result = preprocess({});
+  const PreprocessResult result = preprocess(std::vector<trace::Trace>{});
   EXPECT_EQ(result.stats.input_traces, 0u);
   EXPECT_EQ(result.stats.retained, 0u);
   EXPECT_TRUE(result.retained.empty());
@@ -131,6 +132,39 @@ TEST(Preprocess, ValiditySlackForwarded) {
   std::vector<trace::Trace> lax_input;
   lax_input.push_back(t);
   EXPECT_EQ(preprocess(std::move(lax_input), 10.0).stats.corrupted, 0u);
+}
+
+TEST(Preprocess, NonConsumingOverloadMatchesConsuming) {
+  // The span overload must reproduce the consuming overload exactly — same
+  // winners, same funnel stats, same run weighting — while leaving the
+  // input untouched (it only copies the dedup survivors).
+  std::vector<trace::Trace> traces;
+  traces.push_back(make_trace("u1", "app", 1, 100));
+  traces.push_back(make_trace("u1", "app", 2, 5000));
+  traces.push_back(make_trace("u2", "app", 3, 42));
+  traces.push_back(make_trace("u1", "other", 4, 7));
+  trace::Trace corrupt = make_trace("u3", "bad", 5, 9);
+  corrupt.files[0].close_ts = 1e9;  // far past run_time: validity eviction
+  traces.push_back(corrupt);
+
+  const PreprocessResult by_ref =
+      preprocess(std::span<const trace::Trace>(traces));
+  ASSERT_EQ(traces.size(), 5u);  // input intact
+  const PreprocessResult consumed = preprocess(std::move(traces));
+
+  EXPECT_EQ(by_ref.stats.input_traces, consumed.stats.input_traces);
+  EXPECT_EQ(by_ref.stats.corrupted, consumed.stats.corrupted);
+  EXPECT_EQ(by_ref.stats.valid, consumed.stats.valid);
+  EXPECT_EQ(by_ref.stats.unique_applications,
+            consumed.stats.unique_applications);
+  EXPECT_EQ(by_ref.stats.retained, consumed.stats.retained);
+  EXPECT_EQ(by_ref.stats.corruption_breakdown, consumed.stats.corruption_breakdown);
+  EXPECT_EQ(by_ref.stats.eviction_breakdown, consumed.stats.eviction_breakdown);
+  EXPECT_EQ(by_ref.runs_per_app, consumed.runs_per_app);
+  ASSERT_EQ(by_ref.retained.size(), consumed.retained.size());
+  for (std::size_t i = 0; i < by_ref.retained.size(); ++i) {
+    EXPECT_EQ(by_ref.retained[i].meta.job_id, consumed.retained[i].meta.job_id);
+  }
 }
 
 TEST(StreamingPreprocessor, MatchesOneShotPreprocess) {

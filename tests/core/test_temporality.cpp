@@ -133,7 +133,8 @@ TEST(ClassifyTemporality, EndToEndSteady) {
 }
 
 TEST(ClassifyTemporality, EmptyOpsInsignificant) {
-  const TemporalityResult result = classify_temporality({}, 1000.0);
+  const TemporalityResult result =
+      classify_temporality(std::span<const IoOp>{}, 1000.0);
   EXPECT_EQ(result.label, Temporality::kInsignificant);
   EXPECT_DOUBLE_EQ(result.total_bytes, 0.0);
 }

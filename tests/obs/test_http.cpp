@@ -1,0 +1,134 @@
+#include "obs/http.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "util/net.hpp"
+
+namespace mosaic::obs {
+namespace {
+
+// ---------------------------------------------------------------------------
+// parse_request_line: the pure parser, no sockets.
+
+TEST(ParseRequestLine, WellFormedGet) {
+  HttpRequest request;
+  ASSERT_TRUE(parse_request_line("GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n",
+                                 request));
+  EXPECT_EQ(request.method, "GET");
+  EXPECT_EQ(request.target, "/metrics");
+}
+
+TEST(ParseRequestLine, StripsQueryString) {
+  HttpRequest request;
+  ASSERT_TRUE(parse_request_line("GET /explain/abc?verbose=1 HTTP/1.1\r\n\r\n",
+                                 request));
+  EXPECT_EQ(request.target, "/explain/abc");
+}
+
+TEST(ParseRequestLine, NoSpacesAtAllIsMalformed) {
+  HttpRequest request;
+  EXPECT_FALSE(parse_request_line("garbage\r\n\r\n", request));
+}
+
+TEST(ParseRequestLine, TruncatedAfterMethodIsMalformed) {
+  HttpRequest request;
+  // First find(' ') succeeds, second must not: this was the silently
+  // dropped case.
+  EXPECT_FALSE(parse_request_line("GET /metrics\r\n\r\n", request));
+}
+
+TEST(ParseRequestLine, EmptyMethodIsMalformed) {
+  HttpRequest request;
+  EXPECT_FALSE(parse_request_line(" /metrics HTTP/1.1\r\n\r\n", request));
+}
+
+TEST(ParseRequestLine, EmptyTargetIsMalformed) {
+  HttpRequest request;
+  EXPECT_FALSE(parse_request_line("GET  HTTP/1.1\r\n\r\n", request));
+}
+
+TEST(ParseRequestLine, EmptyHeadIsMalformed) {
+  HttpRequest request;
+  EXPECT_FALSE(parse_request_line("", request));
+}
+
+TEST(ParseRequestLine, SpaceInLaterHeaderDoesNotRescueTheRequestLine) {
+  HttpRequest request;
+  // The old code searched the whole head, so "User-Agent: curl thing" could
+  // supply the missing delimiters. The parse must stay on line one.
+  EXPECT_FALSE(parse_request_line(
+      "GET/metrics\r\nUser-Agent: curl thing\r\n\r\n", request));
+}
+
+TEST(ParseRequestLine, BinaryGarbageIsMalformed) {
+  HttpRequest request;
+  EXPECT_FALSE(parse_request_line(
+      std::string_view("\x00\x01\x02\x03\xff\xfe", 6), request));
+}
+
+TEST(ParseRequestLine, MalformedLineLeavesRequestUntouched) {
+  HttpRequest request;
+  request.method = "SENTINEL";
+  request.target = "/sentinel";
+  EXPECT_FALSE(parse_request_line("nospace\r\n\r\n", request));
+  EXPECT_EQ(request.method, "SENTINEL");
+  EXPECT_EQ(request.target, "/sentinel");
+}
+
+// ---------------------------------------------------------------------------
+// End to end: a live server must answer 400, not close the socket silently.
+
+std::string roundtrip(std::uint16_t port, const std::string& raw) {
+  auto conn = util::connect_to({"127.0.0.1", port}, 2.0);
+  if (!conn.has_value()) return "<connect failed>";
+  if (!conn->send_all(raw.data(), raw.size()).ok()) return "<send failed>";
+  std::string response;
+  char buffer[512];
+  for (;;) {
+    auto got = conn->recv_some(buffer, sizeof buffer, 2.0);
+    if (!got.has_value() || *got == 0) break;
+    response.append(buffer, *got);
+  }
+  return response;
+}
+
+TEST(HttpServerRequestLine, GarbageRequestLineGets400) {
+  HttpServer server;
+  server.handle("/ping", [](const HttpRequest&) {
+    return HttpResponse{200, "text/plain", "pong\n", {}};
+  });
+  ASSERT_TRUE(server.start({"127.0.0.1", 0}).ok());
+
+  const std::string response = roundtrip(server.port(), "garbage\r\n\r\n");
+  EXPECT_EQ(response.substr(0, 12), "HTTP/1.1 400") << response;
+  server.stop();
+}
+
+TEST(HttpServerRequestLine, TruncatedRequestLineGets400) {
+  HttpServer server;
+  ASSERT_TRUE(server.start({"127.0.0.1", 0}).ok());
+
+  const std::string response =
+      roundtrip(server.port(), "GET /metrics\r\n\r\n");
+  EXPECT_EQ(response.substr(0, 12), "HTTP/1.1 400") << response;
+  server.stop();
+}
+
+TEST(HttpServerRequestLine, WellFormedStillRoutes) {
+  HttpServer server;
+  server.handle("/ping", [](const HttpRequest&) {
+    return HttpResponse{200, "text/plain", "pong\n", {}};
+  });
+  ASSERT_TRUE(server.start({"127.0.0.1", 0}).ok());
+
+  const std::string response =
+      roundtrip(server.port(), "GET /ping HTTP/1.1\r\nHost: x\r\n\r\n");
+  EXPECT_EQ(response.substr(0, 12), "HTTP/1.1 200") << response;
+  EXPECT_NE(response.find("pong"), std::string::npos) << response;
+  server.stop();
+}
+
+}  // namespace
+}  // namespace mosaic::obs

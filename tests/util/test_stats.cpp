@@ -2,8 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <array>
 #include <cmath>
+#include <limits>
 #include <vector>
 
 #include "util/rng.hpp"
@@ -140,6 +142,51 @@ TEST(Histogram, PeakBinBreaksTiesLow) {
   h.add(0.5);
   h.add(2.5);
   EXPECT_EQ(h.peak_bin(), 0u);
+}
+
+// Regression coverage for the edge-clamp rewrite: the clamp now happens in
+// double space before any integer conversion, so the adversarial inputs
+// below have defined, deterministic bins instead of a double->integer cast
+// with undefined behavior — while every in-range value keeps its old bin.
+TEST(Histogram, ValueAtHiLandsInLastBin) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(10.0);  // == hi exactly
+  EXPECT_DOUBLE_EQ(h.count(9), 1.0);
+  EXPECT_DOUBLE_EQ(h.total(), 1.0);
+}
+
+TEST(Histogram, NonFiniteAndHugeValuesClampDeterministically) {
+  Histogram h(0.0, 4.0, 4);
+  h.add(std::numeric_limits<double>::quiet_NaN(), 1.0);
+  h.add(std::numeric_limits<double>::infinity(), 2.0);
+  h.add(1e300, 4.0);
+  h.add(-std::numeric_limits<double>::infinity(), 8.0);
+  h.add(-1e300, 16.0);
+  EXPECT_DOUBLE_EQ(h.count(3), 1.0 + 2.0 + 4.0);  // NaN and +huge: last bin
+  EXPECT_DOUBLE_EQ(h.count(0), 8.0 + 16.0);       // -huge: first bin
+  EXPECT_DOUBLE_EQ(h.total(), 31.0);
+}
+
+TEST(Histogram, InRangeBinsMatchTheOriginalFormulation) {
+  // Metric-byte stability of the funnel histograms: for every in-range
+  // value the rewritten clamp must pick the same bin as the original
+  // floor-then-clamp-in-integer-space code, weight for weight.
+  constexpr std::size_t kBins = 50;
+  Histogram h(0.0, 100.0, kBins);
+  std::array<double, kBins> reference{};
+  for (int i = 0; i < 1000; ++i) {
+    const double value = static_cast<double>(i) * 0.1;
+    const double weight = 1.0 + static_cast<double>(i % 7);
+    h.add(value, weight);
+    // The pre-rewrite formulation: floor in double, then clamp the integer.
+    const auto bin = std::min<std::size_t>(
+        static_cast<std::size_t>(std::floor(value / h.bin_width())),
+        kBins - 1);
+    reference[bin] += weight;
+  }
+  for (std::size_t b = 0; b < kBins; ++b) {
+    EXPECT_DOUBLE_EQ(h.count(b), reference[b]) << "bin=" << b;
+  }
 }
 
 }  // namespace

@@ -7,7 +7,12 @@ against the committed baseline and fails (exit 1) when either
   * end-to-end throughput (traces_per_second) dropped by more than
     --max-tps-drop-pct (default 15%), or
   * the instrumentation overhead (instrumentation.overhead_pct) exceeds
-    --max-overhead-pct (default 5%) in absolute terms, or
+    --max-overhead-pct (default 10%) in absolute terms. The budget was
+    recalibrated from 5% when the SoA/AVX2 kernel pass (plus dropping the
+    harness's per-pass corpus copy) shrank the measured pass ~6x: the
+    instrumentation surface costs the same ~10 us per 1000-trace pass in
+    absolute terms, but is now a larger fraction of a much faster
+    pipeline, or
   * steady-state allocations per trace (allocations.per_trace) grew more
     than --max-alloc-increase-pct (default 10%) plus a 2-allocation slack
     over the baseline. Skipped unless both files carry counted results, or
@@ -16,7 +21,22 @@ against the committed baseline and fails (exit 1) when either
     A/A null experiment (profiler.off_overhead_pct) strays outside
     ±--max-profiler-off-pct (default 3%) — the disabled hook is one relaxed
     atomic load per frame, so any off-cost beyond harness noise is a bug.
-    Skipped when the current file has no "profiler" section.
+    Skipped when the current file has no "profiler" section, or
+  * a SIMD kernel regressed: for every kernel in the "kernels" section of
+    both files, dispatched cycles/byte must not exceed the baseline by more
+    than --max-kernel-regression-pct (default 35%; TSC micro-timings are
+    noisier than the end-to-end gate), and — when the current run dispatched
+    to a vector level (simd_level != "scalar") — the kernel's
+    scalar/dispatched speedup must stay above --min-kernel-speedup (default
+    0.8), i.e. the vector path is never meaningfully slower than its scalar
+    reference. The floor is deliberately below 1.0: the scalar references
+    mirror the AVX2 lane structure for bit-identity, so the compiler can
+    auto-vectorize some of them (sum in particular) to near-parity, and the
+    TSC micro-timings jitter. Skipped per kernel when either side lacks the
+    entry, and entirely when the two runs dispatched at different SIMD
+    levels (e.g. the forced-scalar CI job against an AVX2 baseline): their
+    cycles/byte measure different code paths, and forced-scalar speedup is
+    ~1.0 by construction.
 
 The throughput check is relative to the baseline machine's own numbers, so
 a slower CI runner only trips it when the *ratio* moves; the overhead check
@@ -47,10 +67,13 @@ def main():
     parser.add_argument("baseline", help="committed BENCH_perf_pipeline.json")
     parser.add_argument("current", help="freshly measured result")
     parser.add_argument("--max-tps-drop-pct", type=float, default=15.0)
-    parser.add_argument("--max-overhead-pct", type=float, default=5.0)
+    parser.add_argument("--max-overhead-pct", type=float, default=10.0)
     parser.add_argument("--max-alloc-increase-pct", type=float, default=10.0)
     parser.add_argument("--max-profiler-on-pct", type=float, default=5.0)
     parser.add_argument("--max-profiler-off-pct", type=float, default=3.0)
+    parser.add_argument("--max-kernel-regression-pct", type=float,
+                        default=35.0)
+    parser.add_argument("--min-kernel-speedup", type=float, default=0.8)
     args = parser.parse_args()
 
     baseline = load(args.baseline)
@@ -126,6 +149,52 @@ def main():
             )
     else:
         print("profiler overhead: no profiler section, skipping")
+
+    base_kernels = baseline.get("kernels", {})
+    cur_kernels = current.get("kernels", {})
+    base_level = baseline.get("simd_level", "scalar")
+    cur_level = current.get("simd_level", "scalar")
+    if base_level != cur_level:
+        # A forced-scalar (or differently-dispatched) run measures a
+        # different code path than the baseline; its cycles/byte are not
+        # comparable. The forced-scalar CI job still exercises the
+        # throughput and overhead gates above.
+        print(
+            f"kernels: baseline level {base_level} vs current "
+            f"{cur_level}, skipping cycles/byte comparison"
+        )
+    elif base_kernels and cur_kernels:
+        for name, cur_entry in sorted(cur_kernels.items()):
+            base_entry = base_kernels.get(name)
+            if base_entry is None:
+                print(f"kernel {name}: no baseline entry, skipping")
+                continue
+            base_cpb = float(base_entry.get("dispatched_cycles_per_byte", 0))
+            cur_cpb = float(cur_entry.get("dispatched_cycles_per_byte", 0))
+            speedup = float(cur_entry.get("speedup", 0.0))
+            growth_pct = (
+                100.0 * (cur_cpb - base_cpb) / base_cpb
+                if base_cpb > 0.0
+                else 0.0
+            )
+            print(
+                f"kernel {name}: cycles/byte baseline {base_cpb:.3f}, "
+                f"current {cur_cpb:.3f} (change {growth_pct:+.1f}%), "
+                f"speedup {speedup:.2f}x"
+            )
+            if growth_pct > args.max_kernel_regression_pct:
+                failures.append(
+                    f"kernel {name} cycles/byte grew {growth_pct:.1f}% "
+                    f"(budget {args.max_kernel_regression_pct:.0f}%)"
+                )
+            if cur_level != "scalar" and speedup < args.min_kernel_speedup:
+                failures.append(
+                    f"kernel {name} simd speedup {speedup:.2f}x below "
+                    f"{args.min_kernel_speedup:.2f}x floor at level "
+                    f"{cur_level}"
+                )
+    else:
+        print("kernels: section missing on one side, skipping")
 
     if failures:
         for failure in failures:
